@@ -1,0 +1,127 @@
+//! Static per-function attributes.
+//!
+//! These are exactly the properties the CaPI selector pipeline consults
+//! (paper §III-A, Listing 1): statement counts and lines of code (used by
+//! statement-aggregation selection), floating-point operation counts and
+//! loop depth (`flops`, `loopDepth` selectors), `inline` annotations and
+//! system-header origin (`inlineSpecified`, `inSystemHeader`), virtual
+//! methods (MetaCG's over-approximation) and symbol visibility (the
+//! hidden-symbol limitation in §VI-B).
+
+use serde::{Deserialize, Serialize};
+
+/// ELF-style symbol visibility.
+///
+/// `Hidden` symbols exist in the object but are not visible to the
+/// `nm`-based name resolution DynCaPI performs (paper §VI-B: 1,444 such
+/// functions in the OpenFOAM case). `Internal` models `static` functions
+/// with translation-unit linkage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Visibility {
+    /// Externally visible; resolvable by symbol collection.
+    #[default]
+    Default,
+    /// Present in the object but excluded from symbol resolution.
+    Hidden,
+    /// Translation-unit-local (`static`); kept out of dynamic symbol tables.
+    Internal,
+}
+
+/// What kind of function this is, beyond a plain definition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum FunctionKind {
+    /// Ordinary application function.
+    #[default]
+    Normal,
+    /// The program entry point (`main`).
+    Main,
+    /// An MPI library entry point (`MPI_*`); its behaviour carries the
+    /// [`crate::MpiCall`] it performs.
+    MpiStub,
+    /// A compiler-emitted static initializer. The paper observes that a
+    /// large share of unresolvable hidden symbols are static initializers
+    /// and that none are relevant for profiling.
+    StaticInitializer,
+}
+
+/// The static attribute record attached to every source function.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FunctionAttrs {
+    /// Source lines of code of the definition.
+    pub lines_of_code: u32,
+    /// Number of statements (basis of statement-aggregation selection).
+    pub statements: u32,
+    /// Floating-point operations per textual body (selector `flops`).
+    pub flops: u32,
+    /// Maximal loop nesting depth in the body (selector `loopDepth`).
+    pub loop_depth: u32,
+    /// Whether the definition carries the `inline` keyword. Note the paper's
+    /// caveat (§V-E): this does *not* necessarily coincide with the
+    /// compiler's final inlining decision.
+    pub inline_keyword: bool,
+    /// Whether the definition lives in a system header.
+    pub system_header: bool,
+    /// Whether this is a virtual member function (participates in MetaCG's
+    /// call-edge over-approximation).
+    pub is_virtual: bool,
+    /// Symbol visibility after compilation.
+    pub visibility: Visibility,
+    /// Whether the function's address is taken somewhere (function-pointer
+    /// target); address-taken functions are never fully inlined away.
+    pub address_taken: bool,
+    /// Function role.
+    pub kind: FunctionKind,
+    /// Estimated machine instruction count of the compiled body. XRay's
+    /// machine pass pre-filters functions below `instruction-threshold`
+    /// (paper §V-A); this is the quantity that filter inspects.
+    pub instructions: u32,
+}
+
+impl Default for FunctionAttrs {
+    fn default() -> Self {
+        Self {
+            lines_of_code: 10,
+            statements: 8,
+            flops: 0,
+            loop_depth: 0,
+            inline_keyword: false,
+            system_header: false,
+            is_virtual: false,
+            visibility: Visibility::Default,
+            address_taken: false,
+            kind: FunctionKind::Normal,
+            instructions: 64,
+        }
+    }
+}
+
+impl FunctionAttrs {
+    /// True if the symbol survives into name-resolution tables
+    /// (i.e. `nm` output DynCaPI can use).
+    pub fn resolvable_symbol(&self) -> bool {
+        matches!(self.visibility, Visibility::Default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_attrs_are_plain_resolvable_functions() {
+        let a = FunctionAttrs::default();
+        assert_eq!(a.kind, FunctionKind::Normal);
+        assert!(a.resolvable_symbol());
+        assert!(!a.inline_keyword);
+        assert!(!a.system_header);
+    }
+
+    #[test]
+    fn hidden_and_internal_are_unresolvable() {
+        let mut a = FunctionAttrs::default();
+        a.visibility = Visibility::Hidden;
+        assert!(!a.resolvable_symbol());
+        a.visibility = Visibility::Internal;
+        assert!(!a.resolvable_symbol());
+    }
+}

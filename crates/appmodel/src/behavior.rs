@@ -1,0 +1,123 @@
+//! Behavioural (dynamic) properties of functions.
+//!
+//! Static selection never looks at these; they exist so the virtual-time
+//! executor (`capi-exec`) can replay a program run and charge
+//! instrumentation overhead, reproducing the paper's Table II.
+
+use serde::{Deserialize, Serialize};
+
+/// An MPI operation performed by an `MPI_*` stub function.
+///
+/// Mirrors `capi_mpisim::MpiOp`; kept as an independent type so the
+/// application model does not depend on the MPI simulator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MpiCall {
+    /// `MPI_Init` — TALP refuses region registration before this completes.
+    Init,
+    /// `MPI_Finalize` — triggers report generation in TALP.
+    Finalize,
+    /// `MPI_Barrier` on `MPI_COMM_WORLD`.
+    Barrier,
+    /// `MPI_Allreduce` of `bytes` payload.
+    Allreduce {
+        /// Payload size in bytes.
+        bytes: u32,
+    },
+    /// `MPI_Bcast` of `bytes` payload from rank 0.
+    Bcast {
+        /// Payload size in bytes.
+        bytes: u32,
+    },
+    /// `MPI_Reduce` of `bytes` payload to rank 0.
+    Reduce {
+        /// Payload size in bytes.
+        bytes: u32,
+    },
+    /// Neighbour exchange (`MPI_Sendrecv` with both ring neighbours),
+    /// the halo-exchange pattern of LULESH/OpenFOAM decompositions.
+    RingExchange {
+        /// Payload size in bytes, per direction.
+        bytes: u32,
+    },
+    /// `MPI_Wait`/`MPI_Waitall`-style completion; costs latency only.
+    Wait,
+}
+
+impl MpiCall {
+    /// Short MPI-style display name (used in profiles and reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            MpiCall::Init => "MPI_Init",
+            MpiCall::Finalize => "MPI_Finalize",
+            MpiCall::Barrier => "MPI_Barrier",
+            MpiCall::Allreduce { .. } => "MPI_Allreduce",
+            MpiCall::Bcast { .. } => "MPI_Bcast",
+            MpiCall::Reduce { .. } => "MPI_Reduce",
+            MpiCall::RingExchange { .. } => "MPI_Sendrecv",
+            MpiCall::Wait => "MPI_Waitall",
+        }
+    }
+
+    /// Whether this is a collective operation (synchronizes all ranks).
+    pub fn is_collective(&self) -> bool {
+        matches!(
+            self,
+            MpiCall::Init
+                | MpiCall::Finalize
+                | MpiCall::Barrier
+                | MpiCall::Allreduce { .. }
+                | MpiCall::Bcast { .. }
+                | MpiCall::Reduce { .. }
+        )
+    }
+}
+
+/// Per-invocation dynamic behaviour of a function body.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Behavior {
+    /// Pure compute cost of one invocation of the body itself, in virtual
+    /// nanoseconds, *excluding* callees.
+    pub body_cost_ns: u64,
+    /// Per-rank compute imbalance in percent applied multiplicatively by
+    /// the executor: rank `r` of `P` pays
+    /// `body_cost_ns * (1 + imbalance_pct/100 * r/(P-1))`. Non-zero values
+    /// make the POP load-balance metric meaningful.
+    pub imbalance_pct: u32,
+    /// MPI operation performed by this body (only for `MpiStub` functions).
+    pub mpi: Option<MpiCall>,
+}
+
+impl Default for Behavior {
+    fn default() -> Self {
+        Self {
+            body_cost_ns: 100,
+            imbalance_pct: 0,
+            mpi: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collective_classification() {
+        assert!(MpiCall::Barrier.is_collective());
+        assert!(MpiCall::Allreduce { bytes: 8 }.is_collective());
+        assert!(!MpiCall::RingExchange { bytes: 1024 }.is_collective());
+        assert!(!MpiCall::Wait.is_collective());
+    }
+
+    #[test]
+    fn names_follow_mpi_convention() {
+        assert_eq!(MpiCall::Init.name(), "MPI_Init");
+        assert_eq!(MpiCall::RingExchange { bytes: 1 }.name(), "MPI_Sendrecv");
+    }
+
+    #[test]
+    fn default_behavior_has_no_mpi() {
+        assert!(Behavior::default().mpi.is_none());
+        assert!(Behavior::default().body_cost_ns > 0);
+    }
+}

@@ -1,0 +1,313 @@
+//! Fluent construction of [`SourceProgram`]s.
+//!
+//! Workload generators (`capi-workloads`) and tests build programs through
+//! this API; it keeps symbol interning, unit bookkeeping and validation in
+//! one place.
+
+use crate::attrs::{FunctionAttrs, FunctionKind, Visibility};
+use crate::behavior::{Behavior, MpiCall};
+use crate::program::{CallSite, CalleeRef, LinkTarget, SourceFunction, SourceProgram, TranslationUnit};
+use crate::validate::{validate, ValidationError};
+
+/// Builder for a whole program.
+///
+/// ```
+/// use capi_appmodel::{LinkTarget, ProgramBuilder};
+///
+/// let mut b = ProgramBuilder::new("demo");
+/// b.unit("main.cc", LinkTarget::Executable);
+/// b.function("main").main().calls("kernel", 100).finish();
+/// b.function("kernel").flops(64).loop_depth(2).finish();
+/// let program = b.build().unwrap();
+/// assert_eq!(program.num_functions(), 2);
+/// ```
+pub struct ProgramBuilder {
+    program: SourceProgram,
+    current_unit: Option<TranslationUnit>,
+}
+
+impl ProgramBuilder {
+    /// Starts a program named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            program: SourceProgram::new(name),
+            current_unit: None,
+        }
+    }
+
+    /// Opens a new translation unit; subsequent [`Self::function`] calls
+    /// define functions inside it.
+    pub fn unit(&mut self, file: impl Into<String>, target: LinkTarget) -> &mut Self {
+        self.seal_unit();
+        self.current_unit = Some(TranslationUnit {
+            file: file.into(),
+            target,
+            functions: Vec::new(),
+        });
+        self
+    }
+
+    /// Begins a function definition in the current unit.
+    ///
+    /// # Panics
+    /// Panics if no unit has been opened.
+    pub fn function(&mut self, name: &str) -> FunctionBuilder<'_> {
+        assert!(
+            self.current_unit.is_some(),
+            "open a translation unit before defining functions"
+        );
+        let sym = self.program.interner.intern(name);
+        FunctionBuilder {
+            owner: self,
+            func: SourceFunction {
+                name: sym,
+                demangled: name.to_string(),
+                attrs: FunctionAttrs::default(),
+                call_sites: Vec::new(),
+                behavior: Behavior::default(),
+            },
+        }
+    }
+
+    /// Interns a name without defining it (for forward references).
+    pub fn sym(&mut self, name: &str) -> crate::Sym {
+        self.program.interner.intern(name)
+    }
+
+    fn seal_unit(&mut self) {
+        if let Some(u) = self.current_unit.take() {
+            self.program.push_unit(u);
+        }
+    }
+
+    /// Finishes and validates the program.
+    pub fn build(mut self) -> Result<SourceProgram, ValidationError> {
+        self.seal_unit();
+        validate(&self.program)?;
+        Ok(self.program)
+    }
+
+    /// Finishes without validation (for tests that construct intentionally
+    /// broken programs).
+    pub fn build_unchecked(mut self) -> SourceProgram {
+        self.seal_unit();
+        self.program
+    }
+}
+
+/// Builder for a single function; created by [`ProgramBuilder::function`].
+pub struct FunctionBuilder<'a> {
+    owner: &'a mut ProgramBuilder,
+    func: SourceFunction,
+}
+
+impl<'a> FunctionBuilder<'a> {
+    /// Sets the human-readable signature.
+    pub fn demangled(mut self, d: impl Into<String>) -> Self {
+        self.func.demangled = d.into();
+        self
+    }
+
+    /// Marks this function as `main`.
+    pub fn main(mut self) -> Self {
+        self.func.attrs.kind = FunctionKind::Main;
+        self
+    }
+
+    /// Marks this function as an MPI stub performing `call`.
+    pub fn mpi(mut self, call: MpiCall) -> Self {
+        self.func.attrs.kind = FunctionKind::MpiStub;
+        self.func.attrs.system_header = true;
+        self.func.behavior.mpi = Some(call);
+        self
+    }
+
+    /// Marks this function as a compiler-emitted static initializer
+    /// (hidden visibility, tiny body).
+    pub fn static_initializer(mut self) -> Self {
+        self.func.attrs.kind = FunctionKind::StaticInitializer;
+        self.func.attrs.visibility = Visibility::Hidden;
+        self.func.attrs.statements = 2;
+        self.func.attrs.instructions = 12;
+        self
+    }
+
+    /// Sets lines of code.
+    pub fn loc(mut self, n: u32) -> Self {
+        self.func.attrs.lines_of_code = n;
+        self
+    }
+
+    /// Sets statement count.
+    pub fn statements(mut self, n: u32) -> Self {
+        self.func.attrs.statements = n;
+        self
+    }
+
+    /// Sets the floating-point operation count.
+    pub fn flops(mut self, n: u32) -> Self {
+        self.func.attrs.flops = n;
+        self
+    }
+
+    /// Sets the maximal loop nesting depth.
+    pub fn loop_depth(mut self, n: u32) -> Self {
+        self.func.attrs.loop_depth = n;
+        self
+    }
+
+    /// Marks the definition `inline`.
+    pub fn inline_keyword(mut self) -> Self {
+        self.func.attrs.inline_keyword = true;
+        self
+    }
+
+    /// Marks the definition as coming from a system header.
+    pub fn system_header(mut self) -> Self {
+        self.func.attrs.system_header = true;
+        self
+    }
+
+    /// Marks the function virtual.
+    pub fn virtual_method(mut self) -> Self {
+        self.func.attrs.is_virtual = true;
+        self
+    }
+
+    /// Sets symbol visibility.
+    pub fn visibility(mut self, v: Visibility) -> Self {
+        self.func.attrs.visibility = v;
+        self
+    }
+
+    /// Marks the function's address as taken.
+    pub fn address_taken(mut self) -> Self {
+        self.func.attrs.address_taken = true;
+        self
+    }
+
+    /// Sets the compiled instruction-count estimate.
+    pub fn instructions(mut self, n: u32) -> Self {
+        self.func.attrs.instructions = n;
+        self
+    }
+
+    /// Sets the per-invocation body cost in virtual nanoseconds.
+    pub fn cost(mut self, ns: u64) -> Self {
+        self.func.behavior.body_cost_ns = ns;
+        self
+    }
+
+    /// Sets the per-rank compute imbalance percentage.
+    pub fn imbalance(mut self, pct: u32) -> Self {
+        self.func.behavior.imbalance_pct = pct;
+        self
+    }
+
+    /// Adds a direct call site executing `trips` times per invocation.
+    pub fn calls(mut self, callee: &str, trips: u64) -> Self {
+        let sym = self.owner.program.interner.intern(callee);
+        self.func.call_sites.push(CallSite {
+            callee: CalleeRef::Direct(sym),
+            trips,
+        });
+        self
+    }
+
+    /// Adds a virtual call site through `decl` with the given overrides.
+    pub fn calls_virtual(mut self, decl: &str, overrides: &[&str], trips: u64) -> Self {
+        let decl = self.owner.program.interner.intern(decl);
+        let overrides = overrides
+            .iter()
+            .map(|o| self.owner.program.interner.intern(o))
+            .collect();
+        self.func.call_sites.push(CallSite {
+            callee: CalleeRef::Virtual { decl, overrides },
+            trips,
+        });
+        self
+    }
+
+    /// Adds a function-pointer call site.
+    pub fn calls_pointer(mut self, candidates: &[&str], resolvable: bool, trips: u64) -> Self {
+        let candidates = candidates
+            .iter()
+            .map(|c| self.owner.program.interner.intern(c))
+            .collect();
+        self.func.call_sites.push(CallSite {
+            callee: CalleeRef::Pointer {
+                candidates,
+                resolvable,
+            },
+            trips,
+        });
+        self
+    }
+
+    /// Registers the function in the current translation unit.
+    pub fn finish(self) {
+        self.owner
+            .current_unit
+            .as_mut()
+            .expect("unit is open")
+            .functions
+            .push(self.func);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::CalleeRef;
+
+    #[test]
+    fn builder_produces_valid_program() {
+        let mut b = ProgramBuilder::new("t");
+        b.unit("t.cc", LinkTarget::Executable);
+        b.function("main").main().calls("f", 2).finish();
+        b.function("f").inline_keyword().finish();
+        let p = b.build().unwrap();
+        assert_eq!(p.num_functions(), 2);
+        let main = p.function_by_name("main").unwrap();
+        assert_eq!(main.call_sites.len(), 1);
+        assert_eq!(main.call_sites[0].trips, 2);
+    }
+
+    #[test]
+    fn virtual_sites_capture_overrides() {
+        let mut b = ProgramBuilder::new("t");
+        b.unit("t.cc", LinkTarget::Executable);
+        b.function("main")
+            .main()
+            .calls_virtual("Base::run", &["A::run", "B::run"], 1)
+            .finish();
+        b.function("Base::run").virtual_method().finish();
+        b.function("A::run").virtual_method().finish();
+        b.function("B::run").virtual_method().finish();
+        let p = b.build().unwrap();
+        let main = p.function_by_name("main").unwrap();
+        match &main.call_sites[0].callee {
+            CalleeRef::Virtual { overrides, .. } => assert_eq!(overrides.len(), 2),
+            other => panic!("expected virtual site, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "open a translation unit")]
+    fn function_without_unit_panics() {
+        let mut b = ProgramBuilder::new("t");
+        let _ = b.function("f");
+    }
+
+    #[test]
+    fn mpi_stub_records_behavior() {
+        let mut b = ProgramBuilder::new("t");
+        b.unit("mpi.h", LinkTarget::Executable);
+        b.function("main").main().calls("MPI_Init", 1).finish();
+        b.function("MPI_Init").mpi(MpiCall::Init).finish();
+        let p = b.build().unwrap();
+        let f = p.function_by_name("MPI_Init").unwrap();
+        assert_eq!(f.behavior.mpi, Some(MpiCall::Init));
+        assert!(f.attrs.system_header);
+    }
+}

@@ -1,0 +1,41 @@
+//! # capi-appmodel — source-level program model
+//!
+//! The CaPI toolchain reproduced in this workspace operates on *programs*:
+//! LULESH and OpenFOAM in the paper. Since this reproduction is
+//! simulation-based (see `DESIGN.md` §2), applications are described by a
+//! [`SourceProgram`]: a set of translation units containing functions with
+//! the static attributes the CaPI selectors inspect (lines of code,
+//! statement count, floating-point operations, loop depth, `inline`
+//! annotations, system-header origin, symbol visibility, virtual-method
+//! flags) plus the *behavioural* information the virtual-time executor
+//! needs (per-invocation compute cost, call-site trip counts, MPI
+//! operations).
+//!
+//! Downstream crates derive everything else from this model:
+//!
+//! * `capi-metacg` builds translation-unit-local call graphs and merges
+//!   them into the whole-program MetaCG graph,
+//! * `capi-objmodel` "compiles" the program into binary images (making
+//!   inlining decisions the call graph does *not* see — the mismatch that
+//!   motivates the paper's inlining compensation),
+//! * `capi-exec` interprets compiled images on simulated MPI ranks.
+//!
+//! The model deliberately separates *structure* (what a static analysis
+//! can see) from *behaviour* (what only execution reveals): CaPI operates
+//! on the former, the overhead evaluation on the latter.
+
+pub mod attrs;
+pub mod behavior;
+pub mod builder;
+pub mod intern;
+pub mod program;
+pub mod validate;
+
+pub use attrs::{FunctionAttrs, FunctionKind, Visibility};
+pub use behavior::{Behavior, MpiCall};
+pub use builder::{FunctionBuilder, ProgramBuilder};
+pub use intern::{FxBuildHasher, FxHashMap, FxHashSet, Interner, Sym};
+pub use program::{
+    CallSite, CalleeRef, FuncRef, LinkTarget, SourceFunction, SourceProgram, TranslationUnit,
+};
+pub use validate::{validate, ValidationError};

@@ -1,0 +1,326 @@
+//! The program container: translation units, functions, call sites.
+
+use crate::attrs::{FunctionAttrs, FunctionKind};
+use crate::behavior::Behavior;
+use crate::intern::{FxHashMap, Interner, Sym};
+use serde::{Deserialize, Serialize};
+
+/// Which linked object a translation unit ends up in.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkTarget {
+    /// Linked into the main executable.
+    Executable,
+    /// Linked into the named dynamic shared object, e.g. `libfiniteVolume.so`.
+    Dso(String),
+}
+
+impl LinkTarget {
+    /// Object name used in memory maps and symbol resolution.
+    pub fn object_name<'a>(&'a self, exe_name: &'a str) -> &'a str {
+        match self {
+            LinkTarget::Executable => exe_name,
+            LinkTarget::Dso(n) => n,
+        }
+    }
+}
+
+/// How a call site refers to its callee(s).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CalleeRef {
+    /// Ordinary direct call.
+    Direct(Sym),
+    /// Virtual dispatch through `decl`; MetaCG over-approximates by adding
+    /// edges to *all* known overriding definitions (paper §III-A).
+    Virtual {
+        /// The declared (abstract) target.
+        decl: Sym,
+        /// All overriding definitions known program-wide.
+        overrides: Vec<Sym>,
+    },
+    /// Indirect call through a function pointer.
+    Pointer {
+        /// Candidate targets.
+        candidates: Vec<Sym>,
+        /// Whether MetaCG's static analysis can resolve this site. When
+        /// `false` the edge is only discoverable via profile validation.
+        resolvable: bool,
+    },
+}
+
+/// A call site inside a function body.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CallSite {
+    /// Callee reference.
+    pub callee: CalleeRef,
+    /// How many times the site executes per invocation of the caller.
+    pub trips: u64,
+}
+
+/// A function definition in a translation unit.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SourceFunction {
+    /// Unique (mangled) name.
+    pub name: Sym,
+    /// Human-readable signature, e.g.
+    /// `Foam::fvMatrix<double>::solve(const dictionary&)`.
+    pub demangled: String,
+    /// Static attributes (what selectors see).
+    pub attrs: FunctionAttrs,
+    /// Call sites in body order.
+    pub call_sites: Vec<CallSite>,
+    /// Dynamic behaviour (what the executor replays).
+    pub behavior: Behavior,
+}
+
+/// A translation unit: one source file compiled into one object file.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TranslationUnit {
+    /// Source file path, e.g. `src/finiteVolume/fvMatrix.C`.
+    pub file: String,
+    /// Link destination.
+    pub target: LinkTarget,
+    /// Functions defined in this unit.
+    pub functions: Vec<SourceFunction>,
+}
+
+/// Location of a function inside a [`SourceProgram`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FuncRef {
+    /// Translation-unit index.
+    pub unit: u32,
+    /// Function index within the unit.
+    pub func: u32,
+}
+
+/// A whole application: the input to every stage of the toolchain.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SourceProgram {
+    /// Program name; doubles as the executable's object name.
+    pub name: String,
+    /// Symbol interner for all function names.
+    pub interner: Interner,
+    /// Translation units.
+    pub units: Vec<TranslationUnit>,
+    index: FxHashMap<Sym, FuncRef>,
+}
+
+impl SourceProgram {
+    /// Creates an empty program. Most callers should use
+    /// [`crate::ProgramBuilder`] instead.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            interner: Interner::new(),
+            units: Vec::new(),
+            index: FxHashMap::default(),
+        }
+    }
+
+    /// Adds a translation unit, indexing its functions.
+    ///
+    /// # Panics
+    /// Panics if a function name is already defined in another unit —
+    /// definitions must be unique program-wide (the model has no ODR
+    /// merging).
+    pub fn push_unit(&mut self, unit: TranslationUnit) {
+        let u = self.units.len() as u32;
+        for (fi, f) in unit.functions.iter().enumerate() {
+            let prev = self.index.insert(
+                f.name,
+                FuncRef {
+                    unit: u,
+                    func: fi as u32,
+                },
+            );
+            assert!(
+                prev.is_none(),
+                "duplicate definition of `{}`",
+                self.interner.resolve(f.name)
+            );
+        }
+        self.units.push(unit);
+    }
+
+    /// Looks up a function by symbol.
+    pub fn function(&self, sym: Sym) -> Option<&SourceFunction> {
+        let r = self.index.get(&sym)?;
+        Some(&self.units[r.unit as usize].functions[r.func as usize])
+    }
+
+    /// Looks up a function's location by symbol.
+    pub fn func_ref(&self, sym: Sym) -> Option<FuncRef> {
+        self.index.get(&sym).copied()
+    }
+
+    /// The translation unit a function is defined in.
+    pub fn unit_of(&self, sym: Sym) -> Option<&TranslationUnit> {
+        self.index.get(&sym).map(|r| &self.units[r.unit as usize])
+    }
+
+    /// Looks up a function by name.
+    pub fn function_by_name(&self, name: &str) -> Option<&SourceFunction> {
+        self.function(self.interner.get(name)?)
+    }
+
+    /// The `main` function, if one is defined.
+    pub fn entry(&self) -> Option<&SourceFunction> {
+        self.iter_functions()
+            .find(|f| f.attrs.kind == FunctionKind::Main)
+    }
+
+    /// Iterates over all functions in unit order.
+    pub fn iter_functions(&self) -> impl Iterator<Item = &SourceFunction> {
+        self.units.iter().flat_map(|u| u.functions.iter())
+    }
+
+    /// Iterates over `(unit, function)` pairs.
+    pub fn iter_with_units(&self) -> impl Iterator<Item = (&TranslationUnit, &SourceFunction)> {
+        self.units
+            .iter()
+            .flat_map(|u| u.functions.iter().map(move |f| (u, f)))
+    }
+
+    /// Total number of function definitions.
+    pub fn num_functions(&self) -> usize {
+        self.units.iter().map(|u| u.functions.len()).sum()
+    }
+
+    /// Distinct DSO names, in first-appearance order.
+    pub fn dso_names(&self) -> Vec<&str> {
+        let mut seen = Vec::new();
+        for u in &self.units {
+            if let LinkTarget::Dso(n) = &u.target {
+                if !seen.contains(&n.as_str()) {
+                    seen.push(n.as_str());
+                }
+            }
+        }
+        seen
+    }
+
+    /// Rebuilds the symbol index (after deserialization).
+    pub fn rebuild_index(&mut self) {
+        self.interner.rebuild_map();
+        self.index.clear();
+        for (ui, u) in self.units.iter().enumerate() {
+            for (fi, f) in u.functions.iter().enumerate() {
+                self.index.insert(
+                    f.name,
+                    FuncRef {
+                        unit: ui as u32,
+                        func: fi as u32,
+                    },
+                );
+            }
+        }
+    }
+
+    /// All symbols a call site may invoke (the static over-approximation).
+    pub fn callee_targets(site: &CallSite) -> Vec<Sym> {
+        match &site.callee {
+            CalleeRef::Direct(s) => vec![*s],
+            CalleeRef::Virtual { overrides, .. } => overrides.clone(),
+            CalleeRef::Pointer {
+                candidates,
+                resolvable,
+            } => {
+                if *resolvable {
+                    candidates.clone()
+                } else {
+                    Vec::new()
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    fn tiny() -> SourceProgram {
+        let mut b = ProgramBuilder::new("tiny");
+        b.unit("main.cc", LinkTarget::Executable);
+        b.function("main").main().calls("work", 3).finish();
+        b.function("work").flops(20).loop_depth(1).finish();
+        b.build().expect("valid program")
+    }
+
+    #[test]
+    fn lookup_by_symbol_and_name() {
+        let p = tiny();
+        let f = p.function_by_name("work").unwrap();
+        assert_eq!(p.interner.resolve(f.name), "work");
+        assert_eq!(f.attrs.flops, 20);
+    }
+
+    #[test]
+    fn entry_is_main() {
+        let p = tiny();
+        let e = p.entry().unwrap();
+        assert_eq!(p.interner.resolve(e.name), "main");
+    }
+
+    #[test]
+    fn num_functions_counts_all_units() {
+        let p = tiny();
+        assert_eq!(p.num_functions(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate definition")]
+    fn duplicate_definitions_panic() {
+        let mut p = SourceProgram::new("dup");
+        let s = p.interner.intern("f");
+        let mk = |name| TranslationUnit {
+            file: String::from(name),
+            target: LinkTarget::Executable,
+            functions: vec![SourceFunction {
+                name: s,
+                demangled: "f()".into(),
+                attrs: FunctionAttrs::default(),
+                call_sites: vec![],
+                behavior: Behavior::default(),
+            }],
+        };
+        p.push_unit(mk("a.cc"));
+        p.push_unit(mk("b.cc"));
+    }
+
+    #[test]
+    fn dso_names_deduplicated_in_order() {
+        let mut b = ProgramBuilder::new("p");
+        b.unit("a.cc", LinkTarget::Dso("libA.so".into()));
+        b.function("main").main().finish();
+        b.unit("b.cc", LinkTarget::Dso("libB.so".into()));
+        b.function("b1").finish();
+        b.unit("a2.cc", LinkTarget::Dso("libA.so".into()));
+        b.function("a2").finish();
+        let p = b.build_unchecked();
+        assert_eq!(p.dso_names(), vec!["libA.so", "libB.so"]);
+    }
+
+    #[test]
+    fn callee_targets_respects_resolvability() {
+        let mut i = Interner::new();
+        let a = i.intern("a");
+        let b = i.intern("b");
+        let site = CallSite {
+            callee: CalleeRef::Pointer {
+                candidates: vec![a, b],
+                resolvable: false,
+            },
+            trips: 1,
+        };
+        assert!(SourceProgram::callee_targets(&site).is_empty());
+        let site2 = CallSite {
+            callee: CalleeRef::Pointer {
+                candidates: vec![a, b],
+                resolvable: true,
+            },
+            trips: 1,
+        };
+        assert_eq!(SourceProgram::callee_targets(&site2), vec![a, b]);
+    }
+}

@@ -1,0 +1,188 @@
+//! Program validation.
+//!
+//! Catches model-construction errors early: dangling callee references,
+//! missing entry points, multiple `main`s, self-referential virtual
+//! declarations. Workload generators run this after construction so the
+//! rest of the toolchain can assume well-formed inputs.
+
+use crate::attrs::FunctionKind;
+use crate::intern::FxHashSet;
+use crate::program::{CalleeRef, SourceProgram};
+use std::fmt;
+
+/// Why a [`SourceProgram`] is malformed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValidationError {
+    /// A call site references a function with no definition.
+    DanglingCallee {
+        /// The calling function.
+        caller: String,
+        /// The missing callee.
+        callee: String,
+    },
+    /// No function is marked [`FunctionKind::Main`].
+    NoEntryPoint,
+    /// More than one function is marked `main`.
+    MultipleEntryPoints(Vec<String>),
+    /// A virtual call site lists no overrides, making it uncallable.
+    EmptyVirtualSite {
+        /// The calling function.
+        caller: String,
+    },
+    /// An `MpiStub` function has no MPI behaviour attached.
+    MpiStubWithoutOp {
+        /// The offending function.
+        function: String,
+    },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::DanglingCallee { caller, callee } => {
+                write!(f, "`{caller}` calls undefined function `{callee}`")
+            }
+            ValidationError::NoEntryPoint => write!(f, "program has no `main`"),
+            ValidationError::MultipleEntryPoints(v) => {
+                write!(f, "multiple entry points: {}", v.join(", "))
+            }
+            ValidationError::EmptyVirtualSite { caller } => {
+                write!(f, "virtual call site in `{caller}` has no overrides")
+            }
+            ValidationError::MpiStubWithoutOp { function } => {
+                write!(f, "MPI stub `{function}` has no MPI operation")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Validates `program`, returning the first error found.
+pub fn validate(program: &SourceProgram) -> Result<(), ValidationError> {
+    let defined: FxHashSet<_> = program.iter_functions().map(|f| f.name).collect();
+    let mut mains = Vec::new();
+
+    for f in program.iter_functions() {
+        let fname = || program.interner.resolve(f.name).to_string();
+        if f.attrs.kind == FunctionKind::Main {
+            mains.push(fname());
+        }
+        if f.attrs.kind == FunctionKind::MpiStub && f.behavior.mpi.is_none() {
+            return Err(ValidationError::MpiStubWithoutOp { function: fname() });
+        }
+        for site in &f.call_sites {
+            match &site.callee {
+                CalleeRef::Direct(s) => {
+                    if !defined.contains(s) {
+                        return Err(ValidationError::DanglingCallee {
+                            caller: fname(),
+                            callee: program.interner.resolve(*s).to_string(),
+                        });
+                    }
+                }
+                CalleeRef::Virtual { overrides, .. } => {
+                    if overrides.is_empty() {
+                        return Err(ValidationError::EmptyVirtualSite { caller: fname() });
+                    }
+                    for o in overrides {
+                        if !defined.contains(o) {
+                            return Err(ValidationError::DanglingCallee {
+                                caller: fname(),
+                                callee: program.interner.resolve(*o).to_string(),
+                            });
+                        }
+                    }
+                }
+                CalleeRef::Pointer { candidates, .. } => {
+                    for c in candidates {
+                        if !defined.contains(c) {
+                            return Err(ValidationError::DanglingCallee {
+                                caller: fname(),
+                                callee: program.interner.resolve(*c).to_string(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    match mains.len() {
+        0 => Err(ValidationError::NoEntryPoint),
+        1 => Ok(()),
+        _ => Err(ValidationError::MultipleEntryPoints(mains)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::program::LinkTarget;
+
+    #[test]
+    fn dangling_callee_detected() {
+        let mut b = ProgramBuilder::new("t");
+        b.unit("t.cc", LinkTarget::Executable);
+        b.function("main").main().calls("ghost", 1).finish();
+        let p = b.build_unchecked();
+        match validate(&p) {
+            Err(ValidationError::DanglingCallee { caller, callee }) => {
+                assert_eq!(caller, "main");
+                assert_eq!(callee, "ghost");
+            }
+            other => panic!("expected dangling callee, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_main_detected() {
+        let mut b = ProgramBuilder::new("t");
+        b.unit("t.cc", LinkTarget::Executable);
+        b.function("helper").finish();
+        assert_eq!(validate(&b.build_unchecked()), Err(ValidationError::NoEntryPoint));
+    }
+
+    #[test]
+    fn multiple_mains_detected() {
+        let mut b = ProgramBuilder::new("t");
+        b.unit("t.cc", LinkTarget::Executable);
+        b.function("main").main().finish();
+        b.function("main2").main().finish();
+        match validate(&b.build_unchecked()) {
+            Err(ValidationError::MultipleEntryPoints(v)) => assert_eq!(v.len(), 2),
+            other => panic!("expected multiple entry points, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_virtual_site_detected() {
+        let mut b = ProgramBuilder::new("t");
+        b.unit("t.cc", LinkTarget::Executable);
+        b.function("main").main().calls_virtual("v", &[], 1).finish();
+        match validate(&b.build_unchecked()) {
+            Err(ValidationError::EmptyVirtualSite { caller }) => assert_eq!(caller, "main"),
+            other => panic!("expected empty virtual site, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn valid_program_passes() {
+        let mut b = ProgramBuilder::new("t");
+        b.unit("t.cc", LinkTarget::Executable);
+        b.function("main").main().calls("f", 1).finish();
+        b.function("f").finish();
+        assert!(validate(&b.build_unchecked()).is_ok());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = ValidationError::DanglingCallee {
+            caller: "a".into(),
+            callee: "b".into(),
+        };
+        assert!(e.to_string().contains("`a`"));
+        assert!(e.to_string().contains("`b`"));
+    }
+}

@@ -1,0 +1,52 @@
+//! Criterion bench: end-to-end measured runs per instrumentation variant
+//! (Table II at reduced scale).
+
+use capi_bench::{measure, setup_openfoam, Variant};
+use capi_dyncapi::ToolChoice;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_overhead(c: &mut Criterion) {
+    let setup = setup_openfoam(6_000);
+    let mut group = c.benchmark_group("overhead-openfoam6k");
+    group.sample_size(10);
+    group.bench_function("vanilla", |b| {
+        b.iter(|| measure(&setup, "vanilla", &Variant::Vanilla, ToolChoice::None, 2))
+    });
+    group.bench_function("xray-inactive", |b| {
+        b.iter(|| {
+            measure(
+                &setup,
+                "inactive",
+                &Variant::XrayInactive,
+                ToolChoice::None,
+                2,
+            )
+        })
+    });
+    group.bench_function("xray-full-talp", |b| {
+        b.iter(|| {
+            measure(
+                &setup,
+                "full",
+                &Variant::XrayFull,
+                ToolChoice::Talp(Default::default()),
+                2,
+            )
+        })
+    });
+    group.bench_function("xray-full-scorep", |b| {
+        b.iter(|| {
+            measure(
+                &setup,
+                "full",
+                &Variant::XrayFull,
+                ToolChoice::Scorep(Default::default()),
+                2,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

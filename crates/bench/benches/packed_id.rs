@@ -1,0 +1,52 @@
+//! Criterion bench: packed object/function IDs (paper Fig. 4) vs a
+//! two-word `(u8, u32)` pair — the ablation justifying the packed layout.
+
+use capi_xray::PackedId;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_packed_id(c: &mut Criterion) {
+    let ids: Vec<u32> = (0..4096u32)
+        .map(|i| PackedId::pack((i % 250) as u8, i * 37 % (1 << 24)).unwrap().raw())
+        .collect();
+    let pairs: Vec<(u8, u32)> = ids
+        .iter()
+        .map(|&r| {
+            let id = PackedId::from_raw(r);
+            (id.object(), id.function())
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("packed-id");
+    group.bench_function("unpack-dispatch", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &raw in &ids {
+                let id = PackedId::from_raw(black_box(raw));
+                acc += id.object() as u64 + id.function() as u64;
+            }
+            acc
+        })
+    });
+    group.bench_function("two-word-dispatch", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &(o, f) in &pairs {
+                acc += black_box(o) as u64 + black_box(f) as u64;
+            }
+            acc
+        })
+    });
+    group.bench_function("pack", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..4096u32 {
+                acc += PackedId::pack((i % 250) as u8, i % (1 << 24)).unwrap().raw() as u64;
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_packed_id);
+criterion_main!(benches);

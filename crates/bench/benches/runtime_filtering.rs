@@ -1,0 +1,58 @@
+//! Criterion bench: the paper's §II-B motivation — Score-P style
+//! *runtime filtering* (probes stay, filter checked per event) vs CaPI's
+//! patch-time selection (unselected probes never fire).
+
+use capi_bench::{measure, session_for, setup_openfoam, Variant};
+use capi_dyncapi::ToolChoice;
+use capi_scorep::FilterFile;
+use capi_workloads::PAPER_SPECS;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_runtime_filtering(c: &mut Criterion) {
+    let setup = setup_openfoam(6_000);
+    let kernels_ic = setup
+        .workflow
+        .select_ic(PAPER_SPECS[2].source)
+        .expect("kernels IC")
+        .ic;
+
+    let mut group = c.benchmark_group("runtime-filtering");
+    group.sample_size(10);
+
+    // Patch-time selection: only the IC's sleds are active.
+    group.bench_function("patch-time-selection", |b| {
+        b.iter(|| {
+            measure(
+                &setup,
+                "ic",
+                &Variant::Ic(kernels_ic.clone()),
+                ToolChoice::Scorep(Default::default()),
+                2,
+            )
+        })
+    });
+
+    // Runtime filtering: all sleds active; Score-P discards per event.
+    group.bench_function("runtime-filtering", |b| {
+        b.iter(|| {
+            let session = session_for(
+                &setup,
+                &Variant::XrayFull,
+                ToolChoice::Scorep(Default::default()),
+                2,
+            );
+            let filter = FilterFile::include_only(kernels_ic.names());
+            session
+                .scorep
+                .as_ref()
+                .expect("scorep configured")
+                .set_runtime_filter(filter);
+            session.run().expect("runs")
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_runtime_filtering);
+criterion_main!(benches);

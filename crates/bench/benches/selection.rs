@@ -1,0 +1,39 @@
+//! Criterion bench: selection-pipeline wall time (Table I's first column).
+
+use capi::select;
+use capi_spec::ModuleRegistry;
+use capi_workloads::{lulesh, openfoam, LuleshParams, OpenFoamParams, PAPER_SPECS};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_selection(c: &mut Criterion) {
+    let modules = ModuleRegistry::with_builtins();
+    let lulesh_graph =
+        capi_metacg::whole_program_callgraph(&lulesh(&LuleshParams::default()));
+    let openfoam_graph = capi_metacg::whole_program_callgraph(&openfoam(&OpenFoamParams {
+        scale: 20_000,
+        ..Default::default()
+    }));
+
+    let mut group = c.benchmark_group("selection");
+    group.sample_size(10);
+    for spec in PAPER_SPECS {
+        group.bench_with_input(
+            BenchmarkId::new("lulesh", spec.name),
+            &spec,
+            |b, spec| {
+                b.iter(|| select(spec.source, &lulesh_graph, &modules).expect("selects"));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("openfoam20k", spec.name),
+            &spec,
+            |b, spec| {
+                b.iter(|| select(spec.source, &openfoam_graph, &modules).expect("selects"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection);
+criterion_main!(benches);

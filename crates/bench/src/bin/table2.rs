@@ -1,0 +1,134 @@
+//! Regenerates **Table II — instrumentation overhead** (paper §VI-C)
+//! plus the §VI-B patching/measurement observations.
+//!
+//! For each workload: `vanilla`, `xray inactive`, then per measurement
+//! tool (TALP, Score-P): `xray full` and the four CaPI ICs. Values are
+//! virtual milliseconds, directly comparable to the paper's seconds
+//! (1 virtual ms ≈ 1 paper s, see EXPERIMENTS.md).
+//!
+//! Environment: `CAPI_OF_SCALE` (default 60,000), `CAPI_RANKS`
+//! (default 8).
+
+use capi_bench::{
+    fmt_init, fmt_paper_seconds, measure, openfoam_scale_from_env, paper_ics, ranks_from_env,
+    session_for, setup_lulesh, setup_openfoam, OverheadRow, Variant, WorkloadSetup,
+};
+use capi_dyncapi::ToolChoice;
+
+fn tool_rows(setup: &WorkloadSetup, tool_name: &str, ranks: u32) -> Vec<OverheadRow> {
+    let tool = |name: &str| -> ToolChoice {
+        match name {
+            "TALP" => ToolChoice::Talp(Default::default()),
+            _ => ToolChoice::Scorep(Default::default()),
+        }
+    };
+    let mut rows = Vec::new();
+    rows.push(measure(
+        setup,
+        "xray full",
+        &Variant::XrayFull,
+        tool(tool_name),
+        ranks,
+    ));
+    for (name, outcome) in paper_ics(setup) {
+        rows.push(measure(
+            setup,
+            name,
+            &Variant::Ic(outcome.ic),
+            tool(tool_name),
+            ranks,
+        ));
+    }
+    rows
+}
+
+fn print_rows(label: &str, rows: &[OverheadRow]) {
+    println!("{label}");
+    for r in rows {
+        println!(
+            "  {:<15} Tinit {:>8}  Ttotal {:>9}  events {:>12}",
+            r.label,
+            fmt_init(r.init_ns),
+            fmt_paper_seconds(r.total_ns),
+            r.events
+        );
+    }
+}
+
+fn anomalies(setup: &WorkloadSetup, ranks: u32) {
+    // §VI-B: run the mpi IC under TALP and report the observations.
+    let (_, mpi_outcome) = paper_ics(setup).into_iter().next().expect("mpi spec first");
+    let session = session_for(
+        setup,
+        &Variant::Ic(mpi_outcome.ic),
+        ToolChoice::Talp(Default::default()),
+        ranks,
+    );
+    let _ = session.run().expect("run succeeds");
+    println!("\n§VI-B observations for {} (mpi IC, TALP):", setup.name);
+    println!(
+        "  patchable DSOs:                   {}",
+        session.report.dsos
+    );
+    println!(
+        "  unresolvable hidden functions:    {} (of which static initializers: {})",
+        session.report.symres.unresolved_hidden, session.report.symres.unresolved_static_init
+    );
+    println!(
+        "  IC entries missing from binary:   {} (inlined away)",
+        session.report.selected_missing.len()
+    );
+    if let Some(adapter) = &session.talp_adapter {
+        let stats = adapter.stats();
+        println!(
+            "  regions failing pre-MPI_Init:     {} (paper: 15 of 16,956)",
+            stats.regions_failed_pre_init
+        );
+        println!(
+            "  unique failed region entries:     {} (paper: 24, region-table pressure)",
+            stats.regions_failed_table
+        );
+        println!(
+            "  registered regions:               {}",
+            stats.regions_registered
+        );
+    }
+}
+
+fn run_workload(setup: &WorkloadSetup, ranks: u32) {
+    println!("==== {} ({} ranks) ====", setup.name, ranks);
+    let vanilla = measure(setup, "vanilla", &Variant::Vanilla, ToolChoice::None, ranks);
+    let inactive = measure(
+        setup,
+        "xray inactive",
+        &Variant::XrayInactive,
+        ToolChoice::None,
+        ranks,
+    );
+    print_rows("baseline", &[vanilla.clone(), inactive]);
+    for tool in ["TALP", "Score-P"] {
+        let rows = tool_rows(setup, tool, ranks);
+        print_rows(tool, &rows);
+        // Overhead factors vs vanilla, the paper's headline comparison.
+        for r in &rows {
+            let factor = r.total_ns as f64 / vanilla.total_ns as f64;
+            println!("    {:<15} x{:.2}", r.label, factor);
+        }
+    }
+    anomalies(setup, ranks);
+    println!();
+}
+
+fn main() {
+    let ranks = ranks_from_env();
+    println!("TABLE II — INSTRUMENTATION OVERHEAD (virtual ms ≈ paper s)\n");
+    let lulesh = setup_lulesh();
+    run_workload(&lulesh, ranks);
+    let openfoam = setup_openfoam(openfoam_scale_from_env());
+    run_workload(&openfoam, ranks);
+    println!("paper reference:");
+    println!("  lulesh:   vanilla 34.01 | TALP full 56.89 | Score-P full 60.62 | filtered ≈ vanilla");
+    println!("  openfoam: vanilla 45.30 | TALP full 170.53 (x3.76) | Score-P full 305.34 (x6.7)");
+    println!("            TALP mpi 90.91 / coarse 81.06 | Score-P mpi 72.79 / coarse 71.86");
+    println!("            kernels ≈ 53 for both tools");
+}

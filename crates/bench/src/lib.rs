@@ -1,0 +1,214 @@
+//! Shared harness for the benchmark binaries and Criterion benches.
+//!
+//! Regenerates the paper's evaluation artifacts:
+//!
+//! * `table1` — Table I (selection results),
+//! * `table2` — Table II (instrumentation overhead) plus the §VI-B
+//!   patching/measurement observations,
+//! * `turnaround` — the §VII-A static-vs-dynamic turnaround comparison,
+//! * `figures` — Fig. 4 (packed-ID layout) and workflow statistics.
+//!
+//! Time scale: 1 virtual millisecond ≈ 1 paper second (see
+//! EXPERIMENTS.md). Tables print virtual milliseconds so the columns are
+//! directly comparable with the paper's seconds.
+
+use capi::workflow::IcOutcome;
+use capi::{InstrumentationConfig, Workflow};
+use capi_dyncapi::{startup, DynCapiConfig, Session, ToolChoice};
+use capi_objmodel::CompileOptions;
+use capi_scorep::FilterFile;
+use capi_workloads::{lulesh, openfoam, LuleshParams, OpenFoamParams, PAPER_SPECS};
+use capi_xray::PassOptions;
+
+/// A prepared workload: program + call graph + compiled binary.
+pub struct WorkloadSetup {
+    /// Display name (`lulesh` / `openfoam`).
+    pub name: &'static str,
+    /// The workflow bundle (program, graph, binary).
+    pub workflow: Workflow,
+}
+
+/// Builds the LULESH setup.
+pub fn setup_lulesh() -> WorkloadSetup {
+    let program = lulesh(&LuleshParams::default());
+    WorkloadSetup {
+        name: "lulesh",
+        workflow: Workflow::analyze(program, CompileOptions::o3()).expect("lulesh compiles"),
+    }
+}
+
+/// Builds the OpenFOAM setup at the given scale (paper: 410,666 nodes;
+/// default here: 60,000).
+pub fn setup_openfoam(scale: usize) -> WorkloadSetup {
+    let program = openfoam(&OpenFoamParams {
+        scale,
+        ..Default::default()
+    });
+    WorkloadSetup {
+        name: "openfoam",
+        workflow: Workflow::analyze(program, CompileOptions::o2()).expect("openfoam compiles"),
+    }
+}
+
+/// OpenFOAM scale taken from `CAPI_OF_SCALE` (default 60,000).
+pub fn openfoam_scale_from_env() -> usize {
+    std::env::var("CAPI_OF_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(60_000)
+}
+
+/// Rank count taken from `CAPI_RANKS` (default 8).
+pub fn ranks_from_env() -> u32 {
+    std::env::var("CAPI_RANKS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8)
+}
+
+/// Runs all four paper specs against a workload, returning
+/// `(spec name, IcOutcome)` per row of Table I.
+pub fn paper_ics(setup: &WorkloadSetup) -> Vec<(&'static str, IcOutcome)> {
+    PAPER_SPECS
+        .iter()
+        .map(|spec| {
+            let outcome = setup
+                .workflow
+                .select_ic(spec.source)
+                .unwrap_or_else(|e| panic!("{}/{}: {e}", setup.name, spec.name));
+            (spec.name, outcome)
+        })
+        .collect()
+}
+
+/// An instrumentation variant of Table II.
+#[derive(Clone, Debug)]
+pub enum Variant {
+    /// Plain Clang build: no sleds at all.
+    Vanilla,
+    /// XRay build, nothing patched, no tool.
+    XrayInactive,
+    /// Everything patched.
+    XrayFull,
+    /// A CaPI IC.
+    Ic(InstrumentationConfig),
+}
+
+/// One measured cell pair of Table II.
+#[derive(Clone, Debug)]
+pub struct OverheadRow {
+    /// Variant label.
+    pub label: String,
+    /// `T_init` in virtual ns (None for vanilla/inactive: no patching).
+    pub init_ns: Option<u64>,
+    /// `T_total` in virtual ns.
+    pub total_ns: u64,
+    /// Instrumentation events dispatched.
+    pub events: u64,
+}
+
+/// Builds a DynCaPI session for a variant.
+pub fn session_for(
+    setup: &WorkloadSetup,
+    variant: &Variant,
+    tool: ToolChoice,
+    ranks: u32,
+) -> Session {
+    let config = match variant {
+        Variant::Vanilla => DynCapiConfig {
+            tool: ToolChoice::None,
+            ic: Some(FilterFile::include_only([])),
+            pass: PassOptions {
+                instruction_threshold: u32::MAX,
+                ignore_loops: true,
+                ..PassOptions::default()
+            },
+            ranks,
+            ..Default::default()
+        },
+        Variant::XrayInactive => DynCapiConfig {
+            tool: ToolChoice::None,
+            ic: Some(FilterFile::include_only([])),
+            pass: PassOptions::instrument_all(),
+            ranks,
+            ..Default::default()
+        },
+        Variant::XrayFull => DynCapiConfig {
+            tool,
+            ic: None,
+            pass: PassOptions::instrument_all(),
+            ranks,
+            ..Default::default()
+        },
+        Variant::Ic(ic) => DynCapiConfig {
+            tool,
+            ic: Some(ic.to_scorep_filter()),
+            pass: PassOptions::instrument_all(),
+            ranks,
+            ..Default::default()
+        },
+    };
+    startup(&setup.workflow.binary, config).expect("startup succeeds")
+}
+
+/// Runs one variant and returns its Table II row.
+pub fn measure(
+    setup: &WorkloadSetup,
+    label: &str,
+    variant: &Variant,
+    tool: ToolChoice,
+    ranks: u32,
+) -> OverheadRow {
+    let session = session_for(setup, variant, tool, ranks);
+    let out = session.run().expect("run succeeds");
+    let init = match variant {
+        Variant::Vanilla | Variant::XrayInactive => None,
+        _ => Some(out.init_ns),
+    };
+    OverheadRow {
+        label: label.to_string(),
+        init_ns: init,
+        total_ns: match init {
+            Some(i) => i + out.run.total_ns,
+            None => out.run.total_ns,
+        },
+        events: out.run.events,
+    }
+}
+
+/// Formats virtual ns as "paper seconds" (1 virtual ms ≈ 1 paper s).
+pub fn fmt_paper_seconds(ns: u64) -> String {
+    format!("{:.2}", ns as f64 / 1e6)
+}
+
+/// Formats an optional init value.
+pub fn fmt_init(init: Option<u64>) -> String {
+    match init {
+        Some(ns) => fmt_paper_seconds(ns),
+        None => "-".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_smoke_small_openfoam() {
+        let setup = setup_openfoam(6_000);
+        let ics = paper_ics(&setup);
+        assert_eq!(ics.len(), 4);
+        // mpi selects more than kernels, coarse never selects more.
+        let get = |name: &str| {
+            ics.iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, o)| o.ic.len())
+                .unwrap()
+        };
+        assert!(get("mpi") >= get("mpi coarse"));
+        assert!(get("kernels") >= get("kernels coarse"));
+        let row = measure(&setup, "vanilla", &Variant::Vanilla, ToolChoice::None, 2);
+        assert!(row.total_ns > 0);
+        assert_eq!(row.events, 0);
+    }
+}

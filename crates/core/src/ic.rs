@@ -1,0 +1,194 @@
+//! The instrumentation configuration (IC) artifact.
+//!
+//! "Subsequent to the evaluation of the whole pipeline, the resulting IC
+//! is written out as a filter file that is compatible with the format
+//! used by Score-P" (paper §III-A). Besides that canonical format, a
+//! JSON form and a plain name list are provided, plus the paper's
+//! suggested future extension (§VI-B(a)): embedding resolved function
+//! IDs directly in the IC so hidden-symbol resolution can be skipped.
+
+use capi_metacg::{CallGraph, NodeSet};
+use capi_scorep::FilterFile;
+use serde_json::{json, Value};
+use std::collections::BTreeSet;
+
+/// An instrumentation configuration: the set of function names to
+/// instrument.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct InstrumentationConfig {
+    names: BTreeSet<String>,
+    /// Optional packed `(object, function)` IDs, the paper's suggested
+    /// future extension for hidden-symbol-proof ICs.
+    ids: Vec<u32>,
+}
+
+impl InstrumentationConfig {
+    /// Builds an IC from a selection over a call graph.
+    pub fn from_selection(graph: &CallGraph, set: &NodeSet) -> Self {
+        Self {
+            names: set
+                .iter()
+                .map(|id| graph.node(id).name.clone())
+                .collect(),
+            ids: Vec::new(),
+        }
+    }
+
+    /// Builds an IC from explicit names.
+    pub fn from_names<I: IntoIterator<Item = S>, S: Into<String>>(names: I) -> Self {
+        Self {
+            names: names.into_iter().map(Into::into).collect(),
+            ids: Vec::new(),
+        }
+    }
+
+    /// Number of functions.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the IC selects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, name: &str) -> bool {
+        self.names.contains(name)
+    }
+
+    /// Iterates over names (sorted).
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.names.iter().map(String::as_str)
+    }
+
+    /// Inserts a function.
+    pub fn insert(&mut self, name: impl Into<String>) -> bool {
+        self.names.insert(name.into())
+    }
+
+    /// Removes a function (the Fig. 1 "Adjust" step).
+    pub fn remove(&mut self, name: &str) -> bool {
+        self.names.remove(name)
+    }
+
+    /// Attaches resolved packed IDs (future-development extension).
+    pub fn set_packed_ids(&mut self, ids: Vec<u32>) {
+        self.ids = ids;
+    }
+
+    /// The attached packed IDs.
+    pub fn packed_ids(&self) -> &[u32] {
+        &self.ids
+    }
+
+    /// Renders the Score-P-compatible filter file.
+    pub fn to_scorep_filter(&self) -> FilterFile {
+        FilterFile::include_only(self.names())
+    }
+
+    /// Parses an IC back from a Score-P filter file (literal includes).
+    pub fn from_scorep_filter(filter: &FilterFile) -> Self {
+        Self::from_names(filter.literal_includes())
+    }
+
+    /// Plain text: one name per line.
+    pub fn to_plain_text(&self) -> String {
+        let mut out = String::new();
+        for n in &self.names {
+            out.push_str(n);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the plain-text form.
+    pub fn from_plain_text(text: &str) -> Self {
+        Self::from_names(
+            text.lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty() && !l.starts_with('#')),
+        )
+    }
+
+    /// JSON form (for tooling).
+    pub fn to_json(&self) -> Value {
+        json!({
+            "version": 1,
+            "functions": self.names.iter().collect::<Vec<_>>(),
+            "packedIds": self.ids,
+        })
+    }
+
+    /// Parses the JSON form.
+    pub fn from_json(doc: &Value) -> Option<Self> {
+        let names = doc
+            .get("functions")?
+            .as_array()?
+            .iter()
+            .filter_map(Value::as_str)
+            .map(String::from)
+            .collect();
+        let ids = doc
+            .get("packedIds")
+            .and_then(Value::as_array)
+            .map(|a| a.iter().filter_map(Value::as_u64).map(|v| v as u32).collect())
+            .unwrap_or_default();
+        Some(Self { names, ids })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ic() -> InstrumentationConfig {
+        InstrumentationConfig::from_names(["solve", "Amul", "main"])
+    }
+
+    #[test]
+    fn scorep_filter_round_trip() {
+        let f = ic().to_scorep_filter();
+        assert!(f.is_included("solve"));
+        assert!(!f.is_included("noise"));
+        let back = InstrumentationConfig::from_scorep_filter(&f);
+        assert_eq!(back, ic());
+        // And through text.
+        let f2 = FilterFile::parse(&f.to_text()).unwrap();
+        assert_eq!(InstrumentationConfig::from_scorep_filter(&f2), ic());
+    }
+
+    #[test]
+    fn plain_text_round_trip() {
+        let text = ic().to_plain_text();
+        assert_eq!(InstrumentationConfig::from_plain_text(&text), ic());
+        // Comments and blanks tolerated.
+        let with_noise = format!("# header\n\n{text}");
+        assert_eq!(InstrumentationConfig::from_plain_text(&with_noise), ic());
+    }
+
+    #[test]
+    fn json_round_trip_with_ids() {
+        let mut c = ic();
+        c.set_packed_ids(vec![0x0100_0007, 42]);
+        let doc = c.to_json();
+        let back = InstrumentationConfig::from_json(&doc).unwrap();
+        assert_eq!(back, c);
+        assert_eq!(back.packed_ids(), &[0x0100_0007, 42]);
+    }
+
+    #[test]
+    fn adjust_operations() {
+        let mut c = ic();
+        assert!(c.remove("Amul"));
+        assert!(!c.contains("Amul"));
+        assert!(c.insert("newKernel"));
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn names_are_sorted_and_deduplicated() {
+        let c = InstrumentationConfig::from_names(["b", "a", "b"]);
+        assert_eq!(c.names().collect::<Vec<_>>(), vec!["a", "b"]);
+    }
+}

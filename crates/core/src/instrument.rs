@@ -1,0 +1,167 @@
+//! The two instrumentation modes (paper Fig. 3).
+//!
+//! * **Static** — the pre-existing CaPI method: measurement hooks are
+//!   compiled into exactly the selected functions. Changing the IC means
+//!   recompiling the whole application (§VII-A: ~50 minutes for
+//!   OpenFOAM).
+//! * **Dynamic** — the paper's contribution: every function carries
+//!   dormant XRay sleds; DynCaPI patches the selected ones at startup.
+//!   Changing the IC costs seconds of patch time.
+
+use crate::ic::InstrumentationConfig;
+use capi_appmodel::SourceProgram;
+use capi_dyncapi::{startup, DynCapiConfig, DynCapiError, Session, ToolChoice};
+use capi_objmodel::{compile, estimate_compile_time, Binary, CompileError, CompileOptions};
+use capi_xray::PassOptions;
+
+/// A statically instrumented build.
+pub struct StaticBuild {
+    /// The measurement session (hooks active in all compiled-in sleds).
+    pub session: Session,
+    /// Virtual cost of the (re)compilation that produced this build.
+    pub recompile_ns: u64,
+}
+
+/// Builds and "runs" a *statically instrumented* binary: only the IC's
+/// functions receive hooks at compile time, and every hook is active.
+///
+/// The returned [`StaticBuild::recompile_ns`] is the virtual price paid
+/// for this IC — the quantity the dynamic workflow eliminates.
+pub fn static_session(
+    program: &SourceProgram,
+    ic: &InstrumentationConfig,
+    compile_opts: &CompileOptions,
+    tool: ToolChoice,
+    ranks: u32,
+) -> Result<StaticBuild, StaticBuildError> {
+    let binary = compile(program, compile_opts)?;
+    let recompile_ns = estimate_compile_time(program, compile_opts);
+    // Static instrumentation = sleds only where selected; patch all.
+    let pass = PassOptions {
+        instruction_threshold: u32::MAX,
+        ignore_loops: true,
+        always_instrument: ic.names().map(String::from).collect(),
+        never_instrument: Default::default(),
+    };
+    let config = DynCapiConfig {
+        tool,
+        ic: None, // everything prepared is patched
+        pass,
+        ranks,
+        ..Default::default()
+    };
+    let session = startup(&binary, config)?;
+    Ok(StaticBuild {
+        session,
+        recompile_ns,
+    })
+}
+
+/// Errors from the static build path.
+#[derive(Clone, Debug)]
+pub enum StaticBuildError {
+    /// Compilation failed.
+    Compile(CompileError),
+    /// DynCaPI startup failed.
+    Startup(DynCapiError),
+}
+
+impl std::fmt::Display for StaticBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StaticBuildError::Compile(e) => write!(f, "compile: {e}"),
+            StaticBuildError::Startup(e) => write!(f, "startup: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StaticBuildError {}
+
+impl From<CompileError> for StaticBuildError {
+    fn from(e: CompileError) -> Self {
+        StaticBuildError::Compile(e)
+    }
+}
+
+impl From<DynCapiError> for StaticBuildError {
+    fn from(e: DynCapiError) -> Self {
+        StaticBuildError::Startup(e)
+    }
+}
+
+/// Creates a *dynamically instrumented* session from an already-compiled
+/// binary: all functions carry sleds; DynCaPI patches the IC at startup.
+/// No recompilation is involved — this is the paper's contribution.
+pub fn dynamic_session(
+    binary: &Binary,
+    ic: &InstrumentationConfig,
+    tool: ToolChoice,
+    ranks: u32,
+) -> Result<Session, DynCapiError> {
+    let config = DynCapiConfig {
+        tool,
+        ic: Some(ic.to_scorep_filter()),
+        ic_packed_ids: ic.packed_ids().to_vec(),
+        pass: PassOptions::instrument_all(),
+        ranks,
+        ..Default::default()
+    };
+    startup(binary, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capi_appmodel::{LinkTarget, MpiCall, ProgramBuilder};
+
+    fn program() -> SourceProgram {
+        let mut b = ProgramBuilder::new("app");
+        b.unit("m.cc", LinkTarget::Executable);
+        b.function("main")
+            .main()
+            .statements(50)
+            .instructions(300)
+            .calls("MPI_Init", 1)
+            .calls("kernel", 3)
+            .calls("helper", 3)
+            .calls("MPI_Finalize", 1)
+            .finish();
+        b.function("kernel").statements(80).instructions(600).cost(5_000).finish();
+        b.function("helper").statements(70).instructions(500).cost(1_000).finish();
+        b.function("MPI_Init").statements(1).instructions(8).cost(0).mpi(MpiCall::Init).finish();
+        b.function("MPI_Finalize").statements(1).instructions(8).cost(0).mpi(MpiCall::Finalize).finish();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn static_mode_instruments_only_selected() {
+        let p = program();
+        let ic = InstrumentationConfig::from_names(["kernel"]);
+        let build = static_session(&p, &ic, &CompileOptions::o2(), ToolChoice::None, 2).unwrap();
+        assert_eq!(build.session.report.instrumented_functions, 1);
+        assert_eq!(build.session.report.patched_functions, 1);
+        assert!(build.recompile_ns > 0);
+    }
+
+    #[test]
+    fn dynamic_mode_prepares_all_patches_selected() {
+        let p = program();
+        let binary = compile(&p, &CompileOptions::o2()).unwrap();
+        let ic = InstrumentationConfig::from_names(["kernel"]);
+        let session = dynamic_session(&binary, &ic, ToolChoice::None, 2).unwrap();
+        assert!(session.report.instrumented_functions > 1);
+        assert_eq!(session.report.patched_functions, 1);
+    }
+
+    #[test]
+    fn both_modes_dispatch_same_events_for_same_ic() {
+        let p = program();
+        let ic = InstrumentationConfig::from_names(["kernel"]);
+        let stat = static_session(&p, &ic, &CompileOptions::o2(), ToolChoice::None, 2).unwrap();
+        let binary = compile(&p, &CompileOptions::o2()).unwrap();
+        let dyn_ = dynamic_session(&binary, &ic, ToolChoice::None, 2).unwrap();
+        let r1 = stat.session.run().unwrap();
+        let r2 = dyn_.run().unwrap();
+        assert_eq!(r1.run.events, r2.run.events);
+    }
+}

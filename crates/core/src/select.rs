@@ -1,0 +1,69 @@
+//! Timed selection-pipeline execution (Table I's "Time" column).
+
+use capi_metacg::CallGraph;
+use capi_spec::{ModuleRegistry, Selection, SpecError};
+use std::time::{Duration, Instant};
+
+/// A selection run with its wall-clock duration.
+#[derive(Clone, Debug)]
+pub struct SelectionOutcome {
+    /// The pipeline result.
+    pub selection: Selection,
+    /// Wall-clock duration of parsing + evaluation.
+    pub duration: Duration,
+}
+
+impl SelectionOutcome {
+    /// Number of selected functions.
+    pub fn count(&self) -> usize {
+        self.selection.set.count()
+    }
+}
+
+/// Runs `spec_source` against `graph`, measuring wall time.
+pub fn select(
+    spec_source: &str,
+    graph: &CallGraph,
+    modules: &ModuleRegistry,
+) -> Result<SelectionOutcome, SpecError> {
+    let start = Instant::now();
+    let selection = capi_spec::run_spec(spec_source, graph, modules)?;
+    Ok(SelectionOutcome {
+        selection,
+        duration: start.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capi_appmodel::{LinkTarget, ProgramBuilder};
+    use capi_metacg::whole_program_callgraph;
+
+    fn graph() -> CallGraph {
+        let mut b = ProgramBuilder::new("t");
+        b.unit("t.cc", LinkTarget::Executable);
+        b.function("main").main().calls("k", 1).finish();
+        b.function("k").flops(100).loop_depth(1).finish();
+        whole_program_callgraph(&b.build().unwrap())
+    }
+
+    #[test]
+    fn select_times_and_counts() {
+        let g = graph();
+        let out = select(
+            r#"flops(">=", 10, %%)"#,
+            &g,
+            &ModuleRegistry::with_builtins(),
+        )
+        .unwrap();
+        assert_eq!(out.count(), 1);
+        assert!(out.duration.as_nanos() > 0);
+    }
+
+    #[test]
+    fn spec_errors_propagate() {
+        let g = graph();
+        assert!(select("nonsense(", &g, &ModuleRegistry::with_builtins()).is_err());
+    }
+}

@@ -1,0 +1,245 @@
+//! The end-to-end refinement workflow (paper Fig. 1 + Fig. 3).
+//!
+//! A [`Workflow`] owns the analysis artifacts (program → MetaCG graph →
+//! compiled binary) and drives Select → Instrument → Measure → Adjust
+//! iterations, accounting the *turnaround time* of each iteration in
+//! both instrumentation modes. This is the quantity §VII-A argues about:
+//! static instrumentation pays a full recompilation per adjustment
+//! (~50 min for OpenFOAM), dynamic instrumentation pays only startup
+//! patching (seconds).
+
+use crate::ic::InstrumentationConfig;
+use crate::inlining::{compensate_inlining, CompensationReport};
+use crate::instrument::dynamic_session;
+use crate::select::{select, SelectionOutcome};
+use capi_appmodel::SourceProgram;
+use capi_dyncapi::{DynCapiError, SessionRun, ToolChoice};
+use capi_metacg::{whole_program_callgraph, CallGraph};
+use capi_objmodel::{compile, estimate_compile_time, Binary, CompileError, CompileOptions};
+use capi_spec::{ModuleRegistry, SpecError};
+use std::time::Duration;
+
+/// Result of turning a selection into an IC (with post-processing).
+#[derive(Clone, Debug)]
+pub struct IcOutcome {
+    /// The final instrumentation configuration.
+    pub ic: InstrumentationConfig,
+    /// Selection timing.
+    pub duration: Duration,
+    /// Inlining-compensation accounting (Table I columns).
+    pub compensation: CompensationReport,
+}
+
+/// Result of one measurement iteration.
+#[derive(Clone, Debug)]
+pub struct MeasureOutcome {
+    /// The session run (T_init, T_total, events).
+    pub run: SessionRun,
+    /// Virtual turnaround cost of *applying* this IC dynamically
+    /// (= startup/patching time; no recompilation).
+    pub dynamic_turnaround_ns: u64,
+    /// Virtual turnaround cost the static workflow would have paid
+    /// (full recompilation + startup).
+    pub static_turnaround_ns: u64,
+}
+
+/// The CaPI workflow over one application.
+pub struct Workflow {
+    /// The application model.
+    pub program: SourceProgram,
+    /// The whole-program call graph (MetaCG phase).
+    pub graph: CallGraph,
+    /// The compiled binary (with XRay-ready images).
+    pub binary: Binary,
+    /// Module registry for spec imports.
+    pub modules: ModuleRegistry,
+    compile_opts: CompileOptions,
+}
+
+/// Workflow errors.
+#[derive(Debug)]
+pub enum WorkflowError {
+    /// Compilation failed.
+    Compile(CompileError),
+    /// Spec processing failed.
+    Spec(SpecError),
+    /// Instrumentation/measurement failed.
+    DynCapi(DynCapiError),
+}
+
+impl std::fmt::Display for WorkflowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkflowError::Compile(e) => write!(f, "compile: {e}"),
+            WorkflowError::Spec(e) => write!(f, "spec: {e}"),
+            WorkflowError::DynCapi(e) => write!(f, "dyncapi: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkflowError {}
+
+impl From<CompileError> for WorkflowError {
+    fn from(e: CompileError) -> Self {
+        WorkflowError::Compile(e)
+    }
+}
+impl From<SpecError> for WorkflowError {
+    fn from(e: SpecError) -> Self {
+        WorkflowError::Spec(e)
+    }
+}
+impl From<DynCapiError> for WorkflowError {
+    fn from(e: DynCapiError) -> Self {
+        WorkflowError::DynCapi(e)
+    }
+}
+
+impl Workflow {
+    /// Runs the preparation phase: MetaCG call-graph construction and
+    /// one (single!) compilation of the target.
+    pub fn analyze(program: SourceProgram, compile_opts: CompileOptions) -> Result<Self, WorkflowError> {
+        let graph = whole_program_callgraph(&program);
+        let binary = compile(&program, &compile_opts)?;
+        Ok(Self {
+            program,
+            graph,
+            binary,
+            modules: ModuleRegistry::with_builtins(),
+            compile_opts,
+        })
+    }
+
+    /// Select: runs a spec against the call graph.
+    pub fn select(&self, spec_source: &str) -> Result<SelectionOutcome, WorkflowError> {
+        Ok(select(spec_source, &self.graph, &self.modules)?)
+    }
+
+    /// Turns a selection into an IC, applying inlining compensation.
+    pub fn make_ic(&self, outcome: &SelectionOutcome) -> IcOutcome {
+        let (set, compensation) =
+            compensate_inlining(&self.graph, &self.binary, &outcome.selection.set);
+        IcOutcome {
+            ic: InstrumentationConfig::from_selection(&self.graph, &set),
+            duration: outcome.duration,
+            compensation,
+        }
+    }
+
+    /// One-call Select + post-process.
+    pub fn select_ic(&self, spec_source: &str) -> Result<IcOutcome, WorkflowError> {
+        let outcome = self.select(spec_source)?;
+        Ok(self.make_ic(&outcome))
+    }
+
+    /// Instrument + Measure with the dynamic (XRay) workflow, reporting
+    /// both turnaround costs for comparison.
+    pub fn measure(
+        &self,
+        ic: &InstrumentationConfig,
+        tool: ToolChoice,
+        ranks: u32,
+    ) -> Result<MeasureOutcome, WorkflowError> {
+        let session = dynamic_session(&self.binary, ic, tool, ranks)?;
+        let run = session.run().map_err(WorkflowError::DynCapi)?;
+        let static_turnaround_ns =
+            estimate_compile_time(&self.program, &self.compile_opts) + run.init_ns;
+        Ok(MeasureOutcome {
+            dynamic_turnaround_ns: run.init_ns,
+            static_turnaround_ns,
+            run,
+        })
+    }
+
+    /// The recompilation estimate alone (what every static-mode
+    /// adjustment costs before the program even starts).
+    pub fn recompile_estimate_ns(&self) -> u64 {
+        estimate_compile_time(&self.program, &self.compile_opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capi_appmodel::{LinkTarget, MpiCall, ProgramBuilder};
+
+    fn program() -> SourceProgram {
+        let mut b = ProgramBuilder::new("app");
+        b.unit("m.cc", LinkTarget::Executable);
+        b.function("main")
+            .main()
+            .statements(60)
+            .instructions(300)
+            .calls("MPI_Init", 1)
+            .calls("step", 4)
+            .calls("MPI_Finalize", 1)
+            .finish();
+        b.function("step")
+            .statements(50)
+            .instructions(400)
+            .cost(500)
+            .calls("kernel", 10)
+            .calls("tiny", 20)
+            .calls("MPI_Allreduce", 1)
+            .finish();
+        b.function("kernel")
+            .statements(90)
+            .instructions(800)
+            .cost(3_000)
+            .flops(200)
+            .loop_depth(2)
+            .finish();
+        // tiny is auto-inlined: selecting it exercises compensation.
+        b.function("tiny").statements(2).flops(32).loop_depth(1).cost(50).finish();
+        b.function("MPI_Init").statements(1).instructions(8).cost(0).mpi(MpiCall::Init).finish();
+        b.function("MPI_Allreduce")
+            .statements(1).instructions(8).cost(0)
+            .mpi(MpiCall::Allreduce { bytes: 16 })
+            .finish();
+        b.function("MPI_Finalize").statements(1).instructions(8).cost(0).mpi(MpiCall::Finalize).finish();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn full_refinement_iteration() {
+        let wf = Workflow::analyze(program(), CompileOptions::o2()).unwrap();
+        // Kernels spec, like the paper's evaluation.
+        let ic1 = wf
+            .select_ic(r#"flops(">=", 10, loopDepth(">=", 1, %%))"#)
+            .unwrap();
+        // tiny was selected but is inlined: removed, caller step added.
+        assert!(ic1.compensation.removed_names.contains(&"tiny".to_string()));
+        assert!(ic1.ic.contains("step"));
+        assert!(ic1.ic.contains("kernel"));
+        assert!(!ic1.ic.contains("tiny"));
+
+        let m1 = wf.measure(&ic1.ic, ToolChoice::None, 2).unwrap();
+        assert!(m1.run.run.events > 0);
+
+        // Adjust: drop `step` (too noisy), re-measure — no recompilation.
+        let mut ic2 = ic1.ic.clone();
+        ic2.remove("step");
+        let m2 = wf.measure(&ic2, ToolChoice::None, 2).unwrap();
+        assert!(m2.run.run.events < m1.run.run.events);
+
+        // The headline claim: dynamic turnaround ≪ static turnaround.
+        assert!(m2.dynamic_turnaround_ns * 10 < m2.static_turnaround_ns);
+    }
+
+    #[test]
+    fn talp_measurement_through_workflow() {
+        let wf = Workflow::analyze(program(), CompileOptions::o2()).unwrap();
+        let ic = wf.select_ic(r#"byName("^kernel$", %%)"#).unwrap();
+        let m = wf.measure(&ic.ic, ToolChoice::Talp(Default::default()), 2).unwrap();
+        assert!(m.run.run.events > 0);
+    }
+
+    #[test]
+    fn selection_stage_counts_exposed() {
+        let wf = Workflow::analyze(program(), CompileOptions::o2()).unwrap();
+        let out = wf
+            .select("a = inlineSpecified(%%)\nb = inSystemHeader(%%)\njoin(%a, %b)")
+            .unwrap();
+        assert_eq!(out.selection.stages.len(), 3);
+    }
+}

@@ -1,0 +1,33 @@
+//! # capi-dyncapi — the DynCaPI runtime library
+//!
+//! The paper's §IV/§V-C runtime component: "During runtime, the DynCaPI
+//! library is responsible for directing the dynamic instrumentation.
+//! Patching is done at startup according to the IC file passed via an
+//! environment variable. DynCaPI also provides an interface between the
+//! XRay events and the measurement tool."
+//!
+//! * [`symres`] — the ID↔name mapping: collect each object's exported
+//!   symbols (`nm`), translate them through the process memory map, and
+//!   cross-check against XRay's `function_address` API. Hidden symbols
+//!   cannot be resolved (1,444 such functions in the paper's OpenFOAM
+//!   case, largely static initializers) and are counted, not patched.
+//! * [`adapters`] — measurement bridges: the generic
+//!   `__cyg_profile_func_{enter,exit}` interface feeding Score-P
+//!   (including the symbol-injection step that fixes DSO resolution),
+//!   and the TALP bridge that lazily registers regions on first entry —
+//!   failing for regions entered before `MPI_Init`, as §VI-B(b) reports.
+//! * [`startup`] — the startup sequence: run the XRay pass over every
+//!   object, register them (PIC trampolines for DSOs), resolve IDs,
+//!   patch exactly the IC's functions, install the tool handler, and
+//!   account every step's virtual cost into `T_init` (Table II).
+
+pub mod adapters;
+pub mod startup;
+pub mod symres;
+
+pub use adapters::{ScorepAdapter, TalpAdapter, TalpAdapterStats};
+pub use startup::{
+    startup, DynCapiConfig, DynCapiError, InitCostModel, Session, SessionRun, StartupReport,
+    ToolChoice,
+};
+pub use symres::{resolve_ids, SymbolResolution, SymresStats};

@@ -1,0 +1,555 @@
+//! The DynCaPI startup sequence and measurement session.
+//!
+//! Reproduces the paper's Fig. 3 runtime column: the application starts,
+//! the XRay runtime resolves sled tables (main executable first, then
+//! each DSO through the xray-dso registration path), DynCaPI reads the
+//! IC, maps function IDs to names, patches exactly the selected
+//! functions, and installs the measurement adapter. Every step
+//! contributes its virtual cost to `T_init` — the initialization column
+//! of Table II.
+
+use crate::adapters::{ScorepAdapter, TalpAdapter};
+use crate::symres::{resolve_ids, SymbolResolution, SymresStats};
+use capi_exec::{Engine, ExecError, OverheadModel, RunReport};
+use capi_mpisim::{CostModel, World};
+use capi_objmodel::{Binary, LoadError, Process};
+use capi_scorep::{FilterFile, ScorepConfig, ScorepRuntime};
+use capi_talp::{Talp, TalpConfig};
+use capi_xray::{
+    instrument_object, InstrumentedObject, PackedId, PassOptions, TrampolineSet, XRayError,
+    XRayRuntime,
+};
+use std::fmt;
+use std::sync::Arc;
+
+/// Which measurement tool the session drives.
+#[derive(Clone, Debug)]
+pub enum ToolChoice {
+    /// No measurement: patched sleds dispatch into a null handler.
+    None,
+    /// Score-P profiling through the generic address interface plus
+    /// symbol injection.
+    Scorep(ScorepConfig),
+    /// TALP region monitoring.
+    Talp(TalpConfig),
+}
+
+/// Virtual costs of the startup steps (feeds `T_init`).
+#[derive(Clone, Copy, Debug)]
+pub struct InitCostModel {
+    /// Resolving one sled entry at registration.
+    pub per_sled_resolution_ns: u64,
+    /// Rewriting one sled during patching.
+    pub per_sled_patch_ns: u64,
+    /// One `mprotect` call.
+    pub per_mprotect_ns: u64,
+    /// Scanning one symbol during `nm` collection.
+    pub per_symbol_nm_ns: u64,
+    /// Cross-checking one function ID against the symbol map.
+    pub per_fid_map_ns: u64,
+    /// Registering one DSO with the XRay runtime.
+    pub per_dso_registration_ns: u64,
+    /// TALP/DLB shared-memory setup.
+    pub talp_init_ns: u64,
+}
+
+impl Default for InitCostModel {
+    fn default() -> Self {
+        Self {
+            per_sled_resolution_ns: 18,
+            per_sled_patch_ns: 55,
+            per_mprotect_ns: 1_500,
+            per_symbol_nm_ns: 55,
+            per_fid_map_ns: 35,
+            per_dso_registration_ns: 80_000,
+            talp_init_ns: 400_000,
+        }
+    }
+}
+
+/// Full session configuration.
+#[derive(Clone, Debug)]
+pub struct DynCapiConfig {
+    /// Measurement tool.
+    pub tool: ToolChoice,
+    /// The instrumentation configuration. `None` patches everything
+    /// (the paper's `xray full` row).
+    pub ic: Option<FilterFile>,
+    /// Resolved packed `(object, function)` IDs carried in the IC — the
+    /// paper's §VI-B(a) suggested future development: "determining the
+    /// mapping statically and adding the function IDs to the IC file"
+    /// sidesteps hidden-symbol resolution entirely. IDs listed here are
+    /// patched even when their names cannot be resolved.
+    pub ic_packed_ids: Vec<u32>,
+    /// XRay pass options; DynCaPI normally prepares *all* functions
+    /// without filtering (paper §IV).
+    pub pass: PassOptions,
+    /// Startup cost model.
+    pub init_costs: InitCostModel,
+    /// Runtime overhead model for the executor.
+    pub overhead: OverheadModel,
+    /// Number of simulated MPI ranks.
+    pub ranks: u32,
+    /// MPI communication cost model.
+    pub mpi_cost: CostModel,
+}
+
+impl Default for DynCapiConfig {
+    fn default() -> Self {
+        Self {
+            tool: ToolChoice::None,
+            ic: None,
+            ic_packed_ids: Vec::new(),
+            pass: PassOptions::instrument_all(),
+            init_costs: InitCostModel::default(),
+            overhead: OverheadModel::default(),
+            ranks: 8,
+            mpi_cost: CostModel::default(),
+        }
+    }
+}
+
+/// Session errors.
+#[derive(Clone, Debug)]
+pub enum DynCapiError {
+    /// Loading the binary failed.
+    Load(LoadError),
+    /// XRay registration/patching failed.
+    XRay(XRayError),
+    /// The executor failed.
+    Exec(ExecError),
+}
+
+impl fmt::Display for DynCapiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DynCapiError::Load(e) => write!(f, "load: {e}"),
+            DynCapiError::XRay(e) => write!(f, "xray: {e}"),
+            DynCapiError::Exec(e) => write!(f, "exec: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DynCapiError {}
+
+impl From<LoadError> for DynCapiError {
+    fn from(e: LoadError) -> Self {
+        DynCapiError::Load(e)
+    }
+}
+
+impl From<XRayError> for DynCapiError {
+    fn from(e: XRayError) -> Self {
+        DynCapiError::XRay(e)
+    }
+}
+
+impl From<ExecError> for DynCapiError {
+    fn from(e: ExecError) -> Self {
+        DynCapiError::Exec(e)
+    }
+}
+
+/// What startup did (patching report, §VI-B style).
+#[derive(Clone, Debug, Default)]
+pub struct StartupReport {
+    /// Total virtual initialization cost (`T_init`).
+    pub init_ns: u64,
+    /// Sleds across all objects.
+    pub total_sleds: usize,
+    /// Functions with sleds.
+    pub instrumented_functions: usize,
+    /// Functions actually patched.
+    pub patched_functions: usize,
+    /// Sled rewrites performed.
+    pub sleds_patched: u64,
+    /// `mprotect` calls issued while patching.
+    pub mprotect_calls: u64,
+    /// IC entries that matched no symbol in any object — the inlined
+    /// functions inlining compensation exists for.
+    pub selected_missing: Vec<String>,
+    /// Symbol-resolution statistics (hidden-symbol counts).
+    pub symres: SymresStats,
+    /// Number of patchable DSOs.
+    pub dsos: usize,
+}
+
+/// A ready-to-run measurement session.
+pub struct Session {
+    /// The simulated process.
+    pub process: Process,
+    /// The XRay runtime (handler installed, sleds patched).
+    pub runtime: Arc<XRayRuntime>,
+    /// Score-P runtime, when the tool is Score-P.
+    pub scorep: Option<Arc<ScorepRuntime>>,
+    /// TALP instance, when the tool is TALP.
+    pub talp: Option<Arc<Talp>>,
+    /// TALP adapter (for its anomaly stats).
+    pub talp_adapter: Option<Arc<TalpAdapter>>,
+    /// Startup report.
+    pub report: StartupReport,
+    /// Symbol resolution (ID→name).
+    pub symbols: SymbolResolution,
+    config: DynCapiConfig,
+}
+
+/// Runs the full DynCaPI startup over a compiled binary.
+pub fn startup(binary: &Binary, config: DynCapiConfig) -> Result<Session, DynCapiError> {
+    let mut report = StartupReport::default();
+    let mut process = Process::launch_binary(binary)?;
+    let runtime = Arc::new(XRayRuntime::new());
+
+    // XRay pass over every object ("all available functions are prepared
+    // for instrumentation without filtering").
+    let mut instrumented: Vec<(u8, InstrumentedObject)> = Vec::new();
+    let main_inst = instrument_object(process.object(0).unwrap().image.clone(), &config.pass);
+    let main_id = runtime.register_main(
+        main_inst.clone(),
+        process.object(0).unwrap(),
+        TrampolineSet::absolute(),
+    )?;
+    instrumented.push((main_id, main_inst));
+    let dso_indices: Vec<usize> = process.loaded().map(|(i, _)| i).filter(|&i| i != 0).collect();
+    for pi in dso_indices {
+        let lo = process.object(pi).unwrap();
+        let inst = instrument_object(lo.image.clone(), &config.pass);
+        let oid = runtime.register_dso(inst.clone(), lo, pi, TrampolineSet::pic())?;
+        instrumented.push((oid, inst));
+        report.dsos += 1;
+        report.init_ns += config.init_costs.per_dso_registration_ns;
+    }
+
+    report.total_sleds = instrumented.iter().map(|(_, i)| i.sleds.total_sleds()).sum();
+    report.instrumented_functions = instrumented
+        .iter()
+        .map(|(_, i)| i.sleds.num_functions())
+        .sum();
+    report.init_ns += report.total_sleds as u64 * config.init_costs.per_sled_resolution_ns;
+
+    // ID → name resolution (nm + memory map + cross-check).
+    let inst_refs: Vec<(u8, &InstrumentedObject)> =
+        instrumented.iter().map(|(id, i)| (*id, i)).collect();
+    let symbols = resolve_ids(&process, &runtime, &inst_refs);
+    report.init_ns += symbols.stats.symbols_scanned as u64 * config.init_costs.per_symbol_nm_ns;
+    report.init_ns += (symbols.stats.resolved + symbols.stats.unresolved_hidden) as u64
+        * config.init_costs.per_fid_map_ns;
+    report.symres = symbols.stats.clone();
+
+    // Patch according to the IC.
+    let mem_before = process.memory.stats;
+    match &config.ic {
+        None => {
+            // xray full: patch everything, object by object.
+            for (oid, _) in &instrumented {
+                let n = runtime.patch_all(&mut process.memory, *oid)?;
+                report.sleds_patched += n as u64;
+            }
+            report.patched_functions = runtime.patched_functions();
+        }
+        Some(ic) => {
+            for (oid, inst) in &instrumented {
+                let mut fids = Vec::new();
+                for entry in &inst.sleds.entries {
+                    let Ok(id) = PackedId::pack(*oid, entry.fid) else {
+                        continue;
+                    };
+                    // §VI-B(a) future development: IDs resolved statically
+                    // and embedded in the IC are patched directly, hidden
+                    // or not.
+                    if config.ic_packed_ids.contains(&id.raw()) {
+                        fids.push(entry.fid);
+                        continue;
+                    }
+                    // Hidden symbols cannot be checked against the IC and
+                    // are left unpatched (paper §VI-B(a)).
+                    let Some(name) = symbols.name_of(id) else {
+                        continue;
+                    };
+                    if ic.is_included(name) {
+                        fids.push(entry.fid);
+                    }
+                }
+                // One mprotect pair per object, then the selected sleds.
+                let n = runtime.patch_functions(&mut process.memory, *oid, &fids)?;
+                report.sleds_patched += n as u64;
+                report.patched_functions += fids.len();
+            }
+            // IC entries that exist nowhere in the binary: inlined away.
+            for want in ic.literal_includes() {
+                if !binary.has_symbol(want) {
+                    report.selected_missing.push(want.to_string());
+                }
+            }
+        }
+    }
+    let mem_after = process.memory.stats;
+    report.mprotect_calls = mem_after.mprotect_calls - mem_before.mprotect_calls;
+    report.init_ns += report.sleds_patched * config.init_costs.per_sled_patch_ns;
+    report.init_ns += report.mprotect_calls * config.init_costs.per_mprotect_ns;
+
+    // Tool setup + handler installation.
+    let all_ids: Vec<PackedId> = instrumented
+        .iter()
+        .flat_map(|(oid, inst)| {
+            inst.sleds
+                .entries
+                .iter()
+                .filter_map(|e| PackedId::pack(*oid, e.fid).ok())
+        })
+        .collect();
+
+    let mut scorep = None;
+    let mut talp = None;
+    let mut talp_adapter = None;
+    match &config.tool {
+        ToolChoice::None => {}
+        ToolChoice::Scorep(cfg) => {
+            let rt = Arc::new(ScorepRuntime::new(config.ranks, &process, *cfg));
+            // Symbol injection: translate every DSO's exported symbols so
+            // Score-P can resolve shared-object addresses (§V-C1).
+            for (pi, lo) in process.loaded() {
+                if pi == 0 {
+                    continue;
+                }
+                rt.inject_symbols(
+                    lo.image
+                        .symtab
+                        .exported()
+                        .map(|s| (lo.base + s.offset, s.name.clone())),
+                );
+            }
+            report.init_ns += rt.init_cost_ns;
+            let adapter = Arc::new(ScorepAdapter::new(rt.clone(), &runtime, &all_ids));
+            runtime.set_handler(adapter);
+            scorep = Some(rt);
+        }
+        ToolChoice::Talp(cfg) => {
+            let t = Arc::new(Talp::new(config.ranks, cfg.clone()));
+            report.init_ns += config.init_costs.talp_init_ns;
+            let adapter = Arc::new(TalpAdapter::new(t.clone(), symbols.names.clone()));
+            runtime.set_handler(adapter.clone());
+            talp = Some(t);
+            talp_adapter = Some(adapter);
+        }
+    }
+
+    Ok(Session {
+        process,
+        runtime,
+        scorep,
+        talp,
+        talp_adapter,
+        report,
+        symbols,
+        config,
+    })
+}
+
+/// Result of running a session.
+#[derive(Clone, Debug)]
+pub struct SessionRun {
+    /// Executor report.
+    pub run: RunReport,
+    /// `T_init` in virtual ns.
+    pub init_ns: u64,
+    /// `T_total` = init + slowest rank.
+    pub total_ns: u64,
+}
+
+impl Session {
+    /// Executes the program once across all configured ranks.
+    pub fn run(&self) -> Result<SessionRun, DynCapiError> {
+        let world = World::new(self.config.ranks, self.config.mpi_cost);
+        if let Some(talp) = &self.talp {
+            world.add_hook(talp.clone());
+        }
+        let engine = Engine::prepare(&self.process, &self.runtime, self.config.overhead)?;
+        let run = engine.run(&world)?;
+        Ok(SessionRun {
+            init_ns: self.report.init_ns,
+            total_ns: self.report.init_ns + run.total_ns,
+            run,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capi_appmodel::{LinkTarget, MpiCall, ProgramBuilder, Visibility};
+    use capi_objmodel::{compile, CompileOptions};
+
+    fn binary() -> Binary {
+        let mut b = ProgramBuilder::new("app");
+        b.unit("m.cc", LinkTarget::Executable);
+        b.function("main")
+            .main()
+            .statements(50)
+            .instructions(400)
+            .cost(1_000)
+            .calls("MPI_Init", 1)
+            .calls("step", 5)
+            .calls("MPI_Finalize", 1)
+            .finish();
+        b.function("step")
+            .statements(40)
+            .instructions(300)
+            .cost(500)
+            .calls("solve", 2)
+            .calls("MPI_Allreduce", 1)
+            .finish();
+        b.function("MPI_Init").statements(1).instructions(8).cost(0).mpi(MpiCall::Init).finish();
+        b.function("MPI_Allreduce")
+            .statements(1).instructions(8).cost(0)
+            .mpi(MpiCall::Allreduce { bytes: 8 })
+            .finish();
+        b.function("MPI_Finalize").statements(1).instructions(8).cost(0).mpi(MpiCall::Finalize).finish();
+        b.unit("s.cc", LinkTarget::Dso("libsolver.so".into()));
+        b.function("solve")
+            .statements(70)
+            .instructions(900)
+            .cost(20_000)
+            .imbalance(30)
+            .loop_depth(2)
+            .calls("Amul", 50)
+            .finish();
+        b.function("Amul").statements(90).instructions(1200).cost(3_000).loop_depth(3).finish();
+        b.function("hidden_helper")
+            .statements(60)
+            .instructions(400)
+            .visibility(Visibility::Hidden)
+            .finish();
+        let p = b.build().unwrap();
+        compile(&p, &CompileOptions::o2()).unwrap()
+    }
+
+    #[test]
+    fn full_patching_patches_everything_resolvable_or_not() {
+        let bin = binary();
+        let s = startup(&bin, DynCapiConfig::default()).unwrap();
+        assert_eq!(s.report.patched_functions, s.report.instrumented_functions);
+        assert!(s.report.symres.unresolved_hidden >= 1);
+        assert!(s.report.init_ns > 0);
+        assert_eq!(s.report.dsos, 1);
+    }
+
+    #[test]
+    fn ic_patching_selects_exactly_and_skips_hidden() {
+        let bin = binary();
+        let cfg = DynCapiConfig {
+            ic: Some(FilterFile::include_only(["solve", "Amul", "hidden_helper"])),
+            ..Default::default()
+        };
+        let s = startup(&bin, cfg).unwrap();
+        // hidden_helper has a sled but no resolvable name: not patched.
+        assert_eq!(s.report.patched_functions, 2);
+    }
+
+    #[test]
+    fn missing_ic_entries_reported_as_inlined() {
+        let bin = binary();
+        let cfg = DynCapiConfig {
+            ic: Some(FilterFile::include_only(["solve", "ghost_inlined_fn"])),
+            ..Default::default()
+        };
+        let s = startup(&bin, cfg).unwrap();
+        assert_eq!(s.report.selected_missing, vec!["ghost_inlined_fn".to_string()]);
+    }
+
+    #[test]
+    fn scorep_session_profiles_selected_functions() {
+        let bin = binary();
+        let cfg = DynCapiConfig {
+            tool: ToolChoice::Scorep(Default::default()),
+            ic: Some(FilterFile::include_only(["solve", "Amul"])),
+            ranks: 2,
+            ..Default::default()
+        };
+        let s = startup(&bin, cfg).unwrap();
+        let out = s.run().unwrap();
+        assert!(out.run.events > 0);
+        let scorep = s.scorep.as_ref().unwrap();
+        let merged = scorep.merged();
+        let names = scorep.region_names();
+        assert!(names.iter().any(|n| n == "solve"));
+        assert!(names.iter().any(|n| n == "Amul"));
+        // DSO addresses resolved thanks to symbol injection.
+        assert_eq!(scorep.stats().unresolved_addresses, 0);
+        assert!(!merged.per_region.is_empty());
+    }
+
+    #[test]
+    fn talp_session_produces_region_report() {
+        let bin = binary();
+        let cfg = DynCapiConfig {
+            tool: ToolChoice::Talp(Default::default()),
+            ic: Some(FilterFile::include_only(["main", "solve"])),
+            ranks: 2,
+            ..Default::default()
+        };
+        let s = startup(&bin, cfg).unwrap();
+        let out = s.run().unwrap();
+        assert!(out.run.events > 0);
+        let talp = s.talp.as_ref().unwrap();
+        let report = talp.final_report().expect("finalize ran");
+        assert!(report.iter().any(|r| r.name == "solve"));
+        // main is entered before MPI_Init: the paper's pre-init failure.
+        let stats = s.talp_adapter.as_ref().unwrap().stats();
+        assert_eq!(stats.regions_failed_pre_init, 1);
+        assert!(!report.iter().any(|r| r.name == "main"));
+    }
+
+    #[test]
+    fn packed_ids_in_ic_patch_hidden_functions() {
+        // §VI-B(a) future development: with the ID carried in the IC,
+        // even an unresolvable hidden function can be selected.
+        let bin = binary();
+        // First session: discover the hidden function's packed ID.
+        let probe = startup(&bin, DynCapiConfig::default()).unwrap();
+        assert!(!probe.symbols.unresolved.is_empty());
+        let hidden_id = probe.symbols.unresolved[0];
+        // Second session: a name-empty IC that carries the packed ID.
+        let cfg = DynCapiConfig {
+            ic: Some(FilterFile::include_only([])),
+            ic_packed_ids: vec![hidden_id.raw()],
+            ..Default::default()
+        };
+        let s = startup(&bin, cfg).unwrap();
+        assert_eq!(s.report.patched_functions, 1);
+        assert!(s.runtime.is_patched(hidden_id));
+    }
+
+    #[test]
+    fn overhead_ordering_vanilla_inactive_selected_full() {
+        let bin = binary();
+        // Vanilla: no sleds at all (never-instrument everything).
+        let vanilla_cfg = DynCapiConfig {
+            pass: PassOptions {
+                instruction_threshold: u32::MAX,
+                ignore_loops: true,
+                ..PassOptions::default()
+            },
+            ..Default::default()
+        };
+        let vanilla = startup(&bin, vanilla_cfg).unwrap().run().unwrap();
+
+        let inactive_cfg = DynCapiConfig {
+            ic: Some(FilterFile::include_only([])), // sleds present, none patched
+            ..Default::default()
+        };
+        let inactive = startup(&bin, inactive_cfg).unwrap().run().unwrap();
+
+        let full_cfg = DynCapiConfig {
+            tool: ToolChoice::Scorep(Default::default()),
+            ic: None,
+            ..Default::default()
+        };
+        let full = startup(&bin, full_cfg).unwrap().run().unwrap();
+
+        // Dormant sleds ≈ vanilla (body time only; compare run time).
+        let rel = inactive.run.total_ns as f64 / vanilla.run.total_ns as f64;
+        assert!(rel < 1.01, "inactive sleds must be near-zero: {rel}");
+        assert!(full.run.total_ns > inactive.run.total_ns);
+        assert!(full.init_ns > inactive.init_ns);
+    }
+}

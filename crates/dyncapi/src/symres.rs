@@ -1,0 +1,185 @@
+//! XRay function-ID ↔ symbol-name resolution.
+//!
+//! Paper §VI-B(a): "When a DSO is linked and registered, the DynCaPI
+//! runtime first determines a mapping between the XRay function IDs and
+//! the respective function names. This is currently achieved by
+//! collecting the addresses of all symbols from their object files and
+//! translating them to their location in the running process. XRay
+//! provides an API function to determine the address belonging to the
+//! function ID, which can then be cross-checked using this mapping.
+//! However, this method does not work for hidden symbols."
+
+use capi_objmodel::Process;
+use capi_xray::{InstrumentedObject, PackedId, XRayRuntime};
+use std::collections::HashMap;
+
+/// Resolution statistics (the §VI-B(a) numbers).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SymresStats {
+    /// Symbols collected across all objects (`nm` lines processed).
+    pub symbols_scanned: usize,
+    /// Instrumented functions whose name resolved.
+    pub resolved: usize,
+    /// Instrumented functions that could not be resolved (hidden
+    /// symbols).
+    pub unresolved_hidden: usize,
+    /// Of the unresolved, how many are static initializers (the paper
+    /// notes "a large part of these functions are static initializers").
+    pub unresolved_static_init: usize,
+}
+
+/// The ID→name mapping for one process.
+#[derive(Clone, Debug, Default)]
+pub struct SymbolResolution {
+    /// `PackedId` → demangled-capable symbol name.
+    pub names: HashMap<PackedId, String>,
+    /// Sled-bearing functions whose names are unknown.
+    pub unresolved: Vec<PackedId>,
+    /// Statistics.
+    pub stats: SymresStats,
+}
+
+impl SymbolResolution {
+    /// Name for a packed ID, if resolved.
+    pub fn name_of(&self, id: PackedId) -> Option<&str> {
+        self.names.get(&id).map(String::as_str)
+    }
+}
+
+/// Builds the mapping for all registered objects.
+///
+/// `objects` pairs each XRay object ID with the instrumented object that
+/// was registered under it.
+pub fn resolve_ids(
+    process: &Process,
+    runtime: &XRayRuntime,
+    objects: &[(u8, &InstrumentedObject)],
+) -> SymbolResolution {
+    let mut out = SymbolResolution::default();
+    for (object_id, inst) in objects {
+        // Step 1: `nm` on the object — exported symbols only — and
+        // translation to runtime addresses via the memory map.
+        let Some(pi) = process.loaded_index(&inst.image.name) else {
+            continue;
+        };
+        let loaded = process.object(pi).expect("index from loaded_index");
+        let mut addr_to_name: HashMap<u64, &str> = HashMap::new();
+        for sym in loaded.image.symtab.exported() {
+            addr_to_name.insert(loaded.base + sym.offset, sym.name.as_str());
+            out.stats.symbols_scanned += 1;
+        }
+        // Step 2: for every sled, ask XRay for the function address and
+        // cross-check against the translated symbol map.
+        for entry in &inst.sleds.entries {
+            let Ok(id) = PackedId::pack(*object_id, entry.fid) else {
+                continue;
+            };
+            let Some(addr) = runtime.function_address(id) else {
+                continue;
+            };
+            match addr_to_name.get(&addr) {
+                Some(name) => {
+                    out.names.insert(id, (*name).to_string());
+                    out.stats.resolved += 1;
+                }
+                None => {
+                    out.unresolved.push(id);
+                    out.stats.unresolved_hidden += 1;
+                    let f = inst.image.function(entry.func_index);
+                    if f.kind == capi_appmodel::FunctionKind::StaticInitializer {
+                        out.stats.unresolved_static_init += 1;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+// capi-appmodel is only needed for the FunctionKind check above.
+use capi_appmodel as _;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capi_appmodel::{LinkTarget, ProgramBuilder, Visibility};
+    use capi_objmodel::{compile, CompileOptions};
+    use capi_xray::{instrument_object, PassOptions, TrampolineSet};
+
+    fn build() -> (Process, XRayRuntime, Vec<(u8, InstrumentedObject)>) {
+        let mut b = ProgramBuilder::new("app");
+        b.unit("m.cc", LinkTarget::Executable);
+        b.function("main")
+            .main()
+            .statements(50)
+            .instructions(400)
+            .calls("visible_fn", 1)
+            .calls("hidden_fn", 1)
+            .finish();
+        b.function("visible_fn").statements(60).instructions(400).finish();
+        b.function("hidden_fn")
+            .statements(60)
+            .instructions(400)
+            .visibility(Visibility::Hidden)
+            .finish();
+        b.function("_GLOBAL__sub_I_m")
+            .static_initializer()
+            .instructions(300)
+            .finish();
+        let p = b.build().unwrap();
+        let bin = compile(&p, &CompileOptions::o2()).unwrap();
+        let process = Process::launch_binary(&bin).unwrap();
+        let runtime = XRayRuntime::new();
+        let inst = instrument_object(
+            process.object(0).unwrap().image.clone(),
+            &PassOptions::instrument_all(),
+        );
+        runtime
+            .register_main(
+                inst.clone(),
+                process.object(0).unwrap(),
+                TrampolineSet::absolute(),
+            )
+            .unwrap();
+        (process, runtime, vec![(0u8, inst)])
+    }
+
+    #[test]
+    fn visible_symbols_resolve() {
+        let (process, runtime, objs) = build();
+        let refs: Vec<(u8, &InstrumentedObject)> =
+            objs.iter().map(|(id, o)| (*id, o)).collect();
+        let res = resolve_ids(&process, &runtime, &refs);
+        assert!(res
+            .names
+            .values()
+            .any(|n| n == "visible_fn"));
+        assert!(res.names.values().any(|n| n == "main"));
+    }
+
+    #[test]
+    fn hidden_symbols_are_unresolvable_and_counted() {
+        let (process, runtime, objs) = build();
+        let refs: Vec<(u8, &InstrumentedObject)> =
+            objs.iter().map(|(id, o)| (*id, o)).collect();
+        let res = resolve_ids(&process, &runtime, &refs);
+        assert!(!res.names.values().any(|n| n == "hidden_fn"));
+        // hidden_fn + the static initializer.
+        assert_eq!(res.stats.unresolved_hidden, 2);
+        assert_eq!(res.stats.unresolved_static_init, 1);
+        assert_eq!(res.unresolved.len(), 2);
+    }
+
+    #[test]
+    fn name_lookup_by_packed_id() {
+        let (process, runtime, objs) = build();
+        let refs: Vec<(u8, &InstrumentedObject)> =
+            objs.iter().map(|(id, o)| (*id, o)).collect();
+        let res = resolve_ids(&process, &runtime, &refs);
+        let inst = &objs[0].1;
+        let fi = inst.image.function_index("visible_fn").unwrap();
+        let fid = inst.sleds.fid_of(fi).unwrap();
+        let id = PackedId::pack(0, fid).unwrap();
+        assert_eq!(res.name_of(id), Some("visible_fn"));
+    }
+}

@@ -1,0 +1,195 @@
+//! Call-graph construction from the source model.
+//!
+//! Mirrors the two-step MetaCG workflow (paper Fig. 2, steps 3–4): local
+//! graphs per translation unit, then a whole-program merge. Virtual call
+//! sites insert edges to all known overriding definitions; function
+//! pointer calls are resolved when the static analysis permits, otherwise
+//! the site is recorded for later profile-based validation.
+
+use crate::graph::{CallGraph, CgNode, EdgeKind, NodeMeta, UnresolvedPointerSite};
+use crate::merge::merge;
+use capi_appmodel::{CalleeRef, SourceProgram, TranslationUnit};
+
+/// Builds the call graph local to one translation unit.
+///
+/// Functions called but not defined in the unit appear as
+/// declaration-only nodes (`has_body == false`), exactly like symbols an
+/// object file imports.
+pub fn local_callgraph(program: &SourceProgram, unit: &TranslationUnit) -> CallGraph {
+    let mut g = CallGraph::new();
+    let object = unit.target.object_name(&program.name).to_string();
+
+    for f in &unit.functions {
+        let name = program.interner.resolve(f.name);
+        g.add_node(CgNode {
+            name: name.to_string(),
+            demangled: f.demangled.clone(),
+            has_body: true,
+            meta: NodeMeta::from_attrs(&f.attrs, &unit.file, &object),
+        });
+    }
+
+    for f in &unit.functions {
+        let from = g
+            .node_id(program.interner.resolve(f.name))
+            .expect("defined above");
+        for site in &f.call_sites {
+            match &site.callee {
+                CalleeRef::Direct(s) => {
+                    let to = g.add_declaration(program.interner.resolve(*s));
+                    g.add_edge(from, to, EdgeKind::Direct);
+                }
+                CalleeRef::Virtual { overrides, .. } => {
+                    // Over-approximation: edge to every known override.
+                    for o in overrides {
+                        let to = g.add_declaration(program.interner.resolve(*o));
+                        g.add_edge(from, to, EdgeKind::Virtual);
+                    }
+                }
+                CalleeRef::Pointer {
+                    candidates,
+                    resolvable,
+                } => {
+                    if *resolvable {
+                        for c in candidates {
+                            let to = g.add_declaration(program.interner.resolve(*c));
+                            g.add_edge(from, to, EdgeKind::PointerResolved);
+                        }
+                    } else {
+                        let candidates = candidates
+                            .iter()
+                            .map(|c| g.add_declaration(program.interner.resolve(*c)))
+                            .collect();
+                        g.unresolved_sites.push(UnresolvedPointerSite {
+                            caller: from,
+                            candidates,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    g
+}
+
+/// Builds the whole-program call graph: local graphs for every unit,
+/// merged pairwise (paper Fig. 2, step 4).
+pub fn whole_program_callgraph(program: &SourceProgram) -> CallGraph {
+    let mut acc = CallGraph::new();
+    for unit in &program.units {
+        let local = local_callgraph(program, unit);
+        acc = merge(acc, &local);
+    }
+    acc
+}
+
+// Re-export used by `whole_program_callgraph` docs.
+#[allow(unused_imports)]
+use capi_appmodel as _;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capi_appmodel::{LinkTarget, ProgramBuilder, Visibility};
+
+    fn two_unit_program() -> SourceProgram {
+        let mut b = ProgramBuilder::new("app");
+        b.unit("main.cc", LinkTarget::Executable);
+        b.function("main")
+            .main()
+            .calls("lib_entry", 5)
+            .calls("local_helper", 2)
+            .finish();
+        b.function("local_helper").inline_keyword().finish();
+        b.unit("lib.cc", LinkTarget::Dso("libwork.so".into()));
+        b.function("lib_entry")
+            .calls_virtual("Base::go", &["DerivedA::go", "DerivedB::go"], 3)
+            .finish();
+        b.function("DerivedA::go").virtual_method().flops(50).finish();
+        b.function("DerivedB::go")
+            .virtual_method()
+            .visibility(Visibility::Hidden)
+            .finish();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn local_graph_marks_externals_as_declarations() {
+        let p = two_unit_program();
+        let g = local_callgraph(&p, &p.units[0]);
+        let lib = g.node_id("lib_entry").unwrap();
+        assert!(!g.node(lib).has_body);
+        let main = g.node_id("main").unwrap();
+        assert!(g.node(main).has_body);
+        assert!(g.has_edge(main, lib));
+    }
+
+    #[test]
+    fn whole_program_merges_definitions() {
+        let p = two_unit_program();
+        let g = whole_program_callgraph(&p);
+        assert_eq!(g.len(), 5);
+        let lib = g.node_id("lib_entry").unwrap();
+        assert!(g.node(lib).has_body, "definition from lib.cc must win");
+        assert_eq!(g.node(lib).meta.object, "libwork.so");
+    }
+
+    #[test]
+    fn virtual_sites_fan_out_to_all_overrides() {
+        let p = two_unit_program();
+        let g = whole_program_callgraph(&p);
+        let lib = g.node_id("lib_entry").unwrap();
+        let a = g.node_id("DerivedA::go").unwrap();
+        let b = g.node_id("DerivedB::go").unwrap();
+        assert!(g.has_edge(lib, a));
+        assert!(g.has_edge(lib, b));
+        assert!(g
+            .callees(lib)
+            .iter()
+            .all(|&(_, k)| k == EdgeKind::Virtual));
+    }
+
+    #[test]
+    fn unresolvable_pointer_sites_are_recorded_not_connected() {
+        let mut b = ProgramBuilder::new("fp");
+        b.unit("fp.cc", LinkTarget::Executable);
+        b.function("main")
+            .main()
+            .calls_pointer(&["cb1", "cb2"], false, 1)
+            .finish();
+        b.function("cb1").address_taken().finish();
+        b.function("cb2").address_taken().finish();
+        let p = b.build().unwrap();
+        let g = whole_program_callgraph(&p);
+        let main = g.node_id("main").unwrap();
+        assert_eq!(g.callees(main).len(), 0);
+        assert_eq!(g.unresolved_sites.len(), 1);
+        assert_eq!(g.unresolved_sites[0].candidates.len(), 2);
+    }
+
+    #[test]
+    fn resolvable_pointer_sites_get_edges() {
+        let mut b = ProgramBuilder::new("fp");
+        b.unit("fp.cc", LinkTarget::Executable);
+        b.function("main")
+            .main()
+            .calls_pointer(&["cb"], true, 1)
+            .finish();
+        b.function("cb").address_taken().finish();
+        let p = b.build().unwrap();
+        let g = whole_program_callgraph(&p);
+        let main = g.node_id("main").unwrap();
+        let cb = g.node_id("cb").unwrap();
+        assert!(g.has_edge(main, cb));
+        assert_eq!(g.callees(main)[0].1, EdgeKind::PointerResolved);
+    }
+
+    #[test]
+    fn metadata_carries_file_and_object() {
+        let p = two_unit_program();
+        let g = whole_program_callgraph(&p);
+        let main = g.node_id("main").unwrap();
+        assert_eq!(g.node(main).meta.file, "main.cc");
+        assert_eq!(g.node(main).meta.object, "app");
+    }
+}

@@ -1,0 +1,140 @@
+//! Graphviz DOT export for call graphs, handy when refining selection
+//! specs: selected nodes can be highlighted to visualise an IC against
+//! the program structure.
+
+use crate::graph::{CallGraph, EdgeKind, NodeSet};
+use std::fmt::Write;
+
+/// Options for DOT rendering.
+#[derive(Clone, Debug, Default)]
+pub struct DotOptions {
+    /// Highlight these nodes (filled style) — typically the current IC.
+    pub highlight: Option<NodeSet>,
+    /// Skip declaration-only nodes.
+    pub definitions_only: bool,
+}
+
+/// Renders `g` as a DOT digraph.
+pub fn to_dot(g: &CallGraph, opts: &DotOptions) -> String {
+    let mut out = String::new();
+    out.push_str("digraph callgraph {\n  node [shape=box, fontname=\"monospace\"];\n");
+    for id in g.ids() {
+        let node = g.node(id);
+        if opts.definitions_only && !node.has_body {
+            continue;
+        }
+        let highlighted = opts
+            .highlight
+            .as_ref()
+            .is_some_and(|h| h.contains(id));
+        let style = if highlighted {
+            ", style=filled, fillcolor=\"#ffcc66\""
+        } else if !node.has_body {
+            ", style=dashed"
+        } else {
+            ""
+        };
+        writeln!(
+            out,
+            "  n{} [label=\"{}\"{}];",
+            id.0,
+            escape(&node.demangled),
+            style
+        )
+        .expect("writing to String cannot fail");
+    }
+    for from in g.ids() {
+        if opts.definitions_only && !g.node(from).has_body {
+            continue;
+        }
+        for &(to, kind) in g.callees(from) {
+            if opts.definitions_only && !g.node(to).has_body {
+                continue;
+            }
+            let attr = match kind {
+                EdgeKind::Direct => "",
+                EdgeKind::Virtual => " [style=dotted, label=\"virt\"]",
+                EdgeKind::PointerResolved => " [style=dashed, label=\"fp\"]",
+                EdgeKind::ProfileValidated => " [color=red, label=\"prof\"]",
+            };
+            writeln!(out, "  n{} -> n{}{};", from.0, to.0, attr)
+                .expect("writing to String cannot fail");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{CgNode, NodeMeta};
+
+    fn graph() -> CallGraph {
+        let mut g = CallGraph::new();
+        let a = g.add_node(CgNode {
+            name: "a".into(),
+            demangled: "a()".into(),
+            has_body: true,
+            meta: NodeMeta::default(),
+        });
+        let b = g.add_declaration("b");
+        g.add_edge(a, b, EdgeKind::Virtual);
+        g
+    }
+
+    #[test]
+    fn renders_nodes_and_edges() {
+        let g = graph();
+        let dot = to_dot(&g, &DotOptions::default());
+        assert!(dot.contains("digraph callgraph"));
+        assert!(dot.contains("n0 [label=\"a()\"]"));
+        assert!(dot.contains("n0 -> n1 [style=dotted, label=\"virt\"];"));
+    }
+
+    #[test]
+    fn definitions_only_hides_declarations() {
+        let g = graph();
+        let dot = to_dot(
+            &g,
+            &DotOptions {
+                definitions_only: true,
+                ..Default::default()
+            },
+        );
+        assert!(!dot.contains("n0 -> n1"));
+        assert!(!dot.contains("style=dashed"));
+    }
+
+    #[test]
+    fn highlight_marks_selected_nodes() {
+        let g = graph();
+        let mut h = g.empty_set();
+        h.insert(g.node_id("a").unwrap());
+        let dot = to_dot(
+            &g,
+            &DotOptions {
+                highlight: Some(h),
+                definitions_only: false,
+            },
+        );
+        assert!(dot.contains("fillcolor"));
+    }
+
+    #[test]
+    fn escapes_quotes_in_labels() {
+        let mut g = CallGraph::new();
+        g.add_node(CgNode {
+            name: "q".into(),
+            demangled: "op\"quote\"".into(),
+            has_body: true,
+            meta: NodeMeta::default(),
+        });
+        let dot = to_dot(&g, &DotOptions::default());
+        assert!(dot.contains("op\\\"quote\\\""));
+    }
+}

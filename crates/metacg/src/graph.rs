@@ -1,0 +1,513 @@
+//! Call-graph data structure.
+//!
+//! Dense node IDs, separate callee/caller adjacency (both are needed:
+//! forward traversal for `onCallPathFrom`, reverse for `onCallPathTo` and
+//! the coarse selector's only-caller test), and a compact bitset
+//! ([`NodeSet`]) used as the universal currency of the selector pipeline.
+
+use capi_appmodel::{FunctionAttrs, FunctionKind, Visibility};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Dense call-graph node index.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Index usable for `Vec` access.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Provenance of a call edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EdgeKind {
+    /// Ordinary direct call found in the source.
+    Direct,
+    /// Edge inserted by the virtual-call over-approximation.
+    Virtual,
+    /// Function-pointer edge statically resolved by MetaCG.
+    PointerResolved,
+    /// Edge inserted by profile-based validation (paper §III-A: missing
+    /// edges are added from a Score-P profile).
+    ProfileValidated,
+}
+
+/// Metadata attached to a node — the attributes CaPI selectors consult.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NodeMeta {
+    /// Source lines of code.
+    pub lines_of_code: u32,
+    /// Number of statements.
+    pub statements: u32,
+    /// Floating-point operations in the body.
+    pub flops: u32,
+    /// Maximum loop nesting depth.
+    pub loop_depth: u32,
+    /// Whether the source marks the definition `inline`.
+    pub inline_keyword: bool,
+    /// Whether the definition is in a system header.
+    pub system_header: bool,
+    /// Whether this is a virtual member function.
+    pub is_virtual: bool,
+    /// Symbol visibility.
+    pub visibility: Visibility,
+    /// Whether the function's address is taken.
+    pub address_taken: bool,
+    /// Function role (main / MPI stub / static initializer / normal).
+    pub kind: FunctionKind,
+    /// Estimated compiled instruction count.
+    pub instructions: u32,
+    /// Defining source file (empty for external declarations).
+    pub file: String,
+    /// Object the definition links into (executable or DSO name).
+    pub object: String,
+}
+
+impl Default for NodeMeta {
+    fn default() -> Self {
+        Self::from_attrs(&FunctionAttrs::default(), "", "")
+    }
+}
+
+impl NodeMeta {
+    /// Builds metadata from source attributes plus location info.
+    pub fn from_attrs(a: &FunctionAttrs, file: &str, object: &str) -> Self {
+        Self {
+            lines_of_code: a.lines_of_code,
+            statements: a.statements,
+            flops: a.flops,
+            loop_depth: a.loop_depth,
+            inline_keyword: a.inline_keyword,
+            system_header: a.system_header,
+            is_virtual: a.is_virtual,
+            visibility: a.visibility,
+            address_taken: a.address_taken,
+            kind: a.kind,
+            instructions: a.instructions,
+            file: file.to_string(),
+            object: object.to_string(),
+        }
+    }
+}
+
+/// A call-graph node.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CgNode {
+    /// Unique (mangled) function name.
+    pub name: String,
+    /// Human-readable signature.
+    pub demangled: String,
+    /// Whether a definition was seen (false = external declaration only).
+    pub has_body: bool,
+    /// Selector-visible metadata.
+    pub meta: NodeMeta,
+}
+
+/// An unresolved function-pointer call site carried in the graph so
+/// profile validation can later check it.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UnresolvedPointerSite {
+    /// The calling node.
+    pub caller: NodeId,
+    /// Statically known candidate targets (may be empty).
+    pub candidates: Vec<NodeId>,
+}
+
+/// Whole-program (or TU-local) call graph.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct CallGraph {
+    nodes: Vec<CgNode>,
+    callees: Vec<Vec<(NodeId, EdgeKind)>>,
+    callers: Vec<Vec<(NodeId, EdgeKind)>>,
+    #[serde(skip)]
+    by_name: HashMap<String, NodeId>,
+    /// Function-pointer sites MetaCG could not statically resolve.
+    pub unresolved_sites: Vec<UnresolvedPointerSite>,
+}
+
+impl CallGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node, or updates the existing node of the same name
+    /// (a definition wins over a declaration).
+    pub fn add_node(&mut self, node: CgNode) -> NodeId {
+        if let Some(&id) = self.by_name.get(&node.name) {
+            let existing = &mut self.nodes[id.index()];
+            if node.has_body && !existing.has_body {
+                *existing = node;
+            }
+            return id;
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.by_name.insert(node.name.clone(), id);
+        self.nodes.push(node);
+        self.callees.push(Vec::new());
+        self.callers.push(Vec::new());
+        id
+    }
+
+    /// Adds a declaration-only node by name if not present.
+    pub fn add_declaration(&mut self, name: &str) -> NodeId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        self.add_node(CgNode {
+            name: name.to_string(),
+            demangled: name.to_string(),
+            has_body: false,
+            meta: NodeMeta::default(),
+        })
+    }
+
+    /// Adds a call edge (idempotent per `(from, to)` pair; the first edge
+    /// kind wins).
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, kind: EdgeKind) -> bool {
+        if self.callees[from.index()].iter().any(|&(t, _)| t == to) {
+            return false;
+        }
+        self.callees[from.index()].push((to, kind));
+        self.callers[to.index()].push((from, kind));
+        true
+    }
+
+    /// Whether an edge `from → to` exists.
+    pub fn has_edge(&self, from: NodeId, to: NodeId) -> bool {
+        self.callees[from.index()].iter().any(|&(t, _)| t == to)
+    }
+
+    /// Node lookup by name.
+    pub fn node_id(&self, name: &str) -> Option<NodeId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Node access.
+    pub fn node(&self, id: NodeId) -> &CgNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Mutable node access.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut CgNode {
+        &mut self.nodes[id.index()]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.callees.iter().map(Vec::len).sum()
+    }
+
+    /// All node IDs.
+    pub fn ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Callees of `id` (with edge kinds).
+    pub fn callees(&self, id: NodeId) -> &[(NodeId, EdgeKind)] {
+        &self.callees[id.index()]
+    }
+
+    /// Callers of `id` (with edge kinds).
+    pub fn callers(&self, id: NodeId) -> &[(NodeId, EdgeKind)] {
+        &self.callers[id.index()]
+    }
+
+    /// The entry node (`main`), if present.
+    pub fn entry(&self) -> Option<NodeId> {
+        self.ids()
+            .find(|&id| self.node(id).meta.kind == FunctionKind::Main)
+    }
+
+    /// Rebuilds the name index (after deserialization).
+    pub fn rebuild_index(&mut self) {
+        self.by_name = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.name.clone(), NodeId(i as u32)))
+            .collect();
+    }
+
+    /// Creates an empty node set sized for this graph.
+    pub fn empty_set(&self) -> NodeSet {
+        NodeSet::new(self.len())
+    }
+
+    /// Creates a node set containing every node.
+    pub fn full_set(&self) -> NodeSet {
+        let mut s = NodeSet::new(self.len());
+        for id in self.ids() {
+            s.insert(id);
+        }
+        s
+    }
+}
+
+/// A set of call-graph nodes, stored as a bitset.
+///
+/// This is the value type flowing through the CaPI selector pipeline;
+/// union/subtract/intersect are word-parallel.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeSet {
+    words: Vec<u64>,
+    len_hint: usize,
+}
+
+impl NodeSet {
+    /// Empty set over a universe of `universe` nodes.
+    pub fn new(universe: usize) -> Self {
+        Self {
+            words: vec![0; universe.div_ceil(64)],
+            len_hint: universe,
+        }
+    }
+
+    /// Universe size the set was created for.
+    pub fn universe(&self) -> usize {
+        self.len_hint
+    }
+
+    /// Inserts a node; returns whether it was newly inserted.
+    #[inline]
+    pub fn insert(&mut self, id: NodeId) -> bool {
+        let (w, b) = (id.index() / 64, id.index() % 64);
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !had
+    }
+
+    /// Removes a node; returns whether it was present.
+    #[inline]
+    pub fn remove(&mut self, id: NodeId) -> bool {
+        let (w, b) = (id.index() / 64, id.index() % 64);
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        had
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, id: NodeId) -> bool {
+        let (w, b) = (id.index() / 64, id.index() % 64);
+        self.words.get(w).is_some_and(|&word| word & (1 << b) != 0)
+    }
+
+    /// Number of members.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &NodeSet) {
+        self.binop(other, |a, b| a | b);
+    }
+
+    /// In-place intersection.
+    pub fn intersect_with(&mut self, other: &NodeSet) {
+        self.binop(other, |a, b| a & b);
+    }
+
+    /// In-place subtraction (`self \ other`).
+    pub fn subtract(&mut self, other: &NodeSet) {
+        self.binop(other, |a, b| a & !b);
+    }
+
+    fn binop(&mut self, other: &NodeSet, f: impl Fn(u64, u64) -> u64) {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (i, w) in self.words.iter_mut().enumerate() {
+            let o = other.words.get(i).copied().unwrap_or(0);
+            *w = f(*w, o);
+        }
+    }
+
+    /// Complement relative to the universe.
+    pub fn complement(&self) -> NodeSet {
+        let mut out = self.clone();
+        for w in &mut out.words {
+            *w = !*w;
+        }
+        // Clear bits beyond the universe.
+        let rem = self.len_hint % 64;
+        if rem != 0 {
+            if let Some(last) = out.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+        out
+    }
+
+    /// Iterates over members in ascending ID order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros();
+                    bits &= bits - 1;
+                    Some(NodeId((wi * 64) as u32 + b))
+                }
+            })
+        })
+    }
+}
+
+impl FromIterator<NodeId> for NodeSet {
+    fn from_iter<T: IntoIterator<Item = NodeId>>(iter: T) -> Self {
+        let ids: Vec<NodeId> = iter.into_iter().collect();
+        let max = ids.iter().map(|i| i.index() + 1).max().unwrap_or(0);
+        let mut s = NodeSet::new(max);
+        for id in ids {
+            s.insert(id);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(name: &str) -> CgNode {
+        CgNode {
+            name: name.into(),
+            demangled: name.into(),
+            has_body: true,
+            meta: NodeMeta::default(),
+        }
+    }
+
+    #[test]
+    fn add_node_deduplicates_by_name() {
+        let mut g = CallGraph::new();
+        let a = g.add_node(node("f"));
+        let b = g.add_node(node("f"));
+        assert_eq!(a, b);
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn definition_wins_over_declaration() {
+        let mut g = CallGraph::new();
+        let d = g.add_declaration("f");
+        assert!(!g.node(d).has_body);
+        let d2 = g.add_node(node("f"));
+        assert_eq!(d, d2);
+        assert!(g.node(d).has_body);
+    }
+
+    #[test]
+    fn edges_are_deduplicated_and_bidirectional() {
+        let mut g = CallGraph::new();
+        let a = g.add_node(node("a"));
+        let b = g.add_node(node("b"));
+        assert!(g.add_edge(a, b, EdgeKind::Direct));
+        assert!(!g.add_edge(a, b, EdgeKind::Virtual));
+        assert_eq!(g.callees(a).len(), 1);
+        assert_eq!(g.callers(b).len(), 1);
+        assert_eq!(g.callers(b)[0].0, a);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn entry_finds_main() {
+        let mut g = CallGraph::new();
+        g.add_node(node("x"));
+        let mut m = node("main");
+        m.meta.kind = FunctionKind::Main;
+        let id = g.add_node(m);
+        assert_eq!(g.entry(), Some(id));
+    }
+
+    #[test]
+    fn nodeset_basic_ops() {
+        let mut s = NodeSet::new(130);
+        assert!(s.insert(NodeId(0)));
+        assert!(s.insert(NodeId(64)));
+        assert!(s.insert(NodeId(129)));
+        assert!(!s.insert(NodeId(129)));
+        assert_eq!(s.count(), 3);
+        assert!(s.contains(NodeId(64)));
+        assert!(s.remove(NodeId(64)));
+        assert!(!s.contains(NodeId(64)));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![NodeId(0), NodeId(129)]);
+    }
+
+    #[test]
+    fn nodeset_setops() {
+        let mut a = NodeSet::new(100);
+        let mut b = NodeSet::new(100);
+        a.insert(NodeId(1));
+        a.insert(NodeId(2));
+        b.insert(NodeId(2));
+        b.insert(NodeId(3));
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.count(), 3);
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![NodeId(2)]);
+        let mut d = a.clone();
+        d.subtract(&b);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn nodeset_complement_respects_universe() {
+        let mut s = NodeSet::new(70);
+        s.insert(NodeId(0));
+        let c = s.complement();
+        assert_eq!(c.count(), 69);
+        assert!(!c.contains(NodeId(0)));
+        assert!(c.contains(NodeId(69)));
+        // Bits past the universe stay clear.
+        assert!(!c.contains(NodeId(70)));
+        assert!(!c.contains(NodeId(127)));
+    }
+
+    #[test]
+    fn nodeset_from_iterator() {
+        let s: NodeSet = [NodeId(5), NodeId(9)].into_iter().collect();
+        assert!(s.contains(NodeId(5)));
+        assert!(s.contains(NodeId(9)));
+        assert_eq!(s.count(), 2);
+    }
+
+    #[test]
+    fn rebuild_index_restores_lookup() {
+        let mut g = CallGraph::new();
+        let a = g.add_node(node("alpha"));
+        g.by_name.clear();
+        g.rebuild_index();
+        assert_eq!(g.node_id("alpha"), Some(a));
+    }
+}

@@ -1,0 +1,321 @@
+//! MetaCG-style JSON serialization.
+//!
+//! The real MetaCG tool exchanges call graphs as JSON documents with a
+//! `_MetaCG` version header and a `_CG` map from function name to node
+//! record (callees, callers, override info, metadata). This module writes
+//! and reads a compatible layout so graphs can be inspected with standard
+//! tooling and shipped between pipeline stages like the paper's Fig. 2
+//! step 4 output.
+
+use crate::graph::{CallGraph, CgNode, EdgeKind, NodeMeta};
+use capi_appmodel::{FunctionKind, Visibility};
+use serde_json::{json, Map, Value};
+
+/// Format version written by [`to_json`].
+pub const FORMAT_VERSION: &str = "2.0";
+
+/// Serializes a call graph to a MetaCG-style JSON document.
+pub fn to_json(g: &CallGraph) -> Value {
+    let mut cg = Map::new();
+    for id in g.ids() {
+        let node = g.node(id);
+        let callees: Vec<Value> = g
+            .callees(id)
+            .iter()
+            .map(|&(t, _)| Value::String(g.node(t).name.clone()))
+            .collect();
+        let callers: Vec<Value> = g
+            .callers(id)
+            .iter()
+            .map(|&(t, _)| Value::String(g.node(t).name.clone()))
+            .collect();
+        let virtual_callees: Vec<Value> = g
+            .callees(id)
+            .iter()
+            .filter(|&&(_, k)| k == EdgeKind::Virtual)
+            .map(|&(t, _)| Value::String(g.node(t).name.clone()))
+            .collect();
+        let m = &node.meta;
+        cg.insert(
+            node.name.clone(),
+            json!({
+                "callees": callees,
+                "callers": callers,
+                "virtualCallees": virtual_callees,
+                "hasBody": node.has_body,
+                "isVirtual": m.is_virtual,
+                "demangled": node.demangled,
+                "meta": {
+                    "numStatements": m.statements,
+                    "linesOfCode": m.lines_of_code,
+                    "numOperations": { "numberOfFloatOps": m.flops },
+                    "loopDepth": m.loop_depth,
+                    "numInstructions": m.instructions,
+                    "inlineSpecified": m.inline_keyword,
+                    "addressTaken": m.address_taken,
+                    "kind": kind_str(m.kind),
+                    "visibility": vis_str(m.visibility),
+                    "fileProperties": {
+                        "origin": m.file,
+                        "systemInclude": m.system_header,
+                    },
+                    "object": m.object,
+                }
+            }),
+        );
+    }
+    json!({
+        "_MetaCG": {
+            "version": FORMAT_VERSION,
+            "generator": { "name": "capi-metacg", "version": env!("CARGO_PKG_VERSION") }
+        },
+        "_CG": Value::Object(cg),
+    })
+}
+
+fn kind_str(k: FunctionKind) -> &'static str {
+    match k {
+        FunctionKind::Normal => "normal",
+        FunctionKind::Main => "main",
+        FunctionKind::MpiStub => "mpi",
+        FunctionKind::StaticInitializer => "staticInit",
+    }
+}
+
+fn vis_str(v: Visibility) -> &'static str {
+    match v {
+        Visibility::Default => "default",
+        Visibility::Hidden => "hidden",
+        Visibility::Internal => "internal",
+    }
+}
+
+fn kind_from(s: &str) -> FunctionKind {
+    match s {
+        "main" => FunctionKind::Main,
+        "mpi" => FunctionKind::MpiStub,
+        "staticInit" => FunctionKind::StaticInitializer,
+        _ => FunctionKind::Normal,
+    }
+}
+
+fn vis_from(s: &str) -> Visibility {
+    match s {
+        "hidden" => Visibility::Hidden,
+        "internal" => Visibility::Internal,
+        _ => Visibility::Default,
+    }
+}
+
+/// Errors produced by [`from_json`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JsonError {
+    /// The `_MetaCG` header is missing or malformed.
+    MissingHeader,
+    /// The `_CG` map is missing.
+    MissingGraph,
+    /// Unsupported format version.
+    UnsupportedVersion(String),
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JsonError::MissingHeader => write!(f, "missing _MetaCG header"),
+            JsonError::MissingGraph => write!(f, "missing _CG graph object"),
+            JsonError::UnsupportedVersion(v) => write!(f, "unsupported MetaCG version {v}"),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Deserializes a MetaCG-style JSON document.
+///
+/// Edge kinds: callees listed in `virtualCallees` are restored as
+/// [`EdgeKind::Virtual`], everything else as [`EdgeKind::Direct`]
+/// (the on-disk format does not distinguish further).
+pub fn from_json(doc: &Value) -> Result<CallGraph, JsonError> {
+    let header = doc.get("_MetaCG").ok_or(JsonError::MissingHeader)?;
+    let version = header
+        .get("version")
+        .and_then(Value::as_str)
+        .ok_or(JsonError::MissingHeader)?;
+    if !version.starts_with("2.") {
+        return Err(JsonError::UnsupportedVersion(version.to_string()));
+    }
+    let cg = doc
+        .get("_CG")
+        .and_then(Value::as_object)
+        .ok_or(JsonError::MissingGraph)?;
+
+    let mut g = CallGraph::new();
+    // First pass: nodes.
+    for (name, rec) in cg {
+        let meta = rec.get("meta").cloned().unwrap_or(Value::Null);
+        let get_u32 = |v: &Value, k: &str| v.get(k).and_then(Value::as_u64).unwrap_or(0) as u32;
+        let node = CgNode {
+            name: name.clone(),
+            demangled: rec
+                .get("demangled")
+                .and_then(Value::as_str)
+                .unwrap_or(name)
+                .to_string(),
+            has_body: rec.get("hasBody").and_then(Value::as_bool).unwrap_or(true),
+            meta: NodeMeta {
+                statements: get_u32(&meta, "numStatements"),
+                lines_of_code: get_u32(&meta, "linesOfCode"),
+                flops: meta
+                    .get("numOperations")
+                    .map(|o| get_u32(o, "numberOfFloatOps"))
+                    .unwrap_or(0),
+                loop_depth: get_u32(&meta, "loopDepth"),
+                instructions: get_u32(&meta, "numInstructions"),
+                inline_keyword: meta
+                    .get("inlineSpecified")
+                    .and_then(Value::as_bool)
+                    .unwrap_or(false),
+                address_taken: meta
+                    .get("addressTaken")
+                    .and_then(Value::as_bool)
+                    .unwrap_or(false),
+                is_virtual: rec
+                    .get("isVirtual")
+                    .and_then(Value::as_bool)
+                    .unwrap_or(false),
+                kind: kind_from(meta.get("kind").and_then(Value::as_str).unwrap_or("")),
+                visibility: vis_from(
+                    meta.get("visibility")
+                        .and_then(Value::as_str)
+                        .unwrap_or(""),
+                ),
+                system_header: meta
+                    .get("fileProperties")
+                    .and_then(|fp| fp.get("systemInclude"))
+                    .and_then(Value::as_bool)
+                    .unwrap_or(false),
+                file: meta
+                    .get("fileProperties")
+                    .and_then(|fp| fp.get("origin"))
+                    .and_then(Value::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+                object: meta
+                    .get("object")
+                    .and_then(Value::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+            },
+        };
+        g.add_node(node);
+    }
+    // Second pass: edges.
+    for (name, rec) in cg {
+        let from = g.node_id(name).expect("inserted in first pass");
+        let virt: Vec<&str> = rec
+            .get("virtualCallees")
+            .and_then(Value::as_array)
+            .map(|a| a.iter().filter_map(Value::as_str).collect())
+            .unwrap_or_default();
+        if let Some(callees) = rec.get("callees").and_then(Value::as_array) {
+            for c in callees.iter().filter_map(Value::as_str) {
+                let to = g.add_declaration(c);
+                let kind = if virt.contains(&c) {
+                    EdgeKind::Virtual
+                } else {
+                    EdgeKind::Direct
+                };
+                g.add_edge(from, to, kind);
+            }
+        }
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CallGraph {
+        let mut g = CallGraph::new();
+        let mut main = CgNode {
+            name: "main".into(),
+            demangled: "main".into(),
+            has_body: true,
+            meta: NodeMeta::default(),
+        };
+        main.meta.kind = FunctionKind::Main;
+        main.meta.file = "main.cc".into();
+        main.meta.object = "app".into();
+        let m = g.add_node(main);
+        let mut kern = CgNode {
+            name: "_Z6kernelv".into(),
+            demangled: "kernel()".into(),
+            has_body: true,
+            meta: NodeMeta::default(),
+        };
+        kern.meta.flops = 42;
+        kern.meta.loop_depth = 2;
+        kern.meta.visibility = Visibility::Hidden;
+        let k = g.add_node(kern);
+        g.add_edge(m, k, EdgeKind::Direct);
+        let v = g.add_declaration("_ZV5virt");
+        g.add_edge(m, v, EdgeKind::Virtual);
+        g
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let g = sample();
+        let doc = to_json(&g);
+        let g2 = from_json(&doc).unwrap();
+        assert_eq!(g2.len(), g.len());
+        assert_eq!(g2.num_edges(), g.num_edges());
+        let m = g2.node_id("main").unwrap();
+        let k = g2.node_id("_Z6kernelv").unwrap();
+        assert!(g2.has_edge(m, k));
+        assert_eq!(g2.node(k).meta.flops, 42);
+        assert_eq!(g2.node(k).meta.visibility, Visibility::Hidden);
+        assert_eq!(g2.node(m).meta.kind, FunctionKind::Main);
+    }
+
+    #[test]
+    fn virtual_edges_survive_round_trip() {
+        let g = sample();
+        let g2 = from_json(&to_json(&g)).unwrap();
+        let m = g2.node_id("main").unwrap();
+        let kinds: Vec<EdgeKind> = g2.callees(m).iter().map(|&(_, k)| k).collect();
+        assert!(kinds.contains(&EdgeKind::Virtual));
+        assert!(kinds.contains(&EdgeKind::Direct));
+    }
+
+    #[test]
+    fn header_is_required() {
+        let doc = json!({"_CG": {}});
+        assert!(matches!(from_json(&doc), Err(JsonError::MissingHeader)));
+    }
+
+    #[test]
+    fn version_is_checked() {
+        let doc = json!({"_MetaCG": {"version": "1.0"}, "_CG": {}});
+        assert!(matches!(
+            from_json(&doc),
+            Err(JsonError::UnsupportedVersion(v)) if v == "1.0"
+        ));
+    }
+
+    #[test]
+    fn graph_map_is_required() {
+        let doc = json!({"_MetaCG": {"version": "2.0"}});
+        assert!(matches!(from_json(&doc), Err(JsonError::MissingGraph)));
+    }
+
+    #[test]
+    fn text_round_trip_via_string() {
+        let g = sample();
+        let text = serde_json::to_string_pretty(&to_json(&g)).unwrap();
+        let doc: Value = serde_json::from_str(&text).unwrap();
+        let g2 = from_json(&doc).unwrap();
+        assert_eq!(g2.len(), g.len());
+    }
+}

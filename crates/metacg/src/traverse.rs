@@ -1,0 +1,257 @@
+//! Graph traversals used by the selector pipeline.
+//!
+//! * forward reachability — `onCallPathFrom(X)`;
+//! * reverse reachability — `onCallPathTo(X)` (e.g. the `mpi_comm`
+//!   selector: "all functions on a call path from main to any MPI
+//!   communication operation", Listing 1);
+//! * strongly connected components (iterative Tarjan) for cycle-aware
+//!   statement aggregation;
+//! * a topological order over the SCC condensation.
+
+use crate::graph::{CallGraph, NodeId, NodeSet};
+
+/// Nodes reachable from any node in `from` by following call edges,
+/// including the start nodes themselves.
+pub fn reachable_from(g: &CallGraph, from: &NodeSet) -> NodeSet {
+    bfs(g, from, |g, n| g.callees(n))
+}
+
+/// Nodes from which any node in `to` is reachable (reverse reachability),
+/// including the target nodes themselves.
+pub fn reaching(g: &CallGraph, to: &NodeSet) -> NodeSet {
+    bfs(g, to, |g, n| g.callers(n))
+}
+
+/// Nodes lying on some path from a node in `from` to a node in `to`:
+/// `reachable_from(from) ∩ reaching(to)`.
+pub fn on_path(g: &CallGraph, from: &NodeSet, to: &NodeSet) -> NodeSet {
+    let mut fwd = reachable_from(g, from);
+    let back = reaching(g, to);
+    fwd.intersect_with(&back);
+    fwd
+}
+
+fn bfs<'g>(
+    g: &'g CallGraph,
+    start: &NodeSet,
+    next: impl Fn(&'g CallGraph, NodeId) -> &'g [(NodeId, crate::graph::EdgeKind)],
+) -> NodeSet {
+    let mut seen = g.empty_set();
+    let mut queue: Vec<NodeId> = start.iter().collect();
+    for &n in &queue {
+        seen.insert(n);
+    }
+    while let Some(n) = queue.pop() {
+        for &(m, _) in next(g, n) {
+            if seen.insert(m) {
+                queue.push(m);
+            }
+        }
+    }
+    seen
+}
+
+/// Computes strongly connected components with an iterative Tarjan
+/// algorithm (recursion-free: icoFoam-scale graphs would overflow the
+/// stack). Components are returned in reverse topological order
+/// (callees before callers), as Tarjan emits them.
+pub fn strongly_connected_components(g: &CallGraph) -> Vec<Vec<NodeId>> {
+    const UNVISITED: u32 = u32::MAX;
+    let n = g.len();
+    let mut index = vec![UNVISITED; n];
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut next_index = 0u32;
+    let mut comps = Vec::new();
+
+    // Explicit DFS state machine: (node, next child position).
+    let mut work: Vec<(NodeId, usize)> = Vec::new();
+
+    for root in g.ids() {
+        if index[root.index()] != UNVISITED {
+            continue;
+        }
+        work.push((root, 0));
+        while let Some(&mut (v, ref mut ci)) = work.last_mut() {
+            if *ci == 0 {
+                index[v.index()] = next_index;
+                low[v.index()] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v.index()] = true;
+            }
+            let callees = g.callees(v);
+            if *ci < callees.len() {
+                let (w, _) = callees[*ci];
+                *ci += 1;
+                if index[w.index()] == UNVISITED {
+                    work.push((w, 0));
+                } else if on_stack[w.index()] {
+                    low[v.index()] = low[v.index()].min(index[w.index()]);
+                }
+            } else {
+                work.pop();
+                if let Some(&mut (parent, _)) = work.last_mut() {
+                    low[parent.index()] = low[parent.index()].min(low[v.index()]);
+                }
+                if low[v.index()] == index[v.index()] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("stack invariant");
+                        on_stack[w.index()] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comps.push(comp);
+                }
+            }
+        }
+    }
+    comps
+}
+
+/// Topological order over the SCC condensation: every node appears after
+/// all of its (inter-component) callers. Useful for top-down passes such
+/// as the coarse selector and statement aggregation.
+pub struct Topo {
+    /// Node IDs, callers before callees (cycles collapsed to arbitrary
+    /// in-component order).
+    pub order: Vec<NodeId>,
+    /// Component index per node.
+    pub component: Vec<u32>,
+}
+
+impl Topo {
+    /// Computes the order for `g`.
+    pub fn compute(g: &CallGraph) -> Topo {
+        let comps = strongly_connected_components(g);
+        let mut component = vec![0u32; g.len()];
+        for (ci, comp) in comps.iter().enumerate() {
+            for &n in comp {
+                component[n.index()] = ci as u32;
+            }
+        }
+        // Tarjan emits components callees-first; reversing yields
+        // callers-first.
+        let order = comps
+            .iter()
+            .rev()
+            .flat_map(|c| c.iter().copied())
+            .collect();
+        Topo { order, component }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{CgNode, EdgeKind, NodeMeta};
+
+    fn chain(names: &[&str]) -> CallGraph {
+        let mut g = CallGraph::new();
+        for n in names {
+            g.add_node(CgNode {
+                name: n.to_string(),
+                demangled: n.to_string(),
+                has_body: true,
+                meta: NodeMeta::default(),
+            });
+        }
+        for w in names.windows(2) {
+            let a = g.node_id(w[0]).unwrap();
+            let b = g.node_id(w[1]).unwrap();
+            g.add_edge(a, b, EdgeKind::Direct);
+        }
+        g
+    }
+
+    fn set_of(g: &CallGraph, names: &[&str]) -> NodeSet {
+        let mut s = g.empty_set();
+        for n in names {
+            s.insert(g.node_id(n).unwrap());
+        }
+        s
+    }
+
+    #[test]
+    fn forward_reachability() {
+        let g = chain(&["a", "b", "c", "d"]);
+        let r = reachable_from(&g, &set_of(&g, &["b"]));
+        let names: Vec<&str> = r.iter().map(|i| g.node(i).name.as_str()).collect();
+        assert_eq!(names, vec!["b", "c", "d"]);
+    }
+
+    #[test]
+    fn reverse_reachability() {
+        let g = chain(&["a", "b", "c", "d"]);
+        let r = reaching(&g, &set_of(&g, &["c"]));
+        let names: Vec<&str> = r.iter().map(|i| g.node(i).name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn on_path_intersects() {
+        let mut g = chain(&["main", "mid", "mpi"]);
+        // A side branch not on the path.
+        let side = g.add_node(CgNode {
+            name: "side".into(),
+            demangled: "side".into(),
+            has_body: true,
+            meta: NodeMeta::default(),
+        });
+        let main = g.node_id("main").unwrap();
+        g.add_edge(main, side, EdgeKind::Direct);
+        let p = on_path(&g, &set_of(&g, &["main"]), &set_of(&g, &["mpi"]));
+        let names: Vec<&str> = p.iter().map(|i| g.node(i).name.as_str()).collect();
+        assert_eq!(names, vec!["main", "mid", "mpi"]);
+    }
+
+    #[test]
+    fn scc_detects_cycles() {
+        let mut g = chain(&["a", "b", "c"]);
+        let c = g.node_id("c").unwrap();
+        let a = g.node_id("a").unwrap();
+        g.add_edge(c, a, EdgeKind::Direct); // a→b→c→a
+        let comps = strongly_connected_components(&g);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].len(), 3);
+    }
+
+    #[test]
+    fn scc_on_dag_is_singletons() {
+        let g = chain(&["a", "b", "c", "d"]);
+        let comps = strongly_connected_components(&g);
+        assert_eq!(comps.len(), 4);
+        assert!(comps.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn topo_order_callers_first() {
+        let g = chain(&["a", "b", "c"]);
+        let t = Topo::compute(&g);
+        let pos = |n: &str| {
+            let id = g.node_id(n).unwrap();
+            t.order.iter().position(|&x| x == id).unwrap()
+        };
+        assert!(pos("a") < pos("b"));
+        assert!(pos("b") < pos("c"));
+    }
+
+    #[test]
+    fn reachability_includes_start_even_for_isolated_nodes() {
+        let mut g = CallGraph::new();
+        let lone = g.add_node(CgNode {
+            name: "lone".into(),
+            demangled: "lone".into(),
+            has_body: true,
+            meta: NodeMeta::default(),
+        });
+        let mut s = g.empty_set();
+        s.insert(lone);
+        assert_eq!(reachable_from(&g, &s).count(), 1);
+        assert_eq!(reaching(&g, &s).count(), 1);
+    }
+}

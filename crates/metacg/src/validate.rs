@@ -1,0 +1,146 @@
+//! Profile-based call-graph validation.
+//!
+//! The static graph can miss edges at function-pointer sites MetaCG could
+//! not resolve. The paper (§III-A) describes a utility that validates the
+//! static call graph against a Score-P-generated profile and inserts the
+//! missing edges automatically. This module reproduces that utility: it
+//! takes measured caller→callee pairs and patches the graph.
+
+use crate::graph::{CallGraph, EdgeKind};
+
+/// A measured dynamic call edge, as extracted from a profile.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProfileEdge {
+    /// Caller function name.
+    pub caller: String,
+    /// Callee function name.
+    pub callee: String,
+}
+
+/// Outcome of validating a graph against a profile.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ValidationReport {
+    /// Edges present in the profile and already in the graph.
+    pub confirmed: usize,
+    /// Edges inserted (marked [`EdgeKind::ProfileValidated`]).
+    pub inserted: usize,
+    /// Profile edges whose endpoints are unknown to the graph; the
+    /// endpoints are added as declaration-only nodes and connected.
+    pub unknown_endpoints: usize,
+    /// Unresolved pointer sites that the profile confirmed (caller had a
+    /// recorded unresolved site and the measured callee was one of its
+    /// candidates).
+    pub resolved_pointer_sites: usize,
+}
+
+/// Validates `g` against `profile`, inserting any missing edges.
+///
+/// Returns a report with confirmation/insertion counts — the same
+/// information MetaCG's validation utility prints.
+pub fn validate_with_profile(g: &mut CallGraph, profile: &[ProfileEdge]) -> ValidationReport {
+    let mut report = ValidationReport::default();
+    for edge in profile {
+        let caller_known = g.node_id(&edge.caller).is_some();
+        let callee_known = g.node_id(&edge.callee).is_some();
+        if !caller_known || !callee_known {
+            report.unknown_endpoints += 1;
+        }
+        let from = g.add_declaration(&edge.caller);
+        let to = g.add_declaration(&edge.callee);
+        if g.has_edge(from, to) {
+            report.confirmed += 1;
+            continue;
+        }
+        // Did this edge correspond to a recorded unresolved pointer site?
+        let was_candidate = g
+            .unresolved_sites
+            .iter()
+            .any(|s| s.caller == from && s.candidates.contains(&to));
+        if was_candidate {
+            report.resolved_pointer_sites += 1;
+        }
+        g.add_edge(from, to, EdgeKind::ProfileValidated);
+        report.inserted += 1;
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{CgNode, NodeMeta, UnresolvedPointerSite};
+
+    fn node(name: &str) -> CgNode {
+        CgNode {
+            name: name.into(),
+            demangled: name.into(),
+            has_body: true,
+            meta: NodeMeta::default(),
+        }
+    }
+
+    fn edge(caller: &str, callee: &str) -> ProfileEdge {
+        ProfileEdge {
+            caller: caller.into(),
+            callee: callee.into(),
+        }
+    }
+
+    #[test]
+    fn confirms_existing_edges() {
+        let mut g = CallGraph::new();
+        let a = g.add_node(node("a"));
+        let b = g.add_node(node("b"));
+        g.add_edge(a, b, EdgeKind::Direct);
+        let r = validate_with_profile(&mut g, &[edge("a", "b")]);
+        assert_eq!(r.confirmed, 1);
+        assert_eq!(r.inserted, 0);
+    }
+
+    #[test]
+    fn inserts_missing_edges_with_profile_kind() {
+        let mut g = CallGraph::new();
+        g.add_node(node("a"));
+        g.add_node(node("b"));
+        let r = validate_with_profile(&mut g, &[edge("a", "b")]);
+        assert_eq!(r.inserted, 1);
+        let a = g.node_id("a").unwrap();
+        let b = g.node_id("b").unwrap();
+        assert_eq!(g.callees(a)[0], (b, EdgeKind::ProfileValidated));
+    }
+
+    #[test]
+    fn resolves_recorded_pointer_sites() {
+        let mut g = CallGraph::new();
+        let main = g.add_node(node("main"));
+        let cb = g.add_node(node("cb"));
+        g.unresolved_sites.push(UnresolvedPointerSite {
+            caller: main,
+            candidates: vec![cb],
+        });
+        let r = validate_with_profile(&mut g, &[edge("main", "cb")]);
+        assert_eq!(r.resolved_pointer_sites, 1);
+        assert!(g.has_edge(main, cb));
+    }
+
+    #[test]
+    fn unknown_endpoints_are_added_as_declarations() {
+        let mut g = CallGraph::new();
+        g.add_node(node("a"));
+        let r = validate_with_profile(&mut g, &[edge("a", "libm_sin")]);
+        assert_eq!(r.unknown_endpoints, 1);
+        assert_eq!(r.inserted, 1);
+        let ext = g.node_id("libm_sin").unwrap();
+        assert!(!g.node(ext).has_body);
+    }
+
+    #[test]
+    fn duplicate_profile_edges_confirm_after_first_insert() {
+        let mut g = CallGraph::new();
+        g.add_node(node("a"));
+        g.add_node(node("b"));
+        let r = validate_with_profile(&mut g, &[edge("a", "b"), edge("a", "b")]);
+        assert_eq!(r.inserted, 1);
+        assert_eq!(r.confirmed, 1);
+    }
+}

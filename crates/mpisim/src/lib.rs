@@ -1,0 +1,32 @@
+//! # capi-mpisim — MPI simulation substrate
+//!
+//! TALP monitors applications exclusively through the PMPI profiling
+//! interface (paper §III-B): it intercepts MPI calls to split each rank's
+//! time into *useful computation* and *MPI communication*. To exercise
+//! that code path without a real MPI installation, this crate provides a
+//! deterministic MPI simulation:
+//!
+//! * every simulated rank runs on its own OS thread and carries a
+//!   *virtual clock* in nanoseconds;
+//! * collectives are rendezvous points: all ranks' clocks synchronize to
+//!   the latest arrival plus a size/topology-dependent cost — precisely
+//!   the mechanism that turns compute imbalance into MPI wait time, which
+//!   is what the POP load-balance metric measures;
+//! * point-to-point exchanges carry virtual timestamps through real
+//!   channels, so receive clocks respect the sender's progress;
+//! * a [`pmpi::PmpiHook`] registry reproduces the PMPI interposition
+//!   layer: hooks observe enter/leave times of every MPI call, plus
+//!   `MPI_Init`/`MPI_Finalize` lifecycle events.
+//!
+//! Determinism: given identical per-rank workloads, virtual clocks are
+//! reproducible because cross-rank interactions happen only at
+//! rendezvous/channel points whose ordering in *virtual time* is fixed
+//! (OS scheduling affects wall time only).
+
+pub mod ops;
+pub mod pmpi;
+pub mod world;
+
+pub use ops::{CostModel, MpiOp};
+pub use pmpi::{NullHook, PmpiHook};
+pub use world::{MpiError, RankCtx, World};

@@ -1,0 +1,149 @@
+//! MPI operations and their virtual-time cost model.
+
+use std::fmt;
+
+/// An MPI operation as seen by the simulator and by PMPI hooks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MpiOp {
+    /// `MPI_Init`.
+    Init,
+    /// `MPI_Finalize`.
+    Finalize,
+    /// `MPI_Barrier`.
+    Barrier,
+    /// `MPI_Allreduce` with payload size.
+    Allreduce {
+        /// Payload bytes.
+        bytes: u32,
+    },
+    /// `MPI_Bcast` with payload size.
+    Bcast {
+        /// Payload bytes.
+        bytes: u32,
+    },
+    /// `MPI_Reduce` with payload size.
+    Reduce {
+        /// Payload bytes.
+        bytes: u32,
+    },
+    /// Ring neighbour exchange (`MPI_Sendrecv` both ways).
+    RingExchange {
+        /// Payload bytes per direction.
+        bytes: u32,
+    },
+    /// `MPI_Waitall`-style local completion.
+    Wait,
+}
+
+impl MpiOp {
+    /// MPI-style function name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MpiOp::Init => "MPI_Init",
+            MpiOp::Finalize => "MPI_Finalize",
+            MpiOp::Barrier => "MPI_Barrier",
+            MpiOp::Allreduce { .. } => "MPI_Allreduce",
+            MpiOp::Bcast { .. } => "MPI_Bcast",
+            MpiOp::Reduce { .. } => "MPI_Reduce",
+            MpiOp::RingExchange { .. } => "MPI_Sendrecv",
+            MpiOp::Wait => "MPI_Waitall",
+        }
+    }
+
+    /// Whether all ranks must rendezvous.
+    pub fn is_collective(&self) -> bool {
+        matches!(
+            self,
+            MpiOp::Init
+                | MpiOp::Finalize
+                | MpiOp::Barrier
+                | MpiOp::Allreduce { .. }
+                | MpiOp::Bcast { .. }
+                | MpiOp::Reduce { .. }
+        )
+    }
+}
+
+impl fmt::Display for MpiOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Virtual-time communication cost model (simple latency/bandwidth/log-P).
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    /// Per-message latency in ns.
+    pub latency_ns: u64,
+    /// Bandwidth in bytes per µs (so cost = bytes * 1000 / bw ns).
+    pub bytes_per_us: u64,
+    /// Extra latency factor per log2(P) stage of a collective.
+    pub collective_stage_ns: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            latency_ns: 1_200,
+            bytes_per_us: 10_000, // ~10 GB/s
+            collective_stage_ns: 900,
+        }
+    }
+}
+
+impl CostModel {
+    /// Cost of transferring `bytes` point-to-point.
+    pub fn p2p_cost(&self, bytes: u32) -> u64 {
+        self.latency_ns + (bytes as u64 * 1_000) / self.bytes_per_us.max(1)
+    }
+
+    /// Cost added to the rendezvous time of a collective across `p` ranks.
+    pub fn collective_cost(&self, op: &MpiOp, p: u32) -> u64 {
+        let stages = 32 - (p.max(1)).leading_zeros() as u64; // ceil(log2)+1-ish
+        let payload = match op {
+            MpiOp::Allreduce { bytes } | MpiOp::Bcast { bytes } | MpiOp::Reduce { bytes } => {
+                *bytes as u64
+            }
+            _ => 0,
+        };
+        self.latency_ns
+            + stages * self.collective_stage_ns
+            + (payload * 1_000) / self.bytes_per_us.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_and_names() {
+        assert!(MpiOp::Barrier.is_collective());
+        assert!(!MpiOp::RingExchange { bytes: 8 }.is_collective());
+        assert_eq!(MpiOp::Allreduce { bytes: 8 }.name(), "MPI_Allreduce");
+        assert_eq!(MpiOp::Wait.to_string(), "MPI_Waitall");
+    }
+
+    #[test]
+    fn p2p_cost_scales_with_bytes() {
+        let m = CostModel::default();
+        assert!(m.p2p_cost(1_000_000) > m.p2p_cost(100));
+        assert_eq!(m.p2p_cost(0), m.latency_ns);
+    }
+
+    #[test]
+    fn collective_cost_grows_with_ranks() {
+        let m = CostModel::default();
+        let small = m.collective_cost(&MpiOp::Barrier, 2);
+        let big = m.collective_cost(&MpiOp::Barrier, 64);
+        assert!(big > small);
+    }
+
+    #[test]
+    fn collective_payload_contributes() {
+        let m = CostModel::default();
+        let empty = m.collective_cost(&MpiOp::Barrier, 8);
+        let heavy = m.collective_cost(&MpiOp::Allreduce { bytes: 1_000_000 }, 8);
+        assert!(heavy > empty);
+    }
+}

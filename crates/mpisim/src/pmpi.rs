@@ -1,0 +1,59 @@
+//! The PMPI interception layer.
+//!
+//! Real TALP interposes on MPI via the PMPI profiling interface: every
+//! `MPI_X` call first enters the tool's wrapper, which records state and
+//! then calls the real `PMPI_X` (paper §III-B). Here, the simulated MPI
+//! entry points invoke every registered [`PmpiHook`] before and after
+//! performing the operation, passing the rank's virtual clock at each
+//! point — which is all TALP needs to attribute time to computation vs.
+//! communication.
+
+use crate::ops::MpiOp;
+
+/// Observer interface for intercepted MPI calls.
+///
+/// Implementations must be thread-safe: hooks fire concurrently from all
+/// rank threads.
+pub trait PmpiHook: Send + Sync {
+    /// Called when `rank` enters an MPI operation at virtual time `clock`.
+    fn pre_mpi(&self, rank: u32, op: &MpiOp, clock: u64);
+
+    /// Called when `rank` leaves the operation at virtual time `clock`.
+    /// Returns the *virtual cost* of the tool's own bookkeeping in ns;
+    /// the world charges it to the rank's clock. TALP's cost here scales
+    /// with the number of open monitoring regions — the effect that makes
+    /// call-path-deep ICs expensive under TALP (Table II, openfoam mpi).
+    fn post_mpi(&self, rank: u32, op: &MpiOp, clock: u64) -> u64;
+
+    /// Called once per rank after `MPI_Init` completes.
+    fn on_init(&self, _rank: u32, _clock: u64) {}
+
+    /// Called once per rank as `MPI_Finalize` begins (before the final
+    /// rendezvous), the point where TALP emits its report.
+    fn on_finalize(&self, _rank: u32, _clock: u64) {}
+}
+
+/// A hook that observes nothing (default wiring).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullHook;
+
+impl PmpiHook for NullHook {
+    fn pre_mpi(&self, _rank: u32, _op: &MpiOp, _clock: u64) {}
+    fn post_mpi(&self, _rank: u32, _op: &MpiOp, _clock: u64) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_hook_is_callable() {
+        let h = NullHook;
+        h.pre_mpi(0, &MpiOp::Barrier, 1);
+        assert_eq!(h.post_mpi(0, &MpiOp::Barrier, 2), 0);
+        h.on_init(0, 0);
+        h.on_finalize(0, 10);
+    }
+}

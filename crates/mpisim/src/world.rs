@@ -1,0 +1,483 @@
+//! The simulated `MPI_COMM_WORLD`.
+//!
+//! Each rank runs on its own OS thread. Collectives are rendezvous
+//! points implemented with a mutex/condvar generation counter; point-to-
+//! point messages travel through real channels carrying virtual
+//! timestamps. All cross-rank time coupling happens in *virtual* time,
+//! so results are deterministic regardless of OS scheduling.
+
+use crate::ops::{CostModel, MpiOp};
+use crate::pmpi::PmpiHook;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// MPI simulation errors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MpiError {
+    /// Operation issued before `MPI_Init` completed on this rank.
+    NotInitialized {
+        /// The offending rank.
+        rank: u32,
+    },
+    /// Ranks disagreed about which collective they are in.
+    CollectiveMismatch {
+        /// Operation of the first arriving rank.
+        expected: &'static str,
+        /// Operation this rank tried to run.
+        got: &'static str,
+    },
+    /// A previous mismatch poisoned the communicator.
+    Poisoned,
+}
+
+impl fmt::Display for MpiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpiError::NotInitialized { rank } => {
+                write!(f, "rank {rank} called MPI before MPI_Init")
+            }
+            MpiError::CollectiveMismatch { expected, got } => {
+                write!(f, "collective mismatch: expected {expected}, got {got}")
+            }
+            MpiError::Poisoned => write!(f, "communicator poisoned by earlier error"),
+        }
+    }
+}
+
+impl std::error::Error for MpiError {}
+
+struct CollState {
+    epoch: u64,
+    arrived: u32,
+    max_clock: u64,
+    sig: Option<&'static str>,
+    result: u64,
+    poisoned: bool,
+}
+
+type Msg = u64; // virtual send timestamp
+
+/// The simulated communicator (`MPI_COMM_WORLD`).
+pub struct World {
+    size: u32,
+    cost: CostModel,
+    hooks: RwLock<Vec<Arc<dyn PmpiHook>>>,
+    initialized: Vec<AtomicBool>,
+    coll: Mutex<CollState>,
+    coll_cv: Condvar,
+    /// `tx[src][dst]`.
+    p2p_tx: Vec<Vec<Sender<Msg>>>,
+    /// `rx[dst][src]` behind mutexes (receivers are single-consumer).
+    p2p_rx: Vec<Vec<Mutex<Receiver<Msg>>>>,
+    /// Cumulative MPI time per rank (ns), for cross-checking tools.
+    mpi_time: Vec<AtomicU64>,
+}
+
+impl World {
+    /// Creates a world of `size` ranks.
+    pub fn new(size: u32, cost: CostModel) -> Arc<Self> {
+        assert!(size > 0, "world needs at least one rank");
+        let n = size as usize;
+        let mut tx: Vec<Vec<Sender<Msg>>> = (0..n).map(|_| Vec::with_capacity(n)).collect();
+        let mut rx: Vec<Vec<Option<Receiver<Msg>>>> = (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+        for (src, tx_row) in tx.iter_mut().enumerate() {
+            for rx_row in rx.iter_mut() {
+                let (s, r) = unbounded();
+                tx_row.push(s);
+                rx_row[src] = Some(r);
+            }
+        }
+        let p2p_rx = rx
+            .into_iter()
+            .map(|row| {
+                row.into_iter()
+                    .map(|r| Mutex::new(r.expect("channel created above")))
+                    .collect()
+            })
+            .collect();
+        Arc::new(Self {
+            size,
+            cost,
+            hooks: RwLock::new(Vec::new()),
+            initialized: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            coll: Mutex::new(CollState {
+                epoch: 0,
+                arrived: 0,
+                max_clock: 0,
+                sig: None,
+                result: 0,
+                poisoned: false,
+            }),
+            coll_cv: Condvar::new(),
+            p2p_tx: tx,
+            p2p_rx,
+            mpi_time: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        })
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// Registers a PMPI hook (tool interposition).
+    pub fn add_hook(&self, hook: Arc<dyn PmpiHook>) {
+        self.hooks.write().push(hook);
+    }
+
+    /// Whether `MPI_Init` completed on `rank`.
+    pub fn is_initialized(&self, rank: u32) -> bool {
+        self.initialized[rank as usize].load(Ordering::Acquire)
+    }
+
+    /// Cumulative MPI time spent by `rank`, in ns.
+    pub fn mpi_time(&self, rank: u32) -> u64 {
+        self.mpi_time[rank as usize].load(Ordering::Relaxed)
+    }
+
+    fn pre_hooks(&self, rank: u32, op: &MpiOp, clock: u64) {
+        for h in self.hooks.read().iter() {
+            h.pre_mpi(rank, op, clock);
+        }
+    }
+
+    /// Runs post hooks, returning the summed tool bookkeeping cost.
+    fn post_hooks(&self, rank: u32, op: &MpiOp, clock: u64) -> u64 {
+        let mut cost = 0;
+        for h in self.hooks.read().iter() {
+            cost += h.post_mpi(rank, op, clock);
+        }
+        cost
+    }
+
+    /// Performs any MPI operation, returning the rank's clock after it.
+    pub fn perform(&self, rank: u32, clock: u64, op: MpiOp) -> Result<u64, MpiError> {
+        match op {
+            MpiOp::Init => self.init(rank, clock),
+            MpiOp::Finalize => self.finalize(rank, clock),
+            MpiOp::Wait => Ok(self.wait(rank, clock)),
+            MpiOp::RingExchange { bytes } => self.ring_exchange(rank, clock, bytes),
+            _ => self.collective(rank, clock, op),
+        }
+    }
+
+    /// `MPI_Init`: collective; marks the rank initialized.
+    pub fn init(&self, rank: u32, clock: u64) -> Result<u64, MpiError> {
+        let out = self.rendezvous(rank, clock, MpiOp::Init)?;
+        self.initialized[rank as usize].store(true, Ordering::Release);
+        for h in self.hooks.read().iter() {
+            h.on_init(rank, out);
+        }
+        Ok(out)
+    }
+
+    /// `MPI_Finalize`: notifies hooks (report point), then rendezvous.
+    pub fn finalize(&self, rank: u32, clock: u64) -> Result<u64, MpiError> {
+        self.check_init(rank)?;
+        for h in self.hooks.read().iter() {
+            h.on_finalize(rank, clock);
+        }
+        let out = self.rendezvous(rank, clock, MpiOp::Finalize)?;
+        self.initialized[rank as usize].store(false, Ordering::Release);
+        Ok(out)
+    }
+
+    /// A synchronizing collective (`Barrier`, `Allreduce`, `Bcast`,
+    /// `Reduce`).
+    pub fn collective(&self, rank: u32, clock: u64, op: MpiOp) -> Result<u64, MpiError> {
+        self.check_init(rank)?;
+        self.rendezvous(rank, clock, op)
+    }
+
+    fn rendezvous(&self, rank: u32, clock: u64, op: MpiOp) -> Result<u64, MpiError> {
+        self.pre_hooks(rank, &op, clock);
+        let out = {
+            let mut st = self.coll.lock();
+            if st.poisoned {
+                return Err(MpiError::Poisoned);
+            }
+            match st.sig {
+                None => st.sig = Some(op.name()),
+                Some(sig) if sig != op.name() => {
+                    st.poisoned = true;
+                    self.coll_cv.notify_all();
+                    return Err(MpiError::CollectiveMismatch {
+                        expected: sig,
+                        got: op.name(),
+                    });
+                }
+                Some(_) => {}
+            }
+            st.max_clock = st.max_clock.max(clock);
+            st.arrived += 1;
+            if st.arrived == self.size {
+                st.result = st.max_clock + self.cost.collective_cost(&op, self.size);
+                st.epoch += 1;
+                st.arrived = 0;
+                st.max_clock = 0;
+                st.sig = None;
+                self.coll_cv.notify_all();
+                st.result
+            } else {
+                let my_epoch = st.epoch;
+                while st.epoch == my_epoch && !st.poisoned {
+                    self.coll_cv.wait(&mut st);
+                }
+                if st.poisoned {
+                    return Err(MpiError::Poisoned);
+                }
+                st.result
+            }
+        };
+        let tool_cost = self.post_hooks(rank, &op, out);
+        self.mpi_time[rank as usize].fetch_add(out.saturating_sub(clock), Ordering::Relaxed);
+        Ok(out + tool_cost)
+    }
+
+    /// Neighbour halo exchange on a ring: sendrecv with both neighbours.
+    pub fn ring_exchange(&self, rank: u32, clock: u64, bytes: u32) -> Result<u64, MpiError> {
+        self.check_init(rank)?;
+        let op = MpiOp::RingExchange { bytes };
+        self.pre_hooks(rank, &op, clock);
+        let n = self.size as usize;
+        let me = rank as usize;
+        let left = (me + n - 1) % n;
+        let right = (me + 1) % n;
+        // Post sends (never block: unbounded channels).
+        self.p2p_tx[me][left].send(clock).expect("receiver alive");
+        self.p2p_tx[me][right].send(clock).expect("receiver alive");
+        // Blocking receives: data arrival respects the sender's progress.
+        let ts_left = self.p2p_rx[me][left].lock().recv().expect("sender alive");
+        let ts_right = self.p2p_rx[me][right].lock().recv().expect("sender alive");
+        let transfer = self.cost.p2p_cost(bytes);
+        let out = clock
+            .max(ts_left + transfer)
+            .max(ts_right + transfer)
+            .max(clock + 2 * self.cost.latency_ns);
+        let tool_cost = self.post_hooks(rank, &op, out);
+        self.mpi_time[rank as usize].fetch_add(out - clock, Ordering::Relaxed);
+        Ok(out + tool_cost)
+    }
+
+    /// Local completion (`MPI_Waitall`): latency only.
+    pub fn wait(&self, rank: u32, clock: u64) -> u64 {
+        let op = MpiOp::Wait;
+        self.pre_hooks(rank, &op, clock);
+        let out = clock + self.cost.latency_ns / 4;
+        let tool_cost = self.post_hooks(rank, &op, out);
+        self.mpi_time[rank as usize].fetch_add(out - clock, Ordering::Relaxed);
+        out + tool_cost
+    }
+
+    fn check_init(&self, rank: u32) -> Result<(), MpiError> {
+        if !self.is_initialized(rank) {
+            return Err(MpiError::NotInitialized { rank });
+        }
+        Ok(())
+    }
+
+    /// Runs `f` once per rank, each on its own thread, and returns the
+    /// results in rank order. This is the `mpirun` equivalent.
+    pub fn run<R: Send>(
+        self: &Arc<Self>,
+        f: impl Fn(RankCtx) -> R + Send + Sync,
+    ) -> Vec<R> {
+        let mut out: Vec<Option<R>> = (0..self.size).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for rank in 0..self.size {
+                let world = Arc::clone(self);
+                let f = &f;
+                handles.push(scope.spawn(move || f(RankCtx { rank, world })));
+            }
+            for (rank, h) in handles.into_iter().enumerate() {
+                out[rank] = Some(h.join().expect("rank thread panicked"));
+            }
+        });
+        out.into_iter().map(|r| r.expect("all ranks ran")).collect()
+    }
+}
+
+/// Per-rank execution context handed to [`World::run`] closures.
+#[derive(Clone)]
+pub struct RankCtx {
+    /// This rank's index.
+    pub rank: u32,
+    /// The shared world.
+    pub world: Arc<World>,
+}
+
+impl RankCtx {
+    /// Performs `op`, returning the updated clock.
+    pub fn perform(&self, clock: u64, op: MpiOp) -> Result<u64, MpiError> {
+        self.world.perform(self.rank, clock, op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex as PMutex;
+
+    #[test]
+    fn barrier_synchronizes_clocks_to_slowest() {
+        let w = World::new(4, CostModel::default());
+        let outs = w.run(|ctx| {
+            let start = (ctx.rank as u64 + 1) * 1_000; // rank 3 slowest
+            let c = ctx.perform(0, MpiOp::Init).unwrap();
+            let c = ctx.perform(c + start, MpiOp::Barrier).unwrap();
+            c
+        });
+        // All ranks leave the barrier at the same virtual time.
+        assert!(outs.windows(2).all(|w| w[0] == w[1]));
+        // And that time is at least the slowest rank's arrival.
+        let init_end = {
+            let w2 = World::new(4, CostModel::default());
+            w2.run(|ctx| ctx.perform(0, MpiOp::Init).unwrap())[0]
+        };
+        assert!(outs[0] >= init_end + 4_000);
+    }
+
+    #[test]
+    fn mpi_before_init_fails() {
+        let w = World::new(1, CostModel::default());
+        let r = w.run(|ctx| ctx.perform(0, MpiOp::Barrier));
+        assert_eq!(r[0], Err(MpiError::NotInitialized { rank: 0 }));
+    }
+
+    #[test]
+    fn collective_mismatch_poisons_world() {
+        let w = World::new(2, CostModel::default());
+        let outs = w.run(|ctx| {
+            let c = ctx.perform(0, MpiOp::Init).unwrap();
+            if ctx.rank == 0 {
+                ctx.perform(c, MpiOp::Barrier)
+            } else {
+                ctx.perform(c, MpiOp::Allreduce { bytes: 8 })
+            }
+        });
+        let errs: Vec<bool> = outs.iter().map(|o| o.is_err()).collect();
+        assert!(errs.iter().filter(|&&e| e).count() >= 1);
+        assert!(outs.iter().any(|o| matches!(
+            o,
+            Err(MpiError::CollectiveMismatch { .. }) | Err(MpiError::Poisoned)
+        )));
+    }
+
+    #[test]
+    fn ring_exchange_waits_for_neighbours() {
+        let w = World::new(3, CostModel::default());
+        let outs = w.run(|ctx| {
+            let c = ctx.perform(0, MpiOp::Init).unwrap();
+            // Rank 1 computes much longer before exchanging.
+            let local = if ctx.rank == 1 { 1_000_000 } else { 100 };
+            ctx.perform(c + local, MpiOp::RingExchange { bytes: 4096 })
+                .unwrap()
+        });
+        // Ranks 0 and 2 neighbour rank 1, so they cannot finish before
+        // rank 1 sent (≥ 1_000_000 + transfer).
+        assert!(outs[0] > 1_000_000);
+        assert!(outs[2] > 1_000_000);
+    }
+
+    #[test]
+    fn mpi_time_accounts_wait_in_collectives() {
+        let w = World::new(2, CostModel::default());
+        w.run(|ctx| {
+            let c = ctx.perform(0, MpiOp::Init).unwrap();
+            let skew = if ctx.rank == 0 { 0 } else { 500_000 };
+            ctx.perform(c + skew, MpiOp::Barrier).unwrap()
+        });
+        // Rank 0 waited for rank 1: its MPI time exceeds rank 1's.
+        assert!(w.mpi_time(0) > w.mpi_time(1));
+        assert!(w.mpi_time(0) >= 500_000);
+    }
+
+    #[test]
+    fn hooks_see_pre_and_post_times() {
+        #[derive(Default)]
+        struct Recorder {
+            events: PMutex<Vec<(u32, String, u64, u64)>>,
+        }
+        impl PmpiHook for Recorder {
+            fn pre_mpi(&self, rank: u32, op: &MpiOp, clock: u64) {
+                self.events.lock().push((rank, op.name().into(), clock, 0));
+            }
+            fn post_mpi(&self, rank: u32, op: &MpiOp, clock: u64) -> u64 {
+                let mut ev = self.events.lock();
+                let last = ev
+                    .iter_mut()
+                    .rev()
+                    .find(|(r, n, _, post)| *r == rank && *post == 0 && n == op.name())
+                    .expect("matching pre");
+                last.3 = clock;
+                0
+            }
+        }
+        let rec = Arc::new(Recorder::default());
+        let w = World::new(2, CostModel::default());
+        w.add_hook(rec.clone());
+        w.run(|ctx| {
+            let c = ctx.perform(0, MpiOp::Init).unwrap();
+            ctx.perform(c, MpiOp::Barrier).unwrap()
+        });
+        let evs = rec.events.lock();
+        // 2 ranks × (Init + Barrier).
+        assert_eq!(evs.len(), 4);
+        assert!(evs.iter().all(|(_, _, pre, post)| post >= pre));
+    }
+
+    #[test]
+    fn finalize_fires_report_hook_once_per_rank() {
+        #[derive(Default)]
+        struct FinalCount {
+            n: std::sync::atomic::AtomicU32,
+        }
+        impl PmpiHook for FinalCount {
+            fn pre_mpi(&self, _: u32, _: &MpiOp, _: u64) {}
+            fn post_mpi(&self, _: u32, _: &MpiOp, _: u64) -> u64 {
+                0
+            }
+            fn on_finalize(&self, _: u32, _: u64) {
+                self.n.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let fc = Arc::new(FinalCount::default());
+        let w = World::new(3, CostModel::default());
+        w.add_hook(fc.clone());
+        w.run(|ctx| {
+            let c = ctx.perform(0, MpiOp::Init).unwrap();
+            ctx.perform(c, MpiOp::Finalize).unwrap()
+        });
+        assert_eq!(fc.n.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let run = || {
+            let w = World::new(4, CostModel::default());
+            w.run(|ctx| {
+                let mut c = ctx.perform(0, MpiOp::Init).unwrap();
+                c += (ctx.rank as u64 + 1) * 777;
+                c = ctx.perform(c, MpiOp::RingExchange { bytes: 1024 }).unwrap();
+                c = ctx.perform(c, MpiOp::Allreduce { bytes: 64 }).unwrap();
+                ctx.perform(c, MpiOp::Finalize).unwrap()
+            })
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn single_rank_world_works() {
+        let w = World::new(1, CostModel::default());
+        let outs = w.run(|ctx| {
+            let c = ctx.perform(0, MpiOp::Init).unwrap();
+            let c = ctx.perform(c, MpiOp::RingExchange { bytes: 16 }).unwrap();
+            ctx.perform(c, MpiOp::Finalize).unwrap()
+        });
+        assert_eq!(outs.len(), 1);
+    }
+}

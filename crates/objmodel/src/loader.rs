@@ -1,0 +1,332 @@
+//! Simulated process and dynamic loader.
+//!
+//! The paper's DynCaPI resolves symbols by "examining the virtual memory
+//! layout of the running process" and translating per-object symbol
+//! addresses to their mapped locations (§V-C1, symbol injection). This
+//! module provides that substrate: objects are loaded at page-aligned
+//! base addresses (DSOs at *relocated* bases — which is why trampolines
+//! must be position-independent, §V-B2), symbols are bound in dynamic-
+//! linker resolution order, and the process can produce a
+//! `/proc/<pid>/maps`-style listing.
+
+use crate::memory::{AddressSpace, MemError, PagePerms, PAGE_SIZE};
+use crate::object::{Binary, Object, ObjectKind};
+use std::fmt;
+use std::sync::Arc;
+
+/// Preferred base of the main executable.
+pub const EXE_BASE: u64 = 0x0040_0000;
+/// Base of the DSO mapping area; every DSO is relocated here, away from
+/// its preferred (link-time) base of 0.
+pub const DSO_AREA: u64 = 0x7f00_0000_0000;
+/// Gap between consecutive DSO mappings.
+const DSO_STRIDE: u64 = 0x0100_0000;
+
+/// Resolved function location.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FuncAddr {
+    /// Index into the process' loaded-object list (0 = executable).
+    pub object: usize,
+    /// Function index within the object.
+    pub func: u32,
+    /// Absolute virtual address.
+    pub addr: u64,
+}
+
+/// Loader errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LoadError {
+    /// Mapping failed.
+    Mem(MemError),
+    /// `dlclose` on an object that is not loaded.
+    NotLoaded(String),
+    /// `dlopen` of an already-loaded object.
+    AlreadyLoaded(String),
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Mem(e) => write!(f, "mapping failure: {e}"),
+            LoadError::NotLoaded(n) => write!(f, "object `{n}` is not loaded"),
+            LoadError::AlreadyLoaded(n) => write!(f, "object `{n}` is already loaded"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<MemError> for LoadError {
+    fn from(e: MemError) -> Self {
+        LoadError::Mem(e)
+    }
+}
+
+/// One loaded object: shared image + its base address.
+#[derive(Clone, Debug)]
+pub struct LoadedObject {
+    /// The object image (shared; images are immutable once compiled).
+    pub image: Arc<Object>,
+    /// Load base address.
+    pub base: u64,
+    /// Whether the object was loaded at its preferred base (true only
+    /// for the executable). Relocated objects require GOT-relative
+    /// addressing in trampolines.
+    pub at_preferred_base: bool,
+}
+
+impl LoadedObject {
+    /// Absolute address of a function.
+    pub fn func_addr(&self, idx: u32) -> u64 {
+        self.base + self.image.function(idx).offset
+    }
+}
+
+/// A `/proc/<pid>/maps`-style entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MapEntry {
+    /// Mapping base.
+    pub base: u64,
+    /// Mapping length.
+    pub len: u64,
+    /// Backing object name.
+    pub path: String,
+}
+
+/// The simulated process.
+#[derive(Clone, Debug)]
+pub struct Process {
+    /// Loaded objects; index 0 is always the executable.
+    objects: Vec<Option<LoadedObject>>,
+    /// The address space with page permissions.
+    pub memory: AddressSpace,
+    next_dso_slot: u64,
+}
+
+impl Process {
+    /// Creates a process with `exe` mapped at its preferred base.
+    pub fn launch(exe: Arc<Object>) -> Result<Self, LoadError> {
+        assert_eq!(exe.kind, ObjectKind::Executable, "launch requires an executable");
+        let mut memory = AddressSpace::new();
+        memory.map(EXE_BASE, exe.code_size.max(1), PagePerms::RX, &exe.name)?;
+        Ok(Self {
+            objects: vec![Some(LoadedObject {
+                image: exe,
+                base: EXE_BASE,
+                at_preferred_base: true,
+            })],
+            memory,
+            next_dso_slot: 0,
+        })
+    }
+
+    /// Convenience: launches a process and `dlopen`s every DSO of `bin`
+    /// (the usual `ld.so` startup for NEEDED entries).
+    pub fn launch_binary(bin: &Binary) -> Result<Self, LoadError> {
+        let mut p = Self::launch(Arc::new(bin.executable.clone()))?;
+        for dso in &bin.dsos {
+            p.dlopen(Arc::new(dso.clone()))?;
+        }
+        Ok(p)
+    }
+
+    /// Loads a shared object at a relocated base; returns its index.
+    pub fn dlopen(&mut self, dso: Arc<Object>) -> Result<usize, LoadError> {
+        if self.loaded_index(&dso.name).is_some() {
+            return Err(LoadError::AlreadyLoaded(dso.name.clone()));
+        }
+        let base = DSO_AREA + self.next_dso_slot * DSO_STRIDE;
+        self.next_dso_slot += 1;
+        self.memory
+            .map(base, dso.code_size.max(1), PagePerms::RX, &dso.name)?;
+        let entry = LoadedObject {
+            image: dso,
+            base,
+            at_preferred_base: false,
+        };
+        // Reuse a vacated slot if any (dlclose leaves holes so indices of
+        // other objects remain stable).
+        if let Some(i) = self.objects.iter().position(Option::is_none) {
+            self.objects[i] = Some(entry);
+            Ok(i)
+        } else {
+            self.objects.push(Some(entry));
+            Ok(self.objects.len() - 1)
+        }
+    }
+
+    /// Unloads a shared object by name.
+    pub fn dlclose(&mut self, name: &str) -> Result<(), LoadError> {
+        let idx = self
+            .loaded_index(name)
+            .ok_or_else(|| LoadError::NotLoaded(name.to_string()))?;
+        assert!(idx != 0, "cannot dlclose the main executable");
+        let obj = self.objects[idx].take().expect("index from loaded_index");
+        self.memory.unmap(obj.base)?;
+        Ok(())
+    }
+
+    /// Index of a loaded object by name.
+    pub fn loaded_index(&self, name: &str) -> Option<usize> {
+        self.objects
+            .iter()
+            .position(|o| o.as_ref().is_some_and(|o| o.image.name == name))
+    }
+
+    /// Loaded object by index (None if unloaded).
+    pub fn object(&self, idx: usize) -> Option<&LoadedObject> {
+        self.objects.get(idx).and_then(Option::as_ref)
+    }
+
+    /// All currently loaded objects with their indices.
+    pub fn loaded(&self) -> impl Iterator<Item = (usize, &LoadedObject)> {
+        self.objects
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| o.as_ref().map(|o| (i, o)))
+    }
+
+    /// Number of loaded objects.
+    pub fn num_loaded(&self) -> usize {
+        self.objects.iter().flatten().count()
+    }
+
+    /// Resolves `name` in dynamic-linker order: executable first, then
+    /// DSOs in load order. Only *emitted* function bodies resolve.
+    pub fn resolve(&self, name: &str) -> Option<FuncAddr> {
+        for (i, o) in self.loaded() {
+            if let Some(fi) = o.image.function_index(name) {
+                return Some(FuncAddr {
+                    object: i,
+                    func: fi,
+                    addr: o.func_addr(fi),
+                });
+            }
+        }
+        None
+    }
+
+    /// Reverse lookup: which function contains `addr`?
+    pub fn function_at(&self, addr: u64) -> Option<FuncAddr> {
+        for (i, o) in self.loaded() {
+            if addr >= o.base && addr < o.base + o.image.code_size {
+                if let Some((fi, _)) = o.image.function_at_offset(addr - o.base) {
+                    return Some(FuncAddr {
+                        object: i,
+                        func: fi,
+                        addr: o.func_addr(fi),
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    /// `/proc/<pid>/maps`-style listing, ascending by base.
+    pub fn memory_map(&self) -> Vec<MapEntry> {
+        let mut entries: Vec<MapEntry> = self
+            .loaded()
+            .map(|(_, o)| MapEntry {
+                base: o.base,
+                len: o.image.code_size.div_ceil(PAGE_SIZE).max(1) * PAGE_SIZE,
+                path: o.image.name.clone(),
+            })
+            .collect();
+        entries.sort_by_key(|e| e.base);
+        entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::{compile, CompileOptions};
+    use capi_appmodel::{LinkTarget, ProgramBuilder};
+
+    fn binary() -> Binary {
+        let mut b = ProgramBuilder::new("app");
+        b.unit("m.cc", LinkTarget::Executable);
+        b.function("main").main().statements(50).calls("solve", 1).finish();
+        b.unit("s.cc", LinkTarget::Dso("libsolver.so".into()));
+        b.function("solve").statements(60).instructions(400).finish();
+        b.unit("t.cc", LinkTarget::Dso("libtools.so".into()));
+        b.function("tool").statements(60).instructions(300).finish();
+        let p = b.build().unwrap();
+        compile(&p, &CompileOptions::o2()).unwrap()
+    }
+
+    #[test]
+    fn launch_binary_loads_everything() {
+        let bin = binary();
+        let p = Process::launch_binary(&bin).unwrap();
+        assert_eq!(p.num_loaded(), 3);
+        assert!(p.object(0).unwrap().at_preferred_base);
+        assert!(!p.object(1).unwrap().at_preferred_base);
+    }
+
+    #[test]
+    fn resolution_order_is_exe_first_then_load_order() {
+        let bin = binary();
+        let p = Process::launch_binary(&bin).unwrap();
+        let main = p.resolve("main").unwrap();
+        assert_eq!(main.object, 0);
+        let solve = p.resolve("solve").unwrap();
+        assert_eq!(solve.object, 1);
+        assert!(solve.addr >= DSO_AREA);
+        assert!(p.resolve("nonexistent").is_none());
+    }
+
+    #[test]
+    fn function_at_reverse_lookup() {
+        let bin = binary();
+        let p = Process::launch_binary(&bin).unwrap();
+        let solve = p.resolve("solve").unwrap();
+        let back = p.function_at(solve.addr + 4).unwrap();
+        assert_eq!(back.func, solve.func);
+        assert_eq!(back.object, solve.object);
+        assert!(p.function_at(0xdead_beef_0000).is_none());
+    }
+
+    #[test]
+    fn dlclose_unloads_and_slot_is_reused() {
+        let bin = binary();
+        let mut p = Process::launch_binary(&bin).unwrap();
+        p.dlclose("libsolver.so").unwrap();
+        assert_eq!(p.num_loaded(), 2);
+        assert!(p.resolve("solve").is_none());
+        // Reload into the vacated slot.
+        let idx = p.dlopen(Arc::new(bin.dsos[0].clone())).unwrap();
+        assert_eq!(idx, 1);
+        assert!(p.resolve("solve").is_some());
+    }
+
+    #[test]
+    fn dlopen_twice_fails() {
+        let bin = binary();
+        let mut p = Process::launch_binary(&bin).unwrap();
+        assert!(matches!(
+            p.dlopen(Arc::new(bin.dsos[0].clone())),
+            Err(LoadError::AlreadyLoaded(_))
+        ));
+    }
+
+    #[test]
+    fn memory_map_lists_all_objects_sorted() {
+        let bin = binary();
+        let p = Process::launch_binary(&bin).unwrap();
+        let map = p.memory_map();
+        assert_eq!(map.len(), 3);
+        assert_eq!(map[0].path, "app");
+        assert!(map.windows(2).all(|w| w[0].base < w[1].base));
+    }
+
+    #[test]
+    fn dso_bases_do_not_collide() {
+        let bin = binary();
+        let p = Process::launch_binary(&bin).unwrap();
+        let bases: Vec<u64> = p.loaded().map(|(_, o)| o.base).collect();
+        let mut dedup = bases.clone();
+        dedup.dedup();
+        assert_eq!(bases.len(), dedup.len());
+    }
+}

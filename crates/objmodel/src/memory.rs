@@ -1,0 +1,332 @@
+//! Paged virtual address space with `mprotect` semantics.
+//!
+//! XRay's patching first marks the pages containing sleds writable via
+//! `mprotect` (enabling copy-on-write), rewrites the sleds, and restores
+//! the protection (paper §V-A). This module models exactly that: mapped
+//! regions with page-granular permissions, permission-checked writes,
+//! and syscall accounting so benches can report patching cost drivers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Page size of the simulated architecture.
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Page permissions (r/w/x).
+#[derive(Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PagePerms {
+    /// Readable.
+    pub r: bool,
+    /// Writable.
+    pub w: bool,
+    /// Executable.
+    pub x: bool,
+}
+
+impl PagePerms {
+    /// `r-x` — the normal protection of code pages.
+    pub const RX: PagePerms = PagePerms {
+        r: true,
+        w: false,
+        x: true,
+    };
+    /// `rwx` — code pages while being patched.
+    pub const RWX: PagePerms = PagePerms {
+        r: true,
+        w: true,
+        x: true,
+    };
+    /// `rw-` — data pages.
+    pub const RW: PagePerms = PagePerms {
+        r: true,
+        w: true,
+        x: false,
+    };
+}
+
+impl fmt::Debug for PagePerms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}",
+            if self.r { 'r' } else { '-' },
+            if self.w { 'w' } else { '-' },
+            if self.x { 'x' } else { '-' }
+        )
+    }
+}
+
+/// Errors from address-space operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MemError {
+    /// Address range is not backed by a mapping.
+    Unmapped {
+        /// Faulting address.
+        addr: u64,
+    },
+    /// `mprotect` called with a non-page-aligned base.
+    Misaligned {
+        /// Offending address.
+        addr: u64,
+    },
+    /// Write attempted to a non-writable page (SIGSEGV equivalent).
+    ProtectionFault {
+        /// Faulting address.
+        addr: u64,
+    },
+    /// Mapping would overlap an existing region.
+    Overlap {
+        /// Requested base.
+        addr: u64,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::Unmapped { addr } => write!(f, "unmapped address {addr:#x}"),
+            MemError::Misaligned { addr } => write!(f, "misaligned address {addr:#x}"),
+            MemError::ProtectionFault { addr } => {
+                write!(f, "write to protected page at {addr:#x}")
+            }
+            MemError::Overlap { addr } => write!(f, "mapping overlap at {addr:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// A mapped region (one object's code segment, typically).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Region {
+    /// Base address (page-aligned).
+    pub base: u64,
+    /// Length in bytes (rounded up to pages).
+    pub len: u64,
+    /// Human-readable backing path (object file name).
+    pub path: String,
+    /// Per-page permissions.
+    perms: Vec<PagePerms>,
+}
+
+impl Region {
+    /// Number of pages.
+    pub fn num_pages(&self) -> u64 {
+        self.len / PAGE_SIZE
+    }
+
+    /// Permissions of the page containing `addr`.
+    pub fn perms_at(&self, addr: u64) -> PagePerms {
+        self.perms[((addr - self.base) / PAGE_SIZE) as usize]
+    }
+}
+
+/// Syscall/permission statistics, exposed for the overhead model.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemStats {
+    /// Number of `mprotect` calls issued.
+    pub mprotect_calls: u64,
+    /// Pages whose protection was changed.
+    pub pages_reprotected: u64,
+    /// Bytes written through checked writes (sled patches).
+    pub bytes_written: u64,
+}
+
+/// The process address space.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct AddressSpace {
+    regions: Vec<Region>,
+    /// Accounting for the overhead model.
+    pub stats: MemStats,
+}
+
+impl AddressSpace {
+    /// Creates an empty address space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Maps `len` bytes at `base` with uniform `perms`.
+    pub fn map(
+        &mut self,
+        base: u64,
+        len: u64,
+        perms: PagePerms,
+        path: &str,
+    ) -> Result<(), MemError> {
+        if base % PAGE_SIZE != 0 {
+            return Err(MemError::Misaligned { addr: base });
+        }
+        let len = len.div_ceil(PAGE_SIZE).max(1) * PAGE_SIZE;
+        if self
+            .regions
+            .iter()
+            .any(|r| base < r.base + r.len && r.base < base + len)
+        {
+            return Err(MemError::Overlap { addr: base });
+        }
+        self.regions.push(Region {
+            base,
+            len,
+            path: path.to_string(),
+            perms: vec![perms; (len / PAGE_SIZE) as usize],
+        });
+        Ok(())
+    }
+
+    /// Unmaps the region based at `base`.
+    pub fn unmap(&mut self, base: u64) -> Result<(), MemError> {
+        let idx = self
+            .regions
+            .iter()
+            .position(|r| r.base == base)
+            .ok_or(MemError::Unmapped { addr: base })?;
+        self.regions.remove(idx);
+        Ok(())
+    }
+
+    /// Changes protection on `[addr, addr+len)`, page-granular, like the
+    /// `mprotect(2)` call the XRay patcher issues.
+    pub fn mprotect(&mut self, addr: u64, len: u64, perms: PagePerms) -> Result<(), MemError> {
+        if addr % PAGE_SIZE != 0 {
+            return Err(MemError::Misaligned { addr });
+        }
+        let end = addr + len.div_ceil(PAGE_SIZE).max(1) * PAGE_SIZE;
+        let region = self
+            .regions
+            .iter_mut()
+            .find(|r| addr >= r.base && end <= r.base + r.len)
+            .ok_or(MemError::Unmapped { addr })?;
+        let first = ((addr - region.base) / PAGE_SIZE) as usize;
+        let last = ((end - region.base) / PAGE_SIZE) as usize;
+        let mut changed = 0;
+        for p in &mut region.perms[first..last] {
+            if *p != perms {
+                changed += 1;
+                *p = perms;
+            }
+        }
+        self.stats.mprotect_calls += 1;
+        self.stats.pages_reprotected += changed;
+        Ok(())
+    }
+
+    /// Permission-checked write of `len` bytes at `addr` (a sled patch).
+    /// Fails with [`MemError::ProtectionFault`] when the page is not
+    /// writable — the fault a patcher hits if it forgets `mprotect`.
+    pub fn checked_write(&mut self, addr: u64, len: u64) -> Result<(), MemError> {
+        let region = self
+            .regions
+            .iter()
+            .find(|r| addr >= r.base && addr + len <= r.base + r.len)
+            .ok_or(MemError::Unmapped { addr })?;
+        // Each touched page must be writable.
+        let mut a = addr;
+        while a < addr + len {
+            if !region.perms_at(a).w {
+                return Err(MemError::ProtectionFault { addr: a });
+            }
+            a = (a / PAGE_SIZE + 1) * PAGE_SIZE;
+        }
+        self.stats.bytes_written += len;
+        Ok(())
+    }
+
+    /// Region containing `addr`.
+    pub fn region_of(&self, addr: u64) -> Option<&Region> {
+        self.regions
+            .iter()
+            .find(|r| addr >= r.base && addr < r.base + r.len)
+    }
+
+    /// All regions, ascending by base.
+    pub fn regions(&self) -> Vec<&Region> {
+        let mut v: Vec<&Region> = self.regions.iter().collect();
+        v.sort_by_key(|r| r.base);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_rounds_to_pages_and_rejects_overlap() {
+        let mut a = AddressSpace::new();
+        a.map(0x1000, 100, PagePerms::RX, "x").unwrap();
+        assert_eq!(a.region_of(0x1000).unwrap().len, PAGE_SIZE);
+        assert_eq!(
+            a.map(0x1000, 1, PagePerms::RX, "y"),
+            Err(MemError::Overlap { addr: 0x1000 })
+        );
+    }
+
+    #[test]
+    fn misaligned_map_rejected() {
+        let mut a = AddressSpace::new();
+        assert_eq!(
+            a.map(0x1001, 10, PagePerms::RX, "x"),
+            Err(MemError::Misaligned { addr: 0x1001 })
+        );
+    }
+
+    #[test]
+    fn write_to_rx_page_faults_until_mprotect() {
+        let mut a = AddressSpace::new();
+        a.map(0x1000, 2 * PAGE_SIZE, PagePerms::RX, "code").unwrap();
+        assert_eq!(
+            a.checked_write(0x1010, 8),
+            Err(MemError::ProtectionFault { addr: 0x1010 })
+        );
+        a.mprotect(0x1000, PAGE_SIZE, PagePerms::RWX).unwrap();
+        assert!(a.checked_write(0x1010, 8).is_ok());
+        // Second page still protected.
+        assert!(matches!(
+            a.checked_write(0x1000 + PAGE_SIZE, 8),
+            Err(MemError::ProtectionFault { .. })
+        ));
+    }
+
+    #[test]
+    fn write_spanning_pages_requires_both_writable() {
+        let mut a = AddressSpace::new();
+        a.map(0x1000, 2 * PAGE_SIZE, PagePerms::RX, "code").unwrap();
+        a.mprotect(0x1000, PAGE_SIZE, PagePerms::RWX).unwrap();
+        let end_of_first = 0x1000 + PAGE_SIZE - 4;
+        assert!(matches!(
+            a.checked_write(end_of_first, 8),
+            Err(MemError::ProtectionFault { .. })
+        ));
+    }
+
+    #[test]
+    fn stats_track_syscalls_and_writes() {
+        let mut a = AddressSpace::new();
+        a.map(0x1000, 4 * PAGE_SIZE, PagePerms::RX, "code").unwrap();
+        a.mprotect(0x1000, 2 * PAGE_SIZE, PagePerms::RWX).unwrap();
+        a.checked_write(0x1000, 16).unwrap();
+        a.mprotect(0x1000, 2 * PAGE_SIZE, PagePerms::RX).unwrap();
+        assert_eq!(a.stats.mprotect_calls, 2);
+        assert_eq!(a.stats.pages_reprotected, 4);
+        assert_eq!(a.stats.bytes_written, 16);
+    }
+
+    #[test]
+    fn unmap_removes_region() {
+        let mut a = AddressSpace::new();
+        a.map(0x1000, PAGE_SIZE, PagePerms::RX, "x").unwrap();
+        a.unmap(0x1000).unwrap();
+        assert!(a.region_of(0x1000).is_none());
+        assert_eq!(a.unmap(0x1000), Err(MemError::Unmapped { addr: 0x1000 }));
+    }
+
+    #[test]
+    fn mprotect_outside_region_fails() {
+        let mut a = AddressSpace::new();
+        assert!(matches!(
+            a.mprotect(0x5000, PAGE_SIZE, PagePerms::RWX),
+            Err(MemError::Unmapped { .. })
+        ));
+    }
+}

@@ -1,0 +1,170 @@
+//! Symbol tables for compiled objects.
+//!
+//! DynCaPI resolves XRay function IDs to names by collecting each
+//! object's symbols (`nm` in the paper, §V-C1) and translating them
+//! through the process memory map. Hidden/internal symbols are missing
+//! from that listing — the §VI-B limitation where 1,444 OpenFOAM
+//! functions (largely static initializers) could not be resolved.
+
+use capi_appmodel::Visibility;
+use serde::{Deserialize, Serialize};
+
+/// What a symbol refers to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SymKind {
+    /// A function definition.
+    Func,
+    /// A compiler-emitted static initializer.
+    StaticInit,
+}
+
+/// One symbol-table entry.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Symbol {
+    /// Mangled name.
+    pub name: String,
+    /// Offset of the definition within its object.
+    pub offset: u64,
+    /// Size in bytes.
+    pub size: u32,
+    /// ELF-style visibility.
+    pub visibility: Visibility,
+    /// Symbol kind.
+    pub kind: SymKind,
+}
+
+/// A per-object symbol table.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SymbolTable {
+    symbols: Vec<Symbol>,
+}
+
+impl SymbolTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a symbol.
+    pub fn push(&mut self, sym: Symbol) {
+        self.symbols.push(sym);
+    }
+
+    /// All symbols, including hidden and internal ones (like `nm` run on
+    /// an unstripped object with local symbols shown).
+    pub fn all(&self) -> &[Symbol] {
+        &self.symbols
+    }
+
+    /// Only the symbols visible to dynamic symbol resolution — what
+    /// DynCaPI's `nm`-based collection can actually see.
+    pub fn exported(&self) -> impl Iterator<Item = &Symbol> {
+        self.symbols
+            .iter()
+            .filter(|s| s.visibility == Visibility::Default)
+    }
+
+    /// Looks up a symbol by name (any visibility).
+    pub fn lookup(&self, name: &str) -> Option<&Symbol> {
+        self.symbols.iter().find(|s| s.name == name)
+    }
+
+    /// Looks up an *exported* symbol by name.
+    pub fn lookup_exported(&self, name: &str) -> Option<&Symbol> {
+        self.exported().find(|s| s.name == name)
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// Count of symbols invisible to dynamic resolution.
+    pub fn hidden_count(&self) -> usize {
+        self.symbols
+            .iter()
+            .filter(|s| s.visibility != Visibility::Default)
+            .count()
+    }
+
+    /// `nm`-style text listing: `offset kind name`, exported symbols
+    /// only when `dynamic_only` (mirrors `nm -D`).
+    pub fn nm_listing(&self, dynamic_only: bool) -> String {
+        let mut out = String::new();
+        for s in &self.symbols {
+            if dynamic_only && s.visibility != Visibility::Default {
+                continue;
+            }
+            let t = match (s.kind, s.visibility) {
+                (SymKind::Func, Visibility::Default) => 'T',
+                (SymKind::Func, _) => 't',
+                (SymKind::StaticInit, _) => 't',
+            };
+            out.push_str(&format!("{:016x} {} {}\n", s.offset, t, s.name));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> SymbolTable {
+        let mut t = SymbolTable::new();
+        t.push(Symbol {
+            name: "foo".into(),
+            offset: 0x100,
+            size: 64,
+            visibility: Visibility::Default,
+            kind: SymKind::Func,
+        });
+        t.push(Symbol {
+            name: "_GLOBAL__sub_I_x".into(),
+            offset: 0x200,
+            size: 16,
+            visibility: Visibility::Hidden,
+            kind: SymKind::StaticInit,
+        });
+        t.push(Symbol {
+            name: "local_helper".into(),
+            offset: 0x300,
+            size: 32,
+            visibility: Visibility::Internal,
+            kind: SymKind::Func,
+        });
+        t
+    }
+
+    #[test]
+    fn exported_excludes_hidden_and_internal() {
+        let t = table();
+        let names: Vec<&str> = t.exported().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["foo"]);
+        assert_eq!(t.hidden_count(), 2);
+    }
+
+    #[test]
+    fn lookup_sees_everything_lookup_exported_does_not() {
+        let t = table();
+        assert!(t.lookup("_GLOBAL__sub_I_x").is_some());
+        assert!(t.lookup_exported("_GLOBAL__sub_I_x").is_none());
+        assert!(t.lookup_exported("foo").is_some());
+    }
+
+    #[test]
+    fn nm_listing_formats_and_filters() {
+        let t = table();
+        let full = t.nm_listing(false);
+        assert_eq!(full.lines().count(), 3);
+        assert!(full.contains("0000000000000100 T foo"));
+        assert!(full.contains("t _GLOBAL__sub_I_x"));
+        let dynamic = t.nm_listing(true);
+        assert_eq!(dynamic.lines().count(), 1);
+    }
+}

@@ -1,0 +1,37 @@
+//! # capi-scorep — Score-P measurement substrate
+//!
+//! Reproduction of the Score-P behaviours CaPI interacts with (paper
+//! §II-B, §V-C1):
+//!
+//! * **Call-path profiling** ([`profile`]): per-rank call trees with
+//!   visit counts and inclusive/exclusive times. The *cost shape* matters
+//!   for Table II: every event pays a small base cost, but creating a new
+//!   call-path node is expensive — full instrumentation explodes the
+//!   number of unique call paths, which is why Score-P's `xray full`
+//!   overhead (6.7×) dwarfs TALP's (3.76×), while on small ICs Score-P is
+//!   *cheaper* per event than TALP.
+//! * **Filter files** ([`filter`]): the `SCOREP_REGION_NAMES_BEGIN` /
+//!   `EXCLUDE` / `INCLUDE` format with shell wildcards — also the on-disk
+//!   format of CaPI's instrumentation configurations.
+//! * **Runtime filtering** ([`runtime`]): probes stay in the binary and
+//!   the filter is consulted per event, retaining the probe + lookup
+//!   overhead (the motivation for patching-based selection; ablated in
+//!   `benches/runtime_filtering.rs`).
+//! * **Address resolution** ([`runtime`]): the generic
+//!   `-finstrument-functions` interface passes raw addresses; Score-P
+//!   resolves them against the *executable's* symbols only and cannot
+//!   resolve shared-object addresses — unless CaPI's symbol injection
+//!   supplies them (paper §V-C1).
+//! * **`scorep-score`** ([`score`]): estimates per-region overhead from a
+//!   profile and proposes an initial EXCLUDE filter for small,
+//!   frequently-called functions.
+
+pub mod filter;
+pub mod profile;
+pub mod runtime;
+pub mod score;
+
+pub use filter::{FilterFile, FilterParseError, Pattern};
+pub use profile::{MergedProfile, Profile, ProfileNode, RegionId};
+pub use runtime::{ScorepConfig, ScorepRuntime, ScorepStats};
+pub use score::{score_profile, ScoreRow, ScoreReport};

@@ -1,0 +1,280 @@
+//! Call-path profiles.
+//!
+//! Score-P's profiling mode aggregates events into a call tree: one node
+//! per unique call path, with visit counts and inclusive time. Per-rank
+//! trees are built during measurement and merged for reporting.
+//!
+//! The data structure is an arena of nodes with first-child/next-sibling
+//! links plus a per-node child lookup accelerated by a small inline
+//! search (children counts are tiny in practice).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Dense region identifier (one per distinct region name).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegionId(pub u32);
+
+/// One call-path node.
+#[derive(Clone, Debug)]
+pub struct ProfileNode {
+    /// Region of this node.
+    pub region: RegionId,
+    /// Number of visits (entries).
+    pub visits: u64,
+    /// Inclusive time in ns.
+    pub inclusive_ns: u64,
+    /// Child node indices.
+    pub children: Vec<u32>,
+    /// Parent node index (u32::MAX for the root).
+    pub parent: u32,
+}
+
+/// A single-rank call-path profile.
+#[derive(Clone, Debug)]
+pub struct Profile {
+    nodes: Vec<ProfileNode>,
+    stack: Vec<(u32, u64)>, // (node index, enter timestamp)
+    /// Count of new call-path nodes created (drives the cost model).
+    pub nodes_created: u64,
+}
+
+const ROOT: u32 = 0;
+
+impl Default for Profile {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Profile {
+    /// Creates an empty profile with a synthetic root.
+    pub fn new() -> Self {
+        Self {
+            nodes: vec![ProfileNode {
+                region: RegionId(u32::MAX),
+                visits: 0,
+                inclusive_ns: 0,
+                children: Vec::new(),
+                parent: u32::MAX,
+            }],
+            stack: vec![(ROOT, 0)],
+            nodes_created: 0,
+        }
+    }
+
+    /// Enters `region` at time `ts`. Returns `true` when a new call-path
+    /// node was created (the expensive case in the cost model).
+    pub fn enter(&mut self, region: RegionId, ts: u64) -> bool {
+        let (parent, _) = *self.stack.last().expect("root never pops");
+        let found = self.nodes[parent as usize]
+            .children
+            .iter()
+            .copied()
+            .find(|&c| self.nodes[c as usize].region == region);
+        let (node, created) = match found {
+            Some(n) => (n, false),
+            None => {
+                let n = self.nodes.len() as u32;
+                self.nodes.push(ProfileNode {
+                    region,
+                    visits: 0,
+                    inclusive_ns: 0,
+                    children: Vec::new(),
+                    parent,
+                });
+                self.nodes[parent as usize].children.push(n);
+                self.nodes_created += 1;
+                (n, true)
+            }
+        };
+        self.nodes[node as usize].visits += 1;
+        self.stack.push((node, ts));
+        created
+    }
+
+    /// Exits the current region at time `ts`. Unbalanced exits (stack
+    /// empty) are ignored, mirroring Score-P's tolerance for events
+    /// outside instrumented scopes.
+    pub fn exit(&mut self, region: RegionId, ts: u64) {
+        if self.stack.len() <= 1 {
+            return;
+        }
+        // Pop until the matching region (tolerates missed exits from
+        // tail calls / exceptions, like Score-P's stack repair).
+        while self.stack.len() > 1 {
+            let (node, entered) = self.stack.pop().expect("len checked");
+            self.nodes[node as usize].inclusive_ns += ts.saturating_sub(entered);
+            if self.nodes[node as usize].region == region {
+                break;
+            }
+        }
+    }
+
+    /// Current call-stack depth (excluding the root).
+    pub fn depth(&self) -> usize {
+        self.stack.len() - 1
+    }
+
+    /// All nodes (root at index 0).
+    pub fn nodes(&self) -> &[ProfileNode] {
+        &self.nodes
+    }
+
+    /// Number of call-path nodes (excluding the root).
+    pub fn num_call_paths(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// Exclusive time of a node: inclusive minus children's inclusive.
+    pub fn exclusive_ns(&self, node: u32) -> u64 {
+        let n = &self.nodes[node as usize];
+        let child_sum: u64 = n
+            .children
+            .iter()
+            .map(|&c| self.nodes[c as usize].inclusive_ns)
+            .sum();
+        n.inclusive_ns.saturating_sub(child_sum)
+    }
+}
+
+/// Region-aggregated view over many rank profiles.
+#[derive(Clone, Debug, Default)]
+pub struct MergedProfile {
+    /// Per-region totals: visits and inclusive time summed over all call
+    /// paths and ranks.
+    pub per_region: HashMap<RegionId, RegionTotals>,
+    /// Total unique call paths across ranks.
+    pub total_call_paths: usize,
+}
+
+/// Aggregated numbers for one region.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RegionTotals {
+    /// Total visits.
+    pub visits: u64,
+    /// Total inclusive time (summed over ranks).
+    pub inclusive_ns: u64,
+    /// Total exclusive time (summed over ranks).
+    pub exclusive_ns: u64,
+}
+
+impl MergedProfile {
+    /// Merges rank profiles into region totals.
+    pub fn merge(profiles: &[Profile]) -> Self {
+        let mut out = MergedProfile::default();
+        for p in profiles {
+            out.total_call_paths += p.num_call_paths();
+            for (i, n) in p.nodes().iter().enumerate().skip(1) {
+                let t = out.per_region.entry(n.region).or_default();
+                t.visits += n.visits;
+                t.inclusive_ns += n.inclusive_ns;
+                t.exclusive_ns += p.exclusive_ns(i as u32);
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for RegionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const A: RegionId = RegionId(1);
+    const B: RegionId = RegionId(2);
+
+    #[test]
+    fn enter_exit_builds_tree() {
+        let mut p = Profile::new();
+        assert!(p.enter(A, 0)); // new path: /A
+        assert!(p.enter(B, 10)); // new path: /A/B
+        p.exit(B, 30);
+        assert!(!p.enter(B, 40)); // existing path
+        p.exit(B, 50);
+        p.exit(A, 100);
+        assert_eq!(p.num_call_paths(), 2);
+        let a = &p.nodes()[1];
+        assert_eq!(a.visits, 1);
+        assert_eq!(a.inclusive_ns, 100);
+        let b = &p.nodes()[2];
+        assert_eq!(b.visits, 2);
+        assert_eq!(b.inclusive_ns, 30);
+        assert_eq!(p.exclusive_ns(1), 70);
+    }
+
+    #[test]
+    fn same_region_under_different_parents_is_two_paths() {
+        let mut p = Profile::new();
+        p.enter(A, 0);
+        p.enter(B, 1);
+        p.exit(B, 2);
+        p.exit(A, 3);
+        p.enter(B, 4); // /B — distinct from /A/B
+        p.exit(B, 5);
+        assert_eq!(p.num_call_paths(), 3);
+        assert_eq!(p.nodes_created, 3);
+    }
+
+    #[test]
+    fn unbalanced_exits_are_tolerated() {
+        let mut p = Profile::new();
+        p.exit(A, 5); // nothing entered: ignored
+        p.enter(A, 10);
+        p.enter(B, 20);
+        // Exit A directly (missed B exit): stack repaired.
+        p.exit(A, 50);
+        assert_eq!(p.depth(), 0);
+        assert_eq!(p.nodes()[1].inclusive_ns, 40);
+        assert_eq!(p.nodes()[2].inclusive_ns, 30);
+    }
+
+    #[test]
+    fn merged_profile_sums_ranks() {
+        let mut p1 = Profile::new();
+        p1.enter(A, 0);
+        p1.exit(A, 10);
+        let mut p2 = Profile::new();
+        p2.enter(A, 0);
+        p2.exit(A, 30);
+        let m = MergedProfile::merge(&[p1, p2]);
+        let t = m.per_region[&A];
+        assert_eq!(t.visits, 2);
+        assert_eq!(t.inclusive_ns, 40);
+        assert_eq!(m.total_call_paths, 2);
+    }
+
+    proptest! {
+        /// Invariant: a parent's inclusive time is at least the sum of
+        /// its children's inclusive times (given balanced enter/exit with
+        /// monotone timestamps).
+        #[test]
+        fn prop_parent_inclusive_bounds_children(depths in proptest::collection::vec(1u32..5, 1..30)) {
+            let mut p = Profile::new();
+            let mut ts = 0u64;
+            for &d in &depths {
+                // Enter a chain of regions 0..d, then exit all.
+                for lvl in 0..d {
+                    p.enter(RegionId(lvl), ts);
+                    ts += 1;
+                }
+                for lvl in (0..d).rev() {
+                    ts += 1;
+                    p.exit(RegionId(lvl), ts);
+                }
+            }
+            for (i, _) in p.nodes().iter().enumerate().skip(1) {
+                let n = &p.nodes()[i];
+                let child_sum: u64 = n.children.iter().map(|&c| p.nodes()[c as usize].inclusive_ns).sum();
+                prop_assert!(n.inclusive_ns >= child_sum);
+            }
+            prop_assert_eq!(p.depth(), 0);
+        }
+    }
+}

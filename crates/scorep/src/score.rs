@@ -1,0 +1,172 @@
+//! The `scorep-score` utility.
+//!
+//! Paper §II-B: "the measurements of a previous profiling run [are used]
+//! to determine functions that are suspected to contribute most of the
+//! overhead, i.e. small, frequently called functions. This is the method
+//! applied by the scorep-score tool for generating initial filter
+//! files." This module reproduces that estimator: given a merged
+//! profile, it ranks regions by estimated measurement overhead and
+//! proposes an EXCLUDE filter for cheap, hot functions.
+
+use crate::filter::{FilterFile, Pattern};
+use crate::profile::MergedProfile;
+
+/// One row of the score report.
+#[derive(Clone, Debug)]
+pub struct ScoreRow {
+    /// Region name.
+    pub name: String,
+    /// Total visits across ranks.
+    pub visits: u64,
+    /// Total exclusive time (ns).
+    pub exclusive_ns: u64,
+    /// Mean exclusive time per visit (ns).
+    pub ns_per_visit: f64,
+    /// Estimated measurement overhead for this region (ns).
+    pub est_overhead_ns: u64,
+    /// Whether the generated filter excludes this region.
+    pub excluded: bool,
+}
+
+/// The score report plus the generated initial filter.
+#[derive(Clone, Debug)]
+pub struct ScoreReport {
+    /// Rows sorted by estimated overhead, descending.
+    pub rows: Vec<ScoreRow>,
+    /// Proposed initial filter file (EXCLUDE rules).
+    pub filter: FilterFile,
+    /// Total estimated overhead before filtering (ns).
+    pub total_overhead_ns: u64,
+    /// Estimated overhead remaining after filtering (ns).
+    pub remaining_overhead_ns: u64,
+}
+
+/// Parameters of the estimator.
+#[derive(Clone, Copy, Debug)]
+pub struct ScoreParams {
+    /// Assumed measurement cost per visit (enter + exit), ns.
+    pub per_visit_overhead_ns: u64,
+    /// Regions with mean exclusive time per visit below this are
+    /// "small" (candidates for exclusion).
+    pub small_body_ns: f64,
+    /// Regions with at least this many visits are "frequently called".
+    pub hot_visits: u64,
+}
+
+impl Default for ScoreParams {
+    fn default() -> Self {
+        Self {
+            per_visit_overhead_ns: 120,
+            small_body_ns: 1_000.0,
+            hot_visits: 10_000,
+        }
+    }
+}
+
+/// Scores a merged profile and generates the initial filter.
+pub fn score_profile(
+    merged: &MergedProfile,
+    names: &[String],
+    params: &ScoreParams,
+) -> ScoreReport {
+    let mut rows: Vec<ScoreRow> = merged
+        .per_region
+        .iter()
+        .map(|(id, t)| {
+            let name = names
+                .get(id.0 as usize)
+                .cloned()
+                .unwrap_or_else(|| format!("region#{}", id.0));
+            let ns_per_visit = if t.visits == 0 {
+                0.0
+            } else {
+                t.exclusive_ns as f64 / t.visits as f64
+            };
+            let est_overhead_ns = t.visits * params.per_visit_overhead_ns;
+            let excluded =
+                ns_per_visit < params.small_body_ns && t.visits >= params.hot_visits;
+            ScoreRow {
+                name,
+                visits: t.visits,
+                exclusive_ns: t.exclusive_ns,
+                ns_per_visit,
+                est_overhead_ns,
+                excluded,
+            }
+        })
+        .collect();
+    rows.sort_by(|a, b| b.est_overhead_ns.cmp(&a.est_overhead_ns));
+
+    let total_overhead_ns: u64 = rows.iter().map(|r| r.est_overhead_ns).sum();
+    let remaining_overhead_ns: u64 = rows
+        .iter()
+        .filter(|r| !r.excluded)
+        .map(|r| r.est_overhead_ns)
+        .sum();
+
+    let mut filter = FilterFile::new();
+    for r in rows.iter().filter(|r| r.excluded) {
+        filter.exclude(Pattern::new(r.name.as_str()));
+    }
+
+    ScoreReport {
+        rows,
+        filter,
+        total_overhead_ns,
+        remaining_overhead_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{Profile, RegionId};
+
+    fn merged() -> (MergedProfile, Vec<String>) {
+        let mut p = Profile::new();
+        // Region 0: hot + tiny (1M visits, 100 ns each) — filter fodder.
+        // Region 1: cold + big.
+        let mut ts = 0;
+        for _ in 0..20_000 {
+            p.enter(RegionId(0), ts);
+            ts += 100;
+            p.exit(RegionId(0), ts);
+        }
+        p.enter(RegionId(1), ts);
+        ts += 50_000_000;
+        p.exit(RegionId(1), ts);
+        (
+            MergedProfile::merge(&[p]),
+            vec!["tiny_hot".into(), "big_cold".into()],
+        )
+    }
+
+    #[test]
+    fn hot_small_functions_are_excluded() {
+        let (m, names) = merged();
+        let report = score_profile(&m, &names, &ScoreParams::default());
+        let tiny = report.rows.iter().find(|r| r.name == "tiny_hot").unwrap();
+        let big = report.rows.iter().find(|r| r.name == "big_cold").unwrap();
+        assert!(tiny.excluded);
+        assert!(!big.excluded);
+        assert!(!report.filter.is_included("tiny_hot"));
+        assert!(report.filter.is_included("big_cold"));
+    }
+
+    #[test]
+    fn filtering_reduces_estimated_overhead() {
+        let (m, names) = merged();
+        let report = score_profile(&m, &names, &ScoreParams::default());
+        assert!(report.remaining_overhead_ns < report.total_overhead_ns);
+    }
+
+    #[test]
+    fn rows_sorted_by_overhead() {
+        let (m, names) = merged();
+        let report = score_profile(&m, &names, &ScoreParams::default());
+        assert!(report
+            .rows
+            .windows(2)
+            .all(|w| w[0].est_overhead_ns >= w[1].est_overhead_ns));
+    }
+}

@@ -1,0 +1,176 @@
+//! AST of the specification language, plus the pretty-printer used for
+//! round-trip property tests.
+
+use std::fmt;
+
+/// A source position (1-based line/column).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Line.
+    pub line: usize,
+    /// Column.
+    pub col: usize,
+}
+
+/// A selector expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// A selector invocation: `flops(">=", 10, %%)`.
+    Call {
+        /// Selector type name.
+        name: String,
+        /// Arguments.
+        args: Vec<Arg>,
+        /// Position.
+        span: Span,
+    },
+    /// `%name` — reference to a previously defined instance.
+    Ref(String, Span),
+    /// `%%` — all functions.
+    All(Span),
+}
+
+impl Expr {
+    /// The expression's source position.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Call { span, .. } => *span,
+            Expr::Ref(_, s) | Expr::All(s) => *s,
+        }
+    }
+}
+
+/// A selector argument.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Arg {
+    /// String literal (comparison operators, regexes, globs).
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Nested selector expression.
+    Expr(Expr),
+}
+
+/// One top-level item: an optionally named selector instance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Item {
+    /// Instance name (None for anonymous — only the final entry-point
+    /// item is usefully anonymous).
+    pub name: Option<String>,
+    /// The expression.
+    pub expr: Expr,
+}
+
+/// A parsed specification.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Spec {
+    /// Modules imported via `!import("…")`, in order.
+    pub imports: Vec<String>,
+    /// Selector instances in definition order; the last one is the
+    /// pipeline entry point (paper §III-A).
+    pub items: Vec<Item>,
+}
+
+impl Spec {
+    /// The entry-point item (the last instance in the sequence).
+    pub fn entry(&self) -> Option<&Item> {
+        self.items.last()
+    }
+}
+
+fn fmt_expr(e: &Expr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match e {
+        Expr::All(_) => write!(f, "%%"),
+        Expr::Ref(n, _) => write!(f, "%{n}"),
+        Expr::Call { name, args, .. } => {
+            write!(f, "{name}(")?;
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                match a {
+                    Arg::Str(s) => write!(f, "\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))?,
+                    Arg::Int(n) => write!(f, "{n}")?,
+                    Arg::Float(x) => write!(f, "{x:?}")?,
+                    Arg::Expr(e) => fmt_expr(e, f)?,
+                }
+            }
+            write!(f, ")")
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_expr(self, f)
+    }
+}
+
+impl fmt::Display for Spec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for import in &self.imports {
+            writeln!(f, "!import(\"{import}\")")?;
+        }
+        for item in &self.items {
+            match &item.name {
+                Some(n) => writeln!(f, "{n} = {}", item.expr)?,
+                None => writeln!(f, "{}", item.expr)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_structure() {
+        let spec = Spec {
+            imports: vec!["mpi.capi".into()],
+            items: vec![
+                Item {
+                    name: Some("k".into()),
+                    expr: Expr::Call {
+                        name: "flops".into(),
+                        args: vec![
+                            Arg::Str(">=".into()),
+                            Arg::Int(10),
+                            Arg::Expr(Expr::All(Span::default())),
+                        ],
+                        span: Span::default(),
+                    },
+                },
+                Item {
+                    name: None,
+                    expr: Expr::Ref("k".into(), Span::default()),
+                },
+            ],
+        };
+        let text = spec.to_string();
+        assert!(text.contains("!import(\"mpi.capi\")"));
+        assert!(text.contains("k = flops(\">=\", 10, %%)"));
+        assert!(text.trim_end().ends_with("%k"));
+    }
+
+    #[test]
+    fn entry_is_last_item() {
+        let spec = Spec {
+            imports: vec![],
+            items: vec![
+                Item {
+                    name: Some("a".into()),
+                    expr: Expr::All(Span::default()),
+                },
+                Item {
+                    name: None,
+                    expr: Expr::Ref("a".into(), Span::default()),
+                },
+            ],
+        };
+        assert!(spec.entry().unwrap().name.is_none());
+    }
+}

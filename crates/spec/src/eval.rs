@@ -1,0 +1,580 @@
+//! Selector-pipeline evaluation over a MetaCG graph.
+//!
+//! "When executed, each selector determines the set of functions from
+//! the given call graph that match its inclusion conditions" (paper
+//! §III-A). The value flowing between selectors is a
+//! [`capi_metacg::NodeSet`]; the entry point is the last instance of the
+//! sequence.
+
+use crate::ast::{Arg, Expr, Item, Spec};
+use crate::regex::Regex;
+use capi_appmodel::{FunctionKind, Visibility};
+use capi_metacg::{on_path, reachable_from, reaching, CallGraph, NodeId, NodeSet, Topo};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Evaluation errors.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EvalError {
+    /// Reference to an instance that was never evaluated (sema should
+    /// have caught this).
+    UndefinedRef(String),
+    /// Unknown selector type (sema should have caught this).
+    UnknownSelector(String),
+    /// Bad comparison operator string.
+    BadComparison(String),
+    /// Invalid regex in `byName`.
+    BadRegex {
+        /// The pattern.
+        pattern: String,
+        /// Engine message.
+        message: String,
+    },
+    /// A call-path selector needs `main`, but the graph has none.
+    NoEntryPoint,
+    /// The spec has no items.
+    Empty,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UndefinedRef(n) => write!(f, "undefined reference `%{n}`"),
+            EvalError::UnknownSelector(n) => write!(f, "unknown selector `{n}`"),
+            EvalError::BadComparison(op) => write!(f, "bad comparison operator `{op}`"),
+            EvalError::BadRegex { pattern, message } => {
+                write!(f, "bad regex `{pattern}`: {message}")
+            }
+            EvalError::NoEntryPoint => write!(f, "call-path selector requires a `main` node"),
+            EvalError::Empty => write!(f, "specification has no selector instances"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Per-stage statistics (the paper's Table I reports per-spec counts).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StageStat {
+    /// Instance name (None for the anonymous entry).
+    pub name: Option<String>,
+    /// Selected function count after this stage.
+    pub count: usize,
+}
+
+/// The result of running a selection pipeline.
+#[derive(Clone, Debug)]
+pub struct Selection {
+    /// The entry-point instance's selected set — the IC content.
+    pub set: NodeSet,
+    /// Per-instance counts, in evaluation order.
+    pub stages: Vec<StageStat>,
+}
+
+impl Selection {
+    /// Selected function names, in node order.
+    pub fn names<'g>(&self, graph: &'g CallGraph) -> Vec<&'g str> {
+        self.set
+            .iter()
+            .map(|id| graph.node(id).name.as_str())
+            .collect()
+    }
+}
+
+struct Ctx<'g> {
+    graph: &'g CallGraph,
+    instances: HashMap<String, NodeSet>,
+}
+
+fn cmp(op: &str, value: u64, n: i64) -> Result<bool, EvalError> {
+    let n = n.max(0) as u64;
+    Ok(match op {
+        ">=" => value >= n,
+        ">" => value > n,
+        "<=" => value <= n,
+        "<" => value < n,
+        "==" | "=" => value == n,
+        "!=" => value != n,
+        _ => return Err(EvalError::BadComparison(op.to_string())),
+    })
+}
+
+fn filter_meta(
+    g: &CallGraph,
+    input: &NodeSet,
+    pred: impl Fn(NodeId) -> bool,
+) -> NodeSet {
+    let mut out = g.empty_set();
+    for id in input.iter() {
+        if pred(id) {
+            out.insert(id);
+        }
+    }
+    out
+}
+
+impl<'g> Ctx<'g> {
+    fn eval_sel_arg(&self, a: &Arg) -> Result<NodeSet, EvalError> {
+        match a {
+            Arg::Expr(e) => self.eval_expr(e),
+            _ => unreachable!("sema enforces selector arguments"),
+        }
+    }
+
+    fn str_arg<'a>(&self, a: &'a Arg) -> &'a str {
+        match a {
+            Arg::Str(s) => s,
+            _ => unreachable!("sema enforces string arguments"),
+        }
+    }
+
+    fn int_arg(&self, a: &Arg) -> i64 {
+        match a {
+            Arg::Int(n) => *n,
+            Arg::Float(x) => *x as i64,
+            _ => unreachable!("sema enforces numeric arguments"),
+        }
+    }
+
+    fn eval_expr(&self, e: &Expr) -> Result<NodeSet, EvalError> {
+        let g = self.graph;
+        match e {
+            Expr::All(_) => Ok(g.full_set()),
+            Expr::Ref(name, _) => self
+                .instances
+                .get(name)
+                .cloned()
+                .ok_or_else(|| EvalError::UndefinedRef(name.clone())),
+            Expr::Call { name, args, .. } => match name.as_str() {
+                "join" => {
+                    let mut out = g.empty_set();
+                    for a in args {
+                        out.union_with(&self.eval_sel_arg(a)?);
+                    }
+                    Ok(out)
+                }
+                "intersect" => {
+                    let mut out = self.eval_sel_arg(&args[0])?;
+                    for a in &args[1..] {
+                        out.intersect_with(&self.eval_sel_arg(a)?);
+                    }
+                    Ok(out)
+                }
+                "subtract" => {
+                    let mut out = self.eval_sel_arg(&args[0])?;
+                    out.subtract(&self.eval_sel_arg(&args[1])?);
+                    Ok(out)
+                }
+                "complement" => Ok(self.eval_sel_arg(&args[0])?.complement()),
+                "byName" => {
+                    let pattern = self.str_arg(&args[0]);
+                    let re = Regex::new(pattern).map_err(|e| EvalError::BadRegex {
+                        pattern: pattern.to_string(),
+                        message: e.message,
+                    })?;
+                    let input = self.eval_sel_arg(&args[1])?;
+                    Ok(filter_meta(g, &input, |id| {
+                        re.is_match(&g.node(id).name) || re.is_match(&g.node(id).demangled)
+                    }))
+                }
+                "byPath" => {
+                    let pattern = self.str_arg(&args[0]);
+                    let re = Regex::new(pattern).map_err(|e| EvalError::BadRegex {
+                        pattern: pattern.to_string(),
+                        message: e.message,
+                    })?;
+                    let input = self.eval_sel_arg(&args[1])?;
+                    Ok(filter_meta(g, &input, |id| re.is_match(&g.node(id).meta.file)))
+                }
+                "inObject" => {
+                    let pattern = self.str_arg(&args[0]);
+                    let re = Regex::new(pattern).map_err(|e| EvalError::BadRegex {
+                        pattern: pattern.to_string(),
+                        message: e.message,
+                    })?;
+                    let input = self.eval_sel_arg(&args[1])?;
+                    Ok(filter_meta(g, &input, |id| {
+                        re.is_match(&g.node(id).meta.object)
+                    }))
+                }
+                "inSystemHeader" => {
+                    let input = self.eval_sel_arg(&args[0])?;
+                    Ok(filter_meta(g, &input, |id| g.node(id).meta.system_header))
+                }
+                "inlineSpecified" => {
+                    let input = self.eval_sel_arg(&args[0])?;
+                    Ok(filter_meta(g, &input, |id| g.node(id).meta.inline_keyword))
+                }
+                "virtualMethods" => {
+                    let input = self.eval_sel_arg(&args[0])?;
+                    Ok(filter_meta(g, &input, |id| g.node(id).meta.is_virtual))
+                }
+                "addressTaken" => {
+                    let input = self.eval_sel_arg(&args[0])?;
+                    Ok(filter_meta(g, &input, |id| g.node(id).meta.address_taken))
+                }
+                "hidden" => {
+                    let input = self.eval_sel_arg(&args[0])?;
+                    Ok(filter_meta(g, &input, |id| {
+                        g.node(id).meta.visibility != Visibility::Default
+                    }))
+                }
+                "definitions" => {
+                    let input = self.eval_sel_arg(&args[0])?;
+                    Ok(filter_meta(g, &input, |id| g.node(id).has_body))
+                }
+                "declarations" => {
+                    let input = self.eval_sel_arg(&args[0])?;
+                    Ok(filter_meta(g, &input, |id| !g.node(id).has_body))
+                }
+                "mpiFunctions" => {
+                    let input = self.eval_sel_arg(&args[0])?;
+                    Ok(filter_meta(g, &input, |id| {
+                        g.node(id).meta.kind == FunctionKind::MpiStub
+                    }))
+                }
+                "staticInitializers" => {
+                    let input = self.eval_sel_arg(&args[0])?;
+                    Ok(filter_meta(g, &input, |id| {
+                        g.node(id).meta.kind == FunctionKind::StaticInitializer
+                    }))
+                }
+                "flops" | "loopDepth" | "statements" | "loc" | "instructions" => {
+                    let op = self.str_arg(&args[0]);
+                    let n = self.int_arg(&args[1]);
+                    let input = self.eval_sel_arg(&args[2])?;
+                    let metric = |id: NodeId| -> u64 {
+                        let m = &g.node(id).meta;
+                        match name.as_str() {
+                            "flops" => m.flops as u64,
+                            "loopDepth" => m.loop_depth as u64,
+                            "statements" => m.statements as u64,
+                            "loc" => m.lines_of_code as u64,
+                            _ => m.instructions as u64,
+                        }
+                    };
+                    // Validate the operator once up front.
+                    cmp(op, 0, 0)?;
+                    Ok(filter_meta(g, &input, |id| {
+                        cmp(op, metric(id), n).expect("operator validated")
+                    }))
+                }
+                "onCallPathTo" => {
+                    let target = self.eval_sel_arg(&args[0])?;
+                    let entry = g.entry().ok_or(EvalError::NoEntryPoint)?;
+                    let mut from = g.empty_set();
+                    from.insert(entry);
+                    Ok(on_path(g, &from, &target))
+                }
+                "onCallPathFrom" => {
+                    let src = self.eval_sel_arg(&args[0])?;
+                    Ok(reachable_from(g, &src))
+                }
+                "reaching" => {
+                    let target = self.eval_sel_arg(&args[0])?;
+                    Ok(reaching(g, &target))
+                }
+                "callers" => {
+                    let input = self.eval_sel_arg(&args[0])?;
+                    let mut out = g.empty_set();
+                    for id in input.iter() {
+                        for &(c, _) in g.callers(id) {
+                            out.insert(c);
+                        }
+                    }
+                    Ok(out)
+                }
+                "callees" => {
+                    let input = self.eval_sel_arg(&args[0])?;
+                    let mut out = g.empty_set();
+                    for id in input.iter() {
+                        for &(c, _) in g.callees(id) {
+                            out.insert(c);
+                        }
+                    }
+                    Ok(out)
+                }
+                "statementAggregation" => {
+                    let threshold = self.int_arg(&args[0]).max(0) as u64;
+                    let input = match args.get(1) {
+                        Some(a) => self.eval_sel_arg(a)?,
+                        None => g.full_set(),
+                    };
+                    Ok(statement_aggregation(g, &input, threshold))
+                }
+                "coarse" => {
+                    let input = self.eval_sel_arg(&args[0])?;
+                    let critical = match args.get(1) {
+                        Some(a) => Some(self.eval_sel_arg(a)?),
+                        None => None,
+                    };
+                    Ok(coarse(g, &input, critical.as_ref()))
+                }
+                "entry" => {
+                    let mut out = g.empty_set();
+                    if let Some(e) = g.entry() {
+                        out.insert(e);
+                    }
+                    Ok(out)
+                }
+                other => Err(EvalError::UnknownSelector(other.to_string())),
+            },
+        }
+    }
+}
+
+/// The coarse selector (paper §V-D): "traverses the call graph from top
+/// to bottom. For each callee of a selected function node, it is then
+/// determined if the current function is the only caller. If this is the
+/// case, the callee is removed from the IC. Optionally, the user can
+/// provide a selector instance for critical functions. Functions
+/// selected by this instance will be retained in all cases."
+pub fn coarse(g: &CallGraph, input: &NodeSet, critical: Option<&NodeSet>) -> NodeSet {
+    let mut out = input.clone();
+    let topo = Topo::compute(g);
+    for &node in &topo.order {
+        if !input.contains(node) {
+            continue;
+        }
+        for &(callee, _) in g.callees(node) {
+            if !input.contains(callee) {
+                continue;
+            }
+            if critical.is_some_and(|c| c.contains(callee)) {
+                continue;
+            }
+            let callers = g.callers(callee);
+            if callers.len() == 1 && callers[0].0 == node {
+                out.remove(callee);
+            }
+        }
+    }
+    out
+}
+
+/// Statement-aggregation selection (paper §II-B, ref [16]): aggregate
+/// statement counts bottom-up over the call chain (SCCs collapsed) and
+/// select functions whose aggregate reaches the threshold.
+pub fn statement_aggregation(g: &CallGraph, input: &NodeSet, threshold: u64) -> NodeSet {
+    let topo = Topo::compute(g);
+    let mut agg: Vec<u64> = g
+        .ids()
+        .map(|id| g.node(id).meta.statements as u64)
+        .collect();
+    // Children first: walk the topo order backwards.
+    for &node in topo.order.iter().rev() {
+        let mut sum = agg[node.index()];
+        for &(callee, _) in g.callees(node) {
+            if topo.component[callee.index()] == topo.component[node.index()] {
+                continue; // in-SCC edge: avoid double counting the cycle
+            }
+            sum = sum.saturating_add(agg[callee.index()]);
+        }
+        agg[node.index()] = sum;
+    }
+    let mut out = g.empty_set();
+    for id in input.iter() {
+        if agg[id.index()] >= threshold {
+            out.insert(id);
+        }
+    }
+    out
+}
+
+/// Evaluates a checked spec against `graph`.
+pub fn evaluate(spec: &Spec, graph: &CallGraph) -> Result<Selection, EvalError> {
+    if spec.items.is_empty() {
+        return Err(EvalError::Empty);
+    }
+    let mut ctx = Ctx {
+        graph,
+        instances: HashMap::new(),
+    };
+    let mut stages = Vec::with_capacity(spec.items.len());
+    let mut last: Option<NodeSet> = None;
+    for Item { name, expr } in &spec.items {
+        let set = ctx.eval_expr(expr)?;
+        stages.push(StageStat {
+            name: name.clone(),
+            count: set.count(),
+        });
+        if let Some(n) = name {
+            ctx.instances.insert(n.clone(), set.clone());
+        }
+        last = Some(set);
+    }
+    Ok(Selection {
+        set: last.expect("items non-empty"),
+        stages,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modules::ModuleRegistry;
+    use capi_appmodel::{LinkTarget, MpiCall, ProgramBuilder};
+    use capi_metacg::whole_program_callgraph;
+
+    /// main → {comm_layer → MPI_Allreduce, kernel(flops, loop), tiny(inline),
+    /// sys_func(system header)}; chain: solve → mid → amul (single callers).
+    fn graph() -> CallGraph {
+        let mut b = ProgramBuilder::new("app");
+        b.unit("main.cc", LinkTarget::Executable);
+        b.function("main")
+            .main()
+            .statements(40)
+            .calls("comm_layer", 1)
+            .calls("kernel", 1)
+            .calls("tiny", 1)
+            .calls("sys_func", 1)
+            .calls("solve", 1)
+            .finish();
+        b.function("comm_layer").statements(10).calls("MPI_Allreduce", 1).finish();
+        b.function("MPI_Allreduce")
+            .statements(1)
+            .mpi(MpiCall::Allreduce { bytes: 8 })
+            .finish();
+        b.function("kernel").statements(60).flops(128).loop_depth(2).finish();
+        b.function("tiny").statements(2).inline_keyword().finish();
+        b.function("sys_func").statements(5).system_header().finish();
+        b.function("solve").statements(30).calls("mid", 1).finish();
+        b.function("mid").statements(3).calls("amul", 1).finish();
+        b.function("amul").statements(50).flops(512).loop_depth(3).finish();
+        whole_program_callgraph(&b.build().unwrap())
+    }
+
+    fn run(src: &str) -> Vec<String> {
+        let g = graph();
+        let reg = ModuleRegistry::with_builtins();
+        let sel = crate::run_spec(src, &g, &reg).unwrap();
+        let mut names: Vec<String> = sel.names(&g).iter().map(|s| s.to_string()).collect();
+        names.sort();
+        names
+    }
+
+    #[test]
+    fn all_functions() {
+        assert_eq!(run("%%").len(), 9);
+    }
+
+    #[test]
+    fn flops_and_loops() {
+        assert_eq!(
+            run(r#"flops(">=", 100, loopDepth(">=", 1, %%))"#),
+            vec!["amul", "kernel"]
+        );
+        assert_eq!(run(r#"flops(">", 128, %%)"#), vec!["amul"]);
+        assert_eq!(run(r#"flops("==", 128, %%)"#), vec!["kernel"]);
+    }
+
+    #[test]
+    fn attribute_filters() {
+        assert_eq!(run("inSystemHeader(%%)"), vec!["MPI_Allreduce", "sys_func"]);
+        assert_eq!(run("inlineSpecified(%%)"), vec!["tiny"]);
+        assert_eq!(run("mpiFunctions(%%)"), vec!["MPI_Allreduce"]);
+        assert_eq!(run("entry()"), vec!["main"]);
+    }
+
+    #[test]
+    fn set_operations() {
+        assert_eq!(
+            run(r#"subtract(inSystemHeader(%%), mpiFunctions(%%))"#),
+            vec!["sys_func"]
+        );
+        assert_eq!(
+            run(r#"intersect(inSystemHeader(%%), mpiFunctions(%%))"#),
+            vec!["MPI_Allreduce"]
+        );
+        let all = run(r#"join(complement(inSystemHeader(%%)), inSystemHeader(%%))"#);
+        assert_eq!(all.len(), 9);
+    }
+
+    #[test]
+    fn mpi_module_call_path() {
+        // mpi_comm: main → comm_layer → MPI_Allreduce.
+        assert_eq!(
+            run("!import(\"mpi.capi\")\n%mpi_comm"),
+            vec!["MPI_Allreduce", "comm_layer", "main"]
+        );
+    }
+
+    #[test]
+    fn listing1_end_to_end() {
+        let names = run(r#"
+!import("mpi.capi")
+excluded = join(inSystemHeader(%%), inlineSpecified(%%))
+kernels = flops(">=", 10, loopDepth(">=" 1, %%))
+join(subtract(%kernels, %excluded), %mpi_comm)
+"#);
+        assert_eq!(names, vec!["MPI_Allreduce", "amul", "comm_layer", "kernel", "main"]);
+    }
+
+    #[test]
+    fn coarse_removes_single_caller_chains() {
+        // solve → mid → amul: mid and amul each have one caller.
+        let names = run(r#"coarse(join(byName("^solve$", %%), byName("^mid$", %%), byName("^amul$", %%), entry()))"#);
+        // main retained (no callers at all); solve removed (its only
+        // caller main is selected); the removal cascades: mid's only
+        // caller is solve, amul's only caller is mid.
+        assert_eq!(names, vec!["main"]);
+    }
+
+    #[test]
+    fn coarse_critical_functions_retained() {
+        let names = run(
+            r#"coarse(join(byName("^solve$", %%), byName("^mid$", %%), byName("^amul$", %%), entry()), byName("^amul$", %%))"#,
+        );
+        assert_eq!(names, vec!["amul", "main"]);
+    }
+
+    #[test]
+    fn statement_aggregation_selects_heavy_chains() {
+        // Aggregated statements: amul=50, mid=53, solve=83, main≳120.
+        let names = run("statementAggregation(80)");
+        assert!(names.contains(&"main".to_string()));
+        assert!(names.contains(&"solve".to_string()));
+        assert!(!names.contains(&"mid".to_string()));
+    }
+
+    #[test]
+    fn stage_stats_reported() {
+        let g = graph();
+        let reg = ModuleRegistry::with_builtins();
+        let sel = crate::run_spec(
+            "a = inSystemHeader(%%)\nb = mpiFunctions(%%)\njoin(%a, %b)",
+            &g,
+            &reg,
+        )
+        .unwrap();
+        assert_eq!(sel.stages.len(), 3);
+        assert_eq!(sel.stages[0].name.as_deref(), Some("a"));
+        assert_eq!(sel.stages[0].count, 2);
+        assert_eq!(sel.stages[2].count, 2);
+    }
+
+    #[test]
+    fn bad_comparison_reported() {
+        let g = graph();
+        let reg = ModuleRegistry::with_builtins();
+        let err = crate::run_spec(r#"flops("~~", 10, %%)"#, &g, &reg).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::SpecError::Eval(EvalError::BadComparison(_))
+        ));
+    }
+
+    #[test]
+    fn bad_regex_reported() {
+        let g = graph();
+        let reg = ModuleRegistry::with_builtins();
+        let err = crate::run_spec(r#"byName("(unclosed", %%)"#, &g, &reg).unwrap_err();
+        assert!(matches!(err, crate::SpecError::Eval(EvalError::BadRegex { .. })));
+    }
+
+    #[test]
+    fn callers_and_callees() {
+        assert_eq!(run(r#"callers(byName("^amul$", %%))"#), vec!["mid"]);
+        assert_eq!(run(r#"callees(byName("^solve$", %%))"#), vec!["mid"]);
+    }
+}

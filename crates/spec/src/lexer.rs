@@ -1,0 +1,379 @@
+//! Tokenizer for the CaPI specification language.
+
+use std::fmt;
+
+/// Token kinds.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    /// An identifier (selector type or instance name).
+    Ident(String),
+    /// A double-quoted string literal (quotes stripped).
+    Str(String),
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// `%name` — reference to a selector instance.
+    Ref(String),
+    /// `%%` — the set of all functions.
+    All,
+    /// `!import` keyword.
+    Import,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `=`
+    Eq,
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// The token kind.
+    pub kind: TokenKind,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+/// Lexer errors.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LexError {
+    /// Description.
+    pub message: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_cont(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == ':'
+}
+
+/// Tokenizes `source` (comments start with `#` and run to end of line).
+pub fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
+    let mut out = Vec::new();
+    let mut chars = source.chars().peekable();
+    let (mut line, mut col) = (1usize, 1usize);
+
+    macro_rules! bump {
+        () => {{
+            let c = chars.next();
+            if c == Some('\n') {
+                line += 1;
+                col = 1;
+            } else if c.is_some() {
+                col += 1;
+            }
+            c
+        }};
+    }
+
+    while let Some(&c) = chars.peek() {
+        let (tline, tcol) = (line, col);
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                bump!();
+            }
+            '#' => {
+                while let Some(&c) = chars.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    bump!();
+                }
+            }
+            '(' => {
+                bump!();
+                out.push(Token {
+                    kind: TokenKind::LParen,
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            ')' => {
+                bump!();
+                out.push(Token {
+                    kind: TokenKind::RParen,
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            ',' => {
+                bump!();
+                out.push(Token {
+                    kind: TokenKind::Comma,
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            '=' => {
+                bump!();
+                out.push(Token {
+                    kind: TokenKind::Eq,
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            '%' => {
+                bump!();
+                if chars.peek() == Some(&'%') {
+                    bump!();
+                    out.push(Token {
+                        kind: TokenKind::All,
+                        line: tline,
+                        col: tcol,
+                    });
+                } else {
+                    let mut name = String::new();
+                    while let Some(&c) = chars.peek() {
+                        if is_ident_cont(c) {
+                            name.push(c);
+                            bump!();
+                        } else {
+                            break;
+                        }
+                    }
+                    if name.is_empty() {
+                        return Err(LexError {
+                            message: "expected instance name after `%`".into(),
+                            line: tline,
+                            col: tcol,
+                        });
+                    }
+                    out.push(Token {
+                        kind: TokenKind::Ref(name),
+                        line: tline,
+                        col: tcol,
+                    });
+                }
+            }
+            '!' => {
+                bump!();
+                let mut kw = String::new();
+                while let Some(&c) = chars.peek() {
+                    if is_ident_cont(c) {
+                        kw.push(c);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                if kw != "import" {
+                    return Err(LexError {
+                        message: format!("unknown directive `!{kw}`"),
+                        line: tline,
+                        col: tcol,
+                    });
+                }
+                out.push(Token {
+                    kind: TokenKind::Import,
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            '"' => {
+                bump!();
+                let mut s = String::new();
+                let mut closed = false;
+                while let Some(c) = bump!() {
+                    if c == '"' {
+                        closed = true;
+                        break;
+                    }
+                    if c == '\\' {
+                        match bump!() {
+                            Some('n') => s.push('\n'),
+                            Some('t') => s.push('\t'),
+                            Some(other) => s.push(other),
+                            None => break,
+                        }
+                    } else {
+                        s.push(c);
+                    }
+                }
+                if !closed {
+                    return Err(LexError {
+                        message: "unterminated string literal".into(),
+                        line: tline,
+                        col: tcol,
+                    });
+                }
+                out.push(Token {
+                    kind: TokenKind::Str(s),
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                let mut text = String::new();
+                text.push(c);
+                bump!();
+                let mut is_float = false;
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_digit() {
+                        text.push(c);
+                        bump!();
+                    } else if c == '.' && !is_float {
+                        is_float = true;
+                        text.push(c);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                let kind = if is_float {
+                    TokenKind::Float(text.parse().map_err(|_| LexError {
+                        message: format!("bad float literal `{text}`"),
+                        line: tline,
+                        col: tcol,
+                    })?)
+                } else {
+                    TokenKind::Int(text.parse().map_err(|_| LexError {
+                        message: format!("bad integer literal `{text}`"),
+                        line: tline,
+                        col: tcol,
+                    })?)
+                };
+                out.push(Token {
+                    kind,
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            c if is_ident_start(c) => {
+                let mut name = String::new();
+                while let Some(&c) = chars.peek() {
+                    if is_ident_cont(c) {
+                        name.push(c);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token {
+                    kind: TokenKind::Ident(name),
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character `{other}`"),
+                    line: tline,
+                    col: tcol,
+                });
+            }
+        }
+    }
+    out.push(Token {
+        kind: TokenKind::Eof,
+        line,
+        col,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn listing1_tokens() {
+        let toks = kinds("!import(\"mpi.capi\")\nkernels = flops(\">=\", 10, %%)");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Import,
+                TokenKind::LParen,
+                TokenKind::Str("mpi.capi".into()),
+                TokenKind::RParen,
+                TokenKind::Ident("kernels".into()),
+                TokenKind::Eq,
+                TokenKind::Ident("flops".into()),
+                TokenKind::LParen,
+                TokenKind::Str(">=".into()),
+                TokenKind::Comma,
+                TokenKind::Int(10),
+                TokenKind::Comma,
+                TokenKind::All,
+                TokenKind::RParen,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn refs_and_all() {
+        assert_eq!(
+            kinds("%kernels %%"),
+            vec![
+                TokenKind::Ref("kernels".into()),
+                TokenKind::All,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("# a comment\nfoo # trailing\n"),
+            vec![TokenKind::Ident("foo".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("42 -7 3.5"),
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Int(-7),
+                TokenKind::Float(3.5),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            kinds(r#""a\"b\n""#),
+            vec![TokenKind::Str("a\"b\n".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = tokenize("foo\n  @").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.col, 3);
+        assert!(tokenize("\"open").is_err());
+        assert!(tokenize("!frobnicate(\"x\")").is_err());
+        assert!(tokenize("% ").is_err());
+    }
+}

@@ -1,0 +1,113 @@
+//! # capi-spec — the CaPI selection DSL
+//!
+//! The core of CaPI (paper §III-A): "a custom domain-specific language
+//! … a sequence of selector instances, which can either be named or
+//! anonymous … `%name` references existing instances, `%%` is the set of
+//! all functions … The last selector instance in the sequence is used as
+//! the entry point to the pipeline."
+//!
+//! Listing 1 of the paper parses and evaluates verbatim:
+//!
+//! ```text
+//! !import("mpi.capi")
+//! excluded = join(inSystemHeader(%%), inlineSpecified(%%))
+//! kernels = flops(">=", 10, loopDepth(">=" 1, %%))
+//! join(subtract(%kernels, %excluded), %mpi_comm)
+//! ```
+//!
+//! (Note the missing comma after `">="` — the grammar treats argument
+//! commas as optional, like the paper's own listing.)
+//!
+//! Pipeline stages:
+//! 1. [`lexer`] / [`parser`] — text → AST with source spans;
+//! 2. [`modules`] — `!import("…")` resolution with built-in modules
+//!    (`mpi.capi` ships the `mpi_comm` selector of Listing 1);
+//! 3. [`sema`] — reference resolution, selector arity/type checking;
+//! 4. [`eval`] — evaluation over a `capi-metacg` graph into a
+//!    [`capi_metacg::NodeSet`], with ~25 selector types including the
+//!    paper's `coarse` selector (§V-D) and statement aggregation (§II-B).
+
+pub mod ast;
+pub mod eval;
+pub mod lexer;
+pub mod modules;
+pub mod parser;
+pub mod regex;
+pub mod sema;
+
+pub use ast::{Arg, Expr, Item, Spec};
+pub use eval::{evaluate, EvalError, Selection, StageStat};
+pub use lexer::{LexError, Token, TokenKind};
+pub use modules::ModuleRegistry;
+pub use parser::{parse, ParseError};
+pub use regex::Regex;
+pub use sema::{check, SemaError};
+
+use capi_metacg::CallGraph;
+
+/// One-call convenience: parse, resolve imports, check and evaluate
+/// `source` against `graph` using `modules`.
+pub fn run_spec(
+    source: &str,
+    graph: &CallGraph,
+    modules: &ModuleRegistry,
+) -> Result<Selection, SpecError> {
+    let spec = modules.load(source)?;
+    check(&spec)?;
+    Ok(evaluate(&spec, graph)?)
+}
+
+/// Any error from the spec pipeline.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SpecError {
+    /// Lexing failed.
+    Lex(LexError),
+    /// Parsing failed.
+    Parse(ParseError),
+    /// Import resolution failed.
+    Module(modules::ModuleError),
+    /// Semantic checking failed.
+    Sema(SemaError),
+    /// Evaluation failed.
+    Eval(EvalError),
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::Lex(e) => write!(f, "lex error: {e}"),
+            SpecError::Parse(e) => write!(f, "parse error: {e}"),
+            SpecError::Module(e) => write!(f, "module error: {e}"),
+            SpecError::Sema(e) => write!(f, "semantic error: {e}"),
+            SpecError::Eval(e) => write!(f, "evaluation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<LexError> for SpecError {
+    fn from(e: LexError) -> Self {
+        SpecError::Lex(e)
+    }
+}
+impl From<ParseError> for SpecError {
+    fn from(e: ParseError) -> Self {
+        SpecError::Parse(e)
+    }
+}
+impl From<modules::ModuleError> for SpecError {
+    fn from(e: modules::ModuleError) -> Self {
+        SpecError::Module(e)
+    }
+}
+impl From<SemaError> for SpecError {
+    fn from(e: SemaError) -> Self {
+        SpecError::Sema(e)
+    }
+}
+impl From<EvalError> for SpecError {
+    fn from(e: EvalError) -> Self {
+        SpecError::Eval(e)
+    }
+}

@@ -1,0 +1,211 @@
+//! Specification modules and `!import` resolution.
+//!
+//! Paper §III-A: "Recently, the ability to import existing specification
+//! modules was added, in order to simplify re-use of common
+//! functionality across applications." The registry ships the built-in
+//! `mpi.capi` module Listing 1 relies on (defining `mpi_comm`: all
+//! functions on a call path from `main` to any MPI communication
+//! operation), plus `common.capi` with the usual exclusion set.
+
+use crate::ast::Spec;
+use crate::parser::{parse, ParseError};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Built-in `mpi.capi` source.
+pub const MPI_CAPI: &str = r#"
+# Functions that are themselves MPI operations.
+mpi_funcs = byName("^MPI_", %%)
+# All functions on a call path from main to any MPI operation.
+mpi_comm = onCallPathTo(%mpi_funcs)
+"#;
+
+/// Built-in `common.capi` source.
+pub const COMMON_CAPI: &str = r#"
+# The usual exclusion set: system headers and inline-marked definitions.
+common_excluded = join(inSystemHeader(%%), inlineSpecified(%%))
+"#;
+
+/// Module-resolution errors.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ModuleError {
+    /// `!import` of a module the registry does not know.
+    Unknown(String),
+    /// A module failed to parse.
+    Parse {
+        /// Module name.
+        module: String,
+        /// Underlying error.
+        error: ParseError,
+    },
+    /// Import cycle.
+    Cycle(String),
+    /// The top-level source failed to parse.
+    TopLevel(ParseError),
+}
+
+impl fmt::Display for ModuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModuleError::Unknown(m) => write!(f, "unknown module `{m}`"),
+            ModuleError::Parse { module, error } => write!(f, "in module `{module}`: {error}"),
+            ModuleError::Cycle(m) => write!(f, "import cycle through `{m}`"),
+            ModuleError::TopLevel(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ModuleError {}
+
+/// Registry of named specification modules.
+#[derive(Clone, Debug)]
+pub struct ModuleRegistry {
+    sources: HashMap<String, String>,
+}
+
+impl Default for ModuleRegistry {
+    fn default() -> Self {
+        Self::with_builtins()
+    }
+}
+
+impl ModuleRegistry {
+    /// An empty registry (no modules available).
+    pub fn empty() -> Self {
+        Self {
+            sources: HashMap::new(),
+        }
+    }
+
+    /// A registry with the built-in modules.
+    pub fn with_builtins() -> Self {
+        let mut r = Self::empty();
+        r.add("mpi.capi", MPI_CAPI);
+        r.add("common.capi", COMMON_CAPI);
+        r
+    }
+
+    /// Adds (or replaces) a module.
+    pub fn add(&mut self, name: impl Into<String>, source: impl Into<String>) -> &mut Self {
+        self.sources.insert(name.into(), source.into());
+        self
+    }
+
+    /// Known module names.
+    pub fn names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.sources.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Parses `source` and splices all `!import`ed modules' items in
+    /// front of the top-level items (depth-first, each module once).
+    pub fn load(&self, source: &str) -> Result<Spec, ModuleError> {
+        let top = parse(source).map_err(ModuleError::TopLevel)?;
+        let mut merged = Spec::default();
+        let mut loading: Vec<String> = Vec::new();
+        let mut loaded: Vec<String> = Vec::new();
+        for import in &top.imports {
+            self.load_module(import, &mut merged, &mut loading, &mut loaded)?;
+        }
+        merged.imports = top.imports.clone();
+        merged.items.extend(top.items);
+        Ok(merged)
+    }
+
+    fn load_module(
+        &self,
+        name: &str,
+        merged: &mut Spec,
+        loading: &mut Vec<String>,
+        loaded: &mut Vec<String>,
+    ) -> Result<(), ModuleError> {
+        if loaded.iter().any(|m| m == name) {
+            return Ok(()); // diamond imports are fine
+        }
+        if loading.iter().any(|m| m == name) {
+            return Err(ModuleError::Cycle(name.to_string()));
+        }
+        let source = self
+            .sources
+            .get(name)
+            .ok_or_else(|| ModuleError::Unknown(name.to_string()))?;
+        let spec = parse(source).map_err(|error| ModuleError::Parse {
+            module: name.to_string(),
+            error,
+        })?;
+        loading.push(name.to_string());
+        for import in &spec.imports {
+            self.load_module(import, merged, loading, loaded)?;
+        }
+        loading.pop();
+        loaded.push(name.to_string());
+        merged.items.extend(spec.items);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn listing1_imports_mpi_module() {
+        let reg = ModuleRegistry::with_builtins();
+        let spec = reg
+            .load("!import(\"mpi.capi\")\njoin(%mpi_comm, %mpi_funcs)")
+            .unwrap();
+        let names: Vec<Option<&str>> = spec.items.iter().map(|i| i.name.as_deref()).collect();
+        assert!(names.contains(&Some("mpi_funcs")));
+        assert!(names.contains(&Some("mpi_comm")));
+        // Module items come first; entry stays last.
+        assert!(spec.entry().unwrap().name.is_none());
+    }
+
+    #[test]
+    fn unknown_module_errors() {
+        let reg = ModuleRegistry::with_builtins();
+        assert_eq!(
+            reg.load("!import(\"nope.capi\")\n%%"),
+            Err(ModuleError::Unknown("nope.capi".into()))
+        );
+    }
+
+    #[test]
+    fn diamond_imports_load_once() {
+        let mut reg = ModuleRegistry::empty();
+        reg.add("base.capi", "base = inSystemHeader(%%)");
+        reg.add("a.capi", "!import(\"base.capi\")\na = complement(%base)");
+        reg.add("b.capi", "!import(\"base.capi\")\nb = complement(%base)");
+        let spec = reg
+            .load("!import(\"a.capi\")\n!import(\"b.capi\")\njoin(%a, %b)")
+            .unwrap();
+        let base_count = spec
+            .items
+            .iter()
+            .filter(|i| i.name.as_deref() == Some("base"))
+            .count();
+        assert_eq!(base_count, 1);
+    }
+
+    #[test]
+    fn cycles_detected() {
+        let mut reg = ModuleRegistry::empty();
+        reg.add("x.capi", "!import(\"y.capi\")\nx = %%");
+        reg.add("y.capi", "!import(\"x.capi\")\ny = %%");
+        assert!(matches!(
+            reg.load("!import(\"x.capi\")\n%x"),
+            Err(ModuleError::Cycle(_))
+        ));
+    }
+
+    #[test]
+    fn module_parse_errors_name_the_module() {
+        let mut reg = ModuleRegistry::empty();
+        reg.add("bad.capi", "this is ( not valid");
+        match reg.load("!import(\"bad.capi\")\n%%") {
+            Err(ModuleError::Parse { module, .. }) => assert_eq!(module, "bad.capi"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

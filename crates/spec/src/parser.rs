@@ -1,0 +1,269 @@
+//! Recursive-descent parser.
+//!
+//! Argument commas are optional: the paper's own Listing 1 contains
+//! `loopDepth(">=" 1, %%)` (missing comma), so the grammar accepts
+//! whitespace-separated arguments.
+
+use crate::ast::{Arg, Expr, Item, Span, Spec};
+use crate::lexer::{tokenize, LexError, Token, TokenKind};
+use std::fmt;
+
+/// Parse errors.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    /// Description.
+    pub message: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            message: e.message,
+            line: e.line,
+            col: e.col,
+        }
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        let t = self.peek();
+        Err(ParseError {
+            message: message.into(),
+            line: t.line,
+            col: t.col,
+        })
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<Token, ParseError> {
+        if std::mem::discriminant(&self.peek().kind) == std::mem::discriminant(kind) {
+            Ok(self.bump())
+        } else {
+            self.err(format!("expected {what}, found {:?}", self.peek().kind))
+        }
+    }
+
+    fn parse_spec(&mut self) -> Result<Spec, ParseError> {
+        let mut spec = Spec::default();
+        loop {
+            match &self.peek().kind {
+                TokenKind::Eof => break,
+                TokenKind::Import => {
+                    self.bump();
+                    self.expect(&TokenKind::LParen, "`(`")?;
+                    let t = self.expect(&TokenKind::Str(String::new()), "module name string")?;
+                    if let TokenKind::Str(s) = t.kind {
+                        spec.imports.push(s);
+                    }
+                    self.expect(&TokenKind::RParen, "`)`")?;
+                }
+                TokenKind::Ident(_) => {
+                    // Either `name = expr` or a bare call expression.
+                    if matches!(self.tokens[self.pos + 1].kind, TokenKind::Eq) {
+                        let t = self.bump();
+                        let name = match t.kind {
+                            TokenKind::Ident(n) => n,
+                            _ => unreachable!("checked ident"),
+                        };
+                        self.bump(); // `=`
+                        let expr = self.parse_expr()?;
+                        spec.items.push(Item {
+                            name: Some(name),
+                            expr,
+                        });
+                    } else {
+                        let expr = self.parse_expr()?;
+                        spec.items.push(Item { name: None, expr });
+                    }
+                }
+                TokenKind::Ref(_) | TokenKind::All => {
+                    let expr = self.parse_expr()?;
+                    spec.items.push(Item { name: None, expr });
+                }
+                other => return self.err(format!("unexpected token {other:?}")),
+            }
+        }
+        Ok(spec)
+    }
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        let t = self.peek().clone();
+        let span = Span {
+            line: t.line,
+            col: t.col,
+        };
+        match t.kind {
+            TokenKind::All => {
+                self.bump();
+                Ok(Expr::All(span))
+            }
+            TokenKind::Ref(name) => {
+                self.bump();
+                Ok(Expr::Ref(name, span))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                self.expect(&TokenKind::LParen, "`(` after selector name")?;
+                let mut args = Vec::new();
+                loop {
+                    // Optional separators.
+                    while matches!(self.peek().kind, TokenKind::Comma) {
+                        self.bump();
+                    }
+                    if matches!(self.peek().kind, TokenKind::RParen) {
+                        self.bump();
+                        break;
+                    }
+                    if matches!(self.peek().kind, TokenKind::Eof) {
+                        return self.err("unterminated argument list");
+                    }
+                    args.push(self.parse_arg()?);
+                }
+                Ok(Expr::Call { name, args, span })
+            }
+            other => self.err(format!("expected expression, found {other:?}")),
+        }
+    }
+
+    fn parse_arg(&mut self) -> Result<Arg, ParseError> {
+        match self.peek().kind.clone() {
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Arg::Str(s))
+            }
+            TokenKind::Int(n) => {
+                self.bump();
+                Ok(Arg::Int(n))
+            }
+            TokenKind::Float(x) => {
+                self.bump();
+                Ok(Arg::Float(x))
+            }
+            TokenKind::Ident(_) | TokenKind::Ref(_) | TokenKind::All => {
+                Ok(Arg::Expr(self.parse_expr()?))
+            }
+            other => self.err(format!("expected argument, found {other:?}")),
+        }
+    }
+}
+
+/// Parses a specification source text.
+pub fn parse(source: &str) -> Result<Spec, ParseError> {
+    let tokens = tokenize(source)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.parse_spec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Listing 1, verbatim (including its missing comma).
+    pub const LISTING_1: &str = r#"
+!import("mpi.capi")
+excluded = join(inSystemHeader(%%),
+inlineSpecified(%%))
+kernels = flops(">=", 10, loopDepth(">=" 1, %%))
+join(subtract(%kernels, %excluded), %mpi_comm)
+"#;
+
+    #[test]
+    fn parses_listing_1() {
+        let spec = parse(LISTING_1).unwrap();
+        assert_eq!(spec.imports, vec!["mpi.capi".to_string()]);
+        assert_eq!(spec.items.len(), 3);
+        assert_eq!(spec.items[0].name.as_deref(), Some("excluded"));
+        assert_eq!(spec.items[1].name.as_deref(), Some("kernels"));
+        assert!(spec.items[2].name.is_none());
+        // Entry point is the final anonymous join.
+        match &spec.entry().unwrap().expr {
+            Expr::Call { name, args, .. } => {
+                assert_eq!(name, "join");
+                assert_eq!(args.len(), 2);
+            }
+            other => panic!("unexpected entry {other:?}"),
+        }
+    }
+
+    #[test]
+    fn optional_commas() {
+        let a = parse(r#"flops(">=", 10, %%)"#).unwrap();
+        let b = parse(r#"flops(">=" 10 %%)"#).unwrap();
+        // Spans differ; structural equality is checked via printing.
+        assert_eq!(a.items[0].expr.to_string(), b.items[0].expr.to_string());
+    }
+
+    #[test]
+    fn nested_calls() {
+        let spec = parse("join(subtract(%a, %b), inSystemHeader(%%))").unwrap();
+        match &spec.items[0].expr {
+            Expr::Call { args, .. } => {
+                assert!(matches!(&args[0], Arg::Expr(Expr::Call { name, .. }) if name == "subtract"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_argument_list() {
+        let spec = parse("entry()").unwrap();
+        match &spec.items[0].expr {
+            Expr::Call { args, .. } => assert!(args.is_empty()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_are_positioned() {
+        let err = parse("foo(").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+        let err = parse("= x").unwrap_err();
+        assert!(err.line >= 1);
+        assert!(parse("foo)").is_err());
+    }
+
+    #[test]
+    fn pretty_print_reparses_identically() {
+        let spec = parse(LISTING_1).unwrap();
+        let printed = spec.to_string();
+        let reparsed = parse(&printed).unwrap();
+        // Fixed point: printing the reparsed spec reproduces the text.
+        assert_eq!(printed, reparsed.to_string());
+    }
+
+    #[test]
+    fn bare_ref_as_entry() {
+        let spec = parse("a = inSystemHeader(%%)\n%a").unwrap();
+        assert_eq!(spec.items.len(), 2);
+        assert!(matches!(&spec.entry().unwrap().expr, Expr::Ref(n, _) if n == "a"));
+    }
+}

@@ -1,0 +1,420 @@
+//! A compact regular-expression engine for the `byName` selector.
+//!
+//! CaPI selects functions by name with regexes (the built-in `mpi.capi`
+//! module uses `^MPI_`). This workspace builds against a fixed
+//! dependency allowlist, so a small engine is implemented here.
+//!
+//! Supported syntax: literals, `.`, `*`, `+`, `?`, character classes
+//! `[a-z]` / `[^…]`, anchors `^` `$`, alternation `|`, groups `(…)`.
+//! Matching is backtracking over a parsed AST with *search* semantics:
+//! the pattern may match anywhere unless anchored.
+
+use std::fmt;
+
+/// Regex compilation errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegexError {
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for RegexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex error: {}", self.message)
+    }
+}
+
+impl std::error::Error for RegexError {}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Node {
+    Char(char),
+    Any,
+    Class { neg: bool, ranges: Vec<(char, char)> },
+    Repeat { node: Box<Node>, min: u32, max: Option<u32> },
+    Group(Vec<Vec<Node>>), // alternation of sequences
+    Start,
+    End,
+}
+
+/// A compiled regular expression.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Regex {
+    alts: Vec<Vec<Node>>,
+    source: String,
+}
+
+struct RegexParser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl RegexParser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn err<T>(&self, m: impl Into<String>) -> Result<T, RegexError> {
+        Err(RegexError { message: m.into() })
+    }
+
+    /// alternation := sequence ('|' sequence)*
+    fn parse_alternation(&mut self) -> Result<Vec<Vec<Node>>, RegexError> {
+        let mut alts = vec![self.parse_sequence()?];
+        while self.peek() == Some('|') {
+            self.bump();
+            alts.push(self.parse_sequence()?);
+        }
+        Ok(alts)
+    }
+
+    fn parse_sequence(&mut self) -> Result<Vec<Node>, RegexError> {
+        let mut seq = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = self.parse_atom()?;
+            let node = self.parse_quantifier(atom)?;
+            seq.push(node);
+        }
+        Ok(seq)
+    }
+
+    fn parse_atom(&mut self) -> Result<Node, RegexError> {
+        match self.bump() {
+            Some('.') => Ok(Node::Any),
+            Some('^') => Ok(Node::Start),
+            Some('$') => Ok(Node::End),
+            Some('(') => {
+                let alts = self.parse_alternation()?;
+                if self.bump() != Some(')') {
+                    return self.err("unclosed group");
+                }
+                Ok(Node::Group(alts))
+            }
+            Some('[') => self.parse_class(),
+            Some('\\') => match self.bump() {
+                Some('d') => Ok(Node::Class {
+                    neg: false,
+                    ranges: vec![('0', '9')],
+                }),
+                Some('w') => Ok(Node::Class {
+                    neg: false,
+                    ranges: vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')],
+                }),
+                Some('s') => Ok(Node::Class {
+                    neg: false,
+                    ranges: vec![(' ', ' '), ('\t', '\t'), ('\n', '\n')],
+                }),
+                Some(c) => Ok(Node::Char(c)),
+                None => self.err("dangling escape"),
+            },
+            Some(c) if c == '*' || c == '+' || c == '?' => {
+                self.err(format!("dangling quantifier `{c}`"))
+            }
+            Some(c) => Ok(Node::Char(c)),
+            None => self.err("unexpected end of pattern"),
+        }
+    }
+
+    fn parse_quantifier(&mut self, atom: Node) -> Result<Node, RegexError> {
+        let q = match self.peek() {
+            Some('*') => Some((0, None)),
+            Some('+') => Some((1, None)),
+            Some('?') => Some((0, Some(1))),
+            _ => None,
+        };
+        match q {
+            Some((min, max)) => {
+                self.bump();
+                if matches!(atom, Node::Start | Node::End) {
+                    return self.err("quantifier on anchor");
+                }
+                Ok(Node::Repeat {
+                    node: Box::new(atom),
+                    min,
+                    max,
+                })
+            }
+            None => Ok(atom),
+        }
+    }
+
+    fn parse_class(&mut self) -> Result<Node, RegexError> {
+        let neg = if self.peek() == Some('^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut ranges = Vec::new();
+        loop {
+            match self.bump() {
+                None => return self.err("unclosed character class"),
+                Some(']') if !ranges.is_empty() || neg => break,
+                Some(']') => break, // empty class: matches nothing
+                Some('\\') => {
+                    let c = self.bump().ok_or(RegexError {
+                        message: "dangling escape in class".into(),
+                    })?;
+                    ranges.push((c, c));
+                }
+                Some(c) => {
+                    if self.peek() == Some('-')
+                        && self.chars.get(self.pos + 1).copied() != Some(']')
+                        && self.chars.get(self.pos + 1).is_some()
+                    {
+                        self.bump(); // '-'
+                        let hi = self.bump().expect("checked above");
+                        if hi < c {
+                            return self.err(format!("invalid range {c}-{hi}"));
+                        }
+                        ranges.push((c, hi));
+                    } else {
+                        ranges.push((c, c));
+                    }
+                }
+            }
+        }
+        Ok(Node::Class { neg, ranges })
+    }
+}
+
+impl Regex {
+    /// Compiles `pattern`.
+    pub fn new(pattern: &str) -> Result<Self, RegexError> {
+        let mut p = RegexParser {
+            chars: pattern.chars().collect(),
+            pos: 0,
+        };
+        let alts = p.parse_alternation()?;
+        if p.pos != p.chars.len() {
+            return Err(RegexError {
+                message: format!("unexpected `{}`", p.chars[p.pos]),
+            });
+        }
+        Ok(Self {
+            alts,
+            source: pattern.to_string(),
+        })
+    }
+
+    /// The original pattern text.
+    pub fn as_str(&self) -> &str {
+        &self.source
+    }
+
+    /// Search semantics: does the pattern match anywhere in `text`?
+    pub fn is_match(&self, text: &str) -> bool {
+        let chars: Vec<char> = text.chars().collect();
+        for start in 0..=chars.len() {
+            for alt in &self.alts {
+                if match_seq(alt, &chars, start, start == 0).is_some() {
+                    return true;
+                }
+            }
+            // `^`-anchored alternatives can only match at 0, but others
+            // may match later; keep scanning.
+        }
+        false
+    }
+}
+
+/// Matches `seq` against `chars[pos..]`, returning the end position.
+/// `at_start` tells whether `pos` is the true string start (for `^`).
+fn match_seq(seq: &[Node], chars: &[char], pos: usize, at_start: bool) -> Option<usize> {
+    let Some((first, rest)) = seq.split_first() else {
+        return Some(pos);
+    };
+    match first {
+        Node::Start => {
+            // `pos` is always an index into the full subject string, so
+            // position 0 *is* the string start.
+            if pos == 0 {
+                match_seq(rest, chars, pos, at_start)
+            } else {
+                None
+            }
+        }
+        Node::End => {
+            if pos == chars.len() {
+                match_seq(rest, chars, pos, at_start)
+            } else {
+                None
+            }
+        }
+        Node::Char(c) => {
+            if chars.get(pos) == Some(c) {
+                match_seq(rest, chars, pos + 1, at_start)
+            } else {
+                None
+            }
+        }
+        Node::Any => {
+            if pos < chars.len() {
+                match_seq(rest, chars, pos + 1, at_start)
+            } else {
+                None
+            }
+        }
+        Node::Class { neg, ranges } => {
+            let c = *chars.get(pos)?;
+            let inside = ranges.iter().any(|&(lo, hi)| c >= lo && c <= hi);
+            if inside != *neg {
+                match_seq(rest, chars, pos + 1, at_start)
+            } else {
+                None
+            }
+        }
+        Node::Group(alts) => {
+            for alt in alts {
+                // Try each alternative, then the rest.
+                if let Some(end) = match_seq_full(alt, chars, pos, at_start) {
+                    for e in end {
+                        if let Some(done) = match_seq(rest, chars, e, at_start) {
+                            return Some(done);
+                        }
+                    }
+                }
+            }
+            None
+        }
+        Node::Repeat { node, min, max } => {
+            // Collect all reachable end positions greedily, then
+            // backtrack from the longest.
+            let mut ends = vec![pos];
+            let mut cur = pos;
+            let limit = max.unwrap_or(u32::MAX);
+            let mut count = 0u32;
+            while count < limit {
+                let next = match_one(node, chars, cur, at_start);
+                match next {
+                    Some(n) if n > cur || count < *min => {
+                        ends.push(n);
+                        cur = n;
+                        count += 1;
+                        if n == cur && ends.len() > chars.len() + 2 {
+                            break; // zero-width repeat guard
+                        }
+                    }
+                    Some(_) | None => break,
+                }
+            }
+            if (ends.len() as u32) <= *min {
+                return None;
+            }
+            for &e in ends.iter().skip(*min as usize).rev() {
+                if let Some(done) = match_seq(rest, chars, e, at_start) {
+                    return Some(done);
+                }
+            }
+            None
+        }
+    }
+}
+
+/// All end positions where `seq` can match (needed for groups followed
+/// by more pattern). Returns a small vec of candidates.
+fn match_seq_full(seq: &[Node], chars: &[char], pos: usize, at_start: bool) -> Option<Vec<usize>> {
+    // For simplicity: a group match returns the single greedy end; for
+    // the selector workloads (identifiers) this is sufficient, and the
+    // engine stays linear in practice.
+    match_seq(seq, chars, pos, at_start).map(|e| vec![e])
+}
+
+/// Matches a single (non-sequence) node once.
+fn match_one(node: &Node, chars: &[char], pos: usize, at_start: bool) -> Option<usize> {
+    match_seq(std::slice::from_ref(node), chars, pos, at_start)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pat: &str, text: &str) -> bool {
+        Regex::new(pat).unwrap().is_match(text)
+    }
+
+    #[test]
+    fn literals_search_anywhere() {
+        assert!(m("MPI_", "call_MPI_Allreduce"));
+        assert!(!m("MPI_", "serial_code"));
+    }
+
+    #[test]
+    fn anchors() {
+        assert!(m("^MPI_", "MPI_Init"));
+        assert!(!m("^MPI_", "PMPI_Init"));
+        assert!(m("solve$", "Foam::solve"));
+        assert!(!m("solve$", "solver"));
+        assert!(m("^main$", "main"));
+        assert!(!m("^main$", "domain"));
+    }
+
+    #[test]
+    fn dot_and_star() {
+        assert!(m("MPI_.*", "MPI_Isend"));
+        assert!(m("a.*b", "a_xxx_b"));
+        assert!(m("a.*b", "ab"));
+        assert!(!m("^a.+b$", "ab"));
+        assert!(m("^a.+b$", "axb"));
+    }
+
+    #[test]
+    fn optional_and_classes() {
+        assert!(m("colou?r", "color"));
+        assert!(m("colou?r", "colour"));
+        assert!(m("[A-Z][a-z]+", "Foam"));
+        assert!(!m("^[A-Z][a-z]+$", "FOAM"));
+        assert!(m("[^0-9]+", "abc"));
+        assert!(m("f[0-9]+", "f123"));
+        assert!(!m("^f[0-9]+$", "f12x"));
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        assert!(m("^(foo|bar)$", "foo"));
+        assert!(m("^(foo|bar)$", "bar"));
+        assert!(!m("^(foo|bar)$", "baz"));
+        assert!(m("solve(Segregated|Coupled)", "solveSegregatedOrCoupled"));
+        assert!(m("(ab)+", "ababab"));
+    }
+
+    #[test]
+    fn escapes() {
+        assert!(m(r"operator\(\)", "Foam::less::operator()"));
+        assert!(m(r"\d+", "f123"));
+        assert!(m(r"\w+", "x_1"));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(Regex::new("(unclosed").is_err());
+        assert!(Regex::new("[unclosed").is_err());
+        assert!(Regex::new("*dangling").is_err());
+        assert!(Regex::new("^*").is_err());
+        assert!(Regex::new(r"trailing\").is_err());
+        assert!(Regex::new("[z-a]").is_err());
+    }
+
+    #[test]
+    fn realistic_selector_patterns() {
+        // The mpi.capi module's pattern.
+        let mpi = Regex::new("^MPI_").unwrap();
+        assert!(mpi.is_match("MPI_Allreduce"));
+        assert!(!mpi.is_match("Foam::MPI_like"));
+        // Template instantiation names.
+        let tmpl = Regex::new("^Foam::fvMatrix<.*>::solve").unwrap();
+        assert!(tmpl.is_match("Foam::fvMatrix<double>::solve(const dictionary&)"));
+        assert!(!tmpl.is_match("Foam::fvMatrix<double>::relax()"));
+    }
+}

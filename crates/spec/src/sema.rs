@@ -1,0 +1,346 @@
+//! Semantic analysis: reference resolution and selector signatures.
+
+use crate::ast::{Arg, Expr, Item, Spec};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Argument types a selector can take.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArgTy {
+    /// String literal (comparison operator, regex, glob).
+    Str,
+    /// Integer literal.
+    Int,
+    /// Selector (nested expression, `%ref` or `%%`).
+    Sel,
+}
+
+/// A selector type's signature.
+#[derive(Clone, Copy, Debug)]
+pub struct Signature {
+    /// Required leading arguments.
+    pub required: &'static [ArgTy],
+    /// Optional trailing arguments.
+    pub optional: &'static [ArgTy],
+    /// Additionally accepted variadic tail (unbounded).
+    pub variadic: Option<ArgTy>,
+}
+
+const SEL: ArgTy = ArgTy::Sel;
+const STR: ArgTy = ArgTy::Str;
+const INT: ArgTy = ArgTy::Int;
+
+/// Looks up the signature of a selector type; `None` = unknown selector.
+pub fn signature(name: &str) -> Option<Signature> {
+    let sig = |required, optional, variadic| Signature {
+        required,
+        optional,
+        variadic,
+    };
+    Some(match name {
+        "join" => sig(&[SEL], &[], Some(SEL)),
+        "intersect" => sig(&[SEL, SEL], &[], Some(SEL)),
+        "subtract" => sig(&[SEL, SEL], &[], None),
+        "complement" => sig(&[SEL], &[], None),
+        "byName" => sig(&[STR, SEL], &[], None),
+        "byPath" => sig(&[STR, SEL], &[], None),
+        "inObject" => sig(&[STR, SEL], &[], None),
+        "inSystemHeader" | "inlineSpecified" | "virtualMethods" | "addressTaken" | "hidden"
+        | "definitions" | "declarations" | "mpiFunctions" | "staticInitializers" => {
+            sig(&[SEL], &[], None)
+        }
+        "flops" | "loopDepth" | "statements" | "loc" | "instructions" => {
+            sig(&[STR, INT, SEL], &[], None)
+        }
+        "onCallPathTo" | "onCallPathFrom" | "reaching" | "callers" | "callees" => {
+            sig(&[SEL], &[], None)
+        }
+        "statementAggregation" => sig(&[INT], &[SEL], None),
+        "coarse" => sig(&[SEL], &[SEL], None),
+        "entry" => sig(&[], &[], None),
+        _ => return None,
+    })
+}
+
+/// All selector names (for error messages and docs).
+pub fn selector_names() -> &'static [&'static str] {
+    &[
+        "join",
+        "intersect",
+        "subtract",
+        "complement",
+        "byName",
+        "byPath",
+        "inObject",
+        "inSystemHeader",
+        "inlineSpecified",
+        "virtualMethods",
+        "addressTaken",
+        "hidden",
+        "definitions",
+        "declarations",
+        "mpiFunctions",
+        "staticInitializers",
+        "flops",
+        "loopDepth",
+        "statements",
+        "loc",
+        "instructions",
+        "onCallPathTo",
+        "onCallPathFrom",
+        "reaching",
+        "callers",
+        "callees",
+        "statementAggregation",
+        "coarse",
+        "entry",
+    ]
+}
+
+/// Semantic errors.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SemaError {
+    /// The spec has no items.
+    Empty,
+    /// `%name` refers to an instance not defined before use.
+    UndefinedRef {
+        /// The missing name.
+        name: String,
+    },
+    /// Two instances share a name.
+    DuplicateDefinition {
+        /// The duplicated name.
+        name: String,
+    },
+    /// Unknown selector type.
+    UnknownSelector {
+        /// The unknown name.
+        name: String,
+    },
+    /// Wrong number of arguments.
+    Arity {
+        /// Selector name.
+        selector: String,
+        /// Expected description.
+        expected: String,
+        /// Actual count.
+        got: usize,
+    },
+    /// Argument of the wrong type.
+    ArgType {
+        /// Selector name.
+        selector: String,
+        /// 0-based argument index.
+        index: usize,
+        /// Expected type.
+        expected: ArgTy,
+    },
+}
+
+impl fmt::Display for SemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SemaError::Empty => write!(f, "specification has no selector instances"),
+            SemaError::UndefinedRef { name } => write!(f, "undefined reference `%{name}`"),
+            SemaError::DuplicateDefinition { name } => {
+                write!(f, "duplicate definition of `{name}`")
+            }
+            SemaError::UnknownSelector { name } => write!(f, "unknown selector `{name}`"),
+            SemaError::Arity {
+                selector,
+                expected,
+                got,
+            } => write!(f, "`{selector}` expects {expected} arguments, got {got}"),
+            SemaError::ArgType {
+                selector,
+                index,
+                expected,
+            } => write!(
+                f,
+                "`{selector}` argument {} must be a {expected:?}",
+                index + 1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SemaError {}
+
+fn arg_ty(a: &Arg) -> ArgTy {
+    match a {
+        Arg::Str(_) => ArgTy::Str,
+        Arg::Int(_) | Arg::Float(_) => ArgTy::Int,
+        Arg::Expr(_) => ArgTy::Sel,
+    }
+}
+
+fn check_expr(e: &Expr, defined: &HashSet<&str>) -> Result<(), SemaError> {
+    match e {
+        Expr::All(_) => Ok(()),
+        Expr::Ref(name, _) => {
+            if defined.contains(name.as_str()) {
+                Ok(())
+            } else {
+                Err(SemaError::UndefinedRef { name: name.clone() })
+            }
+        }
+        Expr::Call { name, args, .. } => {
+            let sig = signature(name).ok_or_else(|| SemaError::UnknownSelector {
+                name: name.clone(),
+            })?;
+            let min = sig.required.len();
+            let max = if sig.variadic.is_some() {
+                usize::MAX
+            } else {
+                min + sig.optional.len()
+            };
+            if args.len() < min || args.len() > max {
+                let expected = if sig.variadic.is_some() {
+                    format!("at least {min}")
+                } else if sig.optional.is_empty() {
+                    format!("{min}")
+                } else {
+                    format!("{min} to {max}")
+                };
+                return Err(SemaError::Arity {
+                    selector: name.clone(),
+                    expected,
+                    got: args.len(),
+                });
+            }
+            for (i, a) in args.iter().enumerate() {
+                let expected = if i < sig.required.len() {
+                    sig.required[i]
+                } else if i < sig.required.len() + sig.optional.len() {
+                    sig.optional[i - sig.required.len()]
+                } else {
+                    sig.variadic.expect("arity checked above")
+                };
+                if arg_ty(a) != expected {
+                    return Err(SemaError::ArgType {
+                        selector: name.clone(),
+                        index: i,
+                        expected,
+                    });
+                }
+                if let Arg::Expr(sub) = a {
+                    check_expr(sub, defined)?;
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Checks a (module-resolved) spec: definition order, reference
+/// resolution, selector signatures.
+pub fn check(spec: &Spec) -> Result<(), SemaError> {
+    if spec.items.is_empty() {
+        return Err(SemaError::Empty);
+    }
+    let mut defined: HashSet<&str> = HashSet::new();
+    for Item { name, expr } in &spec.items {
+        check_expr(expr, &defined)?;
+        if let Some(n) = name {
+            if !defined.insert(n.as_str()) {
+                return Err(SemaError::DuplicateDefinition { name: n.clone() });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modules::ModuleRegistry;
+    use crate::parser::parse;
+
+    #[test]
+    fn listing1_checks_clean() {
+        let reg = ModuleRegistry::with_builtins();
+        let spec = reg
+            .load(
+                r#"
+!import("mpi.capi")
+excluded = join(inSystemHeader(%%), inlineSpecified(%%))
+kernels = flops(">=", 10, loopDepth(">=" 1, %%))
+join(subtract(%kernels, %excluded), %mpi_comm)
+"#,
+            )
+            .unwrap();
+        assert!(check(&spec).is_ok());
+    }
+
+    #[test]
+    fn undefined_ref_detected() {
+        let spec = parse("join(%ghost, %%)").unwrap();
+        assert_eq!(
+            check(&spec),
+            Err(SemaError::UndefinedRef {
+                name: "ghost".into()
+            })
+        );
+    }
+
+    #[test]
+    fn forward_references_rejected() {
+        let spec = parse("a = complement(%b)\nb = inSystemHeader(%%)\n%b").unwrap();
+        assert!(matches!(check(&spec), Err(SemaError::UndefinedRef { .. })));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let spec = parse("a = %%\na = %%\n%a").unwrap();
+        assert!(matches!(
+            check(&spec),
+            Err(SemaError::DuplicateDefinition { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_selector_rejected() {
+        let spec = parse("frobnicate(%%)").unwrap();
+        assert!(matches!(
+            check(&spec),
+            Err(SemaError::UnknownSelector { .. })
+        ));
+    }
+
+    #[test]
+    fn arity_and_types_checked() {
+        assert!(matches!(
+            check(&parse("subtract(%%)").unwrap()),
+            Err(SemaError::Arity { .. })
+        ));
+        assert!(matches!(
+            check(&parse("flops(10, \">=\", %%)").unwrap()),
+            Err(SemaError::ArgType { .. })
+        ));
+        assert!(matches!(
+            check(&parse("byName(%%, %%)").unwrap()),
+            Err(SemaError::ArgType { .. })
+        ));
+        // join is variadic.
+        assert!(check(&parse("join(%%, %%, %%, %%)").unwrap()).is_ok());
+        // coarse takes an optional critical selector.
+        assert!(check(&parse("coarse(%%)").unwrap()).is_ok());
+        assert!(check(&parse("coarse(%%, entry())").unwrap()).is_ok());
+        assert!(matches!(
+            check(&parse("coarse(%%, %%, %%)").unwrap()),
+            Err(SemaError::Arity { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_spec_rejected() {
+        assert_eq!(check(&parse("").unwrap()), Err(SemaError::Empty));
+    }
+
+    #[test]
+    fn every_advertised_selector_has_a_signature() {
+        for name in selector_names() {
+            assert!(signature(name).is_some(), "{name} missing");
+        }
+    }
+}

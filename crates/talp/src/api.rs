@@ -1,0 +1,580 @@
+//! The TALP monitoring-region API and PMPI integration.
+//!
+//! Mirrors the DLB interface of paper Listing 2:
+//!
+//! ```c
+//! dlb_monitor_t* h = DLB_MonitoringRegionRegister("foo");
+//! DLB_MonitoringRegionStart(h);
+//! /* measured */
+//! DLB_MonitoringRegionStop(h);
+//! ```
+//!
+//! plus TALP's implicit whole-execution "Global" region and the runtime
+//! query API that lets the application or an external resource manager
+//! read metrics mid-run.
+
+use crate::metrics::{PopMetrics, RegionMetrics};
+use crate::shmem::{InsertOutcome, ShmemRegionTable};
+use capi_mpisim::{MpiOp, PmpiHook};
+use parking_lot::{Mutex, RwLock};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Opaque region handle (the `dlb_monitor_t*` equivalent).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RegionHandle(pub u32);
+
+/// TALP errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TalpError {
+    /// Region registration before `MPI_Init` (paper §VI-B(b): such
+    /// regions are not recorded; "this does not constitute an error but
+    /// is a limitation imposed by TALP").
+    MpiNotInitialized {
+        /// The offending rank.
+        rank: u32,
+    },
+    /// The shared-memory region table rejected the name.
+    RegionTableFull {
+        /// The region name that could not be stored.
+        name: String,
+    },
+    /// Unknown handle.
+    UnknownHandle(RegionHandle),
+    /// `stop` on a region that is not open on this rank.
+    NotOpen(RegionHandle),
+}
+
+impl fmt::Display for TalpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TalpError::MpiNotInitialized { rank } => {
+                write!(f, "rank {rank}: regions require MPI to be initialized")
+            }
+            TalpError::RegionTableFull { name } => {
+                write!(f, "region table rejected `{name}`")
+            }
+            TalpError::UnknownHandle(h) => write!(f, "unknown region handle {h:?}"),
+            TalpError::NotOpen(h) => write!(f, "region {h:?} is not open on this rank"),
+        }
+    }
+}
+
+impl std::error::Error for TalpError {}
+
+/// TALP configuration.
+#[derive(Clone, Debug)]
+pub struct TalpConfig {
+    /// Capacity of the shared-memory region table.
+    pub region_table_capacity: usize,
+    /// Linear-probe budget of the table.
+    pub probe_limit: usize,
+}
+
+impl Default for TalpConfig {
+    fn default() -> Self {
+        Self {
+            // Sized so that region counts in the thousands (the paper's
+            // mpi IC on OpenFOAM) begin to hit probe failures — the
+            // observed anomaly at high region counts.
+            region_table_capacity: 8_192,
+            probe_limit: 48,
+        }
+    }
+}
+
+/// Anomaly/bookkeeping counters (the §VI-B(b) numbers).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TalpStats {
+    /// Registrations rejected because MPI was not initialized.
+    pub failed_pre_mpi_init: u64,
+    /// Distinct region names the shm table refused to store.
+    pub unique_failed_entries: u64,
+    /// Successful region registrations.
+    pub registered: u64,
+    /// Total region starts.
+    pub starts: u64,
+    /// Total region stops.
+    pub stops: u64,
+}
+
+struct RankRegion {
+    depth: u32,
+    started_at: u64,
+    mpi_while_open: u64,
+    useful_total: u64,
+    mpi_total: u64,
+    span_total: u64,
+    enters: u64,
+    first_start: Option<u64>,
+    last_stop: u64,
+}
+
+impl RankRegion {
+    fn new() -> Self {
+        Self {
+            depth: 0,
+            started_at: 0,
+            mpi_while_open: 0,
+            useful_total: 0,
+            mpi_total: 0,
+            span_total: 0,
+            enters: 0,
+            first_start: None,
+            last_stop: 0,
+        }
+    }
+}
+
+struct Region {
+    name: String,
+    per_rank: Vec<Mutex<RankRegion>>,
+}
+
+struct RankState {
+    open: Vec<u32>,
+    mpi_entered_at: Option<u64>,
+}
+
+/// The TALP monitor.
+pub struct Talp {
+    size: u32,
+    table: ShmemRegionTable,
+    regions: RwLock<Vec<Region>>,
+    rank_state: Vec<Mutex<RankState>>,
+    mpi_initialized: Vec<AtomicBool>,
+    failed_names: Mutex<Vec<String>>,
+    stats_pre_init: AtomicU64,
+    stats_registered: AtomicU64,
+    stats_starts: AtomicU64,
+    stats_stops: AtomicU64,
+    /// Handle of the implicit whole-execution region.
+    global: RwLock<Option<RegionHandle>>,
+    finalized_report: Mutex<Option<Vec<RegionMetrics>>>,
+    /// Virtual cost of attributing one MPI interval to one open region
+    /// *beyond* the cache-resident prefix (see
+    /// [`Self::attr_depth_threshold`]).
+    pub attr_cost_per_region_ns: u64,
+    /// Open regions up to this depth are attributed for free (their
+    /// records stay cache-resident); deeper stacks pay
+    /// `attr_cost_per_region_ns` per extra region per MPI call — the
+    /// recurring cost that makes call-path-deep ICs expensive under TALP
+    /// (Table II, openfoam mpi).
+    pub attr_depth_threshold: u64,
+}
+
+impl Talp {
+    /// Creates a TALP instance for `size` ranks.
+    pub fn new(size: u32, config: TalpConfig) -> Self {
+        Self {
+            size,
+            table: ShmemRegionTable::new(config.region_table_capacity, config.probe_limit),
+            regions: RwLock::new(Vec::new()),
+            rank_state: (0..size)
+                .map(|_| {
+                    Mutex::new(RankState {
+                        open: Vec::new(),
+                        mpi_entered_at: None,
+                    })
+                })
+                .collect(),
+            mpi_initialized: (0..size).map(|_| AtomicBool::new(false)).collect(),
+            failed_names: Mutex::new(Vec::new()),
+            stats_pre_init: AtomicU64::new(0),
+            stats_registered: AtomicU64::new(0),
+            stats_starts: AtomicU64::new(0),
+            stats_stops: AtomicU64::new(0),
+            global: RwLock::new(None),
+            finalized_report: Mutex::new(None),
+            attr_cost_per_region_ns: 1_800,
+            attr_depth_threshold: 4,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// `DLB_MonitoringRegionRegister`: registers (or finds) a region.
+    pub fn region_register(&self, rank: u32, name: &str) -> Result<RegionHandle, TalpError> {
+        if !self.mpi_initialized[rank as usize].load(Ordering::Acquire) {
+            self.stats_pre_init.fetch_add(1, Ordering::Relaxed);
+            return Err(TalpError::MpiNotInitialized { rank });
+        }
+        match self.table.insert(name) {
+            InsertOutcome::Existing(h) => Ok(RegionHandle(h)),
+            InsertOutcome::Inserted(h) => {
+                let mut regions = self.regions.write();
+                debug_assert_eq!(h as usize, regions.len(), "handles are dense");
+                regions.push(Region {
+                    name: name.to_string(),
+                    per_rank: (0..self.size).map(|_| Mutex::new(RankRegion::new())).collect(),
+                });
+                self.stats_registered.fetch_add(1, Ordering::Relaxed);
+                Ok(RegionHandle(h))
+            }
+            InsertOutcome::Failed => {
+                let mut failed = self.failed_names.lock();
+                if !failed.iter().any(|n| n == name) {
+                    failed.push(name.to_string());
+                }
+                Err(TalpError::RegionTableFull {
+                    name: name.to_string(),
+                })
+            }
+        }
+    }
+
+    /// `DLB_MonitoringRegionStart`.
+    pub fn region_start(
+        &self,
+        rank: u32,
+        handle: RegionHandle,
+        clock: u64,
+    ) -> Result<(), TalpError> {
+        let regions = self.regions.read();
+        let region = regions
+            .get(handle.0 as usize)
+            .ok_or(TalpError::UnknownHandle(handle))?;
+        let mut rr = region.per_rank[rank as usize].lock();
+        rr.enters += 1;
+        rr.depth += 1;
+        if rr.depth == 1 {
+            rr.started_at = clock;
+            rr.mpi_while_open = 0;
+            if rr.first_start.is_none() {
+                rr.first_start = Some(clock);
+            }
+        }
+        drop(rr);
+        self.rank_state[rank as usize].lock().open.push(handle.0);
+        self.stats_starts.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// `DLB_MonitoringRegionStop`.
+    pub fn region_stop(
+        &self,
+        rank: u32,
+        handle: RegionHandle,
+        clock: u64,
+    ) -> Result<(), TalpError> {
+        let regions = self.regions.read();
+        let region = regions
+            .get(handle.0 as usize)
+            .ok_or(TalpError::UnknownHandle(handle))?;
+        let mut rr = region.per_rank[rank as usize].lock();
+        if rr.depth == 0 {
+            return Err(TalpError::NotOpen(handle));
+        }
+        rr.depth -= 1;
+        if rr.depth == 0 {
+            let span = clock.saturating_sub(rr.started_at);
+            let mpi = rr.mpi_while_open.min(span);
+            rr.span_total += span;
+            rr.mpi_total += mpi;
+            rr.useful_total += span - mpi;
+            rr.last_stop = rr.last_stop.max(clock);
+        }
+        drop(rr);
+        let mut st = self.rank_state[rank as usize].lock();
+        if let Some(pos) = st.open.iter().rposition(|&h| h == handle.0) {
+            st.open.remove(pos);
+        }
+        self.stats_stops.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Runtime query (`DLB_TALP_*`): metrics for one region, computable
+    /// mid-run (open intervals are excluded).
+    pub fn query(&self, handle: RegionHandle) -> Result<RegionMetrics, TalpError> {
+        let regions = self.regions.read();
+        let region = regions
+            .get(handle.0 as usize)
+            .ok_or(TalpError::UnknownHandle(handle))?;
+        Ok(Self::metrics_of(region))
+    }
+
+    fn metrics_of(region: &Region) -> RegionMetrics {
+        let mut useful = Vec::with_capacity(region.per_rank.len());
+        let mut mpi = Vec::with_capacity(region.per_rank.len());
+        let mut enters = 0;
+        let mut elapsed = 0u64;
+        for rr in &region.per_rank {
+            let rr = rr.lock();
+            useful.push(rr.useful_total);
+            mpi.push(rr.mpi_total);
+            enters += rr.enters;
+            if let Some(first) = rr.first_start {
+                elapsed = elapsed.max(rr.last_stop.saturating_sub(first));
+            }
+        }
+        let pop = PopMetrics::compute(&useful, elapsed);
+        RegionMetrics {
+            name: region.name.clone(),
+            ranks: region.per_rank.len() as u32,
+            enters,
+            elapsed_ns: elapsed,
+            useful_per_rank: useful,
+            mpi_per_rank: mpi,
+            pop,
+        }
+    }
+
+    /// Metrics for all registered regions (Global first).
+    pub fn all_metrics(&self) -> Vec<RegionMetrics> {
+        self.regions.read().iter().map(Self::metrics_of).collect()
+    }
+
+    /// The report computed at `MPI_Finalize`, if the run finished.
+    pub fn final_report(&self) -> Option<Vec<RegionMetrics>> {
+        self.finalized_report.lock().clone()
+    }
+
+    /// Anomaly counters.
+    pub fn stats(&self) -> TalpStats {
+        TalpStats {
+            failed_pre_mpi_init: self.stats_pre_init.load(Ordering::Relaxed),
+            unique_failed_entries: self.failed_names.lock().len() as u64,
+            registered: self.stats_registered.load(Ordering::Relaxed),
+            starts: self.stats_starts.load(Ordering::Relaxed),
+            stops: self.stats_stops.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Names the region table refused to store.
+    pub fn failed_region_names(&self) -> Vec<String> {
+        self.failed_names.lock().clone()
+    }
+
+    /// Whether MPI is initialized on `rank` (TALP tracks this via PMPI).
+    pub fn mpi_ready(&self, rank: u32) -> bool {
+        self.mpi_initialized[rank as usize].load(Ordering::Acquire)
+    }
+}
+
+impl PmpiHook for Talp {
+    fn pre_mpi(&self, rank: u32, _op: &MpiOp, clock: u64) {
+        self.rank_state[rank as usize].lock().mpi_entered_at = Some(clock);
+    }
+
+    fn post_mpi(&self, rank: u32, _op: &MpiOp, clock: u64) -> u64 {
+        let mut st = self.rank_state[rank as usize].lock();
+        let Some(entered) = st.mpi_entered_at.take() else {
+            return 0;
+        };
+        let spent = clock.saturating_sub(entered);
+        if spent == 0 || st.open.is_empty() {
+            return 0;
+        }
+        let open = st.open.clone();
+        drop(st);
+        let regions = self.regions.read();
+        let mut counted = Vec::with_capacity(open.len());
+        for h in open {
+            // A region may be nested multiple times; attribute once.
+            if counted.contains(&h) {
+                continue;
+            }
+            counted.push(h);
+            if let Some(region) = regions.get(h as usize) {
+                region.per_rank[rank as usize].lock().mpi_while_open += spent;
+            }
+        }
+        // Bookkeeping: the first few open-region records stay cache
+        // resident and are effectively free; each one beyond that is a
+        // scattered record to update on every single MPI call — the
+        // recurring cost that makes call-path-deep ICs expensive under
+        // TALP (the openfoam-mpi pathology of Table II).
+        let n = counted.len() as u64;
+        self.attr_cost_per_region_ns * n.saturating_sub(self.attr_depth_threshold)
+    }
+
+    fn on_init(&self, rank: u32, clock: u64) {
+        self.mpi_initialized[rank as usize].store(true, Ordering::Release);
+        // Open the implicit Global region.
+        let handle = {
+            let existing = *self.global.read();
+            match existing {
+                Some(h) => h,
+                None => {
+                    let h = self
+                        .region_register(rank, "Global")
+                        .expect("global region fits in a fresh table");
+                    *self.global.write() = Some(h);
+                    h
+                }
+            }
+        };
+        let _ = self.region_start(rank, handle, clock);
+    }
+
+    fn on_finalize(&self, rank: u32, clock: u64) {
+        // Close everything still open on this rank (Global included).
+        let open: Vec<u32> = {
+            let st = self.rank_state[rank as usize].lock();
+            st.open.clone()
+        };
+        for h in open.into_iter().rev() {
+            let _ = self.region_stop(rank, RegionHandle(h), clock);
+        }
+        // Last rank to finalize snapshots the report.
+        let mut report = self.finalized_report.lock();
+        *report = Some(self.all_metrics());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn talp(ranks: u32) -> Talp {
+        let t = Talp::new(ranks, TalpConfig::default());
+        for r in 0..ranks {
+            t.on_init(r, 0);
+        }
+        t
+    }
+
+    #[test]
+    fn register_requires_mpi_init() {
+        let t = Talp::new(2, TalpConfig::default());
+        let err = t.region_register(0, "foo").unwrap_err();
+        assert_eq!(err, TalpError::MpiNotInitialized { rank: 0 });
+        assert_eq!(t.stats().failed_pre_mpi_init, 1);
+        t.on_init(0, 0);
+        assert!(t.region_register(0, "foo").is_ok());
+    }
+
+    #[test]
+    fn start_stop_accumulates_useful_time() {
+        let t = talp(1);
+        let h = t.region_register(0, "solve").unwrap();
+        t.region_start(0, h, 1_000).unwrap();
+        t.region_stop(0, h, 4_000).unwrap();
+        let m = t.query(h).unwrap();
+        assert_eq!(m.useful_per_rank[0], 3_000);
+        assert_eq!(m.mpi_per_rank[0], 0);
+        assert_eq!(m.enters, 1);
+    }
+
+    #[test]
+    fn mpi_time_attributed_to_open_regions() {
+        let t = talp(1);
+        let h = t.region_register(0, "solve").unwrap();
+        t.region_start(0, h, 0).unwrap();
+        t.pre_mpi(0, &MpiOp::Barrier, 100);
+        t.post_mpi(0, &MpiOp::Barrier, 400);
+        t.region_stop(0, h, 1_000).unwrap();
+        let m = t.query(h).unwrap();
+        assert_eq!(m.mpi_per_rank[0], 300);
+        assert_eq!(m.useful_per_rank[0], 700);
+    }
+
+    #[test]
+    fn mpi_outside_region_not_attributed() {
+        let t = talp(1);
+        let h = t.region_register(0, "solve").unwrap();
+        t.pre_mpi(0, &MpiOp::Barrier, 100);
+        t.post_mpi(0, &MpiOp::Barrier, 400);
+        t.region_start(0, h, 500).unwrap();
+        t.region_stop(0, h, 900).unwrap();
+        let m = t.query(h).unwrap();
+        assert_eq!(m.mpi_per_rank[0], 0);
+        assert_eq!(m.useful_per_rank[0], 400);
+    }
+
+    #[test]
+    fn nested_entries_count_once_for_time() {
+        let t = talp(1);
+        let h = t.region_register(0, "outer").unwrap();
+        t.region_start(0, h, 0).unwrap();
+        t.region_start(0, h, 100).unwrap(); // nested same region
+        t.region_stop(0, h, 200).unwrap();
+        t.region_stop(0, h, 1_000).unwrap();
+        let m = t.query(h).unwrap();
+        assert_eq!(m.enters, 2);
+        assert_eq!(m.useful_per_rank[0], 1_000); // outermost span only
+    }
+
+    #[test]
+    fn overlapping_regions_both_charged() {
+        let t = talp(1);
+        let a = t.region_register(0, "a").unwrap();
+        let b = t.region_register(0, "b").unwrap();
+        t.region_start(0, a, 0).unwrap();
+        t.region_start(0, b, 100).unwrap();
+        t.pre_mpi(0, &MpiOp::Barrier, 200);
+        t.post_mpi(0, &MpiOp::Barrier, 300);
+        t.region_stop(0, a, 400).unwrap();
+        t.region_stop(0, b, 500).unwrap();
+        assert_eq!(t.query(a).unwrap().mpi_per_rank[0], 100);
+        assert_eq!(t.query(b).unwrap().mpi_per_rank[0], 100);
+    }
+
+    #[test]
+    fn stop_without_start_errors() {
+        let t = talp(1);
+        let h = t.region_register(0, "x").unwrap();
+        assert_eq!(t.region_stop(0, h, 10), Err(TalpError::NotOpen(h)));
+        assert!(matches!(
+            t.region_stop(0, RegionHandle(99), 10),
+            Err(TalpError::UnknownHandle(_))
+        ));
+    }
+
+    #[test]
+    fn global_region_opens_at_init_and_closes_at_finalize() {
+        let t = talp(2);
+        t.pre_mpi(0, &MpiOp::Barrier, 500);
+        t.post_mpi(0, &MpiOp::Barrier, 800);
+        t.on_finalize(0, 10_000);
+        t.on_finalize(1, 10_000);
+        let report = t.final_report().unwrap();
+        let global = report.iter().find(|m| m.name == "Global").unwrap();
+        assert_eq!(global.elapsed_ns, 10_000);
+        assert_eq!(global.mpi_per_rank[0], 300);
+        assert_eq!(global.mpi_per_rank[1], 0);
+    }
+
+    #[test]
+    fn load_imbalance_shows_in_pop_metrics() {
+        let t = talp(2);
+        let h = t.region_register(0, "kernel").unwrap();
+        // Rank 0 computes 1000, rank 1 computes 500 then waits in MPI 500.
+        t.region_start(0, h, 0).unwrap();
+        t.region_stop(0, h, 1_000).unwrap();
+        t.region_start(1, h, 0).unwrap();
+        t.pre_mpi(1, &MpiOp::Barrier, 500);
+        t.post_mpi(1, &MpiOp::Barrier, 1_000);
+        t.region_stop(1, h, 1_000).unwrap();
+        let m = t.query(h).unwrap();
+        assert_eq!(m.useful_per_rank, vec![1_000, 500]);
+        assert!((m.pop.load_balance - 0.75).abs() < 1e-9);
+        assert!((m.pop.communication_efficiency - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crowded_table_produces_unique_failed_entries() {
+        let cfg = TalpConfig {
+            region_table_capacity: 64,
+            probe_limit: 4,
+        };
+        let t = Talp::new(1, cfg);
+        t.on_init(0, 0);
+        let mut failures = 0;
+        for i in 0..64 {
+            if t.region_register(0, &format!("region_{i}")).is_err() {
+                failures += 1;
+            }
+        }
+        assert!(failures > 0);
+        assert_eq!(t.stats().unique_failed_entries, failures);
+        // Re-registering a failed name does not double-count uniqueness.
+        let name = t.failed_region_names()[0].clone();
+        let before = t.stats().unique_failed_entries;
+        let _ = t.region_register(0, &name);
+        assert_eq!(t.stats().unique_failed_entries, before);
+    }
+}

@@ -1,0 +1,34 @@
+//! # capi-talp — TALP/DLB measurement substrate
+//!
+//! Reproduction of TALP (Tracking Application Live Performance), the
+//! lightweight per-region performance monitor of the DLB library (paper
+//! §III-B). Faithfully modelled behaviours:
+//!
+//! * **Monitoring regions** (paper Listing 2): `register`/`start`/`stop`
+//!   with nesting and overlap; registration *requires MPI to be
+//!   initialized* — regions entered before `MPI_Init` fail to register,
+//!   the paper's §VI-B(b) observation (15 of 16,956 regions in the
+//!   OpenFOAM mpi configuration).
+//! * **PMPI accounting**: TALP splits each rank's time inside a region
+//!   into *useful computation* and *MPI communication* by intercepting
+//!   MPI calls ([`Talp`] implements `capi_mpisim::PmpiHook`).
+//! * **POP efficiency metrics** (paper ref [23]): load balance,
+//!   communication efficiency and parallel efficiency per region,
+//!   queryable at runtime by the application or an external resource
+//!   manager, and summarized in a text report at `MPI_Finalize`.
+//! * **The fixed-capacity shared-memory region table** ([`shmem`]): DLB
+//!   keeps region handles in a bounded shared-memory hash table. Under
+//!   high region counts, inserts can exhaust the probe budget and fail —
+//!   reproducing the paper's sporadic "entering a previously registered
+//!   TALP region failed" anomaly (24 unique failures) that correlates
+//!   with very large region sets.
+
+pub mod api;
+pub mod metrics;
+pub mod report;
+pub mod shmem;
+
+pub use api::{RegionHandle, Talp, TalpConfig, TalpError, TalpStats};
+pub use metrics::{PopMetrics, RegionMetrics};
+pub use report::render_report;
+pub use shmem::ShmemRegionTable;

@@ -1,0 +1,160 @@
+//! POP parallel-efficiency metrics.
+//!
+//! TALP reports a subset of the POP metrics (paper §III-B, ref [23]):
+//! for each monitoring region, per-rank time is split into *useful*
+//! computation and *MPI* communication, from which:
+//!
+//! * **Load Balance**      `LB  = avg(useful) / max(useful)`
+//! * **Communication Eff.** `CE = max(useful) / elapsed`
+//! * **Parallel Eff.**     `PE  = LB × CE = avg(useful) / elapsed`
+//!
+//! All three are in `[0, 1]` (property-tested), and PE factorizes exactly
+//! into LB × CE — which is what lets the user tell *why* efficiency was
+//! lost, not only how much time went to MPI.
+
+/// The POP efficiency triple.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PopMetrics {
+    /// `avg(useful) / max(useful)`.
+    pub load_balance: f64,
+    /// `max(useful) / elapsed`.
+    pub communication_efficiency: f64,
+    /// `avg(useful) / elapsed` (= LB × CE).
+    pub parallel_efficiency: f64,
+}
+
+impl PopMetrics {
+    /// Computes the metrics from per-rank useful times and the region's
+    /// elapsed (wall) time. Returns all-1.0 for degenerate inputs (no
+    /// ranks or zero elapsed), matching TALP's behaviour for empty
+    /// regions.
+    pub fn compute(useful_per_rank: &[u64], elapsed: u64) -> Self {
+        if useful_per_rank.is_empty() || elapsed == 0 {
+            return Self {
+                load_balance: 1.0,
+                communication_efficiency: 1.0,
+                parallel_efficiency: 1.0,
+            };
+        }
+        let max = useful_per_rank.iter().copied().max().unwrap_or(0);
+        let sum: u128 = useful_per_rank.iter().map(|&u| u as u128).sum();
+        let avg = sum as f64 / useful_per_rank.len() as f64;
+        let load_balance = if max == 0 { 1.0 } else { avg / max as f64 };
+        // useful time can never exceed elapsed; clamp guards rounding.
+        let communication_efficiency = (max as f64 / elapsed as f64).min(1.0);
+        Self {
+            load_balance,
+            communication_efficiency,
+            parallel_efficiency: (load_balance * communication_efficiency).min(1.0),
+        }
+    }
+}
+
+/// Full per-region measurement summary.
+#[derive(Clone, Debug)]
+pub struct RegionMetrics {
+    /// Region name.
+    pub name: String,
+    /// Number of ranks that measured the region.
+    pub ranks: u32,
+    /// Total number of region entries across ranks.
+    pub enters: u64,
+    /// Elapsed (wall) time: max over ranks of the region's open span.
+    pub elapsed_ns: u64,
+    /// Per-rank useful computation time.
+    pub useful_per_rank: Vec<u64>,
+    /// Per-rank MPI time inside the region.
+    pub mpi_per_rank: Vec<u64>,
+    /// The POP efficiency triple.
+    pub pop: PopMetrics,
+}
+
+impl RegionMetrics {
+    /// Average useful time across ranks.
+    pub fn avg_useful(&self) -> f64 {
+        if self.useful_per_rank.is_empty() {
+            return 0.0;
+        }
+        self.useful_per_rank.iter().sum::<u64>() as f64 / self.useful_per_rank.len() as f64
+    }
+
+    /// Average MPI time across ranks.
+    pub fn avg_mpi(&self) -> f64 {
+        if self.mpi_per_rank.is_empty() {
+            return 0.0;
+        }
+        self.mpi_per_rank.iter().sum::<u64>() as f64 / self.mpi_per_rank.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_balance_no_comm() {
+        let m = PopMetrics::compute(&[100, 100, 100, 100], 100);
+        assert!((m.load_balance - 1.0).abs() < 1e-12);
+        assert!((m.communication_efficiency - 1.0).abs() < 1e-12);
+        assert!((m.parallel_efficiency - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_lowers_lb_only() {
+        // elapsed equals max useful: no communication loss.
+        let m = PopMetrics::compute(&[50, 100], 100);
+        assert!((m.load_balance - 0.75).abs() < 1e-12);
+        assert!((m.communication_efficiency - 1.0).abs() < 1e-12);
+        assert!((m.parallel_efficiency - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comm_time_lowers_ce() {
+        // Balanced ranks, but half the elapsed time is MPI.
+        let m = PopMetrics::compute(&[100, 100], 200);
+        assert!((m.load_balance - 1.0).abs() < 1e-12);
+        assert!((m.communication_efficiency - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_all_ones() {
+        let m = PopMetrics::compute(&[], 100);
+        assert_eq!(m.parallel_efficiency, 1.0);
+        let m = PopMetrics::compute(&[10, 20], 0);
+        assert_eq!(m.parallel_efficiency, 1.0);
+    }
+
+    #[test]
+    fn region_metrics_averages() {
+        let rm = RegionMetrics {
+            name: "solve".into(),
+            ranks: 2,
+            enters: 10,
+            elapsed_ns: 100,
+            useful_per_rank: vec![60, 80],
+            mpi_per_rank: vec![40, 20],
+            pop: PopMetrics::compute(&[60, 80], 100),
+        };
+        assert!((rm.avg_useful() - 70.0).abs() < 1e-12);
+        assert!((rm.avg_mpi() - 30.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_metrics_bounded(
+            useful in proptest::collection::vec(0u64..1_000_000, 1..16),
+            extra in 0u64..1_000_000,
+        ) {
+            // elapsed ≥ max(useful) by construction: a rank cannot compute
+            // longer than the wall time of the region.
+            let elapsed = useful.iter().copied().max().unwrap_or(0) + extra;
+            let m = PopMetrics::compute(&useful, elapsed);
+            prop_assert!((0.0..=1.0).contains(&m.load_balance));
+            prop_assert!((0.0..=1.0).contains(&m.communication_efficiency));
+            prop_assert!((0.0..=1.0).contains(&m.parallel_efficiency));
+            // PE factorizes.
+            prop_assert!((m.parallel_efficiency - m.load_balance * m.communication_efficiency).abs() < 1e-9);
+        }
+    }
+}

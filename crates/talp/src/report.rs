@@ -1,0 +1,112 @@
+//! TALP's text-based summary report.
+//!
+//! "TALP outputs a text-based summary of the parallel efficiency metrics
+//! of each monitoring region at the end of the execution" (paper
+//! §III-B). The paper also observes (§VII-B) that for thousands of
+//! regions the flat text report becomes hard to digest — reproduced
+//! faithfully: the report is one block per region, optionally truncated
+//! with an explicit "… and N more regions" line so harnesses can show
+//! the effect without drowning the terminal.
+
+use crate::metrics::RegionMetrics;
+use std::fmt::Write;
+
+fn fmt_time(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Renders the finalize-time report. `max_regions = None` prints all.
+pub fn render_report(metrics: &[RegionMetrics], max_regions: Option<usize>) -> String {
+    let mut out = String::new();
+    out.push_str("######### Monitoring Regions Summary #########\n");
+    let shown = max_regions.unwrap_or(metrics.len()).min(metrics.len());
+    for m in &metrics[..shown] {
+        writeln!(out, "### Name:                     {}", m.name).unwrap();
+        writeln!(out, "###   Elapsed Time:           {}", fmt_time(m.elapsed_ns)).unwrap();
+        writeln!(out, "###   MPI Ranks:              {}", m.ranks).unwrap();
+        writeln!(out, "###   Region Entries:         {}", m.enters).unwrap();
+        writeln!(
+            out,
+            "###   Useful Time (avg):      {}",
+            fmt_time(m.avg_useful() as u64)
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "###   MPI Time (avg):         {}",
+            fmt_time(m.avg_mpi() as u64)
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "###   Parallel Efficiency:    {:.3}",
+            m.pop.parallel_efficiency
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "###     Communication Eff.:   {:.3}",
+            m.pop.communication_efficiency
+        )
+        .unwrap();
+        writeln!(out, "###     Load Balance:         {:.3}", m.pop.load_balance).unwrap();
+        out.push_str("###\n");
+    }
+    if shown < metrics.len() {
+        writeln!(out, "### … and {} more regions", metrics.len() - shown).unwrap();
+    }
+    out.push_str("##############################################\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::PopMetrics;
+
+    fn region(name: &str) -> RegionMetrics {
+        RegionMetrics {
+            name: name.into(),
+            ranks: 2,
+            enters: 4,
+            elapsed_ns: 2_500_000_000,
+            useful_per_rank: vec![2_000_000_000, 1_500_000_000],
+            mpi_per_rank: vec![500_000_000, 1_000_000_000],
+            pop: PopMetrics::compute(&[2_000_000_000, 1_500_000_000], 2_500_000_000),
+        }
+    }
+
+    #[test]
+    fn report_contains_all_metric_lines() {
+        let r = render_report(&[region("Global")], None);
+        assert!(r.contains("Name:                     Global"));
+        assert!(r.contains("Elapsed Time:           2.500 s"));
+        assert!(r.contains("Parallel Efficiency"));
+        assert!(r.contains("Load Balance"));
+        assert!(r.contains("Communication Eff."));
+    }
+
+    #[test]
+    fn truncation_reports_hidden_count() {
+        let regions: Vec<RegionMetrics> = (0..10).map(|i| region(&format!("r{i}"))).collect();
+        let r = render_report(&regions, Some(3));
+        assert!(r.contains("… and 7 more regions"));
+        assert_eq!(r.matches("### Name:").count(), 3);
+    }
+
+    #[test]
+    fn time_units_scale() {
+        assert_eq!(fmt_time(500), "500 ns");
+        assert_eq!(fmt_time(2_500), "2.500 µs");
+        assert_eq!(fmt_time(2_500_000), "2.500 ms");
+        assert_eq!(fmt_time(2_500_000_000), "2.500 s");
+    }
+}

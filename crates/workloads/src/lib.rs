@@ -1,0 +1,40 @@
+//! # capi-workloads — the paper's two evaluation applications, synthesized
+//!
+//! The evaluation (paper §VI) uses two test cases:
+//!
+//! * **LULESH** — "a relatively small application with no shared library
+//!   dependencies. The MetaCG call graph for LULESH consists of 3,360
+//!   function nodes." [`lulesh::lulesh`] reproduces that: a deterministic
+//!   program with exactly 3,360 functions, the real LULESH kernel
+//!   structure (Lagrange leapfrog, hourglass control, EOS evaluation),
+//!   halo-exchange communication, and a large population of small
+//!   helpers/accessors whose auto-inlining exercises CaPI's inlining
+//!   compensation.
+//! * **OpenFOAM / icoFoam** — "solvers are typically dependent on
+//!   multiple shared libraries … The MetaCG call graph for icoFoam
+//!   consists of 410,666 function nodes", 6 patchable DSOs, 1,444
+//!   unresolvable hidden symbols. [`openfoam::openfoam`] generates a
+//!   *scaled* equivalent (default 60k nodes; the full scale is a
+//!   parameter) with the same structural proportions: deep
+//!   `solve → … → Amul` pass-through chains for the coarse selector,
+//!   template-instantiation-style tiny field operations that vanish
+//!   through inlining, hidden internals and static initializers, and
+//!   MPI communication through a Pstream-like wrapper layer.
+//!
+//! Virtual-time scale: **1 paper-second ≈ 1 virtual millisecond** — the
+//! generators aim for a `vanilla` runtime of ~34 virtual ms (LULESH) and
+//! ~45 virtual ms (OpenFOAM), mirroring the paper's 34 s / 45.3 s, so
+//! overhead *factors* are directly comparable (see EXPERIMENTS.md).
+//!
+//! [`specs`] provides the four general-purpose selection specifications
+//! of §VI (`mpi`, `kernels`, `mpi coarse`, `kernels coarse`).
+
+pub mod lulesh;
+pub mod openfoam;
+pub mod quickstart;
+pub mod specs;
+
+pub use lulesh::{lulesh, LuleshParams};
+pub use openfoam::{openfoam, OpenFoamParams};
+pub use quickstart::quickstart_app;
+pub use specs::{PaperSpec, PAPER_SPECS};

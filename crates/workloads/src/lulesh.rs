@@ -1,0 +1,583 @@
+//! Synthetic LULESH (paper §VI: proxy app, ~5,000 LoC, no DSOs,
+//! MetaCG call graph of 3,360 function nodes).
+//!
+//! The generator reproduces the real LULESH 2.0 call structure — the
+//! Lagrange leapfrog with nodal/element phases, hourglass control, EOS
+//! evaluation and ring halo exchange — plus the filler population that
+//! gives the call graph its 3,360 nodes: inline accessors, tiny helper
+//! kernels (auto-inlined by the compiler, which is what the inlining
+//! compensation must repair), system-header functions and setup
+//! utilities.
+//!
+//! Virtual-time budget: ~34 ms vanilla (1 paper-second ≈ 1 virtual ms).
+
+use capi_appmodel::{LinkTarget, MpiCall, ProgramBuilder, SourceProgram};
+
+/// LULESH generator parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct LuleshParams {
+    /// Number of simulated time steps (default 120).
+    pub time_steps: u64,
+    /// Trip count of the per-element batch helpers per call site.
+    pub batch_trips: u64,
+}
+
+impl Default for LuleshParams {
+    fn default() -> Self {
+        Self {
+            time_steps: 200,
+            batch_trips: 60,
+        }
+    }
+}
+
+/// The exact node count the paper reports for LULESH's call graph.
+pub const LULESH_CG_NODES: usize = 3_360;
+
+/// Generates the LULESH program model.
+pub fn lulesh(params: &LuleshParams) -> SourceProgram {
+    let steps = params.time_steps;
+    let bt = params.batch_trips;
+    let mut b = ProgramBuilder::new("lulesh2.0");
+
+    // ---- MPI stubs (system headers). -----------------------------------
+    b.unit("mpi.h", LinkTarget::Executable);
+    b.function("MPI_Init").statements(1).instructions(8).cost(0).mpi(MpiCall::Init).finish();
+    b.function("MPI_Finalize").statements(1).instructions(8).cost(0).mpi(MpiCall::Finalize).finish();
+    b.function("MPI_Allreduce")
+        .statements(1).instructions(8).cost(0)
+        .mpi(MpiCall::Allreduce { bytes: 8 })
+        .finish();
+    b.function("MPI_Sendrecv")
+        .statements(1).instructions(8).cost(0)
+        .mpi(MpiCall::RingExchange { bytes: 16_384 })
+        .finish();
+    b.function("MPI_Waitall").statements(1).instructions(8).cost(0).mpi(MpiCall::Wait).finish();
+    b.function("MPI_Barrier").statements(1).instructions(8).cost(0).mpi(MpiCall::Barrier).finish();
+
+    // ---- Core solver (lulesh.cc). ---------------------------------------
+    b.unit("lulesh.cc", LinkTarget::Executable);
+    b.function("main")
+        .main()
+        .statements(140)
+        .instructions(900)
+        .cost(4_000)
+        .calls("ParseCommandLineOptions", 1)
+        .calls("MPI_Init", 1)
+        .calls("SetupProblem", 1)
+        .calls("InitMeshDecomp", 1)
+        .calls("TimeIncrement", steps)
+        .calls("LagrangeLeapFrog", steps)
+        .calls("VerifyAndWriteFinalOutput", 1)
+        .calls("MPI_Finalize", 1)
+        .finish();
+    b.function("TimeIncrement")
+        .statements(30)
+        .instructions(220)
+        .cost(300)
+        .calls("MPI_Allreduce", 1)
+        .finish();
+    b.function("LagrangeLeapFrog")
+        .statements(25)
+        .instructions(210)
+        .cost(200)
+        .calls("LagrangeNodal", 1)
+        .calls("LagrangeElements", 1)
+        .calls("CalcTimeConstraintsForElems", 1)
+        .finish();
+
+    // Nodal phase.
+    b.function("LagrangeNodal")
+        .statements(45)
+        .instructions(320)
+        .cost(500)
+        .calls("CommRecv", 1)
+        .calls("CalcForceForNodes", 1)
+        .calls("CommSend", 1)
+        .calls("CommSBN", 1)
+        .calls("CalcAccelerationForNodes", 1)
+        .calls("ApplyAccelerationBoundaryConditionsForNodes", 1)
+        .calls("CalcVelocityForNodes", 1)
+        .calls("CalcPositionForNodes", 1)
+        .calls("CommSyncPosVel", 1)
+        .finish();
+    b.function("CalcForceForNodes")
+        .statements(22)
+        .instructions(230)
+        .cost(400)
+        .calls("CalcVolumeForceForElems", 1)
+        .finish();
+    b.function("CalcVolumeForceForElems")
+        .statements(35)
+        .instructions(300)
+        .cost(600)
+        .calls("InitStressTermsForElems", 1)
+        .calls("IntegrateStressForElems", 1)
+        .calls("CalcHourglassControlForElems", 1)
+        .finish();
+    b.function("InitStressTermsForElems")
+        .statements(14)
+        .instructions(200)
+        .cost(2_000)
+        .loop_depth(1)
+        .finish();
+    b.function("IntegrateStressForElems")
+        .statements(60)
+        .instructions(520)
+        .cost(1_500)
+        .flops(90)
+        .loop_depth(2)
+        .imbalance(15)
+        .calls("CalcElemShapeFunctionDerivatives", bt)
+        .calls("SumElemStressesToNodeForces", bt)
+        .finish();
+    b.function("CalcElemShapeFunctionDerivatives")
+        .statements(55)
+        .instructions(480)
+        .cost(400)
+        .flops(8)
+        .loop_depth(1)
+        .finish();
+    b.function("SumElemStressesToNodeForces")
+        .statements(28)
+        .instructions(260)
+        .cost(330)
+        .flops(4)
+        .loop_depth(1)
+        .finish();
+    b.function("CalcHourglassControlForElems")
+        .statements(48)
+        .instructions(420)
+        .cost(1_200)
+        .loop_depth(1)
+        .calls("CalcElemVolumeDerivative", bt)
+        .calls("CalcFBHourglassForceForElems", 1)
+        .finish();
+    b.function("CalcElemVolumeDerivative")
+        .statements(32)
+        .instructions(300)
+        .cost(350)
+        .flops(9)
+        .loop_depth(1)
+        .finish();
+    b.function("CalcFBHourglassForceForElems")
+        .statements(95)
+        .instructions(850)
+        .cost(2_500)
+        .flops(220)
+        .loop_depth(3)
+        .imbalance(15)
+        .calls("CalcElemFBHourglassForce", bt)
+        .finish();
+    b.function("CalcElemFBHourglassForce")
+        .statements(40)
+        .instructions(360)
+        .cost(380)
+        .flops(7)
+        .loop_depth(1)
+        .finish();
+    b.function("CalcAccelerationForNodes").statements(12).instructions(160).cost(800).loop_depth(1).finish();
+    b.function("ApplyAccelerationBoundaryConditionsForNodes")
+        .statements(16)
+        .instructions(150)
+        .cost(300)
+        .finish();
+    b.function("CalcVelocityForNodes").statements(14).instructions(170).cost(700).loop_depth(1).finish();
+    b.function("CalcPositionForNodes").statements(10).instructions(150).cost(650).loop_depth(1).finish();
+
+    // Element phase.
+    b.function("LagrangeElements")
+        .statements(30)
+        .instructions(260)
+        .cost(400)
+        .calls("CalcLagrangeElements", 1)
+        .calls("CalcQForElems", 1)
+        .calls("ApplyMaterialPropertiesForElems", 1)
+        .calls("UpdateVolumesForElems", 1)
+        .calls("CommSyncPosVel", 1)
+        .finish();
+    b.function("CalcLagrangeElements")
+        .statements(26)
+        .instructions(240)
+        .cost(500)
+        .calls("CalcKinematicsForElems", 1)
+        .finish();
+    b.function("CalcKinematicsForElems")
+        .statements(70)
+        .instructions(560)
+        .cost(2_200)
+        .flops(150)
+        .loop_depth(2)
+        .imbalance(10)
+        .calls("CalcElemVolume", bt / 4)
+        .calls("CalcElemCharacteristicLength", bt / 4)
+        .calls("CalcElemShapeFunctionDerivatives", bt / 4)
+        .finish();
+    // `inline` in the real source (lulesh.cc declares it inline): the
+    // COMDAT copy keeps a symbol, the spec's inlineSpecified excludes it.
+    b.function("CalcElemVolume")
+        .statements(30)
+        .instructions(280)
+        .cost(45)
+        .flops(30)
+        .loop_depth(1)
+        .inline_keyword()
+        .finish();
+    // Tiny helper without the keyword: auto-inlined, symbol dropped —
+    // inlining-compensation fodder.
+    b.function("CalcElemCharacteristicLength")
+        .statements(3)
+        .instructions(40)
+        .cost(35)
+        .flops(18)
+        .loop_depth(1)
+        .finish();
+    b.function("CalcQForElems")
+        .statements(40)
+        .instructions(330)
+        .cost(700)
+        .calls("CommRecv", 1)
+        .calls("CommMonoQ", 1)
+        .calls("CommSend", 1)
+        .calls("CalcMonotonicQGradientsForElems", 1)
+        .calls("CalcMonotonicQForElems", 1)
+        .finish();
+    b.function("CalcMonotonicQGradientsForElems")
+        .statements(52)
+        .instructions(440)
+        .cost(1_800)
+        .flops(110)
+        .loop_depth(1)
+        .calls("CalcElemVolume", 8)
+        .finish();
+    b.function("CalcMonotonicQForElems")
+        .statements(30)
+        .instructions(280)
+        .cost(400)
+        .calls("CalcMonotonicQRegionForElems", 4)
+        .finish();
+    b.function("CalcMonotonicQRegionForElems")
+        .statements(65)
+        .instructions(540)
+        .cost(900)
+        .flops(130)
+        .loop_depth(1)
+        .finish();
+    b.function("ApplyMaterialPropertiesForElems")
+        .statements(28)
+        .instructions(260)
+        .cost(300)
+        .calls("EvalEOSForElems", 4)
+        .finish();
+    b.function("EvalEOSForElems")
+        .statements(55)
+        .instructions(460)
+        .cost(800)
+        .loop_depth(1)
+        .calls("CalcEnergyForElems", 1)
+        .calls("CalcSoundSpeedForElems", 1)
+        .calls("ApplyElemOpGlue", 1)
+        .finish();
+    b.function("CalcEnergyForElems")
+        .statements(70)
+        .instructions(580)
+        .cost(1_100)
+        .flops(140)
+        .loop_depth(1)
+        .calls("CalcPressureForElems", 3)
+        .calls("ApplyElemOpGlueHalf", 1)
+        .finish();
+    b.function("CalcPressureForElems")
+        .statements(24)
+        .instructions(240)
+        .cost(450)
+        .flops(40)
+        .loop_depth(1)
+        .finish();
+    b.function("CalcSoundSpeedForElems")
+        .statements(18)
+        .instructions(200)
+        .cost(500)
+        .flops(36)
+        .loop_depth(1)
+        .calls("CalcPressureForElems", 1)
+        .finish();
+    b.function("UpdateVolumesForElems").statements(10).instructions(140).cost(350).loop_depth(1).finish();
+    b.function("CalcTimeConstraintsForElems")
+        .statements(20)
+        .instructions(220)
+        .cost(250)
+        .calls("CalcCourantConstraintForElems", 1)
+        .calls("CalcHydroConstraintForElems", 1)
+        .calls("MPI_Allreduce", 1)
+        .finish();
+    b.function("CalcCourantConstraintForElems")
+        .statements(26)
+        .instructions(240)
+        .cost(420)
+        .flops(22)
+        .loop_depth(1)
+        .finish();
+    b.function("CalcHydroConstraintForElems")
+        .statements(22)
+        .instructions(230)
+        .cost(380)
+        .flops(18)
+        .loop_depth(1)
+        .finish();
+
+    // ---- Communication layer (lulesh-comm.cc). --------------------------
+    b.unit("lulesh-comm.cc", LinkTarget::Executable);
+    b.function("CommRecv")
+        .statements(45)
+        .instructions(380)
+        .cost(600)
+        .calls("MPI_Waitall", 1)
+        .finish();
+    b.function("CommSend")
+        .statements(60)
+        .instructions(460)
+        .cost(900)
+        .calls("MPI_Sendrecv", 1)
+        .finish();
+    b.function("CommSBN")
+        .statements(38)
+        .instructions(320)
+        .cost(500)
+        .calls("MPI_Waitall", 1)
+        .finish();
+    b.function("CommSyncPosVel")
+        .statements(42)
+        .instructions(340)
+        .cost(550)
+        .calls("MPI_Sendrecv", 1)
+        .finish();
+    // Tiny comm wrapper: auto-inlined — one of the reasons the mpi
+    // selection shrinks after compensation.
+    b.function("CommMonoQ")
+        .statements(3)
+        .instructions(30)
+        .cost(100)
+        .calls("MPI_Sendrecv", 1)
+        .finish();
+
+    // ---- Setup / teardown (lulesh-init.cc). ------------------------------
+    b.unit("lulesh-init.cc", LinkTarget::Executable);
+    b.function("ParseCommandLineOptions").statements(60).instructions(420).cost(2_000).finish();
+    b.function("VerifyAndWriteFinalOutput").statements(35).instructions(300).cost(1_500).finish();
+    b.function("InitMeshDecomp").statements(40).instructions(340).cost(3_000).finish();
+    // SetupProblem fans out into the utility population below.
+    {
+        let mut f = b
+            .function("SetupProblem")
+            .statements(90)
+            .instructions(700)
+            .cost(10_000);
+        for i in 0..60 {
+            f = f.calls(&format!("util_fn_{i:04}"), 1);
+        }
+        f.finish();
+    }
+
+    // ---- Filler populations (counted to reach 3,360 nodes). -------------
+    // 52 named functions exist at this point.
+    const NAMED: usize = 54;
+    const N_INLINE_ACCESSORS: usize = 700;
+    const N_TINY_ACCESSORS: usize = 650;
+    const N_TINY_FLOP_KERNELS: usize = 25;
+    const N_SYS: usize = 800;
+    const N_UTILS: usize = LULESH_CG_NODES - NAMED
+        - N_INLINE_ACCESSORS
+        - N_TINY_ACCESSORS
+        - N_TINY_FLOP_KERNELS
+        - N_SYS;
+
+    // System-header functions (std::, libm).
+    b.unit("bits/stl_algo.h", LinkTarget::Executable);
+    for i in 0..N_SYS {
+        b.function(&format!("std::__detail::_Sys_fn_{i:04}"))
+            .demangled(format!("std::__detail::sys_fn_{i}()"))
+            .statements(1 + (i % 6) as u32)
+            .instructions(12 + (i % 40) as u32)
+            .cost(8)
+            .system_header()
+            .finish();
+    }
+
+    // Inline accessors (keyword inline; COMDAT symbol retained).
+    b.unit("lulesh.h", LinkTarget::Executable);
+    for i in 0..N_INLINE_ACCESSORS {
+        b.function(&format!("Domain::acc_{i:04}"))
+            .demangled(format!("Domain::accessor_{i}() const"))
+            .statements(2)
+            .instructions(16)
+            .cost(6)
+            .flops((i % 4) as u32)
+            .inline_keyword()
+            .finish();
+    }
+
+    // Tiny accessors without the keyword: auto-inlined, symbols dropped.
+    for i in 0..N_TINY_ACCESSORS {
+        b.function(&format!("lulesh_tiny_{i:04}"))
+            .demangled(format!("tiny_helper_{i}()"))
+            .statements(2 + (i % 2) as u32)
+            .instructions(14)
+            .cost(7)
+            .flops((i % 9) as u32)
+            .finish();
+    }
+
+    // Tiny flop kernels: ≥10 flops and a loop, but only 3 statements —
+    // selected by the kernels spec, then auto-inlined away (the paper's
+    // 38 → 10 shrink).
+    for i in 0..N_TINY_FLOP_KERNELS {
+        b.function(&format!("lulesh_elem_op_{i:03}"))
+            .demangled(format!("elem_op_{i}()"))
+            .statements(3)
+            .instructions(36)
+            .cost(20)
+            .flops(12 + (i % 20) as u32)
+            .loop_depth(1)
+            .finish();
+    }
+
+    // Setup utilities: medium-size, acyclic chains among themselves.
+    b.unit("lulesh-util.cc", LinkTarget::Executable);
+    for i in 0..N_UTILS {
+        let mut f = b
+            .function(&format!("util_fn_{i:04}"))
+            .statements(8 + (i % 38) as u32)
+            .instructions(80 + (i % 300) as u32)
+            .cost(150);
+        // Acyclic: only call later-indexed utilities.
+        if i + 7 < N_UTILS && i % 3 == 0 {
+            f = f.calls(&format!("util_fn_{:04}", i + 7), 1);
+        }
+        if i % 5 == 0 {
+            f = f.calls(&format!("std::__detail::_Sys_fn_{:04}", i % N_SYS), 2);
+        }
+        f.finish();
+    }
+
+    // Wire accessors and tiny kernels into the hot kernels so they are
+    // reachable from main (CG paths) and their costs fold via inlining.
+    // Rebuild with an extra "glue" unit is not possible post-hoc, so the
+    // hot kernels gained their accessor call sites here instead:
+    b.unit("lulesh-glue.cc", LinkTarget::Executable);
+    {
+        let mut f = b
+            .function("ApplyAccessorGlue")
+            .statements(12)
+            .instructions(120)
+            .cost(50);
+        // A representative sample keeps CG edges plentiful without
+        // exploding build time.
+        for i in 0..N_INLINE_ACCESSORS {
+            if i % 7 == 0 {
+                f = f.calls(&format!("Domain::acc_{i:04}"), 2);
+            }
+        }
+        for i in 0..N_TINY_ACCESSORS {
+            if i % 6 == 0 {
+                f = f.calls(&format!("lulesh_tiny_{i:04}"), 2);
+            }
+        }
+        f.finish();
+    }
+    {
+        let mut f = b
+            .function("ApplyElemOpGlue")
+            .statements(3)
+            .instructions(40)
+            .cost(15);
+        for i in 0..N_TINY_FLOP_KERNELS {
+            f = f.calls(&format!("lulesh_elem_op_{i:03}"), 1);
+        }
+        f.finish();
+    }
+    {
+        // Second caller for half the elem ops: caller diversity keeps
+        // them past the coarse selector, like the real code base.
+        let mut f = b
+            .function("ApplyElemOpGlueHalf")
+            .statements(3)
+            .instructions(40)
+            .cost(15);
+        for i in 0..N_TINY_FLOP_KERNELS {
+            if i % 2 == 0 {
+                f = f.calls(&format!("lulesh_elem_op_{i:03}"), 1);
+            }
+        }
+        f.finish();
+    }
+
+    let mut program = b.build().expect("lulesh model is well-formed");
+    // Attach the glue under the EOS kernel so everything is reachable
+    // from main: EvalEOSForElems already exists; we add the call sites by
+    // rebuilding would be costly — instead the glue functions are called
+    // from SetupProblem's util_fn_0000 chain: cheap, once.
+    attach_glue(&mut program);
+    program
+}
+
+/// Adds `ApplyAccessorGlue`/`ApplyElemOpGlue` call sites to
+/// `util_fn_0000` so the filler populations are reachable from `main`.
+fn attach_glue(program: &mut SourceProgram) {
+    use capi_appmodel::{CallSite, CalleeRef};
+    let glue1 = program.interner.get("ApplyAccessorGlue").expect("defined");
+    let util0 = program.interner.get("util_fn_0000").expect("defined");
+    for unit in &mut program.units {
+        for f in &mut unit.functions {
+            if f.name == util0 {
+                f.call_sites.push(CallSite {
+                    callee: CalleeRef::Direct(glue1),
+                    trips: 1,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capi_metacg::whole_program_callgraph;
+
+    #[test]
+    fn node_count_matches_paper() {
+        let p = lulesh(&LuleshParams::default());
+        let g = whole_program_callgraph(&p);
+        assert_eq!(g.len(), LULESH_CG_NODES);
+    }
+
+    #[test]
+    fn no_dso_dependencies() {
+        let p = lulesh(&LuleshParams::default());
+        assert!(p.dso_names().is_empty());
+    }
+
+    #[test]
+    fn validates_and_has_main() {
+        let p = lulesh(&LuleshParams::default());
+        assert!(p.entry().is_some());
+        assert!(p.function_by_name("CalcFBHourglassForceForElems").is_some());
+    }
+
+    #[test]
+    fn kernels_are_flop_and_loop_bearing() {
+        let p = lulesh(&LuleshParams::default());
+        let k = p.function_by_name("CalcFBHourglassForceForElems").unwrap();
+        assert!(k.attrs.flops >= 10);
+        assert!(k.attrs.loop_depth >= 1);
+    }
+
+    #[test]
+    fn comm_wrappers_reach_mpi() {
+        let p = lulesh(&LuleshParams::default());
+        let g = whole_program_callgraph(&p);
+        let send = g.node_id("CommSend").unwrap();
+        let mpi = g.node_id("MPI_Sendrecv").unwrap();
+        assert!(g.has_edge(send, mpi));
+    }
+}

@@ -1,0 +1,718 @@
+//! Synthetic OpenFOAM / icoFoam (paper §VI: lid-driven cavity benchmark).
+//!
+//! The paper's icoFoam call graph has 410,666 nodes across the solver
+//! executable and its shared libraries; the executable "links with 6
+//! different patchable DSOs"; 1,444 hidden symbols cannot be resolved;
+//! the mpi selection keeps 14.6% of functions before and 4.1% after
+//! inlining compensation, which adds 1,366 replacement callers.
+//!
+//! This generator reproduces those *structural proportions* at a
+//! configurable scale (default 60,000 nodes — the full 410k is a
+//! parameter away, linearly more memory/time):
+//!
+//! * the deep pass-through solver chain of the paper's Listing 3
+//!   (`solve → solveSegregatedOrCoupled → solveSegregated → …
+//!   → scalarSolve → Amul`) that motivates the coarse selector;
+//! * template-instantiation-style **tiny field operations** that the
+//!   compiler auto-inlines — they dominate the mpi selection before
+//!   compensation and vanish from the binary;
+//! * **inline-keyword header functions** excluded by the specs but
+//!   *re-added* by compensation when they are the first surviving
+//!   callers (the paper's `#added` column);
+//! * **hidden internals and static initializers** whose sleds cannot be
+//!   resolved by `nm`-based symbol collection;
+//! * MPI communication through a Pstream-like reduce/exchange layer.
+
+use capi_appmodel::{LinkTarget, MpiCall, ProgramBuilder, SourceProgram, Visibility};
+
+/// OpenFOAM generator parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct OpenFoamParams {
+    /// Total function count (paper: 410,666; default here: 60,000).
+    pub scale: usize,
+    /// Simulated time steps (default 25).
+    pub time_steps: u64,
+    /// Linear-solver iterations per `solve` (default 20).
+    pub solver_iters: u64,
+    /// Per-cell batch trip count inside hot kernels (default 150).
+    pub batch_trips: u64,
+}
+
+impl Default for OpenFoamParams {
+    fn default() -> Self {
+        Self {
+            scale: 60_000,
+            time_steps: 8,
+            solver_iters: 12,
+            batch_trips: 120,
+        }
+    }
+}
+
+/// The paper's full-scale node count, usable as `scale`.
+pub const PAPER_SCALE: usize = 410_666;
+
+/// Family size breakdown for a given scale.
+#[derive(Clone, Copy, Debug)]
+struct Sizes {
+    tiny_field_ops: usize,
+    field_layer: usize,
+    inline_headers: usize,
+    cell_kernels: usize,
+    utilities: usize,
+    system_std: usize,
+    hidden_internals: usize,
+    static_inits: usize,
+}
+
+impl Sizes {
+    fn for_scale(scale: usize, named: usize) -> Sizes {
+        let s = scale as f64;
+        let mut sizes = Sizes {
+            tiny_field_ops: (s * 0.36) as usize,
+            field_layer: (s * 0.10) as usize,
+            inline_headers: (s * 0.09) as usize,
+            cell_kernels: (s * 0.015) as usize,
+            utilities: (s * 0.18) as usize,
+            system_std: (s * 0.11) as usize,
+            hidden_internals: (s * 0.012) as usize,
+            static_inits: scale / 300,
+        };
+        // Utilities absorb the remainder so the total is exact.
+        let partial = named
+            + sizes.tiny_field_ops
+            + sizes.field_layer
+            + sizes.inline_headers
+            + sizes.cell_kernels
+            + sizes.system_std
+            + sizes.hidden_internals
+            + sizes.static_inits;
+        assert!(scale > partial, "scale too small for the core structure");
+        sizes.utilities = scale - partial;
+        sizes
+    }
+}
+
+/// Number of hand-named core functions created by the generator.
+const NAMED_CORE: usize = 48;
+
+/// Generates the icoFoam program model.
+pub fn openfoam(params: &OpenFoamParams) -> SourceProgram {
+    let sizes = Sizes::for_scale(params.scale, NAMED_CORE);
+    let steps = params.time_steps;
+    let iters = params.solver_iters;
+    let bt = params.batch_trips;
+
+    let mut b = ProgramBuilder::new("icoFoam");
+
+    // ---- MPI stubs. ------------------------------------------------------
+    b.unit("mpi.h", LinkTarget::Executable);
+    b.function("MPI_Init").statements(1).instructions(8).cost(0).mpi(MpiCall::Init).finish();
+    b.function("MPI_Finalize").statements(1).instructions(8).cost(0).mpi(MpiCall::Finalize).finish();
+    b.function("MPI_Allreduce")
+        .statements(1).instructions(8).cost(0)
+        .mpi(MpiCall::Allreduce { bytes: 8 })
+        .finish();
+    b.function("MPI_Sendrecv")
+        .statements(1).instructions(8).cost(0)
+        .mpi(MpiCall::RingExchange { bytes: 32_768 })
+        .finish();
+    b.function("MPI_Waitall").statements(1).instructions(8).cost(0).mpi(MpiCall::Wait).finish();
+    b.function("MPI_Barrier").statements(1).instructions(8).cost(0).mpi(MpiCall::Barrier).finish();
+
+    // ---- Pstream layer (libPstream.so). ----------------------------------
+    b.unit("Pstream/UPstream.C", LinkTarget::Dso("libPstream.so".into()));
+    b.function("Foam::UPstream::init")
+        .statements(30)
+        .instructions(280)
+        .cost(500)
+        .calls("MPI_Init", 1)
+        .finish();
+    b.function("Foam::UPstream::exit")
+        .statements(12)
+        .instructions(140)
+        .cost(200)
+        .calls("MPI_Finalize", 1)
+        .finish();
+    b.function("Foam::Pstream::reduce")
+        .statements(25)
+        .instructions(240)
+        .cost(350)
+        .calls("MPI_Allreduce", 1)
+        .finish();
+    b.function("Foam::Pstream::exchange")
+        .statements(40)
+        .instructions(340)
+        .cost(600)
+        .calls("MPI_Sendrecv", 1)
+        .calls("MPI_Waitall", 1)
+        .finish();
+
+    // ---- Global reductions (libOpenFOAM.so). -----------------------------
+    b.unit("OpenFOAM/fields/FieldOps.C", LinkTarget::Dso("libOpenFOAM.so".into()));
+    for name in ["gSum", "gSumProd", "gAverage", "gMax", "returnReduce"] {
+        b.function(&format!("Foam::{name}"))
+            .statements(8)
+            .instructions(120)
+            .cost(180)
+            .calls("Foam::Pstream::reduce", 1)
+            .finish();
+    }
+
+    // ---- The solver chain of Listing 3 (liblduSolvers.so). ----------------
+    b.unit("lduSolvers/PCG.C", LinkTarget::Dso("liblduSolvers.so".into()));
+    b.function("Foam::PCG::solve")
+        .demangled("virtual SolverPerformance Foam::PCG::solve(scalarField&, ...)")
+        .statements(45)
+        .instructions(420)
+        .cost(700)
+        .virtual_method()
+        .calls("Foam::PCG::scalarSolve", 1)
+        .finish();
+    b.function("Foam::PCG::scalarSolve")
+        .demangled("virtual SolverPerformance Foam::PCG::scalarSolve(...)")
+        .statements(80)
+        .instructions(680)
+        .cost(900)
+        .loop_depth(1)
+        .calls("Foam::lduMatrix::Amul", iters)
+        .calls("Foam::DICPreconditioner::precondition", iters)
+        .calls("Foam::gSumProd", 2 * iters)
+        .calls("Foam::lduMatrix::updateMatrixInterfaces", iters)
+        .calls("Foam::PCG::normFactor", 1)
+        .finish();
+    b.function("Foam::PCG::normFactor")
+        .statements(18)
+        .instructions(190)
+        .cost(300)
+        .calls("Foam::gSum", 1)
+        .finish();
+    b.function("Foam::PBiCG::solve")
+        .demangled("virtual SolverPerformance Foam::PBiCG::solve(scalarField&, ...)")
+        .statements(50)
+        .instructions(440)
+        .cost(750)
+        .virtual_method()
+        .calls("Foam::lduMatrix::Amul", iters)
+        .calls("Foam::gSumProd", 2 * iters)
+        .calls("Foam::lduMatrix::updateMatrixInterfaces", iters)
+        .finish();
+    b.function("Foam::smoothSolver::solve")
+        .demangled("virtual SolverPerformance Foam::smoothSolver::solve(...)")
+        .statements(42)
+        .instructions(400)
+        .cost(650)
+        .virtual_method()
+        .calls("Foam::GaussSeidelSmoother::smooth", iters / 2)
+        .calls("Foam::gSumProd", iters)
+        .finish();
+    b.function("Foam::GaussSeidelSmoother::smooth")
+        .statements(55)
+        .instructions(500)
+        .cost(450)
+        .flops(140)
+        .loop_depth(2)
+        .imbalance(20)
+        .calls("Foam::ldu_row_sweep", bt)
+        .finish();
+    b.function("Foam::lduMatrix::Amul")
+        .demangled("void Foam::lduMatrix::Amul(scalarField&, const tmp<scalarField>&) const")
+        .statements(60)
+        .instructions(560)
+        .cost(500)
+        .flops(260)
+        .loop_depth(2)
+        .imbalance(20)
+        .calls("Foam::ldu_row_sweep", bt)
+        .finish();
+    b.function("Foam::ldu_row_sweep")
+        .statements(26)
+        .instructions(250)
+        .cost(30)
+        .flops(8)
+        .loop_depth(1)
+        .finish();
+    b.function("Foam::DICPreconditioner::precondition")
+        .statements(48)
+        .instructions(430)
+        .cost(420)
+        .flops(120)
+        .loop_depth(2)
+        .imbalance(15)
+        .calls("Foam::ldu_row_sweep", bt / 2)
+        .finish();
+    b.function("Foam::lduMatrix::updateMatrixInterfaces")
+        .statements(30)
+        .instructions(280)
+        .cost(350)
+        .calls("Foam::Pstream::exchange", 1)
+        .finish();
+
+    // ---- fvMatrix layer (libfiniteVolume.so) — Listing 3's upper half. ----
+    b.unit("finiteVolume/fvMatrix.C", LinkTarget::Dso("libfiniteVolume.so".into()));
+    b.function("Foam::fvMatrix<scalar>::solve")
+        .demangled("SolverPerformance Foam::fvMatrix<double>::solve(const dictionary&)")
+        .statements(35)
+        .instructions(320)
+        .cost(400)
+        .calls("Foam::fvMatrix<scalar>::solveSegregatedOrCoupled", 1)
+        .finish();
+    b.function("Foam::fvMatrix<scalar>::solveSegregatedOrCoupled")
+        .demangled("SolverPerformance Foam::fvMatrix<double>::solveSegregatedOrCoupled(...)")
+        .statements(20)
+        .instructions(210)
+        .cost(250)
+        .calls("Foam::fvMatrix<scalar>::solveSegregated", 1)
+        .finish();
+    b.function("Foam::fvMatrix<scalar>::solveSegregated")
+        .demangled("SolverPerformance Foam::fvMatrix<double>::solveSegregated(...)")
+        .statements(55)
+        .instructions(480)
+        .cost(600)
+        .calls_virtual(
+            "Foam::lduMatrix::solver::solve",
+            &[
+                "Foam::PCG::solve",
+                "Foam::PBiCG::solve",
+                "Foam::smoothSolver::solve",
+            ],
+            1,
+        )
+        .finish();
+    b.function("Foam::fvMatrix<vector>::solve")
+        .demangled("SolverPerformance Foam::fvMatrix<Vector<double>>::solve(const dictionary&)")
+        .statements(35)
+        .instructions(320)
+        .cost(420)
+        .calls("Foam::fvMatrix<vector>::solveSegregated", 3)
+        .finish();
+    b.function("Foam::fvMatrix<vector>::solveSegregated")
+        .demangled("SolverPerformance Foam::fvMatrix<Vector<double>>::solveSegregated(...)")
+        .statements(55)
+        .instructions(480)
+        .cost(620)
+        .calls_virtual(
+            "Foam::lduMatrix::solver::solve",
+            &[
+                "Foam::PCG::solve",
+                "Foam::PBiCG::solve",
+                "Foam::smoothSolver::solve",
+            ],
+            1,
+        )
+        .finish();
+
+    // Discretization operators.
+    for (op, fl) in [("ddt", 40), ("div", 90), ("laplacian", 110), ("grad", 70)] {
+        b.function(&format!("Foam::fvm::{op}<scalar>"))
+            .demangled(format!("tmp<fvMatrix> Foam::fvm::{op}(const volScalarField&)"))
+            .statements(45)
+            .instructions(400)
+            .cost(300)
+            .flops(fl)
+            .loop_depth(1)
+            .calls("Foam::fv_cell_sweep", bt)
+            .finish();
+    }
+    b.function("Foam::fv_cell_sweep")
+        .statements(24)
+        .instructions(240)
+        .cost(28)
+        .flops(8)
+        .loop_depth(1)
+        .finish();
+
+    // ---- icoFoam executable. ----------------------------------------------
+    b.unit("icoFoam.C", LinkTarget::Executable);
+    b.function("main")
+        .main()
+        .statements(110)
+        .instructions(850)
+        .cost(5_000)
+        .calls("Foam::argList::argList", 1)
+        .calls("Foam::UPstream::init", 1)
+        .calls("createMesh", 1)
+        .calls("createFields", 1)
+        .calls("runTimeLoop", 1)
+        .calls("Foam::UPstream::exit", 1)
+        .finish();
+    b.function("Foam::argList::argList").statements(70).instructions(520).cost(3_000).finish();
+    b.function("runTimeLoop")
+        .statements(25)
+        .instructions(230)
+        .cost(200)
+        .calls("pisoStep", steps)
+        .finish();
+    b.function("pisoStep")
+        .statements(60)
+        .instructions(520)
+        .cost(800)
+        .calls("assembleUEqn", 1)
+        .calls("Foam::fvMatrix<vector>::solve", 1)
+        .calls("assemblePEqn", 2)
+        .calls("Foam::fvMatrix<scalar>::solve", 2)
+        .calls("continuityErrs", 1)
+        .finish();
+    b.function("assembleUEqn")
+        .statements(40)
+        .instructions(360)
+        .cost(500)
+        .calls("Foam::fvm::ddt<scalar>", 1)
+        .calls("Foam::fvm::div<scalar>", 1)
+        .calls("Foam::fvm::laplacian<scalar>", 1)
+        .finish();
+    b.function("assemblePEqn")
+        .statements(35)
+        .instructions(330)
+        .cost(450)
+        .calls("Foam::fvm::laplacian<scalar>", 1)
+        .calls("Foam::fvm::grad<scalar>", 1)
+        .finish();
+    b.function("continuityErrs")
+        .statements(15)
+        .instructions(170)
+        .cost(250)
+        .calls("Foam::gSum", 2)
+        .finish();
+
+    // createMesh / createFields fan out into utilities (one-time setup).
+    {
+        let mut f = b.function("createMesh").statements(80).instructions(620).cost(8_000);
+        for i in 0..40 {
+            f = f.calls(&format!("Foam::util_{i:05}"), 1);
+        }
+        f.finish();
+    }
+    {
+        let mut f = b.function("createFields").statements(70).instructions(560).cost(6_000);
+        for i in 40..80 {
+            f = f.calls(&format!("Foam::util_{i:05}"), 1);
+        }
+        f.finish();
+    }
+
+    // ---- Filler families. --------------------------------------------------
+    build_fillers(&mut b, &sizes);
+
+    let mut program = b.build().expect("openfoam model is well-formed");
+    attach_glue(&mut program, &sizes);
+    program
+}
+
+/// How many functions each utility TU holds.
+const TU_FUNCS: usize = 24;
+
+fn build_fillers(b: &mut ProgramBuilder, sizes: &Sizes) {
+    // System headers (std::, libstdc++ internals).
+    b.unit("bits/stl_vector.h", LinkTarget::Executable);
+    for i in 0..sizes.system_std {
+        b.function(&format!("std::__foam_sys_{i:05}"))
+            .statements(1 + (i % 7) as u32)
+            .instructions(10 + (i % 50) as u32)
+            .cost(6)
+            .system_header()
+            .finish();
+    }
+
+    // Tiny field operations (template instantiations): the auto-inlined
+    // population. Class A (i%5==0) performs a global reduction — putting
+    // it and its callers on the MPI path. Class B (i%16==1) calls a cell
+    // kernel — putting its callers on the kernels path.
+    let n_tiny = sizes.tiny_field_ops;
+    let n_kernels = sizes.cell_kernels.max(1);
+    b.unit("OpenFOAM/fields/tinyOps.H", LinkTarget::Dso("libOpenFOAM.so".into()));
+    for i in 0..n_tiny {
+        let mut f = b
+            .function(&format!("Foam::fieldOp_{i:05}<scalar>"))
+            .demangled(format!("Foam::tmp<Foam::Field<double>> Foam::fieldOp_{i}(...)"))
+            .statements(2 + (i % 3) as u32)
+            .instructions(18 + (i % 20) as u32)
+            .cost(9)
+            .flops((i % 9) as u32);
+        if i % 5 == 0 {
+            f = f.calls("Foam::returnReduce", 1);
+        }
+        if i % 16 == 1 {
+            f = f.calls(&format!("Foam::cellKernel_{:04}", i % n_kernels), 1);
+        }
+        f.finish();
+    }
+
+    // Cell kernels: the flop/loop-bearing compute bodies.
+    b.unit("finiteVolume/cellKernels.C", LinkTarget::Dso("libfiniteVolume.so".into()));
+    for i in 0..sizes.cell_kernels {
+        b.function(&format!("Foam::cellKernel_{i:04}"))
+            .statements(25 + (i % 56) as u32)
+            .instructions(260 + (i % 400) as u32)
+            .cost(600 + (i % 1_500) as u64)
+            .flops(20 + (i % 230) as u32)
+            .loop_depth(1 + (i % 3) as u32)
+            .finish();
+    }
+
+    // Inline-keyword header functions: COMDAT symbols retained; the
+    // paper's specs exclude them, but inlining compensation re-adds the
+    // ones that are first surviving callers of vanished tiny ops.
+    b.unit("OpenFOAM/headers/inlineOps.H", LinkTarget::Dso("libOpenFOAM.so".into()));
+    for i in 0..sizes.inline_headers {
+        let mut f = b
+            .function(&format!("Foam::inlineOp_{i:05}"))
+            .statements(6 + (i % 15) as u32)
+            .instructions(50 + (i % 120) as u32)
+            .cost(18)
+            .inline_keyword();
+        if i % 4 == 0 {
+            // Calls a class-A tiny op (reduce-performing).
+            let target = (i * 5) % sizes.tiny_field_ops;
+            let target = target - (target % 5); // align to class A
+            f = f.calls(&format!("Foam::fieldOp_{target:05}<scalar>"), 1);
+        }
+        f.finish();
+    }
+
+    // Field layer: medium-size functions calling tiny ops (and through
+    // them, transitively, MPI reductions or cell kernels).
+    b.unit("finiteVolume/fieldLayer.C", LinkTarget::Dso("libfiniteVolume.so".into()));
+    for i in 0..sizes.field_layer {
+        let t0 = (3 * i) % n_tiny;
+        let mut f = b
+            .function(&format!("Foam::fieldFn_{i:05}"))
+            .statements(10 + (i % 21) as u32)
+            .instructions(110 + (i % 260) as u32)
+            .cost(70)
+            .calls(&format!("Foam::fieldOp_{t0:05}<scalar>"), 2)
+            .calls(&format!("Foam::fieldOp_{:05}<scalar>", (t0 + 1) % n_tiny), 1)
+            .calls(&format!("Foam::fieldOp_{:05}<scalar>", (t0 + 2) % n_tiny), 1);
+        if i % 3 == 0 && sizes.inline_headers > 0 {
+            f = f.calls(&format!("Foam::inlineOp_{:05}", i % sizes.inline_headers), 1);
+        }
+        f.finish();
+    }
+
+    // A generic evaluator re-references half of the tiny ops, giving
+    // them a second caller.
+    b.unit("OpenFOAM/fields/evaluateOps.C", LinkTarget::Dso("libOpenFOAM.so".into()));
+    {
+        let mut f = b
+            .function("Foam::evaluateOps")
+            .statements(22)
+            .instructions(210)
+            .cost(90);
+        for i in 0..n_tiny {
+            if i % 2 == 0 {
+                f = f.calls(&format!("Foam::fieldOp_{i:05}<scalar>"), 1);
+            }
+        }
+        f.finish();
+    }
+
+    // Hidden internals: loop-bearing (so the XRay pass instruments them)
+    // but invisible to `nm` — the §VI-B(a) resolution gap.
+    b.unit("OpenFOAM/internal/hidden.C", LinkTarget::Dso("libOpenFOAM.so".into()));
+    for i in 0..sizes.hidden_internals {
+        b.function(&format!("Foam::(anonymous)::hidden_{i:04}"))
+            .statements(20 + (i % 40) as u32)
+            .instructions(220 + (i % 300) as u32)
+            .cost(90)
+            .loop_depth(1)
+            .visibility(Visibility::Hidden)
+            .finish();
+    }
+
+    // Static initializers: hidden, sizeable (global IO tables), never
+    // called at runtime — "a large part of these functions are static
+    // initializers and not relevant for profiling".
+    b.unit("OpenFOAM/global/staticInits.C", LinkTarget::Dso("libOpenFOAM.so".into()));
+    for i in 0..sizes.static_inits {
+        b.function(&format!("_GLOBAL__sub_I_module_{i:04}"))
+            .static_initializer()
+            .instructions(260)
+            .finish();
+    }
+
+    // Utilities: mesh tools, IO, transport models — split across the
+    // remaining DSOs in TU-sized groups with acyclic chains.
+    let dsos = ["libmeshTools.so", "libtransportModels.so", "libOpenFOAM.so"];
+    for i in 0..sizes.utilities {
+        if i % TU_FUNCS == 0 {
+            let dso = dsos[(i / TU_FUNCS) % dsos.len()];
+            b.unit(format!("utils/utilTU_{:04}.C", i / TU_FUNCS), LinkTarget::Dso(dso.into()));
+        }
+        let mut f = b
+            .function(&format!("Foam::util_{i:05}"))
+            .statements(10 + (i % 41) as u32)
+            .instructions(100 + (i % 350) as u32)
+            .cost(120);
+        if i + 11 < sizes.utilities && i % 3 == 0 {
+            f = f.calls(&format!("Foam::util_{:05}", i + 11), 1);
+        }
+        if i % 6 == 0 {
+            f = f.calls(&format!("std::__foam_sys_{:05}", i % sizes.system_std), 1);
+        }
+        if i % 9 == 0 && sizes.hidden_internals > 0 {
+            f = f.calls(&format!("Foam::(anonymous)::hidden_{:04}", i % sizes.hidden_internals), 1);
+        }
+        f.finish();
+    }
+
+    // Glue: make field layer + utilities reachable from the solver loop.
+    b.unit("finiteVolume/glue.C", LinkTarget::Dso("libfiniteVolume.so".into()));
+    {
+        // The assembly path touches a slice of the field layer each step.
+        let mut f = b
+            .function("Foam::interpolateGlue")
+            .statements(14)
+            .instructions(150)
+            .cost(60);
+        for i in 0..sizes.field_layer.min(600) {
+            if i % 12 == 0 {
+                f = f.calls(&format!("Foam::fieldFn_{i:05}"), 1);
+            }
+        }
+        f.finish();
+    }
+    {
+        // Everything else in the field layer is reachable through a
+        // once-executed registry walk (models OpenFOAM's runtime
+        // selection tables).
+        let mut f = b
+            .function("Foam::registryWalk")
+            .statements(30)
+            .instructions(280)
+            .cost(100);
+        for i in 0..sizes.field_layer {
+            if i % 12 != 0 {
+                f = f.calls(&format!("Foam::fieldFn_{i:05}"), 1);
+            }
+        }
+        f.finish();
+    }
+    {
+        // Boundary-condition evaluation revisits a third of the field
+        // layer, giving those functions a second caller (caller
+        // diversity is what the coarse selector keys on).
+        let mut f = b
+            .function("Foam::boundaryGlue")
+            .statements(18)
+            .instructions(180)
+            .cost(80);
+        for i in 0..sizes.field_layer {
+            if i % 3 == 0 {
+                f = f.calls(&format!("Foam::fieldFn_{i:05}"), 1);
+            }
+        }
+        f.finish();
+    }
+}
+
+/// Wires the glue functions into the executable's call tree.
+fn attach_glue(program: &mut SourceProgram, sizes: &Sizes) {
+    use capi_appmodel::{CallSite, CalleeRef};
+    let _ = sizes;
+    let interp = program.interner.get("Foam::interpolateGlue").expect("defined");
+    let walk = program.interner.get("Foam::registryWalk").expect("defined");
+    let boundary = program.interner.get("Foam::boundaryGlue").expect("defined");
+    let evaluate = program.interner.get("Foam::evaluateOps").expect("defined");
+    let assemble = program.interner.get("assembleUEqn").expect("defined");
+    let create = program.interner.get("createFields").expect("defined");
+    let mesh = program.interner.get("createMesh").expect("defined");
+    for unit in &mut program.units {
+        for f in &mut unit.functions {
+            if f.name == assemble {
+                f.call_sites.push(CallSite {
+                    callee: CalleeRef::Direct(interp),
+                    trips: 1,
+                });
+            }
+            if f.name == create {
+                f.call_sites.push(CallSite {
+                    callee: CalleeRef::Direct(walk),
+                    trips: 1,
+                });
+                f.call_sites.push(CallSite {
+                    callee: CalleeRef::Direct(evaluate),
+                    trips: 1,
+                });
+            }
+            if f.name == mesh {
+                f.call_sites.push(CallSite {
+                    callee: CalleeRef::Direct(boundary),
+                    trips: 1,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capi_metacg::whole_program_callgraph;
+
+    fn small() -> SourceProgram {
+        openfoam(&OpenFoamParams {
+            scale: 6_000,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn node_count_matches_scale() {
+        let p = small();
+        let g = whole_program_callgraph(&p);
+        assert_eq!(g.len(), 6_000);
+    }
+
+    #[test]
+    fn six_patchable_dsos() {
+        let p = small();
+        let dsos = p.dso_names();
+        assert_eq!(dsos.len(), 6, "paper: executable links 6 patchable DSOs, got {dsos:?}");
+    }
+
+    #[test]
+    fn listing3_chain_exists() {
+        let p = small();
+        let g = whole_program_callgraph(&p);
+        let chain = [
+            "Foam::fvMatrix<scalar>::solve",
+            "Foam::fvMatrix<scalar>::solveSegregatedOrCoupled",
+            "Foam::fvMatrix<scalar>::solveSegregated",
+        ];
+        for w in chain.windows(2) {
+            let a = g.node_id(w[0]).unwrap();
+            let b = g.node_id(w[1]).unwrap();
+            assert!(g.has_edge(a, b), "{} → {}", w[0], w[1]);
+        }
+        // Virtual dispatch fans out to all three solvers.
+        let seg = g.node_id("Foam::fvMatrix<scalar>::solveSegregated").unwrap();
+        assert!(g.callees(seg).len() >= 3);
+    }
+
+    #[test]
+    fn hidden_population_present() {
+        let p = small();
+        let hidden = p
+            .iter_functions()
+            .filter(|f| f.attrs.visibility == Visibility::Hidden)
+            .count();
+        assert!(hidden > 50);
+    }
+
+    #[test]
+    fn amul_is_a_kernel() {
+        let p = small();
+        let amul = p.function_by_name("Foam::lduMatrix::Amul").unwrap();
+        assert!(amul.attrs.flops >= 10 && amul.attrs.loop_depth >= 1);
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.num_functions(), b.num_functions());
+        let ga = whole_program_callgraph(&a);
+        let gb = whole_program_callgraph(&b);
+        assert_eq!(ga.num_edges(), gb.num_edges());
+    }
+}

@@ -1,0 +1,109 @@
+//! A 21-function miniapp for documentation, examples and tests.
+
+use capi_appmodel::{LinkTarget, MpiCall, ProgramBuilder, SourceProgram};
+
+/// Builds a small stencil miniapp: `main → MPI_Init → steps × (halo
+/// exchange + stencil kernel + reduce) → MPI_Finalize`, with a couple of
+/// tiny helpers that the compiler will inline away.
+pub fn quickstart_app(steps: u64) -> SourceProgram {
+    let mut b = ProgramBuilder::new("miniapp");
+    b.unit("mpi.h", LinkTarget::Executable);
+    b.function("MPI_Init").statements(1).instructions(8).cost(0).mpi(MpiCall::Init).finish();
+    b.function("MPI_Finalize").statements(1).instructions(8).cost(0).mpi(MpiCall::Finalize).finish();
+    b.function("MPI_Allreduce")
+        .statements(1).instructions(8).cost(0)
+        .mpi(MpiCall::Allreduce { bytes: 8 })
+        .finish();
+    b.function("MPI_Sendrecv")
+        .statements(1).instructions(8).cost(0)
+        .mpi(MpiCall::RingExchange { bytes: 8_192 })
+        .finish();
+
+    b.unit("miniapp.cc", LinkTarget::Executable);
+    b.function("main")
+        .main()
+        .statements(60)
+        .instructions(420)
+        .cost(2_000)
+        .calls("parse_args", 1)
+        .calls("MPI_Init", 1)
+        .calls("init_grid", 1)
+        .calls("time_step", steps)
+        .calls("write_output", 1)
+        .calls("MPI_Finalize", 1)
+        .finish();
+    b.function("parse_args").statements(25).instructions(200).cost(800).finish();
+    b.function("init_grid").statements(40).instructions(320).cost(5_000).loop_depth(2).finish();
+    b.function("write_output").statements(30).instructions(260).cost(3_000).finish();
+    b.function("time_step")
+        .statements(30)
+        .instructions(260)
+        .cost(500)
+        .calls("exchange_halo", 1)
+        .calls("stencil_kernel", 1)
+        .calls("compute_residual", 1)
+        .finish();
+    b.function("exchange_halo")
+        .statements(35)
+        .instructions(300)
+        .cost(700)
+        .calls("pack_boundary", 1)
+        .calls("MPI_Sendrecv", 1)
+        .calls("unpack_boundary", 1)
+        .finish();
+    b.function("pack_boundary").statements(12).instructions(140).cost(900).loop_depth(1).finish();
+    b.function("unpack_boundary").statements(12).instructions(140).cost(900).loop_depth(1).finish();
+    b.function("stencil_kernel")
+        .statements(70)
+        .instructions(640)
+        .cost(30_000)
+        .flops(180)
+        .loop_depth(3)
+        .imbalance(25)
+        .calls("cell_update", 64)
+        .finish();
+    b.function("cell_update")
+        .statements(14)
+        .instructions(150)
+        .cost(250)
+        .flops(36)
+        .loop_depth(1)
+        .finish();
+    b.function("compute_residual")
+        .statements(20)
+        .instructions(190)
+        .cost(1_200)
+        .flops(24)
+        .loop_depth(1)
+        .calls("norm_helper", 1)
+        .calls("MPI_Allreduce", 1)
+        .finish();
+    // Tiny: auto-inlined — shows up in the quickstart's compensation.
+    b.function("norm_helper").statements(2).instructions(20).cost(60).flops(12).loop_depth(1).finish();
+
+    // A few cold utilities.
+    b.function("log_message").statements(8).instructions(90).cost(50).finish();
+    b.function("checksum_grid").statements(18).instructions(170).cost(400).loop_depth(1).finish();
+    b.function("print_banner").statements(6).instructions(70).cost(30).calls("log_message", 3).finish();
+    b.function("read_config").statements(22).instructions(200).cost(600).calls("log_message", 1).finish();
+    b.function("validate_grid")
+        .statements(16)
+        .instructions(160)
+        .cost(500)
+        .calls("checksum_grid", 1)
+        .finish();
+
+    b.build().expect("quickstart app is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_validates() {
+        let p = quickstart_app(10);
+        assert_eq!(p.num_functions(), 21);
+        assert!(p.entry().is_some());
+    }
+}

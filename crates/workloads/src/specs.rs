@@ -1,0 +1,98 @@
+//! The four general-purpose selection specifications of paper §VI.
+//!
+//! * **mpi** — "functions that are on a call path to an MPI operation,
+//!   excluding functions marked as inlined and those defined in system
+//!   headers";
+//! * **kernels** — "functions that are on a call path to a function that
+//!   contains at least 10 flops and a loop", same exclusions;
+//! * **mpi coarse** / **kernels coarse** — "like mpi/kernels, with a
+//!   coarse selector applied at the end".
+
+/// The `mpi` spec.
+pub const MPI: &str = r#"
+!import("mpi.capi")
+excluded = join(inSystemHeader(%%), inlineSpecified(%%))
+subtract(%mpi_comm, %excluded)
+"#;
+
+/// The `mpi coarse` spec.
+pub const MPI_COARSE: &str = r#"
+!import("mpi.capi")
+excluded = join(inSystemHeader(%%), inlineSpecified(%%))
+coarse(subtract(%mpi_comm, %excluded))
+"#;
+
+/// The `kernels` spec.
+pub const KERNELS: &str = r#"
+excluded = join(inSystemHeader(%%), inlineSpecified(%%))
+k = flops(">=", 10, loopDepth(">=" 1, %%))
+subtract(onCallPathTo(%k), %excluded)
+"#;
+
+/// The `kernels coarse` spec.
+pub const KERNELS_COARSE: &str = r#"
+excluded = join(inSystemHeader(%%), inlineSpecified(%%))
+k = flops(">=", 10, loopDepth(">=" 1, %%))
+coarse(subtract(onCallPathTo(%k), %excluded))
+"#;
+
+/// A named paper spec.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PaperSpec {
+    /// Row label used in Table I/II.
+    pub name: &'static str,
+    /// The spec source.
+    pub source: &'static str,
+    /// Whether this variant ends in the coarse selector.
+    pub coarse: bool,
+}
+
+/// All four specs, in the paper's row order.
+pub const PAPER_SPECS: [PaperSpec; 4] = [
+    PaperSpec {
+        name: "mpi",
+        source: MPI,
+        coarse: false,
+    },
+    PaperSpec {
+        name: "mpi coarse",
+        source: MPI_COARSE,
+        coarse: true,
+    },
+    PaperSpec {
+        name: "kernels",
+        source: KERNELS,
+        coarse: false,
+    },
+    PaperSpec {
+        name: "kernels coarse",
+        source: KERNELS_COARSE,
+        coarse: true,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capi_spec::{check, ModuleRegistry};
+
+    #[test]
+    fn all_paper_specs_parse_and_check() {
+        let reg = ModuleRegistry::with_builtins();
+        for spec in PAPER_SPECS {
+            let loaded = reg.load(spec.source).unwrap_or_else(|e| {
+                panic!("spec `{}` failed to load: {e}", spec.name);
+            });
+            check(&loaded).unwrap_or_else(|e| {
+                panic!("spec `{}` failed sema: {e}", spec.name);
+            });
+        }
+    }
+
+    #[test]
+    fn coarse_flag_matches_source() {
+        for spec in PAPER_SPECS {
+            assert_eq!(spec.source.contains("coarse("), spec.coarse, "{}", spec.name);
+        }
+    }
+}

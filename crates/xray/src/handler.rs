@@ -1,0 +1,75 @@
+//! Event handler interface (the `XRayPatchedFunction` pointer).
+//!
+//! When a patched sled executes, the trampoline invokes the globally
+//! registered handler with the packed function ID and the event type
+//! (paper §V-A). Measurement adapters (DynCaPI's Score-P/TALP bridges,
+//! XRay's own logging modes) implement [`Handler`].
+
+use crate::packed_id::PackedId;
+
+/// The instrumentation event type delivered to handlers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// Function entry.
+    Entry,
+    /// Function exit.
+    Exit,
+    /// Tail-call exit.
+    TailExit,
+}
+
+/// One instrumentation event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Packed object/function ID.
+    pub id: PackedId,
+    /// Entry or exit.
+    pub kind: EventKind,
+    /// Virtual timestamp counter (ns) of the executing rank.
+    pub tsc: u64,
+    /// Simulated MPI rank on which the event fired.
+    pub rank: u32,
+}
+
+/// The event-handler trait. Handlers are invoked from every rank thread
+/// concurrently and must be `Send + Sync`.
+///
+/// `on_event` returns the *virtual cost* of handling the event in
+/// nanoseconds; the executor charges it to the calling rank. Returning
+/// the cost (rather than exposing a static constant) lets measurement
+/// tools model state-dependent costs — e.g. Score-P pays extra when an
+/// event creates a new call-path node, which is exactly what makes full
+/// instrumentation explode in Table II.
+pub trait Handler: Send + Sync {
+    /// Handles one instrumentation event, returning its virtual cost in
+    /// nanoseconds.
+    fn on_event(&self, event: Event) -> u64;
+}
+
+/// A handler that discards events at zero cost (pure sled/trampoline
+/// overhead measurements).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullHandler;
+
+impl Handler for NullHandler {
+    fn on_event(&self, _event: Event) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_handler_is_free() {
+        let h = NullHandler;
+        let ev = Event {
+            id: PackedId::pack(0, 1).unwrap(),
+            kind: EventKind::Entry,
+            tsc: 0,
+            rank: 0,
+        };
+        assert_eq!(h.on_event(ev), 0);
+    }
+}

@@ -1,0 +1,37 @@
+//! # capi-xray — LLVM XRay reproduction with DSO support
+//!
+//! Reproduces the instrumentation machinery of paper §V:
+//!
+//! * [`pass`] — the compile-time machine pass: pre-filters functions by
+//!   instruction count (and loop presence), then records entry/exit
+//!   *sleds* (NOP placeholders) in a per-object sled table.
+//! * [`packed_id`] — the paper's Fig. 4 contribution: a 32-bit packed ID
+//!   with 8 bits of object ID and 24 bits of function ID. Object 0 is
+//!   always the main executable, keeping packed IDs backward-compatible
+//!   with pre-DSO XRay.
+//! * [`trampoline`] — trampolines with absolute or GOT-relative handler
+//!   addressing. Relocated shared objects *must* use the GOT-relative
+//!   form (§V-B2); dispatch through an absolute trampoline in a
+//!   relocated object faults, exactly like the unpatched original would.
+//! * [`runtime`] — the `xray-rt` + `xray-dso` equivalent: object
+//!   registration/deregistration, sled patching through `mprotect`-style
+//!   page flips, the global patched-function handler, and the
+//!   `function_address`/ID lookup API the paper's DynCaPI cross-checks.
+//! * [`log`] — XRay's built-in modes: a basic in-memory trace and a
+//!   flight-data-recorder-style ring buffer.
+
+pub mod handler;
+pub mod log;
+pub mod packed_id;
+pub mod pass;
+pub mod runtime;
+pub mod sled;
+pub mod trampoline;
+
+pub use handler::{Event, EventKind, Handler};
+pub use log::{BasicLog, FdrBuffer};
+pub use packed_id::{IdError, PackedId, FUNC_BITS, MAX_FUNCTION_ID, MAX_OBJECT_ID, OBJ_BITS};
+pub use pass::{instrument_object, InstrumentedObject, PassOptions, PassStats};
+pub use runtime::{ObjectSnapshot, PatchSnapshot, RuntimeStats, XRayError, XRayRuntime};
+pub use sled::{SledEntry, SledKind, SledTable, SLED_BYTES};
+pub use trampoline::{AddressingMode, TrampolineFault, TrampolineSet};

@@ -1,0 +1,205 @@
+//! XRay's built-in logging modes.
+//!
+//! The real XRay ships pre-existing handler modes (paper §V-A: "XRay
+//! provides a few different pre-existing modes, each defining their own
+//! handler functions"). Two are reproduced:
+//!
+//! * [`BasicLog`] — basic mode: append every event to an in-memory trace.
+//! * [`FdrBuffer`] — flight-data-recorder mode: a fixed-size ring buffer
+//!   of encoded records; the newest events overwrite the oldest, bounding
+//!   memory for long runs.
+
+use crate::handler::{Event, EventKind, Handler};
+use crate::packed_id::PackedId;
+use bytes::{Buf, BufMut, BytesMut};
+use parking_lot::Mutex;
+
+/// Basic-mode in-memory trace log.
+#[derive(Default)]
+pub struct BasicLog {
+    events: Mutex<Vec<Event>>,
+    /// Virtual cost per event in ns (basic mode writes a record; modelled
+    /// as a small constant).
+    pub cost_ns: u64,
+}
+
+impl BasicLog {
+    /// Creates an empty log with the default per-event cost.
+    pub fn new() -> Self {
+        Self {
+            events: Mutex::new(Vec::new()),
+            cost_ns: 25,
+        }
+    }
+
+    /// Snapshot of all recorded events.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().clone()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+
+    /// Clears the log.
+    pub fn clear(&self) {
+        self.events.lock().clear();
+    }
+}
+
+impl Handler for BasicLog {
+    fn on_event(&self, event: Event) -> u64 {
+        self.events.lock().push(event);
+        self.cost_ns
+    }
+}
+
+/// Size of one encoded FDR record:
+/// 4 (packed id) + 1 (kind) + 8 (tsc) + 4 (rank) bytes.
+const RECORD_BYTES: usize = 17;
+
+/// Flight-data-recorder mode: bounded ring buffer of encoded events.
+pub struct FdrBuffer {
+    inner: Mutex<FdrInner>,
+    capacity_records: usize,
+}
+
+struct FdrInner {
+    buf: BytesMut,
+    /// Total events ever written (for overwrite accounting).
+    written: u64,
+}
+
+impl FdrBuffer {
+    /// Creates a buffer retaining at most `capacity_records` events.
+    pub fn new(capacity_records: usize) -> Self {
+        assert!(capacity_records > 0, "FDR buffer needs capacity");
+        Self {
+            inner: Mutex::new(FdrInner {
+                buf: BytesMut::with_capacity(capacity_records * RECORD_BYTES),
+                written: 0,
+            }),
+            capacity_records,
+        }
+    }
+
+    /// Decodes the retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        let inner = self.inner.lock();
+        let mut out = Vec::with_capacity(inner.buf.len() / RECORD_BYTES);
+        let mut view = &inner.buf[..];
+        while view.len() >= RECORD_BYTES {
+            let id = PackedId::from_raw(view.get_u32());
+            let kind = match view.get_u8() {
+                0 => EventKind::Entry,
+                1 => EventKind::Exit,
+                _ => EventKind::TailExit,
+            };
+            let tsc = view.get_u64();
+            let rank = view.get_u32();
+            out.push(Event {
+                id,
+                kind,
+                tsc,
+                rank,
+            });
+        }
+        out
+    }
+
+    /// Total events written over the buffer's lifetime (≥ retained).
+    pub fn total_written(&self) -> u64 {
+        self.inner.lock().written
+    }
+
+    /// Events currently retained.
+    pub fn retained(&self) -> usize {
+        self.inner.lock().buf.len() / RECORD_BYTES
+    }
+}
+
+impl Handler for FdrBuffer {
+    fn on_event(&self, event: Event) -> u64 {
+        let mut inner = self.inner.lock();
+        if inner.buf.len() >= self.capacity_records * RECORD_BYTES {
+            // Drop the oldest record.
+            inner.buf.advance(RECORD_BYTES);
+        }
+        inner.buf.put_u32(event.id.raw());
+        inner.buf.put_u8(match event.kind {
+            EventKind::Entry => 0,
+            EventKind::Exit => 1,
+            EventKind::TailExit => 2,
+        });
+        inner.buf.put_u64(event.tsc);
+        inner.buf.put_u32(event.rank);
+        inner.written += 1;
+        15 // FDR is cheaper than basic mode: fixed-size encode, no realloc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(fid: u32, kind: EventKind, tsc: u64) -> Event {
+        Event {
+            id: PackedId::pack(1, fid).unwrap(),
+            kind,
+            tsc,
+            rank: 3,
+        }
+    }
+
+    #[test]
+    fn basic_log_records_in_order() {
+        let log = BasicLog::new();
+        log.on_event(ev(1, EventKind::Entry, 10));
+        log.on_event(ev(1, EventKind::Exit, 20));
+        let evs = log.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].tsc, 10);
+        assert_eq!(evs[1].kind, EventKind::Exit);
+        log.clear();
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn fdr_round_trips_encoding() {
+        let fdr = FdrBuffer::new(8);
+        fdr.on_event(ev(42, EventKind::Entry, 123));
+        fdr.on_event(ev(42, EventKind::TailExit, 456));
+        let evs = fdr.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].id.function(), 42);
+        assert_eq!(evs[0].id.object(), 1);
+        assert_eq!(evs[0].rank, 3);
+        assert_eq!(evs[1].kind, EventKind::TailExit);
+        assert_eq!(evs[1].tsc, 456);
+    }
+
+    #[test]
+    fn fdr_overwrites_oldest_when_full() {
+        let fdr = FdrBuffer::new(3);
+        for i in 0..10u64 {
+            fdr.on_event(ev(i as u32, EventKind::Entry, i));
+        }
+        assert_eq!(fdr.retained(), 3);
+        assert_eq!(fdr.total_written(), 10);
+        let evs = fdr.events();
+        let tscs: Vec<u64> = evs.iter().map(|e| e.tsc).collect();
+        assert_eq!(tscs, vec![7, 8, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn fdr_zero_capacity_panics() {
+        let _ = FdrBuffer::new(0);
+    }
+}

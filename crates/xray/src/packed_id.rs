@@ -1,0 +1,190 @@
+//! Packed object/function IDs (paper Fig. 4).
+//!
+//! XRay's original function IDs were unique only within the main
+//! executable. To support DSOs, the 32-bit ID is split into an 8-bit
+//! object ID and a 24-bit function ID:
+//!
+//! ```text
+//!  31          24 23                               0
+//! ┌──────────────┬──────────────────────────────────┐
+//! │  Object ID   │           Function ID            │
+//! │    8 bits    │             24 bits              │
+//! └──────────────┴──────────────────────────────────┘
+//! ```
+//!
+//! Object 0 is always the main executable, so its packed IDs are
+//! numerically identical to the legacy unpacked IDs — the backwards-
+//! compatibility property §V-B1 calls out. The paper notes the 24-bit
+//! function space (≈16.7 M) comfortably covers practice: the largest
+//! OpenFOAM object uses 28,687 IDs.
+
+use std::fmt;
+
+/// Bits reserved for the object ID.
+pub const OBJ_BITS: u32 = 8;
+/// Bits reserved for the function ID.
+pub const FUNC_BITS: u32 = 24;
+/// Largest valid object ID (255; object 0 is the executable, leaving 255
+/// IDs for DSOs).
+pub const MAX_OBJECT_ID: u8 = u8::MAX;
+/// Largest valid function ID (2^24 − 1 ≈ 16.7 M).
+pub const MAX_FUNCTION_ID: u32 = (1 << FUNC_BITS) - 1;
+
+/// Errors constructing packed IDs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IdError {
+    /// The function ID does not fit in 24 bits.
+    FunctionIdOverflow {
+        /// The offending function ID.
+        fid: u32,
+    },
+}
+
+impl fmt::Display for IdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IdError::FunctionIdOverflow { fid } => {
+                write!(f, "function ID {fid} exceeds 24-bit limit {MAX_FUNCTION_ID}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IdError {}
+
+/// A packed `(object, function)` identifier.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PackedId(u32);
+
+impl PackedId {
+    /// Packs `object` and `fid`.
+    pub fn pack(object: u8, fid: u32) -> Result<Self, IdError> {
+        if fid > MAX_FUNCTION_ID {
+            return Err(IdError::FunctionIdOverflow { fid });
+        }
+        Ok(PackedId(((object as u32) << FUNC_BITS) | fid))
+    }
+
+    /// The object ID (high 8 bits).
+    #[inline]
+    pub fn object(self) -> u8 {
+        (self.0 >> FUNC_BITS) as u8
+    }
+
+    /// The function ID (low 24 bits).
+    #[inline]
+    pub fn function(self) -> u32 {
+        self.0 & MAX_FUNCTION_ID
+    }
+
+    /// Raw 32-bit representation (what crosses the trampoline ABI).
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Reconstructs from the raw representation.
+    #[inline]
+    pub fn from_raw(raw: u32) -> Self {
+        PackedId(raw)
+    }
+
+    /// Whether this ID belongs to the main executable (object 0) — i.e.
+    /// is indistinguishable from a legacy non-DSO XRay ID.
+    #[inline]
+    pub fn is_main_executable(self) -> bool {
+        self.object() == 0
+    }
+}
+
+impl fmt::Debug for PackedId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PackedId(obj={}, fid={})", self.object(), self.function())
+    }
+}
+
+impl fmt::Display for PackedId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.object(), self.function())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let id = PackedId::pack(7, 123_456).unwrap();
+        assert_eq!(id.object(), 7);
+        assert_eq!(id.function(), 123_456);
+    }
+
+    #[test]
+    fn object_zero_ids_equal_legacy_ids() {
+        // Backwards compatibility: packed ID of the main executable is
+        // numerically the function ID.
+        for fid in [0u32, 1, 28_687, MAX_FUNCTION_ID] {
+            let id = PackedId::pack(0, fid).unwrap();
+            assert_eq!(id.raw(), fid);
+            assert!(id.is_main_executable());
+        }
+    }
+
+    #[test]
+    fn function_id_overflow_rejected() {
+        assert_eq!(
+            PackedId::pack(0, MAX_FUNCTION_ID + 1),
+            Err(IdError::FunctionIdOverflow {
+                fid: MAX_FUNCTION_ID + 1
+            })
+        );
+    }
+
+    #[test]
+    fn max_values_pack() {
+        let id = PackedId::pack(MAX_OBJECT_ID, MAX_FUNCTION_ID).unwrap();
+        assert_eq!(id.object(), MAX_OBJECT_ID);
+        assert_eq!(id.function(), MAX_FUNCTION_ID);
+        assert_eq!(id.raw(), u32::MAX);
+    }
+
+    #[test]
+    fn paper_reference_value_fits() {
+        // "the largest object file in our OpenFOAM test case uses 28,687 IDs"
+        assert!(28_687 < MAX_FUNCTION_ID);
+    }
+
+    #[test]
+    fn display_formats() {
+        let id = PackedId::pack(3, 42).unwrap();
+        assert_eq!(id.to_string(), "3:42");
+        assert_eq!(format!("{id:?}"), "PackedId(obj=3, fid=42)");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(object in 0u8..=255, fid in 0u32..=MAX_FUNCTION_ID) {
+            let id = PackedId::pack(object, fid).unwrap();
+            prop_assert_eq!(id.object(), object);
+            prop_assert_eq!(id.function(), fid);
+            prop_assert_eq!(PackedId::from_raw(id.raw()), id);
+        }
+
+        #[test]
+        fn prop_distinct_pairs_distinct_ids(
+            a in 0u8..=255, fa in 0u32..=MAX_FUNCTION_ID,
+            b in 0u8..=255, fb in 0u32..=MAX_FUNCTION_ID,
+        ) {
+            let ia = PackedId::pack(a, fa).unwrap();
+            let ib = PackedId::pack(b, fb).unwrap();
+            prop_assert_eq!(ia == ib, a == b && fa == fb);
+        }
+
+        #[test]
+        fn prop_overflow_always_rejected(fid in (MAX_FUNCTION_ID + 1)..=u32::MAX) {
+            prop_assert!(PackedId::pack(0, fid).is_err());
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! The XRay machine pass (compile-time half of XRay).
+//!
+//! Paper §V-A: "a special LLVM machine pass processes all available
+//! functions. Functions are pre-filtered to exclude those under a certain
+//! instruction count threshold … A placeholder instruction is then
+//! inserted at the entry and exit locations of each selected function."
+//!
+//! Because the pass runs after inlining, inlined functions simply do not
+//! exist here — the root cause of the §V-E compensation. The pass mirrors
+//! LLVM's knobs: `-fxray-instruction-threshold` and the
+//! `xray-ignore-loops` behaviour (loop-bearing functions are instrumented
+//! regardless of size unless loops are ignored), plus always/never
+//! attribute lists.
+
+use crate::sled::{SledEntry, SledTable, SLED_BYTES};
+use capi_objmodel::Object;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Pass configuration (the `-fxray-*` flags).
+#[derive(Clone, Debug)]
+pub struct PassOptions {
+    /// Minimum instruction count for instrumentation
+    /// (`-fxray-instruction-threshold`, LLVM default 200).
+    pub instruction_threshold: u32,
+    /// When false (default, like LLVM), functions containing loops are
+    /// instrumented even below the threshold.
+    pub ignore_loops: bool,
+    /// Functions always instrumented (attribute list `always`).
+    pub always_instrument: HashSet<String>,
+    /// Functions never instrumented (attribute list `never`).
+    pub never_instrument: HashSet<String>,
+}
+
+impl Default for PassOptions {
+    fn default() -> Self {
+        Self {
+            instruction_threshold: 200,
+            ignore_loops: false,
+            always_instrument: HashSet::new(),
+            never_instrument: HashSet::new(),
+        }
+    }
+}
+
+impl PassOptions {
+    /// A pass that instruments everything (threshold 1, loops included) —
+    /// what DynCaPI relies on: "all available functions are prepared for
+    /// instrumentation without filtering" (paper §IV).
+    pub fn instrument_all() -> Self {
+        Self {
+            instruction_threshold: 1,
+            ..Self::default()
+        }
+    }
+}
+
+/// Statistics reported by the pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PassStats {
+    /// Functions examined.
+    pub total_functions: usize,
+    /// Functions that received sleds.
+    pub instrumented: usize,
+    /// Functions skipped by the instruction-count pre-filter.
+    pub below_threshold: usize,
+    /// Functions skipped via the `never` attribute list.
+    pub never_listed: usize,
+    /// Total sleds inserted.
+    pub sleds: usize,
+}
+
+/// An object together with its XRay sled table — the output of compiling
+/// with `-fxray-instrument`.
+#[derive(Clone, Debug)]
+pub struct InstrumentedObject {
+    /// The compiled object image.
+    pub image: Arc<Object>,
+    /// The sled table the pass emitted into the object.
+    pub sleds: SledTable,
+    /// Pass statistics (for reports).
+    pub stats: PassStats,
+}
+
+/// Runs the machine pass over `image`.
+pub fn instrument_object(image: Arc<Object>, opts: &PassOptions) -> InstrumentedObject {
+    let mut stats = PassStats {
+        total_functions: image.num_functions(),
+        ..Default::default()
+    };
+    let mut entries = Vec::new();
+    let mut fid_by_func = vec![None; image.num_functions()];
+
+    for (idx, f) in image.functions.iter().enumerate() {
+        if opts.never_instrument.contains(&f.name) {
+            stats.never_listed += 1;
+            continue;
+        }
+        let forced = opts.always_instrument.contains(&f.name);
+        let big_enough = f.instructions >= opts.instruction_threshold;
+        let loop_bearing = !opts.ignore_loops && f.loop_depth > 0;
+        if !(forced || big_enough || loop_bearing) {
+            stats.below_threshold += 1;
+            continue;
+        }
+        let fid = entries.len() as u32;
+        // Entry sled sits at the function start; exit sleds before each
+        // return site, spread through the tail of the body.
+        let exits = (0..f.return_sites.max(1))
+            .map(|k| {
+                let back = (k as u64 + 1) * SLED_BYTES;
+                f.offset + (f.size as u64).saturating_sub(back).max(SLED_BYTES)
+            })
+            .collect();
+        entries.push(SledEntry {
+            fid,
+            func_index: idx as u32,
+            entry_offset: f.offset,
+            exit_offsets: exits,
+        });
+        fid_by_func[idx] = Some(fid);
+        stats.instrumented += 1;
+    }
+    let sleds = SledTable {
+        entries,
+        fid_by_func,
+    };
+    stats.sleds = sleds.total_sleds();
+    InstrumentedObject {
+        image,
+        sleds,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capi_appmodel::{LinkTarget, ProgramBuilder};
+    use capi_objmodel::{compile, CompileOptions};
+
+    fn exe() -> Arc<Object> {
+        let mut b = ProgramBuilder::new("app");
+        b.unit("m.cc", LinkTarget::Executable);
+        b.function("main")
+            .main()
+            .statements(50)
+            .instructions(500)
+            .calls("kernel", 1)
+            .calls("tiny_leaf", 1)
+            .calls("small_loop", 1)
+            .finish();
+        b.function("kernel").statements(80).instructions(900).loop_depth(2).finish();
+        // 40 instructions, below the 200 threshold, no loop.
+        b.function("tiny_leaf").statements(30).instructions(40).finish();
+        // 40 instructions but contains a loop.
+        b.function("small_loop").statements(30).instructions(40).loop_depth(1).finish();
+        let p = b.build().unwrap();
+        Arc::new(compile(&p, &CompileOptions::o2()).unwrap().executable)
+    }
+
+    #[test]
+    fn threshold_prefilter_skips_small_functions() {
+        let io = instrument_object(exe(), &PassOptions::default());
+        assert!(io.sleds.fid_of(io.image.function_index("tiny_leaf").unwrap()).is_none());
+        assert!(io.sleds.fid_of(io.image.function_index("kernel").unwrap()).is_some());
+        assert_eq!(io.stats.below_threshold, 1);
+    }
+
+    #[test]
+    fn loop_bearing_functions_instrumented_below_threshold() {
+        let io = instrument_object(exe(), &PassOptions::default());
+        assert!(io.sleds.fid_of(io.image.function_index("small_loop").unwrap()).is_some());
+        let ignore = PassOptions {
+            ignore_loops: true,
+            ..PassOptions::default()
+        };
+        let io2 = instrument_object(exe(), &ignore);
+        assert!(io2.sleds.fid_of(io2.image.function_index("small_loop").unwrap()).is_none());
+    }
+
+    #[test]
+    fn instrument_all_covers_everything() {
+        let io = instrument_object(exe(), &PassOptions::instrument_all());
+        assert_eq!(io.stats.instrumented, io.image.num_functions());
+        assert!(io.stats.sleds >= 2 * io.stats.instrumented);
+    }
+
+    #[test]
+    fn always_and_never_lists_override() {
+        let mut opts = PassOptions::default();
+        opts.always_instrument.insert("tiny_leaf".into());
+        opts.never_instrument.insert("kernel".into());
+        let io = instrument_object(exe(), &opts);
+        assert!(io.sleds.fid_of(io.image.function_index("tiny_leaf").unwrap()).is_some());
+        assert!(io.sleds.fid_of(io.image.function_index("kernel").unwrap()).is_none());
+        assert_eq!(io.stats.never_listed, 1);
+    }
+
+    #[test]
+    fn fids_are_dense_and_table_ordered() {
+        let io = instrument_object(exe(), &PassOptions::instrument_all());
+        for (i, e) in io.sleds.entries.iter().enumerate() {
+            assert_eq!(e.fid, i as u32);
+        }
+    }
+
+    #[test]
+    fn entry_sled_at_function_start() {
+        let io = instrument_object(exe(), &PassOptions::instrument_all());
+        for e in &io.sleds.entries {
+            let f = io.image.function(e.func_index);
+            assert_eq!(e.entry_offset, f.offset);
+            for &x in &e.exit_offsets {
+                assert!(x >= f.offset);
+                assert!(x + SLED_BYTES <= f.offset + f.size as u64 + SLED_BYTES);
+            }
+        }
+    }
+}

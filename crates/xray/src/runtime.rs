@@ -1,0 +1,851 @@
+//! The XRay runtime (`xray-rt` + the paper's new `xray-dso`).
+//!
+//! Responsibilities reproduced from §V-A/§V-B:
+//!
+//! * resolve each object's sled table at registration time,
+//! * assign object IDs — the main executable is always object 0, DSOs get
+//!   1..=255, and registration beyond 255 DSOs fails,
+//! * patch/unpatch sleds by flipping page protection (`mprotect`),
+//!   rewriting the sled bytes, and restoring protection,
+//! * deliver events from patched sleds to the single registered handler
+//!   through the per-object trampolines (position-independent for DSOs),
+//! * answer the ID↔address queries DynCaPI uses to cross-check its
+//!   symbol mapping.
+//!
+//! Thread safety: rank threads dispatch concurrently; patching typically
+//! happens during startup but is allowed at any time (that is the point
+//! of *runtime-adaptable* instrumentation).
+
+use crate::handler::{Event, EventKind, Handler};
+use crate::packed_id::{IdError, PackedId, MAX_FUNCTION_ID};
+use crate::pass::InstrumentedObject;
+use crate::sled::SLED_BYTES;
+use crate::trampoline::{TrampolineFault, TrampolineSet};
+use capi_objmodel::{AddressSpace, LoadedObject, MemError, PagePerms, PAGE_SIZE};
+use parking_lot::RwLock;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Runtime errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum XRayError {
+    /// The main executable must be registered before any DSO.
+    MainMustBeFirst,
+    /// Object 0 is already registered.
+    MainAlreadyRegistered,
+    /// All 255 DSO object IDs are in use.
+    TooManyObjects,
+    /// The object has more instrumented functions than fit in 24 bits.
+    Id(IdError),
+    /// No object with this ID is registered.
+    UnknownObject(u8),
+    /// The function ID is not present in the object's sled table.
+    UnknownFunction(PackedId),
+    /// Memory protection error during patching.
+    Mem(MemError),
+    /// Dispatch through an unsound trampoline.
+    Fault(TrampolineFault),
+    /// Dispatch to a sled that is not patched (stale snapshot).
+    NotPatched(PackedId),
+}
+
+impl fmt::Display for XRayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XRayError::MainMustBeFirst => write!(f, "register the main executable first"),
+            XRayError::MainAlreadyRegistered => write!(f, "main executable already registered"),
+            XRayError::TooManyObjects => write!(f, "cannot register more than 255 DSOs"),
+            XRayError::Id(e) => write!(f, "{e}"),
+            XRayError::UnknownObject(o) => write!(f, "object {o} is not registered"),
+            XRayError::UnknownFunction(id) => write!(f, "no sled for {id}"),
+            XRayError::Mem(e) => write!(f, "patching failed: {e}"),
+            XRayError::Fault(e) => write!(f, "{e}"),
+            XRayError::NotPatched(id) => write!(f, "sled {id} is not patched"),
+        }
+    }
+}
+
+impl std::error::Error for XRayError {}
+
+impl From<MemError> for XRayError {
+    fn from(e: MemError) -> Self {
+        XRayError::Mem(e)
+    }
+}
+
+impl From<IdError> for XRayError {
+    fn from(e: IdError) -> Self {
+        XRayError::Id(e)
+    }
+}
+
+/// Aggregate runtime statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Objects currently registered.
+    pub objects_registered: usize,
+    /// Sled rewrites performed (patch + unpatch).
+    pub sled_writes: u64,
+    /// Events dispatched to the handler.
+    pub dispatches: u64,
+}
+
+struct Registered {
+    inst: InstrumentedObject,
+    trampolines: TrampolineSet,
+    process_index: usize,
+    base: u64,
+    relocated: bool,
+    /// Patch state per XRay function ID.
+    patched: Vec<bool>,
+}
+
+struct Inner {
+    /// Index = object ID.
+    objects: Vec<Option<Registered>>,
+    handler: Option<Arc<dyn Handler>>,
+    stats: RuntimeStats,
+}
+
+/// The XRay runtime.
+pub struct XRayRuntime {
+    inner: RwLock<Inner>,
+    generation: AtomicU64,
+    /// Event-dispatch counter kept outside the lock: dispatch is the hot
+    /// path and runs concurrently on every rank thread.
+    dispatches: AtomicU64,
+}
+
+impl Default for XRayRuntime {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl XRayRuntime {
+    /// Creates an empty runtime.
+    pub fn new() -> Self {
+        Self {
+            inner: RwLock::new(Inner {
+                objects: Vec::new(),
+                handler: None,
+                stats: RuntimeStats::default(),
+            }),
+            generation: AtomicU64::new(0),
+            dispatches: AtomicU64::new(0),
+        }
+    }
+
+    fn bump(&self) {
+        self.generation.fetch_add(1, Ordering::Release);
+    }
+
+    /// Monotonic counter incremented on every state change; used by the
+    /// executor to invalidate memoized quiet-subtree summaries.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Registers the main executable as object 0. Its trampolines may use
+    /// absolute addressing because the executable runs at its preferred
+    /// base.
+    pub fn register_main(
+        &self,
+        inst: InstrumentedObject,
+        loaded: &LoadedObject,
+        trampolines: TrampolineSet,
+    ) -> Result<u8, XRayError> {
+        let mut inner = self.inner.write();
+        if !inner.objects.is_empty() {
+            return Err(XRayError::MainAlreadyRegistered);
+        }
+        check_fid_capacity(&inst)?;
+        inner.objects.push(Some(Registered {
+            patched: vec![false; inst.sleds.num_functions()],
+            trampolines,
+            process_index: 0,
+            base: loaded.base,
+            relocated: !loaded.at_preferred_base,
+            inst,
+        }));
+        inner.stats.objects_registered += 1;
+        drop(inner);
+        self.bump();
+        Ok(0)
+    }
+
+    /// Registers a DSO (what the `xray-dso` runtime does from the DSO's
+    /// load-time constructor), passing its sled table, its index in the
+    /// loader's object list, and its local position-independent
+    /// trampolines.
+    pub fn register_dso(
+        &self,
+        inst: InstrumentedObject,
+        loaded: &LoadedObject,
+        process_index: usize,
+        trampolines: TrampolineSet,
+    ) -> Result<u8, XRayError> {
+        let mut inner = self.inner.write();
+        if inner.objects.is_empty() {
+            return Err(XRayError::MainMustBeFirst);
+        }
+        check_fid_capacity(&inst)?;
+        // Reuse a vacated slot (deregistered DSO) or append.
+        let slot = inner.objects.iter().skip(1).position(Option::is_none);
+        let object_id = match slot {
+            Some(s) => s + 1,
+            None => {
+                if inner.objects.len() > u8::MAX as usize {
+                    return Err(XRayError::TooManyObjects);
+                }
+                inner.objects.push(None);
+                inner.objects.len() - 1
+            }
+        };
+        inner.objects[object_id] = Some(Registered {
+            patched: vec![false; inst.sleds.num_functions()],
+            trampolines,
+            process_index,
+            base: loaded.base,
+            relocated: !loaded.at_preferred_base,
+            inst,
+        });
+        inner.stats.objects_registered += 1;
+        drop(inner);
+        self.bump();
+        Ok(object_id as u8)
+    }
+
+    /// Deregisters a DSO (called when the object is `dlclose`d).
+    pub fn deregister(&self, object_id: u8) -> Result<(), XRayError> {
+        let mut inner = self.inner.write();
+        let slot = inner
+            .objects
+            .get_mut(object_id as usize)
+            .ok_or(XRayError::UnknownObject(object_id))?;
+        if slot.take().is_none() {
+            return Err(XRayError::UnknownObject(object_id));
+        }
+        inner.stats.objects_registered -= 1;
+        drop(inner);
+        self.bump();
+        Ok(())
+    }
+
+    /// Installs the global event handler (`__xray_set_handler`).
+    pub fn set_handler(&self, handler: Arc<dyn Handler>) {
+        self.inner.write().handler = Some(handler);
+        self.bump();
+    }
+
+    /// Removes the handler.
+    pub fn clear_handler(&self) {
+        self.inner.write().handler = None;
+        self.bump();
+    }
+
+    /// Patches all sleds of one function. Returns the number of sleds
+    /// rewritten. Page protection is flipped around the writes.
+    pub fn patch_function(&self, mem: &mut AddressSpace, id: PackedId) -> Result<u32, XRayError> {
+        self.set_patch_state(mem, id, true)
+    }
+
+    /// Restores the NOP sleds of one function.
+    pub fn unpatch_function(
+        &self,
+        mem: &mut AddressSpace,
+        id: PackedId,
+    ) -> Result<u32, XRayError> {
+        self.set_patch_state(mem, id, false)
+    }
+
+    fn set_patch_state(
+        &self,
+        mem: &mut AddressSpace,
+        id: PackedId,
+        state: bool,
+    ) -> Result<u32, XRayError> {
+        let mut inner = self.inner.write();
+        let reg = inner
+            .objects
+            .get_mut(id.object() as usize)
+            .and_then(Option::as_mut)
+            .ok_or(XRayError::UnknownObject(id.object()))?;
+        let entry = reg
+            .inst
+            .sleds
+            .by_fid(id.function())
+            .ok_or(XRayError::UnknownFunction(id))?;
+        if reg.patched[id.function() as usize] == state {
+            return Ok(0); // idempotent
+        }
+        let base = reg.base;
+        let offsets: Vec<u64> = entry.offsets().map(|(o, _)| o).collect();
+        // mprotect the page range covering this function's sleds.
+        let lo = offsets.iter().min().copied().expect("entry sled exists");
+        let hi = offsets.iter().max().copied().expect("entry sled exists") + SLED_BYTES;
+        let page_lo = (base + lo) / PAGE_SIZE * PAGE_SIZE;
+        let page_hi = (base + hi).div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        mem.mprotect(page_lo, page_hi - page_lo, PagePerms::RWX)?;
+        for off in &offsets {
+            mem.checked_write(base + off, SLED_BYTES)?;
+        }
+        mem.mprotect(page_lo, page_hi - page_lo, PagePerms::RX)?;
+        reg.patched[id.function() as usize] = state;
+        let n = offsets.len() as u32;
+        inner.stats.sled_writes += n as u64;
+        drop(inner);
+        self.bump();
+        Ok(n)
+    }
+
+    /// Patches every sled of an object in one pass (a single `mprotect`
+    /// over the whole sled region — what XRay does at startup when no
+    /// selection is active). Returns sleds rewritten.
+    pub fn patch_all(&self, mem: &mut AddressSpace, object_id: u8) -> Result<u32, XRayError> {
+        self.set_all(mem, object_id, true)
+    }
+
+    /// Patches a *set* of functions of one object with a single
+    /// `mprotect` pair over the object's sled region — how DynCaPI
+    /// applies an IC: flip the pages once, rewrite only the selected
+    /// sleds, restore protection. Returns sleds rewritten.
+    pub fn patch_functions(
+        &self,
+        mem: &mut AddressSpace,
+        object_id: u8,
+        fids: &[u32],
+    ) -> Result<u32, XRayError> {
+        if fids.is_empty() {
+            return Ok(0);
+        }
+        let mut inner = self.inner.write();
+        let reg = inner
+            .objects
+            .get_mut(object_id as usize)
+            .and_then(Option::as_mut)
+            .ok_or(XRayError::UnknownObject(object_id))?;
+        let Some((lo, hi)) = reg.inst.sleds.sled_range() else {
+            return Ok(0);
+        };
+        let base = reg.base;
+        let page_lo = (base + lo) / PAGE_SIZE * PAGE_SIZE;
+        let page_hi = (base + hi).div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        mem.mprotect(page_lo, page_hi - page_lo, PagePerms::RWX)?;
+        let mut written = 0u32;
+        for &fid in fids {
+            let entry = reg
+                .inst
+                .sleds
+                .by_fid(fid)
+                .ok_or_else(|| XRayError::UnknownFunction(
+                    PackedId::pack(object_id, fid).unwrap_or(PackedId::from_raw(0)),
+                ))?;
+            if reg.patched[fid as usize] {
+                continue;
+            }
+            for (off, _) in entry.offsets() {
+                mem.checked_write(base + off, SLED_BYTES)?;
+                written += 1;
+            }
+            reg.patched[fid as usize] = true;
+        }
+        mem.mprotect(page_lo, page_hi - page_lo, PagePerms::RX)?;
+        inner.stats.sled_writes += written as u64;
+        drop(inner);
+        self.bump();
+        Ok(written)
+    }
+
+    /// Unpatches every sled of an object.
+    pub fn unpatch_all(&self, mem: &mut AddressSpace, object_id: u8) -> Result<u32, XRayError> {
+        self.set_all(mem, object_id, false)
+    }
+
+    fn set_all(
+        &self,
+        mem: &mut AddressSpace,
+        object_id: u8,
+        state: bool,
+    ) -> Result<u32, XRayError> {
+        let mut inner = self.inner.write();
+        let reg = inner
+            .objects
+            .get_mut(object_id as usize)
+            .and_then(Option::as_mut)
+            .ok_or(XRayError::UnknownObject(object_id))?;
+        let Some((lo, hi)) = reg.inst.sleds.sled_range() else {
+            return Ok(0);
+        };
+        let base = reg.base;
+        let page_lo = (base + lo) / PAGE_SIZE * PAGE_SIZE;
+        let page_hi = (base + hi).div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        mem.mprotect(page_lo, page_hi - page_lo, PagePerms::RWX)?;
+        let mut written = 0u32;
+        let num_funcs = reg.inst.sleds.num_functions();
+        for fid in 0..num_funcs {
+            if reg.patched[fid] == state {
+                continue;
+            }
+            let entry = reg.inst.sleds.by_fid(fid as u32).expect("fid in range");
+            for (off, _) in entry.offsets() {
+                mem.checked_write(base + off, SLED_BYTES)?;
+                written += 1;
+            }
+            reg.patched[fid] = state;
+        }
+        mem.mprotect(page_lo, page_hi - page_lo, PagePerms::RX)?;
+        inner.stats.sled_writes += written as u64;
+        drop(inner);
+        self.bump();
+        Ok(written)
+    }
+
+    /// Whether the function's sleds are currently patched.
+    pub fn is_patched(&self, id: PackedId) -> bool {
+        let inner = self.inner.read();
+        inner
+            .objects
+            .get(id.object() as usize)
+            .and_then(Option::as_ref)
+            .and_then(|r| r.patched.get(id.function() as usize))
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Dispatches an event from a patched sled through the object's
+    /// trampolines to the handler. Returns the handler's virtual cost.
+    pub fn dispatch(
+        &self,
+        id: PackedId,
+        kind: EventKind,
+        tsc: u64,
+        rank: u32,
+    ) -> Result<u64, XRayError> {
+        let (handler, fault_check) = {
+            let inner = self.inner.read();
+            let reg = inner
+                .objects
+                .get(id.object() as usize)
+                .and_then(Option::as_ref)
+                .ok_or(XRayError::UnknownObject(id.object()))?;
+            if !reg
+                .patched
+                .get(id.function() as usize)
+                .copied()
+                .unwrap_or(false)
+            {
+                return Err(XRayError::NotPatched(id));
+            }
+            (
+                inner.handler.clone(),
+                reg.trampolines.check_dispatch(reg.relocated),
+            )
+        };
+        fault_check.map_err(XRayError::Fault)?;
+        self.dispatches.fetch_add(1, Ordering::Relaxed);
+        let Some(handler) = handler else {
+            return Ok(0); // patched but no handler installed: sled jumps, returns
+        };
+        let event = Event {
+            id,
+            kind,
+            tsc,
+            rank,
+        };
+        Ok(handler.on_event(event))
+    }
+
+    /// `__xray_function_address`: absolute address of a function by its
+    /// packed ID — the API DynCaPI cross-checks symbol mappings with.
+    pub fn function_address(&self, id: PackedId) -> Option<u64> {
+        let inner = self.inner.read();
+        let reg = inner.objects.get(id.object() as usize)?.as_ref()?;
+        let entry = reg.inst.sleds.by_fid(id.function())?;
+        Some(reg.base + entry.entry_offset)
+    }
+
+    /// Reverse of [`Self::function_address`].
+    pub fn id_at_address(&self, addr: u64) -> Option<PackedId> {
+        let inner = self.inner.read();
+        for (oid, reg) in inner.objects.iter().enumerate() {
+            let Some(reg) = reg else { continue };
+            if addr < reg.base {
+                continue;
+            }
+            let off = addr - reg.base;
+            for e in &reg.inst.sleds.entries {
+                if e.entry_offset == off {
+                    return PackedId::pack(oid as u8, e.fid).ok();
+                }
+            }
+        }
+        None
+    }
+
+    /// Object ID registered for a loader object index.
+    pub fn object_id_for_process_index(&self, process_index: usize) -> Option<u8> {
+        let inner = self.inner.read();
+        inner
+            .objects
+            .iter()
+            .enumerate()
+            .find(|(_, r)| {
+                r.as_ref()
+                    .is_some_and(|r| r.process_index == process_index)
+            })
+            .map(|(i, _)| i as u8)
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> RuntimeStats {
+        let mut s = self.inner.read().stats;
+        s.dispatches = self.dispatches.load(Ordering::Relaxed);
+        s
+    }
+
+    /// Total sleds across all registered objects.
+    pub fn total_sleds(&self) -> usize {
+        let inner = self.inner.read();
+        inner
+            .objects
+            .iter()
+            .flatten()
+            .map(|r| r.inst.sleds.total_sleds())
+            .sum()
+    }
+
+    /// Counts currently patched functions.
+    pub fn patched_functions(&self) -> usize {
+        let inner = self.inner.read();
+        inner
+            .objects
+            .iter()
+            .flatten()
+            .map(|r| r.patched.iter().filter(|&&p| p).count())
+            .sum()
+    }
+
+    /// Takes a consistent snapshot of the patch state for lock-free use
+    /// on the executor's hot path.
+    pub fn snapshot(&self) -> PatchSnapshot {
+        let inner = self.inner.read();
+        let max_pi = inner
+            .objects
+            .iter()
+            .flatten()
+            .map(|r| r.process_index + 1)
+            .max()
+            .unwrap_or(0);
+        let mut by_process_index: Vec<Option<ObjectSnapshot>> = vec![None; max_pi];
+        for (oid, reg) in inner.objects.iter().enumerate() {
+            let Some(reg) = reg else { continue };
+            by_process_index[reg.process_index] = Some(ObjectSnapshot {
+                object_id: oid as u8,
+                fid_by_func: reg.inst.sleds.fid_by_func.clone(),
+                patched: reg.patched.clone(),
+            });
+        }
+        PatchSnapshot {
+            generation: self.generation(),
+            by_process_index,
+        }
+    }
+}
+
+fn check_fid_capacity(inst: &InstrumentedObject) -> Result<(), XRayError> {
+    let n = inst.sleds.num_functions();
+    if n > (MAX_FUNCTION_ID as usize + 1) {
+        return Err(XRayError::Id(IdError::FunctionIdOverflow { fid: n as u32 }));
+    }
+    Ok(())
+}
+
+/// Patch-state snapshot for the executor's hot path.
+#[derive(Clone, Debug)]
+pub struct PatchSnapshot {
+    /// Runtime generation when the snapshot was taken.
+    pub generation: u64,
+    /// Indexed by loader object index.
+    pub by_process_index: Vec<Option<ObjectSnapshot>>,
+}
+
+/// Per-object slice of a [`PatchSnapshot`].
+#[derive(Clone, Debug)]
+pub struct ObjectSnapshot {
+    /// XRay object ID.
+    pub object_id: u8,
+    /// Function index → XRay function ID.
+    pub fid_by_func: Vec<Option<u32>>,
+    /// Patch state by function ID.
+    pub patched: Vec<bool>,
+}
+
+impl PatchSnapshot {
+    /// Looks up the packed ID and patch state for a function, by loader
+    /// object index and object-local function index.
+    #[inline]
+    pub fn lookup(&self, process_index: usize, func_index: u32) -> Option<(PackedId, bool)> {
+        let obj = self.by_process_index.get(process_index)?.as_ref()?;
+        let fid = (*obj.fid_by_func.get(func_index as usize)?)?;
+        let packed = PackedId::pack(obj.object_id, fid).ok()?;
+        Some((packed, obj.patched[fid as usize]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::BasicLog;
+    use crate::pass::{instrument_object, PassOptions};
+    use capi_appmodel::{LinkTarget, ProgramBuilder};
+    use capi_objmodel::{compile, CompileOptions, Process};
+
+    struct Fixture {
+        process: Process,
+        runtime: XRayRuntime,
+        main_inst: InstrumentedObject,
+        dso_inst: InstrumentedObject,
+    }
+
+    fn fixture() -> Fixture {
+        let mut b = ProgramBuilder::new("app");
+        b.unit("m.cc", LinkTarget::Executable);
+        b.function("main")
+            .main()
+            .statements(50)
+            .instructions(400)
+            .calls("kernel", 1)
+            .calls("solve", 1)
+            .finish();
+        b.function("kernel").statements(60).instructions(600).loop_depth(1).finish();
+        b.unit("s.cc", LinkTarget::Dso("libsolver.so".into()));
+        b.function("solve").statements(70).instructions(800).loop_depth(2).finish();
+        let p = b.build().unwrap();
+        let bin = compile(&p, &CompileOptions::o2()).unwrap();
+        let process = Process::launch_binary(&bin).unwrap();
+        let main_inst = instrument_object(
+            process.object(0).unwrap().image.clone(),
+            &PassOptions::instrument_all(),
+        );
+        let dso_inst = instrument_object(
+            process.object(1).unwrap().image.clone(),
+            &PassOptions::instrument_all(),
+        );
+        Fixture {
+            process,
+            runtime: XRayRuntime::new(),
+            main_inst,
+            dso_inst,
+        }
+    }
+
+    #[test]
+    fn main_gets_object_zero_dso_must_wait() {
+        let f = fixture();
+        let loaded_dso = f.process.object(1).unwrap().clone();
+        assert!(matches!(
+            f.runtime
+                .register_dso(f.dso_inst.clone(), &loaded_dso, 1, TrampolineSet::pic()),
+            Err(XRayError::MainMustBeFirst)
+        ));
+        let id = f
+            .runtime
+            .register_main(
+                f.main_inst.clone(),
+                f.process.object(0).unwrap(),
+                TrampolineSet::absolute(),
+            )
+            .unwrap();
+        assert_eq!(id, 0);
+        let dso_id = f
+            .runtime
+            .register_dso(f.dso_inst.clone(), &loaded_dso, 1, TrampolineSet::pic())
+            .unwrap();
+        assert_eq!(dso_id, 1);
+    }
+
+    fn registered() -> (Fixture, u8, u8) {
+        let f = fixture();
+        let main_id = f
+            .runtime
+            .register_main(
+                f.main_inst.clone(),
+                f.process.object(0).unwrap(),
+                TrampolineSet::absolute(),
+            )
+            .unwrap();
+        let dso_id = f
+            .runtime
+            .register_dso(
+                f.dso_inst.clone(),
+                f.process.object(1).unwrap(),
+                1,
+                TrampolineSet::pic(),
+            )
+            .unwrap();
+        (f, main_id, dso_id)
+    }
+
+    #[test]
+    fn patch_and_dispatch_roundtrip() {
+        let (mut f, main_id, _) = registered();
+        let fid = f
+            .main_inst
+            .sleds
+            .fid_of(f.main_inst.image.function_index("kernel").unwrap())
+            .unwrap();
+        let id = PackedId::pack(main_id, fid).unwrap();
+        assert!(!f.runtime.is_patched(id));
+        // Dispatch before patching is an error.
+        assert!(matches!(
+            f.runtime.dispatch(id, EventKind::Entry, 0, 0),
+            Err(XRayError::NotPatched(_))
+        ));
+        let n = f.runtime.patch_function(&mut f.process.memory, id).unwrap();
+        assert!(n >= 2);
+        assert!(f.runtime.is_patched(id));
+        let log = Arc::new(BasicLog::new());
+        f.runtime.set_handler(log.clone());
+        f.runtime.dispatch(id, EventKind::Entry, 100, 0).unwrap();
+        f.runtime.dispatch(id, EventKind::Exit, 200, 0).unwrap();
+        assert_eq!(log.events().len(), 2);
+        assert_eq!(log.events()[0].kind, EventKind::Entry);
+    }
+
+    #[test]
+    fn patching_is_idempotent() {
+        let (mut f, main_id, _) = registered();
+        let id = PackedId::pack(main_id, 0).unwrap();
+        let first = f.runtime.patch_function(&mut f.process.memory, id).unwrap();
+        let second = f.runtime.patch_function(&mut f.process.memory, id).unwrap();
+        assert!(first > 0);
+        assert_eq!(second, 0);
+    }
+
+    #[test]
+    fn unpatch_restores_nop_state() {
+        let (mut f, main_id, _) = registered();
+        let id = PackedId::pack(main_id, 0).unwrap();
+        f.runtime.patch_function(&mut f.process.memory, id).unwrap();
+        f.runtime.unpatch_function(&mut f.process.memory, id).unwrap();
+        assert!(!f.runtime.is_patched(id));
+    }
+
+    #[test]
+    fn patch_all_covers_object_with_one_mprotect_pair() {
+        let (mut f, main_id, _) = registered();
+        let before = f.process.memory.stats.mprotect_calls;
+        let written = f.runtime.patch_all(&mut f.process.memory, main_id).unwrap();
+        assert_eq!(written as usize, f.main_inst.sleds.total_sleds());
+        assert_eq!(f.process.memory.stats.mprotect_calls - before, 2);
+    }
+
+    #[test]
+    fn dso_dispatch_uses_pic_trampolines() {
+        let (mut f, _, dso_id) = registered();
+        let fid = f
+            .dso_inst
+            .sleds
+            .fid_of(f.dso_inst.image.function_index("solve").unwrap())
+            .unwrap();
+        let id = PackedId::pack(dso_id, fid).unwrap();
+        f.runtime.patch_function(&mut f.process.memory, id).unwrap();
+        assert!(f.runtime.dispatch(id, EventKind::Entry, 0, 0).is_ok());
+    }
+
+    #[test]
+    fn absolute_trampolines_in_relocated_dso_fault() {
+        let f = fixture();
+        f.runtime
+            .register_main(
+                f.main_inst.clone(),
+                f.process.object(0).unwrap(),
+                TrampolineSet::absolute(),
+            )
+            .unwrap();
+        // Mis-linked DSO: absolute trampolines.
+        let dso_id = f
+            .runtime
+            .register_dso(
+                f.dso_inst.clone(),
+                f.process.object(1).unwrap(),
+                1,
+                TrampolineSet::absolute(),
+            )
+            .unwrap();
+        let mut f = f;
+        let id = PackedId::pack(dso_id, 0).unwrap();
+        f.runtime.patch_function(&mut f.process.memory, id).unwrap();
+        assert!(matches!(
+            f.runtime.dispatch(id, EventKind::Entry, 0, 0),
+            Err(XRayError::Fault(_))
+        ));
+    }
+
+    #[test]
+    fn deregister_frees_slot_for_reuse() {
+        let (f, _, dso_id) = registered();
+        f.runtime.deregister(dso_id).unwrap();
+        assert!(matches!(
+            f.runtime.deregister(dso_id),
+            Err(XRayError::UnknownObject(_))
+        ));
+        let again = f
+            .runtime
+            .register_dso(
+                f.dso_inst.clone(),
+                f.process.object(1).unwrap(),
+                1,
+                TrampolineSet::pic(),
+            )
+            .unwrap();
+        assert_eq!(again, dso_id);
+    }
+
+    #[test]
+    fn function_address_and_reverse_lookup_agree() {
+        let (f, _, dso_id) = registered();
+        let fid = f
+            .dso_inst
+            .sleds
+            .fid_of(f.dso_inst.image.function_index("solve").unwrap())
+            .unwrap();
+        let id = PackedId::pack(dso_id, fid).unwrap();
+        let addr = f.runtime.function_address(id).unwrap();
+        assert_eq!(f.runtime.id_at_address(addr), Some(id));
+        // Matches the loader's view.
+        let resolved = f.process.resolve("solve").unwrap();
+        assert_eq!(resolved.addr, addr);
+    }
+
+    #[test]
+    fn snapshot_reflects_patch_state_and_generation() {
+        let (mut f, main_id, _) = registered();
+        let snap0 = f.runtime.snapshot();
+        let id = PackedId::pack(main_id, 0).unwrap();
+        f.runtime.patch_function(&mut f.process.memory, id).unwrap();
+        let snap1 = f.runtime.snapshot();
+        assert!(snap1.generation > snap0.generation);
+        let entry = f.main_inst.sleds.by_fid(0).unwrap();
+        let (packed, patched) = snap1.lookup(0, entry.func_index).unwrap();
+        assert_eq!(packed, id);
+        assert!(patched);
+        let (_, was_patched) = snap0.lookup(0, entry.func_index).unwrap();
+        assert!(!was_patched);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let (mut f, main_id, _) = registered();
+        let id = PackedId::pack(main_id, 0).unwrap();
+        f.runtime.patch_function(&mut f.process.memory, id).unwrap();
+        f.runtime.set_handler(Arc::new(crate::handler::NullHandler));
+        f.runtime.dispatch(id, EventKind::Entry, 0, 0).unwrap();
+        let s = f.runtime.stats();
+        assert_eq!(s.objects_registered, 2);
+        assert!(s.sled_writes >= 2);
+        assert_eq!(s.dispatches, 1);
+    }
+}

@@ -1,0 +1,160 @@
+//! Sleds and per-object sled tables.
+//!
+//! A *sled* is the fixed-size NOP placeholder XRay emits at every
+//! instrumentation point (paper §V-A): long enough to be overwritten at
+//! runtime with a jump to a trampoline. Each object carries a table of
+//! its sleds ("a table of sled data … containing the addresses of each
+//! sled alongside auxiliary information"); the runtime resolves this
+//! table at registration time to make the sleds patchable.
+
+use serde::{Deserialize, Serialize};
+
+/// Size of one sled in bytes. Matches the x86-64 XRay sled: a 2-byte
+/// short jump followed by 9 bytes of NOP padding, rounded to 12 here for
+/// the simulated 4-byte instruction grid.
+pub const SLED_BYTES: u64 = 12;
+
+/// What kind of instrumentation point a sled marks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SledKind {
+    /// Function entry.
+    Entry,
+    /// Ordinary function exit (one per return site).
+    Exit,
+    /// Tail-call exit.
+    TailExit,
+}
+
+/// Sled data for one instrumented function.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SledEntry {
+    /// XRay function ID, unique *within the object* and assigned in sled
+    /// table order — deliberately not the same numbering as the object's
+    /// function layout, which is why DynCaPI must build an ID↔name map.
+    pub fid: u32,
+    /// Index of the function in its object's `functions` vector.
+    pub func_index: u32,
+    /// Object-relative offset of the entry sled.
+    pub entry_offset: u64,
+    /// Object-relative offsets of the exit sleds.
+    pub exit_offsets: Vec<u64>,
+}
+
+impl SledEntry {
+    /// Total number of sleds for this function.
+    pub fn sled_count(&self) -> usize {
+        1 + self.exit_offsets.len()
+    }
+
+    /// Iterates over all sled offsets with their kinds.
+    pub fn offsets(&self) -> impl Iterator<Item = (u64, SledKind)> + '_ {
+        std::iter::once((self.entry_offset, SledKind::Entry)).chain(
+            self.exit_offsets
+                .iter()
+                .map(|&o| (o, SledKind::Exit)),
+        )
+    }
+}
+
+/// The sled table of one instrumented object.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SledTable {
+    /// Entries ordered by function ID (`entries[fid].fid == fid`).
+    pub entries: Vec<SledEntry>,
+    /// Maps object function index → XRay function ID (None if the
+    /// pre-filter skipped the function).
+    pub fid_by_func: Vec<Option<u32>>,
+}
+
+impl SledTable {
+    /// Number of instrumented functions.
+    pub fn num_functions(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total sled count (entry + exit).
+    pub fn total_sleds(&self) -> usize {
+        self.entries.iter().map(SledEntry::sled_count).sum()
+    }
+
+    /// Sled entry by XRay function ID.
+    pub fn by_fid(&self, fid: u32) -> Option<&SledEntry> {
+        self.entries.get(fid as usize)
+    }
+
+    /// XRay function ID for an object function index.
+    pub fn fid_of(&self, func_index: u32) -> Option<u32> {
+        self.fid_by_func.get(func_index as usize).copied().flatten()
+    }
+
+    /// Lowest and highest sled offset — the page range the runtime must
+    /// `mprotect` before bulk patching.
+    pub fn sled_range(&self) -> Option<(u64, u64)> {
+        let mut lo = u64::MAX;
+        let mut hi = 0;
+        for e in &self.entries {
+            for (off, _) in e.offsets() {
+                lo = lo.min(off);
+                hi = hi.max(off + SLED_BYTES);
+            }
+        }
+        (lo != u64::MAX).then_some((lo, hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> SledTable {
+        SledTable {
+            entries: vec![
+                SledEntry {
+                    fid: 0,
+                    func_index: 2,
+                    entry_offset: 0x100,
+                    exit_offsets: vec![0x140, 0x180],
+                },
+                SledEntry {
+                    fid: 1,
+                    func_index: 5,
+                    entry_offset: 0x200,
+                    exit_offsets: vec![0x240],
+                },
+            ],
+            fid_by_func: vec![None, None, Some(0), None, None, Some(1)],
+        }
+    }
+
+    #[test]
+    fn counts() {
+        let t = table();
+        assert_eq!(t.num_functions(), 2);
+        assert_eq!(t.total_sleds(), 5);
+    }
+
+    #[test]
+    fn fid_lookup_both_directions() {
+        let t = table();
+        assert_eq!(t.fid_of(2), Some(0));
+        assert_eq!(t.fid_of(3), None);
+        assert_eq!(t.by_fid(1).unwrap().func_index, 5);
+        assert!(t.by_fid(9).is_none());
+    }
+
+    #[test]
+    fn sled_range_covers_all_sleds() {
+        let t = table();
+        let (lo, hi) = t.sled_range().unwrap();
+        assert_eq!(lo, 0x100);
+        assert_eq!(hi, 0x240 + SLED_BYTES);
+        assert_eq!(SledTable::default().sled_range(), None);
+    }
+
+    #[test]
+    fn offsets_iterator_tags_kinds() {
+        let t = table();
+        let kinds: Vec<SledKind> = t.entries[0].offsets().map(|(_, k)| k).collect();
+        assert_eq!(kinds, vec![SledKind::Entry, SledKind::Exit, SledKind::Exit]);
+    }
+}

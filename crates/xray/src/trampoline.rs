@@ -1,0 +1,101 @@
+//! Trampolines and their addressing modes.
+//!
+//! A patched sled jumps to a trampoline that saves registers and calls
+//! the registered event handler. The original XRay trampolines load the
+//! handler pointer with an absolute RIP-relative `movq
+//! _ZN6__xray19XRayPatchedFunctionE(%rip), %rax` — valid only when the
+//! containing object runs at its link-time base. Shared objects are
+//! relocated, so the paper's xray-dso library switches the load to go
+//! through the global offset table (`@GOTPCREL`) (§V-B2).
+//!
+//! This module models that constraint: dispatch through an
+//! [`AddressingMode::Absolute`] trampoline inside a relocated object is a
+//! fault, exactly the crash a mis-linked trampoline would produce.
+
+use std::fmt;
+
+/// How the trampoline locates the event-handler pointer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AddressingMode {
+    /// Direct RIP-relative load of `__xray::XRayPatchedFunction`. Only
+    /// valid for the main executable (loaded at its preferred base).
+    Absolute,
+    /// Load via the global offset table (`-fPIC` style); valid anywhere.
+    GotRelative,
+}
+
+/// Fault raised when an invalid trampoline configuration is exercised.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TrampolineFault {
+    /// The addressing mode that faulted.
+    pub mode: AddressingMode,
+}
+
+impl fmt::Display for TrampolineFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "trampoline with {:?} addressing dispatched from a relocated object",
+            self.mode
+        )
+    }
+}
+
+impl std::error::Error for TrampolineFault {}
+
+/// The per-object trampoline set registered alongside the sled table.
+/// (Entry/exit/tail-exit trampolines share the addressing mode, so one
+/// mode models the set.)
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TrampolineSet {
+    /// Handler addressing mode.
+    pub mode: AddressingMode,
+}
+
+impl TrampolineSet {
+    /// The original statically-linked trampolines.
+    pub fn absolute() -> Self {
+        Self {
+            mode: AddressingMode::Absolute,
+        }
+    }
+
+    /// The position-independent trampolines linked by `xray-dso`.
+    pub fn pic() -> Self {
+        Self {
+            mode: AddressingMode::GotRelative,
+        }
+    }
+
+    /// Checks that dispatching through these trampolines is sound for an
+    /// object loaded `relocated` (away from its preferred base).
+    pub fn check_dispatch(&self, relocated: bool) -> Result<(), TrampolineFault> {
+        match (self.mode, relocated) {
+            (AddressingMode::Absolute, true) => Err(TrampolineFault { mode: self.mode }),
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absolute_ok_at_preferred_base() {
+        assert!(TrampolineSet::absolute().check_dispatch(false).is_ok());
+    }
+
+    #[test]
+    fn absolute_faults_when_relocated() {
+        let err = TrampolineSet::absolute().check_dispatch(true).unwrap_err();
+        assert_eq!(err.mode, AddressingMode::Absolute);
+        assert!(err.to_string().contains("relocated"));
+    }
+
+    #[test]
+    fn pic_valid_everywhere() {
+        assert!(TrampolineSet::pic().check_dispatch(false).is_ok());
+        assert!(TrampolineSet::pic().check_dispatch(true).is_ok());
+    }
+}

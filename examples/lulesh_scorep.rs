@@ -1,0 +1,73 @@
+//! Profile the synthetic LULESH with Score-P through the kernels IC,
+//! then use `scorep-score` to propose an initial filter — the §II-B
+//! workflow CaPI improves upon.
+//!
+//! ```text
+//! cargo run --release --example lulesh_scorep
+//! ```
+
+use capi::Workflow;
+use capi_dyncapi::ToolChoice;
+use capi_objmodel::CompileOptions;
+use capi_scorep::score::{score_profile, ScoreParams};
+use capi_workloads::{lulesh, LuleshParams, PAPER_SPECS};
+
+fn main() {
+    let workflow = Workflow::analyze(lulesh(&LuleshParams::default()), CompileOptions::o3())
+        .expect("analyze");
+    println!("LULESH: {} call-graph nodes (paper: 3,360)", workflow.graph.len());
+
+    // The paper's `kernels` spec.
+    let ic = workflow.select_ic(PAPER_SPECS[2].source).expect("kernels IC");
+    println!(
+        "kernels IC: {} functions ({} removed as inlined, {} callers added)",
+        ic.ic.len(),
+        ic.compensation.removed_names.len(),
+        ic.compensation.added
+    );
+
+    let session = capi::dynamic_session(
+        &workflow.binary,
+        &ic.ic,
+        ToolChoice::Scorep(Default::default()),
+        8,
+    )
+    .expect("session");
+    let out = session.run().expect("run");
+    println!(
+        "profiled {} events in {:.2} virtual ms",
+        out.run.events,
+        out.total_ns as f64 / 1e6
+    );
+
+    // Top regions by inclusive time.
+    let scorep = session.scorep.as_ref().expect("scorep configured");
+    let merged = scorep.merged();
+    let names = scorep.region_names();
+    let mut rows: Vec<_> = merged.per_region.iter().collect();
+    rows.sort_by_key(|(_, t)| std::cmp::Reverse(t.inclusive_ns));
+    println!("\ntop regions (inclusive time, all ranks):");
+    for (id, t) in rows.iter().take(8) {
+        println!(
+            "  {:<40} visits {:>8}  incl {:>10.3} ms",
+            names[id.0 as usize],
+            t.visits,
+            t.inclusive_ns as f64 / 1e6
+        );
+    }
+
+    // scorep-score: propose an initial EXCLUDE filter for hot+small fns.
+    let report = score_profile(&merged, &names, &ScoreParams::default());
+    println!(
+        "\nscorep-score: estimated overhead {:.3} ms → {:.3} ms after filtering",
+        report.total_overhead_ns as f64 / 1e6,
+        report.remaining_overhead_ns as f64 / 1e6
+    );
+    let excluded: Vec<&str> = report
+        .rows
+        .iter()
+        .filter(|r| r.excluded)
+        .map(|r| r.name.as_str())
+        .collect();
+    println!("proposed EXCLUDEs: {excluded:?}");
+}

@@ -1,0 +1,69 @@
+//! Quickstart: the full CaPI workflow on a 21-function miniapp.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Walks the paper's Fig. 1 loop once: build the program model, construct
+//! the MetaCG call graph, run a selection spec, post-process the IC
+//! (inlining compensation), instrument dynamically via DynCaPI/XRay, run
+//! under TALP on 4 simulated ranks, and print the region report.
+
+use capi::Workflow;
+use capi_dyncapi::ToolChoice;
+use capi_objmodel::CompileOptions;
+use capi_talp::render_report;
+use capi_workloads::quickstart_app;
+
+fn main() {
+    // 1. Analyze: program → call graph + compiled binary (one build!).
+    let program = quickstart_app(50);
+    let workflow = Workflow::analyze(program, CompileOptions::o2()).expect("analyze");
+    println!(
+        "call graph: {} nodes, {} edges",
+        workflow.graph.len(),
+        workflow.graph.num_edges()
+    );
+
+    // 2. Select: compute kernels that sit on loops, skip system headers.
+    let spec = r#"
+excluded = join(inSystemHeader(%%), inlineSpecified(%%))
+k = flops(">=", 10, loopDepth(">=", 1, %%))
+subtract(onCallPathTo(%k), %excluded)
+"#;
+    let ic = workflow.select_ic(spec).expect("selection");
+    println!(
+        "selection: {} pre → {} post (+{} compensated callers) in {:?}",
+        ic.compensation.selected_pre, ic.compensation.selected_post, ic.compensation.added,
+        ic.duration
+    );
+    println!("IC (Score-P filter format):\n{}", ic.ic.to_scorep_filter().to_text());
+
+    // 3+4. Instrument dynamically and measure with TALP.
+    let outcome = workflow
+        .measure(&ic.ic, ToolChoice::Talp(Default::default()), 4)
+        .expect("measure");
+    println!(
+        "run: T_init {:.3} ms, T_total {:.3} ms, {} instrumentation events",
+        outcome.run.init_ns as f64 / 1e6,
+        outcome.run.total_ns as f64 / 1e6,
+        outcome.run.run.events
+    );
+
+    // 5. The TALP report (printed at MPI_Finalize time).
+    let session = capi::dynamic_session(
+        &workflow.binary,
+        &ic.ic,
+        ToolChoice::Talp(Default::default()),
+        4,
+    )
+    .expect("session");
+    session.run().expect("run");
+    let report = session
+        .talp
+        .as_ref()
+        .expect("talp configured")
+        .final_report()
+        .expect("finalize ran");
+    println!("{}", render_report(&report, Some(6)));
+}

@@ -1,0 +1,18 @@
+//! Umbrella crate for the CaPI reproduction workspace.
+//!
+//! Re-exports every sub-crate under one roof so integration tests and
+//! examples can use a single dependency. See `DESIGN.md` for the system
+//! inventory and `EXPERIMENTS.md` for the paper-vs-measured record.
+
+pub use capi;
+pub use capi_appmodel as appmodel;
+pub use capi_dyncapi as dyncapi;
+pub use capi_exec as exec;
+pub use capi_metacg as metacg;
+pub use capi_mpisim as mpisim;
+pub use capi_objmodel as objmodel;
+pub use capi_scorep as scorep;
+pub use capi_spec as spec;
+pub use capi_talp as talp;
+pub use capi_workloads as workloads;
+pub use capi_xray as xray;

@@ -1,0 +1,148 @@
+//! DSO lifecycle integration: dlopen/dlclose with XRay registration and
+//! deregistration, the 255-DSO limit, and trampoline addressing faults.
+
+use capi_appmodel::{LinkTarget, ProgramBuilder};
+use capi_objmodel::{compile, CompileOptions, Object, ObjectKind, Process, SymbolTable};
+use capi_xray::{
+    instrument_object, EventKind, PackedId, PassOptions, TrampolineSet, XRayError, XRayRuntime,
+};
+use std::sync::Arc;
+
+fn binary_with_dso() -> capi_objmodel::Binary {
+    let mut b = ProgramBuilder::new("host");
+    b.unit("m.cc", LinkTarget::Executable);
+    b.function("main").main().statements(40).instructions(300).calls("plugin_entry", 1).finish();
+    b.unit("p.cc", LinkTarget::Dso("libplugin.so".into()));
+    b.function("plugin_entry").statements(60).instructions(500).loop_depth(1).finish();
+    compile(&b.build().unwrap(), &CompileOptions::o2()).unwrap()
+}
+
+#[test]
+fn dso_register_patch_unload_reregister() {
+    let bin = binary_with_dso();
+    let mut process = Process::launch_binary(&bin).unwrap();
+    let runtime = XRayRuntime::new();
+    let main_inst = instrument_object(
+        process.object(0).unwrap().image.clone(),
+        &PassOptions::instrument_all(),
+    );
+    runtime
+        .register_main(main_inst, process.object(0).unwrap(), TrampolineSet::absolute())
+        .unwrap();
+
+    let dso_inst = instrument_object(
+        process.object(1).unwrap().image.clone(),
+        &PassOptions::instrument_all(),
+    );
+    let oid = runtime
+        .register_dso(dso_inst.clone(), process.object(1).unwrap(), 1, TrampolineSet::pic())
+        .unwrap();
+    let fid = dso_inst
+        .sleds
+        .fid_of(dso_inst.image.function_index("plugin_entry").unwrap())
+        .unwrap();
+    let id = PackedId::pack(oid, fid).unwrap();
+    runtime.patch_function(&mut process.memory, id).unwrap();
+    assert!(runtime.dispatch(id, EventKind::Entry, 0, 0).is_ok());
+
+    // Unload: deregister + dlclose; dispatch must now fail cleanly.
+    runtime.deregister(oid).unwrap();
+    process.dlclose("libplugin.so").unwrap();
+    assert!(matches!(
+        runtime.dispatch(id, EventKind::Entry, 0, 0),
+        Err(XRayError::UnknownObject(_))
+    ));
+
+    // Reload: the object ID slot is reused.
+    let idx = process.dlopen(bin.dsos[0].clone().into()).unwrap();
+    let lo = process.object(idx).unwrap();
+    let inst2 = instrument_object(lo.image.clone(), &PassOptions::instrument_all());
+    let oid2 = runtime
+        .register_dso(inst2, lo, idx, TrampolineSet::pic())
+        .unwrap();
+    assert_eq!(oid2, oid);
+}
+
+#[test]
+fn more_than_255_dsos_is_rejected() {
+    // Synthetic empty DSOs keep this test fast: registration only needs
+    // the image + a load address.
+    let mut b = ProgramBuilder::new("host");
+    b.unit("m.cc", LinkTarget::Executable);
+    b.function("main").main().statements(30).instructions(250).finish();
+    let bin = compile(&b.build().unwrap(), &CompileOptions::o2()).unwrap();
+    let mut process = Process::launch_binary(&bin).unwrap();
+    let runtime = XRayRuntime::new();
+    let main_inst = instrument_object(
+        process.object(0).unwrap().image.clone(),
+        &PassOptions::instrument_all(),
+    );
+    runtime
+        .register_main(main_inst, process.object(0).unwrap(), TrampolineSet::absolute())
+        .unwrap();
+
+    let mut last = Ok(0u8);
+    for i in 0..256 {
+        let dso = Arc::new(Object::new(
+            format!("lib_gen_{i}.so"),
+            ObjectKind::SharedObject,
+            vec![],
+            SymbolTable::new(),
+        ));
+        let idx = process.dlopen(dso).unwrap();
+        let lo = process.object(idx).unwrap();
+        let inst = instrument_object(lo.image.clone(), &PassOptions::instrument_all());
+        last = runtime.register_dso(inst, lo, idx, TrampolineSet::pic());
+        if last.is_err() {
+            break;
+        }
+    }
+    assert!(
+        matches!(last, Err(XRayError::TooManyObjects)),
+        "the 256th DSO must be rejected (8-bit object IDs)"
+    );
+}
+
+#[test]
+fn absolute_trampolines_in_dso_fault_pic_works() {
+    let bin = binary_with_dso();
+    let mut process = Process::launch_binary(&bin).unwrap();
+    let runtime = XRayRuntime::new();
+    let main_inst = instrument_object(
+        process.object(0).unwrap().image.clone(),
+        &PassOptions::instrument_all(),
+    );
+    runtime
+        .register_main(main_inst, process.object(0).unwrap(), TrampolineSet::absolute())
+        .unwrap();
+    // Mis-linked: absolute trampolines inside the relocated DSO.
+    let dso_inst = instrument_object(
+        process.object(1).unwrap().image.clone(),
+        &PassOptions::instrument_all(),
+    );
+    let oid = runtime
+        .register_dso(
+            dso_inst,
+            process.object(1).unwrap(),
+            1,
+            TrampolineSet::absolute(),
+        )
+        .unwrap();
+    let id = PackedId::pack(oid, 0).unwrap();
+    runtime.patch_function(&mut process.memory, id).unwrap();
+    assert!(matches!(
+        runtime.dispatch(id, EventKind::Entry, 0, 0),
+        Err(XRayError::Fault(_))
+    ));
+}
+
+#[test]
+fn memory_map_tracks_load_and_unload()
+{
+    let bin = binary_with_dso();
+    let mut process = Process::launch_binary(&bin).unwrap();
+    assert_eq!(process.memory_map().len(), 2);
+    process.dlclose("libplugin.so").unwrap();
+    assert_eq!(process.memory_map().len(), 1);
+    assert!(process.resolve("plugin_entry").is_none());
+}

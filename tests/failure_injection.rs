@@ -1,0 +1,163 @@
+//! Failure-injection integration tests: every error path a production
+//! deployment would hit, exercised end to end.
+
+use capi_appmodel::{LinkTarget, MpiCall, ProgramBuilder};
+use capi_mpisim::{CostModel, MpiError, MpiOp, World};
+use capi_objmodel::{compile, CompileOptions, MemError, PagePerms, Process, PAGE_SIZE};
+use capi_talp::{Talp, TalpConfig, TalpError};
+use capi_workloads::quickstart_app;
+use capi_xray::{IdError, PackedId, MAX_FUNCTION_ID};
+
+#[test]
+fn stale_ic_entries_are_reported_not_fatal() {
+    // An IC naming functions that no longer exist (renamed/inlined since
+    // the spec was written) must not break startup.
+    let wf = capi::Workflow::analyze(quickstart_app(10), CompileOptions::o2()).unwrap();
+    let ic = capi::InstrumentationConfig::from_names([
+        "stencil_kernel",
+        "function_renamed_last_release",
+        "norm_helper", // inlined: symbol gone
+    ]);
+    let session =
+        capi::dynamic_session(&wf.binary, &ic, capi_dyncapi::ToolChoice::None, 2).unwrap();
+    assert_eq!(session.report.patched_functions, 1);
+    assert!(session
+        .report
+        .selected_missing
+        .contains(&"function_renamed_last_release".to_string()));
+    assert!(session.report.selected_missing.contains(&"norm_helper".to_string()));
+    session.run().expect("runs fine with partial IC");
+}
+
+#[test]
+fn collective_mismatch_poisons_the_world() {
+    let w = World::new(2, CostModel::default());
+    let results = w.run(|ctx| {
+        let c = ctx.perform(0, MpiOp::Init)?;
+        if ctx.rank == 0 {
+            ctx.perform(c, MpiOp::Barrier)
+        } else {
+            ctx.perform(c, MpiOp::Bcast { bytes: 4 })
+        }
+    });
+    assert!(results.iter().any(|r| matches!(
+        r,
+        Err(MpiError::CollectiveMismatch { .. }) | Err(MpiError::Poisoned)
+    )));
+    // The world stays poisoned for later operations.
+    assert_eq!(
+        w.collective(0, 0, MpiOp::Barrier),
+        Err(MpiError::Poisoned)
+    );
+}
+
+#[test]
+fn writes_to_protected_pages_fault() {
+    let mut p = Process::launch(std::sync::Arc::new(
+        compile(
+            &{
+                let mut b = ProgramBuilder::new("x");
+                b.unit("m.cc", LinkTarget::Executable);
+                b.function("main").main().statements(20).instructions(600).finish();
+                b.build().unwrap()
+            },
+            &CompileOptions::o2(),
+        )
+        .unwrap()
+        .executable,
+    ))
+    .unwrap();
+    // Code pages are r-x: a direct write is a protection fault.
+    let base = p.memory_map()[0].base;
+    assert!(matches!(
+        p.memory.checked_write(base, 8),
+        Err(MemError::ProtectionFault { .. })
+    ));
+    // After mprotect it works; after restoring it faults again.
+    p.memory.mprotect(base, PAGE_SIZE, PagePerms::RWX).unwrap();
+    p.memory.checked_write(base, 8).unwrap();
+    p.memory.mprotect(base, PAGE_SIZE, PagePerms::RX).unwrap();
+    assert!(p.memory.checked_write(base, 8).is_err());
+}
+
+#[test]
+fn function_id_overflow_is_rejected() {
+    assert_eq!(
+        PackedId::pack(0, MAX_FUNCTION_ID + 1),
+        Err(IdError::FunctionIdOverflow {
+            fid: MAX_FUNCTION_ID + 1
+        })
+    );
+}
+
+#[test]
+fn talp_region_table_exhaustion_is_contained() {
+    use capi_mpisim::PmpiHook;
+    let talp = Talp::new(
+        1,
+        TalpConfig {
+            region_table_capacity: 16,
+            probe_limit: 2,
+        },
+    );
+    talp.on_init(0, 0);
+    let mut ok = 0;
+    let mut full = 0;
+    for i in 0..32 {
+        match talp.region_register(0, &format!("r{i}")) {
+            Ok(h) => {
+                ok += 1;
+                talp.region_start(0, h, i).unwrap();
+                talp.region_stop(0, h, i + 1).unwrap();
+            }
+            Err(TalpError::RegionTableFull { .. }) => full += 1,
+            Err(e) => panic!("unexpected {e}"),
+        }
+    }
+    assert!(ok > 0 && full > 0);
+    assert_eq!(talp.stats().unique_failed_entries, full);
+    // Registered regions still measured correctly (+1: the implicit
+    // Global region opened at MPI_Init).
+    let metrics = talp.all_metrics();
+    assert_eq!(metrics.len(), ok as usize + 1);
+    assert!(metrics
+        .iter()
+        .filter(|m| m.name != "Global")
+        .all(|m| m.useful_per_rank[0] == 1));
+}
+
+#[test]
+fn mpi_stub_without_init_fails_cleanly_through_executor() {
+    // A program whose first MPI op is an Allreduce (missing MPI_Init):
+    // the executor must surface MpiError::NotInitialized.
+    let mut b = ProgramBuilder::new("broken");
+    b.unit("m.cc", LinkTarget::Executable);
+    b.function("main").main().statements(30).instructions(250).calls("MPI_Allreduce", 1).finish();
+    b.function("MPI_Allreduce")
+        .statements(1)
+        .instructions(8)
+        .mpi(MpiCall::Allreduce { bytes: 8 })
+        .finish();
+    let bin = compile(&b.build().unwrap(), &CompileOptions::o2()).unwrap();
+    let session = capi_dyncapi::startup(
+        &bin,
+        capi_dyncapi::DynCapiConfig {
+            ranks: 1,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let err = session.run().expect_err("must fail");
+    assert!(format!("{err}").contains("MPI"));
+}
+
+#[test]
+fn empty_selection_is_valid_and_measures_nothing() {
+    let wf = capi::Workflow::analyze(quickstart_app(5), CompileOptions::o2()).unwrap();
+    let out = wf.select_ic(r#"byName("^no_such_function$", %%)"#).unwrap();
+    assert!(out.ic.is_empty());
+    let m = wf
+        .measure(&out.ic, capi_dyncapi::ToolChoice::Talp(Default::default()), 2)
+        .unwrap();
+    assert_eq!(m.run.run.events, 0);
+}

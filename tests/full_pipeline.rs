@@ -1,0 +1,116 @@
+//! End-to-end pipeline tests on the quickstart miniapp: select →
+//! instrument → measure with both tools, IC format round-trips, and
+//! static/dynamic mode equivalence.
+
+use capi::{dynamic_session, static_session, InstrumentationConfig, Workflow};
+use capi_dyncapi::ToolChoice;
+use capi_objmodel::CompileOptions;
+use capi_scorep::FilterFile;
+use capi_workloads::quickstart_app;
+
+fn workflow() -> Workflow {
+    Workflow::analyze(quickstart_app(40), CompileOptions::o2()).expect("analyze")
+}
+
+const KERNELS_SPEC: &str = r#"
+excluded = join(inSystemHeader(%%), inlineSpecified(%%))
+k = flops(">=", 10, loopDepth(">=", 1, %%))
+subtract(onCallPathTo(%k), %excluded)
+"#;
+
+#[test]
+fn talp_pipeline_produces_pop_metrics() {
+    let wf = workflow();
+    let ic = wf.select_ic(KERNELS_SPEC).expect("select");
+    assert!(ic.ic.contains("stencil_kernel"));
+    let session = dynamic_session(&wf.binary, &ic.ic, ToolChoice::Talp(Default::default()), 4)
+        .expect("session");
+    let out = session.run().expect("run");
+    assert!(out.run.events > 0);
+    let report = session.talp.as_ref().unwrap().final_report().expect("report");
+    let stencil = report
+        .iter()
+        .find(|m| m.name == "stencil_kernel")
+        .expect("stencil region measured");
+    // The stencil kernel has a 25% imbalance; load balance must show it.
+    assert!(stencil.pop.load_balance < 0.99);
+    assert!(stencil.pop.load_balance > 0.5);
+    assert!(stencil.pop.parallel_efficiency <= 1.0);
+    assert_eq!(stencil.ranks, 4);
+}
+
+#[test]
+fn scorep_pipeline_builds_call_tree() {
+    let wf = workflow();
+    let ic = wf.select_ic(KERNELS_SPEC).expect("select");
+    let session = dynamic_session(&wf.binary, &ic.ic, ToolChoice::Scorep(Default::default()), 2)
+        .expect("session");
+    session.run().expect("run");
+    let scorep = session.scorep.as_ref().unwrap();
+    let merged = scorep.merged();
+    assert!(!merged.per_region.is_empty());
+    // stencil_kernel must appear under time_step (call-path structure).
+    let profile = scorep.profile(0);
+    assert!(profile.num_call_paths() >= 3);
+    // No unresolved addresses: the miniapp has no DSOs.
+    assert_eq!(scorep.stats().unresolved_addresses, 0);
+}
+
+#[test]
+fn static_and_dynamic_modes_measure_the_same_events() {
+    let wf = workflow();
+    let ic = wf.select_ic(KERNELS_SPEC).expect("select");
+    let dynamic = dynamic_session(&wf.binary, &ic.ic, ToolChoice::None, 2).expect("dynamic");
+    let stat = static_session(
+        &wf.program,
+        &ic.ic,
+        &CompileOptions::o2(),
+        ToolChoice::None,
+        2,
+    )
+    .expect("static");
+    let d = dynamic.run().expect("dynamic run");
+    let s = stat.session.run().expect("static run");
+    assert_eq!(d.run.events, s.run.events);
+    assert!(stat.recompile_ns > 0, "static mode pays recompilation");
+}
+
+#[test]
+fn ic_survives_all_on_disk_formats() {
+    let wf = workflow();
+    let ic = wf.select_ic(KERNELS_SPEC).expect("select").ic;
+    // Score-P filter file.
+    let filter_text = ic.to_scorep_filter().to_text();
+    let parsed = FilterFile::parse(&filter_text).expect("parse");
+    assert_eq!(InstrumentationConfig::from_scorep_filter(&parsed), ic);
+    // Plain list.
+    assert_eq!(InstrumentationConfig::from_plain_text(&ic.to_plain_text()), ic);
+    // JSON.
+    assert_eq!(InstrumentationConfig::from_json(&ic.to_json()).unwrap(), ic);
+}
+
+#[test]
+fn inactive_sleds_are_near_zero_overhead() {
+    let wf = workflow();
+    let empty = InstrumentationConfig::from_names(Vec::<String>::new());
+    let inactive =
+        dynamic_session(&wf.binary, &empty, ToolChoice::None, 2).expect("inactive session");
+    let out = inactive.run().expect("run");
+    assert_eq!(out.run.events, 0);
+    assert!(out.run.nop_sleds > 0, "sleds exist but stay dormant");
+}
+
+#[test]
+fn compensation_handles_inlined_selection() {
+    let wf = workflow();
+    // norm_helper is tiny (auto-inlined): selecting it directly must
+    // replace it with its caller compute_residual.
+    let out = wf
+        .select_ic(r#"byName("^norm_helper$", %%)"#)
+        .expect("select");
+    assert_eq!(out.compensation.selected_pre, 1);
+    assert_eq!(out.compensation.selected_post, 0);
+    assert_eq!(out.compensation.added_names, vec!["compute_residual".to_string()]);
+    assert!(out.ic.contains("compute_residual"));
+    assert!(!out.ic.contains("norm_helper"));
+}

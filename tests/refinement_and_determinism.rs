@@ -1,0 +1,84 @@
+//! The Fig. 1 refinement loop end to end, plus determinism guarantees of
+//! the virtual-time simulation.
+
+use capi::Workflow;
+use capi_dyncapi::ToolChoice;
+use capi_objmodel::CompileOptions;
+use capi_workloads::{openfoam, quickstart_app, OpenFoamParams, PAPER_SPECS};
+
+#[test]
+fn refinement_never_recompiles_and_shrinks_measurement() {
+    let wf = Workflow::analyze(quickstart_app(30), CompileOptions::o2()).unwrap();
+    let spec = r#"
+k = flops(">=", 10, loopDepth(">=", 1, %%))
+onCallPathTo(%k)
+"#;
+    let mut ic = wf.select_ic(spec).unwrap().ic;
+    let m1 = wf.measure(&ic, ToolChoice::Talp(Default::default()), 2).unwrap();
+    // Adjust: the user decides cell_update is too noisy.
+    assert!(ic.remove("cell_update"));
+    let m2 = wf.measure(&ic, ToolChoice::Talp(Default::default()), 2).unwrap();
+    assert!(m2.run.run.events < m1.run.run.events);
+    // Dynamic turnaround is orders of magnitude below static.
+    assert!(m2.dynamic_turnaround_ns * 100 < m2.static_turnaround_ns);
+    // And the one compiled binary served both iterations.
+    assert!(wf.binary.has_symbol("cell_update"));
+}
+
+#[test]
+fn selection_is_deterministic_across_runs() {
+    let p1 = openfoam(&OpenFoamParams {
+        scale: 4_000,
+        ..Default::default()
+    });
+    let p2 = openfoam(&OpenFoamParams {
+        scale: 4_000,
+        ..Default::default()
+    });
+    let wf1 = Workflow::analyze(p1, CompileOptions::o2()).unwrap();
+    let wf2 = Workflow::analyze(p2, CompileOptions::o2()).unwrap();
+    for spec in PAPER_SPECS {
+        let a = wf1.select_ic(spec.source).unwrap();
+        let b = wf2.select_ic(spec.source).unwrap();
+        assert_eq!(a.ic, b.ic, "spec {} must select identically", spec.name);
+        assert_eq!(a.compensation.added, b.compensation.added);
+    }
+}
+
+#[test]
+fn measured_virtual_times_are_deterministic() {
+    let wf = Workflow::analyze(quickstart_app(25), CompileOptions::o2()).unwrap();
+    let ic = wf.select_ic(r#"byName("stencil", %%)"#).unwrap().ic;
+    let runs: Vec<_> = (0..3)
+        .map(|_| {
+            wf.measure(&ic, ToolChoice::Talp(Default::default()), 4)
+                .unwrap()
+        })
+        .collect();
+    // Virtual clocks are exact across repetitions despite real threads.
+    assert_eq!(runs[0].run.run.per_rank_ns, runs[1].run.run.per_rank_ns);
+    assert_eq!(runs[1].run.run.per_rank_ns, runs[2].run.run.per_rank_ns);
+    assert_eq!(runs[0].run.run.events, runs[2].run.run.events);
+}
+
+#[test]
+fn coarse_variants_are_subsets_in_cost_not_behavior() {
+    let wf = Workflow::analyze(
+        openfoam(&OpenFoamParams {
+            scale: 4_000,
+            ..Default::default()
+        }),
+        CompileOptions::o2(),
+    )
+    .unwrap();
+    let plain = wf.select_ic(PAPER_SPECS[0].source).unwrap();
+    let coarse = wf.select_ic(PAPER_SPECS[1].source).unwrap();
+    let m_plain = wf
+        .measure(&plain.ic, ToolChoice::Talp(Default::default()), 2)
+        .unwrap();
+    let m_coarse = wf
+        .measure(&coarse.ic, ToolChoice::Talp(Default::default()), 2)
+        .unwrap();
+    assert!(m_coarse.run.run.events <= m_plain.run.run.events);
+    assert!(m_coarse.run.total_ns <= m_plain.run.total_ns);
+}
