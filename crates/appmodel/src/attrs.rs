@@ -118,8 +118,10 @@ mod tests {
 
     #[test]
     fn hidden_and_internal_are_unresolvable() {
-        let mut a = FunctionAttrs::default();
-        a.visibility = Visibility::Hidden;
+        let mut a = FunctionAttrs {
+            visibility: Visibility::Hidden,
+            ..Default::default()
+        };
         assert!(!a.resolvable_symbol());
         a.visibility = Visibility::Internal;
         assert!(!a.resolvable_symbol());

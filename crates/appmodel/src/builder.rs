@@ -6,7 +6,9 @@
 
 use crate::attrs::{FunctionAttrs, FunctionKind, Visibility};
 use crate::behavior::{Behavior, MpiCall};
-use crate::program::{CallSite, CalleeRef, LinkTarget, SourceFunction, SourceProgram, TranslationUnit};
+use crate::program::{
+    CallSite, CalleeRef, LinkTarget, SourceFunction, SourceProgram, TranslationUnit,
+};
 use crate::validate::{validate, ValidationError};
 
 /// Builder for a whole program.

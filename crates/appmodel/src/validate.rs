@@ -141,7 +141,10 @@ mod tests {
         let mut b = ProgramBuilder::new("t");
         b.unit("t.cc", LinkTarget::Executable);
         b.function("helper").finish();
-        assert_eq!(validate(&b.build_unchecked()), Err(ValidationError::NoEntryPoint));
+        assert_eq!(
+            validate(&b.build_unchecked()),
+            Err(ValidationError::NoEntryPoint)
+        );
     }
 
     #[test]
@@ -160,7 +163,10 @@ mod tests {
     fn empty_virtual_site_detected() {
         let mut b = ProgramBuilder::new("t");
         b.unit("t.cc", LinkTarget::Executable);
-        b.function("main").main().calls_virtual("v", &[], 1).finish();
+        b.function("main")
+            .main()
+            .calls_virtual("v", &[], 1)
+            .finish();
         match validate(&b.build_unchecked()) {
             Err(ValidationError::EmptyVirtualSite { caller }) => assert_eq!(caller, "main"),
             other => panic!("expected empty virtual site, got {other:?}"),

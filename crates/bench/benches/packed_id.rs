@@ -6,7 +6,11 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn bench_packed_id(c: &mut Criterion) {
     let ids: Vec<u32> = (0..4096u32)
-        .map(|i| PackedId::pack((i % 250) as u8, i * 37 % (1 << 24)).unwrap().raw())
+        .map(|i| {
+            PackedId::pack((i % 250) as u8, i * 37 % (1 << 24))
+                .unwrap()
+                .raw()
+        })
         .collect();
     let pairs: Vec<(u8, u32)> = ids
         .iter()
@@ -40,7 +44,9 @@ fn bench_packed_id(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0u64;
             for i in 0..4096u32 {
-                acc += PackedId::pack((i % 250) as u8, i % (1 << 24)).unwrap().raw() as u64;
+                acc += PackedId::pack((i % 250) as u8, i % (1 << 24))
+                    .unwrap()
+                    .raw() as u64;
             }
             acc
         })

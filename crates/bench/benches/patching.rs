@@ -2,8 +2,8 @@
 //! one mprotect pair) vs per-function patching, plus DSO registration.
 
 use capi_bench::setup_openfoam;
-use capi_xray::{instrument_object, PackedId, PassOptions, TrampolineSet, XRayRuntime};
 use capi_objmodel::Process;
+use capi_xray::{instrument_object, PackedId, PassOptions, TrampolineSet, XRayRuntime};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_patching(c: &mut Criterion) {
@@ -17,8 +17,10 @@ fn bench_patching(c: &mut Criterion) {
         b.iter(|| {
             let process = Process::launch_binary(binary).expect("launch");
             let runtime = XRayRuntime::new();
-            let inst =
-                instrument_object(process.object(0).unwrap().image.clone(), &PassOptions::instrument_all());
+            let inst = instrument_object(
+                process.object(0).unwrap().image.clone(),
+                &PassOptions::instrument_all(),
+            );
             runtime
                 .register_main(inst, process.object(0).unwrap(), TrampolineSet::absolute())
                 .expect("register main");
@@ -44,7 +46,11 @@ fn bench_patching(c: &mut Criterion) {
             &PassOptions::instrument_all(),
         );
         runtime
-            .register_main(inst.clone(), process.object(0).unwrap(), TrampolineSet::absolute())
+            .register_main(
+                inst.clone(),
+                process.object(0).unwrap(),
+                TrampolineSet::absolute(),
+            )
             .expect("register");
         let fids: Vec<u32> = inst.sleds.entries.iter().map(|e| e.fid).collect();
         let _ = &mut process;
@@ -66,7 +72,9 @@ fn bench_patching(c: &mut Criterion) {
                 let mut n = 0;
                 for fid in fids {
                     let id = PackedId::pack(0, fid).expect("fits");
-                    n += runtime.patch_function(&mut process.memory, id).expect("patch");
+                    n += runtime
+                        .patch_function(&mut process.memory, id)
+                        .expect("patch");
                 }
                 n
             },

@@ -7,8 +7,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_selection(c: &mut Criterion) {
     let modules = ModuleRegistry::with_builtins();
-    let lulesh_graph =
-        capi_metacg::whole_program_callgraph(&lulesh(&LuleshParams::default()));
+    let lulesh_graph = capi_metacg::whole_program_callgraph(&lulesh(&LuleshParams::default()));
     let openfoam_graph = capi_metacg::whole_program_callgraph(&openfoam(&OpenFoamParams {
         scale: 20_000,
         ..Default::default()
@@ -17,13 +16,9 @@ fn bench_selection(c: &mut Criterion) {
     let mut group = c.benchmark_group("selection");
     group.sample_size(10);
     for spec in PAPER_SPECS {
-        group.bench_with_input(
-            BenchmarkId::new("lulesh", spec.name),
-            &spec,
-            |b, spec| {
-                b.iter(|| select(spec.source, &lulesh_graph, &modules).expect("selects"));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("lulesh", spec.name), &spec, |b, spec| {
+            b.iter(|| select(spec.source, &lulesh_graph, &modules).expect("selects"));
+        });
         group.bench_with_input(
             BenchmarkId::new("openfoam20k", spec.name),
             &spec,

@@ -127,7 +127,9 @@ fn main() {
     let openfoam = setup_openfoam(openfoam_scale_from_env());
     run_workload(&openfoam, ranks);
     println!("paper reference:");
-    println!("  lulesh:   vanilla 34.01 | TALP full 56.89 | Score-P full 60.62 | filtered ≈ vanilla");
+    println!(
+        "  lulesh:   vanilla 34.01 | TALP full 56.89 | Score-P full 60.62 | filtered ≈ vanilla"
+    );
     println!("  openfoam: vanilla 45.30 | TALP full 170.53 (x3.76) | Score-P full 305.34 (x6.7)");
     println!("            TALP mpi 90.91 / coarse 81.06 | Score-P mpi 72.79 / coarse 71.86");
     println!("            kernels ≈ 53 for both tools");

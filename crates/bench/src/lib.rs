@@ -51,18 +51,26 @@ pub fn setup_openfoam(scale: usize) -> WorkloadSetup {
 }
 
 /// OpenFOAM scale taken from `CAPI_OF_SCALE` (default 60,000).
+///
+/// Unparseable or zero values fall back to the default; a zero-node
+/// graph would make every downstream stage degenerate.
 pub fn openfoam_scale_from_env() -> usize {
     std::env::var("CAPI_OF_SCALE")
         .ok()
         .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
         .unwrap_or(60_000)
 }
 
 /// Rank count taken from `CAPI_RANKS` (default 8).
+///
+/// Unparseable or zero values fall back to the default; the simulated
+/// `MPI_COMM_WORLD` needs at least one rank.
 pub fn ranks_from_env() -> u32 {
     std::env::var("CAPI_RANKS")
         .ok()
         .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
         .unwrap_or(8)
 }
 

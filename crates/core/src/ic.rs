@@ -26,10 +26,7 @@ impl InstrumentationConfig {
     /// Builds an IC from a selection over a call graph.
     pub fn from_selection(graph: &CallGraph, set: &NodeSet) -> Self {
         Self {
-            names: set
-                .iter()
-                .map(|id| graph.node(id).name.clone())
-                .collect(),
+            names: set.iter().map(|id| graph.node(id).name.clone()).collect(),
             ids: Vec::new(),
         }
     }
@@ -132,7 +129,12 @@ impl InstrumentationConfig {
         let ids = doc
             .get("packedIds")
             .and_then(Value::as_array)
-            .map(|a| a.iter().filter_map(Value::as_u64).map(|v| v as u32).collect())
+            .map(|a| {
+                a.iter()
+                    .filter_map(Value::as_u64)
+                    .map(|v| v as u32)
+                    .collect()
+            })
             .unwrap_or_default();
         Some(Self { names, ids })
     }

@@ -99,9 +99,15 @@ mod tests {
             .calls("wrapper", 1)
             .calls("chain_a", 1)
             .finish();
-        b.function("wrapper").statements(50).calls("tiny_kernel", 10).finish();
+        b.function("wrapper")
+            .statements(50)
+            .calls("tiny_kernel", 10)
+            .finish();
         b.function("tiny_kernel").statements(2).flops(64).finish(); // auto-inlined
-        b.function("chain_a").statements(3).calls("chain_b", 1).finish(); // inlined
+        b.function("chain_a")
+            .statements(3)
+            .calls("chain_b", 1)
+            .finish(); // inlined
         b.function("chain_b").statements(3).calls("big", 1).finish(); // inlined
         b.function("big").statements(90).flops(256).finish();
         b.build().unwrap()
@@ -175,7 +181,7 @@ mod tests {
         let (out, report) = compensate_inlining(&g, &bin, &sel);
         assert_eq!(report.selected_pre, 3);
         assert_eq!(report.selected_post, 1); // big survives
-        // tiny_kernel → wrapper; chain_a → main.
+                                             // tiny_kernel → wrapper; chain_a → main.
         assert_eq!(report.added, 2);
         assert_eq!(out.count(), report.selected_post + report.added);
     }

@@ -126,10 +126,28 @@ mod tests {
             .calls("helper", 3)
             .calls("MPI_Finalize", 1)
             .finish();
-        b.function("kernel").statements(80).instructions(600).cost(5_000).finish();
-        b.function("helper").statements(70).instructions(500).cost(1_000).finish();
-        b.function("MPI_Init").statements(1).instructions(8).cost(0).mpi(MpiCall::Init).finish();
-        b.function("MPI_Finalize").statements(1).instructions(8).cost(0).mpi(MpiCall::Finalize).finish();
+        b.function("kernel")
+            .statements(80)
+            .instructions(600)
+            .cost(5_000)
+            .finish();
+        b.function("helper")
+            .statements(70)
+            .instructions(500)
+            .cost(1_000)
+            .finish();
+        b.function("MPI_Init")
+            .statements(1)
+            .instructions(8)
+            .cost(0)
+            .mpi(MpiCall::Init)
+            .finish();
+        b.function("MPI_Finalize")
+            .statements(1)
+            .instructions(8)
+            .cost(0)
+            .mpi(MpiCall::Finalize)
+            .finish();
         b.build().unwrap()
     }
 

@@ -98,7 +98,10 @@ impl From<DynCapiError> for WorkflowError {
 impl Workflow {
     /// Runs the preparation phase: MetaCG call-graph construction and
     /// one (single!) compilation of the target.
-    pub fn analyze(program: SourceProgram, compile_opts: CompileOptions) -> Result<Self, WorkflowError> {
+    pub fn analyze(
+        program: SourceProgram,
+        compile_opts: CompileOptions,
+    ) -> Result<Self, WorkflowError> {
         let graph = whole_program_callgraph(&program);
         let binary = compile(&program, &compile_opts)?;
         Ok(Self {
@@ -190,13 +193,30 @@ mod tests {
             .loop_depth(2)
             .finish();
         // tiny is auto-inlined: selecting it exercises compensation.
-        b.function("tiny").statements(2).flops(32).loop_depth(1).cost(50).finish();
-        b.function("MPI_Init").statements(1).instructions(8).cost(0).mpi(MpiCall::Init).finish();
+        b.function("tiny")
+            .statements(2)
+            .flops(32)
+            .loop_depth(1)
+            .cost(50)
+            .finish();
+        b.function("MPI_Init")
+            .statements(1)
+            .instructions(8)
+            .cost(0)
+            .mpi(MpiCall::Init)
+            .finish();
         b.function("MPI_Allreduce")
-            .statements(1).instructions(8).cost(0)
+            .statements(1)
+            .instructions(8)
+            .cost(0)
             .mpi(MpiCall::Allreduce { bytes: 16 })
             .finish();
-        b.function("MPI_Finalize").statements(1).instructions(8).cost(0).mpi(MpiCall::Finalize).finish();
+        b.function("MPI_Finalize")
+            .statements(1)
+            .instructions(8)
+            .cost(0)
+            .mpi(MpiCall::Finalize)
+            .finish();
         b.build().unwrap()
     }
 
@@ -230,7 +250,9 @@ mod tests {
     fn talp_measurement_through_workflow() {
         let wf = Workflow::analyze(program(), CompileOptions::o2()).unwrap();
         let ic = wf.select_ic(r#"byName("^kernel$", %%)"#).unwrap();
-        let m = wf.measure(&ic.ic, ToolChoice::Talp(Default::default()), 2).unwrap();
+        let m = wf
+            .measure(&ic.ic, ToolChoice::Talp(Default::default()), 2)
+            .unwrap();
         assert!(m.run.run.events > 0);
     }
 

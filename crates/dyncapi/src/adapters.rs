@@ -63,8 +63,10 @@ impl Handler for ScorepAdapter {
 enum RegionState {
     /// Not yet attempted.
     Unregistered,
-    /// Registered; holds the DLB handle.
-    Registered(RegionHandle),
+    /// Registered; holds the DLB handle plus the ranks that already
+    /// paid their one-time binding cost (a tiny linear-scan list —
+    /// simulated worlds run a handful of ranks).
+    Registered(RegionHandle, Vec<u32>),
     /// Registration failed permanently (region table refused the name).
     FailedTable,
 }
@@ -99,7 +101,8 @@ pub struct TalpAdapter {
     events_dropped: AtomicU64,
     /// Virtual per-event cost: map lookup + start/stop accounting.
     pub event_cost_ns: u64,
-    /// Extra virtual cost of a (first-entry) region registration.
+    /// Extra virtual cost of a rank's first use of a region
+    /// (registration or local binding of the shared entry).
     pub registration_cost_ns: u64,
 }
 
@@ -132,7 +135,7 @@ impl TalpAdapter {
         };
         for st in regions.values() {
             match st {
-                RegionState::Registered(_) => s.regions_registered += 1,
+                RegionState::Registered(..) => s.regions_registered += 1,
                 RegionState::FailedTable => s.regions_failed_table += 1,
                 RegionState::Unregistered => {}
             }
@@ -141,12 +144,18 @@ impl TalpAdapter {
     }
 
     fn handle_for(&self, event: &Event) -> Option<(RegionHandle, u64)> {
-        let mut extra = 0;
         let mut regions = self.regions.lock();
-        let state = regions
-            .entry(event.id)
-            .or_insert(RegionState::Unregistered);
-        if let RegionState::Registered(h) = state {
+        let state = regions.entry(event.id).or_insert(RegionState::Unregistered);
+        if let RegionState::Registered(h, bound) = state {
+            // Each rank pays the binding cost on its *own* first use of
+            // the region — never "whichever thread registered first" —
+            // so virtual clocks stay deterministic under real threads.
+            let extra = if bound.contains(&event.rank) {
+                0
+            } else {
+                bound.push(event.rank);
+                self.registration_cost_ns
+            };
             return Some((*h, extra));
         }
         if matches!(state, RegionState::FailedTable) {
@@ -154,11 +163,10 @@ impl TalpAdapter {
         }
         // First use: try to register.
         let name = self.names.get(&event.id)?;
-        extra += self.registration_cost_ns;
         match self.talp.region_register(event.rank, name) {
             Ok(h) => {
-                *state = RegionState::Registered(h);
-                Some((h, extra))
+                *state = RegionState::Registered(h, vec![event.rank]);
+                Some((h, self.registration_cost_ns))
             }
             Err(TalpError::MpiNotInitialized { .. }) => {
                 // Not recorded now; may succeed on a later entry.
@@ -181,9 +189,7 @@ impl Handler for TalpAdapter {
             Some((handle, extra)) => {
                 cost += extra;
                 let r = match event.kind {
-                    EventKind::Entry => {
-                        self.talp.region_start(event.rank, handle, event.tsc)
-                    }
+                    EventKind::Entry => self.talp.region_start(event.rank, handle, event.tsc),
                     EventKind::Exit | EventKind::TailExit => {
                         self.talp.region_stop(event.rank, handle, event.tsc)
                     }
@@ -286,10 +292,7 @@ mod tests {
         let stats = adapter.stats();
         assert!(stats.regions_failed_table > 0);
         assert!(stats.regions_registered > 0);
-        assert_eq!(
-            stats.regions_registered + stats.regions_failed_table,
-            16
-        );
+        assert_eq!(stats.regions_registered + stats.regions_failed_table, 16);
     }
 
     #[test]

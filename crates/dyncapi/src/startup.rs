@@ -209,7 +209,11 @@ pub fn startup(binary: &Binary, config: DynCapiConfig) -> Result<Session, DynCap
         TrampolineSet::absolute(),
     )?;
     instrumented.push((main_id, main_inst));
-    let dso_indices: Vec<usize> = process.loaded().map(|(i, _)| i).filter(|&i| i != 0).collect();
+    let dso_indices: Vec<usize> = process
+        .loaded()
+        .map(|(i, _)| i)
+        .filter(|&i| i != 0)
+        .collect();
     for pi in dso_indices {
         let lo = process.object(pi).unwrap();
         let inst = instrument_object(lo.image.clone(), &config.pass);
@@ -219,7 +223,10 @@ pub fn startup(binary: &Binary, config: DynCapiConfig) -> Result<Session, DynCap
         report.init_ns += config.init_costs.per_dso_registration_ns;
     }
 
-    report.total_sleds = instrumented.iter().map(|(_, i)| i.sleds.total_sleds()).sum();
+    report.total_sleds = instrumented
+        .iter()
+        .map(|(_, i)| i.sleds.total_sleds())
+        .sum();
     report.instrumented_functions = instrumented
         .iter()
         .map(|(_, i)| i.sleds.num_functions())
@@ -398,12 +405,24 @@ mod tests {
             .calls("solve", 2)
             .calls("MPI_Allreduce", 1)
             .finish();
-        b.function("MPI_Init").statements(1).instructions(8).cost(0).mpi(MpiCall::Init).finish();
+        b.function("MPI_Init")
+            .statements(1)
+            .instructions(8)
+            .cost(0)
+            .mpi(MpiCall::Init)
+            .finish();
         b.function("MPI_Allreduce")
-            .statements(1).instructions(8).cost(0)
+            .statements(1)
+            .instructions(8)
+            .cost(0)
             .mpi(MpiCall::Allreduce { bytes: 8 })
             .finish();
-        b.function("MPI_Finalize").statements(1).instructions(8).cost(0).mpi(MpiCall::Finalize).finish();
+        b.function("MPI_Finalize")
+            .statements(1)
+            .instructions(8)
+            .cost(0)
+            .mpi(MpiCall::Finalize)
+            .finish();
         b.unit("s.cc", LinkTarget::Dso("libsolver.so".into()));
         b.function("solve")
             .statements(70)
@@ -413,7 +432,12 @@ mod tests {
             .loop_depth(2)
             .calls("Amul", 50)
             .finish();
-        b.function("Amul").statements(90).instructions(1200).cost(3_000).loop_depth(3).finish();
+        b.function("Amul")
+            .statements(90)
+            .instructions(1200)
+            .cost(3_000)
+            .loop_depth(3)
+            .finish();
         b.function("hidden_helper")
             .statements(60)
             .instructions(400)
@@ -453,7 +477,10 @@ mod tests {
             ..Default::default()
         };
         let s = startup(&bin, cfg).unwrap();
-        assert_eq!(s.report.selected_missing, vec!["ghost_inlined_fn".to_string()]);
+        assert_eq!(
+            s.report.selected_missing,
+            vec!["ghost_inlined_fn".to_string()]
+        );
     }
 
     #[test]

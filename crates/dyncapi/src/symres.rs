@@ -116,7 +116,10 @@ mod tests {
             .calls("visible_fn", 1)
             .calls("hidden_fn", 1)
             .finish();
-        b.function("visible_fn").statements(60).instructions(400).finish();
+        b.function("visible_fn")
+            .statements(60)
+            .instructions(400)
+            .finish();
         b.function("hidden_fn")
             .statements(60)
             .instructions(400)
@@ -147,21 +150,16 @@ mod tests {
     #[test]
     fn visible_symbols_resolve() {
         let (process, runtime, objs) = build();
-        let refs: Vec<(u8, &InstrumentedObject)> =
-            objs.iter().map(|(id, o)| (*id, o)).collect();
+        let refs: Vec<(u8, &InstrumentedObject)> = objs.iter().map(|(id, o)| (*id, o)).collect();
         let res = resolve_ids(&process, &runtime, &refs);
-        assert!(res
-            .names
-            .values()
-            .any(|n| n == "visible_fn"));
+        assert!(res.names.values().any(|n| n == "visible_fn"));
         assert!(res.names.values().any(|n| n == "main"));
     }
 
     #[test]
     fn hidden_symbols_are_unresolvable_and_counted() {
         let (process, runtime, objs) = build();
-        let refs: Vec<(u8, &InstrumentedObject)> =
-            objs.iter().map(|(id, o)| (*id, o)).collect();
+        let refs: Vec<(u8, &InstrumentedObject)> = objs.iter().map(|(id, o)| (*id, o)).collect();
         let res = resolve_ids(&process, &runtime, &refs);
         assert!(!res.names.values().any(|n| n == "hidden_fn"));
         // hidden_fn + the static initializer.
@@ -173,8 +171,7 @@ mod tests {
     #[test]
     fn name_lookup_by_packed_id() {
         let (process, runtime, objs) = build();
-        let refs: Vec<(u8, &InstrumentedObject)> =
-            objs.iter().map(|(id, o)| (*id, o)).collect();
+        let refs: Vec<(u8, &InstrumentedObject)> = objs.iter().map(|(id, o)| (*id, o)).collect();
         let res = resolve_ids(&process, &runtime, &refs);
         let inst = &objs[0].1;
         let fi = inst.image.function_index("visible_fn").unwrap();

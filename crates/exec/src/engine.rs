@@ -173,14 +173,12 @@ impl<'p> Engine<'p> {
                 for s in &f.call_sites {
                     let mut targets = Vec::with_capacity(s.targets.len());
                     for t in &s.targets {
-                        let key =
-                            by_name
-                                .get(t.as_str())
-                                .copied()
-                                .ok_or_else(|| ExecError::UnresolvedCall {
-                                    caller: f.name.clone(),
-                                    callee: t.clone(),
-                                })?;
+                        let key = by_name.get(t.as_str()).copied().ok_or_else(|| {
+                            ExecError::UnresolvedCall {
+                                caller: f.name.clone(),
+                                callee: t.clone(),
+                            }
+                        })?;
                         targets.push(key);
                     }
                     sites.push(RSite {
@@ -289,12 +287,11 @@ fn compute_quiet(funcs: &[Vec<RFunc>]) -> Vec<Vec<bool>> {
                         continue;
                     }
                     let rf = &funcs[o][f];
-                    let own_loud =
-                        rf.mpi.is_some() || matches!(rf.sled, Some((_, true)));
+                    let own_loud = rf.mpi.is_some() || matches!(rf.sled, Some((_, true)));
                     let child_loud = rf.sites.iter().any(|s| {
-                        s.targets.iter().any(|t| {
-                            state[t.obj as usize][t.func as usize] != State::Quiet
-                        })
+                        s.targets
+                            .iter()
+                            .any(|t| state[t.obj as usize][t.func as usize] != State::Quiet)
                     });
                     state[o][f] = if own_loud || child_loud {
                         State::Loud
@@ -426,8 +423,7 @@ impl RankRun<'_, '_> {
                 continue;
             }
             for trip in 0..trips {
-                let target =
-                    self.engine.funcs[o][f].sites[si].targets[(trip as usize) % n_targets];
+                let target = self.engine.funcs[o][f].sites[si].targets[(trip as usize) % n_targets];
                 let (to, tf) = (target.obj as usize, target.func as usize);
                 if self.engine.quiet[to][tf] {
                     // Fast path: whole remaining trips of a single quiet
@@ -508,14 +504,24 @@ mod tests {
             .imbalance(20)
             .loop_depth(2)
             .finish();
-        b.function("MPI_Init").statements(1).instructions(10).cost(0).mpi(MpiCall::Init).finish();
+        b.function("MPI_Init")
+            .statements(1)
+            .instructions(10)
+            .cost(0)
+            .mpi(MpiCall::Init)
+            .finish();
         b.function("MPI_Allreduce")
             .statements(1)
             .instructions(10)
             .cost(0)
             .mpi(MpiCall::Allreduce { bytes: 64 })
             .finish();
-        b.function("MPI_Finalize").statements(1).instructions(10).cost(0).mpi(MpiCall::Finalize).finish();
+        b.function("MPI_Finalize")
+            .statements(1)
+            .instructions(10)
+            .cost(0)
+            .mpi(MpiCall::Finalize)
+            .finish();
         let p = b.build().unwrap();
         let bin = compile(&p, &CompileOptions::o2()).unwrap();
         let mut process = Process::launch_binary(&bin).unwrap();
@@ -563,8 +569,7 @@ mod tests {
         let inactive = run(&setup(true, &[]), 4);
         assert_eq!(inactive.events, 0);
         assert!(inactive.nop_sleds > 0);
-        let overhead =
-            inactive.total_ns as f64 / vanilla.total_ns as f64 - 1.0;
+        let overhead = inactive.total_ns as f64 / vanilla.total_ns as f64 - 1.0;
         assert!(
             overhead < 0.01,
             "dormant sleds must be near-zero overhead, got {overhead:.4}"
@@ -627,7 +632,10 @@ mod tests {
         let inactive = run(&s, 1);
         let slack = inactive.total_ns - vanilla.total_ns;
         // Slack is exactly the NOP sled cost.
-        assert_eq!(slack, inactive.nop_sleds * OverheadModel::default().unpatched_sled_ns);
+        assert_eq!(
+            slack,
+            inactive.nop_sleds * OverheadModel::default().unpatched_sled_ns
+        );
     }
 
     #[test]

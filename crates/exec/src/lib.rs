@@ -26,4 +26,4 @@
 
 pub mod engine;
 
-pub use engine::{ExecError, Engine, OverheadModel, RunReport};
+pub use engine::{Engine, ExecError, OverheadModel, RunReport};

@@ -105,7 +105,10 @@ mod tests {
         b.function("lib_entry")
             .calls_virtual("Base::go", &["DerivedA::go", "DerivedB::go"], 3)
             .finish();
-        b.function("DerivedA::go").virtual_method().flops(50).finish();
+        b.function("DerivedA::go")
+            .virtual_method()
+            .flops(50)
+            .finish();
         b.function("DerivedB::go")
             .virtual_method()
             .visibility(Visibility::Hidden)
@@ -143,10 +146,7 @@ mod tests {
         let b = g.node_id("DerivedB::go").unwrap();
         assert!(g.has_edge(lib, a));
         assert!(g.has_edge(lib, b));
-        assert!(g
-            .callees(lib)
-            .iter()
-            .all(|&(_, k)| k == EdgeKind::Virtual));
+        assert!(g.callees(lib).iter().all(|&(_, k)| k == EdgeKind::Virtual));
     }
 
     #[test]

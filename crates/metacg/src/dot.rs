@@ -23,10 +23,7 @@ pub fn to_dot(g: &CallGraph, opts: &DotOptions) -> String {
         if opts.definitions_only && !node.has_body {
             continue;
         }
-        let highlighted = opts
-            .highlight
-            .as_ref()
-            .is_some_and(|h| h.contains(id));
+        let highlighted = opts.highlight.as_ref().is_some_and(|h| h.contains(id));
         let style = if highlighted {
             ", style=filled, fillcolor=\"#ffcc66\""
         } else if !node.has_body {

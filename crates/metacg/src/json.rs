@@ -184,11 +184,7 @@ pub fn from_json(doc: &Value) -> Result<CallGraph, JsonError> {
                     .and_then(Value::as_bool)
                     .unwrap_or(false),
                 kind: kind_from(meta.get("kind").and_then(Value::as_str).unwrap_or("")),
-                visibility: vis_from(
-                    meta.get("visibility")
-                        .and_then(Value::as_str)
-                        .unwrap_or(""),
-                ),
+                visibility: vis_from(meta.get("visibility").and_then(Value::as_str).unwrap_or("")),
                 system_header: meta
                     .get("fileProperties")
                     .and_then(|fp| fp.get("systemInclude"))

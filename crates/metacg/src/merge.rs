@@ -27,11 +27,7 @@ pub fn merge(mut acc: CallGraph, local: &CallGraph) -> CallGraph {
     for site in &local.unresolved_sites {
         let mapped = UnresolvedPointerSite {
             caller: id_map[site.caller.index()],
-            candidates: site
-                .candidates
-                .iter()
-                .map(|c| id_map[c.index()])
-                .collect(),
+            candidates: site.candidates.iter().map(|c| id_map[c.index()]).collect(),
         };
         if !acc.unresolved_sites.contains(&mapped) {
             acc.unresolved_sites.push(mapped);

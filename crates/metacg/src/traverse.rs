@@ -136,11 +136,7 @@ impl Topo {
         }
         // Tarjan emits components callees-first; reversing yields
         // callers-first.
-        let order = comps
-            .iter()
-            .rev()
-            .flat_map(|c| c.iter().copied())
-            .collect();
+        let order = comps.iter().rev().flat_map(|c| c.iter().copied()).collect();
         Topo { order, component }
     }
 }

@@ -82,7 +82,8 @@ impl World {
         assert!(size > 0, "world needs at least one rank");
         let n = size as usize;
         let mut tx: Vec<Vec<Sender<Msg>>> = (0..n).map(|_| Vec::with_capacity(n)).collect();
-        let mut rx: Vec<Vec<Option<Receiver<Msg>>>> = (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+        let mut rx: Vec<Vec<Option<Receiver<Msg>>>> =
+            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
         for (src, tx_row) in tx.iter_mut().enumerate() {
             for rx_row in rx.iter_mut() {
                 let (s, r) = unbounded();
@@ -281,10 +282,7 @@ impl World {
 
     /// Runs `f` once per rank, each on its own thread, and returns the
     /// results in rank order. This is the `mpirun` equivalent.
-    pub fn run<R: Send>(
-        self: &Arc<Self>,
-        f: impl Fn(RankCtx) -> R + Send + Sync,
-    ) -> Vec<R> {
+    pub fn run<R: Send>(self: &Arc<Self>, f: impl Fn(RankCtx) -> R + Send + Sync) -> Vec<R> {
         let mut out: Vec<Option<R>> = (0..self.size).map(|_| None).collect();
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
@@ -328,8 +326,7 @@ mod tests {
         let outs = w.run(|ctx| {
             let start = (ctx.rank as u64 + 1) * 1_000; // rank 3 slowest
             let c = ctx.perform(0, MpiOp::Init).unwrap();
-            let c = ctx.perform(c + start, MpiOp::Barrier).unwrap();
-            c
+            ctx.perform(c + start, MpiOp::Barrier).unwrap()
         });
         // All ranks leave the barrier at the same virtual time.
         assert!(outs.windows(2).all(|w| w[0] == w[1]));

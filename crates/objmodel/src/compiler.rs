@@ -21,9 +21,7 @@
 //! body cost is merged, so the executor sees exactly the calls a real
 //! optimized binary would make.
 
-use crate::object::{
-    Binary, CompiledCallSite, CompiledFunction, DispatchKind, Object, ObjectKind,
-};
+use crate::object::{Binary, CompiledCallSite, CompiledFunction, DispatchKind, Object, ObjectKind};
 use crate::symbols::{SymKind, Symbol, SymbolTable};
 use capi_appmodel::{CalleeRef, FunctionKind, LinkTarget, SourceFunction, SourceProgram, Sym};
 use std::collections::HashMap;
@@ -134,7 +132,8 @@ pub fn compile(program: &SourceProgram, opts: &CompileOptions) -> Result<Binary,
 
     // Dense indexing over all functions.
     let funcs: Vec<&SourceFunction> = program.iter_functions().collect();
-    let index_of: HashMap<Sym, usize> = funcs.iter().enumerate().map(|(i, f)| (f.name, i)).collect();
+    let index_of: HashMap<Sym, usize> =
+        funcs.iter().enumerate().map(|(i, f)| (f.name, i)).collect();
     for f in &funcs {
         for site in &f.call_sites {
             for target in all_targets(&site.callee) {
@@ -162,14 +161,11 @@ pub fn compile(program: &SourceProgram, opts: &CompileOptions) -> Result<Binary,
         .iter()
         .enumerate()
         .map(|(i, f)| {
-            if opts
-                .never_inline
-                .contains(program.interner.resolve(f.name))
-            {
-                return InlineClass::NotInlined;
+            if opts.never_inline.contains(program.interner.resolve(f.name)) {
+                return InlineClass::Emitted;
             }
             match classify(f, recursive[i], opts) {
-                InlineClass::AutoInlined if !called_directly[i] => InlineClass::NotInlined,
+                InlineClass::FoldedDropSymbol if !called_directly[i] => InlineClass::Emitted,
                 c => c,
             }
         })
@@ -184,11 +180,12 @@ pub fn compile(program: &SourceProgram, opts: &CompileOptions) -> Result<Binary,
     // Partition emitted functions by object.
     let exe_name = program.name.clone();
     let mut per_object: HashMap<String, Vec<CompiledFunction>> = HashMap::new();
-    let mut object_order: Vec<(String, ObjectKind)> = vec![(exe_name.clone(), ObjectKind::Executable)];
+    let mut object_order: Vec<(String, ObjectKind)> =
+        vec![(exe_name.clone(), ObjectKind::Executable)];
 
     for (unit, f) in program.iter_with_units() {
         let i = index_of[&f.name];
-        if inline_class[i] == InlineClass::AutoInlined {
+        if inline_class[i] == InlineClass::FoldedDropSymbol {
             continue; // body and symbol dropped
         }
         let object_name = unit.target.object_name(&program.name).to_string();
@@ -199,22 +196,25 @@ pub fn compile(program: &SourceProgram, opts: &CompileOptions) -> Result<Binary,
         }
         let fd = folded[i].as_ref().expect("folded above").clone();
         let name = program.interner.resolve(f.name).to_string();
-        per_object.entry(object_name).or_default().push(CompiledFunction {
-            name,
-            demangled: f.demangled.clone(),
-            offset: 0, // assigned during layout
-            size: 0,
-            instructions: fd.instructions.min(u32::MAX as u64) as u32,
-            loop_depth: fd.loop_depth,
-            visibility: f.attrs.visibility,
-            kind: f.attrs.kind,
-            body_cost_ns: fd.cost,
-            imbalance_pct: f.behavior.imbalance_pct,
-            mpi: f.behavior.mpi,
-            call_sites: fd.sites.clone(),
-            inlined: fd.inlined.clone(),
-            return_sites: 1 + (f.attrs.statements / 24).min(3),
-        });
+        per_object
+            .entry(object_name)
+            .or_default()
+            .push(CompiledFunction {
+                name,
+                demangled: f.demangled.clone(),
+                offset: 0, // assigned during layout
+                size: 0,
+                instructions: fd.instructions.min(u32::MAX as u64) as u32,
+                loop_depth: fd.loop_depth,
+                visibility: f.attrs.visibility,
+                kind: f.attrs.kind,
+                body_cost_ns: fd.cost,
+                imbalance_pct: f.behavior.imbalance_pct,
+                mpi: f.behavior.mpi,
+                call_sites: fd.sites.clone(),
+                inlined: fd.inlined.clone(),
+                return_sites: 1 + (f.attrs.statements / 24).min(3),
+            });
     }
 
     let mut objects = Vec::new();
@@ -232,16 +232,16 @@ pub fn compile(program: &SourceProgram, opts: &CompileOptions) -> Result<Binary,
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum InlineClass {
     /// Emitted normally; calls to it stay calls.
-    NotInlined,
+    Emitted,
     /// Folded into callers; COMDAT copy with symbol retained.
-    KeywordInlined,
+    FoldedKeepSymbol,
     /// Folded into callers; body and symbol dropped.
-    AutoInlined,
+    FoldedDropSymbol,
 }
 
 fn classify(f: &SourceFunction, recursive: bool, opts: &CompileOptions) -> InlineClass {
     if opts.opt_level == OptLevel::O0 {
-        return InlineClass::NotInlined;
+        return InlineClass::Emitted;
     }
     let a = &f.attrs;
     let never = recursive
@@ -252,16 +252,16 @@ fn classify(f: &SourceFunction, recursive: bool, opts: &CompileOptions) -> Inlin
             FunctionKind::Main | FunctionKind::MpiStub | FunctionKind::StaticInitializer
         );
     if never {
-        return InlineClass::NotInlined;
+        return InlineClass::Emitted;
     }
     if a.statements <= opts.auto_inline_max_statements {
         // Tiny bodies vanish entirely, keyword or not.
-        return InlineClass::AutoInlined;
+        return InlineClass::FoldedDropSymbol;
     }
     if a.inline_keyword && a.statements <= opts.inline_keyword_max_statements {
-        return InlineClass::KeywordInlined;
+        return InlineClass::FoldedKeepSymbol;
     }
-    InlineClass::NotInlined
+    InlineClass::Emitted
 }
 
 fn all_targets(c: &CalleeRef) -> Vec<Sym> {
@@ -335,8 +335,7 @@ fn find_recursive(funcs: &[&SourceFunction], index_of: &HashMap<Sym, usize>) -> 
                             break;
                         }
                     }
-                    let cyclic = comp.len() > 1
-                        || direct[comp[0]].contains(&comp[0]); // self loop
+                    let cyclic = comp.len() > 1 || direct[comp[0]].contains(&comp[0]); // self loop
                     if cyclic {
                         for w in comp {
                             recursive[w] = true;
@@ -356,7 +355,7 @@ fn fold(
     funcs: &[&SourceFunction],
     index_of: &HashMap<Sym, usize>,
     class: &[InlineClass],
-    folded: &mut Vec<Option<Folded>>,
+    folded: &mut [Option<Folded>],
 ) {
     // Post-order DFS over inlined direct callees.
     let mut stack = vec![(start, false)];
@@ -369,7 +368,7 @@ fn fold(
             for site in &funcs[i].call_sites {
                 if let CalleeRef::Direct(t) = &site.callee {
                     let ti = index_of[t];
-                    if class[ti] != InlineClass::NotInlined && folded[ti].is_none() {
+                    if class[ti] != InlineClass::Emitted && folded[ti].is_none() {
                         stack.push((ti, false));
                     }
                 }
@@ -388,11 +387,9 @@ fn fold(
             match &site.callee {
                 CalleeRef::Direct(t) => {
                     let ti = index_of[t];
-                    if class[ti] != InlineClass::NotInlined {
+                    if class[ti] != InlineClass::Emitted {
                         let sub = folded[ti].as_ref().expect("post-order").clone();
-                        out.cost = out
-                            .cost
-                            .saturating_add(site.trips.saturating_mul(sub.cost));
+                        out.cost = out.cost.saturating_add(site.trips.saturating_mul(sub.cost));
                         out.instructions = out.instructions.saturating_add(sub.instructions);
                         out.loop_depth = out.loop_depth.max(sub.loop_depth);
                         for s in &sub.sites {
@@ -402,8 +399,7 @@ fn fold(
                                 trips: s.trips.saturating_mul(site.trips),
                             });
                         }
-                        out.inlined
-                            .push(program.interner.resolve(*t).to_string());
+                        out.inlined.push(program.interner.resolve(*t).to_string());
                         out.inlined.extend(sub.inlined.iter().cloned());
                     } else {
                         out.sites.push(CompiledCallSite {
@@ -480,7 +476,11 @@ pub fn estimate_compile_time(program: &SourceProgram, opts: &CompileOptions) -> 
     };
     let mut total = 0u64;
     for unit in &program.units {
-        let stmts: u64 = unit.functions.iter().map(|f| f.attrs.statements as u64).sum();
+        let stmts: u64 = unit
+            .functions
+            .iter()
+            .map(|f| f.attrs.statements as u64)
+            .sum();
         total += TU_BASE_NS + stmts * PER_STATEMENT_NS * opt_factor / 100;
     }
     total
@@ -502,11 +502,17 @@ mod tests {
     fn tiny_functions_are_auto_inlined_and_dropped() {
         let bin = compile_src(|b| {
             b.unit("m.cc", LinkTarget::Executable);
-            b.function("main").main().statements(50).calls("tiny", 10).finish();
+            b.function("main")
+                .main()
+                .statements(50)
+                .calls("tiny", 10)
+                .finish();
             b.function("tiny").statements(2).cost(7).finish();
         });
         assert!(!bin.has_symbol("tiny"));
-        let main = bin.executable.function(bin.executable.function_index("main").unwrap());
+        let main = bin
+            .executable
+            .function(bin.executable.function_index("main").unwrap());
         assert!(main.inlined.contains(&"tiny".to_string()));
         assert!(main.call_sites.is_empty());
         // Cost folded: default 100 + 10 * 7.
@@ -517,11 +523,21 @@ mod tests {
     fn keyword_inlined_keeps_comdat_symbol() {
         let bin = compile_src(|b| {
             b.unit("m.cc", LinkTarget::Executable);
-            b.function("main").main().statements(50).calls("helper", 2).finish();
-            b.function("helper").statements(20).inline_keyword().cost(30).finish();
+            b.function("main")
+                .main()
+                .statements(50)
+                .calls("helper", 2)
+                .finish();
+            b.function("helper")
+                .statements(20)
+                .inline_keyword()
+                .cost(30)
+                .finish();
         });
         assert!(bin.has_symbol("helper"), "COMDAT copy retained");
-        let main = bin.executable.function(bin.executable.function_index("main").unwrap());
+        let main = bin
+            .executable
+            .function(bin.executable.function_index("main").unwrap());
         assert!(main.inlined.contains(&"helper".to_string()));
         assert!(main.call_sites.is_empty());
     }
@@ -530,12 +546,22 @@ mod tests {
     fn transitive_fold_lifts_residual_sites() {
         let bin = compile_src(|b| {
             b.unit("m.cc", LinkTarget::Executable);
-            b.function("main").main().statements(50).calls("mid", 3).finish();
+            b.function("main")
+                .main()
+                .statements(50)
+                .calls("mid", 3)
+                .finish();
             // mid is tiny: inlined; its call to big survives, multiplied.
-            b.function("mid").statements(2).cost(1).calls("big", 5).finish();
+            b.function("mid")
+                .statements(2)
+                .cost(1)
+                .calls("big", 5)
+                .finish();
             b.function("big").statements(80).cost(1000).finish();
         });
-        let main = bin.executable.function(bin.executable.function_index("main").unwrap());
+        let main = bin
+            .executable
+            .function(bin.executable.function_index("main").unwrap());
         assert_eq!(main.call_sites.len(), 1);
         assert_eq!(main.call_sites[0].targets, vec!["big".to_string()]);
         assert_eq!(main.call_sites[0].trips, 15); // 3 * 5
@@ -547,11 +573,17 @@ mod tests {
     fn recursive_functions_are_not_inlined() {
         let bin = compile_src(|b| {
             b.unit("m.cc", LinkTarget::Executable);
-            b.function("main").main().statements(50).calls("fib", 1).finish();
+            b.function("main")
+                .main()
+                .statements(50)
+                .calls("fib", 1)
+                .finish();
             b.function("fib").statements(3).calls("fib", 2).finish();
         });
         assert!(bin.has_symbol("fib"));
-        let main = bin.executable.function(bin.executable.function_index("main").unwrap());
+        let main = bin
+            .executable
+            .function(bin.executable.function_index("main").unwrap());
         assert_eq!(main.call_sites.len(), 1);
     }
 
@@ -559,7 +591,11 @@ mod tests {
     fn mutual_recursion_not_inlined() {
         let bin = compile_src(|b| {
             b.unit("m.cc", LinkTarget::Executable);
-            b.function("main").main().statements(50).calls("even", 1).finish();
+            b.function("main")
+                .main()
+                .statements(50)
+                .calls("even", 1)
+                .finish();
             b.function("even").statements(2).calls("odd", 1).finish();
             b.function("odd").statements(2).calls("even", 1).finish();
         });
@@ -588,7 +624,11 @@ mod tests {
     fn o0_disables_all_inlining() {
         let mut b = ProgramBuilder::new("app");
         b.unit("m.cc", LinkTarget::Executable);
-        b.function("main").main().statements(50).calls("tiny", 1).finish();
+        b.function("main")
+            .main()
+            .statements(50)
+            .calls("tiny", 1)
+            .finish();
         b.function("tiny").statements(2).finish();
         let p = b.build().unwrap();
         let bin = compile(&p, &CompileOptions::o0()).unwrap();
@@ -599,10 +639,20 @@ mod tests {
     fn dso_partitioning_and_layout() {
         let bin = compile_src(|b| {
             b.unit("m.cc", LinkTarget::Executable);
-            b.function("main").main().statements(50).calls("solve", 1).finish();
+            b.function("main")
+                .main()
+                .statements(50)
+                .calls("solve", 1)
+                .finish();
             b.unit("solver.cc", LinkTarget::Dso("libsolver.so".into()));
-            b.function("solve").statements(60).instructions(400).finish();
-            b.function("helper2").statements(60).instructions(200).finish();
+            b.function("solve")
+                .statements(60)
+                .instructions(400)
+                .finish();
+            b.function("helper2")
+                .statements(60)
+                .instructions(200)
+                .finish();
         });
         assert_eq!(bin.dsos.len(), 1);
         assert_eq!(bin.dsos[0].name, "libsolver.so");
@@ -618,8 +668,15 @@ mod tests {
     fn mpi_stubs_survive_with_behavior() {
         let bin = compile_src(|b| {
             b.unit("m.cc", LinkTarget::Executable);
-            b.function("main").main().statements(50).calls("MPI_Init", 1).finish();
-            b.function("MPI_Init").statements(1).mpi(MpiCall::Init).finish();
+            b.function("main")
+                .main()
+                .statements(50)
+                .calls("MPI_Init", 1)
+                .finish();
+            b.function("MPI_Init")
+                .statements(1)
+                .mpi(MpiCall::Init)
+                .finish();
         });
         let (obj, idx) = bin.defining_object("MPI_Init").unwrap();
         assert_eq!(obj.function(idx).mpi, Some(MpiCall::Init));
@@ -664,13 +721,20 @@ mod tests {
         // instrumentation locations through compilation.
         let mut b = ProgramBuilder::new("app");
         b.unit("m.cc", LinkTarget::Executable);
-        b.function("main").main().statements(50).calls("tiny", 10).finish();
+        b.function("main")
+            .main()
+            .statements(50)
+            .calls("tiny", 10)
+            .finish();
         b.function("tiny").statements(2).cost(7).finish();
         let p = b.build().unwrap();
         let mut opts = CompileOptions::o2();
         opts.never_inline.insert("tiny".into());
         let bin = compile(&p, &opts).unwrap();
-        assert!(bin.has_symbol("tiny"), "critical function survives inlining");
+        assert!(
+            bin.has_symbol("tiny"),
+            "critical function survives inlining"
+        );
         let main = bin
             .executable
             .function(bin.executable.function_index("main").unwrap());
@@ -682,10 +746,16 @@ mod tests {
     fn loop_depth_propagates_through_inlining() {
         let bin = compile_src(|b| {
             b.unit("m.cc", LinkTarget::Executable);
-            b.function("main").main().statements(50).calls("loopy", 1).finish();
+            b.function("main")
+                .main()
+                .statements(50)
+                .calls("loopy", 1)
+                .finish();
             b.function("loopy").statements(3).loop_depth(2).finish();
         });
-        let main = bin.executable.function(bin.executable.function_index("main").unwrap());
+        let main = bin
+            .executable
+            .function(bin.executable.function_index("main").unwrap());
         assert_eq!(main.loop_depth, 2);
     }
 }

@@ -30,7 +30,5 @@ pub mod symbols;
 pub use compiler::{compile, estimate_compile_time, CompileError, CompileOptions, OptLevel};
 pub use loader::{FuncAddr, LoadError, LoadedObject, MapEntry, Process};
 pub use memory::{AddressSpace, MemError, PagePerms, PAGE_SIZE};
-pub use object::{
-    Binary, CompiledCallSite, CompiledFunction, DispatchKind, Object, ObjectKind,
-};
+pub use object::{Binary, CompiledCallSite, CompiledFunction, DispatchKind, Object, ObjectKind};
 pub use symbols::{SymKind, Symbol, SymbolTable};

@@ -106,7 +106,11 @@ pub struct Process {
 impl Process {
     /// Creates a process with `exe` mapped at its preferred base.
     pub fn launch(exe: Arc<Object>) -> Result<Self, LoadError> {
-        assert_eq!(exe.kind, ObjectKind::Executable, "launch requires an executable");
+        assert_eq!(
+            exe.kind,
+            ObjectKind::Executable,
+            "launch requires an executable"
+        );
         let mut memory = AddressSpace::new();
         memory.map(EXE_BASE, exe.code_size.max(1), PagePerms::RX, &exe.name)?;
         Ok(Self {
@@ -246,9 +250,16 @@ mod tests {
     fn binary() -> Binary {
         let mut b = ProgramBuilder::new("app");
         b.unit("m.cc", LinkTarget::Executable);
-        b.function("main").main().statements(50).calls("solve", 1).finish();
+        b.function("main")
+            .main()
+            .statements(50)
+            .calls("solve", 1)
+            .finish();
         b.unit("s.cc", LinkTarget::Dso("libsolver.so".into()));
-        b.function("solve").statements(60).instructions(400).finish();
+        b.function("solve")
+            .statements(60)
+            .instructions(400)
+            .finish();
         b.unit("t.cc", LinkTarget::Dso("libtools.so".into()));
         b.function("tool").statements(60).instructions(300).finish();
         let p = b.build().unwrap();

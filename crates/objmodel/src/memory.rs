@@ -154,7 +154,7 @@ impl AddressSpace {
         perms: PagePerms,
         path: &str,
     ) -> Result<(), MemError> {
-        if base % PAGE_SIZE != 0 {
+        if !base.is_multiple_of(PAGE_SIZE) {
             return Err(MemError::Misaligned { addr: base });
         }
         let len = len.div_ceil(PAGE_SIZE).max(1) * PAGE_SIZE;
@@ -188,7 +188,7 @@ impl AddressSpace {
     /// Changes protection on `[addr, addr+len)`, page-granular, like the
     /// `mprotect(2)` call the XRay patcher issues.
     pub fn mprotect(&mut self, addr: u64, len: u64, perms: PagePerms) -> Result<(), MemError> {
-        if addr % PAGE_SIZE != 0 {
+        if !addr.is_multiple_of(PAGE_SIZE) {
             return Err(MemError::Misaligned { addr });
         }
         let end = addr + len.div_ceil(PAGE_SIZE).max(1) * PAGE_SIZE;

@@ -34,4 +34,4 @@ pub mod score;
 pub use filter::{FilterFile, FilterParseError, Pattern};
 pub use profile::{MergedProfile, Profile, ProfileNode, RegionId};
 pub use runtime::{ScorepConfig, ScorepRuntime, ScorepStats};
-pub use score::{score_profile, ScoreRow, ScoreReport};
+pub use score::{score_profile, ScoreReport, ScoreRow};

@@ -287,11 +287,7 @@ impl ScorepRuntime {
 
     /// Merged per-region totals across all ranks.
     pub fn merged(&self) -> MergedProfile {
-        let profiles: Vec<Profile> = self
-            .profiles
-            .iter()
-            .map(|p| p.lock().clone())
-            .collect();
+        let profiles: Vec<Profile> = self.profiles.iter().map(|p| p.lock().clone()).collect();
         MergedProfile::merge(&profiles)
     }
 
@@ -321,10 +317,22 @@ mod tests {
     fn process() -> Process {
         let mut b = ProgramBuilder::new("app");
         b.unit("m.cc", LinkTarget::Executable);
-        b.function("main").main().statements(50).instructions(300).calls("kernel", 1).calls("dso_fn", 1).finish();
-        b.function("kernel").statements(60).instructions(400).finish();
+        b.function("main")
+            .main()
+            .statements(50)
+            .instructions(300)
+            .calls("kernel", 1)
+            .calls("dso_fn", 1)
+            .finish();
+        b.function("kernel")
+            .statements(60)
+            .instructions(400)
+            .finish();
         b.unit("d.cc", LinkTarget::Dso("libd.so".into()));
-        b.function("dso_fn").statements(60).instructions(400).finish();
+        b.function("dso_fn")
+            .statements(60)
+            .instructions(400)
+            .finish();
         let p = b.build().unwrap();
         Process::launch_binary(&compile(&p, &CompileOptions::o2()).unwrap()).unwrap()
     }
@@ -373,10 +381,7 @@ mod tests {
         rt.exit_region(0, "kernel", 10);
         let second = rt.enter_region(0, "kernel", 20);
         assert!(first > second);
-        assert_eq!(
-            first - second,
-            ScorepConfig::default().new_callpath_ns
-        );
+        assert_eq!(first - second, ScorepConfig::default().new_callpath_ns);
     }
 
     #[test]

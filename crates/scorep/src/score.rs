@@ -83,8 +83,7 @@ pub fn score_profile(
                 t.exclusive_ns as f64 / t.visits as f64
             };
             let est_overhead_ns = t.visits * params.per_visit_overhead_ns;
-            let excluded =
-                ns_per_visit < params.small_body_ns && t.visits >= params.hot_visits;
+            let excluded = ns_per_visit < params.small_body_ns && t.visits >= params.hot_visits;
             ScoreRow {
                 name,
                 visits: t.visits,
@@ -95,7 +94,7 @@ pub fn score_profile(
             }
         })
         .collect();
-    rows.sort_by(|a, b| b.est_overhead_ns.cmp(&a.est_overhead_ns));
+    rows.sort_by_key(|r| std::cmp::Reverse(r.est_overhead_ns));
 
     let total_overhead_ns: u64 = rows.iter().map(|r| r.est_overhead_ns).sum();
     let remaining_overhead_ns: u64 = rows

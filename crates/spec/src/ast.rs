@@ -91,7 +91,9 @@ fn fmt_expr(e: &Expr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
                     write!(f, ", ")?;
                 }
                 match a {
-                    Arg::Str(s) => write!(f, "\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))?,
+                    Arg::Str(s) => {
+                        write!(f, "\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))?
+                    }
                     Arg::Int(n) => write!(f, "{n}")?,
                     Arg::Float(x) => write!(f, "{x:?}")?,
                     Arg::Expr(e) => fmt_expr(e, f)?,

@@ -99,11 +99,7 @@ fn cmp(op: &str, value: u64, n: i64) -> Result<bool, EvalError> {
     })
 }
 
-fn filter_meta(
-    g: &CallGraph,
-    input: &NodeSet,
-    pred: impl Fn(NodeId) -> bool,
-) -> NodeSet {
+fn filter_meta(g: &CallGraph, input: &NodeSet, pred: impl Fn(NodeId) -> bool) -> NodeSet {
     let mut out = g.empty_set();
     for id in input.iter() {
         if pred(id) {
@@ -184,7 +180,9 @@ impl<'g> Ctx<'g> {
                         message: e.message,
                     })?;
                     let input = self.eval_sel_arg(&args[1])?;
-                    Ok(filter_meta(g, &input, |id| re.is_match(&g.node(id).meta.file)))
+                    Ok(filter_meta(g, &input, |id| {
+                        re.is_match(&g.node(id).meta.file)
+                    }))
                 }
                 "inObject" => {
                     let pattern = self.str_arg(&args[0]);
@@ -430,17 +428,31 @@ mod tests {
             .calls("sys_func", 1)
             .calls("solve", 1)
             .finish();
-        b.function("comm_layer").statements(10).calls("MPI_Allreduce", 1).finish();
+        b.function("comm_layer")
+            .statements(10)
+            .calls("MPI_Allreduce", 1)
+            .finish();
         b.function("MPI_Allreduce")
             .statements(1)
             .mpi(MpiCall::Allreduce { bytes: 8 })
             .finish();
-        b.function("kernel").statements(60).flops(128).loop_depth(2).finish();
+        b.function("kernel")
+            .statements(60)
+            .flops(128)
+            .loop_depth(2)
+            .finish();
         b.function("tiny").statements(2).inline_keyword().finish();
-        b.function("sys_func").statements(5).system_header().finish();
+        b.function("sys_func")
+            .statements(5)
+            .system_header()
+            .finish();
         b.function("solve").statements(30).calls("mid", 1).finish();
         b.function("mid").statements(3).calls("amul", 1).finish();
-        b.function("amul").statements(50).flops(512).loop_depth(3).finish();
+        b.function("amul")
+            .statements(50)
+            .flops(512)
+            .loop_depth(3)
+            .finish();
         whole_program_callgraph(&b.build().unwrap())
     }
 
@@ -507,13 +519,18 @@ excluded = join(inSystemHeader(%%), inlineSpecified(%%))
 kernels = flops(">=", 10, loopDepth(">=" 1, %%))
 join(subtract(%kernels, %excluded), %mpi_comm)
 "#);
-        assert_eq!(names, vec!["MPI_Allreduce", "amul", "comm_layer", "kernel", "main"]);
+        assert_eq!(
+            names,
+            vec!["MPI_Allreduce", "amul", "comm_layer", "kernel", "main"]
+        );
     }
 
     #[test]
     fn coarse_removes_single_caller_chains() {
         // solve → mid → amul: mid and amul each have one caller.
-        let names = run(r#"coarse(join(byName("^solve$", %%), byName("^mid$", %%), byName("^amul$", %%), entry()))"#);
+        let names = run(
+            r#"coarse(join(byName("^solve$", %%), byName("^mid$", %%), byName("^amul$", %%), entry()))"#,
+        );
         // main retained (no callers at all); solve removed (its only
         // caller main is selected); the removal cascades: mid's only
         // caller is solve, amul's only caller is mid.
@@ -569,7 +586,10 @@ join(subtract(%kernels, %excluded), %mpi_comm)
         let g = graph();
         let reg = ModuleRegistry::with_builtins();
         let err = crate::run_spec(r#"byName("(unclosed", %%)"#, &g, &reg).unwrap_err();
-        assert!(matches!(err, crate::SpecError::Eval(EvalError::BadRegex { .. })));
+        assert!(matches!(
+            err,
+            crate::SpecError::Eval(EvalError::BadRegex { .. })
+        ));
     }
 
     #[test]

@@ -227,7 +227,9 @@ join(subtract(%kernels, %excluded), %mpi_comm)
         let spec = parse("join(subtract(%a, %b), inSystemHeader(%%))").unwrap();
         match &spec.items[0].expr {
             Expr::Call { args, .. } => {
-                assert!(matches!(&args[0], Arg::Expr(Expr::Call { name, .. }) if name == "subtract"));
+                assert!(
+                    matches!(&args[0], Arg::Expr(Expr::Call { name, .. }) if name == "subtract")
+                );
             }
             other => panic!("unexpected {other:?}"),
         }

@@ -30,8 +30,15 @@ impl std::error::Error for RegexError {}
 enum Node {
     Char(char),
     Any,
-    Class { neg: bool, ranges: Vec<(char, char)> },
-    Repeat { node: Box<Node>, min: u32, max: Option<u32> },
+    Class {
+        neg: bool,
+        ranges: Vec<(char, char)>,
+    },
+    Repeat {
+        node: Box<Node>,
+        min: u32,
+        max: Option<u32>,
+    },
     Group(Vec<Vec<Node>>), // alternation of sequences
     Start,
     End,

@@ -185,9 +185,8 @@ fn check_expr(e: &Expr, defined: &HashSet<&str>) -> Result<(), SemaError> {
             }
         }
         Expr::Call { name, args, .. } => {
-            let sig = signature(name).ok_or_else(|| SemaError::UnknownSelector {
-                name: name.clone(),
-            })?;
+            let sig =
+                signature(name).ok_or_else(|| SemaError::UnknownSelector { name: name.clone() })?;
             let min = sig.required.len();
             let max = if sig.variadic.is_some() {
                 usize::MAX

@@ -209,7 +209,9 @@ impl Talp {
                 debug_assert_eq!(h as usize, regions.len(), "handles are dense");
                 regions.push(Region {
                     name: name.to_string(),
-                    per_rank: (0..self.size).map(|_| Mutex::new(RankRegion::new())).collect(),
+                    per_rank: (0..self.size)
+                        .map(|_| Mutex::new(RankRegion::new()))
+                        .collect(),
                 });
                 self.stats_registered.fetch_add(1, Ordering::Relaxed);
                 Ok(RegionHandle(h))

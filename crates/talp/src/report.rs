@@ -30,7 +30,12 @@ pub fn render_report(metrics: &[RegionMetrics], max_regions: Option<usize>) -> S
     let shown = max_regions.unwrap_or(metrics.len()).min(metrics.len());
     for m in &metrics[..shown] {
         writeln!(out, "### Name:                     {}", m.name).unwrap();
-        writeln!(out, "###   Elapsed Time:           {}", fmt_time(m.elapsed_ns)).unwrap();
+        writeln!(
+            out,
+            "###   Elapsed Time:           {}",
+            fmt_time(m.elapsed_ns)
+        )
+        .unwrap();
         writeln!(out, "###   MPI Ranks:              {}", m.ranks).unwrap();
         writeln!(out, "###   Region Entries:         {}", m.enters).unwrap();
         writeln!(
@@ -57,7 +62,12 @@ pub fn render_report(metrics: &[RegionMetrics], max_regions: Option<usize>) -> S
             m.pop.communication_efficiency
         )
         .unwrap();
-        writeln!(out, "###     Load Balance:         {:.3}", m.pop.load_balance).unwrap();
+        writeln!(
+            out,
+            "###     Load Balance:         {:.3}",
+            m.pop.load_balance
+        )
+        .unwrap();
         out.push_str("###\n");
     }
     if shown < metrics.len() {

@@ -42,18 +42,42 @@ pub fn lulesh(params: &LuleshParams) -> SourceProgram {
 
     // ---- MPI stubs (system headers). -----------------------------------
     b.unit("mpi.h", LinkTarget::Executable);
-    b.function("MPI_Init").statements(1).instructions(8).cost(0).mpi(MpiCall::Init).finish();
-    b.function("MPI_Finalize").statements(1).instructions(8).cost(0).mpi(MpiCall::Finalize).finish();
+    b.function("MPI_Init")
+        .statements(1)
+        .instructions(8)
+        .cost(0)
+        .mpi(MpiCall::Init)
+        .finish();
+    b.function("MPI_Finalize")
+        .statements(1)
+        .instructions(8)
+        .cost(0)
+        .mpi(MpiCall::Finalize)
+        .finish();
     b.function("MPI_Allreduce")
-        .statements(1).instructions(8).cost(0)
+        .statements(1)
+        .instructions(8)
+        .cost(0)
         .mpi(MpiCall::Allreduce { bytes: 8 })
         .finish();
     b.function("MPI_Sendrecv")
-        .statements(1).instructions(8).cost(0)
+        .statements(1)
+        .instructions(8)
+        .cost(0)
         .mpi(MpiCall::RingExchange { bytes: 16_384 })
         .finish();
-    b.function("MPI_Waitall").statements(1).instructions(8).cost(0).mpi(MpiCall::Wait).finish();
-    b.function("MPI_Barrier").statements(1).instructions(8).cost(0).mpi(MpiCall::Barrier).finish();
+    b.function("MPI_Waitall")
+        .statements(1)
+        .instructions(8)
+        .cost(0)
+        .mpi(MpiCall::Wait)
+        .finish();
+    b.function("MPI_Barrier")
+        .statements(1)
+        .instructions(8)
+        .cost(0)
+        .mpi(MpiCall::Barrier)
+        .finish();
 
     // ---- Core solver (lulesh.cc). ---------------------------------------
     b.unit("lulesh.cc", LinkTarget::Executable);
@@ -176,14 +200,29 @@ pub fn lulesh(params: &LuleshParams) -> SourceProgram {
         .flops(7)
         .loop_depth(1)
         .finish();
-    b.function("CalcAccelerationForNodes").statements(12).instructions(160).cost(800).loop_depth(1).finish();
+    b.function("CalcAccelerationForNodes")
+        .statements(12)
+        .instructions(160)
+        .cost(800)
+        .loop_depth(1)
+        .finish();
     b.function("ApplyAccelerationBoundaryConditionsForNodes")
         .statements(16)
         .instructions(150)
         .cost(300)
         .finish();
-    b.function("CalcVelocityForNodes").statements(14).instructions(170).cost(700).loop_depth(1).finish();
-    b.function("CalcPositionForNodes").statements(10).instructions(150).cost(650).loop_depth(1).finish();
+    b.function("CalcVelocityForNodes")
+        .statements(14)
+        .instructions(170)
+        .cost(700)
+        .loop_depth(1)
+        .finish();
+    b.function("CalcPositionForNodes")
+        .statements(10)
+        .instructions(150)
+        .cost(650)
+        .loop_depth(1)
+        .finish();
 
     // Element phase.
     b.function("LagrangeElements")
@@ -302,7 +341,12 @@ pub fn lulesh(params: &LuleshParams) -> SourceProgram {
         .loop_depth(1)
         .calls("CalcPressureForElems", 1)
         .finish();
-    b.function("UpdateVolumesForElems").statements(10).instructions(140).cost(350).loop_depth(1).finish();
+    b.function("UpdateVolumesForElems")
+        .statements(10)
+        .instructions(140)
+        .cost(350)
+        .loop_depth(1)
+        .finish();
     b.function("CalcTimeConstraintsForElems")
         .statements(20)
         .instructions(220)
@@ -363,9 +407,21 @@ pub fn lulesh(params: &LuleshParams) -> SourceProgram {
 
     // ---- Setup / teardown (lulesh-init.cc). ------------------------------
     b.unit("lulesh-init.cc", LinkTarget::Executable);
-    b.function("ParseCommandLineOptions").statements(60).instructions(420).cost(2_000).finish();
-    b.function("VerifyAndWriteFinalOutput").statements(35).instructions(300).cost(1_500).finish();
-    b.function("InitMeshDecomp").statements(40).instructions(340).cost(3_000).finish();
+    b.function("ParseCommandLineOptions")
+        .statements(60)
+        .instructions(420)
+        .cost(2_000)
+        .finish();
+    b.function("VerifyAndWriteFinalOutput")
+        .statements(35)
+        .instructions(300)
+        .cost(1_500)
+        .finish();
+    b.function("InitMeshDecomp")
+        .statements(40)
+        .instructions(340)
+        .cost(3_000)
+        .finish();
     // SetupProblem fans out into the utility population below.
     {
         let mut f = b
@@ -386,7 +442,8 @@ pub fn lulesh(params: &LuleshParams) -> SourceProgram {
     const N_TINY_ACCESSORS: usize = 650;
     const N_TINY_FLOP_KERNELS: usize = 25;
     const N_SYS: usize = 800;
-    const N_UTILS: usize = LULESH_CG_NODES - NAMED
+    const N_UTILS: usize = LULESH_CG_NODES
+        - NAMED
         - N_INLINE_ACCESSORS
         - N_TINY_ACCESSORS
         - N_TINY_FLOP_KERNELS

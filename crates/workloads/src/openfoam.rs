@@ -107,21 +107,48 @@ pub fn openfoam(params: &OpenFoamParams) -> SourceProgram {
 
     // ---- MPI stubs. ------------------------------------------------------
     b.unit("mpi.h", LinkTarget::Executable);
-    b.function("MPI_Init").statements(1).instructions(8).cost(0).mpi(MpiCall::Init).finish();
-    b.function("MPI_Finalize").statements(1).instructions(8).cost(0).mpi(MpiCall::Finalize).finish();
+    b.function("MPI_Init")
+        .statements(1)
+        .instructions(8)
+        .cost(0)
+        .mpi(MpiCall::Init)
+        .finish();
+    b.function("MPI_Finalize")
+        .statements(1)
+        .instructions(8)
+        .cost(0)
+        .mpi(MpiCall::Finalize)
+        .finish();
     b.function("MPI_Allreduce")
-        .statements(1).instructions(8).cost(0)
+        .statements(1)
+        .instructions(8)
+        .cost(0)
         .mpi(MpiCall::Allreduce { bytes: 8 })
         .finish();
     b.function("MPI_Sendrecv")
-        .statements(1).instructions(8).cost(0)
+        .statements(1)
+        .instructions(8)
+        .cost(0)
         .mpi(MpiCall::RingExchange { bytes: 32_768 })
         .finish();
-    b.function("MPI_Waitall").statements(1).instructions(8).cost(0).mpi(MpiCall::Wait).finish();
-    b.function("MPI_Barrier").statements(1).instructions(8).cost(0).mpi(MpiCall::Barrier).finish();
+    b.function("MPI_Waitall")
+        .statements(1)
+        .instructions(8)
+        .cost(0)
+        .mpi(MpiCall::Wait)
+        .finish();
+    b.function("MPI_Barrier")
+        .statements(1)
+        .instructions(8)
+        .cost(0)
+        .mpi(MpiCall::Barrier)
+        .finish();
 
     // ---- Pstream layer (libPstream.so). ----------------------------------
-    b.unit("Pstream/UPstream.C", LinkTarget::Dso("libPstream.so".into()));
+    b.unit(
+        "Pstream/UPstream.C",
+        LinkTarget::Dso("libPstream.so".into()),
+    );
     b.function("Foam::UPstream::init")
         .statements(30)
         .instructions(280)
@@ -149,7 +176,10 @@ pub fn openfoam(params: &OpenFoamParams) -> SourceProgram {
         .finish();
 
     // ---- Global reductions (libOpenFOAM.so). -----------------------------
-    b.unit("OpenFOAM/fields/FieldOps.C", LinkTarget::Dso("libOpenFOAM.so".into()));
+    b.unit(
+        "OpenFOAM/fields/FieldOps.C",
+        LinkTarget::Dso("libOpenFOAM.so".into()),
+    );
     for name in ["gSum", "gSumProd", "gAverage", "gMax", "returnReduce"] {
         b.function(&format!("Foam::{name}"))
             .statements(8)
@@ -160,7 +190,10 @@ pub fn openfoam(params: &OpenFoamParams) -> SourceProgram {
     }
 
     // ---- The solver chain of Listing 3 (liblduSolvers.so). ----------------
-    b.unit("lduSolvers/PCG.C", LinkTarget::Dso("liblduSolvers.so".into()));
+    b.unit(
+        "lduSolvers/PCG.C",
+        LinkTarget::Dso("liblduSolvers.so".into()),
+    );
     b.function("Foam::PCG::solve")
         .demangled("virtual SolverPerformance Foam::PCG::solve(scalarField&, ...)")
         .statements(45)
@@ -249,7 +282,10 @@ pub fn openfoam(params: &OpenFoamParams) -> SourceProgram {
         .finish();
 
     // ---- fvMatrix layer (libfiniteVolume.so) — Listing 3's upper half. ----
-    b.unit("finiteVolume/fvMatrix.C", LinkTarget::Dso("libfiniteVolume.so".into()));
+    b.unit(
+        "finiteVolume/fvMatrix.C",
+        LinkTarget::Dso("libfiniteVolume.so".into()),
+    );
     b.function("Foam::fvMatrix<scalar>::solve")
         .demangled("SolverPerformance Foam::fvMatrix<double>::solve(const dictionary&)")
         .statements(35)
@@ -305,7 +341,9 @@ pub fn openfoam(params: &OpenFoamParams) -> SourceProgram {
     // Discretization operators.
     for (op, fl) in [("ddt", 40), ("div", 90), ("laplacian", 110), ("grad", 70)] {
         b.function(&format!("Foam::fvm::{op}<scalar>"))
-            .demangled(format!("tmp<fvMatrix> Foam::fvm::{op}(const volScalarField&)"))
+            .demangled(format!(
+                "tmp<fvMatrix> Foam::fvm::{op}(const volScalarField&)"
+            ))
             .statements(45)
             .instructions(400)
             .cost(300)
@@ -336,7 +374,11 @@ pub fn openfoam(params: &OpenFoamParams) -> SourceProgram {
         .calls("runTimeLoop", 1)
         .calls("Foam::UPstream::exit", 1)
         .finish();
-    b.function("Foam::argList::argList").statements(70).instructions(520).cost(3_000).finish();
+    b.function("Foam::argList::argList")
+        .statements(70)
+        .instructions(520)
+        .cost(3_000)
+        .finish();
     b.function("runTimeLoop")
         .statements(25)
         .instructions(230)
@@ -377,14 +419,22 @@ pub fn openfoam(params: &OpenFoamParams) -> SourceProgram {
 
     // createMesh / createFields fan out into utilities (one-time setup).
     {
-        let mut f = b.function("createMesh").statements(80).instructions(620).cost(8_000);
+        let mut f = b
+            .function("createMesh")
+            .statements(80)
+            .instructions(620)
+            .cost(8_000);
         for i in 0..40 {
             f = f.calls(&format!("Foam::util_{i:05}"), 1);
         }
         f.finish();
     }
     {
-        let mut f = b.function("createFields").statements(70).instructions(560).cost(6_000);
+        let mut f = b
+            .function("createFields")
+            .statements(70)
+            .instructions(560)
+            .cost(6_000);
         for i in 40..80 {
             f = f.calls(&format!("Foam::util_{i:05}"), 1);
         }
@@ -420,11 +470,16 @@ fn build_fillers(b: &mut ProgramBuilder, sizes: &Sizes) {
     // kernel — putting its callers on the kernels path.
     let n_tiny = sizes.tiny_field_ops;
     let n_kernels = sizes.cell_kernels.max(1);
-    b.unit("OpenFOAM/fields/tinyOps.H", LinkTarget::Dso("libOpenFOAM.so".into()));
+    b.unit(
+        "OpenFOAM/fields/tinyOps.H",
+        LinkTarget::Dso("libOpenFOAM.so".into()),
+    );
     for i in 0..n_tiny {
         let mut f = b
             .function(&format!("Foam::fieldOp_{i:05}<scalar>"))
-            .demangled(format!("Foam::tmp<Foam::Field<double>> Foam::fieldOp_{i}(...)"))
+            .demangled(format!(
+                "Foam::tmp<Foam::Field<double>> Foam::fieldOp_{i}(...)"
+            ))
             .statements(2 + (i % 3) as u32)
             .instructions(18 + (i % 20) as u32)
             .cost(9)
@@ -439,7 +494,10 @@ fn build_fillers(b: &mut ProgramBuilder, sizes: &Sizes) {
     }
 
     // Cell kernels: the flop/loop-bearing compute bodies.
-    b.unit("finiteVolume/cellKernels.C", LinkTarget::Dso("libfiniteVolume.so".into()));
+    b.unit(
+        "finiteVolume/cellKernels.C",
+        LinkTarget::Dso("libfiniteVolume.so".into()),
+    );
     for i in 0..sizes.cell_kernels {
         b.function(&format!("Foam::cellKernel_{i:04}"))
             .statements(25 + (i % 56) as u32)
@@ -453,7 +511,10 @@ fn build_fillers(b: &mut ProgramBuilder, sizes: &Sizes) {
     // Inline-keyword header functions: COMDAT symbols retained; the
     // paper's specs exclude them, but inlining compensation re-adds the
     // ones that are first surviving callers of vanished tiny ops.
-    b.unit("OpenFOAM/headers/inlineOps.H", LinkTarget::Dso("libOpenFOAM.so".into()));
+    b.unit(
+        "OpenFOAM/headers/inlineOps.H",
+        LinkTarget::Dso("libOpenFOAM.so".into()),
+    );
     for i in 0..sizes.inline_headers {
         let mut f = b
             .function(&format!("Foam::inlineOp_{i:05}"))
@@ -472,7 +533,10 @@ fn build_fillers(b: &mut ProgramBuilder, sizes: &Sizes) {
 
     // Field layer: medium-size functions calling tiny ops (and through
     // them, transitively, MPI reductions or cell kernels).
-    b.unit("finiteVolume/fieldLayer.C", LinkTarget::Dso("libfiniteVolume.so".into()));
+    b.unit(
+        "finiteVolume/fieldLayer.C",
+        LinkTarget::Dso("libfiniteVolume.so".into()),
+    );
     for i in 0..sizes.field_layer {
         let t0 = (3 * i) % n_tiny;
         let mut f = b
@@ -481,17 +545,29 @@ fn build_fillers(b: &mut ProgramBuilder, sizes: &Sizes) {
             .instructions(110 + (i % 260) as u32)
             .cost(70)
             .calls(&format!("Foam::fieldOp_{t0:05}<scalar>"), 2)
-            .calls(&format!("Foam::fieldOp_{:05}<scalar>", (t0 + 1) % n_tiny), 1)
-            .calls(&format!("Foam::fieldOp_{:05}<scalar>", (t0 + 2) % n_tiny), 1);
+            .calls(
+                &format!("Foam::fieldOp_{:05}<scalar>", (t0 + 1) % n_tiny),
+                1,
+            )
+            .calls(
+                &format!("Foam::fieldOp_{:05}<scalar>", (t0 + 2) % n_tiny),
+                1,
+            );
         if i % 3 == 0 && sizes.inline_headers > 0 {
-            f = f.calls(&format!("Foam::inlineOp_{:05}", i % sizes.inline_headers), 1);
+            f = f.calls(
+                &format!("Foam::inlineOp_{:05}", i % sizes.inline_headers),
+                1,
+            );
         }
         f.finish();
     }
 
     // A generic evaluator re-references half of the tiny ops, giving
     // them a second caller.
-    b.unit("OpenFOAM/fields/evaluateOps.C", LinkTarget::Dso("libOpenFOAM.so".into()));
+    b.unit(
+        "OpenFOAM/fields/evaluateOps.C",
+        LinkTarget::Dso("libOpenFOAM.so".into()),
+    );
     {
         let mut f = b
             .function("Foam::evaluateOps")
@@ -508,7 +584,10 @@ fn build_fillers(b: &mut ProgramBuilder, sizes: &Sizes) {
 
     // Hidden internals: loop-bearing (so the XRay pass instruments them)
     // but invisible to `nm` — the §VI-B(a) resolution gap.
-    b.unit("OpenFOAM/internal/hidden.C", LinkTarget::Dso("libOpenFOAM.so".into()));
+    b.unit(
+        "OpenFOAM/internal/hidden.C",
+        LinkTarget::Dso("libOpenFOAM.so".into()),
+    );
     for i in 0..sizes.hidden_internals {
         b.function(&format!("Foam::(anonymous)::hidden_{i:04}"))
             .statements(20 + (i % 40) as u32)
@@ -522,7 +601,10 @@ fn build_fillers(b: &mut ProgramBuilder, sizes: &Sizes) {
     // Static initializers: hidden, sizeable (global IO tables), never
     // called at runtime — "a large part of these functions are static
     // initializers and not relevant for profiling".
-    b.unit("OpenFOAM/global/staticInits.C", LinkTarget::Dso("libOpenFOAM.so".into()));
+    b.unit(
+        "OpenFOAM/global/staticInits.C",
+        LinkTarget::Dso("libOpenFOAM.so".into()),
+    );
     for i in 0..sizes.static_inits {
         b.function(&format!("_GLOBAL__sub_I_module_{i:04}"))
             .static_initializer()
@@ -536,7 +618,10 @@ fn build_fillers(b: &mut ProgramBuilder, sizes: &Sizes) {
     for i in 0..sizes.utilities {
         if i % TU_FUNCS == 0 {
             let dso = dsos[(i / TU_FUNCS) % dsos.len()];
-            b.unit(format!("utils/utilTU_{:04}.C", i / TU_FUNCS), LinkTarget::Dso(dso.into()));
+            b.unit(
+                format!("utils/utilTU_{:04}.C", i / TU_FUNCS),
+                LinkTarget::Dso(dso.into()),
+            );
         }
         let mut f = b
             .function(&format!("Foam::util_{i:05}"))
@@ -550,13 +635,22 @@ fn build_fillers(b: &mut ProgramBuilder, sizes: &Sizes) {
             f = f.calls(&format!("std::__foam_sys_{:05}", i % sizes.system_std), 1);
         }
         if i % 9 == 0 && sizes.hidden_internals > 0 {
-            f = f.calls(&format!("Foam::(anonymous)::hidden_{:04}", i % sizes.hidden_internals), 1);
+            f = f.calls(
+                &format!(
+                    "Foam::(anonymous)::hidden_{:04}",
+                    i % sizes.hidden_internals
+                ),
+                1,
+            );
         }
         f.finish();
     }
 
     // Glue: make field layer + utilities reachable from the solver loop.
-    b.unit("finiteVolume/glue.C", LinkTarget::Dso("libfiniteVolume.so".into()));
+    b.unit(
+        "finiteVolume/glue.C",
+        LinkTarget::Dso("libfiniteVolume.so".into()),
+    );
     {
         // The assembly path touches a slice of the field layer each step.
         let mut f = b
@@ -609,7 +703,10 @@ fn build_fillers(b: &mut ProgramBuilder, sizes: &Sizes) {
 fn attach_glue(program: &mut SourceProgram, sizes: &Sizes) {
     use capi_appmodel::{CallSite, CalleeRef};
     let _ = sizes;
-    let interp = program.interner.get("Foam::interpolateGlue").expect("defined");
+    let interp = program
+        .interner
+        .get("Foam::interpolateGlue")
+        .expect("defined");
     let walk = program.interner.get("Foam::registryWalk").expect("defined");
     let boundary = program.interner.get("Foam::boundaryGlue").expect("defined");
     let evaluate = program.interner.get("Foam::evaluateOps").expect("defined");
@@ -667,7 +764,11 @@ mod tests {
     fn six_patchable_dsos() {
         let p = small();
         let dsos = p.dso_names();
-        assert_eq!(dsos.len(), 6, "paper: executable links 6 patchable DSOs, got {dsos:?}");
+        assert_eq!(
+            dsos.len(),
+            6,
+            "paper: executable links 6 patchable DSOs, got {dsos:?}"
+        );
     }
 
     #[test]
@@ -685,7 +786,9 @@ mod tests {
             assert!(g.has_edge(a, b), "{} → {}", w[0], w[1]);
         }
         // Virtual dispatch fans out to all three solvers.
-        let seg = g.node_id("Foam::fvMatrix<scalar>::solveSegregated").unwrap();
+        let seg = g
+            .node_id("Foam::fvMatrix<scalar>::solveSegregated")
+            .unwrap();
         assert!(g.callees(seg).len() >= 3);
     }
 

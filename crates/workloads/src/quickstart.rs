@@ -8,14 +8,28 @@ use capi_appmodel::{LinkTarget, MpiCall, ProgramBuilder, SourceProgram};
 pub fn quickstart_app(steps: u64) -> SourceProgram {
     let mut b = ProgramBuilder::new("miniapp");
     b.unit("mpi.h", LinkTarget::Executable);
-    b.function("MPI_Init").statements(1).instructions(8).cost(0).mpi(MpiCall::Init).finish();
-    b.function("MPI_Finalize").statements(1).instructions(8).cost(0).mpi(MpiCall::Finalize).finish();
+    b.function("MPI_Init")
+        .statements(1)
+        .instructions(8)
+        .cost(0)
+        .mpi(MpiCall::Init)
+        .finish();
+    b.function("MPI_Finalize")
+        .statements(1)
+        .instructions(8)
+        .cost(0)
+        .mpi(MpiCall::Finalize)
+        .finish();
     b.function("MPI_Allreduce")
-        .statements(1).instructions(8).cost(0)
+        .statements(1)
+        .instructions(8)
+        .cost(0)
         .mpi(MpiCall::Allreduce { bytes: 8 })
         .finish();
     b.function("MPI_Sendrecv")
-        .statements(1).instructions(8).cost(0)
+        .statements(1)
+        .instructions(8)
+        .cost(0)
         .mpi(MpiCall::RingExchange { bytes: 8_192 })
         .finish();
 
@@ -32,9 +46,22 @@ pub fn quickstart_app(steps: u64) -> SourceProgram {
         .calls("write_output", 1)
         .calls("MPI_Finalize", 1)
         .finish();
-    b.function("parse_args").statements(25).instructions(200).cost(800).finish();
-    b.function("init_grid").statements(40).instructions(320).cost(5_000).loop_depth(2).finish();
-    b.function("write_output").statements(30).instructions(260).cost(3_000).finish();
+    b.function("parse_args")
+        .statements(25)
+        .instructions(200)
+        .cost(800)
+        .finish();
+    b.function("init_grid")
+        .statements(40)
+        .instructions(320)
+        .cost(5_000)
+        .loop_depth(2)
+        .finish();
+    b.function("write_output")
+        .statements(30)
+        .instructions(260)
+        .cost(3_000)
+        .finish();
     b.function("time_step")
         .statements(30)
         .instructions(260)
@@ -51,8 +78,18 @@ pub fn quickstart_app(steps: u64) -> SourceProgram {
         .calls("MPI_Sendrecv", 1)
         .calls("unpack_boundary", 1)
         .finish();
-    b.function("pack_boundary").statements(12).instructions(140).cost(900).loop_depth(1).finish();
-    b.function("unpack_boundary").statements(12).instructions(140).cost(900).loop_depth(1).finish();
+    b.function("pack_boundary")
+        .statements(12)
+        .instructions(140)
+        .cost(900)
+        .loop_depth(1)
+        .finish();
+    b.function("unpack_boundary")
+        .statements(12)
+        .instructions(140)
+        .cost(900)
+        .loop_depth(1)
+        .finish();
     b.function("stencil_kernel")
         .statements(70)
         .instructions(640)
@@ -79,13 +116,38 @@ pub fn quickstart_app(steps: u64) -> SourceProgram {
         .calls("MPI_Allreduce", 1)
         .finish();
     // Tiny: auto-inlined — shows up in the quickstart's compensation.
-    b.function("norm_helper").statements(2).instructions(20).cost(60).flops(12).loop_depth(1).finish();
+    b.function("norm_helper")
+        .statements(2)
+        .instructions(20)
+        .cost(60)
+        .flops(12)
+        .loop_depth(1)
+        .finish();
 
     // A few cold utilities.
-    b.function("log_message").statements(8).instructions(90).cost(50).finish();
-    b.function("checksum_grid").statements(18).instructions(170).cost(400).loop_depth(1).finish();
-    b.function("print_banner").statements(6).instructions(70).cost(30).calls("log_message", 3).finish();
-    b.function("read_config").statements(22).instructions(200).cost(600).calls("log_message", 1).finish();
+    b.function("log_message")
+        .statements(8)
+        .instructions(90)
+        .cost(50)
+        .finish();
+    b.function("checksum_grid")
+        .statements(18)
+        .instructions(170)
+        .cost(400)
+        .loop_depth(1)
+        .finish();
+    b.function("print_banner")
+        .statements(6)
+        .instructions(70)
+        .cost(30)
+        .calls("log_message", 3)
+        .finish();
+    b.function("read_config")
+        .statements(22)
+        .instructions(200)
+        .cost(600)
+        .calls("log_message", 1)
+        .finish();
     b.function("validate_grid")
         .statements(16)
         .instructions(160)

@@ -92,7 +92,12 @@ mod tests {
     #[test]
     fn coarse_flag_matches_source() {
         for spec in PAPER_SPECS {
-            assert_eq!(spec.source.contains("coarse("), spec.coarse, "{}", spec.name);
+            assert_eq!(
+                spec.source.contains("coarse("),
+                spec.coarse,
+                "{}",
+                spec.name
+            );
         }
     }
 }

@@ -44,7 +44,10 @@ impl fmt::Display for IdError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             IdError::FunctionIdOverflow { fid } => {
-                write!(f, "function ID {fid} exceeds 24-bit limit {MAX_FUNCTION_ID}")
+                write!(
+                    f,
+                    "function ID {fid} exceeds 24-bit limit {MAX_FUNCTION_ID}"
+                )
             }
         }
     }
@@ -99,7 +102,12 @@ impl PackedId {
 
 impl fmt::Debug for PackedId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "PackedId(obj={}, fid={})", self.object(), self.function())
+        write!(
+            f,
+            "PackedId(obj={}, fid={})",
+            self.object(),
+            self.function()
+        )
     }
 }
 
@@ -153,7 +161,7 @@ mod tests {
     #[test]
     fn paper_reference_value_fits() {
         // "the largest object file in our OpenFOAM test case uses 28,687 IDs"
-        assert!(28_687 < MAX_FUNCTION_ID);
+        const { assert!(28_687 < MAX_FUNCTION_ID) }
     }
 
     #[test]

@@ -150,11 +150,22 @@ mod tests {
             .calls("tiny_leaf", 1)
             .calls("small_loop", 1)
             .finish();
-        b.function("kernel").statements(80).instructions(900).loop_depth(2).finish();
+        b.function("kernel")
+            .statements(80)
+            .instructions(900)
+            .loop_depth(2)
+            .finish();
         // 40 instructions, below the 200 threshold, no loop.
-        b.function("tiny_leaf").statements(30).instructions(40).finish();
+        b.function("tiny_leaf")
+            .statements(30)
+            .instructions(40)
+            .finish();
         // 40 instructions but contains a loop.
-        b.function("small_loop").statements(30).instructions(40).loop_depth(1).finish();
+        b.function("small_loop")
+            .statements(30)
+            .instructions(40)
+            .loop_depth(1)
+            .finish();
         let p = b.build().unwrap();
         Arc::new(compile(&p, &CompileOptions::o2()).unwrap().executable)
     }
@@ -162,21 +173,33 @@ mod tests {
     #[test]
     fn threshold_prefilter_skips_small_functions() {
         let io = instrument_object(exe(), &PassOptions::default());
-        assert!(io.sleds.fid_of(io.image.function_index("tiny_leaf").unwrap()).is_none());
-        assert!(io.sleds.fid_of(io.image.function_index("kernel").unwrap()).is_some());
+        assert!(io
+            .sleds
+            .fid_of(io.image.function_index("tiny_leaf").unwrap())
+            .is_none());
+        assert!(io
+            .sleds
+            .fid_of(io.image.function_index("kernel").unwrap())
+            .is_some());
         assert_eq!(io.stats.below_threshold, 1);
     }
 
     #[test]
     fn loop_bearing_functions_instrumented_below_threshold() {
         let io = instrument_object(exe(), &PassOptions::default());
-        assert!(io.sleds.fid_of(io.image.function_index("small_loop").unwrap()).is_some());
+        assert!(io
+            .sleds
+            .fid_of(io.image.function_index("small_loop").unwrap())
+            .is_some());
         let ignore = PassOptions {
             ignore_loops: true,
             ..PassOptions::default()
         };
         let io2 = instrument_object(exe(), &ignore);
-        assert!(io2.sleds.fid_of(io2.image.function_index("small_loop").unwrap()).is_none());
+        assert!(io2
+            .sleds
+            .fid_of(io2.image.function_index("small_loop").unwrap())
+            .is_none());
     }
 
     #[test]
@@ -192,8 +215,14 @@ mod tests {
         opts.always_instrument.insert("tiny_leaf".into());
         opts.never_instrument.insert("kernel".into());
         let io = instrument_object(exe(), &opts);
-        assert!(io.sleds.fid_of(io.image.function_index("tiny_leaf").unwrap()).is_some());
-        assert!(io.sleds.fid_of(io.image.function_index("kernel").unwrap()).is_none());
+        assert!(io
+            .sleds
+            .fid_of(io.image.function_index("tiny_leaf").unwrap())
+            .is_some());
+        assert!(io
+            .sleds
+            .fid_of(io.image.function_index("kernel").unwrap())
+            .is_none());
         assert_eq!(io.stats.never_listed, 1);
     }
 

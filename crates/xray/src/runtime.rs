@@ -252,11 +252,7 @@ impl XRayRuntime {
     }
 
     /// Restores the NOP sleds of one function.
-    pub fn unpatch_function(
-        &self,
-        mem: &mut AddressSpace,
-        id: PackedId,
-    ) -> Result<u32, XRayError> {
+    pub fn unpatch_function(&self, mem: &mut AddressSpace, id: PackedId) -> Result<u32, XRayError> {
         self.set_patch_state(mem, id, false)
     }
 
@@ -335,13 +331,11 @@ impl XRayRuntime {
         mem.mprotect(page_lo, page_hi - page_lo, PagePerms::RWX)?;
         let mut written = 0u32;
         for &fid in fids {
-            let entry = reg
-                .inst
-                .sleds
-                .by_fid(fid)
-                .ok_or_else(|| XRayError::UnknownFunction(
+            let entry = reg.inst.sleds.by_fid(fid).ok_or_else(|| {
+                XRayError::UnknownFunction(
                     PackedId::pack(object_id, fid).unwrap_or(PackedId::from_raw(0)),
-                ))?;
+                )
+            })?;
             if reg.patched[fid as usize] {
                 continue;
             }
@@ -491,10 +485,7 @@ impl XRayRuntime {
             .objects
             .iter()
             .enumerate()
-            .find(|(_, r)| {
-                r.as_ref()
-                    .is_some_and(|r| r.process_index == process_index)
-            })
+            .find(|(_, r)| r.as_ref().is_some_and(|r| r.process_index == process_index))
             .map(|(i, _)| i as u8)
     }
 
@@ -619,9 +610,17 @@ mod tests {
             .calls("kernel", 1)
             .calls("solve", 1)
             .finish();
-        b.function("kernel").statements(60).instructions(600).loop_depth(1).finish();
+        b.function("kernel")
+            .statements(60)
+            .instructions(600)
+            .loop_depth(1)
+            .finish();
         b.unit("s.cc", LinkTarget::Dso("libsolver.so".into()));
-        b.function("solve").statements(70).instructions(800).loop_depth(2).finish();
+        b.function("solve")
+            .statements(70)
+            .instructions(800)
+            .loop_depth(2)
+            .finish();
         let p = b.build().unwrap();
         let bin = compile(&p, &CompileOptions::o2()).unwrap();
         let process = Process::launch_binary(&bin).unwrap();
@@ -729,7 +728,9 @@ mod tests {
         let (mut f, main_id, _) = registered();
         let id = PackedId::pack(main_id, 0).unwrap();
         f.runtime.patch_function(&mut f.process.memory, id).unwrap();
-        f.runtime.unpatch_function(&mut f.process.memory, id).unwrap();
+        f.runtime
+            .unpatch_function(&mut f.process.memory, id)
+            .unwrap();
         assert!(!f.runtime.is_patched(id));
     }
 

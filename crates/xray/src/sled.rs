@@ -48,11 +48,8 @@ impl SledEntry {
 
     /// Iterates over all sled offsets with their kinds.
     pub fn offsets(&self) -> impl Iterator<Item = (u64, SledKind)> + '_ {
-        std::iter::once((self.entry_offset, SledKind::Entry)).chain(
-            self.exit_offsets
-                .iter()
-                .map(|&o| (o, SledKind::Exit)),
-        )
+        std::iter::once((self.entry_offset, SledKind::Entry))
+            .chain(self.exit_offsets.iter().map(|&o| (o, SledKind::Exit)))
     }
 }
 

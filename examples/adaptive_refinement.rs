@@ -23,9 +23,7 @@ fn main() {
     });
     let workflow = Workflow::analyze(program, CompileOptions::o2()).expect("analyze");
     let recompile_min = workflow.recompile_estimate_ns() as f64 / 60e9;
-    println!(
-        "static-mode cost per adjustment would be ≈{recompile_min:.1} min of recompilation\n"
-    );
+    println!("static-mode cost per adjustment would be ≈{recompile_min:.1} min of recompilation\n");
 
     let mut ic: InstrumentationConfig = workflow
         .select_ic(PAPER_SPECS[2].source)

@@ -13,12 +13,17 @@ use capi_scorep::score::{score_profile, ScoreParams};
 use capi_workloads::{lulesh, LuleshParams, PAPER_SPECS};
 
 fn main() {
-    let workflow = Workflow::analyze(lulesh(&LuleshParams::default()), CompileOptions::o3())
-        .expect("analyze");
-    println!("LULESH: {} call-graph nodes (paper: 3,360)", workflow.graph.len());
+    let workflow =
+        Workflow::analyze(lulesh(&LuleshParams::default()), CompileOptions::o3()).expect("analyze");
+    println!(
+        "LULESH: {} call-graph nodes (paper: 3,360)",
+        workflow.graph.len()
+    );
 
     // The paper's `kernels` spec.
-    let ic = workflow.select_ic(PAPER_SPECS[2].source).expect("kernels IC");
+    let ic = workflow
+        .select_ic(PAPER_SPECS[2].source)
+        .expect("kernels IC");
     println!(
         "kernels IC: {} functions ({} removed as inlined, {} callers added)",
         ic.ic.len(),

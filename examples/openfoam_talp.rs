@@ -26,10 +26,14 @@ fn main() {
     );
 
     // `mpi coarse`: MPI call paths, thinned by the coarse selector.
-    let ic = workflow.select_ic(PAPER_SPECS[1].source).expect("mpi coarse IC");
+    let ic = workflow
+        .select_ic(PAPER_SPECS[1].source)
+        .expect("mpi coarse IC");
     println!(
         "mpi-coarse IC: {} pre → {} post, +{} compensated ({:?})",
-        ic.compensation.selected_pre, ic.compensation.selected_post, ic.compensation.added,
+        ic.compensation.selected_pre,
+        ic.compensation.selected_post,
+        ic.compensation.added,
         ic.duration
     );
 

@@ -34,10 +34,15 @@ subtract(onCallPathTo(%k), %excluded)
     let ic = workflow.select_ic(spec).expect("selection");
     println!(
         "selection: {} pre → {} post (+{} compensated callers) in {:?}",
-        ic.compensation.selected_pre, ic.compensation.selected_post, ic.compensation.added,
+        ic.compensation.selected_pre,
+        ic.compensation.selected_post,
+        ic.compensation.added,
         ic.duration
     );
-    println!("IC (Score-P filter format):\n{}", ic.ic.to_scorep_filter().to_text());
+    println!(
+        "IC (Score-P filter format):\n{}",
+        ic.ic.to_scorep_filter().to_text()
+    );
 
     // 3+4. Instrument dynamically and measure with TALP.
     let outcome = workflow

@@ -11,9 +11,18 @@ use std::sync::Arc;
 fn binary_with_dso() -> capi_objmodel::Binary {
     let mut b = ProgramBuilder::new("host");
     b.unit("m.cc", LinkTarget::Executable);
-    b.function("main").main().statements(40).instructions(300).calls("plugin_entry", 1).finish();
+    b.function("main")
+        .main()
+        .statements(40)
+        .instructions(300)
+        .calls("plugin_entry", 1)
+        .finish();
     b.unit("p.cc", LinkTarget::Dso("libplugin.so".into()));
-    b.function("plugin_entry").statements(60).instructions(500).loop_depth(1).finish();
+    b.function("plugin_entry")
+        .statements(60)
+        .instructions(500)
+        .loop_depth(1)
+        .finish();
     compile(&b.build().unwrap(), &CompileOptions::o2()).unwrap()
 }
 
@@ -27,7 +36,11 @@ fn dso_register_patch_unload_reregister() {
         &PassOptions::instrument_all(),
     );
     runtime
-        .register_main(main_inst, process.object(0).unwrap(), TrampolineSet::absolute())
+        .register_main(
+            main_inst,
+            process.object(0).unwrap(),
+            TrampolineSet::absolute(),
+        )
         .unwrap();
 
     let dso_inst = instrument_object(
@@ -35,7 +48,12 @@ fn dso_register_patch_unload_reregister() {
         &PassOptions::instrument_all(),
     );
     let oid = runtime
-        .register_dso(dso_inst.clone(), process.object(1).unwrap(), 1, TrampolineSet::pic())
+        .register_dso(
+            dso_inst.clone(),
+            process.object(1).unwrap(),
+            1,
+            TrampolineSet::pic(),
+        )
         .unwrap();
     let fid = dso_inst
         .sleds
@@ -69,7 +87,11 @@ fn more_than_255_dsos_is_rejected() {
     // the image + a load address.
     let mut b = ProgramBuilder::new("host");
     b.unit("m.cc", LinkTarget::Executable);
-    b.function("main").main().statements(30).instructions(250).finish();
+    b.function("main")
+        .main()
+        .statements(30)
+        .instructions(250)
+        .finish();
     let bin = compile(&b.build().unwrap(), &CompileOptions::o2()).unwrap();
     let mut process = Process::launch_binary(&bin).unwrap();
     let runtime = XRayRuntime::new();
@@ -78,7 +100,11 @@ fn more_than_255_dsos_is_rejected() {
         &PassOptions::instrument_all(),
     );
     runtime
-        .register_main(main_inst, process.object(0).unwrap(), TrampolineSet::absolute())
+        .register_main(
+            main_inst,
+            process.object(0).unwrap(),
+            TrampolineSet::absolute(),
+        )
         .unwrap();
 
     let mut last = Ok(0u8);
@@ -113,7 +139,11 @@ fn absolute_trampolines_in_dso_fault_pic_works() {
         &PassOptions::instrument_all(),
     );
     runtime
-        .register_main(main_inst, process.object(0).unwrap(), TrampolineSet::absolute())
+        .register_main(
+            main_inst,
+            process.object(0).unwrap(),
+            TrampolineSet::absolute(),
+        )
         .unwrap();
     // Mis-linked: absolute trampolines inside the relocated DSO.
     let dso_inst = instrument_object(
@@ -137,8 +167,7 @@ fn absolute_trampolines_in_dso_fault_pic_works() {
 }
 
 #[test]
-fn memory_map_tracks_load_and_unload()
-{
+fn memory_map_tracks_load_and_unload() {
     let bin = binary_with_dso();
     let mut process = Process::launch_binary(&bin).unwrap();
     assert_eq!(process.memory_map().len(), 2);

@@ -25,7 +25,10 @@ fn stale_ic_entries_are_reported_not_fatal() {
         .report
         .selected_missing
         .contains(&"function_renamed_last_release".to_string()));
-    assert!(session.report.selected_missing.contains(&"norm_helper".to_string()));
+    assert!(session
+        .report
+        .selected_missing
+        .contains(&"norm_helper".to_string()));
     session.run().expect("runs fine with partial IC");
 }
 
@@ -45,10 +48,7 @@ fn collective_mismatch_poisons_the_world() {
         Err(MpiError::CollectiveMismatch { .. }) | Err(MpiError::Poisoned)
     )));
     // The world stays poisoned for later operations.
-    assert_eq!(
-        w.collective(0, 0, MpiOp::Barrier),
-        Err(MpiError::Poisoned)
-    );
+    assert_eq!(w.collective(0, 0, MpiOp::Barrier), Err(MpiError::Poisoned));
 }
 
 #[test]
@@ -58,7 +58,11 @@ fn writes_to_protected_pages_fault() {
             &{
                 let mut b = ProgramBuilder::new("x");
                 b.unit("m.cc", LinkTarget::Executable);
-                b.function("main").main().statements(20).instructions(600).finish();
+                b.function("main")
+                    .main()
+                    .statements(20)
+                    .instructions(600)
+                    .finish();
                 b.build().unwrap()
             },
             &CompileOptions::o2(),
@@ -132,7 +136,12 @@ fn mpi_stub_without_init_fails_cleanly_through_executor() {
     // the executor must surface MpiError::NotInitialized.
     let mut b = ProgramBuilder::new("broken");
     b.unit("m.cc", LinkTarget::Executable);
-    b.function("main").main().statements(30).instructions(250).calls("MPI_Allreduce", 1).finish();
+    b.function("main")
+        .main()
+        .statements(30)
+        .instructions(250)
+        .calls("MPI_Allreduce", 1)
+        .finish();
     b.function("MPI_Allreduce")
         .statements(1)
         .instructions(8)
@@ -157,7 +166,11 @@ fn empty_selection_is_valid_and_measures_nothing() {
     let out = wf.select_ic(r#"byName("^no_such_function$", %%)"#).unwrap();
     assert!(out.ic.is_empty());
     let m = wf
-        .measure(&out.ic, capi_dyncapi::ToolChoice::Talp(Default::default()), 2)
+        .measure(
+            &out.ic,
+            capi_dyncapi::ToolChoice::Talp(Default::default()),
+            2,
+        )
         .unwrap();
     assert_eq!(m.run.run.events, 0);
 }

@@ -27,7 +27,12 @@ fn talp_pipeline_produces_pop_metrics() {
         .expect("session");
     let out = session.run().expect("run");
     assert!(out.run.events > 0);
-    let report = session.talp.as_ref().unwrap().final_report().expect("report");
+    let report = session
+        .talp
+        .as_ref()
+        .unwrap()
+        .final_report()
+        .expect("report");
     let stencil = report
         .iter()
         .find(|m| m.name == "stencil_kernel")
@@ -43,8 +48,13 @@ fn talp_pipeline_produces_pop_metrics() {
 fn scorep_pipeline_builds_call_tree() {
     let wf = workflow();
     let ic = wf.select_ic(KERNELS_SPEC).expect("select");
-    let session = dynamic_session(&wf.binary, &ic.ic, ToolChoice::Scorep(Default::default()), 2)
-        .expect("session");
+    let session = dynamic_session(
+        &wf.binary,
+        &ic.ic,
+        ToolChoice::Scorep(Default::default()),
+        2,
+    )
+    .expect("session");
     session.run().expect("run");
     let scorep = session.scorep.as_ref().unwrap();
     let merged = scorep.merged();
@@ -84,7 +94,10 @@ fn ic_survives_all_on_disk_formats() {
     let parsed = FilterFile::parse(&filter_text).expect("parse");
     assert_eq!(InstrumentationConfig::from_scorep_filter(&parsed), ic);
     // Plain list.
-    assert_eq!(InstrumentationConfig::from_plain_text(&ic.to_plain_text()), ic);
+    assert_eq!(
+        InstrumentationConfig::from_plain_text(&ic.to_plain_text()),
+        ic
+    );
     // JSON.
     assert_eq!(InstrumentationConfig::from_json(&ic.to_json()).unwrap(), ic);
 }
@@ -110,7 +123,10 @@ fn compensation_handles_inlined_selection() {
         .expect("select");
     assert_eq!(out.compensation.selected_pre, 1);
     assert_eq!(out.compensation.selected_post, 0);
-    assert_eq!(out.compensation.added_names, vec!["compute_residual".to_string()]);
+    assert_eq!(
+        out.compensation.added_names,
+        vec!["compute_residual".to_string()]
+    );
     assert!(out.ic.contains("compute_residual"));
     assert!(!out.ic.contains("norm_helper"));
 }

@@ -27,7 +27,10 @@ fn selection_proportions_follow_the_paper() {
 
     // mpi selects a double-digit percentage before compensation…
     let pre_frac = mpi.compensation.selected_pre as f64 / total;
-    assert!(pre_frac > 0.05 && pre_frac < 0.25, "mpi pre fraction {pre_frac}");
+    assert!(
+        pre_frac > 0.05 && pre_frac < 0.25,
+        "mpi pre fraction {pre_frac}"
+    );
     // …and compensation removes the majority (inlined tiny field ops).
     assert!(mpi.compensation.selected_post * 3 / 2 < mpi.compensation.selected_pre);
     // Compensation adds surviving callers (the paper's +1,366).
@@ -42,8 +45,7 @@ fn selection_proportions_follow_the_paper() {
 fn all_six_dsos_are_patchable_and_hidden_symbols_counted() {
     let wf = workflow();
     let ic = wf.select_ic(PAPER_SPECS[0].source).expect("mpi");
-    let session =
-        capi::dynamic_session(&wf.binary, &ic.ic, ToolChoice::None, 2).expect("session");
+    let session = capi::dynamic_session(&wf.binary, &ic.ic, ToolChoice::None, 2).expect("session");
     assert_eq!(session.report.dsos, 6, "paper: 6 patchable DSOs");
     // Hidden internals + static initializers cannot be resolved.
     assert!(session.report.symres.unresolved_hidden > 0);
@@ -56,20 +58,21 @@ fn all_six_dsos_are_patchable_and_hidden_symbols_counted() {
 fn talp_regions_entered_before_mpi_init_fail() {
     let wf = workflow();
     let ic = wf.select_ic(PAPER_SPECS[0].source).expect("mpi");
-    let session = capi::dynamic_session(
-        &wf.binary,
-        &ic.ic,
-        ToolChoice::Talp(Default::default()),
-        2,
-    )
-    .expect("session");
+    let session =
+        capi::dynamic_session(&wf.binary, &ic.ic, ToolChoice::Talp(Default::default()), 2)
+            .expect("session");
     session.run().expect("run");
     let stats = session.talp_adapter.as_ref().unwrap().stats();
     // main (and the pre-init setup path) cannot register (paper §VI-B(b)).
     assert!(stats.regions_failed_pre_init >= 1);
     assert!(stats.regions_registered > 0);
     // main never shows up in the report.
-    let report = session.talp.as_ref().unwrap().final_report().expect("report");
+    let report = session
+        .talp
+        .as_ref()
+        .unwrap()
+        .final_report()
+        .expect("report");
     assert!(!report.iter().any(|m| m.name == "main"));
 }
 
@@ -78,15 +81,15 @@ fn region_table_pressure_reproduces_unique_failed_entries() {
     let wf = workflow();
     let ic = wf.select_ic(PAPER_SPECS[0].source).expect("mpi");
     // First learn the region count, then squeeze the table.
-    let ample = capi::dynamic_session(
-        &wf.binary,
-        &ic.ic,
-        ToolChoice::Talp(Default::default()),
-        2,
-    )
-    .expect("session");
+    let ample = capi::dynamic_session(&wf.binary, &ic.ic, ToolChoice::Talp(Default::default()), 2)
+        .expect("session");
     ample.run().expect("run");
-    let registered = ample.talp_adapter.as_ref().unwrap().stats().regions_registered;
+    let registered = ample
+        .talp_adapter
+        .as_ref()
+        .unwrap()
+        .stats()
+        .regions_registered;
     assert!(registered > 100);
 
     let squeezed = startup(
@@ -132,11 +135,17 @@ fn scorep_full_profiles_unknown_regions_for_hidden_functions() {
     // Hidden-but-executed functions appear as UNKNOWN@… regions: DynCaPI
     // injected only *exported* DSO symbols.
     assert!(
-        scorep.region_names().iter().any(|n| n.starts_with("UNKNOWN@0x")),
+        scorep
+            .region_names()
+            .iter()
+            .any(|n| n.starts_with("UNKNOWN@0x")),
         "hidden executed functions must profile as UNKNOWN"
     );
     // But everything exported resolves (symbol injection worked).
-    assert!(scorep.region_names().iter().any(|n| n == "Foam::lduMatrix::Amul"));
+    assert!(scorep
+        .region_names()
+        .iter()
+        .any(|n| n == "Foam::lduMatrix::Amul"));
 }
 
 #[test]
@@ -149,7 +158,10 @@ sel = join(byName("solveSegregated", %%), byName("PCG::solve", %%), byName("scal
 coarse(%sel, byName("Amul", %%))
 "#;
     let out = wf.select_ic(spec).expect("select");
-    assert!(out.ic.contains("Foam::lduMatrix::Amul"), "critical function retained");
+    assert!(
+        out.ic.contains("Foam::lduMatrix::Amul"),
+        "critical function retained"
+    );
     // scalarSolve's only caller (PCG::solve) is selected: removed.
     assert!(!out.ic.contains("Foam::PCG::scalarSolve"));
     // PCG::solve has two selected callers (scalar + vector solveSegregated):

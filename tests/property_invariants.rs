@@ -3,9 +3,9 @@
 //! curated workloads.
 
 use capi_appmodel::{LinkTarget, ProgramBuilder, SourceProgram};
-use capi_metacg::{merge, whole_program_callgraph, local_callgraph};
+use capi_metacg::{local_callgraph, merge, whole_program_callgraph};
 use capi_objmodel::{compile, CompileOptions, Process};
-use capi_xray::{instrument_object, PassOptions, TrampolineSet, XRayRuntime, PackedId};
+use capi_xray::{instrument_object, PackedId, PassOptions, TrampolineSet, XRayRuntime};
 use proptest::prelude::*;
 
 /// Strategy: a random acyclic program with `n` functions in up to three
@@ -15,7 +15,9 @@ fn arb_program(max_n: usize) -> impl Strategy<Value = SourceProgram> {
     (2..max_n, any::<u64>()).prop_map(|(n, seed)| {
         let mut rng = seed;
         let mut next = move || {
-            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (rng >> 33) as u32
         };
         let mut b = ProgramBuilder::new("prop");

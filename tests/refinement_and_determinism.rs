@@ -14,10 +14,14 @@ k = flops(">=", 10, loopDepth(">=", 1, %%))
 onCallPathTo(%k)
 "#;
     let mut ic = wf.select_ic(spec).unwrap().ic;
-    let m1 = wf.measure(&ic, ToolChoice::Talp(Default::default()), 2).unwrap();
+    let m1 = wf
+        .measure(&ic, ToolChoice::Talp(Default::default()), 2)
+        .unwrap();
     // Adjust: the user decides cell_update is too noisy.
     assert!(ic.remove("cell_update"));
-    let m2 = wf.measure(&ic, ToolChoice::Talp(Default::default()), 2).unwrap();
+    let m2 = wf
+        .measure(&ic, ToolChoice::Talp(Default::default()), 2)
+        .unwrap();
     assert!(m2.run.run.events < m1.run.run.events);
     // Dynamic turnaround is orders of magnitude below static.
     assert!(m2.dynamic_turnaround_ns * 100 < m2.static_turnaround_ns);

@@ -1,0 +1,85 @@
+//! Smoke test for the umbrella crate's public surface.
+//!
+//! Everything here goes through `capi_repro::*` re-exports only — if a
+//! sub-crate drops out of the umbrella or a re-exported path changes,
+//! this is the tier-1 test that notices. The scenario is the
+//! quickstart workload driven once around the paper's Fig. 1 loop:
+//! select → instrument → measure.
+
+use capi_repro::capi::{dynamic_session, Workflow};
+use capi_repro::dyncapi::ToolChoice;
+use capi_repro::objmodel::CompileOptions;
+use capi_repro::talp::render_report;
+use capi_repro::workloads::quickstart_app;
+
+#[test]
+fn umbrella_reexports_cover_the_fig1_loop() {
+    // Analyze: program model → call graph + compiled binary.
+    let program = quickstart_app(50);
+    let workflow = Workflow::analyze(program, CompileOptions::o2()).expect("analyze");
+    assert!(workflow.graph.len() > 10, "quickstart graph too small");
+    assert!(workflow.graph.num_edges() > 0);
+
+    // Select: loop kernels, minus system headers and inlined bodies.
+    let spec = r#"
+excluded = join(inSystemHeader(%%), inlineSpecified(%%))
+k = flops(">=", 10, loopDepth(">=", 1, %%))
+subtract(onCallPathTo(%k), %excluded)
+"#;
+    let ic = workflow.select_ic(spec).expect("selection");
+    assert!(ic.compensation.selected_post > 0, "empty selection");
+
+    // Instrument + measure: DynCaPI patching under TALP on 4 ranks.
+    let outcome = workflow
+        .measure(&ic.ic, ToolChoice::Talp(Default::default()), 4)
+        .expect("measure");
+    assert!(outcome.run.run.events > 0, "no instrumentation events");
+    assert_eq!(outcome.run.run.events % 2, 0, "unbalanced entry/exit");
+
+    // The measurement tool must produce a renderable report.
+    let session = dynamic_session(
+        &workflow.binary,
+        &ic.ic,
+        ToolChoice::Talp(Default::default()),
+        4,
+    )
+    .expect("session");
+    session.run().expect("run");
+    let report = session
+        .talp
+        .as_ref()
+        .expect("talp configured")
+        .final_report()
+        .expect("finalize ran");
+    let rendered = render_report(&report, Some(6));
+    assert!(!rendered.is_empty());
+}
+
+#[test]
+fn umbrella_names_every_subsystem() {
+    // Touch one symbol per re-exported crate so a dropped module is a
+    // compile error in tier-1, not a silent API regression.
+    use capi_repro::{
+        appmodel, exec, metacg, mpisim, objmodel, scorep, spec as spec_mod, workloads, xray,
+    };
+
+    let program = workloads::quickstart_app(10);
+    let graph = metacg::whole_program_callgraph(&program);
+    assert!(!graph.is_empty());
+
+    let registry = spec_mod::ModuleRegistry::with_builtins();
+    assert!(!registry.names().is_empty());
+
+    let bin = objmodel::compile(&program, &objmodel::CompileOptions::o2()).expect("compile");
+    assert!(bin.objects().count() > 0);
+
+    let id = xray::PackedId::pack(1, 42).expect("pack");
+    assert_eq!((id.object(), id.function()), (1, 42));
+
+    let world = mpisim::World::new(2, mpisim::CostModel::default());
+    assert_eq!(world.size(), 2);
+
+    let _attrs = appmodel::FunctionAttrs::default();
+    let _engine_exists = std::any::type_name::<exec::Engine<'static>>();
+    let _filter = scorep::FilterFile::new();
+}

@@ -1,0 +1,201 @@
+//! Offline shim for the `bytes` crate.
+//!
+//! Implements the subset the workspace uses: [`BytesMut`] as a growable
+//! byte buffer with an advance cursor, the [`Buf`] reader trait for
+//! `&[u8]` and [`BytesMut`], and the [`BufMut`] writer trait. Multi-byte
+//! integers use big-endian order, matching the real crate's `get_*` /
+//! `put_*` defaults.
+
+use std::ops::{Deref, DerefMut};
+
+/// Read access to a cursor-advancing byte buffer.
+pub trait Buf {
+    /// Bytes remaining to read.
+    fn remaining(&self) -> usize;
+
+    /// A view of the remaining bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Discards the next `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Reads one byte and advances.
+    fn get_u8(&mut self) -> u8 {
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+
+    /// Reads a big-endian `u32` and advances.
+    fn get_u32(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(&self.chunk()[..4]);
+        self.advance(4);
+        u32::from_be_bytes(raw)
+    }
+
+    /// Reads a big-endian `u64` and advances.
+    fn get_u64(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        u64::from_be_bytes(raw)
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+}
+
+/// Write access to a growable byte buffer.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, n: u8) {
+        self.put_slice(&[n]);
+    }
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, n: u32) {
+        self.put_slice(&n.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, n: u64) {
+        self.put_slice(&n.to_be_bytes());
+    }
+}
+
+/// A growable byte buffer that supports consuming from the front.
+///
+/// Backed by a `Vec<u8>` plus a read offset; [`Buf::advance`] moves the
+/// offset and the storage is compacted once more than half the backing
+/// vector is dead space, keeping amortized costs linear like the real
+/// crate's ring-buffer behaviour.
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+    head: usize,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty buffer with room for `capacity` bytes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(capacity),
+            head: 0,
+        }
+    }
+
+    /// Readable bytes currently in the buffer.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.head
+    }
+
+    /// Whether no readable bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all contents.
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.head = 0;
+    }
+
+    fn compact(&mut self) {
+        if self.head > self.data.len() / 2 {
+            self.data.drain(..self.head);
+            self.head = 0;
+        }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data[self.head..]
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data[self.head..]
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of BytesMut");
+        self.head += cnt;
+        self.compact();
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_advance() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u32(0xdead_beef);
+        b.put_u8(7);
+        b.put_u64(42);
+        assert_eq!(b.len(), 13);
+        let mut view = &b[..];
+        assert_eq!(view.get_u32(), 0xdead_beef);
+        assert_eq!(view.get_u8(), 7);
+        assert_eq!(view.get_u64(), 42);
+        assert!(view.is_empty());
+        b.advance(5);
+        assert_eq!(b.len(), 8);
+        let mut view = &b[..];
+        assert_eq!(view.get_u64(), 42);
+    }
+
+    #[test]
+    fn compaction_keeps_contents() {
+        let mut b = BytesMut::new();
+        for i in 0..100u8 {
+            b.put_u8(i);
+        }
+        b.advance(90);
+        assert_eq!(b.len(), 10);
+        assert_eq!(b[0], 90);
+        b.put_u8(200);
+        assert_eq!(b[10], 200);
+    }
+}

@@ -1,0 +1,72 @@
+//! Offline shim for `crossbeam`.
+//!
+//! Only the `channel` module is provided, backed by `std::sync::mpsc`.
+//! The workspace keeps each receiver behind a mutex (single consumer),
+//! so std's channel semantics match what the real crate would provide.
+
+pub mod channel {
+    //! Multi-producer channels with the crossbeam naming scheme.
+
+    use std::sync::mpsc;
+
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// Sending half of an unbounded channel.
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Self {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, failing only if all receivers are gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.inner.send(msg)
+        }
+    }
+
+    /// Receiving half of an unbounded channel.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv()
+        }
+
+        /// Returns a pending message without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_across_clones() {
+            let (tx, rx) = unbounded();
+            let tx2 = tx.clone();
+            tx.send(1u64).unwrap();
+            tx2.send(2).unwrap();
+            assert_eq!(rx.recv().unwrap(), 1);
+            assert_eq!(rx.recv().unwrap(), 2);
+            assert!(matches!(rx.try_recv(), Err(TryRecvError::Empty)));
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Collection strategies.
+
+use crate::{Strategy, TestRng};
+use std::ops::Range;
+
+/// Allowed lengths for a generated collection.
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    start: usize,
+    end: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        Self {
+            start: r.start,
+            end: r.end,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(len: usize) -> Self {
+        Self {
+            start: len,
+            end: len + 1,
+        }
+    }
+}
+
+/// Strategy for `Vec<T>` with element strategy `element` and a length
+/// drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy returned by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        assert!(self.size.start < self.size.end, "empty size range");
+        let span = (self.size.end - self.size.start) as u64;
+        let len = self.size.start + rng.below(span) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_lengths_in_range() {
+        let strategy = vec(0u32..10, 2..5);
+        let mut rng = TestRng::deterministic("vec", 0);
+        for _ in 0..200 {
+            let v = strategy.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+}

@@ -1,0 +1,456 @@
+//! Offline shim for `proptest`.
+//!
+//! A deterministic property-testing mini-harness: the [`proptest!`]
+//! macro runs each property over `ProptestConfig::cases` inputs drawn
+//! from [`Strategy`] values seeded by the test name and case index.
+//! There is no shrinking — a failing case panics with the standard
+//! assertion message, and reruns are reproducible because generation is
+//! fully deterministic.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+pub mod collection;
+
+/// Everything a property test normally imports.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Per-`proptest!` block configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated inputs per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Deterministic generator state (splitmix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from a test name and case index, so every case of every
+    /// property draws an independent, reproducible stream.
+    pub fn deterministic(name: &str, case: u64) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+        for byte in name.bytes() {
+            seed ^= u64::from(byte);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self {
+            state: seed ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// A source of generated values.
+///
+/// The real crate's strategies produce shrinkable value *trees*; this
+/// shim generates plain values directly.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> MapStrategy<Self, F>
+    where
+        Self: Sized,
+    {
+        MapStrategy { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct MapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for MapStrategy<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Types with a canonical full-range strategy, via [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for `T` over its whole value space.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_uint {
+    ($($t:ty)*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = u64::from(self.end - self.start);
+                self.start + rng.below(span) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = u64::from(hi - lo) + 1; // no overflow: span of u32-or-smaller fits
+                lo + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_uint!(u8 u16 u32);
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Strategy for Range<u64> {
+    type Value = u64;
+
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.below(self.end - self.start)
+    }
+}
+
+impl Strategy for Range<usize> {
+    type Value = usize;
+
+    fn generate(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.below((self.end - self.start) as u64) as usize
+    }
+}
+
+impl Strategy for Range<i64> {
+    type Value = i64;
+
+    fn generate(&self, rng: &mut TestRng) -> i64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let span = self.end.abs_diff(self.start);
+        self.start.wrapping_add(rng.below(span) as i64)
+    }
+}
+
+impl Strategy for Range<i32> {
+    type Value = i32;
+
+    fn generate(&self, rng: &mut TestRng) -> i32 {
+        assert!(self.start < self.end, "empty range strategy");
+        let span = u64::from(self.end.abs_diff(self.start));
+        self.start.wrapping_add(rng.below(span) as i32)
+    }
+}
+
+/// String strategies are regex patterns, as in the real crate.
+///
+/// Supported syntax is the subset used by this workspace's properties:
+/// character classes (`[a-z0-9_]`, with ranges and literal members),
+/// `.` (printable ASCII), `\d`/`\w`/`\s`, escaped literals (`\.`),
+/// literal characters, and the repetitions `{n}`, `{m,n}`, `?`, `*`,
+/// `+` (the unbounded forms are capped at 8). Unsupported escape
+/// classes panic rather than silently generating literals.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        let chars: Vec<char> = self.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let class: Vec<char> = match chars[i] {
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .expect("unterminated character class")
+                        + i;
+                    let mut members = Vec::new();
+                    let mut j = i + 1;
+                    while j < close {
+                        if j + 2 < close && chars[j + 1] == '-' {
+                            let (lo, hi) = (chars[j], chars[j + 2]);
+                            members.extend(lo..=hi);
+                            j += 3;
+                        } else {
+                            members.push(chars[j]);
+                            j += 1;
+                        }
+                    }
+                    i = close + 1;
+                    members
+                }
+                '.' => {
+                    i += 1;
+                    (' '..='~').collect()
+                }
+                '\\' => {
+                    let escaped = *chars.get(i + 1).expect("trailing backslash in pattern");
+                    i += 2;
+                    match escaped {
+                        'd' => ('0'..='9').collect(),
+                        'w' => ('a'..='z')
+                            .chain('A'..='Z')
+                            .chain('0'..='9')
+                            .chain(['_'])
+                            .collect(),
+                        's' => vec![' ', '\t', '\n'],
+                        c if c.is_ascii_alphanumeric() => {
+                            panic!("unsupported escape class \\{c} in pattern")
+                        }
+                        c => vec![c],
+                    }
+                }
+                literal => {
+                    i += 1;
+                    vec![literal]
+                }
+            };
+            let (min, max) = match chars.get(i) {
+                Some('{') => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .expect("unterminated repetition")
+                        + i;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.parse().expect("bad repetition bound"),
+                            hi.parse().expect("bad repetition bound"),
+                        ),
+                        None => {
+                            let n: usize = body.parse().expect("bad repetition count");
+                            (n, n)
+                        }
+                    }
+                }
+                Some('?') => {
+                    i += 1;
+                    (0, 1)
+                }
+                Some('*') => {
+                    i += 1;
+                    (0, 8)
+                }
+                Some('+') => {
+                    i += 1;
+                    (1, 8)
+                }
+                _ => (1, 1),
+            };
+            assert!(!class.is_empty(), "empty character class");
+            let count = min + rng.below((max - min + 1) as u64) as usize;
+            for _ in 0..count {
+                out.push(class[rng.below(class.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+macro_rules! strategy_tuple {
+    ($($name:ident)+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+strategy_tuple!(A);
+strategy_tuple!(A B);
+strategy_tuple!(A B C);
+strategy_tuple!(A B C D);
+
+/// Runs properties over generated inputs.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(16))]
+///
+///     #[test]
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest_tests! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest_tests! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! proptest_tests {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            for case in 0..u64::from(config.cases) {
+                let mut rng = $crate::TestRng::deterministic(stringify!($name), case);
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                $body
+            }
+        }
+        $crate::proptest_tests! { ($config) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)+) => { assert!($($tt)+) };
+}
+
+/// Asserts equality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)+) => { assert_eq!($($tt)+) };
+}
+
+/// Asserts inequality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)+) => { assert_ne!($($tt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = crate::TestRng::deterministic("bounds", 0);
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(10u32..20), &mut rng);
+            assert!((10..20).contains(&v));
+            let w = Strategy::generate(&(0u8..=255), &mut rng);
+            let _ = w; // full range: any value is valid
+        }
+    }
+
+    #[test]
+    fn regex_escape_classes_generate_members() {
+        let mut rng = crate::TestRng::deterministic("escapes", 0);
+        for _ in 0..200 {
+            let s = Strategy::generate(&r"\d{3}", &mut rng);
+            assert_eq!(s.len(), 3);
+            assert!(s.chars().all(|c| c.is_ascii_digit()), "non-digit in {s}");
+            let w = Strategy::generate(&r"\w{4}\.", &mut rng);
+            assert!(w.ends_with('.'));
+            assert!(w[..4]
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn determinism_across_reruns() {
+        let mut a = crate::TestRng::deterministic("same", 7);
+        let mut b = crate::TestRng::deterministic("same", 7);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn macro_round_trip(x in 1u32..100, y in any::<u64>()) {
+            prop_assert!((1..100).contains(&x));
+            prop_assert_eq!(y, y);
+        }
+    }
+}

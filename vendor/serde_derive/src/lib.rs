@@ -1,0 +1,22 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The workspace builds without registry access, so the real derive
+//! macros are replaced by no-ops: they accept the same syntax (including
+//! `#[serde(...)]` helper attributes) and emit no code. Nothing in the
+//! workspace invokes serde's trait machinery through generics — JSON
+//! handling goes through `serde_json::Value` directly — so empty
+//! expansions are sufficient.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

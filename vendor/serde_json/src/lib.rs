@@ -1,0 +1,35 @@
+//! Offline shim for `serde_json`.
+//!
+//! Unlike the other vendored shims this is a *working* JSON library —
+//! the workspace round-trips MetaCG documents and IC artifacts through
+//! text — just trimmed to the `Value`-centric subset used here: the
+//! [`Value`] tree, a strict parser ([`from_str`]), compact and pretty
+//! printers, the [`json!`] macro, and conversion via [`ToJsonValue`]
+//! instead of serde's `Serialize`.
+
+mod macros;
+mod parse;
+mod print;
+mod value;
+
+pub use parse::{from_str, Error};
+pub use value::{Map, Number, ToJsonValue, Value};
+
+/// Converts a value into a [`Value`] tree.
+///
+/// Mirrors `serde_json::to_value`, with [`ToJsonValue`] standing in for
+/// `Serialize`. Infallible for every implementor in this shim; the
+/// `Result` is kept for call-site compatibility.
+pub fn to_value<T: ToJsonValue + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_json_value())
+}
+
+/// Serializes to a compact JSON string.
+pub fn to_string<T: ToJsonValue + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(print::compact(&value.to_json_value()))
+}
+
+/// Serializes to a pretty JSON string (two-space indent).
+pub fn to_string_pretty<T: ToJsonValue + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(print::pretty(&value.to_json_value()))
+}

@@ -1,0 +1,120 @@
+//! The `json!` construction macro (tt-muncher, like the real crate).
+
+/// Builds a [`Value`](crate::Value) from JSON-like syntax.
+///
+/// Supports nested object and array literals, `null`/`true`/`false`,
+/// and arbitrary Rust expressions in value position (converted through
+/// [`ToJsonValue`](crate::ToJsonValue), by reference — expressions are
+/// not moved).
+#[macro_export]
+macro_rules! json {
+    ($($tt:tt)+) => {
+        $crate::json_internal!($($tt)+)
+    };
+}
+
+/// Implementation detail of [`json!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_internal {
+    //////////// array element muncher: (@array [built elems] rest...) ////////////
+    (@array [$($elems:expr,)*]) => {
+        vec![$($elems,)*]
+    };
+
+    (@array [$($elems:expr,)*] null $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(null),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] true $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(true),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] false $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(false),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] [$($nested:tt)*] $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!([$($nested)*]),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] {$($nested:tt)*} $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!({$($nested)*}),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $next:expr, $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($next),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $last:expr) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($last),])
+    };
+    (@array [$($elems:expr,)*] , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)*] $($rest)*)
+    };
+
+    //////////// object entry muncher: (@object map (key toks) (rest) (copy)) ////////////
+    (@object $map:ident () () ()) => {};
+
+    // Insert the current key/value pair, then continue after a comma.
+    (@object $map:ident [$($key:tt)+] ($value:expr) , $($rest:tt)*) => {
+        let _ = $map.insert(($($key)+).into(), $value);
+        $crate::json_internal!(@object $map () ($($rest)*) ($($rest)*));
+    };
+    // Insert the final key/value pair.
+    (@object $map:ident [$($key:tt)+] ($value:expr)) => {
+        let _ = $map.insert(($($key)+).into(), $value);
+    };
+
+    // Value is a literal keyword, array or object.
+    (@object $map:ident ($($key:tt)+) (: null $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $map [$($key)+] ($crate::json_internal!(null)) $($rest)*);
+    };
+    (@object $map:ident ($($key:tt)+) (: true $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $map [$($key)+] ($crate::json_internal!(true)) $($rest)*);
+    };
+    (@object $map:ident ($($key:tt)+) (: false $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $map [$($key)+] ($crate::json_internal!(false)) $($rest)*);
+    };
+    (@object $map:ident ($($key:tt)+) (: [$($arr:tt)*] $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $map [$($key)+] ($crate::json_internal!([$($arr)*])) $($rest)*);
+    };
+    (@object $map:ident ($($key:tt)+) (: {$($obj:tt)*} $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $map [$($key)+] ($crate::json_internal!({$($obj)*})) $($rest)*);
+    };
+    // Value is a general expression followed by more entries.
+    (@object $map:ident ($($key:tt)+) (: $value:expr , $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $map [$($key)+] ($crate::json_internal!($value)) , $($rest)*);
+    };
+    // Value is the final expression.
+    (@object $map:ident ($($key:tt)+) (: $value:expr) $copy:tt) => {
+        $crate::json_internal!(@object $map [$($key)+] ($crate::json_internal!($value)));
+    };
+    // Accumulate the next token into the key.
+    (@object $map:ident ($($key:tt)*) ($tt:tt $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $map ($($key)* $tt) ($($rest)*) $copy);
+    };
+
+    //////////// entry points ////////////
+    (null) => {
+        $crate::Value::Null
+    };
+    (true) => {
+        $crate::Value::Bool(true)
+    };
+    (false) => {
+        $crate::Value::Bool(false)
+    };
+    ([]) => {
+        $crate::Value::Array(vec![])
+    };
+    ([ $($tt:tt)+ ]) => {
+        $crate::Value::Array($crate::json_internal!(@array [] $($tt)+))
+    };
+    ({}) => {
+        $crate::Value::Object($crate::Map::new())
+    };
+    ({ $($tt:tt)+ }) => {{
+        let mut map = $crate::Map::new();
+        $crate::json_internal!(@object map () ($($tt)+) ($($tt)+));
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => {
+        // `to_value` is infallible for every `ToJsonValue` implementor.
+        $crate::to_value(&$other).unwrap()
+    };
+}

@@ -1,0 +1,450 @@
+//! The JSON value tree and conversions into it.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON number: unsigned, signed, or floating point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Number {
+    /// A non-negative integer.
+    PosInt(u64),
+    /// A negative integer.
+    NegInt(i64),
+    /// A finite float.
+    Float(f64),
+}
+
+impl Number {
+    /// The value as `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::PosInt(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::PosInt(n) => i64::try_from(n).ok(),
+            Number::NegInt(n) => Some(n),
+            Number::Float(_) => None,
+        }
+    }
+
+    /// The value as `f64` (lossy for large integers).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Number::PosInt(n) => Some(n as f64),
+            Number::NegInt(n) => Some(n as f64),
+            Number::Float(n) => Some(n),
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Number::PosInt(n) => write!(f, "{n}"),
+            Number::NegInt(n) => write!(f, "{n}"),
+            // Keep a decimal point on integral floats so the text form
+            // parses back as a float, like the real crate does.
+            Number::Float(n) if n.fract() == 0.0 && n.is_finite() && n.abs() < 1e15 => {
+                write!(f, "{n:.1}")
+            }
+            // Unreachable through `ToJsonValue` (non-finite maps to
+            // null there); a hand-built non-finite Number still must
+            // not serialize as `NaN`/`inf`, which no parser accepts.
+            Number::Float(n) if !n.is_finite() => f.write_str("null"),
+            Number::Float(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// An order-preserving string-keyed map.
+///
+/// The real crate defaults to `BTreeMap` storage; so does this shim, so
+/// object keys serialize in sorted order and text round-trips are
+/// deterministic. The type parameters exist for name compatibility with
+/// `serde_json::Map<String, Value>`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Map<K = String, V = Value>
+where
+    K: Ord,
+{
+    entries: BTreeMap<K, V>,
+}
+
+impl<K: Ord, V> Map<K, V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self {
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts a key-value pair, returning any previous value.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        self.entries.insert(key, value)
+    }
+
+    /// Removes a key, returning its value if present.
+    pub fn remove<Q: Ord + ?Sized>(&mut self, key: &Q) -> Option<V>
+    where
+        K: std::borrow::Borrow<Q>,
+    {
+        self.entries.remove(key)
+    }
+
+    /// Looks up a key.
+    pub fn get<Q: Ord + ?Sized>(&self, key: &Q) -> Option<&V>
+    where
+        K: std::borrow::Borrow<Q>,
+    {
+        self.entries.get(key)
+    }
+
+    /// Whether a key is present.
+    pub fn contains_key<Q: Ord + ?Sized>(&self, key: &Q) -> bool
+    where
+        K: std::borrow::Borrow<Q>,
+    {
+        self.entries.contains_key(key)
+    }
+
+    /// Iterates entries in key order.
+    pub fn iter(&self) -> std::collections::btree_map::Iter<'_, K, V> {
+        self.entries.iter()
+    }
+
+    /// Iterates keys in order.
+    pub fn keys(&self) -> std::collections::btree_map::Keys<'_, K, V> {
+        self.entries.keys()
+    }
+
+    /// Iterates values in key order.
+    pub fn values(&self) -> std::collections::btree_map::Values<'_, K, V> {
+        self.entries.values()
+    }
+}
+
+impl<'a, K: Ord, V> IntoIterator for &'a Map<K, V> {
+    type Item = (&'a K, &'a V);
+    type IntoIter = std::collections::btree_map::Iter<'a, K, V>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter()
+    }
+}
+
+impl<K: Ord, V> IntoIterator for Map<K, V> {
+    type Item = (K, V);
+    type IntoIter = std::collections::btree_map::IntoIter<K, V>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+impl<K: Ord, V> FromIterator<(K, V)> for Map<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        Self {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// A JSON document node.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An ordered list.
+    Array(Vec<Value>),
+    /// A string-keyed object.
+    Object(Map<String, Value>),
+}
+
+impl Value {
+    /// Member access: key lookup on objects, index on arrays.
+    ///
+    /// Returns `None` for any other receiver (including `Null`), so
+    /// chained `.get(..).and_then(..)` probes never panic.
+    pub fn get<I: Index>(&self, index: I) -> Option<&Value> {
+        index.index_into(self)
+    }
+
+    /// The string slice, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, if it is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The entry map, if this is an object.
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Replaces this value with `Null`, returning the old value.
+    pub fn take(&mut self) -> Value {
+        std::mem::take(self)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::print::compact(self))
+    }
+}
+
+/// Valid argument types for [`Value::get`].
+pub trait Index {
+    /// Looks `self` up inside `v`.
+    fn index_into<'v>(&self, v: &'v Value) -> Option<&'v Value>;
+}
+
+impl Index for str {
+    fn index_into<'v>(&self, v: &'v Value) -> Option<&'v Value> {
+        v.as_object().and_then(|m| m.get(self))
+    }
+}
+
+impl Index for String {
+    fn index_into<'v>(&self, v: &'v Value) -> Option<&'v Value> {
+        self.as_str().index_into(v)
+    }
+}
+
+impl Index for usize {
+    fn index_into<'v>(&self, v: &'v Value) -> Option<&'v Value> {
+        v.as_array().and_then(|a| a.get(*self))
+    }
+}
+
+impl<T: Index + ?Sized> Index for &T {
+    fn index_into<'v>(&self, v: &'v Value) -> Option<&'v Value> {
+        (**self).index_into(v)
+    }
+}
+
+/// Conversion into a [`Value`], standing in for `Serialize` in this
+/// shim's `to_value`/`to_string` entry points and the [`json!`] macro.
+///
+/// [`json!`]: crate::json!
+pub trait ToJsonValue {
+    /// Builds the value tree.
+    fn to_json_value(&self) -> Value;
+}
+
+impl ToJsonValue for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<T: ToJsonValue + ?Sized> ToJsonValue for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl ToJsonValue for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl ToJsonValue for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl ToJsonValue for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! to_value_unsigned {
+    ($($t:ty)*) => {$(
+        impl ToJsonValue for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(Number::PosInt(u64::from(*self)))
+            }
+        }
+    )*};
+}
+
+to_value_unsigned!(u8 u16 u32 u64);
+
+macro_rules! to_value_signed {
+    ($($t:ty)*) => {$(
+        impl ToJsonValue for $t {
+            fn to_json_value(&self) -> Value {
+                let n = i64::from(*self);
+                if n >= 0 {
+                    Value::Number(Number::PosInt(n as u64))
+                } else {
+                    Value::Number(Number::NegInt(n))
+                }
+            }
+        }
+    )*};
+}
+
+to_value_signed!(i8 i16 i32 i64);
+
+impl ToJsonValue for usize {
+    fn to_json_value(&self) -> Value {
+        Value::Number(Number::PosInt(*self as u64))
+    }
+}
+
+impl ToJsonValue for isize {
+    fn to_json_value(&self) -> Value {
+        (*self as i64).to_json_value()
+    }
+}
+
+impl ToJsonValue for f64 {
+    fn to_json_value(&self) -> Value {
+        // JSON cannot represent non-finite numbers; the real crate's
+        // `to_value` maps them to null.
+        if self.is_finite() {
+            Value::Number(Number::Float(*self))
+        } else {
+            Value::Null
+        }
+    }
+}
+
+impl ToJsonValue for f32 {
+    fn to_json_value(&self) -> Value {
+        f64::from(*self).to_json_value()
+    }
+}
+
+impl<T: ToJsonValue> ToJsonValue for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(ToJsonValue::to_json_value).collect())
+    }
+}
+
+impl<T: ToJsonValue> ToJsonValue for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(ToJsonValue::to_json_value).collect())
+    }
+}
+
+impl<T: ToJsonValue> ToJsonValue for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl ToJsonValue for Map<String, Value> {
+    fn to_json_value(&self) -> Value {
+        Value::Object(self.clone())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::String(s)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::String(s.to_owned())
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(a: Vec<Value>) -> Self {
+        Value::Array(a)
+    }
+}
+
+impl From<Map<String, Value>> for Value {
+    fn from(m: Map<String, Value>) -> Self {
+        Value::Object(m)
+    }
+}
