@@ -1,0 +1,380 @@
+//! The epoch-based adaptation controller.
+//!
+//! Owns the active/dropped bookkeeping, runs the policy stack over each
+//! [`EpochView`], combines the proposals into one [`PatchDelta`], and
+//! keeps a human-readable adaptation log. The controller is strictly
+//! deterministic: identical seeds, budgets and epoch views produce
+//! byte-identical logs and identical deltas.
+
+use crate::epoch::EpochView;
+use crate::policy::{
+    AdaptPolicy, DropRecord, HotSmallExclusion, OverheadBudget, PolicyCtx, ReinclusionProbe,
+};
+use capi_xray::{PackedId, PatchDelta};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Controller configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct AdaptConfig {
+    /// Target instrumentation overhead, percent of application time.
+    pub budget_pct: f64,
+    /// Seed for the re-inclusion probe RNG.
+    pub seed: u64,
+}
+
+impl Default for AdaptConfig {
+    fn default() -> Self {
+        Self {
+            budget_pct: 5.0,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Summary counters for reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ControllerStats {
+    /// Epochs observed.
+    pub epochs: usize,
+    /// Total drop decisions.
+    pub drops: u64,
+    /// Total re-inclusion probes.
+    pub probes: u64,
+}
+
+/// The in-flight adaptation controller.
+pub struct AdaptController {
+    cfg: AdaptConfig,
+    policies: Vec<Box<dyn AdaptPolicy>>,
+    active: BTreeSet<u32>,
+    dropped: BTreeMap<u32, DropRecord>,
+    pinned: BTreeSet<u32>,
+    names: BTreeMap<u32, String>,
+    log: Vec<String>,
+    converged_at: Option<usize>,
+    stats: ControllerStats,
+}
+
+impl AdaptController {
+    /// Creates a controller with the default policy stack: hot-small
+    /// exclusion, overhead-budget trimming, and re-inclusion probing
+    /// seeded from the config.
+    pub fn new(cfg: AdaptConfig) -> Self {
+        let policies: Vec<Box<dyn AdaptPolicy>> = vec![
+            Box::new(HotSmallExclusion::default()),
+            Box::new(OverheadBudget::default()),
+            Box::new(ReinclusionProbe::seeded(cfg.seed, 3, 4, 2)),
+        ];
+        Self::with_policies(cfg, policies)
+    }
+
+    /// Creates a controller with a custom policy stack (applied in
+    /// order; earlier drops win over later restores of the same ID).
+    pub fn with_policies(cfg: AdaptConfig, policies: Vec<Box<dyn AdaptPolicy>>) -> Self {
+        Self {
+            cfg,
+            policies,
+            active: BTreeSet::new(),
+            dropped: BTreeMap::new(),
+            pinned: BTreeSet::new(),
+            names: BTreeMap::new(),
+            log: Vec::new(),
+            converged_at: None,
+            stats: ControllerStats::default(),
+        }
+    }
+
+    /// Seeds the active set (the functions patched at session start)
+    /// together with display names.
+    pub fn begin<I, S>(&mut self, active: I)
+    where
+        I: IntoIterator<Item = (PackedId, S)>,
+        S: Into<String>,
+    {
+        for (id, name) in active {
+            self.active.insert(id.raw());
+            self.names.insert(id.raw(), name.into());
+        }
+        self.log.push(format!(
+            "begin: {} active functions, budget {:.2}%, seed {:#x}",
+            self.active.len(),
+            self.cfg.budget_pct,
+            self.cfg.seed
+        ));
+    }
+
+    /// Pins functions that must never be unpatched (the run's spine:
+    /// their entry/exit events straddle epoch boundaries).
+    pub fn pin<I: IntoIterator<Item = PackedId>>(&mut self, ids: I) {
+        for id in ids {
+            self.pinned.insert(id.raw());
+        }
+    }
+
+    /// Consumes one epoch view and returns the IC delta to apply before
+    /// the next epoch.
+    pub fn on_epoch(&mut self, view: &EpochView) -> PatchDelta {
+        self.stats.epochs += 1;
+        // Refresh names from the samples (probes may surface functions
+        // begin() never saw).
+        for s in &view.samples {
+            self.names
+                .entry(s.id.raw())
+                .or_insert_with(|| s.name.clone());
+        }
+        let mut drops: Vec<(PackedId, &'static str, &'static str)> = Vec::new();
+        let mut restores: Vec<(PackedId, &'static str)> = Vec::new();
+        for policy in &mut self.policies {
+            let ctx = PolicyCtx {
+                budget_pct: self.cfg.budget_pct,
+                active: &self.active,
+                dropped: &self.dropped,
+                pinned: &self.pinned,
+            };
+            let action = policy.decide(&ctx, view);
+            let pname = policy.name();
+            for (id, reason) in action.drop {
+                if self.active.contains(&id.raw())
+                    && !self.pinned.contains(&id.raw())
+                    && !drops.iter().any(|(d, _, _)| *d == id)
+                {
+                    drops.push((id, pname, reason));
+                }
+            }
+            for id in action.restore {
+                if !self.active.contains(&id.raw())
+                    && self.dropped.contains_key(&id.raw())
+                    && !drops.iter().any(|(d, _, _)| *d == id)
+                    && !restores.iter().any(|(r, _)| *r == id)
+                {
+                    restores.push((id, pname));
+                }
+            }
+        }
+
+        let overhead = view.overhead_pct();
+        self.log.push(format!(
+            "epoch {}: overhead {:.3}% (budget {:.2}%) active {} events {}",
+            view.epoch,
+            overhead,
+            self.cfg.budget_pct,
+            self.active.len(),
+            view.events
+        ));
+        for &(id, pname, reason) in &drops {
+            self.log
+                .push(format!("  drop {} [{pname}: {reason}]", self.display(id)));
+        }
+        for &(id, pname) in &restores {
+            self.log
+                .push(format!("  probe {} [{pname}]", self.display(id)));
+        }
+
+        for &(id, pname, _) in &drops {
+            self.active.remove(&id.raw());
+            let name = self.display(id);
+            let rec = self.dropped.entry(id.raw()).or_insert(DropRecord {
+                epoch: view.epoch,
+                times_dropped: 0,
+                policy: pname,
+                name,
+            });
+            rec.epoch = view.epoch;
+            rec.times_dropped += 1;
+            rec.policy = pname;
+            self.stats.drops += 1;
+        }
+        for &(id, _) in &restores {
+            self.active.insert(id.raw());
+            self.stats.probes += 1;
+        }
+
+        let delta = PatchDelta {
+            patch: restores.iter().map(|&(id, _)| id).collect(),
+            unpatch: drops.iter().map(|&(id, _, _)| id).collect(),
+        };
+        // Convergence: within budget and nothing needed dropping.
+        // Re-inclusion probes are exploration, not instability — they
+        // do not reset convergence (a probe that misbehaves produces a
+        // drop next epoch, which does).
+        if delta.unpatch.is_empty() && overhead <= self.cfg.budget_pct {
+            if self.converged_at.is_none() {
+                self.converged_at = Some(view.epoch);
+                self.log.push(format!(
+                    "  converged: overhead within budget, no drops (epoch {})",
+                    view.epoch
+                ));
+            }
+        } else {
+            // A drop, or over budget with nothing droppable (e.g. only
+            // pinned functions left): either way, not converged.
+            self.converged_at = None;
+        }
+        delta
+    }
+
+    fn display(&self, id: PackedId) -> String {
+        self.names
+            .get(&id.raw())
+            .cloned()
+            .unwrap_or_else(|| format!("fid:{:#010x}", id.raw()))
+    }
+
+    /// The configured budget, percent.
+    pub fn budget_pct(&self) -> f64 {
+        self.cfg.budget_pct
+    }
+
+    /// Currently active (instrumented) functions, ordered by packed ID.
+    pub fn active_ids(&self) -> Vec<PackedId> {
+        self.active
+            .iter()
+            .map(|&raw| PackedId::from_raw(raw))
+            .collect()
+    }
+
+    /// Resolved name of an active/dropped function, if known.
+    pub fn name_of(&self, id: PackedId) -> Option<&str> {
+        self.names.get(&id.raw()).map(String::as_str)
+    }
+
+    /// Number of currently dropped functions.
+    pub fn dropped_len(&self) -> usize {
+        self.dropped.len()
+    }
+
+    /// First epoch at which the controller converged (overhead within
+    /// budget, no further drops), if it did and stayed converged.
+    pub fn converged_at(&self) -> Option<usize> {
+        self.converged_at
+    }
+
+    /// Summary counters.
+    pub fn stats(&self) -> ControllerStats {
+        self.stats
+    }
+
+    /// The adaptation log lines.
+    pub fn log_lines(&self) -> &[String] {
+        &self.log
+    }
+
+    /// The adaptation log as one newline-joined string — byte-identical
+    /// across runs with the same seed, budget and measurements.
+    pub fn render_log(&self) -> String {
+        let mut out = self.log.join("\n");
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::epoch::FuncSample;
+
+    fn id(fid: u32) -> PackedId {
+        PackedId::pack(0, fid).unwrap()
+    }
+
+    fn view(epoch: usize, inst: u64, samples: Vec<FuncSample>) -> EpochView {
+        EpochView {
+            epoch,
+            epoch_ns: 1_000_000,
+            busy_ns: 1_000_000 + inst,
+            inst_ns: inst,
+            events: 10,
+            samples,
+        }
+    }
+
+    fn sample(fid: u32, visits: u64, inst_ns: u64, body: u64) -> FuncSample {
+        FuncSample {
+            id: id(fid),
+            name: format!("f{fid}"),
+            visits,
+            inst_ns,
+            body_cost_ns: body,
+        }
+    }
+
+    #[test]
+    fn controller_trims_then_converges_and_logs_deterministically() {
+        let run = || {
+            let mut c = AdaptController::new(AdaptConfig {
+                budget_pct: 5.0,
+                seed: 7,
+            });
+            c.begin([(id(1), "f1"), (id(2), "f2")]);
+            c.pin([id(2)]);
+            // Epoch 0: way over budget → f1 dropped (f2 pinned).
+            let d0 = c.on_epoch(&view(
+                0,
+                200_000,
+                vec![sample(1, 90_000, 180_000, 10), sample(2, 10, 20_000, 9_000)],
+            ));
+            // Epoch 1: within budget, nothing changes → converged.
+            let d1 = c.on_epoch(&view(1, 20_000, vec![sample(2, 10, 20_000, 9_000)]));
+            (d0, d1, c.render_log(), c.converged_at(), c.active_ids())
+        };
+        let (d0, d1, log_a, conv, active) = run();
+        assert_eq!(d0.unpatch, vec![id(1)]);
+        assert!(d0.patch.is_empty());
+        assert!(d1.is_empty());
+        assert_eq!(conv, Some(1));
+        assert_eq!(active, vec![id(2)]);
+        let (_, _, log_b, _, _) = run();
+        assert_eq!(log_a, log_b, "logs are byte-identical across runs");
+        assert!(log_a.contains("drop f1"));
+        assert!(log_a.contains("converged"));
+    }
+
+    #[test]
+    fn convergence_resets_when_over_budget_even_without_drops() {
+        let mut c = AdaptController::new(AdaptConfig {
+            budget_pct: 5.0,
+            seed: 1,
+        });
+        c.begin([(id(1), "spine")]);
+        c.pin([id(1)]);
+        // Epoch 0: within budget → converged.
+        let d0 = c.on_epoch(&view(0, 1_000, vec![sample(1, 10, 1_000, 9_000)]));
+        assert!(d0.is_empty());
+        assert_eq!(c.converged_at(), Some(0));
+        // Epoch 1: over budget, but the only offender is pinned — no
+        // drops possible, yet the run is no longer converged.
+        let d1 = c.on_epoch(&view(1, 900_000, vec![sample(1, 10, 900_000, 10)]));
+        assert!(d1.is_empty());
+        assert_eq!(c.converged_at(), None);
+    }
+
+    #[test]
+    fn probe_restores_and_convergence_resets_on_change() {
+        let mut c = AdaptController::with_policies(
+            AdaptConfig {
+                budget_pct: 50.0,
+                seed: 3,
+            },
+            vec![
+                Box::new(OverheadBudget::default()),
+                Box::new(ReinclusionProbe::seeded(3, 2, 1, 3)),
+            ],
+        );
+        c.begin([(id(1), "f1")]);
+        // Epoch 0: over 50% → dropped.
+        let d0 = c.on_epoch(&view(0, 900_000, vec![sample(1, 1_000, 900_000, 1)]));
+        assert_eq!(d0.unpatch, vec![id(1)]);
+        // Epoch 1: probe period hits → f1 comes back.
+        let d1 = c.on_epoch(&view(1, 0, vec![]));
+        assert_eq!(d1.patch, vec![id(1)]);
+        // Probing is exploration: within budget + no drops = converged.
+        assert_eq!(c.converged_at(), Some(1));
+        assert_eq!(c.stats().probes, 1);
+        assert_eq!(c.stats().drops, 1);
+        // Epoch 2: the probed function blows the budget again → re-drop
+        // resets convergence.
+        let d2 = c.on_epoch(&view(2, 900_000, vec![sample(1, 1_000, 900_000, 1)]));
+        assert_eq!(d2.unpatch, vec![id(1)]);
+        assert_eq!(c.converged_at(), None);
+    }
+}

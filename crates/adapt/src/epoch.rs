@@ -1,0 +1,89 @@
+//! The per-epoch measurement view the controller's policies consume.
+
+use capi_xray::PackedId;
+
+/// Measured cost of one instrumented function over one epoch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FuncSample {
+    /// Packed XRay ID.
+    pub id: PackedId,
+    /// Resolved name (or a stable `fid:0x…` placeholder for hidden
+    /// symbols — the controller never requires resolvable names).
+    pub name: String,
+    /// Invocations this epoch, summed over ranks.
+    pub visits: u64,
+    /// Instrumentation cost this epoch (trampolines + handler), summed
+    /// over ranks, in virtual ns.
+    pub inst_ns: u64,
+    /// Static per-visit body cost of the function, in virtual ns.
+    pub body_cost_ns: u64,
+}
+
+/// One epoch of measurement, merged across ranks.
+#[derive(Clone, Debug)]
+pub struct EpochView {
+    /// Epoch index within the run.
+    pub epoch: usize,
+    /// Slowest rank's clock advance this epoch.
+    pub epoch_ns: u64,
+    /// Sum of all ranks' clock advances this epoch.
+    pub busy_ns: u64,
+    /// Total instrumentation cost this epoch (all ranks).
+    pub inst_ns: u64,
+    /// Events dispatched this epoch.
+    pub events: u64,
+    /// Per-function costs, ordered by packed ID.
+    pub samples: Vec<FuncSample>,
+}
+
+impl EpochView {
+    /// Application time this epoch: busy time minus instrumentation.
+    pub fn app_ns(&self) -> u64 {
+        self.busy_ns.saturating_sub(self.inst_ns).max(1)
+    }
+
+    /// Measured instrumentation overhead as a percentage of application
+    /// time — the quantity the budget policy steers.
+    pub fn overhead_pct(&self) -> f64 {
+        100.0 * self.inst_ns as f64 / self.app_ns() as f64
+    }
+
+    /// Overhead percentage if `removed_inst_ns` of instrumentation cost
+    /// were dropped.
+    pub fn projected_overhead_pct(&self, removed_inst_ns: u64) -> f64 {
+        100.0 * self.inst_ns.saturating_sub(removed_inst_ns) as f64 / self.app_ns() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_math() {
+        let v = EpochView {
+            epoch: 0,
+            epoch_ns: 110,
+            busy_ns: 110,
+            inst_ns: 10,
+            events: 4,
+            samples: Vec::new(),
+        };
+        assert_eq!(v.app_ns(), 100);
+        assert!((v.overhead_pct() - 10.0).abs() < 1e-9);
+        assert!((v.projected_overhead_pct(5) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_epoch_has_zero_overhead() {
+        let v = EpochView {
+            epoch: 3,
+            epoch_ns: 0,
+            busy_ns: 0,
+            inst_ns: 0,
+            events: 0,
+            samples: Vec::new(),
+        };
+        assert_eq!(v.overhead_pct(), 0.0);
+    }
+}

@@ -1,0 +1,33 @@
+//! # capi-adapt — in-flight adaptation controller
+//!
+//! The paper's headline is *runtime-adaptable* instrumentation, yet the
+//! startup column of Fig. 3 only adapts **between** runs: every IC
+//! adjustment restarts the session. This crate closes that gap with an
+//! epoch-based controller that adapts **within** a single measurement
+//! session:
+//!
+//! * the execution engine reports per-epoch, per-function event costs
+//!   ([`EpochView`]);
+//! * pluggable [`policy`] implementations compute an IC delta — overhead
+//!   budget trimming in the spirit of `scorep-score` and of adaptive-
+//!   sampling-rate monitoring (Mertz & Nunes), hot-small exclusion, and
+//!   re-inclusion probing so suppressed functions can return (redundancy
+//!   suppression à la Arafa et al.);
+//! * the [`AdaptController`] merges the proposals into one
+//!   [`capi_xray::PatchDelta`], which the session applies live through
+//!   `XRayRuntime::repatch` while rank threads keep dispatching.
+//!
+//! Determinism contract: identical seeds and budgets produce identical
+//! adaptation decisions, identical virtual clocks, and byte-identical
+//! adaptation logs across runs.
+
+pub mod controller;
+pub mod epoch;
+pub mod policy;
+
+pub use controller::{AdaptConfig, AdaptController, ControllerStats};
+pub use epoch::{EpochView, FuncSample};
+pub use policy::{
+    AdaptPolicy, DropRecord, HotSmallExclusion, OverheadBudget, PolicyAction, PolicyCtx,
+    ReinclusionProbe,
+};

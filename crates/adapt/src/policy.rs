@@ -1,0 +1,363 @@
+//! Pluggable adaptation policies.
+//!
+//! A policy reads one [`EpochView`] plus the controller's bookkeeping
+//! and proposes an action: functions to *drop* (unpatch) and functions
+//! to *restore* (repatch). Policies are pure functions of their inputs
+//! (the re-inclusion probe carries a seeded RNG), so identical seeds and
+//! budgets always produce identical decisions.
+
+use crate::epoch::EpochView;
+use capi_xray::PackedId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Controller bookkeeping a policy may consult.
+pub struct PolicyCtx<'a> {
+    /// The configured overhead budget, in percent.
+    pub budget_pct: f64,
+    /// Currently instrumented functions (raw packed IDs).
+    pub active: &'a BTreeSet<u32>,
+    /// Functions dropped in earlier epochs.
+    pub dropped: &'a BTreeMap<u32, DropRecord>,
+    /// Functions that must never be dropped (the run's spine).
+    pub pinned: &'a BTreeSet<u32>,
+}
+
+/// Why and when a function was dropped.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DropRecord {
+    /// Epoch of the most recent drop.
+    pub epoch: usize,
+    /// How many times it has been dropped over the run.
+    pub times_dropped: u32,
+    /// Name of the policy that dropped it last.
+    pub policy: &'static str,
+    /// Display name, kept so later log lines stay readable.
+    pub name: String,
+}
+
+/// What one policy wants to change.
+#[derive(Clone, Debug, Default)]
+pub struct PolicyAction {
+    /// Functions to unpatch, with the policy's reason.
+    pub drop: Vec<(PackedId, &'static str)>,
+    /// Previously dropped functions to repatch for re-measurement.
+    pub restore: Vec<PackedId>,
+}
+
+impl PolicyAction {
+    /// Whether the action changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.drop.is_empty() && self.restore.is_empty()
+    }
+}
+
+/// An adaptation policy.
+pub trait AdaptPolicy: Send {
+    /// Short name used in logs.
+    fn name(&self) -> &'static str;
+    /// Proposes an action for this epoch.
+    fn decide(&mut self, ctx: &PolicyCtx<'_>, view: &EpochView) -> PolicyAction;
+}
+
+/// Overhead-budget trimming (scorep-score style): when the measured
+/// overhead exceeds the budget, unpatch the functions with the worst
+/// cost/benefit ratio — most instrumentation time per unit of useful
+/// body time — until the *projected* overhead falls to
+/// `headroom × budget`.
+pub struct OverheadBudget {
+    /// Trim target as a fraction of the budget (default 0.9, leaving
+    /// slack so the next epoch doesn't immediately re-trigger).
+    pub headroom: f64,
+}
+
+impl Default for OverheadBudget {
+    fn default() -> Self {
+        Self { headroom: 0.9 }
+    }
+}
+
+impl AdaptPolicy for OverheadBudget {
+    fn name(&self) -> &'static str {
+        "budget"
+    }
+
+    fn decide(&mut self, ctx: &PolicyCtx<'_>, view: &EpochView) -> PolicyAction {
+        let mut action = PolicyAction::default();
+        if view.overhead_pct() <= ctx.budget_pct {
+            return action;
+        }
+        let target_inst = (ctx.budget_pct * self.headroom / 100.0 * view.app_ns() as f64) as u64;
+        let mut candidates: Vec<_> = view
+            .samples
+            .iter()
+            .filter(|s| ctx.active.contains(&s.id.raw()) && !ctx.pinned.contains(&s.id.raw()))
+            .collect();
+        // Worst cost/benefit first: instrumentation ns per useful ns.
+        candidates.sort_by(|a, b| {
+            let ra = a.inst_ns as f64 / (a.visits * a.body_cost_ns + 1) as f64;
+            let rb = b.inst_ns as f64 / (b.visits * b.body_cost_ns + 1) as f64;
+            rb.total_cmp(&ra).then(a.id.raw().cmp(&b.id.raw()))
+        });
+        let mut removed = 0u64;
+        for s in candidates {
+            if view.inst_ns.saturating_sub(removed) <= target_inst {
+                break;
+            }
+            removed += s.inst_ns;
+            action.drop.push((s.id, "over budget, worst cost/benefit"));
+        }
+        action
+    }
+}
+
+/// Hot-small exclusion: unconditionally drop functions that are called
+/// very often but do almost no work — the classic scorep-score initial
+/// filter, applied live.
+pub struct HotSmallExclusion {
+    /// Per-epoch visit threshold (summed over ranks).
+    pub hot_visits: u64,
+    /// Body-cost threshold in virtual ns.
+    pub small_body_ns: u64,
+}
+
+impl Default for HotSmallExclusion {
+    fn default() -> Self {
+        Self {
+            hot_visits: 10_000,
+            small_body_ns: 200,
+        }
+    }
+}
+
+impl AdaptPolicy for HotSmallExclusion {
+    fn name(&self) -> &'static str {
+        "hot-small"
+    }
+
+    fn decide(&mut self, ctx: &PolicyCtx<'_>, view: &EpochView) -> PolicyAction {
+        let mut action = PolicyAction::default();
+        for s in &view.samples {
+            if s.visits >= self.hot_visits
+                && s.body_cost_ns < self.small_body_ns
+                && ctx.active.contains(&s.id.raw())
+                && !ctx.pinned.contains(&s.id.raw())
+            {
+                action.drop.push((s.id, "hot and small"));
+            }
+        }
+        action
+    }
+}
+
+/// Re-inclusion probing: periodically repatch a few dropped functions so
+/// a function whose cost profile changed (or was dropped on a noisy
+/// epoch) can come back. Selection is driven by a seeded xorshift RNG —
+/// deterministic for a given seed.
+pub struct ReinclusionProbe {
+    /// Probe every `period` epochs (0 disables probing).
+    pub period: usize,
+    /// Maximum functions restored per probe.
+    pub max_probes: usize,
+    /// Functions dropped more than this many times stay out for good.
+    pub max_redrops: u32,
+    rng: u64,
+}
+
+impl ReinclusionProbe {
+    /// Creates a probe policy with the given RNG seed.
+    pub fn seeded(seed: u64, period: usize, max_probes: usize, max_redrops: u32) -> Self {
+        Self {
+            period,
+            max_probes,
+            max_redrops,
+            // xorshift must not start at 0.
+            rng: seed | 1,
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x
+    }
+}
+
+impl AdaptPolicy for ReinclusionProbe {
+    fn name(&self) -> &'static str {
+        "probe"
+    }
+
+    fn decide(&mut self, ctx: &PolicyCtx<'_>, view: &EpochView) -> PolicyAction {
+        let mut action = PolicyAction::default();
+        if self.period == 0 || !(view.epoch + 1).is_multiple_of(self.period) {
+            return action;
+        }
+        let mut candidates: Vec<u32> = ctx
+            .dropped
+            .iter()
+            .filter(|(_, rec)| rec.times_dropped <= self.max_redrops)
+            .map(|(&raw, _)| raw)
+            .collect();
+        for _ in 0..self.max_probes {
+            if candidates.is_empty() {
+                break;
+            }
+            let pick = (self.next() % candidates.len() as u64) as usize;
+            action
+                .restore
+                .push(PackedId::from_raw(candidates.remove(pick)));
+        }
+        action
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::epoch::FuncSample;
+
+    fn id(fid: u32) -> PackedId {
+        PackedId::pack(0, fid).unwrap()
+    }
+
+    fn sample(fid: u32, visits: u64, inst_ns: u64, body: u64) -> FuncSample {
+        FuncSample {
+            id: id(fid),
+            name: format!("f{fid}"),
+            visits,
+            inst_ns,
+            body_cost_ns: body,
+        }
+    }
+
+    fn view(inst: u64, samples: Vec<FuncSample>) -> EpochView {
+        EpochView {
+            epoch: 0,
+            epoch_ns: 1_000_000,
+            busy_ns: 1_000_000 + inst,
+            inst_ns: inst,
+            events: 100,
+            samples,
+        }
+    }
+
+    fn ctx_sets(
+        active: &[u32],
+        pinned: &[u32],
+    ) -> (BTreeSet<u32>, BTreeMap<u32, DropRecord>, BTreeSet<u32>) {
+        (
+            active.iter().map(|&f| id(f).raw()).collect(),
+            BTreeMap::new(),
+            pinned.iter().map(|&f| id(f).raw()).collect(),
+        )
+    }
+
+    #[test]
+    fn budget_trims_worst_ratio_first_and_stops_at_target() {
+        let (active, dropped, pinned) = ctx_sets(&[1, 2, 3], &[]);
+        let ctx = PolicyCtx {
+            budget_pct: 5.0,
+            active: &active,
+            dropped: &dropped,
+            pinned: &pinned,
+        };
+        // f1: huge overhead, tiny body → worst ratio. f3: big body → best.
+        let v = view(
+            100_000,
+            vec![
+                sample(1, 50_000, 70_000, 10),
+                sample(2, 1_000, 20_000, 500),
+                sample(3, 100, 10_000, 50_000),
+            ],
+        );
+        let mut p = OverheadBudget::default();
+        let action = p.decide(&ctx, &v);
+        assert_eq!(action.drop.first().map(|(i, _)| *i), Some(id(1)));
+        // Dropping f1 brings 100k→30k inst over 1M app = 3% ≤ 0.9×5%.
+        assert_eq!(action.drop.len(), 1);
+    }
+
+    #[test]
+    fn budget_respects_pins_and_budget() {
+        let (active, dropped, pinned) = ctx_sets(&[1], &[1]);
+        let ctx = PolicyCtx {
+            budget_pct: 5.0,
+            active: &active,
+            dropped: &dropped,
+            pinned: &pinned,
+        };
+        let v = view(100_000, vec![sample(1, 50_000, 100_000, 10)]);
+        let mut p = OverheadBudget::default();
+        assert!(p.decide(&ctx, &v).drop.is_empty(), "pinned survives");
+        let v_ok = view(1_000, vec![sample(1, 10, 1_000, 10)]);
+        assert!(p.decide(&ctx, &v_ok).is_empty(), "within budget: no-op");
+    }
+
+    #[test]
+    fn hot_small_drops_only_hot_and_small() {
+        let (active, dropped, pinned) = ctx_sets(&[1, 2, 3], &[]);
+        let ctx = PolicyCtx {
+            budget_pct: 100.0,
+            active: &active,
+            dropped: &dropped,
+            pinned: &pinned,
+        };
+        let v = view(
+            10,
+            vec![
+                sample(1, 50_000, 5, 10),     // hot + small → dropped
+                sample(2, 50_000, 5, 10_000), // hot but big
+                sample(3, 10, 5, 10),         // small but cold
+            ],
+        );
+        let mut p = HotSmallExclusion::default();
+        let action = p.decide(&ctx, &v);
+        assert_eq!(action.drop.len(), 1);
+        assert_eq!(action.drop[0].0, id(1));
+    }
+
+    #[test]
+    fn probe_is_periodic_deterministic_and_respects_redrop_cap() {
+        let active = BTreeSet::new();
+        let pinned = BTreeSet::new();
+        let mut dropped = BTreeMap::new();
+        for f in [1u32, 2, 3, 4] {
+            dropped.insert(
+                id(f).raw(),
+                DropRecord {
+                    epoch: 0,
+                    times_dropped: if f == 4 { 9 } else { 1 },
+                    policy: "budget",
+                    name: format!("f{f}"),
+                },
+            );
+        }
+        let ctx = PolicyCtx {
+            budget_pct: 5.0,
+            active: &active,
+            dropped: &dropped,
+            pinned: &pinned,
+        };
+        let run = |seed| {
+            let mut p = ReinclusionProbe::seeded(seed, 2, 2, 2);
+            let mut all = Vec::new();
+            for e in 0..4 {
+                let mut v = view(0, vec![]);
+                v.epoch = e;
+                all.push(p.decide(&ctx, &v).restore);
+            }
+            all
+        };
+        let a = run(42);
+        let b = run(42);
+        assert_eq!(a, b, "same seed, same probes");
+        // Probes only on epochs 1 and 3 (period 2).
+        assert!(a[0].is_empty() && a[2].is_empty());
+        assert_eq!(a[1].len(), 2);
+        // The over-redropped f4 is never probed.
+        assert!(!a.iter().flatten().any(|&p| p == id(4)));
+    }
+}

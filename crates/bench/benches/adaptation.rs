@@ -1,0 +1,95 @@
+//! Criterion bench: in-flight adaptation primitives — batch `repatch`
+//! throughput (the epoch-boundary hot path) and the controller's
+//! per-epoch decision cost at scale.
+
+use capi_adapt::{AdaptConfig, AdaptController, EpochView, FuncSample};
+use capi_objmodel::Process;
+use capi_xray::{instrument_object, PackedId, PassOptions, PatchDelta, TrampolineSet, XRayRuntime};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_adaptation(c: &mut Criterion) {
+    let setup = capi_bench::setup_openfoam(6_000);
+    let binary = &setup.workflow.binary;
+
+    let mut group = c.benchmark_group("adaptation");
+    group.sample_size(10);
+
+    // Batch repatch of 512 functions, toggled patched↔unpatched.
+    {
+        let mut process = Process::launch_binary(binary).expect("launch");
+        let runtime = XRayRuntime::new();
+        let inst = instrument_object(
+            process.object(0).unwrap().image.clone(),
+            &PassOptions::instrument_all(),
+        );
+        runtime
+            .register_main(
+                inst.clone(),
+                process.object(0).unwrap(),
+                TrampolineSet::absolute(),
+            )
+            .expect("register");
+        let ids: Vec<PackedId> = inst
+            .sleds
+            .entries
+            .iter()
+            .take(512)
+            .filter_map(|e| PackedId::pack(0, e.fid).ok())
+            .collect();
+        let mut on = false;
+        group.bench_function("repatch-512-batch", |b| {
+            b.iter(|| {
+                let delta = if on {
+                    PatchDelta {
+                        patch: Vec::new(),
+                        unpatch: ids.clone(),
+                    }
+                } else {
+                    PatchDelta {
+                        patch: ids.clone(),
+                        unpatch: Vec::new(),
+                    }
+                };
+                on = !on;
+                runtime
+                    .repatch(&mut process.memory, &delta)
+                    .expect("repatch")
+                    .sleds_patched
+            })
+        });
+    }
+
+    // Controller decision over a 4,096-sample epoch view.
+    {
+        let samples: Vec<FuncSample> = (0..4_096u32)
+            .map(|i| FuncSample {
+                id: PackedId::pack(0, i).unwrap(),
+                name: format!("f{i}"),
+                visits: 10 + (i as u64 % 5_000),
+                inst_ns: 100 + (i as u64 * 37) % 10_000,
+                body_cost_ns: 5 + (i as u64 * 13) % 2_000,
+            })
+            .collect();
+        let inst_ns: u64 = samples.iter().map(|s| s.inst_ns).sum();
+        group.bench_function("controller-decision-4096", |b| {
+            b.iter(|| {
+                let mut controller = AdaptController::new(AdaptConfig::default());
+                controller.begin(samples.iter().map(|s| (s.id, s.name.clone())));
+                let view = EpochView {
+                    epoch: 0,
+                    epoch_ns: inst_ns * 4,
+                    busy_ns: inst_ns * 4,
+                    inst_ns,
+                    events: samples.len() as u64 * 2,
+                    samples: samples.clone(),
+                };
+                controller.on_epoch(&view).len()
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_adaptation);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Generates **Table III — in-flight adaptation** (new workload beyond
+//! the paper): one measurement session, split into epochs, with the
+//! `capi-adapt` controller trimming the IC live under an overhead
+//! budget. Reports the overhead-vs-budget trajectory, convergence epoch,
+//! events saved against the unadapted session, and the `T_adapt` cost —
+//! all with **zero restarts**.
+//!
+//! Environment: `CAPI_OF_SCALE` (default 60,000), `CAPI_RANKS`
+//! (default 8), `CAPI_EPOCHS` (default 6), `CAPI_BUDGET_PCT`
+//! (default 5.0).
+
+use capi::dynamic_session;
+use capi_adapt::{AdaptConfig, AdaptController};
+use capi_bench::{
+    budget_pct_from_env, epochs_from_env, fmt_paper_seconds, openfoam_scale_from_env, paper_ics,
+    ranks_from_env, setup_openfoam,
+};
+use capi_dyncapi::ToolChoice;
+
+fn main() {
+    let scale = openfoam_scale_from_env();
+    let ranks = ranks_from_env();
+    let epochs = epochs_from_env();
+    let budget = budget_pct_from_env();
+    println!("TABLE III — IN-FLIGHT ADAPTATION (virtual ms ≈ paper s)\n");
+    println!(
+        "openfoam scale {scale} | {ranks} ranks | {epochs} epochs | budget {budget:.2}% | tool TALP\n"
+    );
+
+    let setup = setup_openfoam(scale);
+    let ics = paper_ics(&setup);
+    let (spec_name, outcome) = ics
+        .into_iter()
+        .find(|(name, _)| *name == "mpi")
+        .expect("mpi spec exists");
+    let ic = outcome.ic;
+    println!("starting IC: `{spec_name}` spec, {} functions", ic.len());
+
+    // Baseline: the same IC measured without adaptation.
+    let baseline = dynamic_session(
+        &setup.workflow.binary,
+        &ic,
+        ToolChoice::Talp(Default::default()),
+        ranks,
+    )
+    .expect("baseline session")
+    .run()
+    .expect("baseline run");
+
+    // Adaptive: one session, controller repatches at epoch boundaries.
+    let mut session = dynamic_session(
+        &setup.workflow.binary,
+        &ic,
+        ToolChoice::Talp(Default::default()),
+        ranks,
+    )
+    .expect("adaptive session");
+    let mut controller = AdaptController::new(AdaptConfig {
+        budget_pct: budget,
+        ..Default::default()
+    });
+    let run = session
+        .run_adaptive(&mut controller, epochs)
+        .expect("adaptive run");
+
+    println!("\nepoch  overhead%  budget%  active  events      Δpatch  Δunpatch  Tadapt(ms)");
+    for r in &run.records {
+        println!(
+            "{:>5}  {:>9.3}  {:>7.2}  {:>6}  {:>10}  {:>6}  {:>8}  {:>10}",
+            r.epoch,
+            r.overhead_pct,
+            budget,
+            r.active_after,
+            r.events,
+            r.sleds_patched,
+            r.sleds_unpatched,
+            fmt_paper_seconds(r.adapt_ns)
+        );
+    }
+
+    let saved = baseline.run.events.saturating_sub(run.events);
+    let saved_pct = 100.0 * saved as f64 / baseline.run.events.max(1) as f64;
+    println!("\nsummary:");
+    println!(
+        "  convergence:       {}",
+        match controller.converged_at() {
+            Some(e) => format!("epoch {e}"),
+            None => "not converged".to_string(),
+        }
+    );
+    println!(
+        "  events:            {} adaptive vs {} unadapted ({saved_pct:.1}% saved)",
+        run.events, baseline.run.events
+    );
+    println!(
+        "  T_init {} ms | T_adapt {} ms | run {} ms | T_total {} ms",
+        fmt_paper_seconds(run.init_ns),
+        fmt_paper_seconds(run.adapt_ns),
+        fmt_paper_seconds(run.run_ns),
+        fmt_paper_seconds(run.total_ns)
+    );
+    println!(
+        "  dropped functions: {} | restarts: {} | rebuilds: 0",
+        controller.dropped_len(),
+        run.restarts
+    );
+    assert_eq!(run.restarts, 0, "in-flight adaptation never restarts");
+}

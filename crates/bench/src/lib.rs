@@ -74,6 +74,36 @@ pub fn ranks_from_env() -> u32 {
         .unwrap_or(8)
 }
 
+/// Epoch count for in-flight adaptation, from `CAPI_EPOCHS`
+/// (default 6).
+///
+/// Unparseable or zero values fall back to the default; a zero-epoch
+/// run would never execute the program.
+pub fn epochs_from_env() -> usize {
+    parse_positive_usize(std::env::var("CAPI_EPOCHS").ok(), 6)
+}
+
+/// Adaptation overhead budget in percent, from `CAPI_BUDGET_PCT`
+/// (default 5.0).
+///
+/// Unparseable, zero or negative values fall back to the default; a
+/// non-positive budget would unpatch everything unconditionally.
+pub fn budget_pct_from_env() -> f64 {
+    parse_positive_f64(std::env::var("CAPI_BUDGET_PCT").ok(), 5.0)
+}
+
+fn parse_positive_usize(var: Option<String>, default: usize) -> usize {
+    var.and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+fn parse_positive_f64(var: Option<String>, default: f64) -> f64 {
+    var.and_then(|v| v.parse::<f64>().ok())
+        .filter(|&n| n > 0.0 && n.is_finite())
+        .unwrap_or(default)
+}
+
 /// Runs all four paper specs against a workload, returning
 /// `(spec name, IcOutcome)` per row of Table I.
 pub fn paper_ics(setup: &WorkloadSetup) -> Vec<(&'static str, IcOutcome)> {
@@ -200,6 +230,19 @@ pub fn fmt_init(init: Option<u64>) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn env_knob_parsing_rejects_zero_and_garbage() {
+        assert_eq!(parse_positive_usize(None, 6), 6);
+        assert_eq!(parse_positive_usize(Some("0".into()), 6), 6);
+        assert_eq!(parse_positive_usize(Some("nope".into()), 6), 6);
+        assert_eq!(parse_positive_usize(Some("12".into()), 6), 12);
+        assert_eq!(parse_positive_f64(None, 5.0), 5.0);
+        assert_eq!(parse_positive_f64(Some("0".into()), 5.0), 5.0);
+        assert_eq!(parse_positive_f64(Some("-3".into()), 5.0), 5.0);
+        assert_eq!(parse_positive_f64(Some("inf".into()), 5.0), 5.0);
+        assert_eq!(parse_positive_f64(Some("2.5".into()), 5.0), 2.5);
+    }
 
     #[test]
     fn harness_smoke_small_openfoam() {

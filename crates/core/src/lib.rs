@@ -45,4 +45,4 @@ pub use ic::InstrumentationConfig;
 pub use inlining::{compensate_inlining, CompensationReport};
 pub use instrument::{dynamic_session, static_session, StaticBuild};
 pub use select::{select, SelectionOutcome};
-pub use workflow::{IcOutcome, MeasureOutcome, Workflow};
+pub use workflow::{IcOutcome, InFlightOptions, InFlightOutcome, MeasureOutcome, Workflow};

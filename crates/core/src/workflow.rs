@@ -12,8 +12,9 @@ use crate::ic::InstrumentationConfig;
 use crate::inlining::{compensate_inlining, CompensationReport};
 use crate::instrument::dynamic_session;
 use crate::select::{select, SelectionOutcome};
+use capi_adapt::{AdaptConfig, AdaptController};
 use capi_appmodel::SourceProgram;
-use capi_dyncapi::{DynCapiError, SessionRun, ToolChoice};
+use capi_dyncapi::{AdaptiveRun, DynCapiError, SessionRun, ToolChoice};
 use capi_metacg::{whole_program_callgraph, CallGraph};
 use capi_objmodel::{compile, estimate_compile_time, Binary, CompileError, CompileOptions};
 use capi_spec::{ModuleRegistry, SpecError};
@@ -41,6 +42,46 @@ pub struct MeasureOutcome {
     /// Virtual turnaround cost the static workflow would have paid
     /// (full recompilation + startup).
     pub static_turnaround_ns: u64,
+}
+
+/// Options for the in-flight refinement mode.
+#[derive(Clone, Copy, Debug)]
+pub struct InFlightOptions {
+    /// Epochs the single run is divided into.
+    pub epochs: usize,
+    /// Target instrumentation overhead, percent of application time.
+    pub budget_pct: f64,
+    /// Seed for the controller's re-inclusion probing.
+    pub seed: u64,
+}
+
+impl Default for InFlightOptions {
+    fn default() -> Self {
+        Self {
+            epochs: 8,
+            budget_pct: 5.0,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Result of one in-flight refinement run: the Fig. 1 loop converging
+/// inside a single session, with zero restarts and zero rebuilds.
+#[derive(Clone, Debug)]
+pub struct InFlightOutcome {
+    /// The adaptive run (per-epoch trajectory, `T_init`/`T_adapt`).
+    pub adaptive: AdaptiveRun,
+    /// The IC the controller converged on (resolved names only).
+    pub final_ic: InstrumentationConfig,
+    /// First epoch at which the controller converged, if it did.
+    pub converged_at: Option<usize>,
+    /// The controller's adaptation log — byte-identical across runs
+    /// with the same seed and budget.
+    pub log: String,
+    /// Recompilations performed (always 0 in dynamic mode).
+    pub rebuilds: u32,
+    /// Session restarts performed (always 0 in in-flight mode).
+    pub restarts: u32,
 }
 
 /// The CaPI workflow over one application.
@@ -159,6 +200,42 @@ impl Workflow {
     pub fn recompile_estimate_ns(&self) -> u64 {
         estimate_compile_time(&self.program, &self.compile_opts)
     }
+
+    /// Instrument + Measure + Adjust in **one** run: the session starts
+    /// from `ic`, and an epoch-based controller refines the active set
+    /// live — dropping over-budget functions, probing dropped ones —
+    /// with zero restarts and zero rebuilds. Identical seeds and budgets
+    /// produce byte-identical adaptation logs.
+    pub fn measure_in_flight(
+        &self,
+        ic: &InstrumentationConfig,
+        tool: ToolChoice,
+        ranks: u32,
+        opts: InFlightOptions,
+    ) -> Result<InFlightOutcome, WorkflowError> {
+        let mut session = dynamic_session(&self.binary, ic, tool, ranks)?;
+        let mut controller = AdaptController::new(AdaptConfig {
+            budget_pct: opts.budget_pct,
+            seed: opts.seed,
+        });
+        let adaptive = session
+            .run_adaptive(&mut controller, opts.epochs)
+            .map_err(WorkflowError::DynCapi)?;
+        let final_ic = InstrumentationConfig::from_names(
+            controller
+                .active_ids()
+                .into_iter()
+                .filter_map(|id| session.symbols.name_of(id).map(str::to_string)),
+        );
+        Ok(InFlightOutcome {
+            final_ic,
+            converged_at: controller.converged_at(),
+            log: controller.render_log(),
+            rebuilds: 0,
+            restarts: adaptive.restarts,
+            adaptive,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -244,6 +321,33 @@ mod tests {
 
         // The headline claim: dynamic turnaround ≪ static turnaround.
         assert!(m2.dynamic_turnaround_ns * 10 < m2.static_turnaround_ns);
+    }
+
+    #[test]
+    fn in_flight_refinement_converges_in_one_run() {
+        let wf = Workflow::analyze(program(), CompileOptions::o2()).unwrap();
+        let ic = wf
+            .select_ic(r#"flops(">=", 10, loopDepth(">=", 1, %%))"#)
+            .unwrap()
+            .ic;
+        let opts = InFlightOptions {
+            epochs: 4,
+            budget_pct: 4.0,
+            seed: 11,
+        };
+        let a = wf
+            .measure_in_flight(&ic, ToolChoice::None, 2, opts)
+            .unwrap();
+        let b = wf
+            .measure_in_flight(&ic, ToolChoice::None, 2, opts)
+            .unwrap();
+        assert_eq!(a.restarts, 0);
+        assert_eq!(a.rebuilds, 0);
+        assert_eq!(a.log, b.log, "same seed/budget → byte-identical logs");
+        assert_eq!(a.adaptive.per_rank_ns, b.adaptive.per_rank_ns);
+        assert!(a.final_ic.len() <= ic.len());
+        let last = a.adaptive.records.last().unwrap();
+        assert!(last.overhead_pct <= opts.budget_pct);
     }
 
     #[test]

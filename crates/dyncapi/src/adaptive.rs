@@ -1,0 +1,311 @@
+//! In-flight adaptation: run one measurement session in epochs, letting
+//! the controller repatch sleds at every epoch boundary.
+//!
+//! This is the runtime column of Fig. 3 made *live*: instead of
+//! restarting the session per IC adjustment, the session keeps running —
+//! the exec engine feeds per-epoch, per-function costs to a
+//! [`capi_adapt::AdaptController`], the resulting delta is applied
+//! through `XRayRuntime::repatch` (one `mprotect` pair per touched
+//! object), and the engine re-snapshots for the next epoch while the
+//! simulated MPI world stays up. Repatch costs are accounted separately
+//! as `T_adapt`, alongside `T_init`. The whole loop is tool-agnostic:
+//! whatever [`crate::ToolChoice`] the session was started with keeps
+//! receiving events across IC reloads.
+
+use crate::startup::{DynCapiError, Session};
+use capi_adapt::{AdaptController, EpochView, FuncSample};
+use capi_exec::{Engine, EpochSpec};
+use capi_mpisim::World;
+
+/// Per-epoch record of the adaptation trajectory.
+#[derive(Clone, Debug)]
+pub struct EpochRecord {
+    /// Epoch index.
+    pub epoch: usize,
+    /// Slowest rank's clock advance this epoch.
+    pub epoch_ns: u64,
+    /// Events dispatched this epoch.
+    pub events: u64,
+    /// Instrumentation cost this epoch (all ranks).
+    pub inst_ns: u64,
+    /// Measured overhead, percent of application time.
+    pub overhead_pct: f64,
+    /// Active (patched) functions *after* this epoch's delta.
+    pub active_after: usize,
+    /// Sleds patched by this epoch's delta.
+    pub sleds_patched: u64,
+    /// Sleds unpatched by this epoch's delta.
+    pub sleds_unpatched: u64,
+    /// Virtual cost of applying this epoch's delta.
+    pub adapt_ns: u64,
+}
+
+/// Outcome of an adaptive (single-session, zero-restart) run.
+#[derive(Clone, Debug)]
+pub struct AdaptiveRun {
+    /// The adaptation trajectory, one record per epoch.
+    pub records: Vec<EpochRecord>,
+    /// Final virtual clock per rank.
+    pub per_rank_ns: Vec<u64>,
+    /// Slowest rank's final clock (program run time).
+    pub run_ns: u64,
+    /// Events dispatched over the whole run.
+    pub events: u64,
+    /// Dormant sleds executed over the whole run.
+    pub nop_sleds: u64,
+    /// Recursion-guard cutoffs over the whole run.
+    pub depth_cutoffs: u64,
+    /// `T_init`: startup patching cost (from the session report).
+    pub init_ns: u64,
+    /// `T_adapt`: total in-flight repatching cost.
+    pub adapt_ns: u64,
+    /// `T_total` = `T_init` + `T_adapt` + run time.
+    pub total_ns: u64,
+    /// Session restarts needed — always 0, that is the point.
+    pub restarts: u32,
+}
+
+impl Session {
+    /// Runs the program once, split into `epochs` epochs, applying the
+    /// controller's IC delta at every epoch boundary — zero restarts.
+    ///
+    /// The controller is seeded with the session's initially patched
+    /// functions and pinned on the schedule's spine (functions whose
+    /// entry/exit straddle epoch boundaries).
+    pub fn run_adaptive(
+        &mut self,
+        controller: &mut AdaptController,
+        epochs: usize,
+    ) -> Result<AdaptiveRun, DynCapiError> {
+        let epochs = epochs.max(1);
+        let world = World::new(self.config.ranks, self.config.mpi_cost);
+        if let Some(talp) = &self.talp {
+            world.add_hook(talp.clone());
+        }
+        let mut clocks = vec![0u64; self.config.ranks as usize];
+        let mut records = Vec::with_capacity(epochs);
+        let (mut events, mut nops, mut cutoffs, mut adapt_ns) = (0u64, 0u64, 0u64, 0u64);
+        for epoch in 0..epochs {
+            // Re-prepare against the current patch state: the snapshot
+            // and quiet-subtree analysis pick up the last delta.
+            let engine = Engine::prepare(&self.process, &self.runtime, self.config.overhead)
+                .map_err(DynCapiError::Exec)?;
+            if epoch == 0 {
+                let names: Vec<_> = self
+                    .runtime
+                    .patched_ids()
+                    .into_iter()
+                    .map(|id| (id, self.display_name(id)))
+                    .collect();
+                controller.begin(names);
+                controller.pin(engine.spine_sled_ids());
+            }
+            let out = engine
+                .run_epoch(
+                    &world,
+                    EpochSpec {
+                        index: epoch,
+                        total: epochs,
+                    },
+                    &clocks,
+                )
+                .map_err(DynCapiError::Exec)?;
+            clocks.clone_from(&out.per_rank_ns);
+            events += out.events;
+            nops += out.nop_sleds;
+            cutoffs += out.depth_cutoffs;
+            let view = EpochView {
+                epoch,
+                epoch_ns: out.epoch_ns,
+                busy_ns: out.busy_ns,
+                inst_ns: out.inst_ns,
+                events: out.events,
+                samples: out
+                    .samples
+                    .iter()
+                    .map(|s| FuncSample {
+                        id: s.id,
+                        name: self.display_name(s.id),
+                        visits: s.visits,
+                        inst_ns: s.inst_ns,
+                        body_cost_ns: s.body_cost_ns,
+                    })
+                    .collect(),
+            };
+            let overhead_pct = view.overhead_pct();
+            let delta = controller.on_epoch(&view);
+            let rep = self.runtime.repatch(&mut self.process.memory, &delta)?;
+            let epoch_adapt_ns = (rep.sleds_patched + rep.sleds_unpatched)
+                * self.config.init_costs.per_sled_patch_ns
+                + rep.mprotect_pairs * self.config.init_costs.per_mprotect_ns;
+            adapt_ns += epoch_adapt_ns;
+            records.push(EpochRecord {
+                epoch,
+                epoch_ns: out.epoch_ns,
+                events: out.events,
+                inst_ns: out.inst_ns,
+                overhead_pct,
+                active_after: self.runtime.patched_functions(),
+                sleds_patched: rep.sleds_patched,
+                sleds_unpatched: rep.sleds_unpatched,
+                adapt_ns: epoch_adapt_ns,
+            });
+        }
+        let run_ns = clocks.iter().copied().max().unwrap_or(0);
+        Ok(AdaptiveRun {
+            records,
+            per_rank_ns: clocks,
+            run_ns,
+            events,
+            nop_sleds: nops,
+            depth_cutoffs: cutoffs,
+            init_ns: self.report.init_ns,
+            adapt_ns,
+            total_ns: self.report.init_ns + adapt_ns + run_ns,
+            restarts: 0,
+        })
+    }
+
+    /// Display name for a packed ID: the resolved symbol, or a stable
+    /// placeholder for hidden functions.
+    fn display_name(&self, id: capi_xray::PackedId) -> String {
+        self.symbols
+            .name_of(id)
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("fid:{:#010x}", id.raw()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::startup::{startup, DynCapiConfig, ToolChoice};
+    use capi_adapt::AdaptConfig;
+    use capi_appmodel::{LinkTarget, MpiCall, ProgramBuilder};
+    use capi_objmodel::{compile, CompileOptions};
+    use capi_scorep::FilterFile;
+
+    fn binary() -> capi_objmodel::Binary {
+        let mut b = ProgramBuilder::new("adaptapp");
+        b.unit("m.cc", LinkTarget::Executable);
+        b.function("main")
+            .main()
+            .statements(50)
+            .instructions(400)
+            .cost(1_000)
+            .calls("MPI_Init", 1)
+            .calls("step", 12)
+            .calls("MPI_Finalize", 1)
+            .finish();
+        b.function("step")
+            .statements(40)
+            .instructions(300)
+            .cost(500)
+            .calls("tiny_hot", 2_000)
+            .calls("kernel", 4)
+            .calls("MPI_Allreduce", 1)
+            .finish();
+        // Hot and nearly free: instrumenting it is all overhead.
+        b.function("tiny_hot")
+            .statements(20)
+            .instructions(200)
+            .cost(3)
+            .finish();
+        b.function("kernel")
+            .statements(80)
+            .instructions(700)
+            .cost(40_000)
+            .loop_depth(2)
+            .finish();
+        b.function("MPI_Init")
+            .statements(1)
+            .instructions(8)
+            .cost(0)
+            .mpi(MpiCall::Init)
+            .finish();
+        b.function("MPI_Allreduce")
+            .statements(1)
+            .instructions(8)
+            .cost(0)
+            .mpi(MpiCall::Allreduce { bytes: 16 })
+            .finish();
+        b.function("MPI_Finalize")
+            .statements(1)
+            .instructions(8)
+            .cost(0)
+            .mpi(MpiCall::Finalize)
+            .finish();
+        let p = b.build().unwrap();
+        compile(&p, &CompileOptions::o2()).unwrap()
+    }
+
+    fn session() -> crate::Session {
+        let cfg = DynCapiConfig {
+            tool: ToolChoice::Talp(Default::default()),
+            ic: Some(FilterFile::include_only(["tiny_hot", "kernel", "step"])),
+            ranks: 2,
+            ..Default::default()
+        };
+        startup(&binary(), cfg).unwrap()
+    }
+
+    #[test]
+    fn adaptive_run_trims_to_budget_with_zero_restarts() {
+        let mut s = session();
+        let mut c = AdaptController::new(AdaptConfig {
+            budget_pct: 5.0,
+            seed: 1,
+        });
+        let run = s.run_adaptive(&mut c, 6).unwrap();
+        assert_eq!(run.restarts, 0);
+        assert_eq!(run.records.len(), 6);
+        // tiny_hot blows the budget early and gets dropped.
+        assert!(run.records[0].overhead_pct > 5.0);
+        let last = run.records.last().unwrap();
+        assert!(
+            last.overhead_pct <= 5.0,
+            "converged within budget, got {:.3}%",
+            last.overhead_pct
+        );
+        assert!(run.adapt_ns > 0, "repatching was accounted");
+        assert!(run.total_ns >= run.init_ns + run.adapt_ns);
+        assert!(c.render_log().contains("drop tiny_hot"));
+    }
+
+    #[test]
+    fn adaptive_runs_are_deterministic() {
+        let one = |seed| {
+            let mut s = session();
+            let mut c = AdaptController::new(AdaptConfig {
+                budget_pct: 5.0,
+                seed,
+            });
+            let run = s.run_adaptive(&mut c, 5).unwrap();
+            (run.per_rank_ns.clone(), run.events, c.render_log())
+        };
+        let (clocks_a, events_a, log_a) = one(9);
+        let (clocks_b, events_b, log_b) = one(9);
+        assert_eq!(clocks_a, clocks_b, "virtual clocks identical");
+        assert_eq!(events_a, events_b);
+        assert_eq!(log_a, log_b, "adaptation logs byte-identical");
+    }
+
+    #[test]
+    fn adaptive_run_equals_plain_run_when_nothing_changes() {
+        // With an unreachable budget threshold no policy ever fires, so
+        // the epoch-sliced adaptive run must reproduce the plain run.
+        let plain = session().run().unwrap();
+        let mut s = session();
+        let mut c = AdaptController::with_policies(
+            AdaptConfig {
+                budget_pct: 1e9,
+                seed: 0,
+            },
+            Vec::new(),
+        );
+        let run = s.run_adaptive(&mut c, 4).unwrap();
+        assert_eq!(run.per_rank_ns, plain.run.per_rank_ns);
+        assert_eq!(run.events, plain.run.events);
+        assert_eq!(run.adapt_ns, 0);
+    }
+}

@@ -20,12 +20,17 @@
 //!   object, register them (PIC trampolines for DSOs), resolve IDs,
 //!   patch exactly the IC's functions, install the tool handler, and
 //!   account every step's virtual cost into `T_init` (Table II).
+//! * [`adaptive`] — in-flight adaptation: the session runs in epochs, a
+//!   `capi-adapt` controller repatches sleds at every boundary (zero
+//!   restarts), and the repatch cost is accounted as `T_adapt`.
 
 pub mod adapters;
+pub mod adaptive;
 pub mod startup;
 pub mod symres;
 
 pub use adapters::{ScorepAdapter, TalpAdapter, TalpAdapterStats};
+pub use adaptive::{AdaptiveRun, EpochRecord};
 pub use startup::{
     startup, DynCapiConfig, DynCapiError, InitCostModel, Session, SessionRun, StartupReport,
     ToolChoice,

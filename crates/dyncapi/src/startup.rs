@@ -190,7 +190,7 @@ pub struct Session {
     pub report: StartupReport,
     /// Symbol resolution (ID→name).
     pub symbols: SymbolResolution,
-    config: DynCapiConfig,
+    pub(crate) config: DynCapiConfig,
 }
 
 /// Runs the full DynCaPI startup over a compiled binary.

@@ -3,14 +3,18 @@
 use capi_appmodel::MpiCall;
 use capi_mpisim::{MpiError, MpiOp, World};
 use capi_objmodel::{DispatchKind, Process};
-use capi_xray::{EventKind, PatchSnapshot, XRayError, XRayRuntime};
-use std::collections::HashMap;
+use capi_xray::{EventKind, PackedId, PatchSnapshot, XRayError, XRayRuntime};
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Maximum call depth before calls are cut off (recursion guard).
 const MAX_DEPTH: u32 = 256;
+
+/// Maximum spine depth the epoch-schedule builder descends through
+/// single-trip wrapper calls looking for the progress loop.
+const MAX_SPINE_DEPTH: u32 = 32;
 
 /// Virtual-time costs of the instrumentation machinery itself.
 #[derive(Clone, Copy, Debug)]
@@ -88,9 +92,13 @@ pub struct RunReport {
     pub events: u64,
     /// Dormant sleds executed (NOP cost only).
     pub nop_sleds: u64,
+    /// Calls cut off by the [`MAX_DEPTH`] recursion guard. Nonzero means
+    /// call trees were truncated — adaptation policies must not mistake
+    /// the missing subtrees for cheap functions.
+    pub depth_cutoffs: u64,
 }
 
-#[derive(Clone, Copy)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 struct FuncKey {
     obj: u32,
     func: u32,
@@ -143,6 +151,8 @@ pub struct Engine<'p> {
     snapshot: PatchSnapshot,
     /// Quiet = subtree has no MPI and no patched sled: memoizable.
     quiet: Vec<Vec<bool>>,
+    /// Epoch schedule: the program linearized around its progress loop.
+    schedule: EpochSchedule,
 }
 
 impl<'p> Engine<'p> {
@@ -200,6 +210,7 @@ impl<'p> Engine<'p> {
         }
         let main = *by_name.get("main").ok_or(ExecError::NoMain)?;
         let quiet = compute_quiet(&funcs);
+        let schedule = build_schedule(&funcs, main);
         Ok(Self {
             runtime,
             model,
@@ -207,6 +218,7 @@ impl<'p> Engine<'p> {
             main,
             snapshot,
             quiet,
+            schedule,
         })
     }
 
@@ -220,6 +232,7 @@ impl<'p> Engine<'p> {
     pub fn run(&self, world: &Arc<World>) -> Result<RunReport, ExecError> {
         let events = AtomicU64::new(0);
         let nops = AtomicU64::new(0);
+        let cutoffs = AtomicU64::new(0);
         let results: Vec<Result<u64, ExecError>> = world.run(|ctx| {
             let mut rank_state = RankRun {
                 engine: self,
@@ -229,6 +242,8 @@ impl<'p> Engine<'p> {
                 memo: vec![Vec::new(); self.funcs.len()],
                 events: 0,
                 nops: 0,
+                depth_cutoffs: 0,
+                costs: None,
             };
             for (oi, fs) in self.funcs.iter().enumerate() {
                 rank_state.memo[oi] = vec![None; fs.len()];
@@ -236,6 +251,7 @@ impl<'p> Engine<'p> {
             let r = rank_state.exec(self.main, 0, 0);
             events.fetch_add(rank_state.events, Ordering::Relaxed);
             nops.fetch_add(rank_state.nops, Ordering::Relaxed);
+            cutoffs.fetch_add(rank_state.depth_cutoffs, Ordering::Relaxed);
             r
         });
         let mut per_rank = Vec::with_capacity(results.len());
@@ -248,8 +264,222 @@ impl<'p> Engine<'p> {
             total_ns: total,
             events: events.load(Ordering::Relaxed),
             nop_sleds: nops.load(Ordering::Relaxed),
+            depth_cutoffs: cutoffs.load(Ordering::Relaxed),
         })
     }
+
+    /// Trips of the detected progress loop; 0 when no multi-trip loop
+    /// exists on the spine (then epoch 0 runs the whole program).
+    pub fn epoch_loop_trips(&self) -> u64 {
+        self.schedule.loop_trips
+    }
+
+    /// Packed IDs of the spine functions — `main` and the single-trip
+    /// wrappers the schedule descends through. They stay logically
+    /// *entered* across epoch boundaries, so in-flight adaptation must
+    /// keep them patched (or their entry/exit events become unbalanced).
+    pub fn spine_sled_ids(&self) -> Vec<PackedId> {
+        self.schedule
+            .spine
+            .iter()
+            .filter_map(|k| {
+                self.funcs[k.obj as usize][k.func as usize]
+                    .sled
+                    .map(|(id, _)| id)
+            })
+            .collect()
+    }
+
+    /// Runs one epoch of the schedule on every rank, starting each rank
+    /// at its clock from the previous epoch. Running epochs `0..total`
+    /// back to back over one [`World`] is exactly one program run —
+    /// except the caller may repatch sleds (and re-`prepare` the engine)
+    /// at every boundary, which is what in-flight adaptation does.
+    pub fn run_epoch(
+        &self,
+        world: &Arc<World>,
+        spec: EpochSpec,
+        start_clocks: &[u64],
+    ) -> Result<EpochOutcome, ExecError> {
+        assert!(
+            spec.total >= 1 && spec.index < spec.total,
+            "epoch index out of range"
+        );
+        assert_eq!(
+            start_clocks.len(),
+            world.size() as usize,
+            "one start clock per rank"
+        );
+        let sched = &self.schedule;
+        let (trips_lo, trips_hi) = match sched.loop_pos {
+            Some(_) => (
+                spec.index as u64 * sched.loop_trips / spec.total as u64,
+                (spec.index as u64 + 1) * sched.loop_trips / spec.total as u64,
+            ),
+            None => (0, 0),
+        };
+        let first = spec.index == 0;
+        let last = spec.index == spec.total - 1;
+        type RankResult = (Result<u64, ExecError>, u64, u64, u64, Vec<Vec<(u64, u64)>>);
+        let results: Vec<RankResult> = world.run(|ctx| {
+            let mut rr = RankRun {
+                engine: self,
+                world: &ctx.world,
+                rank: ctx.rank,
+                ranks: ctx.world.size(),
+                memo: self.funcs.iter().map(|fs| vec![None; fs.len()]).collect(),
+                events: 0,
+                nops: 0,
+                depth_cutoffs: 0,
+                costs: Some(self.funcs.iter().map(|fs| vec![(0, 0); fs.len()]).collect()),
+            };
+            let mut clock = start_clocks[ctx.rank as usize];
+            let mut res: Result<(), ExecError> = Ok(());
+            for (i, step) in sched.steps.iter().enumerate() {
+                let in_scope = match sched.loop_pos {
+                    Some(lp) if i < lp => first,
+                    Some(lp) if i == lp => true,
+                    Some(_) => last,
+                    None => first,
+                };
+                if !in_scope {
+                    continue;
+                }
+                let r = match *step {
+                    Step::Enter(key) => rr.enter_function(key, clock),
+                    Step::Site { key, site, depth } => {
+                        let trips =
+                            self.funcs[key.obj as usize][key.func as usize].sites[site].trips;
+                        rr.run_site(key, site, 0, trips, clock, depth)
+                    }
+                    Step::Loop { key, site, depth } => {
+                        rr.run_site(key, site, trips_lo, trips_hi, clock, depth)
+                    }
+                    Step::Mpi(key) => {
+                        let op = self.funcs[key.obj as usize][key.func as usize]
+                            .mpi
+                            .expect("Mpi step only for MPI functions");
+                        rr.world
+                            .perform(rr.rank, clock, op)
+                            .map_err(ExecError::from)
+                    }
+                    Step::Exit(key) => rr.exit_function(key, clock),
+                };
+                match r {
+                    Ok(c) => clock = c,
+                    Err(e) => {
+                        res = Err(e);
+                        break;
+                    }
+                }
+            }
+            (
+                res.map(|()| clock),
+                rr.events,
+                rr.nops,
+                rr.depth_cutoffs,
+                rr.costs.take().unwrap_or_default(),
+            )
+        });
+        let mut per_rank = Vec::with_capacity(results.len());
+        let (mut events, mut nops, mut cutoffs, mut busy) = (0u64, 0u64, 0u64, 0u64);
+        let mut merged: Vec<Vec<(u64, u64)>> =
+            self.funcs.iter().map(|fs| vec![(0, 0); fs.len()]).collect();
+        for (rank, (res, ev, np, dc, costs)) in results.into_iter().enumerate() {
+            let end = res?;
+            busy += end - start_clocks[rank];
+            per_rank.push(end);
+            events += ev;
+            nops += np;
+            cutoffs += dc;
+            for (o, v) in costs.into_iter().enumerate() {
+                for (f, (vis, ins)) in v.into_iter().enumerate() {
+                    merged[o][f].0 += vis;
+                    merged[o][f].1 += ins;
+                }
+            }
+        }
+        let epoch_ns = per_rank
+            .iter()
+            .enumerate()
+            .map(|(r, &c)| c - start_clocks[r])
+            .max()
+            .unwrap_or(0);
+        let mut samples = Vec::new();
+        let mut inst_ns = 0u64;
+        for (o, v) in merged.iter().enumerate() {
+            for (f, &(visits, inst)) in v.iter().enumerate() {
+                if visits == 0 {
+                    continue;
+                }
+                let Some((id, _)) = self.funcs[o][f].sled else {
+                    continue;
+                };
+                inst_ns += inst;
+                samples.push(FuncCostSample {
+                    id,
+                    visits,
+                    inst_ns: inst,
+                    body_cost_ns: self.funcs[o][f].body_cost,
+                });
+            }
+        }
+        Ok(EpochOutcome {
+            per_rank_ns: per_rank,
+            epoch_ns,
+            busy_ns: busy,
+            events,
+            nop_sleds: nops,
+            depth_cutoffs: cutoffs,
+            inst_ns,
+            samples,
+        })
+    }
+}
+
+/// Which slice of the program an epoch run executes.
+#[derive(Clone, Copy, Debug)]
+pub struct EpochSpec {
+    /// Epoch index, `0..total`.
+    pub index: usize,
+    /// Total number of epochs the run is divided into.
+    pub total: usize,
+}
+
+/// Measured per-epoch, per-function cost of one instrumented function —
+/// the signal the adaptation controller's policies consume.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FuncCostSample {
+    /// The function's packed XRay ID.
+    pub id: PackedId,
+    /// Invocations observed this epoch (summed over ranks).
+    pub visits: u64,
+    /// Virtual instrumentation cost charged this epoch: trampolines plus
+    /// handler time, entry and exit (summed over ranks).
+    pub inst_ns: u64,
+    /// Static per-visit body cost of the function (imbalance excluded).
+    pub body_cost_ns: u64,
+}
+
+/// What one epoch run produced.
+#[derive(Clone, Debug)]
+pub struct EpochOutcome {
+    /// Virtual clock per rank at the end of the epoch.
+    pub per_rank_ns: Vec<u64>,
+    /// Slowest rank's clock advance this epoch.
+    pub epoch_ns: u64,
+    /// Sum of all ranks' clock advances this epoch.
+    pub busy_ns: u64,
+    /// Instrumentation events dispatched this epoch.
+    pub events: u64,
+    /// Dormant sleds executed this epoch.
+    pub nop_sleds: u64,
+    /// Recursion-guard cutoffs this epoch.
+    pub depth_cutoffs: u64,
+    /// Total instrumentation cost this epoch (all ranks).
+    pub inst_ns: u64,
+    /// Per-function costs, ordered by packed ID.
+    pub samples: Vec<FuncCostSample>,
 }
 
 /// Computes which functions head quiet subtrees (no MPI, no patched sled
@@ -327,6 +557,214 @@ fn compute_quiet(funcs: &[Vec<RFunc>]) -> Vec<Vec<bool>> {
         .collect()
 }
 
+/// One step of the linearized epoch schedule.
+#[derive(Clone, Copy, Debug)]
+enum Step {
+    /// Entry sled + body cost of a spine function.
+    Enter(FuncKey),
+    /// All trips of one call site, at the given spine depth.
+    Site {
+        key: FuncKey,
+        site: usize,
+        depth: u32,
+    },
+    /// The progress-loop site; its trips are divided across epochs.
+    Loop {
+        key: FuncKey,
+        site: usize,
+        depth: u32,
+    },
+    /// The spine function's own MPI operation.
+    Mpi(FuncKey),
+    /// Exit sled of a spine function.
+    Exit(FuncKey),
+}
+
+/// The program linearized around its dominant progress loop, so a run
+/// can be cut into epochs at deterministic, rank-synchronous points.
+struct EpochSchedule {
+    steps: Vec<Step>,
+    /// Index of the [`Step::Loop`] step, if a loop was found.
+    loop_pos: Option<usize>,
+    /// Trips of the loop site (0 without a loop).
+    loop_trips: u64,
+    /// Functions whose entry/exit straddle epoch boundaries.
+    spine: Vec<FuncKey>,
+}
+
+/// Statically estimates every function's subtree cost in virtual ns
+/// (body + called subtrees; cycles contribute their body only). Used
+/// solely to rank call sites when hunting for the progress loop.
+fn estimate_costs(funcs: &[Vec<RFunc>]) -> Vec<Vec<u64>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum State {
+        Unknown,
+        InProgress,
+        Done,
+    }
+    let mut state: Vec<Vec<State>> = funcs
+        .iter()
+        .map(|v| vec![State::Unknown; v.len()])
+        .collect();
+    let mut cost: Vec<Vec<u64>> = funcs.iter().map(|v| vec![0u64; v.len()]).collect();
+    for oi in 0..funcs.len() {
+        for fi in 0..funcs[oi].len() {
+            if state[oi][fi] != State::Unknown {
+                continue;
+            }
+            let mut stack: Vec<(FuncKey, bool)> = vec![(
+                FuncKey {
+                    obj: oi as u32,
+                    func: fi as u32,
+                },
+                false,
+            )];
+            while let Some((key, children_done)) = stack.pop() {
+                let (o, f) = (key.obj as usize, key.func as usize);
+                if children_done {
+                    if state[o][f] != State::InProgress {
+                        continue;
+                    }
+                    let rf = &funcs[o][f];
+                    let mut total = rf.body_cost as u128;
+                    for s in &rf.sites {
+                        if s.targets.is_empty() || s.trips == 0 {
+                            continue;
+                        }
+                        let sum: u128 = s
+                            .targets
+                            .iter()
+                            .map(|t| cost[t.obj as usize][t.func as usize] as u128)
+                            .sum();
+                        total += s.trips as u128 * (sum / s.targets.len() as u128);
+                    }
+                    cost[o][f] = total.min(u64::MAX as u128) as u64;
+                    state[o][f] = State::Done;
+                    continue;
+                }
+                match state[o][f] {
+                    State::Done => continue,
+                    State::InProgress => {
+                        // Cycle: settle for the body cost.
+                        cost[o][f] = funcs[o][f].body_cost;
+                        state[o][f] = State::Done;
+                        continue;
+                    }
+                    State::Unknown => {}
+                }
+                state[o][f] = State::InProgress;
+                stack.push((key, true));
+                for s in &funcs[o][f].sites {
+                    for t in &s.targets {
+                        if state[t.obj as usize][t.func as usize] == State::Unknown {
+                            stack.push((*t, false));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    cost
+}
+
+/// Builds the epoch schedule: starting at `main`, repeatedly descend
+/// into the call site whose subtree carries the most estimated virtual
+/// time, as long as it is a single-trip wrapper; the first dominant
+/// site with ≥ 2 trips becomes the progress loop whose trips are split
+/// across epochs. Everything before the loop runs in epoch 0 and
+/// everything after it in the last epoch, preserving program order.
+fn build_schedule(funcs: &[Vec<RFunc>], main: FuncKey) -> EpochSchedule {
+    let est = estimate_costs(funcs);
+    let mut steps = Vec::new();
+    let mut spine = Vec::new();
+    let mut suffixes: Vec<Vec<Step>> = Vec::new();
+    let mut visited: HashSet<FuncKey> = HashSet::new();
+    let mut key = main;
+    let mut depth = 0u32;
+    let mut loop_pos = None;
+    let mut loop_trips = 0u64;
+    loop {
+        visited.insert(key);
+        spine.push(key);
+        steps.push(Step::Enter(key));
+        let rf = &funcs[key.obj as usize][key.func as usize];
+        let mut dom: Option<(usize, u128)> = None;
+        for (si, s) in rf.sites.iter().enumerate() {
+            if s.targets.is_empty() || s.trips == 0 {
+                continue;
+            }
+            let sum: u128 = s
+                .targets
+                .iter()
+                .map(|t| est[t.obj as usize][t.func as usize] as u128)
+                .sum();
+            let weight = s.trips as u128 * (sum / s.targets.len() as u128 + 1);
+            if dom.is_none_or(|(_, best)| weight > best) {
+                dom = Some((si, weight));
+            }
+        }
+        let mut tail = Vec::new();
+        if rf.mpi.is_some() {
+            tail.push(Step::Mpi(key));
+        }
+        tail.push(Step::Exit(key));
+        let Some((di, _)) = dom else {
+            suffixes.push(tail);
+            break;
+        };
+        let trips = rf.sites[di].trips;
+        let target = rf.sites[di].targets[0];
+        for si in 0..di {
+            steps.push(Step::Site {
+                key,
+                site: si,
+                depth,
+            });
+        }
+        let mut rest: Vec<Step> = (di + 1..rf.sites.len())
+            .map(|si| Step::Site {
+                key,
+                site: si,
+                depth,
+            })
+            .collect();
+        rest.extend(tail);
+        if trips >= 2 {
+            loop_pos = Some(steps.len());
+            loop_trips = trips;
+            steps.push(Step::Loop {
+                key,
+                site: di,
+                depth,
+            });
+            suffixes.push(rest);
+            break;
+        }
+        if depth >= MAX_SPINE_DEPTH || visited.contains(&target) {
+            // Cycle or too deep: stop descending, run the site whole.
+            steps.push(Step::Site {
+                key,
+                site: di,
+                depth,
+            });
+            suffixes.push(rest);
+            break;
+        }
+        suffixes.push(rest);
+        key = target;
+        depth += 1;
+    }
+    for s in suffixes.into_iter().rev() {
+        steps.extend(s);
+    }
+    EpochSchedule {
+        steps,
+        loop_pos,
+        loop_trips,
+        spine,
+    }
+}
+
 /// Per-rank execution state.
 struct RankRun<'e, 'p> {
     engine: &'e Engine<'p>,
@@ -337,6 +775,9 @@ struct RankRun<'e, 'p> {
     memo: Vec<Vec<Option<(u64, u64)>>>,
     events: u64,
     nops: u64,
+    depth_cutoffs: u64,
+    /// Per-function (visits, instrumentation ns), tracked for epoch runs.
+    costs: Option<Vec<Vec<(u64, u64)>>>,
 }
 
 impl RankRun<'_, '_> {
@@ -382,9 +823,108 @@ impl RankRun<'_, '_> {
         (ns, nops)
     }
 
+    /// Charges one sled event: trampoline cost plus the handler's cost,
+    /// dispatched against the engine's snapshot generation so sleds
+    /// unpatched mid-epoch are tolerated instead of faulting.
+    fn sled_event(
+        &mut self,
+        key: FuncKey,
+        id: capi_xray::PackedId,
+        kind: EventKind,
+        clock: u64,
+    ) -> Result<u64, ExecError> {
+        let clock = clock + self.engine.model.patched_sled_ns;
+        let handler_ns = self.engine.runtime.dispatch_from_snapshot(
+            id,
+            kind,
+            clock,
+            self.rank,
+            self.engine.snapshot.generation,
+        )?;
+        self.events += 1;
+        if let Some(costs) = &mut self.costs {
+            let cell = &mut costs[key.obj as usize][key.func as usize];
+            if kind == EventKind::Entry {
+                cell.0 += 1;
+            }
+            cell.1 += self.engine.model.patched_sled_ns + handler_ns;
+        }
+        Ok(clock + handler_ns)
+    }
+
+    /// Entry sled + body cost of one function invocation.
+    fn enter_function(&mut self, key: FuncKey, clock: u64) -> Result<u64, ExecError> {
+        let rf = &self.engine.funcs[key.obj as usize][key.func as usize];
+        let mut clock = clock;
+        match rf.sled {
+            Some((id, true)) => {
+                clock = self.sled_event(key, id, EventKind::Entry, clock)?;
+            }
+            Some((_, false)) => {
+                clock += self.engine.model.unpatched_sled_ns;
+                self.nops += 1;
+            }
+            None => {}
+        }
+        Ok(clock + self.body_cost(rf))
+    }
+
+    /// Exit sled of one function invocation.
+    fn exit_function(&mut self, key: FuncKey, clock: u64) -> Result<u64, ExecError> {
+        match self.engine.funcs[key.obj as usize][key.func as usize].sled {
+            Some((id, true)) => self.sled_event(key, id, EventKind::Exit, clock),
+            Some((_, false)) => {
+                self.nops += 1;
+                Ok(clock + self.engine.model.unpatched_sled_ns)
+            }
+            None => Ok(clock),
+        }
+    }
+
+    /// Executes trips `lo..hi` of one call site of `key` (at the caller's
+    /// call depth), preserving the round-robin virtual-dispatch phase.
+    fn run_site(
+        &mut self,
+        key: FuncKey,
+        si: usize,
+        lo: u64,
+        hi: u64,
+        clock: u64,
+        depth: u32,
+    ) -> Result<u64, ExecError> {
+        let (o, f) = (key.obj as usize, key.func as usize);
+        let n_targets = self.engine.funcs[o][f].sites[si].targets.len();
+        if n_targets == 0 {
+            return Ok(clock);
+        }
+        let mut clock = clock;
+        for trip in lo..hi {
+            let target = self.engine.funcs[o][f].sites[si].targets[(trip as usize) % n_targets];
+            let (to, tf) = (target.obj as usize, target.func as usize);
+            if self.engine.quiet[to][tf] {
+                // Fast path: whole remaining trips of a single quiet
+                // target collapse into one multiplication.
+                if n_targets == 1 {
+                    let (tns, tnops) = self.quiet_cost(target);
+                    let remaining = hi - trip;
+                    clock = clock.saturating_add(tns.saturating_mul(remaining));
+                    self.nops += tnops.saturating_mul(remaining);
+                    break;
+                }
+                let (tns, tnops) = self.quiet_cost(target);
+                clock += tns;
+                self.nops += tnops;
+            } else {
+                clock = self.exec(target, clock, depth + 1)?;
+            }
+        }
+        Ok(clock)
+    }
+
     /// Executes one function invocation, returning the updated clock.
     fn exec(&mut self, key: FuncKey, clock: u64, depth: u32) -> Result<u64, ExecError> {
         if depth > MAX_DEPTH {
+            self.depth_cutoffs += 1;
             return Ok(clock);
         }
         let (o, f) = (key.obj as usize, key.func as usize);
@@ -393,75 +933,18 @@ impl RankRun<'_, '_> {
             self.nops += nops;
             return Ok(clock + ns);
         }
-        let rf = &self.engine.funcs[o][f];
-        let mut clock = clock;
+        let mut clock = self.enter_function(key, clock)?;
 
-        match rf.sled {
-            Some((id, true)) => {
-                clock += self.engine.model.patched_sled_ns;
-                clock += self
-                    .engine
-                    .runtime
-                    .dispatch(id, EventKind::Entry, clock, self.rank)?;
-                self.events += 1;
-            }
-            Some((_, false)) => {
-                clock += self.engine.model.unpatched_sled_ns;
-                self.nops += 1;
-            }
-            None => {}
-        }
-
-        clock += self.body_cost(rf);
-
-        for si in 0..rf.sites.len() {
-            let (n_targets, trips) = {
-                let s = &self.engine.funcs[o][f].sites[si];
-                (s.targets.len(), s.trips)
-            };
-            if n_targets == 0 {
-                continue;
-            }
-            for trip in 0..trips {
-                let target = self.engine.funcs[o][f].sites[si].targets[(trip as usize) % n_targets];
-                let (to, tf) = (target.obj as usize, target.func as usize);
-                if self.engine.quiet[to][tf] {
-                    // Fast path: whole remaining trips of a single quiet
-                    // target collapse into one multiplication.
-                    if n_targets == 1 {
-                        let (tns, tnops) = self.quiet_cost(target);
-                        let remaining = trips - trip;
-                        clock = clock.saturating_add(tns.saturating_mul(remaining));
-                        self.nops += tnops.saturating_mul(remaining);
-                        break;
-                    }
-                    let (tns, tnops) = self.quiet_cost(target);
-                    clock += tns;
-                    self.nops += tnops;
-                } else {
-                    clock = self.exec(target, clock, depth + 1)?;
-                }
-            }
+        for si in 0..self.engine.funcs[o][f].sites.len() {
+            let trips = self.engine.funcs[o][f].sites[si].trips;
+            clock = self.run_site(key, si, 0, trips, clock, depth)?;
         }
 
         if let Some(op) = self.engine.funcs[o][f].mpi {
             clock = self.world.perform(self.rank, clock, op)?;
         }
 
-        if let Some((id, patched)) = self.engine.funcs[o][f].sled {
-            if patched {
-                clock += self.engine.model.patched_sled_ns;
-                clock += self
-                    .engine
-                    .runtime
-                    .dispatch(id, EventKind::Exit, clock, self.rank)?;
-                self.events += 1;
-            } else {
-                clock += self.engine.model.unpatched_sled_ns;
-                self.nops += 1;
-            }
-        }
-        Ok(clock)
+        self.exit_function(key, clock)
     }
 }
 
@@ -636,6 +1119,85 @@ mod tests {
             slack,
             inactive.nop_sleds * OverheadModel::default().unpatched_sled_ns
         );
+    }
+
+    #[test]
+    fn epoch_runs_chain_to_exactly_one_monolithic_run() {
+        let s = setup(true, &["kernel", "step"]);
+        s.runtime.set_handler(Arc::new(BasicLog::new()));
+        let engine = Engine::prepare(&s.process, &s.runtime, OverheadModel::default()).unwrap();
+        let whole = engine.run(&World::new(4, CostModel::default())).unwrap();
+
+        // The schedule finds main's 10-trip `step` loop.
+        assert_eq!(engine.epoch_loop_trips(), 10);
+        let epochs = 5;
+        let world = World::new(4, CostModel::default());
+        let mut clocks = vec![0u64; 4];
+        let (mut events, mut nops) = (0u64, 0u64);
+        for e in 0..epochs {
+            let out = engine
+                .run_epoch(
+                    &world,
+                    EpochSpec {
+                        index: e,
+                        total: epochs,
+                    },
+                    &clocks,
+                )
+                .unwrap();
+            clocks = out.per_rank_ns.clone();
+            events += out.events;
+            nops += out.nop_sleds;
+        }
+        assert_eq!(clocks, whole.per_rank_ns);
+        assert_eq!(events, whole.events);
+        assert_eq!(nops, whole.nop_sleds);
+    }
+
+    #[test]
+    fn epoch_samples_report_per_function_costs() {
+        let s = setup(true, &["kernel"]);
+        s.runtime.set_handler(Arc::new(BasicLog::new()));
+        let engine = Engine::prepare(&s.process, &s.runtime, OverheadModel::default()).unwrap();
+        let world = World::new(2, CostModel::default());
+        let out = engine
+            .run_epoch(&world, EpochSpec { index: 0, total: 1 }, &[0, 0])
+            .unwrap();
+        assert_eq!(out.samples.len(), 1); // only `kernel` is patched
+        let sample = &out.samples[0];
+        // 10 steps × 100 kernel calls × 2 ranks.
+        assert_eq!(sample.visits, 2 * 10 * 100);
+        assert!(sample.inst_ns > 0);
+        assert_eq!(out.inst_ns, sample.inst_ns);
+        assert!(out.busy_ns >= out.epoch_ns);
+        // Spine = main (kernel loop is inside `step`, reached via sites).
+        assert!(!engine.spine_sled_ids().is_empty());
+    }
+
+    #[test]
+    fn depth_cutoffs_are_counted_not_silent() {
+        let mut b = ProgramBuilder::new("deep");
+        b.unit("d.cc", LinkTarget::Executable);
+        b.function("main")
+            .main()
+            .statements(10)
+            .instructions(100)
+            .cost(100)
+            .calls("recur", 1)
+            .finish();
+        b.function("recur")
+            .statements(10)
+            .instructions(100)
+            .cost(10)
+            .calls("recur", 1)
+            .finish();
+        let p = b.build().unwrap();
+        let bin = compile(&p, &CompileOptions::o2()).unwrap();
+        let process = Process::launch_binary(&bin).unwrap();
+        let runtime = XRayRuntime::new();
+        let engine = Engine::prepare(&process, &runtime, OverheadModel::default()).unwrap();
+        let r = engine.run(&World::new(2, CostModel::default())).unwrap();
+        assert_eq!(r.depth_cutoffs, 2); // one cutoff per rank
     }
 
     #[test]

@@ -26,4 +26,6 @@
 
 pub mod engine;
 
-pub use engine::{Engine, ExecError, OverheadModel, RunReport};
+pub use engine::{
+    Engine, EpochOutcome, EpochSpec, ExecError, FuncCostSample, OverheadModel, RunReport,
+};

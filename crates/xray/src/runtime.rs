@@ -89,6 +89,51 @@ pub struct RuntimeStats {
     pub sled_writes: u64,
     /// Events dispatched to the handler.
     pub dispatches: u64,
+    /// Dispatches delivered through the stale-snapshot tolerance path
+    /// (sled unpatched after the caller's snapshot was taken).
+    pub stale_dispatches: u64,
+    /// Batch [`XRayRuntime::repatch`] operations performed.
+    pub repatches: u64,
+}
+
+/// A batch of in-flight patch-state changes — what the adaptation
+/// controller applies between epochs.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PatchDelta {
+    /// Functions to patch (activate instrumentation).
+    pub patch: Vec<PackedId>,
+    /// Functions to unpatch (restore NOP sleds).
+    pub unpatch: Vec<PackedId>,
+}
+
+impl PatchDelta {
+    /// A delta that changes nothing.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Whether the delta changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.patch.is_empty() && self.unpatch.is_empty()
+    }
+
+    /// Total number of requested changes.
+    pub fn len(&self) -> usize {
+        self.patch.len() + self.unpatch.len()
+    }
+}
+
+/// What a batch [`XRayRuntime::repatch`] actually did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RepatchReport {
+    /// Sleds rewritten to the patched state.
+    pub sleds_patched: u64,
+    /// Sleds restored to NOPs.
+    pub sleds_unpatched: u64,
+    /// `mprotect` pairs issued (one per touched object).
+    pub mprotect_pairs: u64,
+    /// Patch generation after the batch was applied.
+    pub generation: u64,
 }
 
 struct Registered {
@@ -99,6 +144,10 @@ struct Registered {
     relocated: bool,
     /// Patch state per XRay function ID.
     patched: Vec<bool>,
+    /// Generation at which each function was last *unpatched*; lets
+    /// dispatch distinguish "never patched" (hard fault) from "unpatched
+    /// after the caller's snapshot" (tolerated, in-flight adaptation).
+    unpatch_gen: Vec<u64>,
 }
 
 struct Inner {
@@ -115,6 +164,9 @@ pub struct XRayRuntime {
     /// Event-dispatch counter kept outside the lock: dispatch is the hot
     /// path and runs concurrently on every rank thread.
     dispatches: AtomicU64,
+    /// Tolerated dispatches through sleds unpatched after the caller's
+    /// snapshot (see [`Self::dispatch_from_snapshot`]).
+    stale_dispatches: AtomicU64,
 }
 
 impl Default for XRayRuntime {
@@ -134,6 +186,7 @@ impl XRayRuntime {
             }),
             generation: AtomicU64::new(0),
             dispatches: AtomicU64::new(0),
+            stale_dispatches: AtomicU64::new(0),
         }
     }
 
@@ -163,6 +216,7 @@ impl XRayRuntime {
         check_fid_capacity(&inst)?;
         inner.objects.push(Some(Registered {
             patched: vec![false; inst.sleds.num_functions()],
+            unpatch_gen: vec![0; inst.sleds.num_functions()],
             trampolines,
             process_index: 0,
             base: loaded.base,
@@ -170,8 +224,8 @@ impl XRayRuntime {
             inst,
         }));
         inner.stats.objects_registered += 1;
-        drop(inner);
         self.bump();
+        drop(inner);
         Ok(0)
     }
 
@@ -205,6 +259,7 @@ impl XRayRuntime {
         };
         inner.objects[object_id] = Some(Registered {
             patched: vec![false; inst.sleds.num_functions()],
+            unpatch_gen: vec![0; inst.sleds.num_functions()],
             trampolines,
             process_index,
             base: loaded.base,
@@ -212,8 +267,8 @@ impl XRayRuntime {
             inst,
         });
         inner.stats.objects_registered += 1;
-        drop(inner);
         self.bump();
+        drop(inner);
         Ok(object_id as u8)
     }
 
@@ -228,8 +283,8 @@ impl XRayRuntime {
             return Err(XRayError::UnknownObject(object_id));
         }
         inner.stats.objects_registered -= 1;
-        drop(inner);
         self.bump();
+        drop(inner);
         Ok(())
     }
 
@@ -289,10 +344,15 @@ impl XRayRuntime {
         }
         mem.mprotect(page_lo, page_hi - page_lo, PagePerms::RX)?;
         reg.patched[id.function() as usize] = state;
+        // Bump while still holding the write lock so snapshots always
+        // pair a generation with the state it describes.
+        let new_gen = self.generation.fetch_add(1, Ordering::AcqRel) + 1;
+        if !state {
+            reg.unpatch_gen[id.function() as usize] = new_gen;
+        }
         let n = offsets.len() as u32;
         inner.stats.sled_writes += n as u64;
         drop(inner);
-        self.bump();
         Ok(n)
     }
 
@@ -346,9 +406,9 @@ impl XRayRuntime {
             reg.patched[fid as usize] = true;
         }
         mem.mprotect(page_lo, page_hi - page_lo, PagePerms::RX)?;
+        self.generation.fetch_add(1, Ordering::AcqRel);
         inner.stats.sled_writes += written as u64;
         drop(inner);
-        self.bump();
         Ok(written)
     }
 
@@ -377,6 +437,7 @@ impl XRayRuntime {
         let page_hi = (base + hi).div_ceil(PAGE_SIZE) * PAGE_SIZE;
         mem.mprotect(page_lo, page_hi - page_lo, PagePerms::RWX)?;
         let mut written = 0u32;
+        let mut changed = Vec::new();
         let num_funcs = reg.inst.sleds.num_functions();
         for fid in 0..num_funcs {
             if reg.patched[fid] == state {
@@ -388,12 +449,117 @@ impl XRayRuntime {
                 written += 1;
             }
             reg.patched[fid] = state;
+            changed.push(fid);
         }
         mem.mprotect(page_lo, page_hi - page_lo, PagePerms::RX)?;
+        let new_gen = self.generation.fetch_add(1, Ordering::AcqRel) + 1;
+        if !state {
+            for fid in changed {
+                reg.unpatch_gen[fid] = new_gen;
+            }
+        }
         inner.stats.sled_writes += written as u64;
         drop(inner);
-        self.bump();
         Ok(written)
+    }
+
+    /// Applies a batch of patch *and* unpatch operations atomically with
+    /// respect to snapshots — the in-flight adaptation primitive. Each
+    /// touched object pays one `mprotect` pair; the patch generation is
+    /// bumped once for the whole batch; functions unpatched here are
+    /// remembered with the new generation so dispatches from snapshots
+    /// that predate the batch are tolerated instead of faulting.
+    ///
+    /// When an ID appears in both lists the unpatch wins; duplicate IDs
+    /// within a list are applied once.
+    pub fn repatch(
+        &self,
+        mem: &mut AddressSpace,
+        delta: &PatchDelta,
+    ) -> Result<RepatchReport, XRayError> {
+        if delta.is_empty() {
+            return Ok(RepatchReport {
+                generation: self.generation(),
+                ..Default::default()
+            });
+        }
+        let mut inner = self.inner.write();
+        // Group by object, one requested end-state per function; the
+        // unpatch insertion overwrites any patch entry (unpatch wins).
+        // BTreeMaps keep the application order stable.
+        let mut by_obj: std::collections::BTreeMap<u8, std::collections::BTreeMap<u32, bool>> =
+            std::collections::BTreeMap::new();
+        for &id in &delta.patch {
+            by_obj
+                .entry(id.object())
+                .or_default()
+                .insert(id.function(), true);
+        }
+        for &id in &delta.unpatch {
+            by_obj
+                .entry(id.object())
+                .or_default()
+                .insert(id.function(), false);
+        }
+        // Validate every ID before mutating anything.
+        for (&oid, changes) in &by_obj {
+            let reg = inner
+                .objects
+                .get(oid as usize)
+                .and_then(Option::as_ref)
+                .ok_or(XRayError::UnknownObject(oid))?;
+            for &fid in changes.keys() {
+                reg.inst.sleds.by_fid(fid).ok_or_else(|| {
+                    XRayError::UnknownFunction(
+                        PackedId::pack(oid, fid).unwrap_or(PackedId::from_raw(0)),
+                    )
+                })?;
+            }
+        }
+        let new_gen = self.generation.fetch_add(1, Ordering::AcqRel) + 1;
+        let mut report = RepatchReport {
+            generation: new_gen,
+            ..Default::default()
+        };
+        for (&oid, changes) in &by_obj {
+            let reg = inner.objects[oid as usize].as_mut().expect("validated");
+            let need: Vec<(u32, bool)> = changes
+                .iter()
+                .map(|(&fid, &state)| (fid, state))
+                .filter(|&(fid, state)| reg.patched[fid as usize] != state)
+                .collect();
+            if need.is_empty() {
+                continue;
+            }
+            let Some((lo, hi)) = reg.inst.sleds.sled_range() else {
+                continue;
+            };
+            let base = reg.base;
+            let page_lo = (base + lo) / PAGE_SIZE * PAGE_SIZE;
+            let page_hi = (base + hi).div_ceil(PAGE_SIZE) * PAGE_SIZE;
+            mem.mprotect(page_lo, page_hi - page_lo, PagePerms::RWX)?;
+            for (fid, state) in need {
+                let entry = reg.inst.sleds.by_fid(fid).expect("validated");
+                let mut sleds = 0u64;
+                for (off, _) in entry.offsets() {
+                    mem.checked_write(base + off, SLED_BYTES)?;
+                    sleds += 1;
+                }
+                reg.patched[fid as usize] = state;
+                if state {
+                    report.sleds_patched += sleds;
+                } else {
+                    reg.unpatch_gen[fid as usize] = new_gen;
+                    report.sleds_unpatched += sleds;
+                }
+            }
+            mem.mprotect(page_lo, page_hi - page_lo, PagePerms::RX)?;
+            report.mprotect_pairs += 1;
+        }
+        inner.stats.sled_writes += report.sleds_patched + report.sleds_unpatched;
+        inner.stats.repatches += 1;
+        drop(inner);
+        Ok(report)
     }
 
     /// Whether the function's sleds are currently patched.
@@ -417,28 +583,61 @@ impl XRayRuntime {
         tsc: u64,
         rank: u32,
     ) -> Result<u64, XRayError> {
-        let (handler, fault_check) = {
+        self.dispatch_from_snapshot(id, kind, tsc, rank, self.generation())
+    }
+
+    /// Like [`Self::dispatch`], but for callers working from a
+    /// [`PatchSnapshot`] taken at `snapshot_generation`. A sled that was
+    /// unpatched *after* that generation is tolerated — the in-flight
+    /// thread already entered the (then-patched) sled, so the event is
+    /// delivered and counted as stale instead of raising
+    /// [`XRayError::NotPatched`]. A sled that was already dormant at the
+    /// snapshot still faults hard.
+    pub fn dispatch_from_snapshot(
+        &self,
+        id: PackedId,
+        kind: EventKind,
+        tsc: u64,
+        rank: u32,
+        snapshot_generation: u64,
+    ) -> Result<u64, XRayError> {
+        let (handler, fault_check, stale) = {
             let inner = self.inner.read();
             let reg = inner
                 .objects
                 .get(id.object() as usize)
                 .and_then(Option::as_ref)
                 .ok_or(XRayError::UnknownObject(id.object()))?;
-            if !reg
+            let patched = reg
                 .patched
                 .get(id.function() as usize)
                 .copied()
-                .unwrap_or(false)
-            {
-                return Err(XRayError::NotPatched(id));
-            }
+                .unwrap_or(false);
+            let stale = if patched {
+                false
+            } else {
+                let unpatched_at = reg
+                    .unpatch_gen
+                    .get(id.function() as usize)
+                    .copied()
+                    .unwrap_or(0);
+                if unpatched_at > snapshot_generation {
+                    true
+                } else {
+                    return Err(XRayError::NotPatched(id));
+                }
+            };
             (
                 inner.handler.clone(),
                 reg.trampolines.check_dispatch(reg.relocated),
+                stale,
             )
         };
         fault_check.map_err(XRayError::Fault)?;
         self.dispatches.fetch_add(1, Ordering::Relaxed);
+        if stale {
+            self.stale_dispatches.fetch_add(1, Ordering::Relaxed);
+        }
         let Some(handler) = handler else {
             return Ok(0); // patched but no handler installed: sled jumps, returns
         };
@@ -493,6 +692,7 @@ impl XRayRuntime {
     pub fn stats(&self) -> RuntimeStats {
         let mut s = self.inner.read().stats;
         s.dispatches = self.dispatches.load(Ordering::Relaxed);
+        s.stale_dispatches = self.stale_dispatches.load(Ordering::Relaxed);
         s
     }
 
@@ -505,6 +705,25 @@ impl XRayRuntime {
             .flatten()
             .map(|r| r.inst.sleds.total_sleds())
             .sum()
+    }
+
+    /// Packed IDs of all currently patched functions, ordered by
+    /// (object, function) — the active set the adaptation controller
+    /// starts from.
+    pub fn patched_ids(&self) -> Vec<PackedId> {
+        let inner = self.inner.read();
+        let mut ids = Vec::new();
+        for (oid, reg) in inner.objects.iter().enumerate() {
+            let Some(reg) = reg else { continue };
+            for (fid, &p) in reg.patched.iter().enumerate() {
+                if p {
+                    if let Ok(id) = PackedId::pack(oid as u8, fid as u32) {
+                        ids.push(id);
+                    }
+                }
+            }
+        }
+        ids
     }
 
     /// Counts currently patched functions.
@@ -835,6 +1054,122 @@ mod tests {
         assert!(patched);
         let (_, was_patched) = snap0.lookup(0, entry.func_index).unwrap();
         assert!(!was_patched);
+    }
+
+    #[test]
+    fn repatch_applies_batch_with_one_mprotect_pair_per_object() {
+        let (mut f, main_id, dso_id) = registered();
+        let m0 = PackedId::pack(main_id, 0).unwrap();
+        let m1 = PackedId::pack(main_id, 1).unwrap();
+        let d0 = PackedId::pack(dso_id, 0).unwrap();
+        f.runtime.patch_function(&mut f.process.memory, m1).unwrap();
+        let before = f.process.memory.stats.mprotect_calls;
+        let rep = f
+            .runtime
+            .repatch(
+                &mut f.process.memory,
+                &PatchDelta {
+                    patch: vec![m0, d0],
+                    unpatch: vec![m1],
+                },
+            )
+            .unwrap();
+        // Two objects touched → two mprotect pairs.
+        assert_eq!(rep.mprotect_pairs, 2);
+        assert_eq!(f.process.memory.stats.mprotect_calls - before, 4);
+        assert!(rep.sleds_patched >= 4); // m0 + d0, entry+exit each
+        assert!(rep.sleds_unpatched >= 2);
+        assert!(f.runtime.is_patched(m0));
+        assert!(f.runtime.is_patched(d0));
+        assert!(!f.runtime.is_patched(m1));
+        assert_eq!(f.runtime.stats().repatches, 1);
+        assert_eq!(f.runtime.patched_ids(), vec![m0, d0]);
+    }
+
+    #[test]
+    fn repatch_conflicting_entries_unpatch_wins() {
+        let (mut f, main_id, _) = registered();
+        let id = PackedId::pack(main_id, 0).unwrap();
+        // Unpatched function listed in both directions: stays unpatched.
+        let rep = f
+            .runtime
+            .repatch(
+                &mut f.process.memory,
+                &PatchDelta {
+                    patch: vec![id],
+                    unpatch: vec![id],
+                },
+            )
+            .unwrap();
+        assert!(!f.runtime.is_patched(id));
+        assert_eq!(rep.sleds_patched, 0);
+        // Patched function in both directions: ends unpatched too.
+        f.runtime.patch_function(&mut f.process.memory, id).unwrap();
+        f.runtime
+            .repatch(
+                &mut f.process.memory,
+                &PatchDelta {
+                    patch: vec![id, id], // duplicates applied once
+                    unpatch: vec![id],
+                },
+            )
+            .unwrap();
+        assert!(!f.runtime.is_patched(id));
+    }
+
+    #[test]
+    fn repatch_validates_before_mutating() {
+        let (mut f, main_id, _) = registered();
+        let good = PackedId::pack(main_id, 0).unwrap();
+        let bogus = PackedId::pack(main_id, 9_999).unwrap();
+        let err = f
+            .runtime
+            .repatch(
+                &mut f.process.memory,
+                &PatchDelta {
+                    patch: vec![good, bogus],
+                    unpatch: vec![],
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, XRayError::UnknownFunction(_)));
+        // Nothing was applied.
+        assert!(!f.runtime.is_patched(good));
+    }
+
+    #[test]
+    fn unpatch_after_snapshot_is_tolerated_never_patched_faults() {
+        let (mut f, main_id, _) = registered();
+        let id = PackedId::pack(main_id, 0).unwrap();
+        let never = PackedId::pack(main_id, 1).unwrap();
+        f.runtime.patch_function(&mut f.process.memory, id).unwrap();
+        let snap_gen = f.runtime.snapshot().generation;
+        f.runtime
+            .repatch(
+                &mut f.process.memory,
+                &PatchDelta {
+                    patch: vec![],
+                    unpatch: vec![id],
+                },
+            )
+            .unwrap();
+        // A dispatch working from the pre-repatch snapshot is tolerated.
+        assert!(f
+            .runtime
+            .dispatch_from_snapshot(id, EventKind::Entry, 0, 0, snap_gen)
+            .is_ok());
+        assert_eq!(f.runtime.stats().stale_dispatches, 1);
+        // A never-patched sled still faults from the same snapshot.
+        assert!(matches!(
+            f.runtime
+                .dispatch_from_snapshot(never, EventKind::Entry, 0, 0, snap_gen),
+            Err(XRayError::NotPatched(_))
+        ));
+        // And from the *current* generation the unpatched sled faults.
+        assert!(matches!(
+            f.runtime.dispatch(id, EventKind::Entry, 0, 0),
+            Err(XRayError::NotPatched(_))
+        ));
     }
 
     #[test]

@@ -1,16 +1,22 @@
-//! The paper's core usability claim, live: iterative IC refinement
-//! **without recompilation** (Fig. 1 + §VII-A).
+//! The paper's core usability claim, two ways.
 //!
-//! Iteration 1 starts from the kernels spec; each following iteration
-//! consults the measured profile (scorep-score style), excludes the
-//! hottest small functions, and re-runs — paying only startup patching,
-//! never a rebuild.
+//! **Restart-per-iteration** (the paper's Fig. 3 runtime column): each
+//! refinement iteration starts a fresh session, consults the measured
+//! profile (scorep-score style), drops hot+small functions and re-runs —
+//! paying startup patching per iteration, but never a rebuild.
+//!
+//! **In-flight** (the `capi-adapt` controller): ONE session; the same
+//! refinement happens at epoch boundaries while the program runs —
+//! zero restarts on top of zero rebuilds.
+//!
+//! The example runs both modes from the same starting IC and prints a
+//! side-by-side comparison of turnaround, sessions and rebuilds.
 //!
 //! ```text
 //! cargo run --release --example adaptive_refinement
 //! ```
 
-use capi::{InstrumentationConfig, Workflow};
+use capi::{InFlightOptions, InstrumentationConfig, Workflow};
 use capi_dyncapi::ToolChoice;
 use capi_objmodel::CompileOptions;
 use capi_scorep::score::{score_profile, ScoreParams};
@@ -19,17 +25,23 @@ use capi_workloads::{openfoam, OpenFoamParams, PAPER_SPECS};
 fn main() {
     let program = openfoam(&OpenFoamParams {
         scale: 12_000,
+        time_steps: 24,
         ..Default::default()
     });
     let workflow = Workflow::analyze(program, CompileOptions::o2()).expect("analyze");
     let recompile_min = workflow.recompile_estimate_ns() as f64 / 60e9;
     println!("static-mode cost per adjustment would be ≈{recompile_min:.1} min of recompilation\n");
 
-    let mut ic: InstrumentationConfig = workflow
-        .select_ic(PAPER_SPECS[2].source)
-        .expect("kernels IC")
+    let starting_ic: InstrumentationConfig = workflow
+        .select_ic(PAPER_SPECS[0].source)
+        .expect("mpi IC")
         .ic;
 
+    // ---- Mode A: restart per iteration. ---------------------------------
+    println!("== restart-per-iteration (one session per adjustment) ==");
+    let mut ic = starting_ic.clone();
+    let mut restart_sessions = 0u32;
+    let mut restart_turnaround_ns = 0u64;
     for iteration in 1..=3 {
         let session = capi::dynamic_session(
             &workflow.binary,
@@ -39,6 +51,8 @@ fn main() {
         )
         .expect("session");
         let out = session.run().expect("run");
+        restart_sessions += 1;
+        restart_turnaround_ns += out.total_ns;
         println!(
             "iteration {iteration}: {} functions instrumented | patch-time {:.2} ms | run {:.2} ms | {} events",
             ic.len(),
@@ -69,5 +83,50 @@ fn main() {
             break;
         }
     }
-    println!("\ntotal rebuilds needed: 0 (the paper's static workflow would have paid one per iteration)");
+
+    // ---- Mode B: in-flight (single session, epoch controller). ----------
+    println!("\n== in-flight (one session, controller repatches mid-run) ==");
+    let outcome = workflow
+        .measure_in_flight(
+            &starting_ic,
+            ToolChoice::Talp(Default::default()),
+            4,
+            InFlightOptions {
+                epochs: 6,
+                budget_pct: 5.0,
+                seed: 0x5EED,
+            },
+        )
+        .expect("in-flight run");
+    for r in &outcome.adaptive.records {
+        println!(
+            "epoch {}: overhead {:.3}% | active {} | -{} sleds +{} sleds",
+            r.epoch, r.overhead_pct, r.active_after, r.sleds_unpatched, r.sleds_patched
+        );
+    }
+
+    // ---- Side by side. --------------------------------------------------
+    let inflight_turnaround_ns = outcome.adaptive.total_ns;
+    println!("\n== side by side ==");
+    println!("                      restart-mode     in-flight");
+    println!("sessions started      {restart_sessions:>12}  {:>12}", 1);
+    println!(
+        "mid-run restarts      {:>12}  {:>12}",
+        restart_sessions.saturating_sub(1),
+        outcome.adaptive.restarts
+    );
+    println!("rebuilds              {:>12}  {:>12}", 0, outcome.rebuilds);
+    println!(
+        "total turnaround      {:>9.2} ms  {:>9.2} ms",
+        restart_turnaround_ns as f64 / 1e6,
+        inflight_turnaround_ns as f64 / 1e6
+    );
+    println!(
+        "T_adapt               {:>12}  {:>9.2} ms",
+        "-",
+        outcome.adaptive.adapt_ns as f64 / 1e6
+    );
+    println!(
+        "\n(static instrumentation would have paid {restart_sessions} × {recompile_min:.1} min of rebuilds on top)"
+    );
 }

@@ -5,6 +5,7 @@
 //! inventory and `EXPERIMENTS.md` for the paper-vs-measured record.
 
 pub use capi;
+pub use capi_adapt as adapt;
 pub use capi_appmodel as appmodel;
 pub use capi_dyncapi as dyncapi;
 pub use capi_exec as exec;

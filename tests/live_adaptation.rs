@@ -1,0 +1,177 @@
+//! In-flight adaptation: concurrent repatch stress, stale-snapshot
+//! tolerance, and the end-to-end determinism contract.
+
+use capi::{dynamic_session, InFlightOptions, Workflow};
+use capi_adapt::{AdaptConfig, AdaptController};
+use capi_dyncapi::ToolChoice;
+use capi_exec::{Engine, EpochSpec, OverheadModel};
+use capi_mpisim::{CostModel, World};
+use capi_objmodel::CompileOptions;
+use capi_workloads::{openfoam, quickstart_app, OpenFoamParams, PAPER_SPECS};
+use capi_xray::PatchDelta;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Ranks dispatch while a controller thread patches and unpatches the
+/// very sleds they are executing: no trampoline faults, no lost events,
+/// and virtual time identical to an undisturbed run — the engine's
+/// snapshot plus the runtime's unpatch-generation tolerance guarantee
+/// it.
+#[test]
+fn concurrent_repatching_keeps_dispatch_deterministic() {
+    let program = quickstart_app(60);
+    let wf = Workflow::analyze(program, CompileOptions::o2()).unwrap();
+    let ic = wf
+        .select_ic(r#"byName("^(stencil_kernel|compute_residual|time_step)$", %%)"#)
+        .unwrap()
+        .ic;
+    let mut session = dynamic_session(&wf.binary, &ic, ToolChoice::None, 4).unwrap();
+    let runtime = session.runtime.clone();
+    let toggled = runtime.patched_ids();
+    assert!(toggled.len() >= 2, "need sleds to toggle");
+
+    let engine = Engine::prepare(&session.process, &runtime, OverheadModel::default()).unwrap();
+    let baseline = engine.run(&World::new(4, CostModel::default())).unwrap();
+    assert!(baseline.events > 0);
+
+    let stop = AtomicBool::new(false);
+    let disturbed = std::thread::scope(|scope| {
+        let toggler = scope.spawn(|| {
+            let mem = &mut session.process.memory;
+            let unpatch = PatchDelta {
+                patch: Vec::new(),
+                unpatch: toggled.clone(),
+            };
+            let patch = PatchDelta {
+                patch: toggled.clone(),
+                unpatch: Vec::new(),
+            };
+            let mut batches = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                runtime.repatch(mem, &unpatch).unwrap();
+                runtime.repatch(mem, &patch).unwrap();
+                batches += 2;
+            }
+            batches
+        });
+        let r = engine.run(&World::new(4, CostModel::default())).unwrap();
+        stop.store(true, Ordering::Relaxed);
+        let batches = toggler.join().unwrap();
+        (r, batches)
+    });
+    let (disturbed, batches) = disturbed;
+    assert!(batches > 0, "the toggler actually ran");
+    // No faults (both runs returned Ok), no lost events, identical time.
+    assert_eq!(disturbed.events, baseline.events, "no lost events");
+    assert_eq!(disturbed.per_rank_ns, baseline.per_rank_ns);
+    assert_eq!(disturbed.nop_sleds, baseline.nop_sleds);
+}
+
+/// Chaining epochs over one session (no controller interference)
+/// reproduces the plain monolithic run bit for bit.
+#[test]
+fn session_epochs_reproduce_plain_run() {
+    let program = openfoam(&OpenFoamParams {
+        scale: 4_000,
+        ..Default::default()
+    });
+    let wf = Workflow::analyze(program, CompileOptions::o2()).unwrap();
+    let ic = wf.select_ic(PAPER_SPECS[2].source).unwrap().ic;
+
+    let plain = dynamic_session(&wf.binary, &ic, ToolChoice::None, 2)
+        .unwrap()
+        .run()
+        .unwrap();
+
+    let session = dynamic_session(&wf.binary, &ic, ToolChoice::None, 2).unwrap();
+    let engine =
+        Engine::prepare(&session.process, &session.runtime, OverheadModel::default()).unwrap();
+    let world = World::new(2, CostModel::default());
+    let mut clocks = vec![0u64; 2];
+    let mut events = 0u64;
+    let epochs = 7;
+    for index in 0..epochs {
+        let out = engine
+            .run_epoch(
+                &world,
+                EpochSpec {
+                    index,
+                    total: epochs,
+                },
+                &clocks,
+            )
+            .unwrap();
+        clocks = out.per_rank_ns;
+        events += out.events;
+    }
+    assert_eq!(clocks, plain.run.per_rank_ns);
+    assert_eq!(events, plain.run.events);
+}
+
+/// Two adaptive sessions with the same seed and budget: byte-identical
+/// adaptation logs, identical virtual clocks, convergence within the
+/// budget, zero restarts — the acceptance contract of `capi-adapt`.
+#[test]
+fn in_flight_adaptation_deterministic_and_within_budget() {
+    let run = || {
+        let program = openfoam(&OpenFoamParams {
+            scale: 4_000,
+            time_steps: 16,
+            ..Default::default()
+        });
+        let wf = Workflow::analyze(program, CompileOptions::o2()).unwrap();
+        let ic = wf.select_ic(PAPER_SPECS[0].source).unwrap().ic;
+        wf.measure_in_flight(
+            &ic,
+            ToolChoice::Talp(Default::default()),
+            2,
+            InFlightOptions {
+                epochs: 6,
+                budget_pct: 5.0,
+                seed: 0xCAF1,
+            },
+        )
+        .unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.log, b.log, "adaptation logs byte-identical");
+    assert_eq!(a.adaptive.per_rank_ns, b.adaptive.per_rank_ns);
+    assert_eq!(a.adaptive.events, b.adaptive.events);
+    assert_eq!(a.restarts, 0);
+    assert_eq!(a.rebuilds, 0);
+    let last = a.adaptive.records.last().unwrap();
+    assert!(
+        last.overhead_pct <= 5.0,
+        "converged within budget, got {:.3}%",
+        last.overhead_pct
+    );
+    assert_eq!(a.final_ic, b.final_ic);
+}
+
+/// The controller runs against a live session bookkeeping-correctly:
+/// `T_adapt` appears exactly when deltas are applied, and the active
+/// count tracks the runtime's patched set.
+#[test]
+fn adapt_accounting_tracks_runtime_state() {
+    let program = quickstart_app(40);
+    let wf = Workflow::analyze(program, CompileOptions::o2()).unwrap();
+    let ic = wf
+        .select_ic(r#"byName("^(pack_boundary|unpack_boundary|stencil_kernel)$", %%)"#)
+        .unwrap()
+        .ic;
+    let mut session = dynamic_session(&wf.binary, &ic, ToolChoice::None, 2).unwrap();
+    let mut controller = AdaptController::new(AdaptConfig {
+        budget_pct: 0.001, // impossible budget: everything non-pinned goes
+        seed: 1,
+    });
+    let run = session.run_adaptive(&mut controller, 4).unwrap();
+    assert!(run.adapt_ns > 0);
+    assert!(controller.dropped_len() > 0);
+    let last = run.records.last().unwrap();
+    assert_eq!(last.active_after, session.runtime.patched_functions());
+    assert_eq!(
+        run.total_ns,
+        run.init_ns + run.adapt_ns + run.run_ns,
+        "T_total = T_init + T_adapt + run"
+    );
+}
