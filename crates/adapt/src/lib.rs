@@ -15,7 +15,11 @@
 //!   suppression à la Arafa et al.);
 //! * the [`AdaptController`] merges the proposals into one
 //!   [`capi_xray::PatchDelta`], which the session applies live through
-//!   `XRayRuntime::repatch` while rank threads keep dispatching.
+//!   `XRayRuntime::repatch` while rank threads keep dispatching —
+//!   `repatch` atomically publishes a fresh immutable dispatch table
+//!   (patch state + unpatch generations + handler), so in-flight
+//!   dispatches never take a lock and never observe a half-applied
+//!   batch.
 //!
 //! Determinism contract: identical seeds and budgets produce identical
 //! adaptation decisions, identical virtual clocks, and byte-identical

@@ -1,0 +1,96 @@
+//! Generates **Table IV — dispatch fast-path throughput** (new workload
+//! beyond the paper): rank threads hammer the XRay event hot path
+//! concurrently while the table sweeps rank count × patched fraction,
+//! reporting aggregate events/second. With the wait-free dispatch table
+//! (one atomic load + two array indexes per event, per-rank striped
+//! counters, per-rank sharded sinks) throughput scales with rank count
+//! instead of flat-lining on a global lock.
+//!
+//! Results are also written to `BENCH_dispatch.json` so successive PRs
+//! can diff throughput.
+//!
+//! Environment: `CAPI_DISPATCH_EVENTS` (events per rank, default
+//! 200,000), `CAPI_DISPATCH_FUNCS` (instrumented functions, default
+//! 512), `CAPI_DISPATCH_OUT` (output path, default
+//! `BENCH_dispatch.json`).
+
+use capi_bench::{
+    dispatch_events_from_env, dispatch_fixture, dispatch_funcs_from_env, dispatch_round_robin,
+};
+use capi_xray::ShardedLog;
+use serde_json::{json, Value};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let events_per_rank = dispatch_events_from_env();
+    let funcs = dispatch_funcs_from_env();
+    let out_path =
+        std::env::var("CAPI_DISPATCH_OUT").unwrap_or_else(|_| "BENCH_dispatch.json".to_string());
+
+    println!("TABLE IV — DISPATCH FAST-PATH THROUGHPUT\n");
+    println!(
+        "{funcs} instrumented functions | {events_per_rank} events/rank | sink: sharded log\n"
+    );
+    println!("ranks  patched%  patched  events      wall(ms)  events/sec");
+
+    let rank_counts = [1u32, 2, 4, 8];
+    let fractions = [0.1f64, 0.5, 1.0];
+    let mut rows: Vec<Value> = Vec::new();
+
+    // One fixture for the whole sweep; each fraction re-patches from a
+    // clean slate.
+    let mut fixture = dispatch_fixture(funcs);
+    for &fraction in &fractions {
+        fixture.unpatch_all();
+        let patched = fixture.patch_fraction(fraction);
+        for &ranks in &rank_counts {
+            let sink = Arc::new(ShardedLog::new(ranks));
+            fixture.runtime.set_handler(sink.clone());
+            let runtime = &fixture.runtime;
+            let ids = &patched[..];
+            let start = Instant::now();
+            let total: u64 = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..ranks)
+                    .map(|rank| {
+                        scope.spawn(move || {
+                            dispatch_round_robin(runtime, ids, rank, events_per_rank)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum()
+            });
+            let elapsed = start.elapsed();
+            assert_eq!(total, events_per_rank * ranks as u64, "no lost dispatches");
+            assert_eq!(sink.len() as u64, total, "sink saw every event");
+            let elapsed_ns = elapsed.as_nanos().max(1) as u64;
+            let events_per_sec = total as f64 * 1e9 / elapsed_ns as f64;
+            println!(
+                "{ranks:>5}  {:>7.0}%  {:>7}  {total:>10}  {:>8.2}  {events_per_sec:>10.0}",
+                fraction * 100.0,
+                patched.len(),
+                elapsed_ns as f64 / 1e6,
+            );
+            rows.push(json!({
+                "ranks": ranks,
+                "patched_fraction": fraction,
+                "patched_functions": patched.len(),
+                "events": total,
+                "elapsed_ns": elapsed_ns,
+                "events_per_sec": events_per_sec,
+            }));
+            fixture.runtime.clear_handler();
+        }
+    }
+
+    let report = json!({
+        "bench": "dispatch",
+        "funcs": funcs,
+        "events_per_rank": events_per_rank,
+        "sink": "sharded-log",
+        "rows": rows,
+    });
+    let pretty = serde_json::to_string_pretty(&report).expect("serializes");
+    std::fs::write(&out_path, pretty + "\n").expect("writes BENCH_dispatch.json");
+    println!("\nwrote {out_path}");
+}

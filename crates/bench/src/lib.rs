@@ -92,6 +92,24 @@ pub fn budget_pct_from_env() -> f64 {
     parse_positive_f64(std::env::var("CAPI_BUDGET_PCT").ok(), 5.0)
 }
 
+/// Events per rank for the dispatch throughput sweep, from
+/// `CAPI_DISPATCH_EVENTS` (default 200,000).
+///
+/// Unparseable or zero values fall back to the default; a zero-event
+/// sweep measures nothing.
+pub fn dispatch_events_from_env() -> u64 {
+    parse_positive_usize(std::env::var("CAPI_DISPATCH_EVENTS").ok(), 200_000) as u64
+}
+
+/// Instrumented function count for the dispatch throughput sweep, from
+/// `CAPI_DISPATCH_FUNCS` (default 512).
+///
+/// Unparseable or zero values fall back to the default; the fixture
+/// needs at least one sled to dispatch through.
+pub fn dispatch_funcs_from_env() -> usize {
+    parse_positive_usize(std::env::var("CAPI_DISPATCH_FUNCS").ok(), 512)
+}
+
 fn parse_positive_usize(var: Option<String>, default: usize) -> usize {
     var.and_then(|v| v.parse().ok())
         .filter(|&n| n > 0)
@@ -211,6 +229,114 @@ pub fn measure(
             None => out.run.total_ns,
         },
         events: out.run.events,
+    }
+}
+
+/// A synthetic process + runtime for dispatch-path microbenchmarks:
+/// one executable object with `funcs` instrumented functions, nothing
+/// patched yet.
+pub struct DispatchFixture {
+    /// The launched process (owns the patchable memory).
+    pub process: capi_objmodel::Process,
+    /// The XRay runtime with the object registered.
+    pub runtime: capi_xray::XRayRuntime,
+    /// All instrumented packed IDs, in function-ID order.
+    pub ids: Vec<capi_xray::PackedId>,
+}
+
+/// Builds a [`DispatchFixture`] with `funcs` instrumentable functions.
+pub fn dispatch_fixture(funcs: usize) -> DispatchFixture {
+    use capi_appmodel::{LinkTarget, ProgramBuilder};
+    let mut b = ProgramBuilder::new("dispatch-bench");
+    b.unit("hot.cc", LinkTarget::Executable);
+    {
+        let mut m = b.function("main").main().statements(20).instructions(200);
+        // Call every worker once so the program stays well-formed.
+        for i in 0..funcs {
+            m = m.calls(&format!("hot{i}"), 1);
+        }
+        m.finish();
+    }
+    for i in 0..funcs {
+        b.function(&format!("hot{i}"))
+            .statements(25)
+            .instructions(250)
+            .cost(100)
+            .finish();
+    }
+    let program = b.build().expect("bench program is well-formed");
+    let bin =
+        capi_objmodel::compile(&program, &capi_objmodel::CompileOptions::o2()).expect("compiles");
+    let process = capi_objmodel::Process::launch_binary(&bin).expect("launches");
+    let runtime = capi_xray::XRayRuntime::new();
+    let inst = capi_xray::instrument_object(
+        process.object(0).unwrap().image.clone(),
+        &PassOptions::instrument_all(),
+    );
+    runtime
+        .register_main(
+            inst.clone(),
+            process.object(0).unwrap(),
+            capi_xray::TrampolineSet::absolute(),
+        )
+        .expect("registers");
+    let ids = inst
+        .sleds
+        .entries
+        .iter()
+        .filter_map(|e| capi_xray::PackedId::pack(0, e.fid).ok())
+        .collect();
+    DispatchFixture {
+        process,
+        runtime,
+        ids,
+    }
+}
+
+/// Dispatches `events` entry/exit events round-robin over `ids` from one
+/// rank thread — the hammering loop shared by `benches/dispatch.rs` and
+/// the `table4` sweep. Returns the dispatched count.
+pub fn dispatch_round_robin(
+    runtime: &capi_xray::XRayRuntime,
+    ids: &[capi_xray::PackedId],
+    rank: u32,
+    events: u64,
+) -> u64 {
+    use capi_xray::EventKind;
+    let mut dispatched = 0u64;
+    for i in 0..events {
+        let id = ids[(i % ids.len() as u64) as usize];
+        let kind = if i.is_multiple_of(2) {
+            EventKind::Entry
+        } else {
+            EventKind::Exit
+        };
+        runtime
+            .dispatch(id, kind, i, rank)
+            .expect("patched id dispatches");
+        dispatched += 1;
+    }
+    dispatched
+}
+
+impl DispatchFixture {
+    /// Patches the first `fraction` of the fixture's functions (one
+    /// `mprotect` pair) and returns the patched IDs — the working set a
+    /// throughput sweep dispatches over.
+    pub fn patch_fraction(&mut self, fraction: f64) -> Vec<capi_xray::PackedId> {
+        let n = ((self.ids.len() as f64 * fraction).ceil() as usize).clamp(1, self.ids.len());
+        let fids: Vec<u32> = self.ids[..n].iter().map(|id| id.function()).collect();
+        self.runtime
+            .patch_functions(&mut self.process.memory, 0, &fids)
+            .expect("patches");
+        self.ids[..n].to_vec()
+    }
+
+    /// Unpatches everything (so fractions can be swept in sequence).
+    pub fn unpatch_all(&mut self) {
+        self.runtime
+            .unpatch_all(&mut self.process.memory, 0)
+            .expect("unpatches");
     }
 }
 

@@ -6,8 +6,10 @@
 //! the exec engine feeds per-epoch, per-function costs to a
 //! [`capi_adapt::AdaptController`], the resulting delta is applied
 //! through `XRayRuntime::repatch` (one `mprotect` pair per touched
-//! object), and the engine re-snapshots for the next epoch while the
-//! simulated MPI world stays up. Repatch costs are accounted separately
+//! object, one atomically published dispatch table for the whole
+//! batch), and the engine re-snapshots for the next epoch — the
+//! snapshot now derives from the published table, lock-free — while
+//! the simulated MPI world stays up. Repatch costs are accounted separately
 //! as `T_adapt`, alongside `T_init`. The whole loop is tool-agnostic:
 //! whatever [`crate::ToolChoice`] the session was started with keeps
 //! receiving events across IC reloads.

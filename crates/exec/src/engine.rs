@@ -98,11 +98,11 @@ pub struct RunReport {
     pub depth_cutoffs: u64,
 }
 
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-struct FuncKey {
-    obj: u32,
-    func: u32,
-}
+/// Dense function key: index into the engine's flat `funcs` array.
+/// Precomputed at preparation time as `obj_base[loader object index] +
+/// function index`, so the per-trip hot path pays a single bounds check
+/// and no nested `Vec<Vec<_>>` pointer chase.
+type Fi = u32;
 
 struct RFunc {
     #[allow(dead_code)] // kept for debugging/diagnostics
@@ -116,7 +116,8 @@ struct RFunc {
 }
 
 struct RSite {
-    targets: Vec<FuncKey>,
+    /// Call targets as dense flat indices.
+    targets: Vec<Fi>,
     #[allow(dead_code)]
     dispatch: DispatchKind,
     trips: u64,
@@ -143,14 +144,14 @@ fn convert_mpi(c: MpiCall) -> MpiOp {
 pub struct Engine<'p> {
     runtime: &'p XRayRuntime,
     model: OverheadModel,
-    /// Dense function table per loaded-object index.
-    funcs: Vec<Vec<RFunc>>,
+    /// Flat function table, dense-key indexed (see [`Fi`]).
+    funcs: Vec<RFunc>,
     /// Entry point.
-    main: FuncKey,
+    main: Fi,
     /// Patch-state snapshot taken at preparation time.
     snapshot: PatchSnapshot,
     /// Quiet = subtree has no MPI and no patched sled: memoizable.
-    quiet: Vec<Vec<bool>>,
+    quiet: Vec<bool>,
     /// Epoch schedule: the program linearized around its progress loop.
     schedule: EpochSchedule,
 }
@@ -163,21 +164,28 @@ impl<'p> Engine<'p> {
         model: OverheadModel,
     ) -> Result<Self, ExecError> {
         let snapshot = runtime.snapshot();
-        // Name resolution in dynamic-linker order, done once.
-        let mut by_name: HashMap<&str, FuncKey> = HashMap::new();
+        // Dense keys: functions of loader object `pi` occupy the flat
+        // range `obj_base[pi]..obj_base[pi] + functions.len()`, in
+        // ascending loader-index order.
         let loaded: Vec<(usize, &capi_objmodel::LoadedObject)> = process.loaded().collect();
+        let max_obj = loaded.iter().map(|(pi, _)| pi + 1).max().unwrap_or(0);
+        let mut obj_base = vec![0u32; max_obj];
+        let mut next = 0u32;
+        for (pi, lo) in &loaded {
+            obj_base[*pi] = next;
+            next += lo.image.functions.len() as u32;
+        }
+        // Name resolution in dynamic-linker order, done once.
+        let mut by_name: HashMap<&str, Fi> = HashMap::new();
         for (pi, lo) in &loaded {
             for (fi, f) in lo.image.functions.iter().enumerate() {
-                by_name.entry(f.name.as_str()).or_insert(FuncKey {
-                    obj: *pi as u32,
-                    func: fi as u32,
-                });
+                by_name
+                    .entry(f.name.as_str())
+                    .or_insert(obj_base[*pi] + fi as u32);
             }
         }
-        let max_obj = loaded.iter().map(|(pi, _)| pi + 1).max().unwrap_or(0);
-        let mut funcs: Vec<Vec<RFunc>> = (0..max_obj).map(|_| Vec::new()).collect();
+        let mut funcs: Vec<RFunc> = Vec::with_capacity(next as usize);
         for (pi, lo) in &loaded {
-            let mut v = Vec::with_capacity(lo.image.functions.len());
             for (fi, f) in lo.image.functions.iter().enumerate() {
                 let mut sites = Vec::with_capacity(f.call_sites.len());
                 for s in &f.call_sites {
@@ -197,7 +205,7 @@ impl<'p> Engine<'p> {
                         trips: s.trips,
                     });
                 }
-                v.push(RFunc {
+                funcs.push(RFunc {
                     name: f.name.clone(),
                     body_cost: f.body_cost_ns,
                     imbalance_pct: f.imbalance_pct,
@@ -206,7 +214,6 @@ impl<'p> Engine<'p> {
                     sled: snapshot.lookup(*pi, fi as u32),
                 });
             }
-            funcs[*pi] = v;
         }
         let main = *by_name.get("main").ok_or(ExecError::NoMain)?;
         let quiet = compute_quiet(&funcs);
@@ -239,15 +246,12 @@ impl<'p> Engine<'p> {
                 world: &ctx.world,
                 rank: ctx.rank,
                 ranks: ctx.world.size(),
-                memo: vec![Vec::new(); self.funcs.len()],
+                memo: vec![None; self.funcs.len()],
                 events: 0,
                 nops: 0,
                 depth_cutoffs: 0,
                 costs: None,
             };
-            for (oi, fs) in self.funcs.iter().enumerate() {
-                rank_state.memo[oi] = vec![None; fs.len()];
-            }
             let r = rank_state.exec(self.main, 0, 0);
             events.fetch_add(rank_state.events, Ordering::Relaxed);
             nops.fetch_add(rank_state.nops, Ordering::Relaxed);
@@ -282,11 +286,7 @@ impl<'p> Engine<'p> {
         self.schedule
             .spine
             .iter()
-            .filter_map(|k| {
-                self.funcs[k.obj as usize][k.func as usize]
-                    .sled
-                    .map(|(id, _)| id)
-            })
+            .filter_map(|&k| self.funcs[k as usize].sled.map(|(id, _)| id))
             .collect()
     }
 
@@ -320,18 +320,18 @@ impl<'p> Engine<'p> {
         };
         let first = spec.index == 0;
         let last = spec.index == spec.total - 1;
-        type RankResult = (Result<u64, ExecError>, u64, u64, u64, Vec<Vec<(u64, u64)>>);
+        type RankResult = (Result<u64, ExecError>, u64, u64, u64, Vec<(u64, u64)>);
         let results: Vec<RankResult> = world.run(|ctx| {
             let mut rr = RankRun {
                 engine: self,
                 world: &ctx.world,
                 rank: ctx.rank,
                 ranks: ctx.world.size(),
-                memo: self.funcs.iter().map(|fs| vec![None; fs.len()]).collect(),
+                memo: vec![None; self.funcs.len()],
                 events: 0,
                 nops: 0,
                 depth_cutoffs: 0,
-                costs: Some(self.funcs.iter().map(|fs| vec![(0, 0); fs.len()]).collect()),
+                costs: Some(vec![(0, 0); self.funcs.len()]),
             };
             let mut clock = start_clocks[ctx.rank as usize];
             let mut res: Result<(), ExecError> = Ok(());
@@ -348,15 +348,14 @@ impl<'p> Engine<'p> {
                 let r = match *step {
                     Step::Enter(key) => rr.enter_function(key, clock),
                     Step::Site { key, site, depth } => {
-                        let trips =
-                            self.funcs[key.obj as usize][key.func as usize].sites[site].trips;
+                        let trips = self.funcs[key as usize].sites[site].trips;
                         rr.run_site(key, site, 0, trips, clock, depth)
                     }
                     Step::Loop { key, site, depth } => {
                         rr.run_site(key, site, trips_lo, trips_hi, clock, depth)
                     }
                     Step::Mpi(key) => {
-                        let op = self.funcs[key.obj as usize][key.func as usize]
+                        let op = self.funcs[key as usize]
                             .mpi
                             .expect("Mpi step only for MPI functions");
                         rr.world
@@ -383,8 +382,7 @@ impl<'p> Engine<'p> {
         });
         let mut per_rank = Vec::with_capacity(results.len());
         let (mut events, mut nops, mut cutoffs, mut busy) = (0u64, 0u64, 0u64, 0u64);
-        let mut merged: Vec<Vec<(u64, u64)>> =
-            self.funcs.iter().map(|fs| vec![(0, 0); fs.len()]).collect();
+        let mut merged: Vec<(u64, u64)> = vec![(0, 0); self.funcs.len()];
         for (rank, (res, ev, np, dc, costs)) in results.into_iter().enumerate() {
             let end = res?;
             busy += end - start_clocks[rank];
@@ -392,11 +390,9 @@ impl<'p> Engine<'p> {
             events += ev;
             nops += np;
             cutoffs += dc;
-            for (o, v) in costs.into_iter().enumerate() {
-                for (f, (vis, ins)) in v.into_iter().enumerate() {
-                    merged[o][f].0 += vis;
-                    merged[o][f].1 += ins;
-                }
+            for (f, (vis, ins)) in costs.into_iter().enumerate() {
+                merged[f].0 += vis;
+                merged[f].1 += ins;
             }
         }
         let epoch_ns = per_rank
@@ -407,22 +403,20 @@ impl<'p> Engine<'p> {
             .unwrap_or(0);
         let mut samples = Vec::new();
         let mut inst_ns = 0u64;
-        for (o, v) in merged.iter().enumerate() {
-            for (f, &(visits, inst)) in v.iter().enumerate() {
-                if visits == 0 {
-                    continue;
-                }
-                let Some((id, _)) = self.funcs[o][f].sled else {
-                    continue;
-                };
-                inst_ns += inst;
-                samples.push(FuncCostSample {
-                    id,
-                    visits,
-                    inst_ns: inst,
-                    body_cost_ns: self.funcs[o][f].body_cost,
-                });
+        for (f, &(visits, inst)) in merged.iter().enumerate() {
+            if visits == 0 {
+                continue;
             }
+            let Some((id, _)) = self.funcs[f].sled else {
+                continue;
+            };
+            inst_ns += inst;
+            samples.push(FuncCostSample {
+                id,
+                visits,
+                inst_ns: inst,
+                body_cost_ns: self.funcs[f].body_cost,
+            });
         }
         Ok(EpochOutcome {
             per_rank_ns: per_rank,
@@ -484,7 +478,7 @@ pub struct EpochOutcome {
 
 /// Computes which functions head quiet subtrees (no MPI, no patched sled
 /// anywhere below, no cycles).
-fn compute_quiet(funcs: &[Vec<RFunc>]) -> Vec<Vec<bool>> {
+fn compute_quiet(funcs: &[RFunc]) -> Vec<bool> {
     #[derive(Clone, Copy, PartialEq)]
     enum State {
         Unknown,
@@ -492,92 +486,69 @@ fn compute_quiet(funcs: &[Vec<RFunc>]) -> Vec<Vec<bool>> {
         Quiet,
         Loud,
     }
-    let mut state: Vec<Vec<State>> = funcs
-        .iter()
-        .map(|v| vec![State::Unknown; v.len()])
-        .collect();
+    let mut state = vec![State::Unknown; funcs.len()];
 
     // Iterative DFS over every function.
-    for oi in 0..funcs.len() {
-        for fi in 0..funcs[oi].len() {
-            if state[oi][fi] != State::Unknown {
-                continue;
-            }
-            let mut stack: Vec<(FuncKey, bool)> = vec![(
-                FuncKey {
-                    obj: oi as u32,
-                    func: fi as u32,
-                },
-                false,
-            )];
-            while let Some((key, children_done)) = stack.pop() {
-                let (o, f) = (key.obj as usize, key.func as usize);
-                if children_done {
-                    if state[o][f] != State::InProgress {
-                        continue;
-                    }
-                    let rf = &funcs[o][f];
-                    let own_loud = rf.mpi.is_some() || matches!(rf.sled, Some((_, true)));
-                    let child_loud = rf.sites.iter().any(|s| {
-                        s.targets
-                            .iter()
-                            .any(|t| state[t.obj as usize][t.func as usize] != State::Quiet)
-                    });
-                    state[o][f] = if own_loud || child_loud {
-                        State::Loud
-                    } else {
-                        State::Quiet
-                    };
+    for start in 0..funcs.len() as u32 {
+        if state[start as usize] != State::Unknown {
+            continue;
+        }
+        let mut stack: Vec<(Fi, bool)> = vec![(start, false)];
+        while let Some((key, children_done)) = stack.pop() {
+            let f = key as usize;
+            if children_done {
+                if state[f] != State::InProgress {
                     continue;
                 }
-                match state[o][f] {
-                    State::Quiet | State::Loud => continue,
-                    State::InProgress => {
-                        // Cycle: conservatively loud.
-                        state[o][f] = State::Loud;
-                        continue;
-                    }
-                    State::Unknown => {}
+                let rf = &funcs[f];
+                let own_loud = rf.mpi.is_some() || matches!(rf.sled, Some((_, true)));
+                let child_loud = rf
+                    .sites
+                    .iter()
+                    .any(|s| s.targets.iter().any(|&t| state[t as usize] != State::Quiet));
+                state[f] = if own_loud || child_loud {
+                    State::Loud
+                } else {
+                    State::Quiet
+                };
+                continue;
+            }
+            match state[f] {
+                State::Quiet | State::Loud => continue,
+                State::InProgress => {
+                    // Cycle: conservatively loud.
+                    state[f] = State::Loud;
+                    continue;
                 }
-                state[o][f] = State::InProgress;
-                stack.push((key, true));
-                for s in &funcs[o][f].sites {
-                    for t in &s.targets {
-                        if state[t.obj as usize][t.func as usize] == State::Unknown {
-                            stack.push((*t, false));
-                        }
+                State::Unknown => {}
+            }
+            state[f] = State::InProgress;
+            stack.push((key, true));
+            for s in &funcs[f].sites {
+                for &t in &s.targets {
+                    if state[t as usize] == State::Unknown {
+                        stack.push((t, false));
                     }
                 }
             }
         }
     }
-    state
-        .into_iter()
-        .map(|v| v.into_iter().map(|s| s == State::Quiet).collect())
-        .collect()
+    state.into_iter().map(|s| s == State::Quiet).collect()
 }
 
 /// One step of the linearized epoch schedule.
 #[derive(Clone, Copy, Debug)]
 enum Step {
     /// Entry sled + body cost of a spine function.
-    Enter(FuncKey),
+    Enter(Fi),
     /// All trips of one call site, at the given spine depth.
-    Site {
-        key: FuncKey,
-        site: usize,
-        depth: u32,
-    },
+    Site { key: Fi, site: usize, depth: u32 },
     /// The progress-loop site; its trips are divided across epochs.
-    Loop {
-        key: FuncKey,
-        site: usize,
-        depth: u32,
-    },
+    Loop { key: Fi, site: usize, depth: u32 },
     /// The spine function's own MPI operation.
-    Mpi(FuncKey),
+    Mpi(Fi),
     /// Exit sled of a spine function.
-    Exit(FuncKey),
+    Exit(Fi),
 }
 
 /// The program linearized around its dominant progress loop, so a run
@@ -589,76 +560,61 @@ struct EpochSchedule {
     /// Trips of the loop site (0 without a loop).
     loop_trips: u64,
     /// Functions whose entry/exit straddle epoch boundaries.
-    spine: Vec<FuncKey>,
+    spine: Vec<Fi>,
 }
 
 /// Statically estimates every function's subtree cost in virtual ns
 /// (body + called subtrees; cycles contribute their body only). Used
 /// solely to rank call sites when hunting for the progress loop.
-fn estimate_costs(funcs: &[Vec<RFunc>]) -> Vec<Vec<u64>> {
+fn estimate_costs(funcs: &[RFunc]) -> Vec<u64> {
     #[derive(Clone, Copy, PartialEq)]
     enum State {
         Unknown,
         InProgress,
         Done,
     }
-    let mut state: Vec<Vec<State>> = funcs
-        .iter()
-        .map(|v| vec![State::Unknown; v.len()])
-        .collect();
-    let mut cost: Vec<Vec<u64>> = funcs.iter().map(|v| vec![0u64; v.len()]).collect();
-    for oi in 0..funcs.len() {
-        for fi in 0..funcs[oi].len() {
-            if state[oi][fi] != State::Unknown {
-                continue;
-            }
-            let mut stack: Vec<(FuncKey, bool)> = vec![(
-                FuncKey {
-                    obj: oi as u32,
-                    func: fi as u32,
-                },
-                false,
-            )];
-            while let Some((key, children_done)) = stack.pop() {
-                let (o, f) = (key.obj as usize, key.func as usize);
-                if children_done {
-                    if state[o][f] != State::InProgress {
-                        continue;
-                    }
-                    let rf = &funcs[o][f];
-                    let mut total = rf.body_cost as u128;
-                    for s in &rf.sites {
-                        if s.targets.is_empty() || s.trips == 0 {
-                            continue;
-                        }
-                        let sum: u128 = s
-                            .targets
-                            .iter()
-                            .map(|t| cost[t.obj as usize][t.func as usize] as u128)
-                            .sum();
-                        total += s.trips as u128 * (sum / s.targets.len() as u128);
-                    }
-                    cost[o][f] = total.min(u64::MAX as u128) as u64;
-                    state[o][f] = State::Done;
+    let mut state = vec![State::Unknown; funcs.len()];
+    let mut cost = vec![0u64; funcs.len()];
+    for start in 0..funcs.len() as u32 {
+        if state[start as usize] != State::Unknown {
+            continue;
+        }
+        let mut stack: Vec<(Fi, bool)> = vec![(start, false)];
+        while let Some((key, children_done)) = stack.pop() {
+            let f = key as usize;
+            if children_done {
+                if state[f] != State::InProgress {
                     continue;
                 }
-                match state[o][f] {
-                    State::Done => continue,
-                    State::InProgress => {
-                        // Cycle: settle for the body cost.
-                        cost[o][f] = funcs[o][f].body_cost;
-                        state[o][f] = State::Done;
+                let rf = &funcs[f];
+                let mut total = rf.body_cost as u128;
+                for s in &rf.sites {
+                    if s.targets.is_empty() || s.trips == 0 {
                         continue;
                     }
-                    State::Unknown => {}
+                    let sum: u128 = s.targets.iter().map(|&t| cost[t as usize] as u128).sum();
+                    total += s.trips as u128 * (sum / s.targets.len() as u128);
                 }
-                state[o][f] = State::InProgress;
-                stack.push((key, true));
-                for s in &funcs[o][f].sites {
-                    for t in &s.targets {
-                        if state[t.obj as usize][t.func as usize] == State::Unknown {
-                            stack.push((*t, false));
-                        }
+                cost[f] = total.min(u64::MAX as u128) as u64;
+                state[f] = State::Done;
+                continue;
+            }
+            match state[f] {
+                State::Done => continue,
+                State::InProgress => {
+                    // Cycle: settle for the body cost.
+                    cost[f] = funcs[f].body_cost;
+                    state[f] = State::Done;
+                    continue;
+                }
+                State::Unknown => {}
+            }
+            state[f] = State::InProgress;
+            stack.push((key, true));
+            for s in &funcs[f].sites {
+                for &t in &s.targets {
+                    if state[t as usize] == State::Unknown {
+                        stack.push((t, false));
                     }
                 }
             }
@@ -673,12 +629,12 @@ fn estimate_costs(funcs: &[Vec<RFunc>]) -> Vec<Vec<u64>> {
 /// site with ≥ 2 trips becomes the progress loop whose trips are split
 /// across epochs. Everything before the loop runs in epoch 0 and
 /// everything after it in the last epoch, preserving program order.
-fn build_schedule(funcs: &[Vec<RFunc>], main: FuncKey) -> EpochSchedule {
+fn build_schedule(funcs: &[RFunc], main: Fi) -> EpochSchedule {
     let est = estimate_costs(funcs);
     let mut steps = Vec::new();
     let mut spine = Vec::new();
     let mut suffixes: Vec<Vec<Step>> = Vec::new();
-    let mut visited: HashSet<FuncKey> = HashSet::new();
+    let mut visited: HashSet<Fi> = HashSet::new();
     let mut key = main;
     let mut depth = 0u32;
     let mut loop_pos = None;
@@ -687,17 +643,13 @@ fn build_schedule(funcs: &[Vec<RFunc>], main: FuncKey) -> EpochSchedule {
         visited.insert(key);
         spine.push(key);
         steps.push(Step::Enter(key));
-        let rf = &funcs[key.obj as usize][key.func as usize];
+        let rf = &funcs[key as usize];
         let mut dom: Option<(usize, u128)> = None;
         for (si, s) in rf.sites.iter().enumerate() {
             if s.targets.is_empty() || s.trips == 0 {
                 continue;
             }
-            let sum: u128 = s
-                .targets
-                .iter()
-                .map(|t| est[t.obj as usize][t.func as usize] as u128)
-                .sum();
+            let sum: u128 = s.targets.iter().map(|&t| est[t as usize] as u128).sum();
             let weight = s.trips as u128 * (sum / s.targets.len() as u128 + 1);
             if dom.is_none_or(|(_, best)| weight > best) {
                 dom = Some((si, weight));
@@ -771,13 +723,14 @@ struct RankRun<'e, 'p> {
     world: &'e Arc<World>,
     rank: u32,
     ranks: u32,
-    /// Quiet-subtree summaries: (duration, nop sled count) per function.
-    memo: Vec<Vec<Option<(u64, u64)>>>,
+    /// Quiet-subtree summaries: (duration, nop sled count), flat-indexed.
+    memo: Vec<Option<(u64, u64)>>,
     events: u64,
     nops: u64,
     depth_cutoffs: u64,
-    /// Per-function (visits, instrumentation ns), tracked for epoch runs.
-    costs: Option<Vec<Vec<(u64, u64)>>>,
+    /// Per-function (visits, instrumentation ns), flat-indexed, tracked
+    /// for epoch runs.
+    costs: Option<Vec<(u64, u64)>>,
 }
 
 impl RankRun<'_, '_> {
@@ -792,12 +745,12 @@ impl RankRun<'_, '_> {
     }
 
     /// Summarizes a quiet subtree: total virtual duration and NOP count.
-    fn quiet_cost(&mut self, key: FuncKey) -> (u64, u64) {
-        let (o, f) = (key.obj as usize, key.func as usize);
-        if let Some(c) = self.memo[o][f] {
+    fn quiet_cost(&mut self, key: Fi) -> (u64, u64) {
+        let f = key as usize;
+        if let Some(c) = self.memo[f] {
             return c;
         }
-        let rf = &self.engine.funcs[o][f];
+        let rf = &self.engine.funcs[f];
         let mut ns = self.body_cost(rf);
         let mut nops = 0u64;
         if rf.sled.is_some() {
@@ -812,14 +765,14 @@ impl RankRun<'_, '_> {
             let n = s.targets.len() as u64;
             let full_cycles = s.trips / n;
             let rem = s.trips % n;
-            for (ti, t) in s.targets.iter().enumerate() {
-                let (tns, tnops) = self.quiet_cost(*t);
+            for (ti, &t) in s.targets.iter().enumerate() {
+                let (tns, tnops) = self.quiet_cost(t);
                 let times = full_cycles + if (ti as u64) < rem { 1 } else { 0 };
                 ns = ns.saturating_add(tns.saturating_mul(times));
                 nops = nops.saturating_add(tnops.saturating_mul(times));
             }
         }
-        self.memo[o][f] = Some((ns, nops));
+        self.memo[f] = Some((ns, nops));
         (ns, nops)
     }
 
@@ -828,7 +781,7 @@ impl RankRun<'_, '_> {
     /// unpatched mid-epoch are tolerated instead of faulting.
     fn sled_event(
         &mut self,
-        key: FuncKey,
+        key: Fi,
         id: capi_xray::PackedId,
         kind: EventKind,
         clock: u64,
@@ -843,7 +796,7 @@ impl RankRun<'_, '_> {
         )?;
         self.events += 1;
         if let Some(costs) = &mut self.costs {
-            let cell = &mut costs[key.obj as usize][key.func as usize];
+            let cell = &mut costs[key as usize];
             if kind == EventKind::Entry {
                 cell.0 += 1;
             }
@@ -853,8 +806,8 @@ impl RankRun<'_, '_> {
     }
 
     /// Entry sled + body cost of one function invocation.
-    fn enter_function(&mut self, key: FuncKey, clock: u64) -> Result<u64, ExecError> {
-        let rf = &self.engine.funcs[key.obj as usize][key.func as usize];
+    fn enter_function(&mut self, key: Fi, clock: u64) -> Result<u64, ExecError> {
+        let rf = &self.engine.funcs[key as usize];
         let mut clock = clock;
         match rf.sled {
             Some((id, true)) => {
@@ -870,8 +823,8 @@ impl RankRun<'_, '_> {
     }
 
     /// Exit sled of one function invocation.
-    fn exit_function(&mut self, key: FuncKey, clock: u64) -> Result<u64, ExecError> {
-        match self.engine.funcs[key.obj as usize][key.func as usize].sled {
+    fn exit_function(&mut self, key: Fi, clock: u64) -> Result<u64, ExecError> {
+        match self.engine.funcs[key as usize].sled {
             Some((id, true)) => self.sled_event(key, id, EventKind::Exit, clock),
             Some((_, false)) => {
                 self.nops += 1;
@@ -885,23 +838,26 @@ impl RankRun<'_, '_> {
     /// call depth), preserving the round-robin virtual-dispatch phase.
     fn run_site(
         &mut self,
-        key: FuncKey,
+        key: Fi,
         si: usize,
         lo: u64,
         hi: u64,
         clock: u64,
         depth: u32,
     ) -> Result<u64, ExecError> {
-        let (o, f) = (key.obj as usize, key.func as usize);
-        let n_targets = self.engine.funcs[o][f].sites[si].targets.len();
+        // Hoist the target slice out of the trip loop: `engine` outlives
+        // `self`'s borrow, so the per-trip body re-indexes neither
+        // `funcs` nor `sites`.
+        let engine = self.engine;
+        let targets: &[Fi] = &engine.funcs[key as usize].sites[si].targets;
+        let n_targets = targets.len();
         if n_targets == 0 {
             return Ok(clock);
         }
         let mut clock = clock;
         for trip in lo..hi {
-            let target = self.engine.funcs[o][f].sites[si].targets[(trip as usize) % n_targets];
-            let (to, tf) = (target.obj as usize, target.func as usize);
-            if self.engine.quiet[to][tf] {
+            let target = targets[(trip as usize) % n_targets];
+            if engine.quiet[target as usize] {
                 // Fast path: whole remaining trips of a single quiet
                 // target collapse into one multiplication.
                 if n_targets == 1 {
@@ -922,25 +878,25 @@ impl RankRun<'_, '_> {
     }
 
     /// Executes one function invocation, returning the updated clock.
-    fn exec(&mut self, key: FuncKey, clock: u64, depth: u32) -> Result<u64, ExecError> {
+    fn exec(&mut self, key: Fi, clock: u64, depth: u32) -> Result<u64, ExecError> {
         if depth > MAX_DEPTH {
             self.depth_cutoffs += 1;
             return Ok(clock);
         }
-        let (o, f) = (key.obj as usize, key.func as usize);
-        if self.engine.quiet[o][f] {
+        let f = key as usize;
+        if self.engine.quiet[f] {
             let (ns, nops) = self.quiet_cost(key);
             self.nops += nops;
             return Ok(clock + ns);
         }
         let mut clock = self.enter_function(key, clock)?;
 
-        for si in 0..self.engine.funcs[o][f].sites.len() {
-            let trips = self.engine.funcs[o][f].sites[si].trips;
+        for si in 0..self.engine.funcs[f].sites.len() {
+            let trips = self.engine.funcs[f].sites[si].trips;
             clock = self.run_site(key, si, 0, trips, clock, depth)?;
         }
 
-        if let Some(op) = self.engine.funcs[o][f].mpi {
+        if let Some(op) = self.engine.funcs[f].mpi {
             clock = self.world.perform(self.rank, clock, op)?;
         }
 

@@ -1,0 +1,327 @@
+//! The wait-free dispatch fast path.
+//!
+//! Every rank thread executes [`crate::runtime::XRayRuntime::dispatch`]
+//! on its hottest loop, so the per-event path must not take a lock or
+//! touch a shared cache line. Instead of a read-locked walk over the
+//! registered objects, the runtime publishes an immutable
+//! [`DispatchTable`] — flat per-object arrays of patch state, unpatch
+//! generations, the precomputed trampoline fault-check result, and the
+//! handler pointer — behind a single atomic pointer. Dispatch then is:
+//!
+//! 1. bump a per-rank in-flight guard (striped, cache-padded),
+//! 2. one atomic load of the current table,
+//! 3. two array indexes (`patched[fid]`, and `unpatch_gen[fid]` only on
+//!    the stale-tolerance path),
+//! 4. call the handler through the table's own `Arc`.
+//!
+//! Publication (RCU-style) happens only on the cold path —
+//! register/deregister, `set_handler`, and the patching family — while
+//! the runtime's existing write lock is held, which serializes
+//! publishers. A publisher swaps the pointer and then waits for every
+//! stripe's in-flight count to drain to zero before dropping the
+//! superseded table, so readers never observe a freed table. Readers are
+//! wait-free (two uncontended atomic RMWs on their own stripe plus one
+//! atomic load); publishers block briefly, which is the right trade for
+//! a path that runs once per epoch rather than once per event.
+//!
+//! The same stripes carry the `dispatches`/`stale_dispatches` counters,
+//! killing the cache-line ping-pong the old global `AtomicU64` pair
+//! paid on every event.
+
+use crate::handler::Handler;
+use crate::trampoline::TrampolineFault;
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of counter/guard stripes. Ranks map onto stripes by
+/// `rank & (STRIPES - 1)`; with up to 64 ranks every rank owns its own
+/// cache line.
+pub(crate) const STRIPES: usize = 64;
+
+/// One cache-padded stripe: the in-flight dispatch guard plus the
+/// event counters for the ranks mapped to it.
+#[repr(align(64))]
+#[derive(Default)]
+pub(crate) struct Stripe {
+    /// Dispatches currently inside the fast path on this stripe. A
+    /// publisher may not free a superseded table until every stripe
+    /// reads zero at least once after the pointer swap.
+    pub in_flight: AtomicU64,
+    /// Events dispatched to the handler.
+    pub dispatches: AtomicU64,
+    /// Dispatches tolerated through the stale-snapshot path.
+    pub stale_dispatches: AtomicU64,
+}
+
+/// Index of the extra stripe reserved for control-plane readers
+/// (`is_patched`, `snapshot`): giving them their own slot keeps a
+/// polling control thread from overlapping rank 0's dispatch windows
+/// and starving a publisher's quiescence wait.
+pub(crate) const CONTROL_STRIPE: usize = STRIPES;
+
+/// Builds the stripe array — one per rank slot plus the control-plane
+/// stripe (boxed: 65 cache lines do not belong on the stack of every
+/// embedder).
+pub(crate) fn new_stripes() -> Box<[Stripe]> {
+    (0..=STRIPES).map(|_| Stripe::default()).collect()
+}
+
+/// Immutable per-object slice of a [`DispatchTable`].
+pub struct ObjectDispatch {
+    /// XRay object ID (== index in [`DispatchTable::objects`]).
+    pub object_id: u8,
+    /// Index in the loader's object list.
+    pub process_index: usize,
+    /// Patch state by XRay function ID.
+    pub patched: Box<[bool]>,
+    /// Generation at which each function was last unpatched (0 = never).
+    pub unpatch_gen: Box<[u64]>,
+    /// Precomputed trampoline soundness check for this object: `Some`
+    /// means every dispatch through it faults (e.g. absolute trampolines
+    /// in a relocated DSO).
+    pub fault: Option<TrampolineFault>,
+    /// Object function index → XRay function ID.
+    pub fid_by_func: Box<[Option<u32>]>,
+}
+
+/// An immutable snapshot of everything the per-event path needs,
+/// published atomically by the cold-path mutators.
+pub struct DispatchTable {
+    /// Patch generation this table describes.
+    pub generation: u64,
+    /// Indexed by XRay object ID.
+    pub objects: Vec<Option<ObjectDispatch>>,
+    /// The registered event handler, if any. Kept inside the table so
+    /// dispatch never clones an `Arc` — the table's own lifetime pins
+    /// the handler.
+    pub handler: Option<Arc<dyn Handler>>,
+}
+
+impl DispatchTable {
+    /// The empty table an empty runtime starts from.
+    pub(crate) fn empty() -> Self {
+        Self {
+            generation: 0,
+            objects: Vec::new(),
+            handler: None,
+        }
+    }
+}
+
+/// The atomically swapped table slot.
+///
+/// Invariant: `ptr` always holds a pointer produced by
+/// `Arc::into_raw` whose strong count this cell logically owns; it is
+/// reclaimed either by [`TableCell::publish`] (after quiescence) or by
+/// `Drop`.
+pub(crate) struct TableCell {
+    ptr: AtomicPtr<DispatchTable>,
+}
+
+// Debug-build reentrancy sentinel: depth of `DispatchGuard`s alive on
+// the current thread. Publishing from inside a guard (e.g. a handler's
+// `on_event` calling `set_handler` or a patching API) would make the
+// publisher wait on its own stripe forever; even a *read*-lock runtime
+// API called from a handler can deadlock against a publisher that
+// holds the write lock while waiting for the handler's stripe to
+// drain. In debug builds we turn both silent livelocks into a panic.
+#[cfg(debug_assertions)]
+thread_local! {
+    static GUARD_DEPTH: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+}
+
+/// Debug-build check that the current thread is not inside a dispatch
+/// guard — called before every acquisition of the runtime's inner lock
+/// (read or write). A handler reaching such an API from `on_event` can
+/// deadlock against a publisher's quiescence wait; this converts the
+/// hang into a diagnosable panic. No-op in release builds.
+#[inline]
+pub(crate) fn debug_assert_not_dispatching(api: &str) {
+    #[cfg(debug_assertions)]
+    GUARD_DEPTH.with(|d| {
+        assert_eq!(
+            d.get(),
+            0,
+            "`{api}` called from inside a dispatch (e.g. from a handler's \
+             on_event): this can deadlock against a concurrent \
+             DispatchTable publisher waiting for in-flight dispatches \
+             to drain"
+        );
+    });
+    #[cfg(not(debug_assertions))]
+    let _ = api;
+}
+
+impl TableCell {
+    pub(crate) fn new(table: Arc<DispatchTable>) -> Self {
+        Self {
+            ptr: AtomicPtr::new(Arc::into_raw(table).cast_mut()),
+        }
+    }
+
+    /// Publishes `new` and reclaims the superseded table once every
+    /// in-flight dispatch has drained.
+    ///
+    /// Must only be called while the runtime's write lock is held:
+    /// that serializes publishers, so exactly one thread ever waits on
+    /// the stripes at a time.
+    pub(crate) fn publish(&self, new: Arc<DispatchTable>, stripes: &[Stripe]) {
+        debug_assert_not_dispatching("DispatchTable publish");
+        let old = self
+            .ptr
+            .swap(Arc::into_raw(new).cast_mut(), Ordering::SeqCst);
+        // Quiescence: any reader that loaded `old` incremented its
+        // stripe *before* loading the pointer (both SeqCst), so once a
+        // stripe reads zero after our SeqCst swap, no reader on that
+        // stripe still holds `old`. Readers arriving after the swap see
+        // the new table and are unaffected.
+        //
+        // Progress bound: with one rank per stripe (ranks ≤ STRIPES,
+        // the supported fast-path configuration) a stripe drains within
+        // one dispatch duration — a rank's count returns to zero between
+        // every pair of events. Ranks beyond STRIPES fold onto shared
+        // stripes; correctness is unaffected, but a publisher may then
+        // have to out-wait continuously overlapping dispatches from the
+        // stripe's co-owners (see ROADMAP: per-thread reader slots).
+        for s in stripes {
+            let mut spins = 0u32;
+            while s.in_flight.load(Ordering::SeqCst) != 0 {
+                spins = spins.wrapping_add(1);
+                if spins.is_multiple_of(64) {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+        // SAFETY: `old` came from `Arc::into_raw` (cell invariant) and
+        // the quiescence wait above proves no reader still borrows it.
+        drop(unsafe { Arc::from_raw(old.cast_const()) });
+    }
+}
+
+impl Drop for TableCell {
+    fn drop(&mut self) {
+        let p = *self.ptr.get_mut();
+        // SAFETY: the cell owns the strong count behind `p` (invariant);
+        // `&mut self` proves no guard can be alive.
+        drop(unsafe { Arc::from_raw(p.cast_const()) });
+    }
+}
+
+/// RAII guard pinning the current table for one dispatch.
+///
+/// While the guard lives, the publisher's quiescence wait cannot
+/// complete, so the `&DispatchTable` it hands out stays valid.
+pub(crate) struct DispatchGuard<'a> {
+    stripe: &'a Stripe,
+    table: &'a DispatchTable,
+}
+
+impl<'a> DispatchGuard<'a> {
+    /// Enters the fast path: bumps the stripe's in-flight count, then
+    /// loads the current table.
+    #[inline]
+    pub(crate) fn enter(cell: &'a TableCell, stripe: &'a Stripe) -> Self {
+        #[cfg(debug_assertions)]
+        GUARD_DEPTH.with(|d| d.set(d.get() + 1));
+        stripe.in_flight.fetch_add(1, Ordering::SeqCst);
+        let p = cell.ptr.load(Ordering::SeqCst);
+        // SAFETY: the increment above is ordered before this load
+        // (SeqCst), so a publisher swapping afterwards waits for this
+        // guard before freeing the table behind `p`.
+        let table = unsafe { &*p };
+        Self { stripe, table }
+    }
+
+    /// The pinned table; the borrow cannot outlive the guard.
+    #[inline]
+    pub(crate) fn table(&self) -> &DispatchTable {
+        self.table
+    }
+}
+
+impl Drop for DispatchGuard<'_> {
+    #[inline]
+    fn drop(&mut self) {
+        self.stripe.in_flight.fetch_sub(1, Ordering::Release);
+        #[cfg(debug_assertions)]
+        GUARD_DEPTH.with(|d| d.set(d.get() - 1));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handler::NullHandler;
+    use std::sync::atomic::AtomicBool;
+
+    fn table_with_gen(generation: u64) -> Arc<DispatchTable> {
+        Arc::new(DispatchTable {
+            generation,
+            objects: Vec::new(),
+            handler: Some(Arc::new(NullHandler)),
+        })
+    }
+
+    #[test]
+    fn publish_swaps_and_reclaims() {
+        let stripes = new_stripes();
+        let cell = TableCell::new(table_with_gen(0));
+        {
+            let g = DispatchGuard::enter(&cell, &stripes[0]);
+            assert_eq!(g.table().generation, 0);
+        }
+        cell.publish(table_with_gen(1), &stripes[..]);
+        let g = DispatchGuard::enter(&cell, &stripes[3]);
+        assert_eq!(g.table().generation, 1);
+    }
+
+    /// Readers hammering the table while a publisher swaps it over and
+    /// over: every read sees a coherent table (monotone generations,
+    /// handler present), and nothing crashes or leaks under the
+    /// quiescence protocol. The publisher keeps publishing until every
+    /// reader has observably overlapped with the swapping.
+    #[test]
+    fn concurrent_publish_and_read_stress() {
+        const READERS: usize = 4;
+        let stripes = new_stripes();
+        let cell = TableCell::new(table_with_gen(0));
+        let stop = AtomicBool::new(false);
+        let reads: Vec<AtomicU64> = (0..READERS).map(|_| AtomicU64::new(0)).collect();
+        let mut published = 0u64;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..READERS {
+                let cell = &cell;
+                let stripes = &stripes;
+                let stop = &stop;
+                let reads = &reads;
+                handles.push(scope.spawn(move || {
+                    let stripe = &stripes[t % STRIPES];
+                    let mut last = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let g = DispatchGuard::enter(cell, stripe);
+                        let tab = g.table();
+                        assert!(tab.generation >= last, "generations monotone per reader");
+                        assert!(tab.handler.is_some());
+                        last = tab.generation;
+                        reads[t].fetch_add(1, Ordering::Relaxed);
+                    }
+                }));
+            }
+            // ≥ 1,000 publishes, and keep going until every reader has
+            // performed reads while publishes were happening.
+            while published < 1_000 || reads.iter().any(|r| r.load(Ordering::Relaxed) < 100) {
+                published += 1;
+                cell.publish(table_with_gen(published), &stripes[..]);
+            }
+            stop.store(true, Ordering::Relaxed);
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        let g = DispatchGuard::enter(&cell, &stripes[0]);
+        assert_eq!(g.table().generation, published);
+    }
+}

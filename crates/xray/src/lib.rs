@@ -20,6 +20,7 @@
 //! * [`log`] — XRay's built-in modes: a basic in-memory trace and a
 //!   flight-data-recorder-style ring buffer.
 
+pub mod dispatch;
 pub mod handler;
 pub mod log;
 pub mod packed_id;
@@ -28,8 +29,9 @@ pub mod runtime;
 pub mod sled;
 pub mod trampoline;
 
+pub use dispatch::{DispatchTable, ObjectDispatch};
 pub use handler::{Event, EventKind, Handler};
-pub use log::{BasicLog, FdrBuffer};
+pub use log::{BasicLog, FdrBuffer, ShardedFdr, ShardedLog};
 pub use packed_id::{IdError, PackedId, FUNC_BITS, MAX_FUNCTION_ID, MAX_OBJECT_ID, OBJ_BITS};
 pub use pass::{instrument_object, InstrumentedObject, PassOptions, PassStats};
 pub use runtime::{

@@ -2,22 +2,39 @@
 //!
 //! The real XRay ships pre-existing handler modes (paper §V-A: "XRay
 //! provides a few different pre-existing modes, each defining their own
-//! handler functions"). Two are reproduced:
+//! handler functions"). Two are reproduced, each in a single-mutex and a
+//! per-rank sharded flavor:
 //!
 //! * [`BasicLog`] — basic mode: append every event to an in-memory trace.
 //! * [`FdrBuffer`] — flight-data-recorder mode: a fixed-size ring buffer
 //!   of encoded records; the newest events overwrite the oldest, bounding
 //!   memory for long runs.
+//! * [`ShardedLog`] / [`ShardedFdr`] — the multi-rank hot-path variants:
+//!   every rank appends to its own cache-padded shard, so concurrent
+//!   ranks never contend on a shared lock or cache line. A deterministic
+//!   merge (stable order: rank, then per-rank sequence number) makes
+//!   [`ShardedLog::events`] byte-identical across runs whenever each
+//!   rank's own event stream is deterministic — the property the live
+//!   adaptation tests assert.
 
 use crate::handler::{Event, EventKind, Handler};
 use crate::packed_id::PackedId;
 use bytes::{Buf, BufMut, BytesMut};
 use parking_lot::Mutex;
+use std::sync::Arc;
 
 /// Basic-mode in-memory trace log.
+///
+/// Events live behind `Mutex<Arc<Vec<_>>>` so [`BasicLog::events`] holds
+/// the lock only for an `Arc` clone (O(1)) and deep-copies *outside* it.
+/// The steady-state push mutates in place; the first push racing a
+/// still-live snapshot pays the deep copy instead (`Arc::make_mut`),
+/// under the lock — the copy cost moves from every `events()` call to
+/// at most one append per outstanding snapshot. For contention-free
+/// multi-rank appends use [`ShardedLog`].
 #[derive(Default)]
 pub struct BasicLog {
-    events: Mutex<Vec<Event>>,
+    events: Mutex<Arc<Vec<Event>>>,
     /// Virtual cost per event in ns (basic mode writes a record; modelled
     /// as a small constant).
     pub cost_ns: u64,
@@ -27,14 +44,24 @@ impl BasicLog {
     /// Creates an empty log with the default per-event cost.
     pub fn new() -> Self {
         Self {
-            events: Mutex::new(Vec::new()),
+            events: Mutex::new(Arc::new(Vec::new())),
             cost_ns: 25,
         }
     }
 
-    /// Snapshot of all recorded events.
+    /// Snapshot of all recorded events. The clone happens outside the
+    /// lock, so this call itself blocks concurrent ranks for O(1); the
+    /// next append while the snapshot is alive pays the copy instead.
     pub fn events(&self) -> Vec<Event> {
-        self.events.lock().clone()
+        let snapshot = Arc::clone(&self.events.lock());
+        snapshot.as_slice().to_vec()
+    }
+
+    /// Runs `f` over the recorded events without cloning any of them —
+    /// what tests should use to assert on the trace.
+    pub fn with_events<R>(&self, f: impl FnOnce(&[Event]) -> R) -> R {
+        let snapshot = Arc::clone(&self.events.lock());
+        f(&snapshot)
     }
 
     /// Number of recorded events.
@@ -49,13 +76,13 @@ impl BasicLog {
 
     /// Clears the log.
     pub fn clear(&self) {
-        self.events.lock().clear();
+        *self.events.lock() = Arc::new(Vec::new());
     }
 }
 
 impl Handler for BasicLog {
     fn on_event(&self, event: Event) -> u64 {
-        self.events.lock().push(event);
+        Arc::make_mut(&mut *self.events.lock()).push(event);
         self.cost_ns
     }
 }
@@ -63,6 +90,37 @@ impl Handler for BasicLog {
 /// Size of one encoded FDR record:
 /// 4 (packed id) + 1 (kind) + 8 (tsc) + 4 (rank) bytes.
 const RECORD_BYTES: usize = 17;
+
+fn encode_record(buf: &mut BytesMut, event: &Event) {
+    buf.put_u32(event.id.raw());
+    buf.put_u8(match event.kind {
+        EventKind::Entry => 0,
+        EventKind::Exit => 1,
+        EventKind::TailExit => 2,
+    });
+    buf.put_u64(event.tsc);
+    buf.put_u32(event.rank);
+}
+
+fn decode_records(buf: &[u8], out: &mut Vec<Event>) {
+    let mut view = buf;
+    while view.len() >= RECORD_BYTES {
+        let id = PackedId::from_raw(view.get_u32());
+        let kind = match view.get_u8() {
+            0 => EventKind::Entry,
+            1 => EventKind::Exit,
+            _ => EventKind::TailExit,
+        };
+        let tsc = view.get_u64();
+        let rank = view.get_u32();
+        out.push(Event {
+            id,
+            kind,
+            tsc,
+            rank,
+        });
+    }
+}
 
 /// Flight-data-recorder mode: bounded ring buffer of encoded events.
 pub struct FdrBuffer {
@@ -93,23 +151,7 @@ impl FdrBuffer {
     pub fn events(&self) -> Vec<Event> {
         let inner = self.inner.lock();
         let mut out = Vec::with_capacity(inner.buf.len() / RECORD_BYTES);
-        let mut view = &inner.buf[..];
-        while view.len() >= RECORD_BYTES {
-            let id = PackedId::from_raw(view.get_u32());
-            let kind = match view.get_u8() {
-                0 => EventKind::Entry,
-                1 => EventKind::Exit,
-                _ => EventKind::TailExit,
-            };
-            let tsc = view.get_u64();
-            let rank = view.get_u32();
-            out.push(Event {
-                id,
-                kind,
-                tsc,
-                rank,
-            });
-        }
+        decode_records(&inner.buf, &mut out);
         out
     }
 
@@ -131,16 +173,230 @@ impl Handler for FdrBuffer {
             // Drop the oldest record.
             inner.buf.advance(RECORD_BYTES);
         }
-        inner.buf.put_u32(event.id.raw());
-        inner.buf.put_u8(match event.kind {
-            EventKind::Entry => 0,
-            EventKind::Exit => 1,
-            EventKind::TailExit => 2,
-        });
-        inner.buf.put_u64(event.tsc);
-        inner.buf.put_u32(event.rank);
+        encode_record(&mut inner.buf, &event);
         inner.written += 1;
         15 // FDR is cheaper than basic mode: fixed-size encode, no realloc
+    }
+}
+
+/// One cache-padded shard of a sharded sink. The padding keeps rank R's
+/// append from invalidating rank R±1's cache line; the per-shard mutex
+/// exists only to satisfy `&self` interior mutability — with one rank
+/// per shard it is never contended, so the append path never waits.
+#[repr(align(64))]
+struct Shard<T> {
+    inner: Mutex<T>,
+}
+
+impl<T> Shard<T> {
+    fn new(value: T) -> Self {
+        Self {
+            inner: Mutex::new(value),
+        }
+    }
+}
+
+struct LogShard {
+    /// `(per-rank sequence number, event)` in append order.
+    events: Vec<(u64, Event)>,
+    next_seq: u64,
+}
+
+/// Basic-mode trace sharded by rank: each rank appends to its own
+/// cache-padded buffer, and [`ShardedLog::events`] merges them in the
+/// deterministic order (rank, per-rank sequence number). Two runs whose
+/// per-rank streams are identical therefore produce byte-identical
+/// merged traces, regardless of how the rank threads interleaved.
+pub struct ShardedLog {
+    shards: Box<[Shard<LogShard>]>,
+    /// Virtual cost per event in ns (same record write as [`BasicLog`]).
+    pub cost_ns: u64,
+}
+
+impl ShardedLog {
+    /// Creates a log with one shard per expected rank. Ranks beyond
+    /// `ranks` fold onto shards modulo the shard count — appends then
+    /// contend on the shared shard, but the merge stays deterministic:
+    /// [`Self::events`] stable-sorts by rank, which restores rank-major
+    /// order and each rank's own append order regardless of how folded
+    /// ranks interleaved. Sizing to the world's rank count gives the
+    /// contention-free fast path.
+    pub fn new(ranks: u32) -> Self {
+        let n = ranks.max(1) as usize;
+        Self {
+            shards: (0..n)
+                .map(|_| {
+                    Shard::new(LogShard {
+                        events: Vec::new(),
+                        next_seq: 0,
+                    })
+                })
+                .collect(),
+            cost_ns: 25,
+        }
+    }
+
+    #[inline]
+    fn shard(&self, rank: u32) -> &Shard<LogShard> {
+        &self.shards[rank as usize % self.shards.len()]
+    }
+
+    /// Number of shards (== ranks it was sized for).
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Deterministically merged trace: rank order, each rank's events in
+    /// its own append (sequence) order. The stable sort is a no-op scan
+    /// when every rank owns its shard, and restores determinism when
+    /// ranks were folded onto shared shards.
+    pub fn events(&self) -> Vec<Event> {
+        let mut out = Vec::with_capacity(self.len());
+        for shard in self.shards.iter() {
+            let guard = shard.inner.lock();
+            debug_assert!(
+                guard.events.windows(2).all(|w| w[0].0 < w[1].0),
+                "per-shard sequence numbers are strictly increasing"
+            );
+            out.extend(guard.events.iter().map(|&(_, e)| e));
+        }
+        // Stable: preserves each rank's per-shard append order.
+        out.sort_by_key(|e| e.rank);
+        out
+    }
+
+    /// Runs `f` over the merged trace without handing out a clone to the
+    /// caller (one internal merge buffer is still materialized).
+    pub fn with_events<R>(&self, f: impl FnOnce(&[Event]) -> R) -> R {
+        f(&self.events())
+    }
+
+    /// Events of one rank, in its append order (filtered by the event's
+    /// actual rank, so folded shards do not leak co-owners' events).
+    pub fn rank_events(&self, rank: u32) -> Vec<Event> {
+        self.shard(rank)
+            .inner
+            .lock()
+            .events
+            .iter()
+            .filter(|(_, e)| e.rank == rank)
+            .map(|&(_, e)| e)
+            .collect()
+    }
+
+    /// Total recorded events across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.inner.lock().events.len())
+            .sum()
+    }
+
+    /// Whether no shard recorded anything.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.inner.lock().events.is_empty())
+    }
+
+    /// Clears every shard (sequence numbers restart at 0).
+    pub fn clear(&self) {
+        for s in self.shards.iter() {
+            let mut guard = s.inner.lock();
+            guard.events.clear();
+            guard.next_seq = 0;
+        }
+    }
+}
+
+impl Handler for ShardedLog {
+    fn on_event(&self, event: Event) -> u64 {
+        let mut shard = self.shard(event.rank).inner.lock();
+        let seq = shard.next_seq;
+        shard.next_seq += 1;
+        shard.events.push((seq, event));
+        self.cost_ns
+    }
+}
+
+struct FdrShard {
+    buf: BytesMut,
+    written: u64,
+}
+
+/// Flight-data-recorder mode sharded by rank: each rank owns a
+/// cache-padded ring of `capacity_records` encoded events, and the merge
+/// decodes every ring and stable-sorts by rank (each rank oldest-first).
+/// The retention guarantee becomes per rank — a chatty rank can no
+/// longer evict a quiet rank's records, which also makes the merged
+/// trace deterministic for deterministic per-rank streams.
+///
+/// Ranks beyond the shard count fold onto shared rings; ordering stays
+/// rank-major, but *which* records the shared ring retains then depends
+/// on how the folded ranks interleaved — size the recorder to the
+/// world's rank count to keep retention deterministic.
+pub struct ShardedFdr {
+    shards: Box<[Shard<FdrShard>]>,
+    capacity_records: usize,
+}
+
+impl ShardedFdr {
+    /// Creates a recorder with one ring of `capacity_records` events per
+    /// rank.
+    pub fn new(ranks: u32, capacity_records: usize) -> Self {
+        assert!(capacity_records > 0, "FDR buffer needs capacity");
+        let n = ranks.max(1) as usize;
+        Self {
+            shards: (0..n)
+                .map(|_| {
+                    Shard::new(FdrShard {
+                        buf: BytesMut::with_capacity(capacity_records * RECORD_BYTES),
+                        written: 0,
+                    })
+                })
+                .collect(),
+            capacity_records,
+        }
+    }
+
+    #[inline]
+    fn shard(&self, rank: u32) -> &Shard<FdrShard> {
+        &self.shards[rank as usize % self.shards.len()]
+    }
+
+    /// Decodes the retained events: rank order, oldest first per rank
+    /// (stable sort, a no-op scan when every rank owns its ring).
+    pub fn events(&self) -> Vec<Event> {
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            let guard = shard.inner.lock();
+            decode_records(&guard.buf, &mut out);
+        }
+        out.sort_by_key(|e| e.rank);
+        out
+    }
+
+    /// Total events written across all shards (≥ retained).
+    pub fn total_written(&self) -> u64 {
+        self.shards.iter().map(|s| s.inner.lock().written).sum()
+    }
+
+    /// Events currently retained across all shards.
+    pub fn retained(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.inner.lock().buf.len() / RECORD_BYTES)
+            .sum()
+    }
+}
+
+impl Handler for ShardedFdr {
+    fn on_event(&self, event: Event) -> u64 {
+        let mut shard = self.shard(event.rank).inner.lock();
+        if shard.buf.len() >= self.capacity_records * RECORD_BYTES {
+            shard.buf.advance(RECORD_BYTES);
+        }
+        encode_record(&mut shard.buf, &event);
+        shard.written += 1;
+        15 // same fixed-size encode as the single-ring FDR
     }
 }
 
@@ -149,11 +405,15 @@ mod tests {
     use super::*;
 
     fn ev(fid: u32, kind: EventKind, tsc: u64) -> Event {
+        rev(3, fid, kind, tsc)
+    }
+
+    fn rev(rank: u32, fid: u32, kind: EventKind, tsc: u64) -> Event {
         Event {
             id: PackedId::pack(1, fid).unwrap(),
             kind,
             tsc,
-            rank: 3,
+            rank,
         }
     }
 
@@ -168,6 +428,23 @@ mod tests {
         assert_eq!(evs[1].kind, EventKind::Exit);
         log.clear();
         assert!(log.is_empty());
+    }
+
+    #[test]
+    fn basic_log_with_events_avoids_cloning_and_sees_pushes() {
+        let log = BasicLog::new();
+        log.on_event(ev(1, EventKind::Entry, 10));
+        // A snapshot taken while another is alive stays consistent.
+        let total = log.with_events(|evs| {
+            assert_eq!(evs.len(), 1);
+            evs.iter().map(|e| e.tsc).sum::<u64>()
+        });
+        assert_eq!(total, 10);
+        // Pushing after a snapshot was handed out must not disturb it.
+        let snapshot = log.events();
+        log.on_event(ev(1, EventKind::Exit, 20));
+        assert_eq!(snapshot.len(), 1);
+        assert_eq!(log.len(), 2);
     }
 
     #[test]
@@ -201,5 +478,62 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn fdr_zero_capacity_panics() {
         let _ = FdrBuffer::new(0);
+    }
+
+    #[test]
+    fn sharded_log_merges_rank_major_regardless_of_arrival_order() {
+        let log = ShardedLog::new(3);
+        // Interleave ranks out of order on purpose.
+        log.on_event(rev(2, 9, EventKind::Entry, 1));
+        log.on_event(rev(0, 7, EventKind::Entry, 2));
+        log.on_event(rev(1, 8, EventKind::Entry, 3));
+        log.on_event(rev(0, 7, EventKind::Exit, 4));
+        log.on_event(rev(2, 9, EventKind::Exit, 5));
+        let merged = log.events();
+        let order: Vec<(u32, u64)> = merged.iter().map(|e| (e.rank, e.tsc)).collect();
+        assert_eq!(order, vec![(0, 2), (0, 4), (1, 3), (2, 1), (2, 5)]);
+        assert_eq!(log.len(), 5);
+        assert_eq!(log.rank_events(0).len(), 2);
+        log.clear();
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn sharded_log_folds_out_of_range_ranks_deterministically() {
+        let log = ShardedLog::new(2);
+        // Ranks 1 and 3 fold onto shard 1; the merge must still come
+        // out rank-major with each rank's own order preserved, and
+        // rank_events must not leak the co-owner's events.
+        log.on_event(rev(3, 9, EventKind::Entry, 1));
+        log.on_event(rev(1, 7, EventKind::Entry, 2));
+        log.on_event(rev(3, 9, EventKind::Exit, 3));
+        log.on_event(rev(1, 7, EventKind::Exit, 4));
+        assert_eq!(log.shards(), 2);
+        let order: Vec<(u32, u64)> = log.events().iter().map(|e| (e.rank, e.tsc)).collect();
+        assert_eq!(order, vec![(1, 2), (1, 4), (3, 1), (3, 3)]);
+        assert_eq!(log.rank_events(5).len(), 0); // shard 1, but no rank-5 events
+        let r3: Vec<u64> = log.rank_events(3).iter().map(|e| e.tsc).collect();
+        assert_eq!(r3, vec![1, 3]);
+    }
+
+    #[test]
+    fn sharded_fdr_retains_per_rank_and_merges_deterministically() {
+        let fdr = ShardedFdr::new(2, 2);
+        // Rank 0 is chatty, rank 1 writes once: rank 1's record survives.
+        for i in 0..5u64 {
+            fdr.on_event(rev(0, 1, EventKind::Entry, i));
+        }
+        fdr.on_event(rev(1, 2, EventKind::Entry, 100));
+        assert_eq!(fdr.total_written(), 6);
+        assert_eq!(fdr.retained(), 3); // 2 from rank 0's ring + 1 from rank 1
+        let evs = fdr.events();
+        let order: Vec<(u32, u64)> = evs.iter().map(|e| (e.rank, e.tsc)).collect();
+        assert_eq!(order, vec![(0, 3), (0, 4), (1, 100)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn sharded_fdr_zero_capacity_panics() {
+        let _ = ShardedFdr::new(2, 0);
     }
 }

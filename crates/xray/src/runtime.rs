@@ -16,6 +16,10 @@
 //! happens during startup but is allowed at any time (that is the point
 //! of *runtime-adaptable* instrumentation).
 
+use crate::dispatch::{
+    debug_assert_not_dispatching, new_stripes, DispatchGuard, Stripe, TableCell, CONTROL_STRIPE,
+    STRIPES,
+};
 use crate::handler::{Event, EventKind, Handler};
 use crate::packed_id::{IdError, PackedId, MAX_FUNCTION_ID};
 use crate::pass::InstrumentedObject;
@@ -26,6 +30,8 @@ use parking_lot::RwLock;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+pub use crate::dispatch::{DispatchTable, ObjectDispatch};
 
 /// Runtime errors.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -148,6 +154,38 @@ struct Registered {
     /// dispatch distinguish "never patched" (hard fault) from "unpatched
     /// after the caller's snapshot" (tolerated, in-flight adaptation).
     unpatch_gen: Vec<u64>,
+    /// `(entry_offset, fid)` sorted by offset — the reverse-lookup index
+    /// [`XRayRuntime::id_at_address`] binary-searches instead of walking
+    /// every sled entry.
+    addr_index: Vec<(u64, u32)>,
+}
+
+impl Registered {
+    fn new(
+        inst: InstrumentedObject,
+        loaded: &LoadedObject,
+        process_index: usize,
+        trampolines: TrampolineSet,
+    ) -> Self {
+        let n = inst.sleds.num_functions();
+        let mut addr_index: Vec<(u64, u32)> = inst
+            .sleds
+            .entries
+            .iter()
+            .map(|e| (e.entry_offset, e.fid))
+            .collect();
+        addr_index.sort_unstable();
+        Self {
+            patched: vec![false; n],
+            unpatch_gen: vec![0; n],
+            addr_index,
+            trampolines,
+            process_index,
+            base: loaded.base,
+            relocated: !loaded.at_preferred_base,
+            inst,
+        }
+    }
 }
 
 struct Inner {
@@ -161,12 +199,12 @@ struct Inner {
 pub struct XRayRuntime {
     inner: RwLock<Inner>,
     generation: AtomicU64,
-    /// Event-dispatch counter kept outside the lock: dispatch is the hot
-    /// path and runs concurrently on every rank thread.
-    dispatches: AtomicU64,
-    /// Tolerated dispatches through sleds unpatched after the caller's
-    /// snapshot (see [`Self::dispatch_from_snapshot`]).
-    stale_dispatches: AtomicU64,
+    /// The published dispatch fast-path snapshot; swapped atomically by
+    /// the mutators above while they hold the `inner` write lock.
+    table: TableCell,
+    /// Per-rank striped in-flight guards and event counters (dispatch is
+    /// the hot path and runs concurrently on every rank thread).
+    stripes: Box<[Stripe]>,
 }
 
 impl Default for XRayRuntime {
@@ -185,9 +223,65 @@ impl XRayRuntime {
                 stats: RuntimeStats::default(),
             }),
             generation: AtomicU64::new(0),
-            dispatches: AtomicU64::new(0),
-            stale_dispatches: AtomicU64::new(0),
+            table: TableCell::new(Arc::new(DispatchTable::empty())),
+            stripes: new_stripes(),
         }
+    }
+
+    /// Stripe owning `rank`'s counters and in-flight guard.
+    #[inline]
+    fn stripe(&self, rank: u32) -> &Stripe {
+        &self.stripes[rank as usize & (STRIPES - 1)]
+    }
+
+    /// Acquires the inner read lock. Must never be reached from a
+    /// handler's `on_event` (a concurrent publisher holding the write
+    /// lock waits for that very dispatch to drain — deadlock); debug
+    /// builds panic on the misuse. Guard-based readers
+    /// ([`Self::is_patched`], [`Self::snapshot`], dispatch itself) are
+    /// handler-safe.
+    fn read_inner(&self, api: &str) -> parking_lot::RwLockReadGuard<'_, Inner> {
+        debug_assert_not_dispatching(api);
+        self.inner.read()
+    }
+
+    /// Acquires the inner write lock; same handler rule as
+    /// [`Self::read_inner`].
+    fn write_inner(&self, api: &str) -> parking_lot::RwLockWriteGuard<'_, Inner> {
+        debug_assert_not_dispatching(api);
+        self.inner.write()
+    }
+
+    /// Rebuilds and atomically publishes the dispatch table from the
+    /// current registration/patch/handler state.
+    ///
+    /// Publication rules: must be called with the `inner` write lock
+    /// held (serializing publishers), after the generation bump for the
+    /// change being published, and before the lock is released — so
+    /// every table pairs a generation with exactly the state it
+    /// describes, and dispatchers always observe them together.
+    fn publish_locked(&self, inner: &Inner) {
+        let objects = inner
+            .objects
+            .iter()
+            .enumerate()
+            .map(|(oid, reg)| {
+                reg.as_ref().map(|r| ObjectDispatch {
+                    object_id: oid as u8,
+                    process_index: r.process_index,
+                    patched: r.patched.clone().into_boxed_slice(),
+                    unpatch_gen: r.unpatch_gen.clone().into_boxed_slice(),
+                    fault: r.trampolines.check_dispatch(r.relocated).err(),
+                    fid_by_func: r.inst.sleds.fid_by_func.clone().into_boxed_slice(),
+                })
+            })
+            .collect();
+        let table = DispatchTable {
+            generation: self.generation(),
+            objects,
+            handler: inner.handler.clone(),
+        };
+        self.table.publish(Arc::new(table), &self.stripes);
     }
 
     fn bump(&self) {
@@ -209,22 +303,17 @@ impl XRayRuntime {
         loaded: &LoadedObject,
         trampolines: TrampolineSet,
     ) -> Result<u8, XRayError> {
-        let mut inner = self.inner.write();
+        let mut inner = self.write_inner("register_main");
         if !inner.objects.is_empty() {
             return Err(XRayError::MainAlreadyRegistered);
         }
         check_fid_capacity(&inst)?;
-        inner.objects.push(Some(Registered {
-            patched: vec![false; inst.sleds.num_functions()],
-            unpatch_gen: vec![0; inst.sleds.num_functions()],
-            trampolines,
-            process_index: 0,
-            base: loaded.base,
-            relocated: !loaded.at_preferred_base,
-            inst,
-        }));
+        inner
+            .objects
+            .push(Some(Registered::new(inst, loaded, 0, trampolines)));
         inner.stats.objects_registered += 1;
         self.bump();
+        self.publish_locked(&inner);
         drop(inner);
         Ok(0)
     }
@@ -240,7 +329,7 @@ impl XRayRuntime {
         process_index: usize,
         trampolines: TrampolineSet,
     ) -> Result<u8, XRayError> {
-        let mut inner = self.inner.write();
+        let mut inner = self.write_inner("register_dso");
         if inner.objects.is_empty() {
             return Err(XRayError::MainMustBeFirst);
         }
@@ -257,24 +346,17 @@ impl XRayRuntime {
                 inner.objects.len() - 1
             }
         };
-        inner.objects[object_id] = Some(Registered {
-            patched: vec![false; inst.sleds.num_functions()],
-            unpatch_gen: vec![0; inst.sleds.num_functions()],
-            trampolines,
-            process_index,
-            base: loaded.base,
-            relocated: !loaded.at_preferred_base,
-            inst,
-        });
+        inner.objects[object_id] = Some(Registered::new(inst, loaded, process_index, trampolines));
         inner.stats.objects_registered += 1;
         self.bump();
+        self.publish_locked(&inner);
         drop(inner);
         Ok(object_id as u8)
     }
 
     /// Deregisters a DSO (called when the object is `dlclose`d).
     pub fn deregister(&self, object_id: u8) -> Result<(), XRayError> {
-        let mut inner = self.inner.write();
+        let mut inner = self.write_inner("deregister");
         let slot = inner
             .objects
             .get_mut(object_id as usize)
@@ -284,20 +366,25 @@ impl XRayRuntime {
         }
         inner.stats.objects_registered -= 1;
         self.bump();
+        self.publish_locked(&inner);
         drop(inner);
         Ok(())
     }
 
     /// Installs the global event handler (`__xray_set_handler`).
     pub fn set_handler(&self, handler: Arc<dyn Handler>) {
-        self.inner.write().handler = Some(handler);
+        let mut inner = self.write_inner("set_handler");
+        inner.handler = Some(handler);
         self.bump();
+        self.publish_locked(&inner);
     }
 
     /// Removes the handler.
     pub fn clear_handler(&self) {
-        self.inner.write().handler = None;
+        let mut inner = self.write_inner("clear_handler");
+        inner.handler = None;
         self.bump();
+        self.publish_locked(&inner);
     }
 
     /// Patches all sleds of one function. Returns the number of sleds
@@ -317,7 +404,7 @@ impl XRayRuntime {
         id: PackedId,
         state: bool,
     ) -> Result<u32, XRayError> {
-        let mut inner = self.inner.write();
+        let mut inner = self.write_inner("set_patch_state");
         let reg = inner
             .objects
             .get_mut(id.object() as usize)
@@ -352,6 +439,7 @@ impl XRayRuntime {
         }
         let n = offsets.len() as u32;
         inner.stats.sled_writes += n as u64;
+        self.publish_locked(&inner);
         drop(inner);
         Ok(n)
     }
@@ -376,7 +464,7 @@ impl XRayRuntime {
         if fids.is_empty() {
             return Ok(0);
         }
-        let mut inner = self.inner.write();
+        let mut inner = self.write_inner("patch_functions");
         let reg = inner
             .objects
             .get_mut(object_id as usize)
@@ -385,31 +473,44 @@ impl XRayRuntime {
         let Some((lo, hi)) = reg.inst.sleds.sled_range() else {
             return Ok(0);
         };
-        let base = reg.base;
-        let page_lo = (base + lo) / PAGE_SIZE * PAGE_SIZE;
-        let page_hi = (base + hi).div_ceil(PAGE_SIZE) * PAGE_SIZE;
-        mem.mprotect(page_lo, page_hi - page_lo, PagePerms::RWX)?;
-        let mut written = 0u32;
+        // Validate every fid before mutating anything (like `repatch`),
+        // so a bad ID cannot leave half the batch written with no table
+        // published.
         for &fid in fids {
-            let entry = reg.inst.sleds.by_fid(fid).ok_or_else(|| {
+            reg.inst.sleds.by_fid(fid).ok_or_else(|| {
                 XRayError::UnknownFunction(
                     PackedId::pack(object_id, fid).unwrap_or(PackedId::from_raw(0)),
                 )
             })?;
-            if reg.patched[fid as usize] {
-                continue;
-            }
-            for (off, _) in entry.offsets() {
-                mem.checked_write(base + off, SLED_BYTES)?;
-                written += 1;
-            }
-            reg.patched[fid as usize] = true;
         }
-        mem.mprotect(page_lo, page_hi - page_lo, PagePerms::RX)?;
+        let base = reg.base;
+        let page_lo = (base + lo) / PAGE_SIZE * PAGE_SIZE;
+        let page_hi = (base + hi).div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        let mut written = 0u32;
+        // Memory errors mid-batch can leave some flags flipped; publish
+        // unconditionally below so the table never diverges from the
+        // inner state, even on the error path.
+        let res = (|| -> Result<(), XRayError> {
+            mem.mprotect(page_lo, page_hi - page_lo, PagePerms::RWX)?;
+            for &fid in fids {
+                let entry = reg.inst.sleds.by_fid(fid).expect("validated");
+                if reg.patched[fid as usize] {
+                    continue;
+                }
+                for (off, _) in entry.offsets() {
+                    mem.checked_write(base + off, SLED_BYTES)?;
+                    written += 1;
+                }
+                reg.patched[fid as usize] = true;
+            }
+            mem.mprotect(page_lo, page_hi - page_lo, PagePerms::RX)?;
+            Ok(())
+        })();
         self.generation.fetch_add(1, Ordering::AcqRel);
         inner.stats.sled_writes += written as u64;
+        self.publish_locked(&inner);
         drop(inner);
-        Ok(written)
+        res.map(|()| written)
     }
 
     /// Unpatches every sled of an object.
@@ -423,7 +524,7 @@ impl XRayRuntime {
         object_id: u8,
         state: bool,
     ) -> Result<u32, XRayError> {
-        let mut inner = self.inner.write();
+        let mut inner = self.write_inner("set_all");
         let reg = inner
             .objects
             .get_mut(object_id as usize)
@@ -435,23 +536,28 @@ impl XRayRuntime {
         let base = reg.base;
         let page_lo = (base + lo) / PAGE_SIZE * PAGE_SIZE;
         let page_hi = (base + hi).div_ceil(PAGE_SIZE) * PAGE_SIZE;
-        mem.mprotect(page_lo, page_hi - page_lo, PagePerms::RWX)?;
         let mut written = 0u32;
         let mut changed = Vec::new();
-        let num_funcs = reg.inst.sleds.num_functions();
-        for fid in 0..num_funcs {
-            if reg.patched[fid] == state {
-                continue;
+        // Publish unconditionally below: a memory error mid-pass leaves
+        // some flags flipped, and the table must reflect them.
+        let res = (|| -> Result<(), XRayError> {
+            mem.mprotect(page_lo, page_hi - page_lo, PagePerms::RWX)?;
+            let num_funcs = reg.inst.sleds.num_functions();
+            for fid in 0..num_funcs {
+                if reg.patched[fid] == state {
+                    continue;
+                }
+                let entry = reg.inst.sleds.by_fid(fid as u32).expect("fid in range");
+                for (off, _) in entry.offsets() {
+                    mem.checked_write(base + off, SLED_BYTES)?;
+                    written += 1;
+                }
+                reg.patched[fid] = state;
+                changed.push(fid);
             }
-            let entry = reg.inst.sleds.by_fid(fid as u32).expect("fid in range");
-            for (off, _) in entry.offsets() {
-                mem.checked_write(base + off, SLED_BYTES)?;
-                written += 1;
-            }
-            reg.patched[fid] = state;
-            changed.push(fid);
-        }
-        mem.mprotect(page_lo, page_hi - page_lo, PagePerms::RX)?;
+            mem.mprotect(page_lo, page_hi - page_lo, PagePerms::RX)?;
+            Ok(())
+        })();
         let new_gen = self.generation.fetch_add(1, Ordering::AcqRel) + 1;
         if !state {
             for fid in changed {
@@ -459,8 +565,9 @@ impl XRayRuntime {
             }
         }
         inner.stats.sled_writes += written as u64;
+        self.publish_locked(&inner);
         drop(inner);
-        Ok(written)
+        res.map(|()| written)
     }
 
     /// Applies a batch of patch *and* unpatch operations atomically with
@@ -483,7 +590,7 @@ impl XRayRuntime {
                 ..Default::default()
             });
         }
-        let mut inner = self.inner.write();
+        let mut inner = self.write_inner("repatch");
         // Group by object, one requested end-state per function; the
         // unpatch insertion overwrites any patch entry (unpatch wins).
         // BTreeMaps keep the application order stable.
@@ -521,55 +628,63 @@ impl XRayRuntime {
             generation: new_gen,
             ..Default::default()
         };
-        for (&oid, changes) in &by_obj {
-            let reg = inner.objects[oid as usize].as_mut().expect("validated");
-            let need: Vec<(u32, bool)> = changes
-                .iter()
-                .map(|(&fid, &state)| (fid, state))
-                .filter(|&(fid, state)| reg.patched[fid as usize] != state)
-                .collect();
-            if need.is_empty() {
-                continue;
-            }
-            let Some((lo, hi)) = reg.inst.sleds.sled_range() else {
-                continue;
-            };
-            let base = reg.base;
-            let page_lo = (base + lo) / PAGE_SIZE * PAGE_SIZE;
-            let page_hi = (base + hi).div_ceil(PAGE_SIZE) * PAGE_SIZE;
-            mem.mprotect(page_lo, page_hi - page_lo, PagePerms::RWX)?;
-            for (fid, state) in need {
-                let entry = reg.inst.sleds.by_fid(fid).expect("validated");
-                let mut sleds = 0u64;
-                for (off, _) in entry.offsets() {
-                    mem.checked_write(base + off, SLED_BYTES)?;
-                    sleds += 1;
+        // Memory errors mid-batch can leave earlier objects applied;
+        // publish unconditionally below so the table never diverges
+        // from the inner state, even on the error path.
+        let res = (|| -> Result<(), XRayError> {
+            for (&oid, changes) in &by_obj {
+                let reg = inner.objects[oid as usize].as_mut().expect("validated");
+                let need: Vec<(u32, bool)> = changes
+                    .iter()
+                    .map(|(&fid, &state)| (fid, state))
+                    .filter(|&(fid, state)| reg.patched[fid as usize] != state)
+                    .collect();
+                if need.is_empty() {
+                    continue;
                 }
-                reg.patched[fid as usize] = state;
-                if state {
-                    report.sleds_patched += sleds;
-                } else {
-                    reg.unpatch_gen[fid as usize] = new_gen;
-                    report.sleds_unpatched += sleds;
+                let Some((lo, hi)) = reg.inst.sleds.sled_range() else {
+                    continue;
+                };
+                let base = reg.base;
+                let page_lo = (base + lo) / PAGE_SIZE * PAGE_SIZE;
+                let page_hi = (base + hi).div_ceil(PAGE_SIZE) * PAGE_SIZE;
+                mem.mprotect(page_lo, page_hi - page_lo, PagePerms::RWX)?;
+                for (fid, state) in need {
+                    let entry = reg.inst.sleds.by_fid(fid).expect("validated");
+                    let mut sleds = 0u64;
+                    for (off, _) in entry.offsets() {
+                        mem.checked_write(base + off, SLED_BYTES)?;
+                        sleds += 1;
+                    }
+                    reg.patched[fid as usize] = state;
+                    if state {
+                        report.sleds_patched += sleds;
+                    } else {
+                        reg.unpatch_gen[fid as usize] = new_gen;
+                        report.sleds_unpatched += sleds;
+                    }
                 }
+                mem.mprotect(page_lo, page_hi - page_lo, PagePerms::RX)?;
+                report.mprotect_pairs += 1;
             }
-            mem.mprotect(page_lo, page_hi - page_lo, PagePerms::RX)?;
-            report.mprotect_pairs += 1;
-        }
+            Ok(())
+        })();
         inner.stats.sled_writes += report.sleds_patched + report.sleds_unpatched;
         inner.stats.repatches += 1;
+        self.publish_locked(&inner);
         drop(inner);
-        Ok(report)
+        res.map(|()| report)
     }
 
     /// Whether the function's sleds are currently patched.
     pub fn is_patched(&self, id: PackedId) -> bool {
-        let inner = self.inner.read();
-        inner
+        let guard = DispatchGuard::enter(&self.table, &self.stripes[CONTROL_STRIPE]);
+        guard
+            .table()
             .objects
             .get(id.object() as usize)
             .and_then(Option::as_ref)
-            .and_then(|r| r.patched.get(id.function() as usize))
+            .and_then(|o| o.patched.get(id.function() as usize))
             .copied()
             .unwrap_or(false)
     }
@@ -593,6 +708,18 @@ impl XRayRuntime {
     /// delivered and counted as stale instead of raising
     /// [`XRayError::NotPatched`]. A sled that was already dormant at the
     /// snapshot still faults hard.
+    ///
+    /// This is the wait-free fast path: no lock, no `Arc` clone — one
+    /// striped in-flight bump, one atomic table load, two array indexes,
+    /// then straight into the handler. The table guard pins the handler
+    /// for the duration of the call, so handlers must never call back
+    /// into any API that takes the inner lock — publishers
+    /// (registration, patching, `set_handler`) *or* read-lock queries
+    /// like [`Self::stats`]: a concurrent publisher would wait forever
+    /// for the handler's own dispatch to drain while the handler waits
+    /// behind the publisher's write lock. Debug builds panic on the
+    /// misuse; [`Self::is_patched`] and [`Self::snapshot`] are
+    /// guard-based and handler-safe.
     pub fn dispatch_from_snapshot(
         &self,
         id: PackedId,
@@ -601,44 +728,34 @@ impl XRayRuntime {
         rank: u32,
         snapshot_generation: u64,
     ) -> Result<u64, XRayError> {
-        let (handler, fault_check, stale) = {
-            let inner = self.inner.read();
-            let reg = inner
-                .objects
-                .get(id.object() as usize)
-                .and_then(Option::as_ref)
-                .ok_or(XRayError::UnknownObject(id.object()))?;
-            let patched = reg
-                .patched
-                .get(id.function() as usize)
-                .copied()
-                .unwrap_or(false);
-            let stale = if patched {
-                false
+        let stripe = self.stripe(rank);
+        let guard = DispatchGuard::enter(&self.table, stripe);
+        let table = guard.table();
+        let obj = table
+            .objects
+            .get(id.object() as usize)
+            .and_then(Option::as_ref)
+            .ok_or(XRayError::UnknownObject(id.object()))?;
+        let fidx = id.function() as usize;
+        let patched = obj.patched.get(fidx).copied().unwrap_or(false);
+        let stale = if patched {
+            false
+        } else {
+            let unpatched_at = obj.unpatch_gen.get(fidx).copied().unwrap_or(0);
+            if unpatched_at > snapshot_generation {
+                true
             } else {
-                let unpatched_at = reg
-                    .unpatch_gen
-                    .get(id.function() as usize)
-                    .copied()
-                    .unwrap_or(0);
-                if unpatched_at > snapshot_generation {
-                    true
-                } else {
-                    return Err(XRayError::NotPatched(id));
-                }
-            };
-            (
-                inner.handler.clone(),
-                reg.trampolines.check_dispatch(reg.relocated),
-                stale,
-            )
+                return Err(XRayError::NotPatched(id));
+            }
         };
-        fault_check.map_err(XRayError::Fault)?;
-        self.dispatches.fetch_add(1, Ordering::Relaxed);
-        if stale {
-            self.stale_dispatches.fetch_add(1, Ordering::Relaxed);
+        if let Some(fault) = obj.fault {
+            return Err(XRayError::Fault(fault));
         }
-        let Some(handler) = handler else {
+        stripe.dispatches.fetch_add(1, Ordering::Relaxed);
+        if stale {
+            stripe.stale_dispatches.fetch_add(1, Ordering::Relaxed);
+        }
+        let Some(handler) = table.handler.as_ref() else {
             return Ok(0); // patched but no handler installed: sled jumps, returns
         };
         let event = Event {
@@ -653,25 +770,25 @@ impl XRayRuntime {
     /// `__xray_function_address`: absolute address of a function by its
     /// packed ID — the API DynCaPI cross-checks symbol mappings with.
     pub fn function_address(&self, id: PackedId) -> Option<u64> {
-        let inner = self.inner.read();
+        let inner = self.read_inner("function_address");
         let reg = inner.objects.get(id.object() as usize)?.as_ref()?;
         let entry = reg.inst.sleds.by_fid(id.function())?;
         Some(reg.base + entry.entry_offset)
     }
 
-    /// Reverse of [`Self::function_address`].
+    /// Reverse of [`Self::function_address`]: binary search of each
+    /// object's offset-sorted entry index (built at registration)
+    /// instead of a linear scan over every sled entry.
     pub fn id_at_address(&self, addr: u64) -> Option<PackedId> {
-        let inner = self.inner.read();
+        let inner = self.read_inner("id_at_address");
         for (oid, reg) in inner.objects.iter().enumerate() {
             let Some(reg) = reg else { continue };
             if addr < reg.base {
                 continue;
             }
             let off = addr - reg.base;
-            for e in &reg.inst.sleds.entries {
-                if e.entry_offset == off {
-                    return PackedId::pack(oid as u8, e.fid).ok();
-                }
+            if let Ok(i) = reg.addr_index.binary_search_by_key(&off, |&(o, _)| o) {
+                return PackedId::pack(oid as u8, reg.addr_index[i].1).ok();
             }
         }
         None
@@ -679,7 +796,7 @@ impl XRayRuntime {
 
     /// Object ID registered for a loader object index.
     pub fn object_id_for_process_index(&self, process_index: usize) -> Option<u8> {
-        let inner = self.inner.read();
+        let inner = self.read_inner("object_id_for_process_index");
         inner
             .objects
             .iter()
@@ -690,15 +807,17 @@ impl XRayRuntime {
 
     /// Current statistics.
     pub fn stats(&self) -> RuntimeStats {
-        let mut s = self.inner.read().stats;
-        s.dispatches = self.dispatches.load(Ordering::Relaxed);
-        s.stale_dispatches = self.stale_dispatches.load(Ordering::Relaxed);
+        let mut s = self.read_inner("stats").stats;
+        for stripe in self.stripes.iter() {
+            s.dispatches += stripe.dispatches.load(Ordering::Relaxed);
+            s.stale_dispatches += stripe.stale_dispatches.load(Ordering::Relaxed);
+        }
         s
     }
 
     /// Total sleds across all registered objects.
     pub fn total_sleds(&self) -> usize {
-        let inner = self.inner.read();
+        let inner = self.read_inner("total_sleds");
         inner
             .objects
             .iter()
@@ -711,7 +830,7 @@ impl XRayRuntime {
     /// (object, function) — the active set the adaptation controller
     /// starts from.
     pub fn patched_ids(&self) -> Vec<PackedId> {
-        let inner = self.inner.read();
+        let inner = self.read_inner("patched_ids");
         let mut ids = Vec::new();
         for (oid, reg) in inner.objects.iter().enumerate() {
             let Some(reg) = reg else { continue };
@@ -728,7 +847,7 @@ impl XRayRuntime {
 
     /// Counts currently patched functions.
     pub fn patched_functions(&self) -> usize {
-        let inner = self.inner.read();
+        let inner = self.read_inner("patched_functions");
         inner
             .objects
             .iter()
@@ -738,27 +857,29 @@ impl XRayRuntime {
     }
 
     /// Takes a consistent snapshot of the patch state for lock-free use
-    /// on the executor's hot path.
+    /// on the executor's hot path. Derived from the published dispatch
+    /// table, so it never contends with the write lock and its
+    /// generation always matches the patch state it carries.
     pub fn snapshot(&self) -> PatchSnapshot {
-        let inner = self.inner.read();
-        let max_pi = inner
+        let guard = DispatchGuard::enter(&self.table, &self.stripes[CONTROL_STRIPE]);
+        let table = guard.table();
+        let max_pi = table
             .objects
             .iter()
             .flatten()
-            .map(|r| r.process_index + 1)
+            .map(|o| o.process_index + 1)
             .max()
             .unwrap_or(0);
         let mut by_process_index: Vec<Option<ObjectSnapshot>> = vec![None; max_pi];
-        for (oid, reg) in inner.objects.iter().enumerate() {
-            let Some(reg) = reg else { continue };
-            by_process_index[reg.process_index] = Some(ObjectSnapshot {
-                object_id: oid as u8,
-                fid_by_func: reg.inst.sleds.fid_by_func.clone(),
-                patched: reg.patched.clone(),
+        for obj in table.objects.iter().flatten() {
+            by_process_index[obj.process_index] = Some(ObjectSnapshot {
+                object_id: obj.object_id,
+                fid_by_func: obj.fid_by_func.to_vec(),
+                patched: obj.patched.to_vec(),
             });
         }
         PatchSnapshot {
-            generation: self.generation(),
+            generation: table.generation,
             by_process_index,
         }
     }
@@ -1041,6 +1162,56 @@ mod tests {
     }
 
     #[test]
+    fn id_at_address_boundaries() {
+        let (f, main_id, dso_id) = registered();
+        let inner_entries = |inst: &InstrumentedObject| {
+            let mut offs: Vec<(u64, u32)> = inst
+                .sleds
+                .entries
+                .iter()
+                .map(|e| (e.entry_offset, e.fid))
+                .collect();
+            offs.sort_unstable();
+            offs
+        };
+        for (oid, inst, base) in [
+            (main_id, &f.main_inst, f.process.object(0).unwrap().base),
+            (dso_id, &f.dso_inst, f.process.object(1).unwrap().base),
+        ] {
+            let offs = inner_entries(inst);
+            assert!(!offs.is_empty());
+            let (first_off, first_fid) = offs[0];
+            let (last_off, last_fid) = *offs.last().unwrap();
+            // Exact first and last entry addresses resolve.
+            assert_eq!(
+                f.runtime.id_at_address(base + first_off),
+                PackedId::pack(oid, first_fid).ok()
+            );
+            assert_eq!(
+                f.runtime.id_at_address(base + last_off),
+                PackedId::pack(oid, last_fid).ok()
+            );
+            // One byte off either boundary does not (unless it happens to
+            // be another object's entry — impossible here: bases are
+            // disjoint and sleds start above the object base).
+            assert_eq!(f.runtime.id_at_address(base + first_off + 1), None);
+            if first_off > 0 {
+                assert_eq!(f.runtime.id_at_address(base + first_off - 1), None);
+            }
+        }
+        // Below every object base.
+        let min_base = f
+            .process
+            .object(0)
+            .unwrap()
+            .base
+            .min(f.process.object(1).unwrap().base);
+        assert_eq!(f.runtime.id_at_address(min_base.saturating_sub(1)), None);
+        // Way past everything.
+        assert_eq!(f.runtime.id_at_address(u64::MAX), None);
+    }
+
+    #[test]
     fn snapshot_reflects_patch_state_and_generation() {
         let (mut f, main_id, _) = registered();
         let snap0 = f.runtime.snapshot();
@@ -1115,6 +1286,23 @@ mod tests {
             )
             .unwrap();
         assert!(!f.runtime.is_patched(id));
+    }
+
+    #[test]
+    fn patch_functions_validates_before_mutating() {
+        let (mut f, main_id, _) = registered();
+        let good = PackedId::pack(main_id, 0).unwrap();
+        let writes_before = f.runtime.stats().sled_writes;
+        let err = f
+            .runtime
+            .patch_functions(&mut f.process.memory, main_id, &[0, 9_999])
+            .unwrap_err();
+        assert!(matches!(err, XRayError::UnknownFunction(_)));
+        // Nothing was applied: no patch flag, no sled writes, and the
+        // published table still agrees with the inner state.
+        assert!(!f.runtime.is_patched(good));
+        assert_eq!(f.runtime.stats().sled_writes, writes_before);
+        assert_eq!(f.runtime.patched_ids(), Vec::new());
     }
 
     #[test]

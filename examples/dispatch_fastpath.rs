@@ -1,0 +1,90 @@
+//! The wait-free dispatch fast path + sharded sinks, end to end.
+//!
+//! Four rank threads dispatch instrumentation events into a per-rank
+//! [`ShardedLog`] while a controller thread repatches the very sleds
+//! they execute. Demonstrates the three guarantees the hot-path rework
+//! provides:
+//!
+//! 1. no lost events — every dispatched event lands in the sink,
+//! 2. deterministic merge — the trace is identical across runs, in
+//!    (rank, per-rank sequence) order, regardless of interleaving,
+//! 3. stale tolerance — sleds unpatched after the engine's snapshot are
+//!    delivered (and counted) instead of faulting.
+//!
+//! Run with `cargo run --release --example dispatch_fastpath`.
+
+use capi::{dynamic_session, Workflow};
+use capi_dyncapi::ToolChoice;
+use capi_exec::{Engine, OverheadModel};
+use capi_mpisim::{CostModel, World};
+use capi_objmodel::CompileOptions;
+use capi_workloads::quickstart_app;
+use capi_xray::{Event, PatchDelta, ShardedLog};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn run_once(ranks: u32) -> (u64, u64, Vec<Event>) {
+    let program = quickstart_app(50);
+    let wf = Workflow::analyze(program, CompileOptions::o2()).expect("analyzes");
+    let ic = wf
+        .select_ic(r#"byName("^(stencil_kernel|compute_residual|time_step)$", %%)"#)
+        .expect("selects")
+        .ic;
+    let mut session = dynamic_session(&wf.binary, &ic, ToolChoice::None, ranks).expect("starts");
+    let runtime = session.runtime.clone();
+    let toggled = runtime.patched_ids();
+    let sink = Arc::new(ShardedLog::new(ranks));
+    runtime.set_handler(sink.clone());
+
+    let engine =
+        Engine::prepare(&session.process, &runtime, OverheadModel::default()).expect("prepares");
+    let stop = AtomicBool::new(false);
+    let report = std::thread::scope(|scope| {
+        let toggler = scope.spawn(|| {
+            let mem = &mut session.process.memory;
+            let unpatch = PatchDelta {
+                patch: Vec::new(),
+                unpatch: toggled.clone(),
+            };
+            let patch = PatchDelta {
+                patch: toggled.clone(),
+                unpatch: Vec::new(),
+            };
+            while !stop.load(Ordering::Relaxed) {
+                runtime.repatch(mem, &unpatch).expect("repatch");
+                runtime.repatch(mem, &patch).expect("repatch");
+            }
+        });
+        let r = engine
+            .run(&World::new(ranks, CostModel::default()))
+            .expect("runs");
+        stop.store(true, Ordering::Relaxed);
+        toggler.join().expect("toggler exits");
+        r
+    });
+    let stats = runtime.stats();
+    (report.events, stats.stale_dispatches, sink.events())
+}
+
+fn main() {
+    let ranks = 4;
+    println!("dispatch fast path under live repatching ({ranks} ranks)\n");
+    let (events_a, stale_a, log_a) = run_once(ranks);
+    let (_, stale_b, log_b) = run_once(ranks);
+
+    assert_eq!(events_a as usize, log_a.len(), "no lost events");
+    assert_eq!(log_a, log_b, "merged traces identical across runs");
+    assert!(log_a.windows(2).all(|w| w[0].rank <= w[1].rank));
+
+    println!(
+        "events dispatched:   {events_a} (all {} in the sink)",
+        log_a.len()
+    );
+    println!("stale tolerated:     run A {stale_a}, run B {stale_b} (interleaving-dependent)");
+    println!("merged trace:        rank-major, per-rank sequence order");
+    for rank in 0..ranks {
+        let n = log_a.iter().filter(|e| e.rank == rank).count();
+        println!("  rank {rank}: {n} events");
+    }
+    println!("\ndeterministic merge across runs ✓");
+}
