@@ -8,7 +8,8 @@
 
 use crate::epoch::EpochView;
 use crate::policy::{
-    AdaptPolicy, DropRecord, HotSmallExclusion, OverheadBudget, PolicyCtx, ReinclusionProbe,
+    AdaptPolicy, CommRegionFocus, DropRecord, HotSmallExclusion, ImbalanceExpansion,
+    OverheadBudget, PolicyCtx, ReinclusionProbe,
 };
 use capi_xray::{PackedId, PatchDelta};
 use std::collections::{BTreeMap, BTreeSet};
@@ -20,6 +21,16 @@ pub struct AdaptConfig {
     pub budget_pct: f64,
     /// Seed for the re-inclusion probe RNG.
     pub seed: u64,
+    /// Fraction of the unused overhead budget that expansion proposals
+    /// may consume per epoch (default 0.5, leaving slack so a slightly
+    /// underestimated expansion does not immediately re-trigger
+    /// trimming). The cap is what lets expansion and budget trimming
+    /// reach a deterministic fixed point.
+    pub expand_headroom: f64,
+    /// Estimated per-epoch instrumentation cost of an expansion
+    /// candidate that has never been measured, in virtual ns.
+    /// Candidates measured before use their last observed cost instead.
+    pub assumed_expand_cost_ns: u64,
 }
 
 impl Default for AdaptConfig {
@@ -27,6 +38,33 @@ impl Default for AdaptConfig {
         Self {
             budget_pct: 5.0,
             seed: 0x5EED,
+            expand_headroom: 0.5,
+            assumed_expand_cost_ns: 2_000,
+        }
+    }
+}
+
+/// Options for the TALP-driven expansion policy pair (see
+/// [`AdaptController::with_expansion`]).
+#[derive(Clone, Copy, Debug)]
+pub struct ExpansionOptions {
+    /// Expand below regions whose load balance falls under this.
+    pub lb_threshold: f64,
+    /// Expand below regions whose communication fraction reaches this.
+    pub comm_threshold: f64,
+    /// Maximum children each expansion policy proposes per epoch.
+    pub max_per_epoch: usize,
+    /// Children budget-trimmed more than this many times stay out.
+    pub max_redrops: u32,
+}
+
+impl Default for ExpansionOptions {
+    fn default() -> Self {
+        Self {
+            lb_threshold: 0.75,
+            comm_threshold: 0.4,
+            max_per_epoch: 8,
+            max_redrops: 0,
         }
     }
 }
@@ -40,6 +78,10 @@ pub struct ControllerStats {
     pub drops: u64,
     /// Total re-inclusion probes.
     pub probes: u64,
+    /// Total expansion inclusions (TALP-driven growth).
+    pub expansions: u64,
+    /// Expansion proposals rejected by the headroom cap.
+    pub expansions_capped: u64,
 }
 
 /// The in-flight adaptation controller.
@@ -50,6 +92,9 @@ pub struct AdaptController {
     dropped: BTreeMap<u32, DropRecord>,
     pinned: BTreeSet<u32>,
     names: BTreeMap<u32, String>,
+    /// Last measured per-epoch instrumentation cost per function —
+    /// the expansion cap's cost estimate for re-included candidates.
+    last_inst: BTreeMap<u32, u64>,
     log: Vec<String>,
     converged_at: Option<usize>,
     stats: ControllerStats,
@@ -68,6 +113,34 @@ impl AdaptController {
         Self::with_policies(cfg, policies)
     }
 
+    /// Creates a controller with the combined trim **and** grow stack:
+    /// hot-small exclusion and overhead-budget trimming shrink the IC
+    /// toward the budget, while [`ImbalanceExpansion`] and
+    /// [`CommRegionFocus`] grow it below inefficient regions — all
+    /// expansion capped by the remaining budget headroom, so the two
+    /// forces settle into a deterministic fixed point. Re-inclusion
+    /// probing rides along as in [`Self::new`].
+    pub fn with_expansion(cfg: AdaptConfig, exp: ExpansionOptions) -> Self {
+        let policies: Vec<Box<dyn AdaptPolicy>> = vec![
+            Box::new(HotSmallExclusion::default()),
+            Box::new(OverheadBudget::default()),
+            Box::new(ImbalanceExpansion {
+                lb_threshold: exp.lb_threshold,
+                min_enters: 2,
+                max_per_epoch: exp.max_per_epoch,
+                max_redrops: exp.max_redrops,
+            }),
+            Box::new(CommRegionFocus {
+                comm_threshold: exp.comm_threshold,
+                min_enters: 2,
+                max_per_epoch: exp.max_per_epoch.div_ceil(2),
+                max_redrops: exp.max_redrops,
+            }),
+            Box::new(ReinclusionProbe::seeded(cfg.seed, 3, 4, 2)),
+        ];
+        Self::with_policies(cfg, policies)
+    }
+
     /// Creates a controller with a custom policy stack (applied in
     /// order; earlier drops win over later restores of the same ID).
     pub fn with_policies(cfg: AdaptConfig, policies: Vec<Box<dyn AdaptPolicy>>) -> Self {
@@ -78,6 +151,7 @@ impl AdaptController {
             dropped: BTreeMap::new(),
             pinned: BTreeSet::new(),
             names: BTreeMap::new(),
+            last_inst: BTreeMap::new(),
             log: Vec::new(),
             converged_at: None,
             stats: ControllerStats::default(),
@@ -111,19 +185,135 @@ impl AdaptController {
         }
     }
 
+    /// Registers display names without touching the active set — used
+    /// for expansion candidates, which may never have been active (so
+    /// [`Self::begin`] never saw them) yet should log by name. Existing
+    /// names win.
+    pub fn hint_names<I, S>(&mut self, names: I)
+    where
+        I: IntoIterator<Item = (PackedId, S)>,
+        S: Into<String>,
+    {
+        for (id, name) in names {
+            self.names.entry(id.raw()).or_insert_with(|| name.into());
+        }
+    }
+
+    /// Invalidates every record referencing XRay object `object_id` —
+    /// active entries, drop records, pins, names and cost history.
+    ///
+    /// Call this when the DSO registered under that object ID is
+    /// deregistered (`dlclose`). The runtime recycles vacated object
+    /// IDs, so a drop record held across the swap would silently point
+    /// at whatever function of the *new* DSO happens to share the
+    /// packed ID — a re-inclusion probe or expansion could then patch
+    /// an unrelated function. Returns the number of active + dropped
+    /// records discarded, and logs the invalidation deterministically.
+    pub fn invalidate_object(&mut self, object_id: u8) -> usize {
+        let stays = |raw: &u32| PackedId::from_raw(*raw).object() != object_id;
+        let active_before = self.active.len();
+        self.active.retain(stays);
+        let dropped_before = self.dropped.len();
+        self.dropped.retain(|raw, _| stays(raw));
+        self.pinned.retain(stays);
+        self.names.retain(|raw, _| stays(raw));
+        self.last_inst.retain(|raw, _| stays(raw));
+        let discarded = (active_before - self.active.len()) + (dropped_before - self.dropped.len());
+        self.log.push(format!(
+            "invalidate object {object_id}: {} active, {} drop records discarded",
+            active_before - self.active.len(),
+            dropped_before - self.dropped.len()
+        ));
+        discarded
+    }
+
+    /// Remaps every record from XRay object `from` to object `to` —
+    /// the other resolution of the hot-swap hazard, for when the *same*
+    /// DSO is re-registered under a different object ID (its function
+    /// IDs are stable, only the object half of the packed ID moved).
+    /// Returns the number of records moved.
+    ///
+    /// `to` is normally a vacated slot, but if records for it already
+    /// exist the collision is merged conservatively instead of silently
+    /// clobbered: drop records keep the higher `times_dropped` (so a
+    /// suppressed function can never regain re-inclusion eligibility
+    /// through a remap), cost estimates keep the larger value, existing
+    /// names win, and set memberships union.
+    pub fn remap_object(&mut self, from: u8, to: u8) -> usize {
+        if from == to {
+            return 0;
+        }
+        let remap = |raw: u32| -> u32 {
+            let id = PackedId::from_raw(raw);
+            if id.object() == from {
+                PackedId::pack(to, id.function())
+                    .expect("function ID fits any object")
+                    .raw()
+            } else {
+                raw
+            }
+        };
+        let mut moved = 0usize;
+        let active = std::mem::take(&mut self.active);
+        self.active = active
+            .into_iter()
+            .map(|raw| {
+                let new = remap(raw);
+                moved += usize::from(new != raw);
+                new
+            })
+            .collect();
+        let dropped = std::mem::take(&mut self.dropped);
+        for (raw, rec) in dropped {
+            let new = remap(raw);
+            moved += usize::from(new != raw);
+            self.dropped
+                .entry(new)
+                .and_modify(|existing| {
+                    if rec.times_dropped > existing.times_dropped {
+                        *existing = rec.clone();
+                    }
+                })
+                .or_insert(rec);
+        }
+        let pinned = std::mem::take(&mut self.pinned);
+        self.pinned = pinned.into_iter().map(remap).collect();
+        let names = std::mem::take(&mut self.names);
+        for (raw, n) in names {
+            self.names.entry(remap(raw)).or_insert(n);
+        }
+        let last_inst = std::mem::take(&mut self.last_inst);
+        for (raw, c) in last_inst {
+            let slot = self.last_inst.entry(remap(raw)).or_insert(c);
+            *slot = (*slot).max(c);
+        }
+        self.log.push(format!(
+            "remap object {from} -> {to}: {moved} records moved"
+        ));
+        moved
+    }
+
     /// Consumes one epoch view and returns the IC delta to apply before
     /// the next epoch.
     pub fn on_epoch(&mut self, view: &EpochView) -> PatchDelta {
         self.stats.epochs += 1;
-        // Refresh names from the samples (probes may surface functions
-        // begin() never saw).
+        // Refresh names and last measured costs from the samples (probes
+        // may surface functions begin() never saw; expansion estimates
+        // re-included candidates from their last observed cost).
         for s in &view.samples {
             self.names
                 .entry(s.id.raw())
                 .or_insert_with(|| s.name.clone());
+            self.last_inst.insert(s.id.raw(), s.inst_ns);
+        }
+        for r in &view.talp {
+            self.names
+                .entry(r.id.raw())
+                .or_insert_with(|| r.name.clone());
         }
         let mut drops: Vec<(PackedId, &'static str, &'static str)> = Vec::new();
         let mut restores: Vec<(PackedId, &'static str)> = Vec::new();
+        let mut expands: Vec<(PackedId, &'static str, &'static str)> = Vec::new();
         for policy in &mut self.policies {
             let ctx = PolicyCtx {
                 budget_pct: self.cfg.budget_pct,
@@ -150,6 +340,42 @@ impl AdaptController {
                     restores.push((id, pname));
                 }
             }
+            for (id, reason) in action.expand {
+                if !self.active.contains(&id.raw())
+                    && !self.pinned.contains(&id.raw())
+                    && !drops.iter().any(|(d, _, _)| *d == id)
+                    && !restores.iter().any(|(r, _)| *r == id)
+                    && !expands.iter().any(|(e, _, _)| *e == id)
+                {
+                    expands.push((id, pname, reason));
+                }
+            }
+        }
+
+        // Cap expansion by the unused budget headroom: each accepted
+        // candidate consumes its estimated per-epoch cost (last measured
+        // cost, or the configured assumption for never-measured
+        // functions). With no headroom — over budget — nothing expands:
+        // trimming always goes first, which is what makes the two
+        // forces converge to a fixed point instead of oscillating.
+        let budget_ns = (self.cfg.budget_pct / 100.0 * view.app_ns() as f64) as u64;
+        let allowance = (budget_ns.saturating_sub(view.inst_ns) as f64
+            * self.cfg.expand_headroom.clamp(0.0, 1.0)) as u64;
+        let proposed = expands.len();
+        let mut spent_est = 0u64;
+        let mut accepted: Vec<(PackedId, &'static str, &'static str, u64)> = Vec::new();
+        for &(id, pname, reason) in &expands {
+            let est = self
+                .last_inst
+                .get(&id.raw())
+                .copied()
+                .unwrap_or(self.cfg.assumed_expand_cost_ns)
+                .max(1);
+            if spent_est + est > allowance {
+                continue;
+            }
+            spent_est += est;
+            accepted.push((id, pname, reason, est));
         }
 
         let overhead = view.overhead_pct();
@@ -168,6 +394,18 @@ impl AdaptController {
         for &(id, pname) in &restores {
             self.log
                 .push(format!("  probe {} [{pname}]", self.display(id)));
+        }
+        for &(id, pname, reason, est) in &accepted {
+            self.log.push(format!(
+                "  expand {} [{pname}: {reason}] (est {est} ns)",
+                self.display(id)
+            ));
+        }
+        if accepted.len() < proposed {
+            self.log.push(format!(
+                "  expansion capped: {} of {proposed} proposals fit the headroom ({allowance} ns)",
+                accepted.len()
+            ));
         }
 
         for &(id, pname, _) in &drops {
@@ -188,16 +426,27 @@ impl AdaptController {
             self.active.insert(id.raw());
             self.stats.probes += 1;
         }
+        for &(id, _, _, _) in &accepted {
+            self.active.insert(id.raw());
+            self.stats.expansions += 1;
+        }
+        self.stats.expansions_capped += (proposed - accepted.len()) as u64;
 
         let delta = PatchDelta {
-            patch: restores.iter().map(|&(id, _)| id).collect(),
+            patch: restores
+                .iter()
+                .map(|&(id, _)| id)
+                .chain(accepted.iter().map(|&(id, _, _, _)| id))
+                .collect(),
             unpatch: drops.iter().map(|&(id, _, _)| id).collect(),
         };
-        // Convergence: within budget and nothing needed dropping.
-        // Re-inclusion probes are exploration, not instability — they
-        // do not reset convergence (a probe that misbehaves produces a
-        // drop next epoch, which does).
-        if delta.unpatch.is_empty() && overhead <= self.cfg.budget_pct {
+        // Convergence: within budget, nothing needed dropping, and
+        // nothing left to expand. Re-inclusion probes are exploration,
+        // not instability — they do not reset convergence (a probe that
+        // misbehaves produces a drop next epoch, which does). An
+        // expansion, by contrast, is a material IC change and resets
+        // convergence until the grown set proves itself within budget.
+        if delta.unpatch.is_empty() && accepted.is_empty() && overhead <= self.cfg.budget_pct {
             if self.converged_at.is_none() {
                 self.converged_at = Some(view.epoch);
                 self.log.push(format!(
@@ -285,6 +534,19 @@ mod tests {
             inst_ns: inst,
             events: 10,
             samples,
+            talp: Vec::new(),
+            children: crate::epoch::CallChildren::default(),
+        }
+    }
+
+    fn skewed_region(fid: u32) -> crate::epoch::RegionSample {
+        crate::epoch::RegionSample {
+            id: id(fid),
+            name: format!("f{fid}"),
+            enters: 10,
+            elapsed_ns: 100_000,
+            useful_per_rank: vec![10_000, 100_000],
+            mpi_per_rank: vec![0, 0],
         }
     }
 
@@ -304,6 +566,7 @@ mod tests {
             let mut c = AdaptController::new(AdaptConfig {
                 budget_pct: 5.0,
                 seed: 7,
+                ..Default::default()
             });
             c.begin([(id(1), "f1"), (id(2), "f2")]);
             c.pin([id(2)]);
@@ -334,6 +597,7 @@ mod tests {
         let mut c = AdaptController::new(AdaptConfig {
             budget_pct: 5.0,
             seed: 1,
+            ..Default::default()
         });
         c.begin([(id(1), "spine")]);
         c.pin([id(1)]);
@@ -354,6 +618,7 @@ mod tests {
             AdaptConfig {
                 budget_pct: 50.0,
                 seed: 3,
+                ..Default::default()
             },
             vec![
                 Box::new(OverheadBudget::default()),
@@ -376,5 +641,193 @@ mod tests {
         let d2 = c.on_epoch(&view(2, 900_000, vec![sample(1, 1_000, 900_000, 1)]));
         assert_eq!(d2.unpatch, vec![id(1)]);
         assert_eq!(c.converged_at(), None);
+    }
+
+    fn expansion_controller(budget_pct: f64) -> AdaptController {
+        AdaptController::with_policies(
+            AdaptConfig {
+                budget_pct,
+                seed: 5,
+                ..Default::default()
+            },
+            vec![
+                Box::new(OverheadBudget::default()),
+                Box::new(ImbalanceExpansion {
+                    min_enters: 1,
+                    ..Default::default()
+                }),
+            ],
+        )
+    }
+
+    /// One imbalanced active region (f1) with two uninstrumented
+    /// children (10, 11).
+    fn expansion_view(epoch: usize, inst: u64) -> EpochView {
+        let mut v = view(epoch, inst, vec![sample(1, 10, inst, 1_000)]);
+        v.talp = vec![skewed_region(1)];
+        v.children = std::sync::Arc::new(
+            [(id(1).raw(), vec![id(10).raw(), id(11).raw()])]
+                .into_iter()
+                .collect(),
+        );
+        v
+    }
+
+    #[test]
+    fn expansion_patches_children_within_headroom_and_logs() {
+        let mut c = expansion_controller(50.0);
+        c.begin([(id(1), "f1")]);
+        c.hint_names([(id(10), "child10"), (id(11), "child11")]);
+        // Plenty of headroom: both children expand.
+        let d = c.on_epoch(&expansion_view(0, 1_000));
+        assert_eq!(d.patch, vec![id(10), id(11)]);
+        assert!(d.unpatch.is_empty());
+        assert_eq!(c.stats().expansions, 2);
+        assert_eq!(c.converged_at(), None, "expansion resets convergence");
+        let log = c.render_log();
+        assert!(log.contains("expand child10 [imbalance: load imbalance below threshold]"));
+        assert!(log.contains("expand child11"));
+        // Children became active.
+        assert!(c.active_ids().contains(&id(10)));
+    }
+
+    #[test]
+    fn expansion_is_capped_by_budget_headroom() {
+        // Budget 5% of 1M app ns = 50k; inst already 49k → allowance
+        // (50k-49k)×0.5 = 500 ns < assumed 2_000 ns per candidate.
+        let mut c = expansion_controller(5.0);
+        c.begin([(id(1), "f1")]);
+        let d = c.on_epoch(&expansion_view(0, 49_000));
+        assert!(d.patch.is_empty(), "no headroom → no expansion");
+        assert_eq!(c.stats().expansions, 0);
+        assert_eq!(c.stats().expansions_capped, 2);
+        assert!(c
+            .render_log()
+            .contains("expansion capped: 0 of 2 proposals"));
+    }
+
+    #[test]
+    fn expansion_and_trimming_reach_a_fixed_point() {
+        let mut c = expansion_controller(50.0);
+        c.begin([(id(1), "f1")]);
+        // Epoch 0: expansion includes both children.
+        let d0 = c.on_epoch(&expansion_view(0, 1_000));
+        assert_eq!(d0.patch.len(), 2);
+        // Epoch 1: the grown set blows the budget → children trimmed.
+        let mut v1 = view(
+            1,
+            2_000_000,
+            vec![
+                sample(1, 10, 1_000, 1_000),
+                sample(10, 100_000, 1_000_000, 1),
+                sample(11, 100_000, 999_000, 1),
+            ],
+        );
+        v1.talp = expansion_view(1, 0).talp;
+        v1.children = expansion_view(1, 0).children;
+        let d1 = c.on_epoch(&v1);
+        assert!(d1.unpatch.contains(&id(10)) || d1.unpatch.contains(&id(11)));
+        // Epoch 2+: imbalance persists, but once-trimmed children are
+        // never re-expanded (max_redrops 0) → fixed point, convergence.
+        let d2 = c.on_epoch(&expansion_view(2, 1_000));
+        let d3 = c.on_epoch(&expansion_view(3, 1_000));
+        let expanded_again: Vec<_> = d2.patch.iter().chain(&d3.patch).collect();
+        assert!(
+            expanded_again.is_empty(),
+            "trimmed children must stay out: {expanded_again:?}"
+        );
+        assert!(d3.is_empty());
+        assert_eq!(c.converged_at(), Some(2));
+    }
+
+    #[test]
+    fn invalidate_object_discards_stale_records() {
+        let mut c = expansion_controller(50.0);
+        let dso = |fid| PackedId::pack(3, fid).unwrap();
+        c.begin([
+            (id(1), "main_f"),
+            (dso(0), "plugin_a"),
+            (dso(1), "plugin_b"),
+        ]);
+        // Drop one DSO function so a drop record exists.
+        let mut v = view(0, 900_000, vec![sample(1, 1, 1, 1_000)]);
+        v.samples.push(FuncSample {
+            id: dso(0),
+            name: "plugin_a".into(),
+            visits: 1_000,
+            inst_ns: 899_999,
+            body_cost_ns: 1,
+        });
+        c.on_epoch(&v);
+        assert!(c.dropped_len() > 0);
+        let discarded = c.invalidate_object(3);
+        assert!(discarded >= 2, "active + dropped records discarded");
+        assert_eq!(c.dropped_len(), 0);
+        assert!(c.active_ids().iter().all(|i| i.object() != 3));
+        assert!(c.active_ids().contains(&id(1)), "object 0 untouched");
+        assert!(c.render_log().contains("invalidate object 3"));
+    }
+
+    #[test]
+    fn remap_object_moves_records_to_the_new_id() {
+        let mut c = expansion_controller(50.0);
+        let old = |fid| PackedId::pack(2, fid).unwrap();
+        let new = |fid| PackedId::pack(7, fid).unwrap();
+        c.begin([(old(0), "plugin_a"), (old(1), "plugin_b")]);
+        c.pin([old(1)]);
+        let moved = c.remap_object(2, 7);
+        assert!(moved >= 2);
+        assert_eq!(c.active_ids(), vec![new(0), new(1)]);
+        assert_eq!(c.name_of(new(0)), Some("plugin_a"));
+        assert_eq!(c.remap_object(4, 4), 0, "self-remap is a no-op");
+        assert!(c.render_log().contains("remap object 2 -> 7"));
+    }
+
+    #[test]
+    fn remap_object_merges_collisions_conservatively() {
+        // Budget tight enough that *both* offenders get trimmed in one
+        // epoch, so each function holds a drop record.
+        let mut c = expansion_controller(5.0);
+        let old = PackedId::pack(2, 0).unwrap();
+        let tgt = PackedId::pack(7, 0).unwrap();
+        c.begin([(old, "from_fn"), (tgt, "to_fn")]);
+        let mut v = view(0, 900_000, vec![]);
+        v.samples = vec![
+            FuncSample {
+                id: old,
+                name: "from_fn".into(),
+                visits: 1_000,
+                inst_ns: 450_000,
+                body_cost_ns: 1,
+            },
+            FuncSample {
+                id: tgt,
+                name: "to_fn".into(),
+                visits: 1_000,
+                inst_ns: 450_000,
+                body_cost_ns: 1,
+            },
+        ];
+        c.on_epoch(&v);
+        assert_eq!(c.dropped_len(), 2);
+        // Manually deepen the target's history via a probe+redrop cycle:
+        // simplest is remapping onto it and checking the merge keeps the
+        // *higher* times_dropped, so re-inclusion eligibility can only
+        // tighten, never loosen.
+        c.remap_object(2, 7);
+        assert_eq!(
+            c.dropped_len(),
+            1,
+            "colliding records merged, not duplicated"
+        );
+        // The merged record still blocks expansion (times_dropped >= 1).
+        let mut v1 = expansion_view(1, 1_000);
+        v1.children = std::sync::Arc::new([(id(1).raw(), vec![tgt.raw()])].into_iter().collect());
+        c.begin([(id(1), "f1")]);
+        let d1 = c.on_epoch(&v1);
+        assert!(
+            !d1.patch.contains(&tgt),
+            "merged drop history keeps the function suppressed"
+        );
     }
 }

@@ -1,6 +1,9 @@
 //! The per-epoch measurement view the controller's policies consume.
 
+use capi_talp::RegionEpoch;
 use capi_xray::PackedId;
+use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Measured cost of one instrumented function over one epoch.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -19,6 +22,52 @@ pub struct FuncSample {
     pub body_cost_ns: u64,
 }
 
+/// Per-epoch TALP measurement of one instrumented function treated as a
+/// monitoring region — the efficiency signal the expansion policies
+/// consume.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RegionSample {
+    /// Packed XRay ID of the region's function.
+    pub id: PackedId,
+    /// Resolved display name.
+    pub name: String,
+    /// Region entries this epoch, summed over ranks.
+    pub enters: u64,
+    /// Elapsed (wall) span of the region this epoch.
+    pub elapsed_ns: u64,
+    /// Per-rank useful computation time inside the region.
+    pub useful_per_rank: Vec<u64>,
+    /// Per-rank MPI time attributed while the region was open.
+    pub mpi_per_rank: Vec<u64>,
+}
+
+impl RegionSample {
+    /// The POP metrics + communication fraction for this epoch.
+    pub fn efficiency(&self) -> RegionEpoch {
+        RegionEpoch::compute(
+            &self.useful_per_rank,
+            &self.mpi_per_rank,
+            self.elapsed_ns,
+            self.enters,
+        )
+    }
+
+    /// Load balance: `avg(useful) / max(useful)`, in `[0, 1]`.
+    pub fn load_balance(&self) -> f64 {
+        self.efficiency().pop.load_balance
+    }
+
+    /// Fraction of the region's busy time spent in MPI, in `[0, 1]`.
+    pub fn comm_fraction(&self) -> f64 {
+        self.efficiency().comm_fraction
+    }
+}
+
+/// The instrumentable call tree, keyed by raw packed ID: which
+/// sled-bearing functions each function's call sites target. Shared
+/// across epochs (the topology only changes on DSO load/unload).
+pub type CallChildren = Arc<BTreeMap<u32, Vec<u32>>>;
+
 /// One epoch of measurement, merged across ranks.
 #[derive(Clone, Debug)]
 pub struct EpochView {
@@ -34,6 +83,10 @@ pub struct EpochView {
     pub events: u64,
     /// Per-function costs, ordered by packed ID.
     pub samples: Vec<FuncSample>,
+    /// Per-region TALP efficiency samples, ordered by packed ID.
+    pub talp: Vec<RegionSample>,
+    /// The instrumentable call tree (expansion candidates per region).
+    pub children: CallChildren,
 }
 
 impl EpochView {
@@ -68,6 +121,8 @@ mod tests {
             inst_ns: 10,
             events: 4,
             samples: Vec::new(),
+            talp: Vec::new(),
+            children: CallChildren::default(),
         };
         assert_eq!(v.app_ns(), 100);
         assert!((v.overhead_pct() - 10.0).abs() < 1e-9);
@@ -83,7 +138,26 @@ mod tests {
             inst_ns: 0,
             events: 0,
             samples: Vec::new(),
+            talp: Vec::new(),
+            children: CallChildren::default(),
         };
         assert_eq!(v.overhead_pct(), 0.0);
+    }
+
+    #[test]
+    fn region_sample_efficiency_math() {
+        let r = RegionSample {
+            id: PackedId::pack(0, 1).unwrap(),
+            name: "solve".into(),
+            enters: 8,
+            elapsed_ns: 100,
+            useful_per_rank: vec![50, 100],
+            mpi_per_rank: vec![50, 0],
+        };
+        assert!((r.load_balance() - 0.75).abs() < 1e-12);
+        assert!((r.comm_fraction() - 0.25).abs() < 1e-12);
+        let e = r.efficiency();
+        assert!((e.pop.communication_efficiency - 1.0).abs() < 1e-12);
+        assert_eq!(e.enters, 8);
     }
 }

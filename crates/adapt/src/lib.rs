@@ -7,12 +7,18 @@
 //! session:
 //!
 //! * the execution engine reports per-epoch, per-function event costs
-//!   ([`EpochView`]);
+//!   *and* per-region TALP efficiency samples ([`EpochView`]);
 //! * pluggable [`policy`] implementations compute an IC delta — overhead
 //!   budget trimming in the spirit of `scorep-score` and of adaptive-
-//!   sampling-rate monitoring (Mertz & Nunes), hot-small exclusion, and
+//!   sampling-rate monitoring (Mertz & Nunes), hot-small exclusion,
 //!   re-inclusion probing so suppressed functions can return (redundancy
-//!   suppression à la Arafa et al.);
+//!   suppression à la Arafa et al.), and the TALP-driven *growth*
+//!   policies: [`ImbalanceExpansion`] descends the call tree below
+//!   regions whose load balance falls under a threshold, and
+//!   [`CommRegionFocus`] prioritizes subtrees of communication-heavy
+//!   phases. Expansion proposals are capped by the unused overhead
+//!   budget, so trimming and growth settle into a deterministic fixed
+//!   point;
 //! * the [`AdaptController`] merges the proposals into one
 //!   [`capi_xray::PatchDelta`], which the session applies live through
 //!   `XRayRuntime::repatch` while rank threads keep dispatching —
@@ -29,9 +35,9 @@ pub mod controller;
 pub mod epoch;
 pub mod policy;
 
-pub use controller::{AdaptConfig, AdaptController, ControllerStats};
-pub use epoch::{EpochView, FuncSample};
+pub use controller::{AdaptConfig, AdaptController, ControllerStats, ExpansionOptions};
+pub use epoch::{CallChildren, EpochView, FuncSample, RegionSample};
 pub use policy::{
-    AdaptPolicy, DropRecord, HotSmallExclusion, OverheadBudget, PolicyAction, PolicyCtx,
-    ReinclusionProbe,
+    AdaptPolicy, CommRegionFocus, DropRecord, HotSmallExclusion, ImbalanceExpansion,
+    OverheadBudget, PolicyAction, PolicyCtx, ReinclusionProbe,
 };

@@ -42,12 +42,18 @@ pub struct PolicyAction {
     pub drop: Vec<(PackedId, &'static str)>,
     /// Previously dropped functions to repatch for re-measurement.
     pub restore: Vec<PackedId>,
+    /// Functions to *grow* instrumentation onto, with the policy's
+    /// reason — unlike `restore`, these may never have been active
+    /// (e.g. excluded by the initial IC). The controller caps expansion
+    /// proposals by the remaining overhead headroom, so expansion and
+    /// budget trimming reach a deterministic fixed point.
+    pub expand: Vec<(PackedId, &'static str)>,
 }
 
 impl PolicyAction {
     /// Whether the action changes nothing.
     pub fn is_empty(&self) -> bool {
-        self.drop.is_empty() && self.restore.is_empty()
+        self.drop.is_empty() && self.restore.is_empty() && self.expand.is_empty()
     }
 }
 
@@ -214,6 +220,153 @@ impl AdaptPolicy for ReinclusionProbe {
     }
 }
 
+/// Shared candidate filter for the expansion policies: a child of an
+/// inefficient region qualifies when it is not already instrumented,
+/// not pinned, and has not exhausted its re-drop allowance (a child the
+/// budget policy trimmed `> max_redrops` times stays out for good —
+/// this is what makes expansion-vs-trimming converge instead of
+/// oscillating).
+fn expandable(ctx: &PolicyCtx<'_>, raw: u32, max_redrops: u32) -> bool {
+    !ctx.active.contains(&raw)
+        && !ctx.pinned.contains(&raw)
+        && ctx
+            .dropped
+            .get(&raw)
+            .is_none_or(|rec| rec.times_dropped <= max_redrops)
+}
+
+/// TALP-driven imbalance expansion: when a region's per-epoch load
+/// balance falls below the threshold, descend the call tree below it
+/// and propose its uninstrumented children for inclusion, so the next
+/// epoch can show *where* in the subtree the imbalance originates.
+/// Persistent imbalance walks down one level per epoch (iterative
+/// deepening) until the hot imbalanced subtree is fully visible.
+pub struct ImbalanceExpansion {
+    /// Expand below regions with load balance `<` this (default 0.75).
+    pub lb_threshold: f64,
+    /// Ignore regions entered fewer times than this per epoch — a
+    /// region seen once has no statistics worth reacting to.
+    pub min_enters: u64,
+    /// Maximum children proposed per epoch (worst-balanced regions
+    /// first).
+    pub max_per_epoch: usize,
+    /// Children dropped more than this many times are never proposed
+    /// again (default 0: one budget trim is final).
+    pub max_redrops: u32,
+}
+
+impl Default for ImbalanceExpansion {
+    fn default() -> Self {
+        Self {
+            lb_threshold: 0.75,
+            min_enters: 2,
+            max_per_epoch: 8,
+            max_redrops: 0,
+        }
+    }
+}
+
+impl AdaptPolicy for ImbalanceExpansion {
+    fn name(&self) -> &'static str {
+        "imbalance"
+    }
+
+    fn decide(&mut self, ctx: &PolicyCtx<'_>, view: &EpochView) -> PolicyAction {
+        let mut action = PolicyAction::default();
+        // Worst-balanced regions first; ties broken by packed ID.
+        let mut regions: Vec<_> = view
+            .talp
+            .iter()
+            .filter(|r| r.enters >= self.min_enters && ctx.active.contains(&r.id.raw()))
+            .map(|r| (r.load_balance(), r))
+            .filter(|(lb, _)| *lb < self.lb_threshold)
+            .collect();
+        regions.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.id.raw().cmp(&b.1.id.raw())));
+        let mut seen = BTreeSet::new();
+        for (_, region) in regions {
+            let Some(children) = view.children.get(&region.id.raw()) else {
+                continue;
+            };
+            for &child in children {
+                if action.expand.len() >= self.max_per_epoch {
+                    return action;
+                }
+                if seen.insert(child) && expandable(ctx, child, self.max_redrops) {
+                    action
+                        .expand
+                        .push((PackedId::from_raw(child), "load imbalance below threshold"));
+                }
+            }
+        }
+        action
+    }
+}
+
+/// Communication-phase focus: regions whose busy time is dominated by
+/// MPI are where parallel efficiency is lost, so their subtrees are
+/// prioritized for instrumentation — the profile then shows which
+/// computation surrounds the communication hot spot.
+pub struct CommRegionFocus {
+    /// Expand below regions with a communication fraction `>=` this
+    /// (default 0.4).
+    pub comm_threshold: f64,
+    /// Ignore regions entered fewer times than this per epoch.
+    pub min_enters: u64,
+    /// Maximum children proposed per epoch (most communication-heavy
+    /// regions first).
+    pub max_per_epoch: usize,
+    /// Children dropped more than this many times are never proposed
+    /// again.
+    pub max_redrops: u32,
+}
+
+impl Default for CommRegionFocus {
+    fn default() -> Self {
+        Self {
+            comm_threshold: 0.4,
+            min_enters: 2,
+            max_per_epoch: 4,
+            max_redrops: 0,
+        }
+    }
+}
+
+impl AdaptPolicy for CommRegionFocus {
+    fn name(&self) -> &'static str {
+        "comm-focus"
+    }
+
+    fn decide(&mut self, ctx: &PolicyCtx<'_>, view: &EpochView) -> PolicyAction {
+        let mut action = PolicyAction::default();
+        let mut regions: Vec<_> = view
+            .talp
+            .iter()
+            .filter(|r| r.enters >= self.min_enters && ctx.active.contains(&r.id.raw()))
+            .map(|r| (r.comm_fraction(), r))
+            .filter(|(cf, _)| *cf >= self.comm_threshold)
+            .collect();
+        // Most communication-heavy first; ties broken by packed ID.
+        regions.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.id.raw().cmp(&b.1.id.raw())));
+        let mut seen = BTreeSet::new();
+        for (_, region) in regions {
+            let Some(children) = view.children.get(&region.id.raw()) else {
+                continue;
+            };
+            for &child in children {
+                if action.expand.len() >= self.max_per_epoch {
+                    return action;
+                }
+                if seen.insert(child) && expandable(ctx, child, self.max_redrops) {
+                    action
+                        .expand
+                        .push((PackedId::from_raw(child), "communication-heavy phase"));
+                }
+            }
+        }
+        action
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -241,7 +394,35 @@ mod tests {
             inst_ns: inst,
             events: 100,
             samples,
+            talp: Vec::new(),
+            children: crate::epoch::CallChildren::default(),
         }
+    }
+
+    fn region(fid: u32, useful: Vec<u64>, mpi: Vec<u64>) -> crate::epoch::RegionSample {
+        let elapsed = useful
+            .iter()
+            .zip(&mpi)
+            .map(|(u, m)| u + m)
+            .max()
+            .unwrap_or(0);
+        crate::epoch::RegionSample {
+            id: id(fid),
+            name: format!("f{fid}"),
+            enters: 10,
+            elapsed_ns: elapsed,
+            useful_per_rank: useful,
+            mpi_per_rank: mpi,
+        }
+    }
+
+    fn children(edges: &[(u32, &[u32])]) -> crate::epoch::CallChildren {
+        std::sync::Arc::new(
+            edges
+                .iter()
+                .map(|&(p, kids)| (id(p).raw(), kids.iter().map(|&k| id(k).raw()).collect()))
+                .collect(),
+        )
     }
 
     fn ctx_sets(
@@ -317,6 +498,104 @@ mod tests {
         let action = p.decide(&ctx, &v);
         assert_eq!(action.drop.len(), 1);
         assert_eq!(action.drop[0].0, id(1));
+    }
+
+    #[test]
+    fn imbalance_expansion_targets_children_of_skewed_regions_only() {
+        let (active, dropped, pinned) = ctx_sets(&[1, 2], &[]);
+        let ctx = PolicyCtx {
+            budget_pct: 5.0,
+            active: &active,
+            dropped: &dropped,
+            pinned: &pinned,
+        };
+        let mut v = view(0, vec![]);
+        // f1 is badly imbalanced, f2 is perfectly balanced.
+        v.talp = vec![
+            region(1, vec![10, 100], vec![0, 0]),
+            region(2, vec![100, 100], vec![0, 0]),
+        ];
+        v.children = children(&[(1, &[10, 11]), (2, &[20])]);
+        let mut p = ImbalanceExpansion::default();
+        let action = p.decide(&ctx, &v);
+        let expanded: Vec<PackedId> = action.expand.iter().map(|&(i, _)| i).collect();
+        assert_eq!(expanded, vec![id(10), id(11)], "only f1's children");
+        assert!(action.drop.is_empty() && action.restore.is_empty());
+    }
+
+    #[test]
+    fn imbalance_expansion_skips_active_pinned_and_redropped() {
+        let (active, mut dropped, pinned) = ctx_sets(&[1, 10], &[11]);
+        dropped.insert(
+            id(12).raw(),
+            DropRecord {
+                epoch: 0,
+                times_dropped: 1,
+                policy: "budget",
+                name: "f12".into(),
+            },
+        );
+        let ctx = PolicyCtx {
+            budget_pct: 5.0,
+            active: &active,
+            dropped: &dropped,
+            pinned: &pinned,
+        };
+        let mut v = view(0, vec![]);
+        v.talp = vec![region(1, vec![10, 100], vec![0, 0])];
+        // 10 already active, 11 pinned, 12 budget-trimmed once, 13 fresh.
+        v.children = children(&[(1, &[10, 11, 12, 13])]);
+        let mut p = ImbalanceExpansion::default();
+        let action = p.decide(&ctx, &v);
+        let expanded: Vec<PackedId> = action.expand.iter().map(|&(i, _)| i).collect();
+        assert_eq!(expanded, vec![id(13)]);
+    }
+
+    #[test]
+    fn comm_focus_expands_below_communication_heavy_regions() {
+        let (active, dropped, pinned) = ctx_sets(&[1, 2], &[]);
+        let ctx = PolicyCtx {
+            budget_pct: 5.0,
+            active: &active,
+            dropped: &dropped,
+            pinned: &pinned,
+        };
+        let mut v = view(0, vec![]);
+        // f1: half its busy time is MPI; f2: pure compute.
+        v.talp = vec![
+            region(1, vec![100, 100], vec![100, 100]),
+            region(2, vec![100, 100], vec![0, 0]),
+        ];
+        v.children = children(&[(1, &[10]), (2, &[20])]);
+        let mut p = CommRegionFocus::default();
+        let action = p.decide(&ctx, &v);
+        let expanded: Vec<PackedId> = action.expand.iter().map(|&(i, _)| i).collect();
+        assert_eq!(expanded, vec![id(10)], "only the comm-heavy region");
+    }
+
+    #[test]
+    fn expansion_respects_per_epoch_cap_worst_regions_first() {
+        let (active, dropped, pinned) = ctx_sets(&[1, 2], &[]);
+        let ctx = PolicyCtx {
+            budget_pct: 5.0,
+            active: &active,
+            dropped: &dropped,
+            pinned: &pinned,
+        };
+        let mut v = view(0, vec![]);
+        // f2 is worse-balanced than f1 → its children come first.
+        v.talp = vec![
+            region(1, vec![40, 100], vec![0, 0]),
+            region(2, vec![10, 100], vec![0, 0]),
+        ];
+        v.children = children(&[(1, &[10, 11]), (2, &[20, 21])]);
+        let mut p = ImbalanceExpansion {
+            max_per_epoch: 3,
+            ..Default::default()
+        };
+        let action = p.decide(&ctx, &v);
+        let expanded: Vec<PackedId> = action.expand.iter().map(|&(i, _)| i).collect();
+        assert_eq!(expanded, vec![id(20), id(21), id(10)]);
     }
 
     #[test]

@@ -1,8 +1,12 @@
 //! Criterion bench: in-flight adaptation primitives — batch `repatch`
-//! throughput (the epoch-boundary hot path) and the controller's
-//! per-epoch decision cost at scale.
+//! throughput (the epoch-boundary hot path), the controller's per-epoch
+//! decision cost at scale, and the TALP expansion stack's decision cost
+//! over a wide imbalanced region set.
 
-use capi_adapt::{AdaptConfig, AdaptController, EpochView, FuncSample};
+use capi_adapt::{
+    AdaptConfig, AdaptController, CallChildren, EpochView, ExpansionOptions, FuncSample,
+    RegionSample,
+};
 use capi_objmodel::Process;
 use capi_xray::{instrument_object, PackedId, PassOptions, PatchDelta, TrampolineSet, XRayRuntime};
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -82,6 +86,66 @@ fn bench_adaptation(c: &mut Criterion) {
                     inst_ns,
                     events: samples.len() as u64 * 2,
                     samples: samples.clone(),
+                    talp: Vec::new(),
+                    children: CallChildren::default(),
+                };
+                controller.on_epoch(&view).len()
+            })
+        });
+    }
+
+    // Expansion-stack decision over 1,024 regions (half imbalanced),
+    // each with 8 uninstrumented children — the TALP-driven growth path.
+    {
+        let regions: Vec<RegionSample> = (0..1_024u32)
+            .map(|i| RegionSample {
+                id: PackedId::pack(0, i).unwrap(),
+                name: format!("r{i}"),
+                enters: 16,
+                elapsed_ns: 1_000_000,
+                // Even regions skewed (LB 0.55), odd balanced.
+                useful_per_rank: if i.is_multiple_of(2) {
+                    vec![100_000, 1_000_000]
+                } else {
+                    vec![900_000, 1_000_000]
+                },
+                mpi_per_rank: vec![10_000, 10_000],
+            })
+            .collect();
+        let children: CallChildren = std::sync::Arc::new(
+            (0..1_024u32)
+                .map(|i| {
+                    let kids = (0..8u32)
+                        .map(|k| PackedId::pack(0, 2_000 + i * 8 + k).unwrap().raw())
+                        .collect();
+                    (PackedId::pack(0, i).unwrap().raw(), kids)
+                })
+                .collect(),
+        );
+        let actives: Vec<(PackedId, String)> =
+            regions.iter().map(|r| (r.id, r.name.clone())).collect();
+        group.bench_function("expansion-decision-1024-regions", |b| {
+            b.iter(|| {
+                let mut controller = AdaptController::with_expansion(
+                    AdaptConfig {
+                        budget_pct: 50.0,
+                        ..Default::default()
+                    },
+                    ExpansionOptions {
+                        max_per_epoch: 64,
+                        ..Default::default()
+                    },
+                );
+                controller.begin(actives.iter().cloned());
+                let view = EpochView {
+                    epoch: 0,
+                    epoch_ns: 10_000_000,
+                    busy_ns: 20_000_000,
+                    inst_ns: 100_000,
+                    events: 4_096,
+                    samples: Vec::new(),
+                    talp: regions.clone(),
+                    children: children.clone(),
                 };
                 controller.on_epoch(&view).len()
             })

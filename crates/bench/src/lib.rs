@@ -92,6 +92,29 @@ pub fn budget_pct_from_env() -> f64 {
     parse_positive_f64(std::env::var("CAPI_BUDGET_PCT").ok(), 5.0)
 }
 
+/// Load-balance expansion threshold, from `CAPI_LB_THRESHOLD`
+/// (default 0.75): the imbalance-expansion policy grows instrumentation
+/// below regions whose per-epoch load balance falls under this.
+///
+/// Unparseable, zero, negative or non-finite values fall back to the
+/// default; a zero threshold would disable expansion entirely while
+/// *looking* enabled.
+pub fn lb_threshold_from_env() -> f64 {
+    parse_positive_f64(std::env::var("CAPI_LB_THRESHOLD").ok(), 0.75)
+}
+
+/// Communication-fraction expansion threshold, from
+/// `CAPI_COMM_THRESHOLD` (default 0.4): the comm-focus policy grows
+/// instrumentation below regions whose MPI share of busy time reaches
+/// this.
+///
+/// Unparseable, zero, negative or non-finite values fall back to the
+/// default; a zero threshold would expand below *every* region that
+/// touches MPI at all.
+pub fn comm_threshold_from_env() -> f64 {
+    parse_positive_f64(std::env::var("CAPI_COMM_THRESHOLD").ok(), 0.4)
+}
+
 /// Events per rank for the dispatch throughput sweep, from
 /// `CAPI_DISPATCH_EVENTS` (default 200,000).
 ///

@@ -16,7 +16,8 @@
 //!             └────────────── Adjust ◀───────────────────┘
 //! ```
 //!
-//! * [`select`] — run a CaPI spec (`capi-spec`) against a MetaCG graph,
+//! * [`mod@select`] — run a CaPI spec (`capi-spec`) against a MetaCG
+//!   graph,
 //!   with wall-clock timing (Table I's first column);
 //! * [`inlining`] — the §V-E inlining compensation: selected functions
 //!   whose symbols vanished from the binary are replaced by their first
@@ -40,6 +41,7 @@ pub mod instrument;
 pub mod select;
 pub mod workflow;
 
+pub use capi_adapt::ExpansionOptions;
 pub use capi_spec::eval::{coarse, statement_aggregation};
 pub use ic::InstrumentationConfig;
 pub use inlining::{compensate_inlining, CompensationReport};

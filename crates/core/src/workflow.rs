@@ -12,7 +12,7 @@ use crate::ic::InstrumentationConfig;
 use crate::inlining::{compensate_inlining, CompensationReport};
 use crate::instrument::dynamic_session;
 use crate::select::{select, SelectionOutcome};
-use capi_adapt::{AdaptConfig, AdaptController};
+use capi_adapt::{AdaptConfig, AdaptController, ExpansionOptions};
 use capi_appmodel::SourceProgram;
 use capi_dyncapi::{AdaptiveRun, DynCapiError, SessionRun, ToolChoice};
 use capi_metacg::{whole_program_callgraph, CallGraph};
@@ -53,6 +53,13 @@ pub struct InFlightOptions {
     pub budget_pct: f64,
     /// Seed for the controller's re-inclusion probing.
     pub seed: u64,
+    /// TALP-driven expansion: when set, the controller also *grows*
+    /// instrumentation below regions whose load balance falls under
+    /// `lb_threshold` or whose communication fraction reaches
+    /// `comm_threshold` — capped by the unused overhead budget, so
+    /// trimming and growth reach a deterministic fixed point. `None`
+    /// runs the trim-only stack.
+    pub expansion: Option<ExpansionOptions>,
 }
 
 impl Default for InFlightOptions {
@@ -61,6 +68,7 @@ impl Default for InFlightOptions {
             epochs: 8,
             budget_pct: 5.0,
             seed: 0x5EED,
+            expansion: None,
         }
     }
 }
@@ -203,9 +211,11 @@ impl Workflow {
 
     /// Instrument + Measure + Adjust in **one** run: the session starts
     /// from `ic`, and an epoch-based controller refines the active set
-    /// live — dropping over-budget functions, probing dropped ones —
-    /// with zero restarts and zero rebuilds. Identical seeds and budgets
-    /// produce byte-identical adaptation logs.
+    /// live — dropping over-budget functions, probing dropped ones, and
+    /// (with [`InFlightOptions::expansion`] set) growing instrumentation
+    /// below load-imbalanced or communication-heavy regions — with zero
+    /// restarts and zero rebuilds. Identical seeds and budgets produce
+    /// byte-identical adaptation logs.
     pub fn measure_in_flight(
         &self,
         ic: &InstrumentationConfig,
@@ -214,10 +224,15 @@ impl Workflow {
         opts: InFlightOptions,
     ) -> Result<InFlightOutcome, WorkflowError> {
         let mut session = dynamic_session(&self.binary, ic, tool, ranks)?;
-        let mut controller = AdaptController::new(AdaptConfig {
+        let cfg = AdaptConfig {
             budget_pct: opts.budget_pct,
             seed: opts.seed,
-        });
+            ..Default::default()
+        };
+        let mut controller = match opts.expansion {
+            Some(exp) => AdaptController::with_expansion(cfg, exp),
+            None => AdaptController::new(cfg),
+        };
         let adaptive = session
             .run_adaptive(&mut controller, opts.epochs)
             .map_err(WorkflowError::DynCapi)?;
@@ -334,6 +349,7 @@ mod tests {
             epochs: 4,
             budget_pct: 4.0,
             seed: 11,
+            ..Default::default()
         };
         let a = wf
             .measure_in_flight(&ic, ToolChoice::None, 2, opts)
@@ -348,6 +364,78 @@ mod tests {
         assert!(a.final_ic.len() <= ic.len());
         let last = a.adaptive.records.last().unwrap();
         assert!(last.overhead_pct <= opts.budget_pct);
+    }
+
+    #[test]
+    fn in_flight_expansion_mode_is_deterministic_and_grows() {
+        let mut b = ProgramBuilder::new("skewapp");
+        b.unit("m.cc", LinkTarget::Executable);
+        b.function("main")
+            .main()
+            .statements(60)
+            .instructions(300)
+            .calls("MPI_Init", 1)
+            .calls("phase", 8)
+            .calls("MPI_Finalize", 1)
+            .finish();
+        b.function("phase")
+            .statements(50)
+            .instructions(400)
+            .cost(500)
+            .calls("skew_kernel", 30)
+            .calls("MPI_Allreduce", 1)
+            .finish();
+        b.function("skew_kernel")
+            .statements(90)
+            .instructions(800)
+            .cost(3_000)
+            .imbalance(150)
+            .loop_depth(2)
+            .finish();
+        b.function("MPI_Init")
+            .statements(1)
+            .instructions(8)
+            .cost(0)
+            .mpi(MpiCall::Init)
+            .finish();
+        b.function("MPI_Allreduce")
+            .statements(1)
+            .instructions(8)
+            .cost(0)
+            .mpi(MpiCall::Allreduce { bytes: 16 })
+            .finish();
+        b.function("MPI_Finalize")
+            .statements(1)
+            .instructions(8)
+            .cost(0)
+            .mpi(MpiCall::Finalize)
+            .finish();
+        let wf = Workflow::analyze(b.build().unwrap(), CompileOptions::o2()).unwrap();
+        // Initial IC: the phase only — the kernel below it is excluded.
+        let ic = InstrumentationConfig::from_names(["phase"]);
+        let opts = InFlightOptions {
+            epochs: 4,
+            budget_pct: 40.0,
+            seed: 21,
+            expansion: Some(ExpansionOptions::default()),
+        };
+        let a = wf
+            .measure_in_flight(&ic, ToolChoice::None, 2, opts)
+            .unwrap();
+        let b = wf
+            .measure_in_flight(&ic, ToolChoice::None, 2, opts)
+            .unwrap();
+        assert_eq!(a.log, b.log, "byte-identical logs with expansion");
+        assert_eq!(a.adaptive.per_rank_ns, b.adaptive.per_rank_ns);
+        // The skewed kernel was grown into the final IC.
+        assert!(
+            a.final_ic.contains("skew_kernel"),
+            "expansion grew the IC: log =\n{}",
+            a.log
+        );
+        assert!(a.log.contains("expand skew_kernel"));
+        // The efficiency trajectory was aggregated.
+        assert!(a.adaptive.efficiency.regions() >= 1);
     }
 
     #[test]

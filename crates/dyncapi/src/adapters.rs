@@ -15,7 +15,7 @@ use std::sync::Arc;
 /// Score-P adapter: forwards events through the *generic* (address
 /// based) `__cyg_profile_func_*` interface, exactly like DynCaPI does
 /// for Clang builds (§V-C1). Address resolution succeeds for DSO
-/// functions only because [`crate::startup`] performed symbol injection
+/// functions only because [`crate::startup()`] performed symbol injection
 /// beforehand.
 pub struct ScorepAdapter {
     scorep: Arc<ScorepRuntime>,

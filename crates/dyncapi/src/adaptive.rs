@@ -15,9 +15,11 @@
 //! receiving events across IC reloads.
 
 use crate::startup::{DynCapiError, Session};
-use capi_adapt::{AdaptController, EpochView, FuncSample};
+use capi_adapt::{AdaptController, CallChildren, EpochView, FuncSample, RegionSample};
 use capi_exec::{Engine, EpochSpec};
 use capi_mpisim::World;
+use capi_talp::EfficiencyReport;
+use std::sync::Arc;
 
 /// Per-epoch record of the adaptation trajectory.
 #[derive(Clone, Debug)]
@@ -65,6 +67,10 @@ pub struct AdaptiveRun {
     pub total_ns: u64,
     /// Session restarts needed — always 0, that is the point.
     pub restarts: u32,
+    /// Per-epoch, per-region efficiency trajectory (POP metrics +
+    /// communication fraction) — the TALP signal the expansion policies
+    /// consumed, aggregated for reporting.
+    pub efficiency: EfficiencyReport,
 }
 
 impl Session {
@@ -86,6 +92,8 @@ impl Session {
         }
         let mut clocks = vec![0u64; self.config.ranks as usize];
         let mut records = Vec::with_capacity(epochs);
+        let mut efficiency = EfficiencyReport::new();
+        let mut children: CallChildren = CallChildren::default();
         let (mut events, mut nops, mut cutoffs, mut adapt_ns) = (0u64, 0u64, 0u64, 0u64);
         for epoch in 0..epochs {
             // Re-prepare against the current patch state: the snapshot
@@ -101,6 +109,22 @@ impl Session {
                     .collect();
                 controller.begin(names);
                 controller.pin(engine.spine_sled_ids());
+                // The instrumentable call tree is a property of the
+                // loaded objects, not of the patch state: build it once
+                // and share it across epochs. Hint every sled-bearing
+                // function's name so expansion decisions log readably.
+                let tree = engine.call_children();
+                controller.hint_names(
+                    tree.iter()
+                        .map(|&(parent, _)| (parent, self.display_name(parent))),
+                );
+                children = Arc::new(
+                    tree.into_iter()
+                        .map(|(parent, kids)| {
+                            (parent.raw(), kids.into_iter().map(|k| k.raw()).collect())
+                        })
+                        .collect(),
+                );
             }
             let out = engine
                 .run_epoch(
@@ -116,6 +140,25 @@ impl Session {
             events += out.events;
             nops += out.nop_sleds;
             cutoffs += out.depth_cutoffs;
+            // Build the region samples once (one name resolution per
+            // region), then derive the efficiency record from the same
+            // sample — the report and the policies see identical data
+            // by construction.
+            let talp: Vec<RegionSample> = out
+                .talp_samples
+                .iter()
+                .map(|r| RegionSample {
+                    id: r.id,
+                    name: self.display_name(r.id),
+                    enters: r.enters,
+                    elapsed_ns: r.elapsed_ns,
+                    useful_per_rank: r.useful_per_rank.clone(),
+                    mpi_per_rank: r.mpi_per_rank.clone(),
+                })
+                .collect();
+            for r in &talp {
+                efficiency.record(epoch, r.id.raw(), &r.name, r.efficiency());
+            }
             let view = EpochView {
                 epoch,
                 epoch_ns: out.epoch_ns,
@@ -133,6 +176,8 @@ impl Session {
                         body_cost_ns: s.body_cost_ns,
                     })
                     .collect(),
+                talp,
+                children: children.clone(),
             };
             let overhead_pct = view.overhead_pct();
             let delta = controller.on_epoch(&view);
@@ -165,6 +210,7 @@ impl Session {
             adapt_ns,
             total_ns: self.report.init_ns + adapt_ns + run_ns,
             restarts: 0,
+            efficiency,
         })
     }
 
@@ -257,6 +303,7 @@ mod tests {
         let mut c = AdaptController::new(AdaptConfig {
             budget_pct: 5.0,
             seed: 1,
+            ..Default::default()
         });
         let run = s.run_adaptive(&mut c, 6).unwrap();
         assert_eq!(run.restarts, 0);
@@ -281,6 +328,7 @@ mod tests {
             let mut c = AdaptController::new(AdaptConfig {
                 budget_pct: 5.0,
                 seed,
+                ..Default::default()
             });
             let run = s.run_adaptive(&mut c, 5).unwrap();
             (run.per_rank_ns.clone(), run.events, c.render_log())
@@ -290,6 +338,136 @@ mod tests {
         assert_eq!(clocks_a, clocks_b, "virtual clocks identical");
         assert_eq!(events_a, events_b);
         assert_eq!(log_a, log_b, "adaptation logs byte-identical");
+    }
+
+    /// A program with one balanced and one rank-skewed phase; the
+    /// kernels below the phases are *not* in the initial IC.
+    fn imbalanced_binary() -> capi_objmodel::Binary {
+        let mut b = ProgramBuilder::new("imbapp");
+        b.unit("m.cc", LinkTarget::Executable);
+        b.function("main")
+            .main()
+            .statements(50)
+            .instructions(400)
+            .cost(1_000)
+            .calls("MPI_Init", 1)
+            .calls("step", 12)
+            .calls("MPI_Finalize", 1)
+            .finish();
+        b.function("step")
+            .statements(40)
+            .instructions(300)
+            .cost(500)
+            .calls("balanced_phase", 1)
+            .calls("skewed_phase", 1)
+            .calls("MPI_Allreduce", 1)
+            .finish();
+        b.function("balanced_phase")
+            .statements(30)
+            .instructions(300)
+            .cost(200)
+            .calls("bal_kernel", 40)
+            .finish();
+        b.function("skewed_phase")
+            .statements(30)
+            .instructions(300)
+            .cost(200)
+            .calls("skew_kernel", 40)
+            .finish();
+        b.function("bal_kernel")
+            .statements(60)
+            .instructions(600)
+            .cost(2_000)
+            .loop_depth(2)
+            .finish();
+        b.function("skew_kernel")
+            .statements(60)
+            .instructions(600)
+            .cost(2_000)
+            .imbalance(150)
+            .loop_depth(2)
+            .finish();
+        b.function("MPI_Init")
+            .statements(1)
+            .instructions(8)
+            .cost(0)
+            .mpi(MpiCall::Init)
+            .finish();
+        b.function("MPI_Allreduce")
+            .statements(1)
+            .instructions(8)
+            .cost(0)
+            .mpi(MpiCall::Allreduce { bytes: 16 })
+            .finish();
+        b.function("MPI_Finalize")
+            .statements(1)
+            .instructions(8)
+            .cost(0)
+            .mpi(MpiCall::Finalize)
+            .finish();
+        let p = b.build().unwrap();
+        compile(&p, &CompileOptions::o2()).unwrap()
+    }
+
+    fn imbalanced_session() -> crate::Session {
+        let cfg = DynCapiConfig {
+            tool: ToolChoice::None,
+            ic: Some(FilterFile::include_only([
+                "step",
+                "balanced_phase",
+                "skewed_phase",
+            ])),
+            ranks: 2,
+            ..Default::default()
+        };
+        startup(&imbalanced_binary(), cfg).unwrap()
+    }
+
+    #[test]
+    fn expansion_includes_the_skewed_subtree_only() {
+        use capi_adapt::ExpansionOptions;
+        let once = || {
+            let mut s = imbalanced_session();
+            let mut c = AdaptController::with_expansion(
+                AdaptConfig {
+                    budget_pct: 40.0,
+                    seed: 3,
+                    ..Default::default()
+                },
+                ExpansionOptions::default(),
+            );
+            let run = s.run_adaptive(&mut c, 6).unwrap();
+            let active: Vec<String> = c
+                .active_ids()
+                .iter()
+                .filter_map(|&id| c.name_of(id).map(str::to_string))
+                .collect();
+            (run, c.render_log(), c.stats(), active)
+        };
+        let (run, log, stats, active) = once();
+        // The skewed phase's child was grown into the IC; the balanced
+        // phase's child was not.
+        assert!(stats.expansions >= 1, "expansion fired: {log}");
+        assert!(
+            active.iter().any(|n| n == "skew_kernel"),
+            "skew_kernel included, active = {active:?}"
+        );
+        assert!(
+            !active.iter().any(|n| n == "bal_kernel"),
+            "bal_kernel stays out, active = {active:?}"
+        );
+        assert!(log.contains("expand skew_kernel [imbalance"));
+        // The efficiency trajectory recorded the skewed region.
+        assert!(run.efficiency.epochs() >= 1);
+        let rendered = run.efficiency.render();
+        assert!(rendered.contains("skewed_phase"));
+        // Determinism: identical seeds → byte-identical logs and
+        // trajectories.
+        let (run2, log2, _, active2) = once();
+        assert_eq!(log, log2);
+        assert_eq!(active, active2);
+        assert_eq!(run.per_rank_ns, run2.per_rank_ns);
+        assert_eq!(rendered, run2.efficiency.render());
     }
 
     #[test]
@@ -302,6 +480,7 @@ mod tests {
             AdaptConfig {
                 budget_pct: 1e9,
                 seed: 0,
+                ..Default::default()
             },
             Vec::new(),
         );

@@ -16,7 +16,7 @@
 //!   (including the symbol-injection step that fixes DSO resolution),
 //!   and the TALP bridge that lazily registers regions on first entry —
 //!   failing for regions entered before `MPI_Init`, as §VI-B(b) reports.
-//! * [`startup`] — the startup sequence: run the XRay pass over every
+//! * [`mod@startup`] — the startup sequence: run the XRay pass over every
 //!   object, register them (PIC trampolines for DSOs), resolve IDs,
 //!   patch exactly the IC's functions, install the tool handler, and
 //!   account every step's virtual cost into `T_init` (Table II).

@@ -92,7 +92,7 @@ pub struct RunReport {
     pub events: u64,
     /// Dormant sleds executed (NOP cost only).
     pub nop_sleds: u64,
-    /// Calls cut off by the [`MAX_DEPTH`] recursion guard. Nonzero means
+    /// Calls cut off by the engine's recursion guard (depth 256). Nonzero means
     /// call trees were truncated — adaptation policies must not mistake
     /// the missing subtrees for cheap functions.
     pub depth_cutoffs: u64,
@@ -105,7 +105,6 @@ pub struct RunReport {
 type Fi = u32;
 
 struct RFunc {
-    #[allow(dead_code)] // kept for debugging/diagnostics
     name: String,
     body_cost: u64,
     imbalance_pct: u32,
@@ -251,6 +250,7 @@ impl<'p> Engine<'p> {
                 nops: 0,
                 depth_cutoffs: 0,
                 costs: None,
+                regions: None,
             };
             let r = rank_state.exec(self.main, 0, 0);
             events.fetch_add(rank_state.events, Ordering::Relaxed);
@@ -320,7 +320,14 @@ impl<'p> Engine<'p> {
         };
         let first = spec.index == 0;
         let last = spec.index == spec.total - 1;
-        type RankResult = (Result<u64, ExecError>, u64, u64, u64, Vec<(u64, u64)>);
+        type RankResult = (
+            Result<u64, ExecError>,
+            u64,
+            u64,
+            u64,
+            Vec<(u64, u64)>,
+            Vec<RegionCell>,
+        );
         let results: Vec<RankResult> = world.run(|ctx| {
             let mut rr = RankRun {
                 engine: self,
@@ -332,6 +339,7 @@ impl<'p> Engine<'p> {
                 nops: 0,
                 depth_cutoffs: 0,
                 costs: Some(vec![(0, 0); self.funcs.len()]),
+                regions: Some(RegionTrack::new(self.funcs.len())),
             };
             let mut clock = start_clocks[ctx.rank as usize];
             let mut res: Result<(), ExecError> = Ok(());
@@ -358,9 +366,7 @@ impl<'p> Engine<'p> {
                         let op = self.funcs[key as usize]
                             .mpi
                             .expect("Mpi step only for MPI functions");
-                        rr.world
-                            .perform(rr.rank, clock, op)
-                            .map_err(ExecError::from)
+                        rr.mpi_op(op, clock)
                     }
                     Step::Exit(key) => rr.exit_function(key, clock),
                 };
@@ -378,12 +384,15 @@ impl<'p> Engine<'p> {
                 rr.nops,
                 rr.depth_cutoffs,
                 rr.costs.take().unwrap_or_default(),
+                rr.regions.take().map(|t| t.cells).unwrap_or_default(),
             )
         });
-        let mut per_rank = Vec::with_capacity(results.len());
+        let ranks = results.len();
+        let mut per_rank = Vec::with_capacity(ranks);
         let (mut events, mut nops, mut cutoffs, mut busy) = (0u64, 0u64, 0u64, 0u64);
         let mut merged: Vec<(u64, u64)> = vec![(0, 0); self.funcs.len()];
-        for (rank, (res, ev, np, dc, costs)) in results.into_iter().enumerate() {
+        let mut region_cells: Vec<Vec<RegionCell>> = Vec::with_capacity(ranks);
+        for (rank, (res, ev, np, dc, costs, cells)) in results.into_iter().enumerate() {
             let end = res?;
             busy += end - start_clocks[rank];
             per_rank.push(end);
@@ -394,6 +403,7 @@ impl<'p> Engine<'p> {
                 merged[f].0 += vis;
                 merged[f].1 += ins;
             }
+            region_cells.push(cells);
         }
         let epoch_ns = per_rank
             .iter()
@@ -418,6 +428,36 @@ impl<'p> Engine<'p> {
                 body_cost_ns: self.funcs[f].body_cost,
             });
         }
+        let mut talp_samples = Vec::new();
+        for f in 0..self.funcs.len() {
+            let Some((id, _)) = self.funcs[f].sled else {
+                continue;
+            };
+            let enters: u64 = region_cells.iter().map(|c| c[f].enters).sum();
+            if enters == 0 {
+                continue;
+            }
+            let mut useful = Vec::with_capacity(ranks);
+            let mut mpi = Vec::with_capacity(ranks);
+            let mut elapsed = 0u64;
+            for cells in &region_cells {
+                let cell = &cells[f];
+                useful.push(cell.span.saturating_sub(cell.mpi));
+                mpi.push(cell.mpi);
+                if cell.first_start != u64::MAX {
+                    elapsed = elapsed.max(cell.last_stop.saturating_sub(cell.first_start));
+                }
+            }
+            talp_samples.push(RegionCostSample {
+                id,
+                name: self.funcs[f].name.clone(),
+                enters,
+                elapsed_ns: elapsed,
+                useful_per_rank: useful,
+                mpi_per_rank: mpi,
+            });
+        }
+        talp_samples.sort_by_key(|s| s.id.raw());
         Ok(EpochOutcome {
             per_rank_ns: per_rank,
             epoch_ns,
@@ -427,7 +467,33 @@ impl<'p> Engine<'p> {
             depth_cutoffs: cutoffs,
             inst_ns,
             samples,
+            talp_samples,
         })
+    }
+
+    /// The instrumentable call tree: for every sled-bearing function,
+    /// the sled-bearing functions its call sites target (deduplicated,
+    /// ordered by packed ID). This is the structure the imbalance-
+    /// expansion policy descends: when a region's load balance drops
+    /// below threshold, its children here are the re-inclusion
+    /// candidates — one level per epoch, so a persistent imbalance walks
+    /// down to the hot subtree by iterative deepening.
+    pub fn call_children(&self) -> Vec<(PackedId, Vec<PackedId>)> {
+        let mut out: Vec<(PackedId, Vec<PackedId>)> = Vec::new();
+        for rf in &self.funcs {
+            let Some((id, _)) = rf.sled else { continue };
+            let mut children: Vec<PackedId> = rf
+                .sites
+                .iter()
+                .flat_map(|s| s.targets.iter())
+                .filter_map(|&t| self.funcs[t as usize].sled.map(|(cid, _)| cid))
+                .collect();
+            children.sort_by_key(|c| c.raw());
+            children.dedup();
+            out.push((id, children));
+        }
+        out.sort_by_key(|(id, _)| id.raw());
+        out
     }
 }
 
@@ -455,6 +521,32 @@ pub struct FuncCostSample {
     pub body_cost_ns: u64,
 }
 
+/// Per-epoch TALP-style measurement of one *patched* function, treated
+/// as a monitoring region: every invocation opens the region on the
+/// executing rank, MPI time spent while it is open is attributed to it
+/// (once per region, TALP semantics), and the rest of the span counts
+/// as useful computation. Regions still open at the epoch boundary are
+/// excluded, exactly like TALP's mid-run query excludes open intervals
+/// — in practice this only affects the pinned spine, whose entry and
+/// exit live in the first and last epoch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegionCostSample {
+    /// The function's packed XRay ID.
+    pub id: PackedId,
+    /// Function name as compiled into the image.
+    pub name: String,
+    /// Region entries this epoch, summed over ranks.
+    pub enters: u64,
+    /// Elapsed (wall) span: max over ranks of last-stop minus
+    /// first-start.
+    pub elapsed_ns: u64,
+    /// Per-rank useful computation time inside the region (span minus
+    /// attributed MPI).
+    pub useful_per_rank: Vec<u64>,
+    /// Per-rank MPI time attributed while the region was open.
+    pub mpi_per_rank: Vec<u64>,
+}
+
 /// What one epoch run produced.
 #[derive(Clone, Debug)]
 pub struct EpochOutcome {
@@ -474,6 +566,10 @@ pub struct EpochOutcome {
     pub inst_ns: u64,
     /// Per-function costs, ordered by packed ID.
     pub samples: Vec<FuncCostSample>,
+    /// Per-region TALP samples (useful vs. MPI time, per rank), ordered
+    /// by packed ID — the efficiency signal the expansion policies
+    /// consume.
+    pub talp_samples: Vec<RegionCostSample>,
 }
 
 /// Computes which functions head quiet subtrees (no MPI, no patched sled
@@ -717,6 +813,102 @@ fn build_schedule(funcs: &[RFunc], main: Fi) -> EpochSchedule {
     }
 }
 
+/// TALP-style per-region bookkeeping for one patched function on one
+/// rank (mirrors `capi-talp`'s `RankRegion`).
+#[derive(Clone, Copy)]
+struct RegionCell {
+    /// Nesting depth (recursion re-enters count once for time).
+    depth: u32,
+    /// Clock at the outermost open.
+    started_at: u64,
+    /// MPI time attributed while the current interval is open.
+    mpi_open: u64,
+    /// Closed-interval span total.
+    span: u64,
+    /// Closed-interval attributed MPI total.
+    mpi: u64,
+    /// Region entries (every invocation, nested or not).
+    enters: u64,
+    /// Clock of the first open (`u64::MAX` = never opened).
+    first_start: u64,
+    /// Clock of the last close.
+    last_stop: u64,
+}
+
+impl RegionCell {
+    fn new() -> Self {
+        Self {
+            depth: 0,
+            started_at: 0,
+            mpi_open: 0,
+            span: 0,
+            mpi: 0,
+            enters: 0,
+            first_start: u64::MAX,
+            last_stop: 0,
+        }
+    }
+}
+
+/// Region tracking state for one rank during an epoch run.
+struct RegionTrack {
+    /// Flat-indexed cells, one per function.
+    cells: Vec<RegionCell>,
+    /// Currently open regions (one entry per region: pushed on the
+    /// outermost open only), for MPI attribution.
+    open: Vec<Fi>,
+}
+
+impl RegionTrack {
+    fn new(funcs: usize) -> Self {
+        Self {
+            cells: vec![RegionCell::new(); funcs],
+            open: Vec::new(),
+        }
+    }
+
+    fn start(&mut self, key: Fi, clock: u64) {
+        let cell = &mut self.cells[key as usize];
+        cell.enters += 1;
+        cell.depth += 1;
+        if cell.depth == 1 {
+            cell.started_at = clock;
+            cell.mpi_open = 0;
+            cell.first_start = cell.first_start.min(clock);
+            self.open.push(key);
+        }
+    }
+
+    fn stop(&mut self, key: Fi, clock: u64) {
+        let cell = &mut self.cells[key as usize];
+        if cell.depth == 0 {
+            // Exit without a matching entry this epoch (the spine's last
+            // epoch): no interval to record.
+            return;
+        }
+        cell.depth -= 1;
+        if cell.depth == 0 {
+            let span = clock.saturating_sub(cell.started_at);
+            cell.span += span;
+            cell.mpi += cell.mpi_open.min(span);
+            cell.last_stop = cell.last_stop.max(clock);
+            if let Some(pos) = self.open.iter().rposition(|&f| f == key) {
+                self.open.remove(pos);
+            }
+        }
+    }
+
+    /// Charges one completed MPI interval to every open region.
+    fn charge_mpi(&mut self, spent: u64) {
+        if spent == 0 {
+            return;
+        }
+        for &f in &self.open {
+            self.cells[f as usize].mpi_open += spent;
+        }
+    }
+}
+
 /// Per-rank execution state.
 struct RankRun<'e, 'p> {
     engine: &'e Engine<'p>,
@@ -731,6 +923,8 @@ struct RankRun<'e, 'p> {
     /// Per-function (visits, instrumentation ns), flat-indexed, tracked
     /// for epoch runs.
     costs: Option<Vec<(u64, u64)>>,
+    /// TALP-style region tracking, enabled alongside `costs`.
+    regions: Option<RegionTrack>,
 }
 
 impl RankRun<'_, '_> {
@@ -812,6 +1006,9 @@ impl RankRun<'_, '_> {
         match rf.sled {
             Some((id, true)) => {
                 clock = self.sled_event(key, id, EventKind::Entry, clock)?;
+                if let Some(tr) = &mut self.regions {
+                    tr.start(key, clock);
+                }
             }
             Some((_, false)) => {
                 clock += self.engine.model.unpatched_sled_ns;
@@ -825,7 +1022,12 @@ impl RankRun<'_, '_> {
     /// Exit sled of one function invocation.
     fn exit_function(&mut self, key: Fi, clock: u64) -> Result<u64, ExecError> {
         match self.engine.funcs[key as usize].sled {
-            Some((id, true)) => self.sled_event(key, id, EventKind::Exit, clock),
+            Some((id, true)) => {
+                if let Some(tr) = &mut self.regions {
+                    tr.stop(key, clock);
+                }
+                self.sled_event(key, id, EventKind::Exit, clock)
+            }
             Some((_, false)) => {
                 self.nops += 1;
                 Ok(clock + self.engine.model.unpatched_sled_ns)
@@ -897,10 +1099,20 @@ impl RankRun<'_, '_> {
         }
 
         if let Some(op) = self.engine.funcs[f].mpi {
-            clock = self.world.perform(self.rank, clock, op)?;
+            clock = self.mpi_op(op, clock)?;
         }
 
         self.exit_function(key, clock)
+    }
+
+    /// Performs one MPI operation and attributes the time it took to
+    /// every open tracked region (TALP's PMPI interposition).
+    fn mpi_op(&mut self, op: MpiOp, clock: u64) -> Result<u64, ExecError> {
+        let after = self.world.perform(self.rank, clock, op)?;
+        if let Some(tr) = &mut self.regions {
+            tr.charge_mpi(after.saturating_sub(clock));
+        }
+        Ok(after)
     }
 }
 
@@ -1128,6 +1340,68 @@ mod tests {
         assert!(out.busy_ns >= out.epoch_ns);
         // Spine = main (kernel loop is inside `step`, reached via sites).
         assert!(!engine.spine_sled_ids().is_empty());
+    }
+
+    #[test]
+    fn epoch_talp_samples_capture_imbalance_and_mpi() {
+        let s = setup(true, &["step", "kernel"]);
+        s.runtime.set_handler(Arc::new(BasicLog::new()));
+        let engine = Engine::prepare(&s.process, &s.runtime, OverheadModel::default()).unwrap();
+        let world = World::new(4, CostModel::default());
+        let out = engine
+            .run_epoch(&world, EpochSpec { index: 0, total: 1 }, &[0; 4])
+            .unwrap();
+        // Two patched functions → two regions.
+        assert_eq!(out.talp_samples.len(), 2);
+        let kernel = out
+            .talp_samples
+            .iter()
+            .find(|r| r.name == "kernel")
+            .unwrap();
+        // imbalance(20): rank 3 computes 20% longer than rank 0, and no
+        // MPI runs while `kernel` is open.
+        assert!(kernel.useful_per_rank[3] > kernel.useful_per_rank[0]);
+        assert_eq!(kernel.mpi_per_rank.iter().sum::<u64>(), 0);
+        assert_eq!(kernel.enters, 4 * 10 * 100);
+        let step = out.talp_samples.iter().find(|r| r.name == "step").unwrap();
+        // The allreduce inside `step` is attributed to the open region.
+        assert!(step.mpi_per_rank.iter().sum::<u64>() > 0);
+        assert_eq!(step.enters, 4 * 10);
+        assert!(step.elapsed_ns > 0);
+        // Deterministic across identical runs.
+        let out2 = engine
+            .run_epoch(
+                &World::new(4, CostModel::default()),
+                EpochSpec { index: 0, total: 1 },
+                &[0; 4],
+            )
+            .unwrap();
+        assert_eq!(out.talp_samples, out2.talp_samples);
+    }
+
+    #[test]
+    fn call_children_exposes_the_instrumentable_tree() {
+        let s = setup(true, &[]);
+        let engine = Engine::prepare(&s.process, &s.runtime, OverheadModel::default()).unwrap();
+        let children = engine.call_children();
+        assert!(!children.is_empty());
+        let by_name = |name: &str| {
+            let fi = s
+                .process
+                .object(0)
+                .unwrap()
+                .image
+                .function_index(name)
+                .unwrap();
+            engine.snapshot.lookup(0, fi).unwrap().0
+        };
+        let step = by_name("step");
+        let kernel = by_name("kernel");
+        let step_children = &children.iter().find(|(id, _)| *id == step).unwrap().1;
+        assert!(step_children.contains(&kernel));
+        // kernel is a leaf.
+        let kernel_children = &children.iter().find(|(id, _)| *id == kernel).unwrap().1;
+        assert!(kernel_children.is_empty() || !kernel_children.contains(&step));
     }
 
     #[test]

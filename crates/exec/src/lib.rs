@@ -23,9 +23,32 @@
 //! collapses to microseconds of wall time while fully-instrumented runs
 //! still execute every event — the measurement, not the simulation, is
 //! the bottleneck, as it should be.
+//!
+//! **The epoch schedule** (in-flight adaptation's substrate): at
+//! `prepare` time the engine linearizes the program around its dominant
+//! *progress loop* — starting at `main` it repeatedly descends into the
+//! call site whose subtree carries the most statically estimated
+//! virtual time, as long as that site is a single-trip wrapper; the
+//! first dominant site with ≥ 2 trips becomes the loop whose trips are
+//! divided across epochs. Everything before the loop runs in epoch 0,
+//! everything after it in the last epoch, and the descended wrappers
+//! form the *spine*: functions logically entered across every epoch
+//! boundary, which adaptation must keep patched (their entry/exit
+//! events would otherwise unbalance). Running epochs `0..total` back to
+//! back over one `World` is bit-identical to a monolithic run — except
+//! the caller may repatch sleds and re-`prepare` at every boundary.
+//!
+//! **Per-epoch measurements**: epoch runs report per-function event
+//! costs ([`FuncCostSample`]) *and* TALP-style per-region efficiency
+//! samples ([`RegionCostSample`]): each patched function is treated as
+//! a monitoring region, MPI time is attributed to the regions open on
+//! the executing rank, and the per-rank useful/MPI split feeds the
+//! load-balance and communication-fraction signals that drive the
+//! `capi-adapt` expansion policies.
 
 pub mod engine;
 
 pub use engine::{
-    Engine, EpochOutcome, EpochSpec, ExecError, FuncCostSample, OverheadModel, RunReport,
+    Engine, EpochOutcome, EpochSpec, ExecError, FuncCostSample, OverheadModel, RegionCostSample,
+    RunReport,
 };

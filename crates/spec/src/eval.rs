@@ -350,7 +350,7 @@ pub fn coarse(g: &CallGraph, input: &NodeSet, critical: Option<&NodeSet>) -> Nod
     out
 }
 
-/// Statement-aggregation selection (paper §II-B, ref [16]): aggregate
+/// Statement-aggregation selection (paper §II-B, ref \[16\]): aggregate
 /// statement counts bottom-up over the call chain (SCCs collapsed) and
 /// select functions whose aggregate reaches the threshold.
 pub fn statement_aggregation(g: &CallGraph, input: &NodeSet, threshold: u64) -> NodeSet {

@@ -1,0 +1,227 @@
+//! Per-epoch efficiency aggregation for TALP-driven adaptation.
+//!
+//! TALP's finalize-time report ([`crate::report`]) summarizes a whole
+//! run; the adaptation loop needs the same POP metrics *per epoch and
+//! per region* so policies can react while the program is still
+//! running. [`EfficiencyReport`] is that aggregator: the measurement
+//! layer records one [`RegionEpoch`] per (epoch, region), and the
+//! report answers deterministic queries — load balance, communication
+//! fraction, the worst-balanced regions of an epoch — and renders a
+//! byte-stable text trajectory.
+//!
+//! Regions are keyed by an opaque `u32` (in practice the raw packed
+//! XRay ID) so this module stays independent of the instrumentation
+//! crates; names ride along for display only.
+
+use crate::metrics::PopMetrics;
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+/// One region's efficiency measurements over one epoch.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RegionEpoch {
+    /// POP efficiency triple for this epoch.
+    pub pop: PopMetrics,
+    /// Fraction of the region's busy time spent in MPI:
+    /// `Σ mpi / (Σ useful + Σ mpi)`, in `[0, 1]`.
+    pub comm_fraction: f64,
+    /// Region entries this epoch (all ranks).
+    pub enters: u64,
+    /// Elapsed (wall) span of the region this epoch.
+    pub elapsed_ns: u64,
+}
+
+impl RegionEpoch {
+    /// Computes the epoch record from per-rank useful/MPI times and the
+    /// elapsed span.
+    pub fn compute(
+        useful_per_rank: &[u64],
+        mpi_per_rank: &[u64],
+        elapsed_ns: u64,
+        enters: u64,
+    ) -> Self {
+        let useful: u128 = useful_per_rank.iter().map(|&u| u as u128).sum();
+        let mpi: u128 = mpi_per_rank.iter().map(|&m| m as u128).sum();
+        let busy = useful + mpi;
+        Self {
+            pop: PopMetrics::compute(useful_per_rank, elapsed_ns),
+            comm_fraction: if busy == 0 {
+                0.0
+            } else {
+                mpi as f64 / busy as f64
+            },
+            enters,
+            elapsed_ns,
+        }
+    }
+}
+
+/// Deterministic per-epoch, per-region efficiency aggregator.
+///
+/// All internal maps are `BTreeMap`s, so iteration order — and with it
+/// the rendered report — is byte-identical across runs given identical
+/// measurements.
+#[derive(Clone, Debug, Default)]
+pub struct EfficiencyReport {
+    /// epoch → region key → record.
+    epochs: BTreeMap<usize, BTreeMap<u32, RegionEpoch>>,
+    /// Region key → display name (first writer wins).
+    names: BTreeMap<u32, String>,
+}
+
+impl EfficiencyReport {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one region's epoch measurement (see
+    /// [`RegionEpoch::compute`] for building one from per-rank times).
+    pub fn record(&mut self, epoch: usize, key: u32, name: &str, rec: RegionEpoch) {
+        self.names.entry(key).or_insert_with(|| name.to_string());
+        self.epochs.entry(epoch).or_default().insert(key, rec);
+    }
+
+    /// Number of epochs with at least one record.
+    pub fn epochs(&self) -> usize {
+        self.epochs.len()
+    }
+
+    /// Number of distinct regions seen.
+    pub fn regions(&self) -> usize {
+        self.names.len()
+    }
+
+    /// The record for one (epoch, region), if present.
+    pub fn get(&self, epoch: usize, key: u32) -> Option<&RegionEpoch> {
+        self.epochs.get(&epoch)?.get(&key)
+    }
+
+    /// Display name of a region key.
+    pub fn name_of(&self, key: u32) -> Option<&str> {
+        self.names.get(&key).map(String::as_str)
+    }
+
+    /// Regions of an epoch ordered by ascending load balance (worst
+    /// first; ties broken by key), the order the imbalance-expansion
+    /// policy scans.
+    pub fn worst_balanced(&self, epoch: usize) -> Vec<(u32, &RegionEpoch)> {
+        let Some(regions) = self.epochs.get(&epoch) else {
+            return Vec::new();
+        };
+        let mut out: Vec<(u32, &RegionEpoch)> = regions.iter().map(|(&k, r)| (k, r)).collect();
+        out.sort_by(|a, b| {
+            a.1.pop
+                .load_balance
+                .total_cmp(&b.1.pop.load_balance)
+                .then(a.0.cmp(&b.0))
+        });
+        out
+    }
+
+    /// Renders the per-epoch trajectory — one block per epoch, one line
+    /// per region, byte-identical across runs with identical inputs.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("######## Per-Epoch Efficiency Trajectory ########\n");
+        for (&epoch, regions) in &self.epochs {
+            writeln!(out, "## epoch {epoch}").unwrap();
+            for (key, rec) in regions {
+                let name = self
+                    .names
+                    .get(key)
+                    .map(String::as_str)
+                    .unwrap_or("<unnamed>");
+                writeln!(
+                    out,
+                    "##   {name:<24} LB {:.3}  CE {:.3}  PE {:.3}  comm {:.3}  enters {}",
+                    rec.pop.load_balance,
+                    rec.pop.communication_efficiency,
+                    rec.pop.parallel_efficiency,
+                    rec.comm_fraction,
+                    rec.enters
+                )
+                .unwrap();
+            }
+        }
+        out.push_str("#################################################\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_computes_pop_and_comm_fraction() {
+        let mut r = EfficiencyReport::new();
+        r.record(
+            0,
+            7,
+            "solve",
+            RegionEpoch::compute(&[50, 100], &[50, 0], 100, 4),
+        );
+        let rec = r.get(0, 7).unwrap();
+        assert!((rec.pop.load_balance - 0.75).abs() < 1e-12);
+        // Σmpi 50 / (Σuseful 150 + Σmpi 50)
+        assert!((rec.comm_fraction - 0.25).abs() < 1e-12);
+        assert_eq!(rec.enters, 4);
+        assert_eq!(r.regions(), 1);
+        assert_eq!(r.epochs(), 1);
+        assert_eq!(r.name_of(7), Some("solve"));
+    }
+
+    #[test]
+    fn zero_busy_region_has_zero_comm_fraction() {
+        let rec = RegionEpoch::compute(&[0, 0], &[0, 0], 100, 1);
+        assert_eq!(rec.comm_fraction, 0.0);
+    }
+
+    #[test]
+    fn worst_balanced_orders_ascending_with_key_ties() {
+        let mut r = EfficiencyReport::new();
+        r.record(
+            2,
+            1,
+            "balanced",
+            RegionEpoch::compute(&[100, 100], &[0, 0], 100, 1),
+        );
+        r.record(
+            2,
+            2,
+            "skewed",
+            RegionEpoch::compute(&[10, 100], &[0, 0], 100, 1),
+        );
+        r.record(
+            2,
+            3,
+            "skewed_too",
+            RegionEpoch::compute(&[10, 100], &[0, 0], 100, 1),
+        );
+        let order: Vec<u32> = r.worst_balanced(2).iter().map(|(k, _)| *k).collect();
+        assert_eq!(order, vec![2, 3, 1]);
+        assert!(r.worst_balanced(9).is_empty());
+    }
+
+    #[test]
+    fn render_is_deterministic_and_lists_every_region() {
+        let build = || {
+            let mut r = EfficiencyReport::new();
+            // Insertion order differs from key order on purpose.
+            r.record(1, 9, "z", RegionEpoch::compute(&[10, 20], &[5, 5], 30, 2));
+            r.record(1, 3, "a", RegionEpoch::compute(&[10, 10], &[0, 0], 10, 2));
+            r.record(0, 3, "a", RegionEpoch::compute(&[10, 10], &[0, 0], 10, 2));
+            r.render()
+        };
+        let a = build();
+        assert_eq!(a, build());
+        assert!(a.contains("epoch 0"));
+        assert!(a.contains("epoch 1"));
+        assert!(a.matches("LB").count() == 3);
+        // Epoch blocks come in order, regions by key within the block.
+        let e0 = a.find("## epoch 0").unwrap();
+        let e1 = a.find("## epoch 1").unwrap();
+        assert!(e0 < e1);
+    }
+}

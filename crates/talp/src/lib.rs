@@ -12,7 +12,7 @@
 //! * **PMPI accounting**: TALP splits each rank's time inside a region
 //!   into *useful computation* and *MPI communication* by intercepting
 //!   MPI calls ([`Talp`] implements `capi_mpisim::PmpiHook`).
-//! * **POP efficiency metrics** (paper ref [23]): load balance,
+//! * **POP efficiency metrics** (paper ref \[23\]): load balance,
 //!   communication efficiency and parallel efficiency per region,
 //!   queryable at runtime by the application or an external resource
 //!   manager, and summarized in a text report at `MPI_Finalize`.
@@ -24,11 +24,13 @@
 //!   with very large region sets.
 
 pub mod api;
+pub mod efficiency;
 pub mod metrics;
 pub mod report;
 pub mod shmem;
 
 pub use api::{RegionHandle, Talp, TalpConfig, TalpError, TalpStats};
+pub use efficiency::{EfficiencyReport, RegionEpoch};
 pub use metrics::{PopMetrics, RegionMetrics};
 pub use report::render_report;
 pub use shmem::ShmemRegionTable;

@@ -1,6 +1,6 @@
 //! POP parallel-efficiency metrics.
 //!
-//! TALP reports a subset of the POP metrics (paper §III-B, ref [23]):
+//! TALP reports a subset of the POP metrics (paper §III-B, ref \[23\]):
 //! for each monitoring region, per-rank time is split into *useful*
 //! computation and *MPI* communication, from which:
 //!

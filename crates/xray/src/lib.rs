@@ -17,8 +17,13 @@
 //!   registration/deregistration, sled patching through `mprotect`-style
 //!   page flips, the global patched-function handler, and the
 //!   `function_address`/ID lookup API the paper's DynCaPI cross-checks.
+//! * [`dispatch`] — the wait-free per-event fast path: an immutable
+//!   dispatch table published RCU-style behind one atomic pointer, with
+//!   per-rank striped in-flight guards and counters (the full
+//!   publish/quiescence protocol is documented on the module).
 //! * [`log`] — XRay's built-in modes: a basic in-memory trace and a
-//!   flight-data-recorder-style ring buffer.
+//!   flight-data-recorder-style ring buffer, plus their per-rank
+//!   sharded variants with deterministic `(rank, seq)` merges.
 
 pub mod dispatch;
 pub mod handler;

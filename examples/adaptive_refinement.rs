@@ -95,6 +95,7 @@ fn main() {
                 epochs: 6,
                 budget_pct: 5.0,
                 seed: 0x5EED,
+                ..Default::default()
             },
         )
         .expect("in-flight run");

@@ -1,0 +1,180 @@
+//! TALP-driven expansion, live: the controller *grows* instrumentation
+//! below a load-imbalanced region — the companion direction to the
+//! overhead-budget trimming of `examples/live_adaptation.rs`.
+//!
+//! The application has two phases per time step: one perfectly
+//! balanced, one whose kernel skews 200% across ranks. The initial IC
+//! covers the phases but not the kernels, so a trim-only session can
+//! never learn *where* the imbalance lives. With expansion enabled the
+//! controller watches each region's per-epoch load balance, descends
+//! the call tree below `skewed_phase`, and re-includes `skew_kernel` —
+//! while the expansion cap keeps measured overhead inside the same
+//! budget. The balanced phase's kernel stays uninstrumented: growth is
+//! targeted, not indiscriminate.
+//!
+//! ```text
+//! cargo run --release --example imbalance_expansion
+//! ```
+//!
+//! Environment: `CAPI_EPOCHS` (default 6), `CAPI_BUDGET_PCT`
+//! (default 15.0) — zero/invalid values fall back to the defaults.
+
+use capi::{ExpansionOptions, InFlightOptions, InstrumentationConfig, Workflow};
+use capi_appmodel::{LinkTarget, MpiCall, ProgramBuilder, SourceProgram};
+use capi_dyncapi::ToolChoice;
+use capi_objmodel::CompileOptions;
+
+fn env_epochs() -> usize {
+    std::env::var("CAPI_EPOCHS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(6)
+}
+
+fn env_budget_pct() -> f64 {
+    std::env::var("CAPI_BUDGET_PCT")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|&b| b > 0.0 && b.is_finite())
+        .unwrap_or(15.0)
+}
+
+fn program() -> SourceProgram {
+    let mut b = ProgramBuilder::new("expansion-demo");
+    b.unit("m.cc", LinkTarget::Executable);
+    b.function("main")
+        .main()
+        .statements(50)
+        .instructions(400)
+        .cost(1_000)
+        .calls("MPI_Init", 1)
+        .calls("step", 24)
+        .calls("MPI_Finalize", 1)
+        .finish();
+    b.function("step")
+        .statements(40)
+        .instructions(300)
+        .cost(500)
+        .calls("balanced_phase", 1)
+        .calls("skewed_phase", 1)
+        .calls("MPI_Allreduce", 1)
+        .finish();
+    b.function("balanced_phase")
+        .statements(30)
+        .instructions(300)
+        .cost(200)
+        .calls("bal_kernel", 40)
+        .finish();
+    b.function("skewed_phase")
+        .statements(30)
+        .instructions(300)
+        .cost(200)
+        .calls("skew_kernel", 40)
+        .finish();
+    b.function("bal_kernel")
+        .statements(60)
+        .instructions(600)
+        .cost(2_000)
+        .loop_depth(2)
+        .finish();
+    b.function("skew_kernel")
+        .statements(60)
+        .instructions(600)
+        .cost(2_000)
+        .imbalance(200)
+        .loop_depth(2)
+        .finish();
+    b.function("MPI_Init")
+        .statements(1)
+        .instructions(8)
+        .cost(0)
+        .mpi(MpiCall::Init)
+        .finish();
+    b.function("MPI_Allreduce")
+        .statements(1)
+        .instructions(8)
+        .cost(0)
+        .mpi(MpiCall::Allreduce { bytes: 64 })
+        .finish();
+    b.function("MPI_Finalize")
+        .statements(1)
+        .instructions(8)
+        .cost(0)
+        .mpi(MpiCall::Finalize)
+        .finish();
+    b.build().expect("demo program is well-formed")
+}
+
+fn main() {
+    let opts = InFlightOptions {
+        epochs: env_epochs(),
+        budget_pct: env_budget_pct(),
+        seed: 0x7A1B,
+        expansion: Some(ExpansionOptions::default()),
+    };
+    let trim_opts = InFlightOptions {
+        expansion: None,
+        ..opts
+    };
+    let workflow = Workflow::analyze(program(), CompileOptions::o2()).expect("analyze");
+    let ic = InstrumentationConfig::from_names(["step", "balanced_phase", "skewed_phase"]);
+    println!(
+        "initial IC: {} functions (phases only) | {} epochs | budget {:.2}%\n",
+        ic.len(),
+        opts.epochs,
+        opts.budget_pct
+    );
+
+    let trim = workflow
+        .measure_in_flight(&ic, ToolChoice::None, 4, trim_opts)
+        .expect("trim-only run");
+    let grow = workflow
+        .measure_in_flight(&ic, ToolChoice::None, 4, opts)
+        .expect("expansion run");
+
+    println!("adaptation log (expansion mode):");
+    print!("{}", grow.log);
+    println!("\nper-epoch efficiency trajectory:");
+    print!("{}", grow.adaptive.efficiency.render());
+
+    // Budget-only trimming can only shrink: the skewed kernel stays
+    // invisible. Expansion grows the IC exactly where efficiency is
+    // lost — and nowhere else.
+    assert!(!trim.final_ic.contains("skew_kernel"));
+    assert!(grow.final_ic.contains("skew_kernel"), "subtree re-included");
+    assert!(
+        !grow.final_ic.contains("bal_kernel"),
+        "balanced subtree stays out"
+    );
+    let last = grow.adaptive.records.last().expect("epochs ran");
+    assert!(
+        last.overhead_pct <= opts.budget_pct,
+        "growth stayed within budget: {:.3}% > {:.2}%",
+        last.overhead_pct,
+        opts.budget_pct
+    );
+    assert_eq!(grow.restarts, 0);
+    assert_eq!(grow.rebuilds, 0);
+
+    // Determinism contract, expansion included.
+    let again = workflow
+        .measure_in_flight(&ic, ToolChoice::None, 4, opts)
+        .expect("second expansion run");
+    assert_eq!(grow.log, again.log, "adaptation logs are byte-identical");
+    assert_eq!(grow.adaptive.per_rank_ns, again.adaptive.per_rank_ns);
+
+    println!(
+        "\ntrim-only final IC: {} functions (skew_kernel absent)",
+        trim.final_ic.len()
+    );
+    println!(
+        "expansion final IC: {} functions (skew_kernel present, bal_kernel absent)",
+        grow.final_ic.len()
+    );
+    println!(
+        "final overhead {:.3}% vs budget {:.2}% | restarts 0 | rebuilds 0",
+        last.overhead_pct, opts.budget_pct
+    );
+    println!("second run with the same seed/budget: logs byte-identical ✓");
+}

@@ -54,6 +54,7 @@ fn main() {
         epochs: env_epochs(),
         budget_pct: env_budget_pct(),
         seed: 0x5EED,
+        ..Default::default()
     };
     let program = openfoam(&OpenFoamParams {
         scale: 12_000,

@@ -1,8 +1,11 @@
 //! Umbrella crate for the CaPI reproduction workspace.
 //!
 //! Re-exports every sub-crate under one roof so integration tests and
-//! examples can use a single dependency. See `DESIGN.md` for the system
-//! inventory and `EXPERIMENTS.md` for the paper-vs-measured record.
+//! examples can use a single dependency. See `ARCHITECTURE.md` at the
+//! repository root for the crate-by-crate map and the event/adaptation
+//! data flow, and `ROADMAP.md` for the north star and open items.
+
+#![warn(missing_docs)]
 
 pub use capi;
 pub use capi_adapt as adapt;

@@ -1,6 +1,12 @@
 //! DSO lifecycle integration: dlopen/dlclose with XRay registration and
-//! deregistration, the 255-DSO limit, and trampoline addressing faults.
+//! deregistration, the 255-DSO limit, trampoline addressing faults, and
+//! the hot-swap hazard between the adaptation controller's drop records
+//! and recycled XRay object IDs.
 
+use capi_adapt::{
+    AdaptConfig, AdaptController, AdaptPolicy, CallChildren, EpochView, FuncSample, OverheadBudget,
+    ReinclusionProbe,
+};
 use capi_appmodel::{LinkTarget, ProgramBuilder};
 use capi_objmodel::{compile, CompileOptions, Object, ObjectKind, Process, SymbolTable};
 use capi_xray::{
@@ -79,6 +85,170 @@ fn dso_register_patch_unload_reregister() {
         .register_dso(inst2, lo, idx, TrampolineSet::pic())
         .unwrap();
     assert_eq!(oid2, oid);
+}
+
+/// A second, unrelated plugin that will recycle the vacated object ID.
+fn other_dso_binary() -> capi_objmodel::Binary {
+    let mut b = ProgramBuilder::new("other");
+    b.unit("m.cc", LinkTarget::Executable);
+    b.function("main")
+        .main()
+        .statements(30)
+        .instructions(250)
+        .calls("other_fn", 1)
+        .finish();
+    b.unit("o.cc", LinkTarget::Dso("libother.so".into()));
+    b.function("other_fn")
+        .statements(50)
+        .instructions(450)
+        .loop_depth(1)
+        .finish();
+    compile(&b.build().unwrap(), &CompileOptions::o2()).unwrap()
+}
+
+/// The ROADMAP hot-swap hazard, as a regression pair: the controller
+/// holds a drop record for a DSO function; the DSO is deregistered and
+/// an *unrelated* DSO recycles its XRay object ID. Without
+/// `invalidate_object` the record leaks onto the new object — the
+/// re-inclusion probe resurrects the stale packed ID and the repatch
+/// silently flips a sled of a function the controller never measured.
+/// With the invalidation call, nothing in the vacated object survives.
+#[test]
+fn dso_hot_swap_invalidates_controller_drop_records() {
+    let probe_every_epoch = || {
+        let policies: Vec<Box<dyn AdaptPolicy>> = vec![
+            Box::new(OverheadBudget::default()),
+            Box::new(ReinclusionProbe::seeded(1, 1, 4, 9)),
+        ];
+        AdaptController::with_policies(
+            AdaptConfig {
+                budget_pct: 5.0,
+                seed: 1,
+                ..Default::default()
+            },
+            policies,
+        )
+    };
+    // One epoch view in which the plugin function blows the budget.
+    let over_budget = |stale: PackedId| EpochView {
+        epoch: 0,
+        epoch_ns: 1_000_000,
+        busy_ns: 1_900_000,
+        inst_ns: 900_000,
+        events: 10,
+        samples: vec![FuncSample {
+            id: stale,
+            name: "plugin_entry".into(),
+            visits: 1_000,
+            inst_ns: 900_000,
+            body_cost_ns: 1,
+        }],
+        talp: Vec::new(),
+        children: CallChildren::default(),
+    };
+    let quiet_epoch = |epoch: usize| EpochView {
+        epoch,
+        epoch_ns: 1_000_000,
+        busy_ns: 1_000_000,
+        inst_ns: 0,
+        events: 0,
+        samples: Vec::new(),
+        talp: Vec::new(),
+        children: CallChildren::default(),
+    };
+
+    // `fix` toggles the invalidation call at the swap point.
+    let swap_scenario = |fix: bool| -> (AdaptController, capi_xray::PatchDelta, PackedId) {
+        let bin = binary_with_dso();
+        let mut process = Process::launch_binary(&bin).unwrap();
+        let runtime = XRayRuntime::new();
+        runtime
+            .register_main(
+                instrument_object(
+                    process.object(0).unwrap().image.clone(),
+                    &PassOptions::instrument_all(),
+                ),
+                process.object(0).unwrap(),
+                TrampolineSet::absolute(),
+            )
+            .unwrap();
+        let dso_inst = instrument_object(
+            process.object(1).unwrap().image.clone(),
+            &PassOptions::instrument_all(),
+        );
+        let oid = runtime
+            .register_dso(
+                dso_inst.clone(),
+                process.object(1).unwrap(),
+                1,
+                TrampolineSet::pic(),
+            )
+            .unwrap();
+        let fid = dso_inst
+            .sleds
+            .fid_of(dso_inst.image.function_index("plugin_entry").unwrap())
+            .unwrap();
+        let stale = PackedId::pack(oid, fid).unwrap();
+        runtime.patch_function(&mut process.memory, stale).unwrap();
+
+        let mut controller = probe_every_epoch();
+        controller.begin([(stale, "plugin_entry")]);
+        // Epoch 0: the plugin function is dropped → drop record held.
+        let d0 = controller.on_epoch(&over_budget(stale));
+        assert_eq!(d0.unpatch, vec![stale]);
+        runtime.repatch(&mut process.memory, &d0).unwrap();
+
+        // Hot swap: unload the plugin, load an unrelated DSO into the
+        // recycled object ID slot.
+        runtime.deregister(oid).unwrap();
+        process.dlclose("libplugin.so").unwrap();
+        if fix {
+            controller.invalidate_object(oid);
+        }
+        let other = other_dso_binary();
+        let idx = process.dlopen(other.dsos[0].clone().into()).unwrap();
+        let lo = process.object(idx).unwrap();
+        let inst2 = instrument_object(lo.image.clone(), &PassOptions::instrument_all());
+        let oid2 = runtime
+            .register_dso(inst2, lo, idx, TrampolineSet::pic())
+            .unwrap();
+        assert_eq!(oid2, oid, "the vacated slot is recycled");
+
+        // Epoch 1: the probe policy fires.
+        let d1 = controller.on_epoch(&quiet_epoch(1));
+        let delta = d1.clone();
+        runtime.repatch(&mut process.memory, &d1).unwrap();
+        // Report which functions ended up patched for the caller.
+        assert_eq!(
+            runtime.is_patched(stale),
+            delta.patch.contains(&stale),
+            "repatch applied exactly the delta"
+        );
+        (controller, delta, stale)
+    };
+
+    // Without the fix: the stale record leaks onto the recycled ID and
+    // an unrelated function of the new DSO gets patched.
+    let (_leaky, delta, stale) = swap_scenario(false);
+    assert!(
+        delta.patch.contains(&stale),
+        "hazard reproduced: probe resurrects the dead object ID"
+    );
+
+    // With the fix: the vacated object's records are gone — nothing is
+    // probed, nothing is patched, and the log records the invalidation.
+    let (fixed, delta, stale) = swap_scenario(true);
+    assert!(
+        !delta.patch.contains(&stale),
+        "invalidate_object removed the stale drop record"
+    );
+    assert!(delta.is_empty());
+    assert_eq!(fixed.dropped_len(), 0);
+    assert!(fixed
+        .active_ids()
+        .iter()
+        .all(|id| id.object() != stale.object()));
+    assert!(fixed.render_log().contains("invalidate object 1"));
 }
 
 #[test]

@@ -128,6 +128,7 @@ fn in_flight_adaptation_deterministic_and_within_budget() {
                 epochs: 6,
                 budget_pct: 5.0,
                 seed: 0xCAF1,
+                ..Default::default()
             },
         )
         .unwrap()
@@ -163,6 +164,7 @@ fn adapt_accounting_tracks_runtime_state() {
     let mut controller = AdaptController::new(AdaptConfig {
         budget_pct: 0.001, // impossible budget: everything non-pinned goes
         seed: 1,
+        ..Default::default()
     });
     let run = session.run_adaptive(&mut controller, 4).unwrap();
     assert!(run.adapt_ns > 0);

@@ -1,0 +1,151 @@
+//! Property tests for the TALP-driven expansion + budget-trimming
+//! stack: for *arbitrary* imbalance profiles, the combined controller
+//! must stay deterministic (same seed → same final IC, byte-identical
+//! adaptation logs and efficiency trajectories) and must only grow the
+//! IC below genuinely imbalanced phases.
+
+use capi::{ExpansionOptions, InFlightOptions, InstrumentationConfig, Workflow};
+use capi_appmodel::{LinkTarget, MpiCall, ProgramBuilder, SourceProgram};
+use capi_dyncapi::ToolChoice;
+use capi_objmodel::CompileOptions;
+use proptest::prelude::*;
+
+/// A step-loop program with one phase per entry of `imbalances`; phase
+/// `i`'s kernel skews `imbalances[i]` percent across ranks.
+fn phased_program(imbalances: &[u32]) -> SourceProgram {
+    let mut b = ProgramBuilder::new("prop-talp");
+    b.unit("m.cc", LinkTarget::Executable);
+    {
+        let mut f = b
+            .function("main")
+            .main()
+            .statements(50)
+            .instructions(400)
+            .cost(1_000)
+            .calls("MPI_Init", 1);
+        f = f.calls("step", 12);
+        f.calls("MPI_Finalize", 1).finish();
+    }
+    {
+        let mut f = b
+            .function("step")
+            .statements(40)
+            .instructions(300)
+            .cost(500);
+        for i in 0..imbalances.len() {
+            f = f.calls(&format!("phase{i}"), 1);
+        }
+        f.calls("MPI_Allreduce", 1).finish();
+    }
+    for (i, &imb) in imbalances.iter().enumerate() {
+        b.function(&format!("phase{i}"))
+            .statements(30)
+            .instructions(300)
+            .cost(200)
+            .calls(&format!("kernel{i}"), 30)
+            .finish();
+        let f = b
+            .function(&format!("kernel{i}"))
+            .statements(60)
+            .instructions(600)
+            .cost(2_000)
+            .loop_depth(2);
+        if imb > 0 {
+            f.imbalance(imb).finish();
+        } else {
+            f.finish();
+        }
+    }
+    b.function("MPI_Init")
+        .statements(1)
+        .instructions(8)
+        .cost(0)
+        .mpi(MpiCall::Init)
+        .finish();
+    b.function("MPI_Allreduce")
+        .statements(1)
+        .instructions(8)
+        .cost(0)
+        .mpi(MpiCall::Allreduce { bytes: 16 })
+        .finish();
+    b.function("MPI_Finalize")
+        .statements(1)
+        .instructions(8)
+        .cost(0)
+        .mpi(MpiCall::Finalize)
+        .finish();
+    b.build().expect("generated programs are well-formed")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Expansion + trimming over an arbitrary imbalance profile:
+    /// byte-identical logs and trajectories across runs, identical
+    /// final ICs, and growth *only* below phases whose load balance
+    /// actually violates the threshold.
+    #[test]
+    fn expansion_and_trimming_converge_deterministically(
+        imbalances in proptest::collection::vec(0u32..=250, 1..4),
+        seed in any::<u64>(),
+    ) {
+        let program = phased_program(&imbalances);
+        let wf = Workflow::analyze(program, CompileOptions::o2()).unwrap();
+        let ic = InstrumentationConfig::from_names(
+            (0..imbalances.len()).map(|i| format!("phase{i}")),
+        );
+        let opts = InFlightOptions {
+            epochs: 5,
+            budget_pct: 30.0,
+            seed,
+            expansion: Some(ExpansionOptions::default()),
+        };
+        let a = wf.measure_in_flight(&ic, ToolChoice::None, 2, opts).unwrap();
+        let b = wf.measure_in_flight(&ic, ToolChoice::None, 2, opts).unwrap();
+
+        // Determinism: same seed and profile → identical everything.
+        prop_assert_eq!(&a.log, &b.log, "adaptation logs byte-identical");
+        prop_assert_eq!(&a.adaptive.per_rank_ns, &b.adaptive.per_rank_ns);
+        prop_assert_eq!(a.adaptive.events, b.adaptive.events);
+        prop_assert_eq!(&a.final_ic, &b.final_ic);
+        prop_assert_eq!(
+            a.adaptive.efficiency.render(),
+            b.adaptive.efficiency.render(),
+            "efficiency trajectories byte-identical"
+        );
+        prop_assert_eq!(a.restarts, 0);
+
+        // Growth is targeted: anything added beyond the initial IC must
+        // be the kernel of a phase whose load balance genuinely falls
+        // under the 0.75 threshold. With the engine's linear skew model
+        // LB ≈ (1 + imb/200)/(1 + imb/100), which crosses 0.75 at
+        // imb = 100%.
+        for name in a.final_ic.names() {
+            if ic.contains(name) {
+                continue;
+            }
+            let i: usize = name
+                .strip_prefix("kernel")
+                .unwrap_or_else(|| panic!("only kernels can be grown, got {name}"))
+                .parse()
+                .unwrap();
+            prop_assert!(
+                imbalances[i] > 100,
+                "kernel{i} (imbalance {}%) must not trigger expansion:\n{}",
+                imbalances[i],
+                a.log
+            );
+        }
+        // And severe imbalance is always found (margin over the exact
+        // threshold to stay clear of the phase-body offset).
+        for (i, &imb) in imbalances.iter().enumerate() {
+            if imb >= 130 {
+                prop_assert!(
+                    a.final_ic.contains(&format!("kernel{i}")),
+                    "kernel{i} (imbalance {imb}%) should have been grown:\n{}",
+                    a.log
+                );
+            }
+        }
+    }
+}
