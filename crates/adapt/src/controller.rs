@@ -11,6 +11,7 @@ use crate::policy::{
     AdaptPolicy, CommRegionFocus, DropRecord, HotSmallExclusion, ImbalanceExpansion,
     OverheadBudget, PolicyCtx, ReinclusionProbe,
 };
+use capi_persist::{DropState, FunctionRecord, InstrumentationProfile, ObjectRecord};
 use capi_xray::{PackedId, PatchDelta};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -28,9 +29,21 @@ pub struct AdaptConfig {
     /// reach a deterministic fixed point.
     pub expand_headroom: f64,
     /// Estimated per-epoch instrumentation cost of an expansion
-    /// candidate that has never been measured, in virtual ns.
-    /// Candidates measured before use their last observed cost instead.
+    /// candidate that has never been measured **and** has no measured
+    /// parent to derive a static estimate from, in virtual ns.
+    /// Candidates measured before use their last observed cost;
+    /// candidates below a measured region are charged
+    /// `parent visits × sled_pair_cost_ns` instead (see
+    /// [`Self::sled_pair_cost_ns`]).
     pub assumed_expand_cost_ns: u64,
+    /// Virtual cost of one patched entry/exit sled pair (trampolines +
+    /// dispatch), used to estimate a never-measured expansion
+    /// candidate's cost from its parent region's visit count: the child
+    /// runs at most once per parent call site trip, but at *least* its
+    /// sleds fire whenever it is called, so `parent visits ×
+    /// sled_pair_cost_ns` is a deterministic static floor that scales
+    /// with how hot the subtree is — tighter than one flat assumption.
+    pub sled_pair_cost_ns: u64,
 }
 
 impl Default for AdaptConfig {
@@ -40,6 +53,7 @@ impl Default for AdaptConfig {
             seed: 0x5EED,
             expand_headroom: 0.5,
             assumed_expand_cost_ns: 2_000,
+            sled_pair_cost_ns: 40,
         }
     }
 }
@@ -69,6 +83,22 @@ impl Default for ExpansionOptions {
     }
 }
 
+/// What [`AdaptController::seed_from_profile`] did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WarmStartStats {
+    /// Cost samples seeded into the expansion estimator.
+    pub seeded_costs: usize,
+    /// Drop records carried over (the never-re-expand set).
+    pub seeded_drops: usize,
+    /// Active functions unpatched before epoch 0 (prior drops).
+    pub pre_trimmed: usize,
+    /// Converged-IC members patched before epoch 0 (prior expansions).
+    pub pre_grown: usize,
+    /// Profile functions discarded because no live function maps to
+    /// them (unloaded, rebuilt beyond recognition, or recycled IDs).
+    pub discarded: usize,
+}
+
 /// Summary counters for reports.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ControllerStats {
@@ -95,8 +125,18 @@ pub struct AdaptController {
     /// Last measured per-epoch instrumentation cost per function —
     /// the expansion cap's cost estimate for re-included candidates.
     last_inst: BTreeMap<u32, u64>,
+    /// Last measured per-epoch visit count per function — exported with
+    /// the cost samples so a warm-started run inherits the cost model.
+    last_visits: BTreeMap<u32, u64>,
+    /// Epoch at which a function was last re-included (probe restore or
+    /// expansion). Cleared on drop. Used by [`Self::export_profile`]:
+    /// an inclusion made at the final observed epoch was never
+    /// re-measured, so persisting it would freeze an unvalidated
+    /// experiment into the warm-start IC.
+    included_at: BTreeMap<u32, usize>,
     log: Vec<String>,
     converged_at: Option<usize>,
+    first_converged_at: Option<usize>,
     stats: ControllerStats,
 }
 
@@ -152,8 +192,11 @@ impl AdaptController {
             pinned: BTreeSet::new(),
             names: BTreeMap::new(),
             last_inst: BTreeMap::new(),
+            last_visits: BTreeMap::new(),
+            included_at: BTreeMap::new(),
             log: Vec::new(),
             converged_at: None,
+            first_converged_at: None,
             stats: ControllerStats::default(),
         }
     }
@@ -218,6 +261,8 @@ impl AdaptController {
         self.pinned.retain(stays);
         self.names.retain(|raw, _| stays(raw));
         self.last_inst.retain(|raw, _| stays(raw));
+        self.last_visits.retain(|raw, _| stays(raw));
+        self.included_at.retain(|raw, _| stays(raw));
         let discarded = (active_before - self.active.len()) + (dropped_before - self.dropped.len());
         self.log.push(format!(
             "invalidate object {object_id}: {} active, {} drop records discarded",
@@ -267,14 +312,7 @@ impl AdaptController {
         for (raw, rec) in dropped {
             let new = remap(raw);
             moved += usize::from(new != raw);
-            self.dropped
-                .entry(new)
-                .and_modify(|existing| {
-                    if rec.times_dropped > existing.times_dropped {
-                        *existing = rec.clone();
-                    }
-                })
-                .or_insert(rec);
+            merge_drop_record(&mut self.dropped, new, rec);
         }
         let pinned = std::mem::take(&mut self.pinned);
         self.pinned = pinned.into_iter().map(remap).collect();
@@ -284,13 +322,254 @@ impl AdaptController {
         }
         let last_inst = std::mem::take(&mut self.last_inst);
         for (raw, c) in last_inst {
-            let slot = self.last_inst.entry(remap(raw)).or_insert(c);
-            *slot = (*slot).max(c);
+            merge_cost_sample(&mut self.last_inst, remap(raw), c);
+        }
+        let last_visits = std::mem::take(&mut self.last_visits);
+        for (raw, v) in last_visits {
+            merge_cost_sample(&mut self.last_visits, remap(raw), v);
+        }
+        let included_at = std::mem::take(&mut self.included_at);
+        for (raw, e) in included_at {
+            // Collisions keep the later inclusion (more conservative:
+            // more likely to be treated as unvalidated at export).
+            let slot = self.included_at.entry(remap(raw)).or_insert(e);
+            *slot = (*slot).max(e);
         }
         self.log.push(format!(
             "remap object {from} -> {to}: {moved} records moved"
         ));
         moved
+    }
+
+    /// Cost estimates for a batch of expansion candidates, in virtual
+    /// ns (one per candidate, same order).
+    ///
+    /// Measured candidates (including profile-seeded ones) use their
+    /// last observed per-epoch cost. Never-measured candidates are
+    /// charged from static structure instead of one flat assumption:
+    /// `parent visits × sled_pair_cost_ns`, maximized over all measured
+    /// parents (the candidate's sleds fire at least once per call, and
+    /// calls come from those parents) — which makes the headroom cap
+    /// tighter on hot subtrees while staying fully deterministic.
+    /// Candidates with no measured parent fall back to
+    /// [`AdaptConfig::assumed_expand_cost_ns`]. The parent-visit and
+    /// child→parent indexes are built once per call, so the whole
+    /// batch costs one pass over the samples plus one over the call
+    /// tree.
+    fn expansion_cost_estimates(&self, candidates: &[u32], view: &EpochView) -> Vec<u64> {
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        // Parent → visits this epoch: samples win over TALP enters;
+        // last-run history is the lookup-time fallback.
+        let mut parent_visits: BTreeMap<u32, u64> = BTreeMap::new();
+        for s in &view.samples {
+            parent_visits.insert(s.id.raw(), s.visits);
+        }
+        for r in &view.talp {
+            parent_visits.entry(r.id.raw()).or_insert(r.enters);
+        }
+        // Candidate → best (max) parent-visit count, one tree pass.
+        let wanted: BTreeSet<u32> = candidates.iter().copied().collect();
+        let mut best_parent_visits: BTreeMap<u32, u64> = BTreeMap::new();
+        for (parent, kids) in view.children.iter() {
+            let visits = parent_visits
+                .get(parent)
+                .copied()
+                .or_else(|| self.last_visits.get(parent).copied())
+                .unwrap_or(0);
+            if visits == 0 {
+                continue;
+            }
+            for k in kids {
+                if wanted.contains(k) {
+                    let slot = best_parent_visits.entry(*k).or_insert(0);
+                    *slot = (*slot).max(visits);
+                }
+            }
+        }
+        candidates
+            .iter()
+            .map(|raw| {
+                if let Some(&measured) = self.last_inst.get(raw) {
+                    return measured.max(1);
+                }
+                match best_parent_visits.get(raw) {
+                    Some(&v) if v > 0 => v.saturating_mul(self.cfg.sled_pair_cost_ns).max(1),
+                    _ => self.cfg.assumed_expand_cost_ns.max(1),
+                }
+            })
+            .collect()
+    }
+
+    /// Exports the controller's learned state as a persistable
+    /// instrumentation profile: the converged active set, the drop
+    /// records (the never-re-expand set rides in their
+    /// `times_dropped`), and the per-function cost samples. `objects`
+    /// supplies the identity records ([`ObjectRecord`]) of the XRay
+    /// objects the packed IDs refer to — the controller has no notion
+    /// of object identity, only its caller does.
+    ///
+    /// The exported active set is the *validated* one: a function
+    /// re-included (probe restore or expansion) at the final observed
+    /// epoch was never re-measured afterwards, so it is exported as
+    /// inactive — persisting it would freeze an unvalidated experiment
+    /// into the next run's warm-start IC. Its drop and cost history
+    /// still rides along.
+    ///
+    /// The efficiency summary is left empty; the measurement layer owns
+    /// that data and fills it in before saving.
+    pub fn export_profile(&self, objects: Vec<ObjectRecord>) -> InstrumentationProfile {
+        let last_epoch = self.stats.epochs.checked_sub(1);
+        let validated_active = |raw: &u32| {
+            self.active.contains(raw)
+                && (self.included_at.get(raw).copied() != last_epoch || last_epoch.is_none())
+        };
+        let mut keys: BTreeSet<u32> = BTreeSet::new();
+        keys.extend(self.active.iter().copied());
+        keys.extend(self.dropped.keys().copied());
+        keys.extend(self.last_inst.keys().copied());
+        let functions = keys
+            .into_iter()
+            .map(|raw| FunctionRecord {
+                raw_id: raw,
+                name: self.display(PackedId::from_raw(raw)),
+                active: validated_active(&raw),
+                inst_ns: self.last_inst.get(&raw).copied(),
+                visits: self.last_visits.get(&raw).copied(),
+                drop: self.dropped.get(&raw).map(|rec| DropState {
+                    epoch: rec.epoch,
+                    times_dropped: rec.times_dropped,
+                    policy: rec.policy.to_string(),
+                }),
+            })
+            .collect();
+        InstrumentationProfile {
+            budget_pct: self.cfg.budget_pct,
+            converged_at: self.converged_at,
+            epochs_observed: self.stats.epochs,
+            objects,
+            functions,
+            efficiency: Vec::new(),
+        }
+    }
+
+    /// Warm-starts the controller from a prior run's profile. Must be
+    /// called after [`Self::begin`] (and [`Self::pin`]): the returned
+    /// delta is relative to the currently active set.
+    ///
+    /// `idmap` maps each profile raw packed ID to its raw packed ID in
+    /// *this* session — identity for unchanged objects, repacked for
+    /// objects re-registered under a different ID, re-resolved by name
+    /// for rebuilt objects (see `capi_persist::matching` and the
+    /// DynCaPI layer that builds the map). Profile functions missing
+    /// from the map are discarded — never applied to whatever function
+    /// now occupies the stale ID.
+    ///
+    /// Seeding reuses the [`Self::remap_object`] collision-merge rules:
+    /// drop records keep the higher `times_dropped`, cost samples keep
+    /// the larger value, existing names win. Seeded costs replace the
+    /// [`AdaptConfig::assumed_expand_cost_ns`] guess for re-included
+    /// candidates, and prior drops pre-trim at epoch 0: the returned
+    /// [`PatchDelta`] unpatches active functions the prior run
+    /// converged away from and patches the converged IC members not in
+    /// the initial selection.
+    pub fn seed_from_profile(
+        &mut self,
+        profile: &InstrumentationProfile,
+        idmap: &BTreeMap<u32, u32>,
+    ) -> (PatchDelta, WarmStartStats) {
+        let mut stats = WarmStartStats::default();
+        let mut warm_active: BTreeSet<u32> = BTreeSet::new();
+        let mut functions: Vec<&FunctionRecord> = profile.functions.iter().collect();
+        functions.sort_by_key(|f| f.raw_id);
+        for f in functions {
+            let Some(&raw) = idmap.get(&f.raw_id) else {
+                stats.discarded += 1;
+                continue;
+            };
+            self.names.entry(raw).or_insert_with(|| f.name.clone());
+            if let Some(c) = f.inst_ns {
+                merge_cost_sample(&mut self.last_inst, raw, c);
+                stats.seeded_costs += 1;
+            }
+            if let Some(v) = f.visits {
+                merge_cost_sample(&mut self.last_visits, raw, v);
+            }
+            if let Some(d) = &f.drop {
+                merge_drop_record(
+                    &mut self.dropped,
+                    raw,
+                    DropRecord {
+                        epoch: d.epoch,
+                        times_dropped: d.times_dropped,
+                        policy: intern_policy(&d.policy),
+                        name: f.name.clone(),
+                    },
+                );
+                stats.seeded_drops += 1;
+            }
+            if f.active {
+                warm_active.insert(raw);
+            }
+        }
+        // Pre-trim epoch 0: anything active now that the prior run
+        // dropped and converged without. Pins win over the profile —
+        // the spine of *this* run may differ from the recorded one.
+        let mut delta = PatchDelta::empty();
+        for raw in self.active.clone() {
+            if !warm_active.contains(&raw)
+                && self.dropped.contains_key(&raw)
+                && !self.pinned.contains(&raw)
+            {
+                self.active.remove(&raw);
+                delta.unpatch.push(PackedId::from_raw(raw));
+                stats.pre_trimmed += 1;
+            }
+        }
+        // Pre-grow: converged-IC members (e.g. prior expansions) not in
+        // this session's initial selection.
+        for &raw in &warm_active {
+            if self.active.insert(raw) {
+                delta.patch.push(PackedId::from_raw(raw));
+                stats.pre_grown += 1;
+            }
+        }
+        // The profile remembers the budget it converged under; a
+        // different budget now means the carried drop history was
+        // earned under different pressure — still seeded (conservative:
+        // suppression only tightens), but the log must say so.
+        if profile.budget_pct != self.cfg.budget_pct {
+            self.log.push(format!(
+                "warm start: profile budget {:.2}% differs from current {:.2}% — seeded history was earned under the old budget",
+                profile.budget_pct, self.cfg.budget_pct
+            ));
+        }
+        self.log.push(format!(
+            "warm start: {} cost seeds, {} drop records ({} discarded), pre-trim {}, pre-grow {}",
+            stats.seeded_costs,
+            stats.seeded_drops,
+            stats.discarded,
+            stats.pre_trimmed,
+            stats.pre_grown
+        ));
+        for &id in &delta.unpatch {
+            self.log
+                .push(format!("  pre-trim {} [persist]", self.display(id)));
+        }
+        for &id in &delta.patch {
+            self.log
+                .push(format!("  pre-grow {} [persist]", self.display(id)));
+        }
+        (delta, stats)
+    }
+
+    /// Appends a free-form line to the adaptation log — used by the
+    /// session layer to record warm-start fallbacks (corrupt or
+    /// mismatched profiles degrade to a cold start, and the log must
+    /// say why).
+    pub fn log_note(&mut self, note: &str) {
+        self.log.push(note.to_string());
     }
 
     /// Consumes one epoch view and returns the IC delta to apply before
@@ -305,6 +584,7 @@ impl AdaptController {
                 .entry(s.id.raw())
                 .or_insert_with(|| s.name.clone());
             self.last_inst.insert(s.id.raw(), s.inst_ns);
+            self.last_visits.insert(s.id.raw(), s.visits);
         }
         for r in &view.talp {
             self.names
@@ -362,15 +642,11 @@ impl AdaptController {
         let allowance = (budget_ns.saturating_sub(view.inst_ns) as f64
             * self.cfg.expand_headroom.clamp(0.0, 1.0)) as u64;
         let proposed = expands.len();
+        let candidate_ids: Vec<u32> = expands.iter().map(|&(id, _, _)| id.raw()).collect();
+        let estimates = self.expansion_cost_estimates(&candidate_ids, view);
         let mut spent_est = 0u64;
         let mut accepted: Vec<(PackedId, &'static str, &'static str, u64)> = Vec::new();
-        for &(id, pname, reason) in &expands {
-            let est = self
-                .last_inst
-                .get(&id.raw())
-                .copied()
-                .unwrap_or(self.cfg.assumed_expand_cost_ns)
-                .max(1);
+        for (&(id, pname, reason), &est) in expands.iter().zip(&estimates) {
             if spent_est + est > allowance {
                 continue;
             }
@@ -410,6 +686,7 @@ impl AdaptController {
 
         for &(id, pname, _) in &drops {
             self.active.remove(&id.raw());
+            self.included_at.remove(&id.raw());
             let name = self.display(id);
             let rec = self.dropped.entry(id.raw()).or_insert(DropRecord {
                 epoch: view.epoch,
@@ -424,10 +701,12 @@ impl AdaptController {
         }
         for &(id, _) in &restores {
             self.active.insert(id.raw());
+            self.included_at.insert(id.raw(), view.epoch);
             self.stats.probes += 1;
         }
         for &(id, _, _, _) in &accepted {
             self.active.insert(id.raw());
+            self.included_at.insert(id.raw(), view.epoch);
             self.stats.expansions += 1;
         }
         self.stats.expansions_capped += (proposed - accepted.len()) as u64;
@@ -449,6 +728,9 @@ impl AdaptController {
         if delta.unpatch.is_empty() && accepted.is_empty() && overhead <= self.cfg.budget_pct {
             if self.converged_at.is_none() {
                 self.converged_at = Some(view.epoch);
+                if self.first_converged_at.is_none() {
+                    self.first_converged_at = Some(view.epoch);
+                }
                 self.log.push(format!(
                     "  converged: overhead within budget, no drops (epoch {})",
                     view.epoch
@@ -498,6 +780,14 @@ impl AdaptController {
         self.converged_at
     }
 
+    /// First epoch the controller *ever* converged at, regardless of
+    /// later instability (a re-inclusion probe that misbehaves resets
+    /// [`Self::converged_at`] but not this) — the time-to-converged-IC
+    /// metric the warm-start comparison reports.
+    pub fn first_converged_at(&self) -> Option<usize> {
+        self.first_converged_at
+    }
+
     /// Summary counters.
     pub fn stats(&self) -> ControllerStats {
         self.stats
@@ -515,6 +805,50 @@ impl AdaptController {
         out.push('\n');
         out
     }
+}
+
+/// The collision-merge rule shared by [`AdaptController::remap_object`]
+/// and [`AdaptController::seed_from_profile`]: when a record lands on a
+/// key that already holds one, keep the *deeper* drop history (higher
+/// `times_dropped`), so suppression can only tighten — a remap or a
+/// stale profile can never regain re-inclusion eligibility for a
+/// function the live run already condemned.
+fn merge_drop_record(dropped: &mut BTreeMap<u32, DropRecord>, raw: u32, rec: DropRecord) {
+    dropped
+        .entry(raw)
+        .and_modify(|existing| {
+            if rec.times_dropped > existing.times_dropped {
+                *existing = rec.clone();
+            }
+        })
+        .or_insert(rec);
+}
+
+/// Cost-sample collision merge (same rule set): keep the larger value,
+/// so a merged estimate is always the conservative one.
+fn merge_cost_sample(map: &mut BTreeMap<u32, u64>, raw: u32, value: u64) {
+    let slot = map.entry(raw).or_insert(value);
+    *slot = (*slot).max(value);
+}
+
+/// Maps a persisted policy name back to the `&'static str` the live
+/// policies log under — the candidates come from each policy's own
+/// `NAME` const, so adding a policy keeps export and re-import in
+/// sync. Unknown names (a future schema, a hand-edited file) attribute
+/// to the persistence layer itself.
+fn intern_policy(name: &str) -> &'static str {
+    const KNOWN: &[&str] = &[
+        OverheadBudget::NAME,
+        HotSmallExclusion::NAME,
+        ReinclusionProbe::NAME,
+        ImbalanceExpansion::NAME,
+        CommRegionFocus::NAME,
+    ];
+    KNOWN
+        .iter()
+        .find(|&&known| known == name)
+        .copied()
+        .unwrap_or("persist")
 }
 
 #[cfg(test)]
@@ -693,17 +1027,232 @@ mod tests {
 
     #[test]
     fn expansion_is_capped_by_budget_headroom() {
-        // Budget 5% of 1M app ns = 50k; inst already 49k → allowance
-        // (50k-49k)×0.5 = 500 ns < assumed 2_000 ns per candidate.
+        // Budget 5% of 1M app ns = 50k; inst already 49.9k → allowance
+        // (50k-49.9k)×0.5 = 50 ns, below every candidate's static
+        // estimate (parent visits 10 × sled pair 40 = 400 ns).
         let mut c = expansion_controller(5.0);
         c.begin([(id(1), "f1")]);
-        let d = c.on_epoch(&expansion_view(0, 49_000));
+        let d = c.on_epoch(&expansion_view(0, 49_900));
         assert!(d.patch.is_empty(), "no headroom → no expansion");
         assert_eq!(c.stats().expansions, 0);
         assert_eq!(c.stats().expansions_capped, 2);
         assert!(c
             .render_log()
             .contains("expansion capped: 0 of 2 proposals"));
+    }
+
+    #[test]
+    fn expansion_estimate_scales_with_parent_visits() {
+        // Allowance (50k-49k)×0.5 = 500 ns. The static estimate charges
+        // parent visits (10) × sled pair (40) = 400 ns per child: the
+        // first child fits, the second (cumulative 800) is capped —
+        // a flat 2_000 ns assumption would have rejected both.
+        let mut c = expansion_controller(5.0);
+        c.begin([(id(1), "f1")]);
+        c.hint_names([(id(10), "child10"), (id(11), "child11")]);
+        let d = c.on_epoch(&expansion_view(0, 49_000));
+        assert_eq!(d.patch, vec![id(10)]);
+        assert_eq!(c.stats().expansions, 1);
+        assert_eq!(c.stats().expansions_capped, 1);
+        assert!(c.render_log().contains("expand child10 [imbalance"));
+        assert!(c.render_log().contains("(est 400 ns)"));
+    }
+
+    #[test]
+    fn expansion_estimate_prefers_measured_cost_over_static() {
+        // A candidate with a (seeded or measured) cost uses it directly.
+        let mut c = expansion_controller(5.0);
+        c.begin([(id(1), "f1")]);
+        let mut v = expansion_view(0, 49_000);
+        // Pretend child 10 was measured before at 450 ns.
+        v.samples.push(sample(10, 5, 450, 1));
+        let d = c.on_epoch(&v);
+        // 450 fits the 500 ns allowance; child 11's static 400 would
+        // push the cumulative to 850 → capped.
+        assert_eq!(d.patch, vec![id(10)]);
+        assert!(c.render_log().contains("(est 450 ns)"));
+    }
+
+    #[test]
+    fn expansion_estimate_fallback_chain() {
+        let mut c = expansion_controller(50.0);
+        c.begin([(id(1), "f1")]);
+        let est1 =
+            |c: &AdaptController, raw: u32, v: &EpochView| c.expansion_cost_estimates(&[raw], v)[0];
+        // Parent sample present: visits (10) × sled pair (40).
+        let v = expansion_view(0, 1_000);
+        assert_eq!(est1(&c, id(10).raw(), &v), 400);
+        // No sample — the parent's TALP enters stand in.
+        let mut v2 = expansion_view(0, 1_000);
+        v2.samples.clear();
+        assert_eq!(est1(&c, id(10).raw(), &v2), v2.talp[0].enters * 40);
+        // No parent data at all: the flat assumption remains the
+        // deterministic floor.
+        let mut v3 = expansion_view(0, 1_000);
+        v3.samples.clear();
+        v3.talp.clear();
+        v3.children =
+            std::sync::Arc::new([(id(9).raw(), vec![id(10).raw()])].into_iter().collect());
+        assert_eq!(est1(&c, id(10).raw(), &v3), c.cfg.assumed_expand_cost_ns);
+        // An orphan (no parent in the call tree) gets the same floor.
+        assert_eq!(est1(&c, id(99).raw(), &v3), c.cfg.assumed_expand_cost_ns);
+        // Batched: one call, same answers in order.
+        assert_eq!(
+            c.expansion_cost_estimates(&[id(10).raw(), id(99).raw()], &v3),
+            vec![c.cfg.assumed_expand_cost_ns, c.cfg.assumed_expand_cost_ns]
+        );
+    }
+
+    #[test]
+    fn export_profile_round_trips_controller_state() {
+        let mut c = expansion_controller(5.0);
+        c.begin([(id(1), "f1"), (id(2), "f2")]);
+        // Epoch 0: f2 is over budget → dropped; f1 stays.
+        let v = view(
+            0,
+            200_000,
+            vec![sample(1, 10, 1_000, 9_000), sample(2, 90_000, 199_000, 1)],
+        );
+        c.on_epoch(&v);
+        let objects = vec![ObjectRecord {
+            object_id: 0,
+            name: "app".into(),
+            fingerprint: 7,
+        }];
+        let p = c.export_profile(objects.clone());
+        assert_eq!(p.budget_pct, 5.0);
+        assert_eq!(p.epochs_observed, 1);
+        assert_eq!(p.active_raw_ids(), vec![id(1).raw()]);
+        let f2 = p
+            .functions
+            .iter()
+            .find(|f| f.raw_id == id(2).raw())
+            .unwrap();
+        assert!(!f2.active);
+        assert_eq!(f2.inst_ns, Some(199_000));
+        assert_eq!(f2.visits, Some(90_000));
+        assert_eq!(f2.drop.as_ref().unwrap().times_dropped, 1);
+        assert_eq!(f2.drop.as_ref().unwrap().policy, "budget");
+        // Byte-determinism through the serialized form.
+        let text = p.to_json_string();
+        assert_eq!(c.export_profile(objects).to_json_string(), text);
+        let back = capi_persist::InstrumentationProfile::parse(&text).unwrap();
+        assert_eq!(back.to_json_string(), text);
+    }
+
+    #[test]
+    fn seed_from_profile_pretrims_and_pregrows() {
+        // Run A: f2 dropped, f3 expanded in. Export.
+        let mut a = expansion_controller(5.0);
+        a.begin([(id(1), "f1"), (id(2), "f2")]);
+        a.on_epoch(&view(
+            0,
+            200_000,
+            vec![sample(1, 10, 1_000, 9_000), sample(2, 90_000, 199_000, 1)],
+        ));
+        // Manually grow f3 into the converged IC via a quiet epoch with
+        // imbalance (plenty of headroom).
+        let mut v1 = view(1, 1_000, vec![sample(1, 10, 1_000, 9_000)]);
+        v1.talp = vec![skewed_region(1)];
+        v1.children = std::sync::Arc::new([(id(1).raw(), vec![id(3).raw()])].into_iter().collect());
+        a.hint_names([(id(3), "f3")]);
+        let d1 = a.on_epoch(&v1);
+        assert_eq!(d1.patch, vec![id(3)]);
+        // Before the validation epoch, f3's inclusion is an experiment:
+        // the export leaves it out of the active set.
+        assert!(!a
+            .export_profile(Vec::new())
+            .active_raw_ids()
+            .contains(&id(3).raw()));
+        // Epoch 2 measures the expanded f3 within budget → validated.
+        a.on_epoch(&view(
+            2,
+            1_500,
+            vec![sample(1, 10, 1_000, 9_000), sample(3, 10, 500, 1_000)],
+        ));
+        let profile = a.export_profile(Vec::new());
+
+        // Run B: fresh session starts from the *initial* IC again.
+        let mut b = expansion_controller(5.0);
+        b.begin([(id(1), "f1"), (id(2), "f2")]);
+        let idmap: BTreeMap<u32, u32> = profile
+            .functions
+            .iter()
+            .map(|f| (f.raw_id, f.raw_id))
+            .collect();
+        let (delta, stats) = b.seed_from_profile(&profile, &idmap);
+        // Prior drop pre-trims f2; prior expansion pre-grows f3.
+        assert_eq!(delta.unpatch, vec![id(2)]);
+        assert_eq!(delta.patch, vec![id(3)]);
+        assert_eq!(stats.pre_trimmed, 1);
+        assert_eq!(stats.pre_grown, 1);
+        assert_eq!(stats.discarded, 0);
+        assert!(stats.seeded_costs >= 2);
+        assert_eq!(b.active_ids(), vec![id(1), id(3)]);
+        let log = b.render_log();
+        assert!(log.contains("warm start:"));
+        assert!(log.contains("pre-trim f2 [persist]"));
+        assert!(log.contains("pre-grow f3 [persist]"));
+        // Determinism: seeding again from scratch gives identical logs.
+        let mut b2 = expansion_controller(5.0);
+        b2.begin([(id(1), "f1"), (id(2), "f2")]);
+        b2.seed_from_profile(&profile, &idmap);
+        assert_eq!(b2.render_log(), log);
+    }
+
+    #[test]
+    fn seed_logs_a_budget_mismatch() {
+        let mut a = expansion_controller(5.0);
+        a.begin([(id(1), "f1")]);
+        a.on_epoch(&view(0, 200_000, vec![sample(1, 90_000, 199_000, 1)]));
+        let profile = a.export_profile(Vec::new());
+        let idmap: BTreeMap<u32, u32> = profile
+            .functions
+            .iter()
+            .map(|f| (f.raw_id, f.raw_id))
+            .collect();
+        let mut b = expansion_controller(40.0);
+        b.begin([(id(1), "f1")]);
+        b.seed_from_profile(&profile, &idmap);
+        assert!(b
+            .render_log()
+            .contains("profile budget 5.00% differs from current 40.00%"));
+        // Same budget: no mismatch line.
+        let mut c = expansion_controller(5.0);
+        c.begin([(id(1), "f1")]);
+        c.seed_from_profile(&profile, &idmap);
+        assert!(!c.render_log().contains("differs from current"));
+    }
+
+    #[test]
+    fn seed_discards_unmapped_functions_and_respects_pins() {
+        let mut a = expansion_controller(5.0);
+        a.begin([(id(1), "f1"), (id(2), "f2")]);
+        a.on_epoch(&view(
+            0,
+            200_000,
+            vec![sample(1, 10, 1_000, 9_000), sample(2, 90_000, 199_000, 1)],
+        ));
+        let profile = a.export_profile(Vec::new());
+
+        let mut b = expansion_controller(5.0);
+        b.begin([(id(1), "f1"), (id(2), "f2")]);
+        b.pin([id(2)]);
+        // Empty idmap: nothing from the profile may touch this session.
+        let (delta, stats) = b.seed_from_profile(&profile, &BTreeMap::new());
+        assert!(delta.is_empty());
+        assert_eq!(stats.discarded, profile.functions.len());
+        assert_eq!(stats.pre_trimmed, 0);
+        // Full idmap, but f2 pinned: the pin wins over the prior drop.
+        let idmap: BTreeMap<u32, u32> = profile
+            .functions
+            .iter()
+            .map(|f| (f.raw_id, f.raw_id))
+            .collect();
+        let (delta, stats) = b.seed_from_profile(&profile, &idmap);
+        assert!(delta.unpatch.is_empty(), "pinned f2 survives the profile");
+        assert_eq!(stats.pre_trimmed, 0);
+        assert!(b.active_ids().contains(&id(2)));
     }
 
     #[test]

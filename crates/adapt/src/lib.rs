@@ -30,12 +30,21 @@
 //! Determinism contract: identical seeds and budgets produce identical
 //! adaptation decisions, identical virtual clocks, and byte-identical
 //! adaptation logs across runs.
+//!
+//! The learned state survives the session: [`AdaptController::export_profile`]
+//! emits a `capi-persist` instrumentation profile (converged IC, drop
+//! records, cost samples) and [`AdaptController::seed_from_profile`]
+//! warm-starts the next run from one — prior drops pre-trim at epoch 0,
+//! prior expansions pre-grow, and seeded costs replace the flat
+//! `assumed_expand_cost_ns` guess in the expansion headroom cap.
 
 pub mod controller;
 pub mod epoch;
 pub mod policy;
 
-pub use controller::{AdaptConfig, AdaptController, ControllerStats, ExpansionOptions};
+pub use controller::{
+    AdaptConfig, AdaptController, ControllerStats, ExpansionOptions, WarmStartStats,
+};
 pub use epoch::{CallChildren, EpochView, FuncSample, RegionSample};
 pub use policy::{
     AdaptPolicy, CommRegionFocus, DropRecord, HotSmallExclusion, ImbalanceExpansion,

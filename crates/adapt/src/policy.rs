@@ -76,6 +76,12 @@ pub struct OverheadBudget {
     pub headroom: f64,
 }
 
+impl OverheadBudget {
+    /// Log/profile name of this policy (single source of truth shared
+    /// with the persistence layer's name interning).
+    pub const NAME: &'static str = "budget";
+}
+
 impl Default for OverheadBudget {
     fn default() -> Self {
         Self { headroom: 0.9 }
@@ -84,7 +90,7 @@ impl Default for OverheadBudget {
 
 impl AdaptPolicy for OverheadBudget {
     fn name(&self) -> &'static str {
-        "budget"
+        Self::NAME
     }
 
     fn decide(&mut self, ctx: &PolicyCtx<'_>, view: &EpochView) -> PolicyAction {
@@ -126,6 +132,11 @@ pub struct HotSmallExclusion {
     pub small_body_ns: u64,
 }
 
+impl HotSmallExclusion {
+    /// Log/profile name of this policy.
+    pub const NAME: &'static str = "hot-small";
+}
+
 impl Default for HotSmallExclusion {
     fn default() -> Self {
         Self {
@@ -137,7 +148,7 @@ impl Default for HotSmallExclusion {
 
 impl AdaptPolicy for HotSmallExclusion {
     fn name(&self) -> &'static str {
-        "hot-small"
+        Self::NAME
     }
 
     fn decide(&mut self, ctx: &PolicyCtx<'_>, view: &EpochView) -> PolicyAction {
@@ -170,6 +181,9 @@ pub struct ReinclusionProbe {
 }
 
 impl ReinclusionProbe {
+    /// Log/profile name of this policy.
+    pub const NAME: &'static str = "probe";
+
     /// Creates a probe policy with the given RNG seed.
     pub fn seeded(seed: u64, period: usize, max_probes: usize, max_redrops: u32) -> Self {
         Self {
@@ -193,7 +207,7 @@ impl ReinclusionProbe {
 
 impl AdaptPolicy for ReinclusionProbe {
     fn name(&self) -> &'static str {
-        "probe"
+        Self::NAME
     }
 
     fn decide(&mut self, ctx: &PolicyCtx<'_>, view: &EpochView) -> PolicyAction {
@@ -255,6 +269,11 @@ pub struct ImbalanceExpansion {
     pub max_redrops: u32,
 }
 
+impl ImbalanceExpansion {
+    /// Log/profile name of this policy.
+    pub const NAME: &'static str = "imbalance";
+}
+
 impl Default for ImbalanceExpansion {
     fn default() -> Self {
         Self {
@@ -268,7 +287,7 @@ impl Default for ImbalanceExpansion {
 
 impl AdaptPolicy for ImbalanceExpansion {
     fn name(&self) -> &'static str {
-        "imbalance"
+        Self::NAME
     }
 
     fn decide(&mut self, ctx: &PolicyCtx<'_>, view: &EpochView) -> PolicyAction {
@@ -320,6 +339,11 @@ pub struct CommRegionFocus {
     pub max_redrops: u32,
 }
 
+impl CommRegionFocus {
+    /// Log/profile name of this policy.
+    pub const NAME: &'static str = "comm-focus";
+}
+
 impl Default for CommRegionFocus {
     fn default() -> Self {
         Self {
@@ -333,7 +357,7 @@ impl Default for CommRegionFocus {
 
 impl AdaptPolicy for CommRegionFocus {
     fn name(&self) -> &'static str {
-        "comm-focus"
+        Self::NAME
     }
 
     fn decide(&mut self, ctx: &PolicyCtx<'_>, view: &EpochView) -> PolicyAction {

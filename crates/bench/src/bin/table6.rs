@@ -1,0 +1,307 @@
+//! Generates **Table VI — cold vs. warm-started adaptation** (new
+//! workload beyond the paper): the cross-run persistence experiment.
+//!
+//! A synthetic MPI application with a hot-small function in the initial
+//! IC and a two-level rank-skewed subtree *below* it runs the in-flight
+//! trim+grow controller twice:
+//!
+//! * **cold** — the controller discovers everything from scratch: the
+//!   hot-small function is trimmed at epoch 0, the imbalance-expansion
+//!   policy descends the skewed subtree one level per epoch (iterative
+//!   deepening), and every step pays its own repatch batch;
+//! * **warm** — the converged instrumentation profile exported by the
+//!   cold run seeds a fresh session: prior drops pre-trim and the
+//!   converged IC pre-grows in **one** repatch batch before epoch 0,
+//!   and the profile's cost samples replace the flat expansion-cost
+//!   assumption.
+//!
+//! The headline assertions (also the PR's acceptance criteria): the
+//! warm run converges in **strictly fewer epochs** and pays **strictly
+//! lower cumulative `T_adapt`** than the cold run, and two identical
+//! cold runs export **byte-identical** profiles (verified again through
+//! a save → load → re-save round trip).
+//!
+//! Environment: `CAPI_RANKS` (default 8), `CAPI_EPOCHS` (default 6),
+//! `CAPI_BUDGET_PCT` (default 40.0 — generous enough that growth is
+//! budget-capped, not starved), `CAPI_PROFILE_PATH` (where the profile
+//! artifact is written; default `table6_profile.json` under the system
+//! temp directory), `CAPI_TABLE6_OUT` (output path, default
+//! `BENCH_persist.json`). Zero/invalid values fall back to defaults.
+
+use capi::{dynamic_session, InstrumentationConfig};
+use capi_adapt::{
+    AdaptConfig, AdaptController, AdaptPolicy, HotSmallExclusion, ImbalanceExpansion,
+    OverheadBudget,
+};
+use capi_appmodel::{LinkTarget, MpiCall, ProgramBuilder};
+use capi_bench::{epochs_from_env, ranks_from_env};
+use capi_dyncapi::{efficiency_summary, AdaptiveRun, Session, ToolChoice, WarmStart};
+use capi_objmodel::{compile, Binary, CompileOptions};
+use capi_persist::InstrumentationProfile;
+use serde_json::{json, Value};
+use std::path::PathBuf;
+
+fn app() -> Binary {
+    let mut b = ProgramBuilder::new("table6app");
+    b.unit("m.cc", LinkTarget::Executable);
+    b.function("main")
+        .main()
+        .statements(50)
+        .instructions(400)
+        .cost(1_000)
+        .calls("MPI_Init", 1)
+        .calls("step", 24)
+        .calls("MPI_Finalize", 1)
+        .finish();
+    b.function("step")
+        .statements(40)
+        .instructions(300)
+        .cost(500)
+        .calls("tiny_hot", 3_000)
+        .calls("balanced_phase", 1)
+        .calls("skewed_phase", 1)
+        .calls("MPI_Allreduce", 1)
+        .finish();
+    // Hot and nearly free: all overhead, trimmed at epoch 0.
+    b.function("tiny_hot")
+        .statements(20)
+        .instructions(200)
+        .cost(3)
+        .finish();
+    b.function("balanced_phase")
+        .statements(30)
+        .instructions(300)
+        .cost(200)
+        .calls("bal_kernel", 40)
+        .finish();
+    // Two levels below the phase, so cold expansion needs two epochs
+    // of iterative deepening (= two repatch batches) to reach the
+    // kernel the warm start pre-grows in one.
+    b.function("skewed_phase")
+        .statements(30)
+        .instructions(300)
+        .cost(200)
+        .calls("skew_mid", 1)
+        .finish();
+    b.function("skew_mid")
+        .statements(30)
+        .instructions(300)
+        .cost(200)
+        .calls("skew_kernel", 40)
+        .finish();
+    b.function("bal_kernel")
+        .statements(60)
+        .instructions(600)
+        .cost(2_000)
+        .loop_depth(2)
+        .finish();
+    b.function("skew_kernel")
+        .statements(60)
+        .instructions(600)
+        .cost(2_000)
+        .imbalance(200)
+        .loop_depth(2)
+        .finish();
+    b.function("MPI_Init")
+        .statements(1)
+        .instructions(8)
+        .cost(0)
+        .mpi(MpiCall::Init)
+        .finish();
+    b.function("MPI_Allreduce")
+        .statements(1)
+        .instructions(8)
+        .cost(0)
+        .mpi(MpiCall::Allreduce { bytes: 64 })
+        .finish();
+    b.function("MPI_Finalize")
+        .statements(1)
+        .instructions(8)
+        .cost(0)
+        .mpi(MpiCall::Finalize)
+        .finish();
+    compile(&b.build().unwrap(), &CompileOptions::o2()).expect("table6 app compiles")
+}
+
+fn session(bin: &Binary, ranks: u32) -> Session {
+    let ic =
+        InstrumentationConfig::from_names(["tiny_hot", "step", "balanced_phase", "skewed_phase"]);
+    dynamic_session(bin, &ic, ToolChoice::None, ranks).expect("session starts")
+}
+
+/// Trim + grow without re-inclusion probing, so convergence epochs are
+/// exact and cold-vs-warm compares cleanly.
+fn controller(budget_pct: f64) -> AdaptController {
+    let policies: Vec<Box<dyn AdaptPolicy>> = vec![
+        Box::new(HotSmallExclusion::default()),
+        Box::new(OverheadBudget::default()),
+        Box::new(ImbalanceExpansion::default()),
+    ];
+    AdaptController::with_policies(
+        AdaptConfig {
+            budget_pct,
+            seed: 0x6AB1,
+            ..Default::default()
+        },
+        policies,
+    )
+}
+
+struct ModeResult {
+    run: AdaptiveRun,
+    converged_at: Option<usize>,
+    active: Vec<String>,
+    log: String,
+    profile: InstrumentationProfile,
+}
+
+fn run_mode(
+    bin: &Binary,
+    ranks: u32,
+    epochs: usize,
+    budget: f64,
+    warm_from: Option<&InstrumentationProfile>,
+) -> ModeResult {
+    let mut s = session(bin, ranks);
+    let mut c = controller(budget);
+    let warm = warm_from.map(WarmStart::Profile);
+    let run = s.run_adaptive_warm(&mut c, epochs, warm).expect("runs");
+    let mut profile = c.export_profile(s.object_records());
+    profile.efficiency = efficiency_summary(&run.efficiency);
+    let active = c
+        .active_ids()
+        .iter()
+        .filter_map(|&id| c.name_of(id).map(str::to_string))
+        .collect();
+    ModeResult {
+        run,
+        converged_at: c.converged_at(),
+        active,
+        log: c.render_log(),
+        profile,
+    }
+}
+
+fn main() {
+    let ranks = ranks_from_env();
+    let epochs = epochs_from_env();
+    // table6's own default is 40.0 (not the bench library's 5.0): the
+    // budget must be generous enough that growth is capped, not
+    // starved. Zero/invalid values fall back to 40.0 too.
+    let budget = std::env::var("CAPI_BUDGET_PCT")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|&b| b > 0.0 && b.is_finite())
+        .unwrap_or(40.0);
+    let out_path =
+        std::env::var("CAPI_TABLE6_OUT").unwrap_or_else(|_| "BENCH_persist.json".to_string());
+    let profile_path = std::env::var("CAPI_PROFILE_PATH")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| std::env::temp_dir().join("table6_profile.json"));
+
+    println!("TABLE VI — COLD vs WARM-STARTED ADAPTATION (cross-run persistence)\n");
+    println!("{ranks} ranks | {epochs} epochs | budget {budget:.1}%");
+    println!("initial IC: tiny_hot, step, balanced_phase, skewed_phase (kernels excluded)\n");
+
+    let bin = app();
+    // Cold run twice: the determinism contract says the exported
+    // profiles are byte-identical.
+    let cold = run_mode(&bin, ranks, epochs, budget, None);
+    let cold2 = run_mode(&bin, ranks, epochs, budget, None);
+    let cold_bytes = cold.profile.to_json_string();
+    assert_eq!(
+        cold_bytes,
+        cold2.profile.to_json_string(),
+        "identical cold runs export byte-identical profiles"
+    );
+    assert_eq!(cold.log, cold2.log, "cold adaptation logs byte-identical");
+
+    // Disk round trip: save → load → re-save must reproduce the bytes.
+    cold.profile.save(&profile_path).expect("profile saves");
+    let reloaded = InstrumentationProfile::load(&profile_path).expect("profile loads");
+    assert_eq!(
+        reloaded.to_json_string(),
+        cold_bytes,
+        "save/load/re-save is byte-identical"
+    );
+
+    // Warm run, seeded from the reloaded profile (full disk cycle).
+    let warm = run_mode(&bin, ranks, epochs, budget, Some(&reloaded));
+
+    println!("mode  conv_epoch  T_adapt(ns)  repatch_batches  active  skew_kernel");
+    let mut rows: Vec<Value> = Vec::new();
+    for (label, m) in [("cold", &cold), ("warm", &warm)] {
+        let batches = m
+            .run
+            .records
+            .iter()
+            .filter(|r| r.sleds_patched + r.sleds_unpatched > 0)
+            .count()
+            + usize::from(m.run.warm.is_some_and(|w| w.adapt_ns > 0));
+        let has_skew = m.active.iter().any(|n| n == "skew_kernel");
+        println!(
+            "{label:<4}  {:>10}  {:>11}  {:>15}  {:>6}  {has_skew:>11}",
+            m.converged_at.map_or(-1i64, |e| e as i64),
+            m.run.adapt_ns,
+            batches,
+            m.active.len(),
+        );
+        rows.push(json!({
+            "mode": label,
+            "converged_at": m.converged_at,
+            "adapt_ns": m.run.adapt_ns,
+            "warm_adapt_ns": m.run.warm.map_or(0, |w| w.adapt_ns),
+            "repatch_batches": batches,
+            "active": m.active.len(),
+            "includes_skew_kernel": has_skew,
+            "events": m.run.events,
+            "run_ns": m.run.run_ns,
+        }));
+    }
+
+    // Acceptance criteria, asserted where the artifact is produced.
+    let cold_conv = cold.converged_at.expect("cold run converges");
+    let warm_conv = warm.converged_at.expect("warm run converges");
+    assert!(
+        warm_conv < cold_conv,
+        "warm start must converge in strictly fewer epochs: warm {warm_conv} vs cold {cold_conv}\n{}",
+        warm.log
+    );
+    assert!(
+        warm.run.adapt_ns < cold.run.adapt_ns,
+        "warm start must pay lower cumulative T_adapt: warm {} vs cold {}",
+        warm.run.adapt_ns,
+        cold.run.adapt_ns
+    );
+    assert!(
+        warm.active.iter().any(|n| n == "skew_kernel"),
+        "the warm run keeps the skewed subtree instrumented"
+    );
+    assert!(
+        !warm.active.iter().any(|n| n == "tiny_hot"),
+        "the warm run keeps tiny_hot out"
+    );
+
+    println!("\n--- cold adaptation log ---");
+    print!("{}", cold.log);
+    println!("--- warm adaptation log ---");
+    print!("{}", warm.log);
+    println!(
+        "\nsummary: warm converged at epoch {warm_conv} (cold: {cold_conv}), \
+         T_adapt {} vs {} ns; profiles byte-identical across runs and disk round trips.",
+        warm.run.adapt_ns, cold.run.adapt_ns
+    );
+
+    let report = json!({
+        "bench": "persist-warm-start",
+        "ranks": ranks,
+        "epochs": epochs,
+        "budget_pct": budget,
+        "profile_bytes": cold_bytes.len(),
+        "profiles_byte_identical": true,
+        "rows": rows,
+    });
+    let pretty = serde_json::to_string_pretty(&report).expect("serializes");
+    std::fs::write(&out_path, pretty + "\n").expect("writes the table6 artifact");
+    println!("wrote {out_path} (profile at {})", profile_path.display());
+}

@@ -47,4 +47,7 @@ pub use ic::InstrumentationConfig;
 pub use inlining::{compensate_inlining, CompensationReport};
 pub use instrument::{dynamic_session, static_session, StaticBuild};
 pub use select::{select, SelectionOutcome};
-pub use workflow::{IcOutcome, InFlightOptions, InFlightOutcome, MeasureOutcome, Workflow};
+pub use workflow::{
+    profile_source_from_env, IcOutcome, InFlightOptions, InFlightOutcome, MeasureOutcome,
+    ProfileSource, Workflow,
+};

@@ -14,10 +14,14 @@ use crate::instrument::dynamic_session;
 use crate::select::{select, SelectionOutcome};
 use capi_adapt::{AdaptConfig, AdaptController, ExpansionOptions};
 use capi_appmodel::SourceProgram;
-use capi_dyncapi::{AdaptiveRun, DynCapiError, SessionRun, ToolChoice};
+use capi_dyncapi::{
+    efficiency_summary, AdaptiveRun, DynCapiError, SessionRun, ToolChoice, WarmStart,
+};
 use capi_metacg::{whole_program_callgraph, CallGraph};
 use capi_objmodel::{compile, estimate_compile_time, Binary, CompileError, CompileOptions};
+use capi_persist::InstrumentationProfile;
 use capi_spec::{ModuleRegistry, SpecError};
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// Result of turning a selection into an IC (with post-processing).
@@ -81,8 +85,13 @@ pub struct InFlightOutcome {
     pub adaptive: AdaptiveRun,
     /// The IC the controller converged on (resolved names only).
     pub final_ic: InstrumentationConfig,
-    /// First epoch at which the controller converged, if it did.
+    /// First epoch at which the controller converged, if it did (and
+    /// stayed converged — a later re-drop resets this).
     pub converged_at: Option<usize>,
+    /// First epoch the controller *ever* converged at, regardless of
+    /// later probe churn — the time-to-converged-IC metric warm starts
+    /// improve.
+    pub first_converged_at: Option<usize>,
     /// The controller's adaptation log — byte-identical across runs
     /// with the same seed and budget.
     pub log: String,
@@ -90,6 +99,40 @@ pub struct InFlightOutcome {
     pub rebuilds: u32,
     /// Session restarts performed (always 0 in in-flight mode).
     pub restarts: u32,
+    /// The exported instrumentation profile: the converged IC in
+    /// packed-ID form, drop records, cost samples, and the efficiency
+    /// summary. Save it (or pass it back inline) to warm-start the next
+    /// run.
+    pub profile: InstrumentationProfile,
+    /// Whether this run was warm-started from a prior profile.
+    pub warm_started: bool,
+}
+
+/// Where [`Workflow::measure_in_flight_with_profile`] gets (and puts)
+/// the cross-run instrumentation profile.
+#[derive(Clone, Debug, Default)]
+pub enum ProfileSource {
+    /// No persistence: cold start, nothing written back.
+    #[default]
+    None,
+    /// Warm-start from an in-memory profile; nothing is written back
+    /// (the caller owns persistence).
+    Inline(InstrumentationProfile),
+    /// Load the profile from this path — a missing, truncated, or
+    /// schema-mismatched file degrades to a cold start with the reason
+    /// in the adaptation log — and save the updated profile back to the
+    /// same path after the run.
+    Path(PathBuf),
+}
+
+/// The [`ProfileSource`] selected by the `CAPI_PROFILE_PATH`
+/// environment knob: [`ProfileSource::Path`] when set (and non-empty),
+/// [`ProfileSource::None`] otherwise.
+pub fn profile_source_from_env() -> ProfileSource {
+    match std::env::var("CAPI_PROFILE_PATH") {
+        Ok(path) if !path.trim().is_empty() => ProfileSource::Path(PathBuf::from(path)),
+        _ => ProfileSource::None,
+    }
 }
 
 /// The CaPI workflow over one application.
@@ -216,12 +259,39 @@ impl Workflow {
     /// below load-imbalanced or communication-heavy regions — with zero
     /// restarts and zero rebuilds. Identical seeds and budgets produce
     /// byte-identical adaptation logs.
+    ///
+    /// This method is pure (no persistence): every call is a cold
+    /// start and nothing touches disk, preserving the byte-identical
+    /// determinism contract. Cross-run persistence is an explicit
+    /// opt-in through [`Self::measure_in_flight_with_profile`] — pass
+    /// [`profile_source_from_env`]'s result to honor the
+    /// `CAPI_PROFILE_PATH` knob the way the bench binaries and
+    /// examples do.
     pub fn measure_in_flight(
         &self,
         ic: &InstrumentationConfig,
         tool: ToolChoice,
         ranks: u32,
         opts: InFlightOptions,
+    ) -> Result<InFlightOutcome, WorkflowError> {
+        self.measure_in_flight_with_profile(ic, tool, ranks, opts, &ProfileSource::None)
+    }
+
+    /// [`Self::measure_in_flight`] with explicit cross-run persistence:
+    /// the session warm-starts from the given [`ProfileSource`] (prior
+    /// drops pre-trim epoch 0, the prior converged IC pre-grows, seeded
+    /// costs replace the expansion-cost assumption) and the refined
+    /// profile is exported into [`InFlightOutcome::profile`] — and, for
+    /// [`ProfileSource::Path`], written back to disk. Load failures
+    /// never abort the run: the session degrades to a cold start and
+    /// the adaptation log records why.
+    pub fn measure_in_flight_with_profile(
+        &self,
+        ic: &InstrumentationConfig,
+        tool: ToolChoice,
+        ranks: u32,
+        opts: InFlightOptions,
+        source: &ProfileSource,
     ) -> Result<InFlightOutcome, WorkflowError> {
         let mut session = dynamic_session(&self.binary, ic, tool, ranks)?;
         let cfg = AdaptConfig {
@@ -233,9 +303,29 @@ impl Workflow {
             Some(exp) => AdaptController::with_expansion(cfg, exp),
             None => AdaptController::new(cfg),
         };
+        // Only the Path source needs an owned load; Inline is borrowed
+        // directly from the caller.
+        let loaded = match source {
+            ProfileSource::Path(path) => Some(InstrumentationProfile::load(path)),
+            _ => None,
+        };
+        let warm = match (source, loaded.as_ref()) {
+            (ProfileSource::Inline(p), _) => Some(WarmStart::Profile(p)),
+            (_, Some(Ok(p))) => Some(WarmStart::Profile(p)),
+            (_, Some(Err(e))) => Some(WarmStart::Unavailable(e.to_string())),
+            _ => None,
+        };
+        let warm_started = matches!(warm, Some(WarmStart::Profile(_)));
         let adaptive = session
-            .run_adaptive(&mut controller, opts.epochs)
+            .run_adaptive_warm(&mut controller, opts.epochs, warm)
             .map_err(WorkflowError::DynCapi)?;
+        let mut profile = controller.export_profile(session.object_records());
+        profile.efficiency = efficiency_summary(&adaptive.efficiency);
+        if let ProfileSource::Path(path) = source {
+            if let Err(e) = profile.save(path) {
+                controller.log_note(&format!("profile save failed: {e}"));
+            }
+        }
         let final_ic = InstrumentationConfig::from_names(
             controller
                 .active_ids()
@@ -245,9 +335,12 @@ impl Workflow {
         Ok(InFlightOutcome {
             final_ic,
             converged_at: controller.converged_at(),
+            first_converged_at: controller.first_converged_at(),
             log: controller.render_log(),
             rebuilds: 0,
             restarts: adaptive.restarts,
+            profile,
+            warm_started,
             adaptive,
         })
     }
@@ -436,6 +529,70 @@ mod tests {
         assert!(a.log.contains("expand skew_kernel"));
         // The efficiency trajectory was aggregated.
         assert!(a.adaptive.efficiency.regions() >= 1);
+    }
+
+    #[test]
+    fn in_flight_profile_round_trip_warm_starts() {
+        let wf = Workflow::analyze(program(), CompileOptions::o2()).unwrap();
+        let ic = wf
+            .select_ic(r#"flops(">=", 10, loopDepth(">=", 1, %%))"#)
+            .unwrap()
+            .ic;
+        let opts = InFlightOptions {
+            epochs: 4,
+            budget_pct: 4.0,
+            seed: 11,
+            ..Default::default()
+        };
+        let cold = wf
+            .measure_in_flight_with_profile(&ic, ToolChoice::None, 2, opts, &ProfileSource::None)
+            .unwrap();
+        assert!(!cold.warm_started);
+        assert!(!cold.profile.functions.is_empty());
+        // Inline warm start from the cold run's exported profile.
+        let warm = wf
+            .measure_in_flight_with_profile(
+                &ic,
+                ToolChoice::None,
+                2,
+                opts,
+                &ProfileSource::Inline(cold.profile.clone()),
+            )
+            .unwrap();
+        assert!(warm.warm_started);
+        assert!(warm.log.contains("warm start:"));
+        assert_eq!(warm.final_ic, cold.final_ic, "same converged IC");
+        // Path source: a cold run writes the file, a second run warm
+        // starts from it; a corrupt file degrades to a logged cold
+        // start.
+        let dir = std::env::temp_dir().join("capi-workflow-profile-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("profile.json");
+        std::fs::remove_file(&path).ok();
+        let source = ProfileSource::Path(path.clone());
+        let first = wf
+            .measure_in_flight_with_profile(&ic, ToolChoice::None, 2, opts, &source)
+            .unwrap();
+        assert!(!first.warm_started, "no file yet: cold");
+        assert!(first.log.contains("warm start unavailable:"));
+        assert!(path.exists(), "profile written back");
+        let second = wf
+            .measure_in_flight_with_profile(&ic, ToolChoice::None, 2, opts, &source)
+            .unwrap();
+        assert!(second.warm_started);
+        std::fs::write(&path, "{ truncated").unwrap();
+        let third = wf
+            .measure_in_flight_with_profile(&ic, ToolChoice::None, 2, opts, &source)
+            .unwrap();
+        assert!(!third.warm_started);
+        assert!(
+            third
+                .log
+                .contains("warm start unavailable: malformed or truncated profile"),
+            "fallback reason logged:\n{}",
+            third.log
+        );
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

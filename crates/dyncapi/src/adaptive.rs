@@ -15,11 +15,55 @@
 //! receiving events across IC reloads.
 
 use crate::startup::{DynCapiError, Session};
-use capi_adapt::{AdaptController, CallChildren, EpochView, FuncSample, RegionSample};
+use capi_adapt::{
+    AdaptController, CallChildren, EpochView, FuncSample, RegionSample, WarmStartStats,
+};
 use capi_exec::{Engine, EpochSpec};
 use capi_mpisim::World;
+use capi_persist::{
+    fingerprint_object, plan_object_matches, InstrumentationProfile, ObjectMatch, ObjectRecord,
+};
 use capi_talp::EfficiencyReport;
+use capi_xray::PackedId;
+use std::collections::BTreeMap;
 use std::sync::Arc;
+
+/// How a warm start was requested.
+///
+/// [`WarmStart::Unavailable`] exists so the layer that *tried* to load
+/// a profile (and failed — missing file, schema mismatch, truncation)
+/// can hand the reason down: the session degrades to a cold start and
+/// records why in the adaptation log, instead of silently forgetting
+/// that persistence was asked for.
+#[derive(Clone, Debug)]
+pub enum WarmStart<'a> {
+    /// Seed the controller from this profile before epoch 0.
+    Profile(&'a InstrumentationProfile),
+    /// A profile was requested but could not be loaded; the string is
+    /// the reason, logged verbatim into the adaptation log.
+    Unavailable(String),
+}
+
+/// What the warm start actually did (also summarized in the log).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WarmStartSummary {
+    /// Profile objects whose identity matched under the same ID.
+    pub objects_unchanged: usize,
+    /// Profile objects remapped to a different XRay object ID.
+    pub objects_remapped: usize,
+    /// Profile objects matched by name only (rebuilt binaries) — their
+    /// functions were re-resolved by symbol name.
+    pub objects_rebuilt: usize,
+    /// Profile objects with no live counterpart; records discarded.
+    pub objects_missing: usize,
+    /// Functions of rebuilt objects successfully rebound by name.
+    pub functions_rebound: usize,
+    /// Controller-side seeding counters.
+    pub seed: WarmStartStats,
+    /// Virtual cost of the epoch-0 pre-trim/pre-grow repatch (counted
+    /// into the run's total `T_adapt`).
+    pub adapt_ns: u64,
+}
 
 /// Per-epoch record of the adaptation trajectory.
 #[derive(Clone, Debug)]
@@ -67,6 +111,8 @@ pub struct AdaptiveRun {
     pub total_ns: u64,
     /// Session restarts needed — always 0, that is the point.
     pub restarts: u32,
+    /// Warm-start accounting, when the run was seeded from a profile.
+    pub warm: Option<WarmStartSummary>,
     /// Per-epoch, per-region efficiency trajectory (POP metrics +
     /// communication fraction) — the TALP signal the expansion policies
     /// consumed, aggregated for reporting.
@@ -85,6 +131,30 @@ impl Session {
         controller: &mut AdaptController,
         epochs: usize,
     ) -> Result<AdaptiveRun, DynCapiError> {
+        self.run_adaptive_warm(controller, epochs, None)
+    }
+
+    /// [`Self::run_adaptive`] with an optional warm start: the
+    /// controller is seeded from a prior run's instrumentation profile
+    /// *before* epoch 0 — prior drops are pre-trimmed, the converged
+    /// IC's extra members pre-grown (one repatch batch, accounted into
+    /// `T_adapt`), and the profile's cost samples replace the
+    /// controller's flat expansion-cost assumption.
+    ///
+    /// Profiles survive process changes: objects are matched by name +
+    /// content fingerprint (see [`Session::object_records`]), so a DSO
+    /// re-registered under a recycled XRay object ID is remapped, a
+    /// rebuilt object has its functions re-resolved by symbol name, and
+    /// records of vanished objects are discarded rather than aliased
+    /// onto whatever now owns the stale packed IDs. A requested-but-
+    /// unloadable profile ([`WarmStart::Unavailable`]) degrades to a
+    /// cold start with the reason in the adaptation log.
+    pub fn run_adaptive_warm(
+        &mut self,
+        controller: &mut AdaptController,
+        epochs: usize,
+        warm: Option<WarmStart<'_>>,
+    ) -> Result<AdaptiveRun, DynCapiError> {
         let epochs = epochs.max(1);
         let world = World::new(self.config.ranks, self.config.mpi_cost);
         if let Some(talp) = &self.talp {
@@ -94,13 +164,25 @@ impl Session {
         let mut records = Vec::with_capacity(epochs);
         let mut efficiency = EfficiencyReport::new();
         let mut children: CallChildren = CallChildren::default();
+        let mut warm = warm;
+        let mut warm_summary: Option<WarmStartSummary> = None;
+        let mut initialized = false;
         let (mut events, mut nops, mut cutoffs, mut adapt_ns) = (0u64, 0u64, 0u64, 0u64);
-        for epoch in 0..epochs {
+        let mut epoch = 0usize;
+        while epoch < epochs {
             // Re-prepare against the current patch state: the snapshot
-            // and quiet-subtree analysis pick up the last delta.
+            // and quiet-subtree analysis pick up the last delta (and,
+            // at epoch 0, the warm-start batch).
             let engine = Engine::prepare(&self.process, &self.runtime, self.config.overhead)
                 .map_err(DynCapiError::Exec)?;
-            if epoch == 0 {
+            if !initialized {
+                initialized = true;
+                // Setup: seed the controller from the startup patch
+                // state, pin the spine, and share the instrumentable
+                // call tree across epochs (it is a property of the
+                // loaded objects, not of the patch state). Hint every
+                // sled-bearing function's name so expansion decisions
+                // log readably.
                 let names: Vec<_> = self
                     .runtime
                     .patched_ids()
@@ -109,10 +191,6 @@ impl Session {
                     .collect();
                 controller.begin(names);
                 controller.pin(engine.spine_sled_ids());
-                // The instrumentable call tree is a property of the
-                // loaded objects, not of the patch state: build it once
-                // and share it across epochs. Hint every sled-bearing
-                // function's name so expansion decisions log readably.
                 let tree = engine.call_children();
                 controller.hint_names(
                     tree.iter()
@@ -125,6 +203,30 @@ impl Session {
                         })
                         .collect(),
                 );
+                // Warm start: apply the profile's converged state as
+                // one repatch batch before the program runs its first
+                // epoch. Only this path pays an extra Engine::prepare
+                // (the repatch invalidates the snapshot just taken);
+                // cold runs reuse the engine for epoch 0 directly.
+                match warm.take() {
+                    None => {}
+                    Some(WarmStart::Unavailable(reason)) => {
+                        controller
+                            .log_note(&format!("warm start unavailable: {reason} — cold start"));
+                    }
+                    Some(WarmStart::Profile(profile)) => {
+                        drop(engine);
+                        let mut summary = self.plan_warm_start(controller, profile);
+                        let (delta, seed) = controller.seed_from_profile(profile, &summary.idmap);
+                        summary.summary.seed = seed;
+                        let rep = self.runtime.repatch(&mut self.process.memory, &delta)?;
+                        let warm_ns = repatch_cost_ns(&self.config.init_costs, &rep);
+                        summary.summary.adapt_ns = warm_ns;
+                        adapt_ns += warm_ns;
+                        warm_summary = Some(summary.summary);
+                        continue;
+                    }
+                }
             }
             let out = engine
                 .run_epoch(
@@ -182,9 +284,7 @@ impl Session {
             let overhead_pct = view.overhead_pct();
             let delta = controller.on_epoch(&view);
             let rep = self.runtime.repatch(&mut self.process.memory, &delta)?;
-            let epoch_adapt_ns = (rep.sleds_patched + rep.sleds_unpatched)
-                * self.config.init_costs.per_sled_patch_ns
-                + rep.mprotect_pairs * self.config.init_costs.per_mprotect_ns;
+            let epoch_adapt_ns = repatch_cost_ns(&self.config.init_costs, &rep);
             adapt_ns += epoch_adapt_ns;
             records.push(EpochRecord {
                 epoch,
@@ -197,6 +297,7 @@ impl Session {
                 sleds_unpatched: rep.sleds_unpatched,
                 adapt_ns: epoch_adapt_ns,
             });
+            epoch += 1;
         }
         let run_ns = clocks.iter().copied().max().unwrap_or(0);
         Ok(AdaptiveRun {
@@ -210,8 +311,109 @@ impl Session {
             adapt_ns,
             total_ns: self.report.init_ns + adapt_ns + run_ns,
             restarts: 0,
+            warm: warm_summary,
             efficiency,
         })
+    }
+
+    /// Identity records of every registered XRay object: name plus a
+    /// content fingerprint over the full symbol table (hidden symbols
+    /// included — they change on rebuilds too). Load addresses do not
+    /// participate, so two loads of the same build match.
+    pub fn object_records(&self) -> Vec<ObjectRecord> {
+        let mut out = Vec::new();
+        for (pi, lo) in self.process.loaded() {
+            let Some(object_id) = self.runtime.object_id_for_process_index(pi) else {
+                continue;
+            };
+            let fingerprint = fingerprint_object(
+                &lo.image.name,
+                lo.image
+                    .symtab
+                    .all()
+                    .iter()
+                    .map(|s| (s.name.as_str(), s.offset)),
+            );
+            out.push(ObjectRecord {
+                object_id,
+                name: lo.image.name.clone(),
+                fingerprint,
+            });
+        }
+        out.sort_by_key(|r| r.object_id);
+        out
+    }
+
+    /// Builds the profile-raw-ID → live-raw-ID map from the object
+    /// match plan, logging the plan into the adaptation log. Functions
+    /// left out of the map are discarded by the seeding step — a stale
+    /// packed ID is never applied to whatever recycled its slot.
+    fn plan_warm_start(
+        &self,
+        controller: &mut AdaptController,
+        profile: &InstrumentationProfile,
+    ) -> PlannedWarmStart {
+        let current = self.object_records();
+        let plan = plan_object_matches(&profile.objects, &current);
+        let mut summary = WarmStartSummary::default();
+        // Direct maps: the function half of the packed ID is trusted.
+        let mut direct: BTreeMap<u8, u8> = BTreeMap::new();
+        // Rebuilt objects: only symbol names can be trusted.
+        let mut rebuilt: BTreeMap<u8, u8> = BTreeMap::new();
+        for m in &plan {
+            match *m {
+                ObjectMatch::Unchanged { object_id } => {
+                    summary.objects_unchanged += 1;
+                    direct.insert(object_id, object_id);
+                }
+                ObjectMatch::Moved { from, to } => {
+                    summary.objects_remapped += 1;
+                    direct.insert(from, to);
+                }
+                ObjectMatch::Rebuilt { from, to } => {
+                    summary.objects_rebuilt += 1;
+                    rebuilt.insert(from, to);
+                }
+                ObjectMatch::Missing { .. } => summary.objects_missing += 1,
+            }
+        }
+        // Name → packed ID per live object for rebuilt re-resolution
+        // (smallest ID wins on duplicate names, deterministically).
+        let mut by_name: BTreeMap<(u8, &str), PackedId> = BTreeMap::new();
+        for (id, name) in &self.symbols.names {
+            let slot = by_name.entry((id.object(), name.as_str())).or_insert(*id);
+            if id.raw() < slot.raw() {
+                *slot = *id;
+            }
+        }
+        let mut idmap: BTreeMap<u32, u32> = BTreeMap::new();
+        for f in &profile.functions {
+            let pid = PackedId::from_raw(f.raw_id);
+            if let Some(&to) = direct.get(&pid.object()) {
+                let Ok(new) = PackedId::pack(to, pid.function()) else {
+                    continue;
+                };
+                // Same build → the fid must exist; checked anyway so a
+                // tampered profile degrades instead of erroring repatch.
+                if self.runtime.function_address(new).is_some() {
+                    idmap.insert(f.raw_id, new.raw());
+                }
+            } else if let Some(&to) = rebuilt.get(&pid.object()) {
+                if let Some(&new) = by_name.get(&(to, f.name.as_str())) {
+                    idmap.insert(f.raw_id, new.raw());
+                    summary.functions_rebound += 1;
+                }
+            }
+        }
+        controller.log_note(&format!(
+            "warm objects: {} unchanged, {} remapped, {} rebuilt ({} functions rebound by name), {} missing",
+            summary.objects_unchanged,
+            summary.objects_remapped,
+            summary.objects_rebuilt,
+            summary.functions_rebound,
+            summary.objects_missing
+        ));
+        PlannedWarmStart { idmap, summary }
     }
 
     /// Display name for a packed ID: the resolved symbol, or a stable
@@ -222,6 +424,40 @@ impl Session {
             .map(str::to_string)
             .unwrap_or_else(|| format!("fid:{:#010x}", id.raw()))
     }
+}
+
+/// Outcome of [`Session::plan_warm_start`].
+struct PlannedWarmStart {
+    idmap: BTreeMap<u32, u32>,
+    summary: WarmStartSummary,
+}
+
+/// Virtual cost of one repatch batch — the single formula both the
+/// warm-start batch and every per-epoch delta are accounted with, so
+/// `T_adapt` stays comparable between cold and warm runs by
+/// construction.
+fn repatch_cost_ns(costs: &crate::startup::InitCostModel, rep: &capi_xray::RepatchReport) -> u64 {
+    (rep.sleds_patched + rep.sleds_unpatched) * costs.per_sled_patch_ns
+        + rep.mprotect_pairs * costs.per_mprotect_ns
+}
+
+/// Converts an adaptive run's efficiency trajectory into the
+/// fixed-point per-region summary a profile persists (the last epoch
+/// that saw each region).
+pub fn efficiency_summary(report: &EfficiencyReport) -> Vec<capi_persist::RegionSummary> {
+    report
+        .last_per_region()
+        .into_iter()
+        .map(|(key, name, epoch, rec)| capi_persist::RegionSummary {
+            raw_id: key,
+            name: name.to_string(),
+            epoch,
+            lb_ppm: capi_persist::RegionSummary::to_ppm(rec.pop.load_balance),
+            comm_ppm: capi_persist::RegionSummary::to_ppm(rec.comm_fraction),
+            pe_ppm: capi_persist::RegionSummary::to_ppm(rec.pop.parallel_efficiency),
+            enters: rec.enters,
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -468,6 +704,269 @@ mod tests {
         assert_eq!(active, active2);
         assert_eq!(run.per_rank_ns, run2.per_rank_ns);
         assert_eq!(rendered, run2.efficiency.render());
+    }
+
+    /// Two-level skewed subtree + a hot-small function, so a cold
+    /// adaptive run pays several repatch batches: epoch 0 trims
+    /// `tiny_hot` and expands `skew_mid`, epoch 1 descends to
+    /// `skew_kernel` (iterative deepening) — while a warm start applies
+    /// the whole converged state as one batch.
+    fn deep_imbalanced_binary(extra_fn: bool) -> capi_objmodel::Binary {
+        let mut b = ProgramBuilder::new("warmapp");
+        b.unit("m.cc", LinkTarget::Executable);
+        {
+            let mut f = b
+                .function("main")
+                .main()
+                .statements(50)
+                .instructions(400)
+                .cost(1_000)
+                .calls("MPI_Init", 1)
+                .calls("step", 12);
+            if extra_fn {
+                f = f.calls("extra_pad", 1);
+            }
+            f.calls("MPI_Finalize", 1).finish();
+        }
+        if extra_fn {
+            // Shifts every later function's offsets and IDs: the same
+            // program *name* with a different content fingerprint — a
+            // rebuild, as far as a profile is concerned.
+            b.function("extra_pad")
+                .statements(25)
+                .instructions(220)
+                .cost(100)
+                .finish();
+        }
+        b.function("step")
+            .statements(40)
+            .instructions(300)
+            .cost(500)
+            .calls("tiny_hot", 6_000)
+            .calls("balanced_phase", 1)
+            .calls("skewed_phase", 1)
+            .calls("MPI_Allreduce", 1)
+            .finish();
+        b.function("tiny_hot")
+            .statements(20)
+            .instructions(200)
+            .cost(3)
+            .finish();
+        b.function("balanced_phase")
+            .statements(30)
+            .instructions(300)
+            .cost(200)
+            .calls("bal_kernel", 40)
+            .finish();
+        b.function("skewed_phase")
+            .statements(30)
+            .instructions(300)
+            .cost(200)
+            .calls("skew_mid", 1)
+            .finish();
+        b.function("skew_mid")
+            .statements(30)
+            .instructions(300)
+            .cost(200)
+            .calls("skew_kernel", 40)
+            .finish();
+        b.function("bal_kernel")
+            .statements(60)
+            .instructions(600)
+            .cost(2_000)
+            .loop_depth(2)
+            .finish();
+        b.function("skew_kernel")
+            .statements(60)
+            .instructions(600)
+            .cost(2_000)
+            .imbalance(150)
+            .loop_depth(2)
+            .finish();
+        b.function("MPI_Init")
+            .statements(1)
+            .instructions(8)
+            .cost(0)
+            .mpi(MpiCall::Init)
+            .finish();
+        b.function("MPI_Allreduce")
+            .statements(1)
+            .instructions(8)
+            .cost(0)
+            .mpi(MpiCall::Allreduce { bytes: 16 })
+            .finish();
+        b.function("MPI_Finalize")
+            .statements(1)
+            .instructions(8)
+            .cost(0)
+            .mpi(MpiCall::Finalize)
+            .finish();
+        let p = b.build().unwrap();
+        compile(&p, &CompileOptions::o2()).unwrap()
+    }
+
+    fn warm_session(bin: &capi_objmodel::Binary) -> crate::Session {
+        let cfg = DynCapiConfig {
+            tool: ToolChoice::None,
+            ic: Some(FilterFile::include_only([
+                "tiny_hot",
+                "step",
+                "balanced_phase",
+                "skewed_phase",
+            ])),
+            ranks: 2,
+            ..Default::default()
+        };
+        startup(bin, cfg).unwrap()
+    }
+
+    /// Trim + grow, no re-inclusion probing: convergence is clean, so
+    /// cold-vs-warm epoch counts compare exactly.
+    fn warm_controller() -> AdaptController {
+        use capi_adapt::{AdaptPolicy, HotSmallExclusion, ImbalanceExpansion, OverheadBudget};
+        let policies: Vec<Box<dyn AdaptPolicy>> = vec![
+            Box::new(HotSmallExclusion::default()),
+            Box::new(OverheadBudget::default()),
+            Box::new(ImbalanceExpansion::default()),
+        ];
+        AdaptController::with_policies(
+            AdaptConfig {
+                budget_pct: 40.0,
+                seed: 17,
+                ..Default::default()
+            },
+            policies,
+        )
+    }
+
+    #[test]
+    fn warm_start_converges_in_fewer_epochs_with_lower_adapt_cost() {
+        let bin = deep_imbalanced_binary(false);
+        let cold_once = || {
+            let mut s = warm_session(&bin);
+            let mut c = warm_controller();
+            let run = s.run_adaptive(&mut c, 6).unwrap();
+            let mut profile = c.export_profile(s.object_records());
+            profile.efficiency = super::efficiency_summary(&run.efficiency);
+            (run, c.converged_at(), profile, c.render_log())
+        };
+        let (cold, cold_conv, profile, _) = cold_once();
+        assert!(cold.warm.is_none());
+        // The cold run needed multiple repatch batches: trim at epoch 0
+        // plus iterative-deepening expansions.
+        let batches = cold
+            .records
+            .iter()
+            .filter(|r| r.sleds_patched + r.sleds_unpatched > 0)
+            .count();
+        assert!(batches >= 2, "cold run repatches over several epochs");
+        let cold_conv = cold_conv.expect("cold run converges");
+        assert!(cold_conv >= 1);
+
+        // Byte-identical profiles across identical runs.
+        let (_, _, profile2, _) = cold_once();
+        assert_eq!(profile.to_json_string(), profile2.to_json_string());
+        assert!(
+            !profile.efficiency.is_empty(),
+            "efficiency summary rides along"
+        );
+
+        // Warm run: same binary, fresh session, seeded controller.
+        let mut s = warm_session(&bin);
+        let mut c = warm_controller();
+        let warm = s
+            .run_adaptive_warm(&mut c, 6, Some(WarmStart::Profile(&profile)))
+            .unwrap();
+        let summary = warm.warm.expect("warm start ran");
+        assert_eq!(summary.objects_unchanged, 1);
+        assert_eq!(summary.objects_missing, 0);
+        assert!(summary.seed.pre_trimmed >= 1, "tiny_hot pre-trimmed");
+        assert!(summary.seed.pre_grown >= 2, "skew subtree pre-grown");
+        assert!(summary.adapt_ns > 0);
+        let warm_conv = c.converged_at().expect("warm run converges");
+        assert!(
+            warm_conv < cold_conv,
+            "warm converged at {warm_conv}, cold at {cold_conv}"
+        );
+        assert!(
+            warm.adapt_ns < cold.adapt_ns,
+            "warm T_adapt {} < cold T_adapt {}",
+            warm.adapt_ns,
+            cold.adapt_ns
+        );
+        // Both runs end on the same converged IC.
+        let names = |c: &AdaptController| -> Vec<String> {
+            c.active_ids()
+                .iter()
+                .filter_map(|&id| c.name_of(id).map(str::to_string))
+                .collect()
+        };
+        assert!(names(&c).iter().any(|n| n == "skew_kernel"));
+        assert!(!names(&c).iter().any(|n| n == "tiny_hot"));
+        assert!(c.render_log().contains("warm start:"));
+        assert!(c.render_log().contains("pre-trim tiny_hot [persist]"));
+    }
+
+    #[test]
+    fn unavailable_profile_degrades_to_logged_cold_start() {
+        let bin = deep_imbalanced_binary(false);
+        let mut s = warm_session(&bin);
+        let mut c = warm_controller();
+        let run = s
+            .run_adaptive_warm(
+                &mut c,
+                4,
+                Some(WarmStart::Unavailable(
+                    "schema version 9, expected 1".into(),
+                )),
+            )
+            .unwrap();
+        assert!(run.warm.is_none());
+        let log = c.render_log();
+        assert!(
+            log.contains("warm start unavailable: schema version 9, expected 1 — cold start"),
+            "fallback reason is in the adaptation log:\n{log}"
+        );
+        // And the cold run proceeded normally.
+        assert_eq!(run.records.len(), 4);
+    }
+
+    #[test]
+    fn rebuilt_binary_rebinds_profile_functions_by_name() {
+        // Profile recorded against v1; the warm run sees a rebuilt
+        // binary (same name, shifted function IDs and offsets).
+        let v1 = deep_imbalanced_binary(false);
+        let mut s1 = warm_session(&v1);
+        let mut c1 = warm_controller();
+        s1.run_adaptive(&mut c1, 6).unwrap();
+        let profile = c1.export_profile(s1.object_records());
+
+        let v2 = deep_imbalanced_binary(true);
+        let mut s2 = warm_session(&v2);
+        // Same names, different fingerprints.
+        assert_eq!(s1.object_records()[0].name, s2.object_records()[0].name);
+        assert_ne!(
+            s1.object_records()[0].fingerprint,
+            s2.object_records()[0].fingerprint
+        );
+        let mut c2 = warm_controller();
+        let warm = s2
+            .run_adaptive_warm(&mut c2, 6, Some(WarmStart::Profile(&profile)))
+            .unwrap();
+        let summary = warm.warm.expect("warm start ran");
+        assert_eq!(summary.objects_rebuilt, 1);
+        assert_eq!(summary.objects_unchanged, 0);
+        assert!(
+            summary.functions_rebound >= 4,
+            "functions re-resolved by name"
+        );
+        assert!(summary.seed.pre_trimmed >= 1, "tiny_hot still pre-trimmed");
+        let log = c2.render_log();
+        assert!(log.contains("1 rebuilt"));
+        assert!(log.contains("pre-trim tiny_hot [persist]"));
+        // The rebound warm start converges immediately despite the
+        // rebuild.
+        assert_eq!(c2.converged_at(), Some(0));
     }
 
     #[test]

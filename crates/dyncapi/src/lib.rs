@@ -23,6 +23,11 @@
 //! * [`adaptive`] — in-flight adaptation: the session runs in epochs, a
 //!   `capi-adapt` controller repatches sleds at every boundary (zero
 //!   restarts), and the repatch cost is accounted as `T_adapt`.
+//!   `Session::run_adaptive_warm` additionally seeds the controller
+//!   from a persisted `capi-persist` profile — objects matched by
+//!   name + fingerprint so recycled DSO slots and rebuilt binaries
+//!   never alias stale packed IDs — and a profile that fails to load
+//!   degrades to a cold start with the reason in the adaptation log.
 
 pub mod adapters;
 pub mod adaptive;
@@ -30,7 +35,7 @@ pub mod startup;
 pub mod symres;
 
 pub use adapters::{ScorepAdapter, TalpAdapter, TalpAdapterStats};
-pub use adaptive::{AdaptiveRun, EpochRecord};
+pub use adaptive::{efficiency_summary, AdaptiveRun, EpochRecord, WarmStart, WarmStartSummary};
 pub use startup::{
     startup, DynCapiConfig, DynCapiError, InitCostModel, Session, SessionRun, StartupReport,
     ToolChoice,

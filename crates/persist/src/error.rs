@@ -1,0 +1,53 @@
+//! Typed persistence failures.
+//!
+//! Every failure mode a profile consumer must distinguish is a variant:
+//! an unreadable file, a file that is not (complete) JSON — which is
+//! what a truncated write looks like — a JSON document that is not a
+//! profile, and a profile written by an incompatible schema version.
+//! None of these should ever panic a session; the contract is that
+//! loaders degrade to a cold start and log the reason.
+
+use std::fmt;
+
+/// Why a profile could not be saved or loaded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PersistError {
+    /// Reading or writing the file failed.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The OS error, stringified.
+        reason: String,
+    },
+    /// The file is not valid JSON (a truncated write lands here: the
+    /// outer object never closes) or is missing required fields.
+    Malformed(String),
+    /// The file parses but was written by a different schema version.
+    SchemaMismatch {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build understands.
+        expected: u32,
+    },
+    /// The file is valid JSON but not an instrumentation profile.
+    WrongKind(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io { path, reason } => write!(f, "profile I/O ({path}): {reason}"),
+            PersistError::Malformed(what) => {
+                write!(f, "malformed or truncated profile: {what}")
+            }
+            PersistError::SchemaMismatch { found, expected } => {
+                write!(f, "profile schema version {found}, expected {expected}")
+            }
+            PersistError::WrongKind(kind) => {
+                write!(f, "not an instrumentation profile (kind: {kind})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}

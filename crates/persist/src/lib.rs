@@ -1,0 +1,42 @@
+//! # capi-persist — cross-run instrumentation-profile persistence
+//!
+//! The refined instrumentation configuration is a valuable artifact:
+//! the in-flight controller spends epochs discovering which functions
+//! blow the overhead budget, which subtrees hide load imbalance, and
+//! what each sled actually costs — and then every new session threw
+//! that knowledge away and re-paid the trim/expand epochs from scratch.
+//! This crate persists the converged state as a versioned, deterministic
+//! on-disk **instrumentation profile** so the next session can
+//! warm-start from it:
+//!
+//! * [`profile`] — the artifact itself: the converged IC in packed-ID
+//!   form (the `capi::ic` §VI-B(a) extension), the controller's drop
+//!   records (which double as the never-re-expand set), per-function
+//!   cost samples (`inst_ns`, visit counts), and the last run's
+//!   per-region efficiency summary. Saving is byte-deterministic:
+//!   identical controller states produce byte-identical files.
+//! * [`error`] — typed failures: schema-version mismatch, malformed or
+//!   truncated JSON, and I/O errors. Loaders are expected to degrade to
+//!   a cold start (with the reason logged) instead of panicking.
+//! * [`matching`] — symbol-robust remapping support: every profile
+//!   records a name + content fingerprint per XRay object, so a later
+//!   session can detect that a DSO moved to a different object ID
+//!   (remap), was rebuilt (re-resolve functions by name), or is gone
+//!   entirely (discard) — instead of aliasing stale packed IDs onto
+//!   whatever object recycled the slot.
+//!
+//! The consumers live one layer up: `capi-adapt` exports/seeds
+//! controller state, `capi-dyncapi` plans the object matching against
+//! the live process, and `capi::Workflow` wires the `CAPI_PROFILE_PATH`
+//! knob through `measure_in_flight`.
+
+pub mod error;
+pub mod matching;
+pub mod profile;
+
+pub use error::PersistError;
+pub use matching::{plan_object_matches, ObjectMatch};
+pub use profile::{
+    fingerprint_object, DropState, FunctionRecord, InstrumentationProfile, ObjectRecord,
+    RegionSummary, SCHEMA_VERSION,
+};

@@ -1,0 +1,193 @@
+//! Symbol-robust object matching between a profile and a live process.
+//!
+//! XRay object IDs are *slots*: the runtime recycles the ID of a
+//! deregistered DSO for whatever registers next, and a rebuilt binary
+//! reshuffles function IDs inside an object. A profile that blindly
+//! trusted its packed IDs would therefore alias stale records onto
+//! unrelated functions — the same hazard
+//! `AdaptController::{invalidate_object, remap_object}` exists for,
+//! extended across process lifetimes. Matching is by identity, not
+//! slot:
+//!
+//! * fingerprint **and** name equal → the same build of the same
+//!   object. Records apply directly ([`ObjectMatch::Unchanged`]) or
+//!   after an object-ID remap ([`ObjectMatch::Moved`]).
+//! * name equal, fingerprint different → the object was **rebuilt**.
+//!   Function IDs cannot be trusted; records must be re-resolved by
+//!   symbol name ([`ObjectMatch::Rebuilt`]).
+//! * neither matches → the object is gone; its records are discarded
+//!   ([`ObjectMatch::Missing`]).
+
+use crate::profile::ObjectRecord;
+
+/// How one profile object relates to the live process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ObjectMatch {
+    /// Same build, same object ID: packed IDs apply as-is.
+    Unchanged {
+        /// The (unchanged) object ID.
+        object_id: u8,
+    },
+    /// Same build registered under a different object ID: remap the
+    /// object half of every packed ID from `from` to `to`.
+    Moved {
+        /// Object ID in the profile.
+        from: u8,
+        /// Object ID in the live process.
+        to: u8,
+    },
+    /// Same object name but different content: function IDs are stale;
+    /// re-resolve the profile's records by symbol name within `to`.
+    Rebuilt {
+        /// Object ID in the profile.
+        from: u8,
+        /// Object ID in the live process.
+        to: u8,
+    },
+    /// No live object matches: discard the profile records keyed under
+    /// `from` (the slot may be recycled by an unrelated DSO — applying
+    /// them would alias its functions).
+    Missing {
+        /// Object ID in the profile.
+        from: u8,
+    },
+}
+
+/// Plans the match for every profile object against the live process,
+/// in ascending profile-object-ID order. Each live object is consumed
+/// by at most one profile object (first match wins), so two identical
+/// DSOs loaded side by side pair off instead of both claiming one slot.
+pub fn plan_object_matches(profile: &[ObjectRecord], current: &[ObjectRecord]) -> Vec<ObjectMatch> {
+    let mut profile = profile.to_vec();
+    profile.sort_by_key(|o| o.object_id);
+    let mut current = current.to_vec();
+    current.sort_by_key(|o| o.object_id);
+    let mut taken = vec![false; current.len()];
+    let mut plan = Vec::with_capacity(profile.len());
+    for p in &profile {
+        // Pass 1: exact identity (prefer the same slot, then any slot).
+        let exact = current
+            .iter()
+            .enumerate()
+            .filter(|(i, c)| !taken[*i] && c.fingerprint == p.fingerprint && c.name == p.name)
+            .min_by_key(|(_, c)| (c.object_id != p.object_id, c.object_id));
+        if let Some((i, c)) = exact {
+            taken[i] = true;
+            plan.push(if c.object_id == p.object_id {
+                ObjectMatch::Unchanged {
+                    object_id: p.object_id,
+                }
+            } else {
+                ObjectMatch::Moved {
+                    from: p.object_id,
+                    to: c.object_id,
+                }
+            });
+            continue;
+        }
+        // Pass 2: same name, different content — a rebuild.
+        let rebuilt = current
+            .iter()
+            .enumerate()
+            .filter(|(i, c)| !taken[*i] && c.name == p.name)
+            .min_by_key(|(_, c)| (c.object_id != p.object_id, c.object_id));
+        if let Some((i, c)) = rebuilt {
+            taken[i] = true;
+            plan.push(ObjectMatch::Rebuilt {
+                from: p.object_id,
+                to: c.object_id,
+            });
+            continue;
+        }
+        plan.push(ObjectMatch::Missing { from: p.object_id });
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(object_id: u8, name: &str, fingerprint: u64) -> ObjectRecord {
+        ObjectRecord {
+            object_id,
+            name: name.into(),
+            fingerprint,
+        }
+    }
+
+    #[test]
+    fn identical_process_is_all_unchanged() {
+        let objs = vec![rec(0, "app", 1), rec(1, "libsolver.so", 2)];
+        assert_eq!(
+            plan_object_matches(&objs, &objs),
+            vec![
+                ObjectMatch::Unchanged { object_id: 0 },
+                ObjectMatch::Unchanged { object_id: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn moved_dso_is_remapped_not_aliased() {
+        let profile = vec![rec(0, "app", 1), rec(2, "libplugin.so", 7)];
+        // The plugin re-registered under slot 5; slot 2 now holds an
+        // unrelated DSO with different name and content.
+        let current = vec![
+            rec(0, "app", 1),
+            rec(2, "libother.so", 99),
+            rec(5, "libplugin.so", 7),
+        ];
+        assert_eq!(
+            plan_object_matches(&profile, &current),
+            vec![
+                ObjectMatch::Unchanged { object_id: 0 },
+                ObjectMatch::Moved { from: 2, to: 5 },
+            ]
+        );
+    }
+
+    #[test]
+    fn recycled_slot_with_unrelated_dso_is_missing() {
+        let profile = vec![rec(1, "libplugin.so", 7)];
+        let current = vec![rec(1, "libother.so", 99)];
+        assert_eq!(
+            plan_object_matches(&profile, &current),
+            vec![ObjectMatch::Missing { from: 1 }]
+        );
+    }
+
+    #[test]
+    fn rebuilt_object_matches_by_name() {
+        let profile = vec![rec(0, "app", 1)];
+        let current = vec![rec(0, "app", 2)];
+        assert_eq!(
+            plan_object_matches(&profile, &current),
+            vec![ObjectMatch::Rebuilt { from: 0, to: 0 }]
+        );
+    }
+
+    #[test]
+    fn twin_dsos_pair_off_without_double_claiming() {
+        let profile = vec![rec(1, "libtwin.so", 7), rec(2, "libtwin.so", 7)];
+        let current = vec![rec(1, "libtwin.so", 7), rec(2, "libtwin.so", 7)];
+        assert_eq!(
+            plan_object_matches(&profile, &current),
+            vec![
+                ObjectMatch::Unchanged { object_id: 1 },
+                ObjectMatch::Unchanged { object_id: 2 },
+            ]
+        );
+    }
+
+    #[test]
+    fn prefers_same_slot_then_lowest() {
+        // Two identical candidates: the profile's own slot wins.
+        let profile = vec![rec(3, "libtwin.so", 7)];
+        let current = vec![rec(1, "libtwin.so", 7), rec(3, "libtwin.so", 7)];
+        assert_eq!(
+            plan_object_matches(&profile, &current),
+            vec![ObjectMatch::Unchanged { object_id: 3 }]
+        );
+    }
+}

@@ -102,6 +102,29 @@ impl EfficiencyReport {
         self.names.get(&key).map(String::as_str)
     }
 
+    /// The most recent record per region — `(key, name, epoch, record)`
+    /// ordered by key. This is the summary a cross-run instrumentation
+    /// profile persists: the last observed efficiency of every region,
+    /// each taken from the final epoch that saw it.
+    pub fn last_per_region(&self) -> Vec<(u32, &str, usize, &RegionEpoch)> {
+        let mut last: BTreeMap<u32, (usize, &RegionEpoch)> = BTreeMap::new();
+        for (&epoch, regions) in &self.epochs {
+            for (&key, rec) in regions {
+                last.insert(key, (epoch, rec));
+            }
+        }
+        last.into_iter()
+            .map(|(key, (epoch, rec))| {
+                let name = self
+                    .names
+                    .get(&key)
+                    .map(String::as_str)
+                    .unwrap_or("<unnamed>");
+                (key, name, epoch, rec)
+            })
+            .collect()
+    }
+
     /// Regions of an epoch ordered by ascending load balance (worst
     /// first; ties broken by key), the order the imbalance-expansion
     /// policy scans.
@@ -202,6 +225,20 @@ mod tests {
         let order: Vec<u32> = r.worst_balanced(2).iter().map(|(k, _)| *k).collect();
         assert_eq!(order, vec![2, 3, 1]);
         assert!(r.worst_balanced(9).is_empty());
+    }
+
+    #[test]
+    fn last_per_region_takes_the_final_epoch_per_key() {
+        let mut r = EfficiencyReport::new();
+        r.record(0, 3, "a", RegionEpoch::compute(&[10, 10], &[0, 0], 10, 2));
+        r.record(2, 3, "a", RegionEpoch::compute(&[10, 30], &[0, 0], 30, 4));
+        r.record(1, 9, "z", RegionEpoch::compute(&[10, 20], &[5, 5], 30, 2));
+        let last = r.last_per_region();
+        assert_eq!(last.len(), 2);
+        let (key, name, epoch, rec) = last[0];
+        assert_eq!((key, name, epoch), (3, "a", 2));
+        assert_eq!(rec.enters, 4, "epoch 2 record wins over epoch 0");
+        assert_eq!((last[1].0, last[1].2), (9, 1));
     }
 
     #[test]

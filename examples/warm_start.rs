@@ -1,0 +1,231 @@
+//! Cross-run instrumentation-profile persistence: two sessions, one
+//! lesson learned once.
+//!
+//! **Session 1 (cold)** runs the in-flight trim+grow loop from a coarse
+//! IC: a hot-small function is trimmed, the imbalance-expansion policy
+//! descends the rank-skewed subtree one call-tree level per epoch, and
+//! the converged state — IC in packed-ID form, drop records, cost
+//! samples, efficiency summary — is saved as an instrumentation
+//! profile.
+//!
+//! **Session 2 (warm)** starts a *fresh* session over the same binary
+//! with `ProfileSource::Path`: the profile is loaded, prior drops are
+//! pre-trimmed and the converged IC pre-grown in one repatch batch
+//! before epoch 0, and the run converges in strictly fewer epochs with
+//! strictly lower cumulative `T_adapt`.
+//!
+//! The demo also exercises the robustness contract: the saved bytes
+//! round-trip (save → load → re-save is byte-identical), and a corrupt
+//! profile degrades to a cold start with the reason recorded in the
+//! adaptation log — never a panic.
+//!
+//! ```text
+//! cargo run --release --example warm_start
+//! ```
+//!
+//! Environment: `CAPI_EPOCHS` (default 6; values below 5 are raised to
+//! 5 — the cold run must have room to converge for the comparison to
+//! mean anything) and `CAPI_PROFILE_PATH` (where the profile lives;
+//! default: a file under the system temp directory — the
+//! corrupt-profile stage only runs against the temp default, never
+//! against a user-provided path).
+
+use capi::{
+    profile_source_from_env, InFlightOptions, InstrumentationConfig, ProfileSource, Workflow,
+};
+use capi_appmodel::{LinkTarget, MpiCall, ProgramBuilder, SourceProgram};
+use capi_dyncapi::ToolChoice;
+use capi_objmodel::CompileOptions;
+use capi_persist::InstrumentationProfile;
+
+fn env_epochs() -> usize {
+    std::env::var("CAPI_EPOCHS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(6)
+        // The cold run converges around epoch 4 on this workload; fewer
+        // epochs would make `first_converged_at` None and the demo
+        // comparison meaningless.
+        .max(5)
+}
+
+/// A step loop with a hot-small function in the IC and a two-level
+/// skewed subtree below a phase — the cold run needs several epochs
+/// (and repatch batches) to find what the warm run starts with.
+fn program() -> SourceProgram {
+    let mut b = ProgramBuilder::new("warmdemo");
+    b.unit("m.cc", LinkTarget::Executable);
+    b.function("main")
+        .main()
+        .statements(50)
+        .instructions(400)
+        .cost(1_000)
+        .calls("MPI_Init", 1)
+        .calls("step", 24)
+        .calls("MPI_Finalize", 1)
+        .finish();
+    b.function("step")
+        .statements(40)
+        .instructions(300)
+        .cost(500)
+        .calls("tiny_hot", 3_000)
+        .calls("skewed_phase", 1)
+        .calls("MPI_Allreduce", 1)
+        .finish();
+    b.function("tiny_hot")
+        .statements(20)
+        .instructions(200)
+        .cost(3)
+        .finish();
+    b.function("skewed_phase")
+        .statements(30)
+        .instructions(300)
+        .cost(200)
+        .calls("skew_mid", 1)
+        .finish();
+    b.function("skew_mid")
+        .statements(30)
+        .instructions(300)
+        .cost(200)
+        .calls("skew_kernel", 40)
+        .finish();
+    b.function("skew_kernel")
+        .statements(60)
+        .instructions(600)
+        .cost(2_000)
+        .imbalance(200)
+        .loop_depth(2)
+        .finish();
+    b.function("MPI_Init")
+        .statements(1)
+        .instructions(8)
+        .cost(0)
+        .mpi(MpiCall::Init)
+        .finish();
+    b.function("MPI_Allreduce")
+        .statements(1)
+        .instructions(8)
+        .cost(0)
+        .mpi(MpiCall::Allreduce { bytes: 64 })
+        .finish();
+    b.function("MPI_Finalize")
+        .statements(1)
+        .instructions(8)
+        .cost(0)
+        .mpi(MpiCall::Finalize)
+        .finish();
+    b.build().expect("demo program is well-formed")
+}
+
+fn main() {
+    let epochs = env_epochs();
+    let wf = Workflow::analyze(program(), CompileOptions::o2()).expect("compiles");
+    let ic = InstrumentationConfig::from_names(["tiny_hot", "step", "skewed_phase"]);
+    let opts = InFlightOptions {
+        epochs,
+        budget_pct: 40.0,
+        seed: 0x5EED,
+        expansion: Some(Default::default()),
+    };
+    // Honor CAPI_PROFILE_PATH the way the workflow layer exposes it;
+    // fall back to a private temp file. The destructive corrupt-profile
+    // stage only runs against the temp default — never against a path
+    // the user pointed us at.
+    let (path, user_supplied) = match profile_source_from_env() {
+        ProfileSource::Path(p) => (p, true),
+        _ => {
+            let dir = std::env::temp_dir().join("capi-warm-start-demo");
+            std::fs::create_dir_all(&dir).expect("temp dir");
+            (dir.join("profile.json"), false)
+        }
+    };
+    if user_supplied && path.exists() {
+        eprintln!(
+            "CAPI_PROFILE_PATH {} already exists — the two-session demo needs a fresh \
+             path and refuses to overwrite yours",
+            path.display()
+        );
+        std::process::exit(2);
+    }
+    if !user_supplied {
+        std::fs::remove_file(&path).ok();
+    }
+    let source = ProfileSource::Path(path.clone());
+
+    println!(
+        "== session 1: cold start, profile written to {}\n",
+        path.display()
+    );
+    let cold = wf
+        .measure_in_flight_with_profile(&ic, ToolChoice::None, 4, opts, &source)
+        .expect("cold run");
+    assert!(!cold.warm_started);
+    print!("{}", cold.log);
+
+    // The artifact round-trips byte-identically through disk.
+    let on_disk = std::fs::read_to_string(&path).expect("profile exists");
+    let reloaded = InstrumentationProfile::load(&path).expect("profile parses");
+    assert_eq!(
+        reloaded.to_json_string(),
+        on_disk,
+        "save/load/re-save bytes match"
+    );
+    println!(
+        "\nprofile: {} functions, {} objects, {} bytes (round-trip byte-identical)\n",
+        reloaded.functions.len(),
+        reloaded.objects.len(),
+        on_disk.len()
+    );
+
+    println!("== session 2: warm start from the saved profile\n");
+    let warm = wf
+        .measure_in_flight_with_profile(&ic, ToolChoice::None, 4, opts, &source)
+        .expect("warm run");
+    assert!(warm.warm_started);
+    print!("{}", warm.log);
+
+    // Time-to-converged-IC: first convergence, so a late re-inclusion
+    // probe experiment (which both runs play equally) doesn't obscure
+    // the comparison.
+    let cold_conv = cold.first_converged_at.expect("cold converges");
+    let warm_conv = warm.first_converged_at.expect("warm converges");
+    assert!(
+        warm_conv < cold_conv,
+        "warm must converge strictly earlier ({warm_conv} vs {cold_conv})"
+    );
+    assert!(warm.adaptive.adapt_ns < cold.adaptive.adapt_ns);
+    // Both runs discovered the same lesson: the skewed subtree is
+    // instrumented, the hot-small noise is not (modulo whatever the
+    // final epoch's probe experiment happens to be trying).
+    assert!(warm.profile.active_raw_ids() == cold.profile.active_raw_ids());
+    assert!(warm.final_ic.contains("skew_kernel"));
+    println!(
+        "\nwarm converged at epoch {warm_conv} (cold: {cold_conv}); \
+         T_adapt {} vs {} ns; validated active sets identical.",
+        warm.adaptive.adapt_ns, cold.adaptive.adapt_ns
+    );
+
+    // Corrupt the profile: the next run must degrade to a cold start
+    // and say why — never panic, never alias stale IDs. Skipped when
+    // the user supplied the path: their profile is not ours to destroy.
+    if user_supplied {
+        println!(
+            "\nprofile kept at {} (corrupt-profile stage skipped for user-supplied paths)",
+            path.display()
+        );
+        return;
+    }
+    std::fs::write(&path, &on_disk[..on_disk.len() / 2]).expect("truncate");
+    let fallback = wf
+        .measure_in_flight_with_profile(&ic, ToolChoice::None, 4, opts, &source)
+        .expect("fallback run");
+    assert!(!fallback.warm_started);
+    let reason = fallback
+        .log
+        .lines()
+        .find(|l| l.contains("warm start unavailable"))
+        .expect("fallback reason logged");
+    println!("\ncorrupt profile degraded cleanly: {}", reason.trim());
+    std::fs::remove_file(&path).ok();
+}

@@ -9,9 +9,11 @@ use capi_adapt::{
 };
 use capi_appmodel::{LinkTarget, ProgramBuilder};
 use capi_objmodel::{compile, CompileOptions, Object, ObjectKind, Process, SymbolTable};
+use capi_persist::{fingerprint_object, plan_object_matches, ObjectMatch, ObjectRecord};
 use capi_xray::{
     instrument_object, EventKind, PackedId, PassOptions, TrampolineSet, XRayError, XRayRuntime,
 };
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 fn binary_with_dso() -> capi_objmodel::Binary {
@@ -249,6 +251,156 @@ fn dso_hot_swap_invalidates_controller_drop_records() {
         .iter()
         .all(|id| id.object() != stale.object()));
     assert!(fixed.render_log().contains("invalidate object 1"));
+}
+
+/// Cross-run variant of the hot-swap hazard: a *persisted* profile
+/// holds drop records and a converged IC for a DSO; by the time the
+/// next session warm-starts, an unrelated DSO has recycled the XRay
+/// object ID. The packed IDs in the profile now point at functions of
+/// the new DSO — a naive identity mapping would pre-trim/pre-grow
+/// whatever shares the raw IDs. The object fingerprint matching must
+/// classify the old DSO as missing and discard its records instead.
+#[test]
+fn warm_start_profile_does_not_alias_a_recycled_dso_slot() {
+    let record_of = |process: &Process, pi: usize, oid: u8| -> ObjectRecord {
+        let lo = process.object(pi).unwrap();
+        ObjectRecord {
+            object_id: oid,
+            name: lo.image.name.clone(),
+            fingerprint: fingerprint_object(
+                &lo.image.name,
+                lo.image
+                    .symtab
+                    .all()
+                    .iter()
+                    .map(|s| (s.name.as_str(), s.offset)),
+            ),
+        }
+    };
+    let controller = || {
+        AdaptController::new(AdaptConfig {
+            budget_pct: 5.0,
+            seed: 1,
+            ..Default::default()
+        })
+    };
+
+    // Session A: host + libplugin; the plugin function blows the
+    // budget and is dropped, then the profile is exported.
+    let bin = binary_with_dso();
+    let mut process = Process::launch_binary(&bin).unwrap();
+    let runtime = XRayRuntime::new();
+    runtime
+        .register_main(
+            instrument_object(
+                process.object(0).unwrap().image.clone(),
+                &PassOptions::instrument_all(),
+            ),
+            process.object(0).unwrap(),
+            TrampolineSet::absolute(),
+        )
+        .unwrap();
+    let dso_inst = instrument_object(
+        process.object(1).unwrap().image.clone(),
+        &PassOptions::instrument_all(),
+    );
+    let oid = runtime
+        .register_dso(
+            dso_inst.clone(),
+            process.object(1).unwrap(),
+            1,
+            TrampolineSet::pic(),
+        )
+        .unwrap();
+    let fid = dso_inst
+        .sleds
+        .fid_of(dso_inst.image.function_index("plugin_entry").unwrap())
+        .unwrap();
+    let stale = PackedId::pack(oid, fid).unwrap();
+    let mut a = controller();
+    a.begin([(stale, "plugin_entry")]);
+    let d0 = a.on_epoch(&EpochView {
+        epoch: 0,
+        epoch_ns: 1_000_000,
+        busy_ns: 1_900_000,
+        inst_ns: 900_000,
+        events: 10,
+        samples: vec![FuncSample {
+            id: stale,
+            name: "plugin_entry".into(),
+            visits: 1_000,
+            inst_ns: 900_000,
+            body_cost_ns: 1,
+        }],
+        talp: Vec::new(),
+        children: CallChildren::default(),
+    });
+    assert_eq!(d0.unpatch, vec![stale]);
+    let profile = a.export_profile(vec![record_of(&process, 0, 0), record_of(&process, 1, oid)]);
+    assert!(profile
+        .functions
+        .iter()
+        .any(|f| f.raw_id == stale.raw() && f.drop.is_some()));
+
+    // Hot swap: the plugin goes away; an unrelated DSO recycles slot 1.
+    runtime.deregister(oid).unwrap();
+    process.dlclose("libplugin.so").unwrap();
+    let other = other_dso_binary();
+    let idx = process.dlopen(other.dsos[0].clone().into()).unwrap();
+    let lo = process.object(idx).unwrap();
+    let inst2 = instrument_object(lo.image.clone(), &PassOptions::instrument_all());
+    let oid2 = runtime
+        .register_dso(inst2, lo, idx, TrampolineSet::pic())
+        .unwrap();
+    assert_eq!(oid2, oid, "the vacated slot is recycled");
+
+    // Session B's world: `other_fn` shares the *raw* packed ID with the
+    // dropped plugin function.
+    let current = vec![record_of(&process, 0, 0), record_of(&process, idx, oid2)];
+    let plan = plan_object_matches(&profile.objects, &current);
+    assert!(
+        plan.contains(&ObjectMatch::Missing { from: oid }),
+        "the unloaded plugin must be classified missing, got {plan:?}"
+    );
+
+    // Fingerprint-gated idmap (what the DynCaPI layer builds): only
+    // unchanged/moved objects contribute; the plugin's records map to
+    // nothing.
+    let mut idmap: BTreeMap<u32, u32> = BTreeMap::new();
+    for m in &plan {
+        if let ObjectMatch::Unchanged { object_id } = *m {
+            for f in &profile.functions {
+                let pid = PackedId::from_raw(f.raw_id);
+                if pid.object() == object_id {
+                    idmap.insert(f.raw_id, f.raw_id);
+                }
+            }
+        }
+    }
+    let mut b = controller();
+    b.begin([(stale, "other_fn")]); // same raw ID, different function!
+    let (delta, stats) = b.seed_from_profile(&profile, &idmap);
+    assert!(delta.is_empty(), "no stale record touches the new DSO");
+    assert!(stats.discarded >= 1, "plugin records discarded");
+    assert_eq!(stats.pre_trimmed, 0);
+    assert_eq!(b.dropped_len(), 0, "no drop record aliased onto other_fn");
+    assert!(b.active_ids().contains(&stale), "other_fn stays patched");
+
+    // Contrast — the hazard this guards against: a naive identity map
+    // would pre-trim `other_fn` on the strength of the dead plugin's
+    // drop record.
+    let naive: BTreeMap<u32, u32> = profile
+        .functions
+        .iter()
+        .map(|f| (f.raw_id, f.raw_id))
+        .collect();
+    let mut leaky = controller();
+    leaky.begin([(stale, "other_fn")]);
+    let (delta, _) = leaky.seed_from_profile(&profile, &naive);
+    assert!(
+        delta.unpatch.contains(&stale),
+        "hazard reproduced without fingerprint matching"
+    );
 }
 
 #[test]

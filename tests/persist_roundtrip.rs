@@ -1,0 +1,187 @@
+//! Property tests for cross-run instrumentation-profile persistence:
+//! arbitrary converged controller states must survive export → save →
+//! load → seed with nothing lost — identical IC, drop records, and
+//! cost seeds — and re-saving a loaded profile must reproduce the
+//! bytes exactly. Plus the typed-error contract: schema mismatches and
+//! truncated files are errors, never panics.
+
+use capi_adapt::{AdaptConfig, AdaptController, CallChildren, EpochView, FuncSample};
+use capi_persist::{InstrumentationProfile, ObjectRecord, PersistError, SCHEMA_VERSION};
+use capi_xray::PackedId;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn id(fid: u32) -> PackedId {
+    PackedId::pack(0, fid).unwrap()
+}
+
+/// One epoch over the generated functions: every function reports its
+/// generated (visits, inst_ns, body_cost_ns) triple.
+fn epoch_view(epoch: usize, funcs: &[(u64, u64, u64)]) -> EpochView {
+    let samples: Vec<FuncSample> = funcs
+        .iter()
+        .enumerate()
+        .map(|(i, &(visits, inst_ns, body))| FuncSample {
+            id: id(i as u32),
+            name: format!("f{i}"),
+            visits,
+            inst_ns,
+            body_cost_ns: body,
+        })
+        .collect();
+    let inst: u64 = samples.iter().map(|s| s.inst_ns).sum();
+    EpochView {
+        epoch,
+        epoch_ns: 1_000_000,
+        busy_ns: 1_000_000 + inst,
+        inst_ns: inst,
+        events: funcs.len() as u64,
+        samples,
+        talp: Vec::new(),
+        children: CallChildren::default(),
+    }
+}
+
+fn converged_controller(
+    funcs: &[(u64, u64, u64)],
+    epochs: usize,
+    budget_pct: f64,
+) -> AdaptController {
+    let mut c = AdaptController::new(AdaptConfig {
+        budget_pct,
+        seed: 9,
+        ..Default::default()
+    });
+    c.begin(
+        funcs
+            .iter()
+            .enumerate()
+            .map(|(i, _)| (id(i as u32), format!("f{i}"))),
+    );
+    for e in 0..epochs {
+        c.on_epoch(&epoch_view(e, funcs));
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// export → serialize → parse → re-serialize is byte-identical and
+    /// lossless, and seeding a fresh controller from the loaded profile
+    /// reproduces exactly the converged IC and drop history.
+    #[test]
+    fn controller_state_survives_the_disk_format(
+        funcs in proptest::collection::vec(
+            (1u64..100_001, 1u64..400_001, 1u64..50_001),
+            2..10,
+        ),
+        epochs in 1usize..5,
+        budget in 1u32..=60,
+    ) {
+        let budget_pct = f64::from(budget);
+        let objects = vec![ObjectRecord {
+            object_id: 0,
+            name: "app".into(),
+            fingerprint: 0xF00D,
+        }];
+        let c = converged_controller(&funcs, epochs, budget_pct);
+        let profile = c.export_profile(objects.clone());
+        let text = profile.to_json_string();
+
+        // Identical runs export byte-identical profiles.
+        let again = converged_controller(&funcs, epochs, budget_pct)
+            .export_profile(objects.clone());
+        prop_assert_eq!(&again.to_json_string(), &text);
+
+        // Parse is lossless; re-save is byte-identical.
+        let back = InstrumentationProfile::parse(&text).unwrap();
+        prop_assert_eq!(&back.to_json_string(), &text, "re-save bytes");
+        prop_assert_eq!(&back.functions, &profile.functions);
+        prop_assert_eq!(&back.objects, &profile.objects);
+        prop_assert_eq!(back.converged_at, profile.converged_at);
+        prop_assert_eq!(back.epochs_observed, epochs);
+
+        // Seeding a fresh controller reproduces the converged IC, the
+        // drop records, and the cost seeds.
+        let mut fresh = AdaptController::new(AdaptConfig {
+            budget_pct,
+            seed: 9,
+            ..Default::default()
+        });
+        fresh.begin(
+            funcs
+                .iter()
+                .enumerate()
+                .map(|(i, _)| (id(i as u32), format!("f{i}"))),
+        );
+        let idmap: BTreeMap<u32, u32> = back
+            .functions
+            .iter()
+            .map(|f| (f.raw_id, f.raw_id))
+            .collect();
+        let (_, stats) = fresh.seed_from_profile(&back, &idmap);
+        prop_assert_eq!(stats.discarded, 0);
+        let active: Vec<u32> = fresh.active_ids().iter().map(|i| i.raw()).collect();
+        prop_assert_eq!(active, back.active_raw_ids(), "identical IC after seeding");
+        let drops_in_profile = back.functions.iter().filter(|f| f.drop.is_some()).count();
+        prop_assert_eq!(fresh.dropped_len(), drops_in_profile, "identical drop records");
+        prop_assert_eq!(stats.seeded_costs,
+            back.functions.iter().filter(|f| f.inst_ns.is_some()).count());
+    }
+
+    /// Any truncation of a valid profile parses to a typed error — the
+    /// loader never panics and never yields a half-profile. The cut is
+    /// taken strictly inside the trimmed document so it always removes
+    /// part of the JSON itself (cutting only the trailing newline would
+    /// leave a complete, parseable document).
+    #[test]
+    fn truncations_are_always_typed_errors(
+        cut_per_mille in 1u32..=999,
+    ) {
+        let c = converged_controller(&[(10, 1_000, 500), (50_000, 300_000, 3)], 2, 5.0);
+        let text = c.export_profile(Vec::new()).to_json_string();
+        let body = text.trim_end();
+        let cut = (body.len() * cut_per_mille as usize / 1000)
+            .max(1)
+            .min(body.len() - 1);
+        // Cut on a char boundary (profiles are ASCII, but be safe).
+        let cut = (1..=cut).rev().find(|&i| body.is_char_boundary(i)).unwrap();
+        match InstrumentationProfile::parse(&body[..cut]) {
+            Err(PersistError::Malformed(_)) => {}
+            other => prop_assert!(false, "cut at {cut}: expected Malformed, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn schema_mismatch_is_rejected_with_a_typed_error() {
+    let c = converged_controller(&[(10, 1_000, 500)], 1, 5.0);
+    let text = c
+        .export_profile(Vec::new())
+        .to_json_string()
+        .replace("\"schema_version\": 1", "\"schema_version\": 2");
+    assert_eq!(
+        InstrumentationProfile::parse(&text),
+        Err(PersistError::SchemaMismatch {
+            found: 2,
+            expected: SCHEMA_VERSION
+        })
+    );
+}
+
+#[test]
+fn empty_controller_exports_a_loadable_profile() {
+    // Degenerate but legal: a controller that never saw an epoch.
+    let c = AdaptController::new(AdaptConfig::default());
+    let p = c.export_profile(Vec::new());
+    assert_eq!(p.epochs_observed, 0);
+    assert!(p.functions.is_empty());
+    let text = p.to_json_string();
+    assert_eq!(
+        InstrumentationProfile::parse(&text)
+            .unwrap()
+            .to_json_string(),
+        text
+    );
+}
