@@ -94,6 +94,8 @@ pub struct WarmStartStats {
     pub pre_trimmed: usize,
     /// Converged-IC members patched before epoch 0 (prior expansions).
     pub pre_grown: usize,
+    /// Sampling rates re-applied to active functions (prior demotions).
+    pub seeded_rates: usize,
     /// Profile functions discarded because no live function maps to
     /// them (unloaded, rebuilt beyond recognition, or recycled IDs).
     pub discarded: usize,
@@ -112,6 +114,8 @@ pub struct ControllerStats {
     pub expansions: u64,
     /// Expansion proposals rejected by the headroom cap.
     pub expansions_capped: u64,
+    /// Total demotions to sampled instrumentation.
+    pub demotions: u64,
 }
 
 /// The in-flight adaptation controller.
@@ -134,6 +138,11 @@ pub struct AdaptController {
     /// re-measured, so persisting it would freeze an unvalidated
     /// experiment into the warm-start IC.
     included_at: BTreeMap<u32, usize>,
+    /// Current sampling rate per demoted function (raw packed ID →
+    /// 1-in-N). Functions absent from the map run at full rate 1.
+    /// Cleared on drop (the function is unpatched) and on restore or
+    /// expansion (the runtime resets the rate to 1 on repatch).
+    rates: BTreeMap<u32, u32>,
     log: Vec<String>,
     converged_at: Option<usize>,
     first_converged_at: Option<usize>,
@@ -145,11 +154,7 @@ impl AdaptController {
     /// exclusion, overhead-budget trimming, and re-inclusion probing
     /// seeded from the config.
     pub fn new(cfg: AdaptConfig) -> Self {
-        let policies: Vec<Box<dyn AdaptPolicy>> = vec![
-            Box::new(HotSmallExclusion::default()),
-            Box::new(OverheadBudget::default()),
-            Box::new(ReinclusionProbe::seeded(cfg.seed, 3, 4, 2)),
-        ];
+        let policies = Self::standard_policies(&cfg, None, 0);
         Self::with_policies(cfg, policies)
     }
 
@@ -161,24 +166,44 @@ impl AdaptController {
     /// forces settle into a deterministic fixed point. Re-inclusion
     /// probing rides along as in [`Self::new`].
     pub fn with_expansion(cfg: AdaptConfig, exp: ExpansionOptions) -> Self {
-        let policies: Vec<Box<dyn AdaptPolicy>> = vec![
+        let policies = Self::standard_policies(&cfg, Some(&exp), 0);
+        Self::with_policies(cfg, policies)
+    }
+
+    /// Builds the standard policy stack shared by [`Self::new`],
+    /// [`Self::with_expansion`] and the DynCaPI adaptive-run builder:
+    /// hot-small exclusion and overhead-budget trimming (with demotion
+    /// to sampled instrumentation when `max_rate > 0`), the two TALP
+    /// expansion policies when `expansion` is given, and re-inclusion
+    /// probing seeded from the config.
+    pub fn standard_policies(
+        cfg: &AdaptConfig,
+        expansion: Option<&ExpansionOptions>,
+        max_rate: u32,
+    ) -> Vec<Box<dyn AdaptPolicy>> {
+        let mut policies: Vec<Box<dyn AdaptPolicy>> = vec![
             Box::new(HotSmallExclusion::default()),
-            Box::new(OverheadBudget::default()),
-            Box::new(ImbalanceExpansion {
+            Box::new(OverheadBudget {
+                max_rate,
+                ..OverheadBudget::default()
+            }),
+        ];
+        if let Some(exp) = expansion {
+            policies.push(Box::new(ImbalanceExpansion {
                 lb_threshold: exp.lb_threshold,
                 min_enters: 2,
                 max_per_epoch: exp.max_per_epoch,
                 max_redrops: exp.max_redrops,
-            }),
-            Box::new(CommRegionFocus {
+            }));
+            policies.push(Box::new(CommRegionFocus {
                 comm_threshold: exp.comm_threshold,
                 min_enters: 2,
                 max_per_epoch: exp.max_per_epoch.div_ceil(2),
                 max_redrops: exp.max_redrops,
-            }),
-            Box::new(ReinclusionProbe::seeded(cfg.seed, 3, 4, 2)),
-        ];
-        Self::with_policies(cfg, policies)
+            }));
+        }
+        policies.push(Box::new(ReinclusionProbe::seeded(cfg.seed, 3, 4, 2)));
+        policies
     }
 
     /// Creates a controller with a custom policy stack (applied in
@@ -194,6 +219,7 @@ impl AdaptController {
             last_inst: BTreeMap::new(),
             last_visits: BTreeMap::new(),
             included_at: BTreeMap::new(),
+            rates: BTreeMap::new(),
             log: Vec::new(),
             converged_at: None,
             first_converged_at: None,
@@ -263,6 +289,7 @@ impl AdaptController {
         self.last_inst.retain(|raw, _| stays(raw));
         self.last_visits.retain(|raw, _| stays(raw));
         self.included_at.retain(|raw, _| stays(raw));
+        self.rates.retain(|raw, _| stays(raw));
         let discarded = (active_before - self.active.len()) + (dropped_before - self.dropped.len());
         self.log.push(format!(
             "invalidate object {object_id}: {} active, {} drop records discarded",
@@ -327,6 +354,13 @@ impl AdaptController {
         let last_visits = std::mem::take(&mut self.last_visits);
         for (raw, v) in last_visits {
             merge_cost_sample(&mut self.last_visits, remap(raw), v);
+        }
+        let rates = std::mem::take(&mut self.rates);
+        for (raw, r) in rates {
+            // Rate collisions keep the larger (sparser) rate — the
+            // conservative merge: overhead can only stay lower.
+            let slot = self.rates.entry(remap(raw)).or_insert(r);
+            *slot = (*slot).max(r);
         }
         let included_at = std::mem::take(&mut self.included_at);
         for (raw, e) in included_at {
@@ -435,6 +469,7 @@ impl AdaptController {
                 raw_id: raw,
                 name: self.display(PackedId::from_raw(raw)),
                 active: validated_active(&raw),
+                rate: self.rates.get(&raw).copied().unwrap_or(1),
                 inst_ns: self.last_inst.get(&raw).copied(),
                 visits: self.last_visits.get(&raw).copied(),
                 drop: self.dropped.get(&raw).map(|rec| DropState {
@@ -481,6 +516,7 @@ impl AdaptController {
     ) -> (PatchDelta, WarmStartStats) {
         let mut stats = WarmStartStats::default();
         let mut warm_active: BTreeSet<u32> = BTreeSet::new();
+        let mut rate_seeds: Vec<(u32, u32)> = Vec::new();
         let mut functions: Vec<&FunctionRecord> = profile.functions.iter().collect();
         functions.sort_by_key(|f| f.raw_id);
         for f in functions {
@@ -488,6 +524,9 @@ impl AdaptController {
                 stats.discarded += 1;
                 continue;
             };
+            if f.rate > 1 {
+                rate_seeds.push((raw, f.rate));
+            }
             self.names.entry(raw).or_insert_with(|| f.name.clone());
             if let Some(c) = f.inst_ns {
                 merge_cost_sample(&mut self.last_inst, raw, c);
@@ -535,6 +574,18 @@ impl AdaptController {
                 stats.pre_grown += 1;
             }
         }
+        // Re-apply prior demotions to functions that are (still)
+        // active. Applied after the pre-grow patches: the runtime
+        // resets a freshly patched function's rate to 1, and `repatch`
+        // applies rate updates last, so a pre-grown sampled function
+        // ends up at its recorded rate.
+        for &(raw, rate) in &rate_seeds {
+            if self.active.contains(&raw) {
+                self.rates.insert(raw, rate);
+                delta.set_rate.push((PackedId::from_raw(raw), rate));
+                stats.seeded_rates += 1;
+            }
+        }
         // The profile remembers the budget it converged under; a
         // different budget now means the carried drop history was
         // earned under different pressure — still seeded (conservative:
@@ -560,6 +611,10 @@ impl AdaptController {
         for &id in &delta.patch {
             self.log
                 .push(format!("  pre-grow {} [persist]", self.display(id)));
+        }
+        for &(id, rate) in &delta.set_rate {
+            self.log
+                .push(format!("  rate {} -> 1/{rate} [persist]", self.display(id)));
         }
         (delta, stats)
     }
@@ -594,6 +649,7 @@ impl AdaptController {
         let mut drops: Vec<(PackedId, &'static str, &'static str)> = Vec::new();
         let mut restores: Vec<(PackedId, &'static str)> = Vec::new();
         let mut expands: Vec<(PackedId, &'static str, &'static str)> = Vec::new();
+        let mut demotes: Vec<(PackedId, u32, &'static str, &'static str)> = Vec::new();
         for policy in &mut self.policies {
             let ctx = PolicyCtx {
                 budget_pct: self.cfg.budget_pct,
@@ -628,6 +684,21 @@ impl AdaptController {
                     && !expands.iter().any(|(e, _, _)| *e == id)
                 {
                     expands.push((id, pname, reason));
+                }
+            }
+            // Demotions apply only to live functions a drop hasn't
+            // already claimed (the drop wins: it removes the whole
+            // cost, so a weaker rate change on top would be
+            // meaningless), and only when the rate actually changes.
+            for (id, new_rate, reason) in action.demote {
+                let new_rate = new_rate.max(1);
+                if self.active.contains(&id.raw())
+                    && !self.pinned.contains(&id.raw())
+                    && !drops.iter().any(|(d, _, _)| *d == id)
+                    && !demotes.iter().any(|(d, _, _, _)| *d == id)
+                    && self.rates.get(&id.raw()).copied().unwrap_or(1) != new_rate
+                {
+                    demotes.push((id, new_rate, pname, reason));
                 }
             }
         }
@@ -667,6 +738,12 @@ impl AdaptController {
             self.log
                 .push(format!("  drop {} [{pname}: {reason}]", self.display(id)));
         }
+        for &(id, rate, pname, reason) in &demotes {
+            self.log.push(format!(
+                "  demote {} to 1/{rate} [{pname}: {reason}]",
+                self.display(id)
+            ));
+        }
         for &(id, pname) in &restores {
             self.log
                 .push(format!("  probe {} [{pname}]", self.display(id)));
@@ -687,6 +764,7 @@ impl AdaptController {
         for &(id, pname, _) in &drops {
             self.active.remove(&id.raw());
             self.included_at.remove(&id.raw());
+            self.rates.remove(&id.raw());
             let name = self.display(id);
             let rec = self.dropped.entry(id.raw()).or_insert(DropRecord {
                 epoch: view.epoch,
@@ -702,12 +780,19 @@ impl AdaptController {
         for &(id, _) in &restores {
             self.active.insert(id.raw());
             self.included_at.insert(id.raw(), view.epoch);
+            // Repatching resets the runtime rate to 1; mirror that.
+            self.rates.remove(&id.raw());
             self.stats.probes += 1;
         }
         for &(id, _, _, _) in &accepted {
             self.active.insert(id.raw());
             self.included_at.insert(id.raw(), view.epoch);
+            self.rates.remove(&id.raw());
             self.stats.expansions += 1;
+        }
+        for &(id, rate, _, _) in &demotes {
+            self.rates.insert(id.raw(), rate);
+            self.stats.demotions += 1;
         }
         self.stats.expansions_capped += (proposed - accepted.len()) as u64;
 
@@ -718,14 +803,20 @@ impl AdaptController {
                 .chain(accepted.iter().map(|&(id, _, _, _)| id))
                 .collect(),
             unpatch: drops.iter().map(|&(id, _, _)| id).collect(),
+            set_rate: demotes.iter().map(|&(id, rate, _, _)| (id, rate)).collect(),
         };
         // Convergence: within budget, nothing needed dropping, and
         // nothing left to expand. Re-inclusion probes are exploration,
         // not instability — they do not reset convergence (a probe that
         // misbehaves produces a drop next epoch, which does). An
-        // expansion, by contrast, is a material IC change and resets
-        // convergence until the grown set proves itself within budget.
-        if delta.unpatch.is_empty() && accepted.is_empty() && overhead <= self.cfg.budget_pct {
+        // expansion or a demotion, by contrast, is a material IC change
+        // and resets convergence until the changed set proves itself
+        // within budget.
+        if delta.unpatch.is_empty()
+            && accepted.is_empty()
+            && demotes.is_empty()
+            && overhead <= self.cfg.budget_pct
+        {
             if self.converged_at.is_none() {
                 self.converged_at = Some(view.epoch);
                 if self.first_converged_at.is_none() {
@@ -772,6 +863,12 @@ impl AdaptController {
     /// Number of currently dropped functions.
     pub fn dropped_len(&self) -> usize {
         self.dropped.len()
+    }
+
+    /// Current sampling rate of a function: 1-in-N, where 1 means full
+    /// instrumentation (the default for anything never demoted).
+    pub fn sample_rate(&self, id: PackedId) -> u32 {
+        self.rates.get(&id.raw()).copied().unwrap_or(1)
     }
 
     /// First epoch at which the controller converged (overhead within
@@ -891,6 +988,7 @@ mod tests {
             visits,
             inst_ns,
             body_cost_ns: body,
+            rate: 1,
         }
     }
 
@@ -975,6 +1073,86 @@ mod tests {
         let d2 = c.on_epoch(&view(2, 900_000, vec![sample(1, 1_000, 900_000, 1)]));
         assert_eq!(d2.unpatch, vec![id(1)]);
         assert_eq!(c.converged_at(), None);
+    }
+
+    fn demoting_controller(max_rate: u32) -> AdaptController {
+        AdaptController::with_policies(
+            AdaptConfig {
+                budget_pct: 5.0,
+                seed: 9,
+                ..Default::default()
+            },
+            vec![Box::new(OverheadBudget {
+                max_rate,
+                ..Default::default()
+            })],
+        )
+    }
+
+    #[test]
+    fn demotion_sets_rates_and_round_trips_through_the_profile() {
+        let mut c = demoting_controller(4);
+        c.begin([(id(1), "f1")]);
+        // Epoch 0: over budget → demoted to 1/2 instead of dropped.
+        let d0 = c.on_epoch(&view(0, 100_000, vec![sample(1, 50_000, 100_000, 10)]));
+        assert!(d0.unpatch.is_empty(), "demotion replaces dropping");
+        assert_eq!(d0.set_rate, vec![(id(1), 2)]);
+        assert_eq!(c.sample_rate(id(1)), 2);
+        assert_eq!(c.stats().demotions, 1);
+        assert_eq!(c.stats().drops, 0);
+        assert_eq!(c.converged_at(), None, "a demotion resets convergence");
+        assert!(c
+            .render_log()
+            .contains("demote f1 to 1/2 [budget: over budget, demoted to sampled]"));
+        // Epoch 1: the sampled run is within budget → converged.
+        let mut s1 = sample(1, 50_000, 40_000, 10);
+        s1.rate = 2;
+        let d1 = c.on_epoch(&view(1, 40_000, vec![s1]));
+        assert!(d1.is_empty());
+        assert_eq!(c.converged_at(), Some(1));
+
+        // The rate survives export → seed into a fresh controller.
+        let p = c.export_profile(Vec::new());
+        let f1 = p
+            .functions
+            .iter()
+            .find(|f| f.raw_id == id(1).raw())
+            .unwrap();
+        assert!(f1.active);
+        assert_eq!(f1.rate, 2);
+        let idmap: BTreeMap<u32, u32> = p.functions.iter().map(|f| (f.raw_id, f.raw_id)).collect();
+        let mut b = demoting_controller(4);
+        b.begin([(id(1), "f1")]);
+        let (delta, stats) = b.seed_from_profile(&p, &idmap);
+        assert_eq!(delta.set_rate, vec![(id(1), 2)]);
+        assert_eq!(stats.seeded_rates, 1);
+        assert_eq!(b.sample_rate(id(1)), 2);
+        assert!(b.render_log().contains("rate f1 -> 1/2 [persist]"));
+    }
+
+    #[test]
+    fn demotion_escalates_to_the_ceiling_then_drops_and_clears_the_rate() {
+        let mut c = demoting_controller(4);
+        c.begin([(id(1), "f1")]);
+        // Epoch 0: 1 → 2.
+        let d0 = c.on_epoch(&view(0, 100_000, vec![sample(1, 50_000, 100_000, 10)]));
+        assert_eq!(d0.set_rate, vec![(id(1), 2)]);
+        // Epoch 1: still over budget at 1/2 → 2 → 4.
+        let mut s1 = sample(1, 50_000, 60_000, 10);
+        s1.rate = 2;
+        let d1 = c.on_epoch(&view(1, 60_000, vec![s1]));
+        assert_eq!(d1.set_rate, vec![(id(1), 4)]);
+        assert!(c.render_log().contains("demote f1 to 1/4"));
+        // Epoch 2: over budget at the ceiling → dropped for real, and
+        // the rate bookkeeping resets with the unpatch.
+        let mut s2 = sample(1, 50_000, 55_000, 10);
+        s2.rate = 4;
+        let d2 = c.on_epoch(&view(2, 55_000, vec![s2]));
+        assert_eq!(d2.unpatch, vec![id(1)]);
+        assert!(d2.set_rate.is_empty());
+        assert_eq!(c.sample_rate(id(1)), 1);
+        assert_eq!(c.stats().demotions, 2);
+        assert_eq!(c.stats().drops, 1);
     }
 
     fn expansion_controller(budget_pct: f64) -> AdaptController {
@@ -1306,6 +1484,7 @@ mod tests {
             visits: 1_000,
             inst_ns: 899_999,
             body_cost_ns: 1,
+            rate: 1,
         });
         c.on_epoch(&v);
         assert!(c.dropped_len() > 0);
@@ -1348,6 +1527,7 @@ mod tests {
                 visits: 1_000,
                 inst_ns: 450_000,
                 body_cost_ns: 1,
+                rate: 1,
             },
             FuncSample {
                 id: tgt,
@@ -1355,6 +1535,7 @@ mod tests {
                 visits: 1_000,
                 inst_ns: 450_000,
                 body_cost_ns: 1,
+                rate: 1,
             },
         ];
         c.on_epoch(&v);

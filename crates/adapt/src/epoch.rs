@@ -20,6 +20,12 @@ pub struct FuncSample {
     pub inst_ns: u64,
     /// Static per-visit body cost of the function, in virtual ns.
     pub body_cost_ns: u64,
+    /// Sampling rate the function ran at this epoch (1-in-N); 1 means
+    /// full instrumentation. `visits` is already extrapolated back to
+    /// the true invocation count, while `inst_ns` stays the cost
+    /// actually paid — so overhead budgets remain honest under
+    /// sampling.
+    pub rate: u32,
 }
 
 /// Per-epoch TALP measurement of one instrumented function treated as a

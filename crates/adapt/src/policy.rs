@@ -48,12 +48,20 @@ pub struct PolicyAction {
     /// proposals by the remaining overhead headroom, so expansion and
     /// budget trimming reach a deterministic fixed point.
     pub expand: Vec<(PackedId, &'static str)>,
+    /// Functions to *demote* to sampled instrumentation: `(id, new
+    /// 1-in-N rate, reason)`. A demoted function stays patched and
+    /// keeps producing (extrapolated) cost samples — a middle ground
+    /// between full fidelity and dropping a hot function outright.
+    pub demote: Vec<(PackedId, u32, &'static str)>,
 }
 
 impl PolicyAction {
     /// Whether the action changes nothing.
     pub fn is_empty(&self) -> bool {
-        self.drop.is_empty() && self.restore.is_empty() && self.expand.is_empty()
+        self.drop.is_empty()
+            && self.restore.is_empty()
+            && self.expand.is_empty()
+            && self.demote.is_empty()
     }
 }
 
@@ -70,10 +78,23 @@ pub trait AdaptPolicy: Send {
 /// cost/benefit ratio — most instrumentation time per unit of useful
 /// body time — until the *projected* overhead falls to
 /// `headroom × budget`.
+///
+/// With [`Self::max_rate`] above zero the policy *demotes* before it
+/// drops: an over-budget offender still below the rate ceiling has its
+/// sampling rate doubled (clamped to the ceiling) instead of being
+/// unpatched, projected to save `inst_ns × (1 − old/new)`. Only a
+/// function already at the ceiling is dropped. This keeps hot
+/// functions visible in the profile — at reduced event volume — rather
+/// than erasing them.
 pub struct OverheadBudget {
     /// Trim target as a fraction of the budget (default 0.9, leaving
     /// slack so the next epoch doesn't immediately re-trigger).
     pub headroom: f64,
+    /// Maximum 1-in-N sampling rate a function may be demoted to.
+    /// 0 (the default) disables demotion entirely: over-budget
+    /// functions are dropped, exactly as before the rate dimension
+    /// existed.
+    pub max_rate: u32,
 }
 
 impl OverheadBudget {
@@ -84,7 +105,10 @@ impl OverheadBudget {
 
 impl Default for OverheadBudget {
     fn default() -> Self {
-        Self { headroom: 0.9 }
+        Self {
+            headroom: 0.9,
+            max_rate: 0,
+        }
     }
 }
 
@@ -115,8 +139,22 @@ impl AdaptPolicy for OverheadBudget {
             if view.inst_ns.saturating_sub(removed) <= target_inst {
                 break;
             }
-            removed += s.inst_ns;
-            action.drop.push((s.id, "over budget, worst cost/benefit"));
+            let rate = s.rate.max(1);
+            if self.max_rate > 0 && rate < self.max_rate {
+                // Demote instead of dropping: double the rate (clamped
+                // to the ceiling). The projected saving is the fraction
+                // of the measured cost the extra skipped invocations no
+                // longer pay: inst × (1 − old/new).
+                let new_rate = rate.saturating_mul(2).min(self.max_rate);
+                let kept = s.inst_ns.saturating_mul(u64::from(rate)) / u64::from(new_rate);
+                removed += s.inst_ns.saturating_sub(kept);
+                action
+                    .demote
+                    .push((s.id, new_rate, "over budget, demoted to sampled"));
+            } else {
+                removed += s.inst_ns;
+                action.drop.push((s.id, "over budget, worst cost/benefit"));
+            }
         }
         action
     }
@@ -407,6 +445,7 @@ mod tests {
             visits,
             inst_ns,
             body_cost_ns: body,
+            rate: 1,
         }
     }
 
@@ -499,6 +538,81 @@ mod tests {
         assert!(p.decide(&ctx, &v).drop.is_empty(), "pinned survives");
         let v_ok = view(1_000, vec![sample(1, 10, 1_000, 10)]);
         assert!(p.decide(&ctx, &v_ok).is_empty(), "within budget: no-op");
+    }
+
+    #[test]
+    fn budget_demotes_before_dropping_when_rate_ceiling_allows() {
+        let (active, dropped, pinned) = ctx_sets(&[1, 2], &[]);
+        let ctx = PolicyCtx {
+            budget_pct: 5.0,
+            active: &active,
+            dropped: &dropped,
+            pinned: &pinned,
+        };
+        // f1: worst ratio, would be dropped by the plain policy.
+        let v = view(
+            100_000,
+            vec![
+                sample(1, 50_000, 90_000, 10),
+                sample(2, 100, 10_000, 50_000),
+            ],
+        );
+        let mut p = OverheadBudget {
+            max_rate: 8,
+            ..Default::default()
+        };
+        let action = p.decide(&ctx, &v);
+        // Demoted to 1/2 (rate 1 doubled), not dropped. Projected
+        // saving 45k brings 100k→55k, still above the 45k target, so
+        // f2 is demoted too.
+        assert!(action.drop.is_empty(), "demotion replaces dropping");
+        assert_eq!(
+            action.demote.first().map(|&(i, r, _)| (i, r)),
+            Some((id(1), 2))
+        );
+        assert_eq!(action.demote.len(), 2);
+    }
+
+    #[test]
+    fn budget_drops_functions_already_at_the_rate_ceiling() {
+        let (active, dropped, pinned) = ctx_sets(&[1], &[]);
+        let ctx = PolicyCtx {
+            budget_pct: 5.0,
+            active: &active,
+            dropped: &dropped,
+            pinned: &pinned,
+        };
+        let mut s = sample(1, 50_000, 100_000, 10);
+        s.rate = 8; // already at the ceiling
+        let v = view(100_000, vec![s]);
+        let mut p = OverheadBudget {
+            max_rate: 8,
+            ..Default::default()
+        };
+        let action = p.decide(&ctx, &v);
+        assert!(action.demote.is_empty());
+        assert_eq!(action.drop.first().map(|&(i, _)| i), Some(id(1)));
+    }
+
+    #[test]
+    fn demotion_doubles_and_clamps_to_the_ceiling() {
+        let (active, dropped, pinned) = ctx_sets(&[1], &[]);
+        let ctx = PolicyCtx {
+            budget_pct: 5.0,
+            active: &active,
+            dropped: &dropped,
+            pinned: &pinned,
+        };
+        let mut s = sample(1, 50_000, 100_000, 10);
+        s.rate = 4;
+        let v = view(100_000, vec![s]);
+        // Ceiling 6: 4×2 = 8 clamps to 6.
+        let mut p = OverheadBudget {
+            max_rate: 6,
+            ..Default::default()
+        };
+        let action = p.decide(&ctx, &v);
+        assert_eq!(action.demote.first().map(|&(_, r, _)| r), Some(6));
     }
 
     #[test]

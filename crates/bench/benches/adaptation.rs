@@ -47,11 +47,13 @@ fn bench_adaptation(c: &mut Criterion) {
                     PatchDelta {
                         patch: Vec::new(),
                         unpatch: ids.clone(),
+                        ..PatchDelta::default()
                     }
                 } else {
                     PatchDelta {
                         patch: ids.clone(),
                         unpatch: Vec::new(),
+                        ..PatchDelta::default()
                     }
                 };
                 on = !on;
@@ -72,6 +74,7 @@ fn bench_adaptation(c: &mut Criterion) {
                 visits: 10 + (i as u64 % 5_000),
                 inst_ns: 100 + (i as u64 * 37) % 10_000,
                 body_cost_ns: 5 + (i as u64 * 13) % 2_000,
+                rate: 1,
             })
             .collect();
         let inst_ns: u64 = samples.iter().map(|s| s.inst_ns).sum();

@@ -9,7 +9,7 @@
 //! (default 8), `CAPI_EPOCHS` (default 6), `CAPI_BUDGET_PCT`
 //! (default 5.0).
 
-use capi::dynamic_session;
+use capi::{dynamic_session, AdaptiveRunBuilder};
 use capi_adapt::{AdaptConfig, AdaptController};
 use capi_bench::{
     budget_pct_from_env, epochs_from_env, fmt_paper_seconds, openfoam_scale_from_env, paper_ics,
@@ -59,8 +59,9 @@ fn main() {
         budget_pct: budget,
         ..Default::default()
     });
-    let run = session
-        .run_adaptive(&mut controller, epochs)
+    let run = AdaptiveRunBuilder::new()
+        .epochs(epochs)
+        .run_with_controller(&mut session, &mut controller, None)
         .expect("adaptive run");
 
     println!("\nepoch  overhead%  budget%  active  events      Δpatch  Δunpatch  Tadapt(ms)");

@@ -14,6 +14,7 @@
 //! 512), `CAPI_DISPATCH_OUT` (output path, default
 //! `BENCH_dispatch.json`).
 
+use capi_bench::report::{out_path_from_env, write_report};
 use capi_bench::{
     dispatch_events_from_env, dispatch_fixture, dispatch_funcs_from_env, dispatch_round_robin,
 };
@@ -25,8 +26,7 @@ use std::time::Instant;
 fn main() {
     let events_per_rank = dispatch_events_from_env();
     let funcs = dispatch_funcs_from_env();
-    let out_path =
-        std::env::var("CAPI_DISPATCH_OUT").unwrap_or_else(|_| "BENCH_dispatch.json".to_string());
+    let out_path = out_path_from_env("CAPI_DISPATCH_OUT", "BENCH_dispatch.json");
 
     println!("TABLE IV — DISPATCH FAST-PATH THROUGHPUT\n");
     println!(
@@ -90,7 +90,6 @@ fn main() {
         "sink": "sharded-log",
         "rows": rows,
     });
-    let pretty = serde_json::to_string_pretty(&report).expect("serializes");
-    std::fs::write(&out_path, pretty + "\n").expect("writes BENCH_dispatch.json");
-    println!("\nwrote {out_path}");
+    println!();
+    write_report(&out_path, &report);
 }

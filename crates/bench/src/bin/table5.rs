@@ -24,9 +24,10 @@
 //! `BENCH_talp_adapt.json`). Zero/invalid values fall back to the
 //! defaults.
 
-use capi::{dynamic_session, InstrumentationConfig};
+use capi::{dynamic_session, AdaptiveRunBuilder, InstrumentationConfig};
 use capi_adapt::{AdaptConfig, AdaptController, ExpansionOptions};
 use capi_appmodel::{LinkTarget, MpiCall, ProgramBuilder};
+use capi_bench::report::{out_path_from_env, write_report};
 use capi_bench::{comm_threshold_from_env, epochs_from_env, lb_threshold_from_env, ranks_from_env};
 use capi_dyncapi::{AdaptiveRun, Session, ToolChoice};
 use capi_objmodel::{compile, Binary, CompileOptions};
@@ -137,8 +138,9 @@ fn run_mode(bin: &Binary, ranks: u32, epochs: usize, budget: f64, expand: bool) 
         AdaptController::new(cfg)
     };
     let mut s = session(bin, ranks);
-    let run = s
-        .run_adaptive(&mut controller, epochs)
+    let run = AdaptiveRunBuilder::new()
+        .epochs(epochs)
+        .run_with_controller(&mut s, &mut controller, None)
         .expect("adaptive run");
     let active_names: Vec<String> = controller
         .active_ids()
@@ -156,8 +158,7 @@ fn run_mode(bin: &Binary, ranks: u32, epochs: usize, budget: f64, expand: bool) 
 fn main() {
     let ranks = ranks_from_env();
     let epochs = epochs_from_env();
-    let out_path =
-        std::env::var("CAPI_TABLE5_OUT").unwrap_or_else(|_| "BENCH_talp_adapt.json".to_string());
+    let out_path = out_path_from_env("CAPI_TABLE5_OUT", "BENCH_talp_adapt.json");
     println!("TABLE V — TALP-DRIVEN EXPANSION vs BUDGET-ONLY TRIMMING\n");
     println!(
         "{ranks} ranks | {epochs} epochs | LB threshold {:.2} | comm threshold {:.2}",
@@ -252,7 +253,5 @@ fn main() {
         "comm_threshold": comm_threshold_from_env(),
         "rows": rows,
     });
-    let pretty = serde_json::to_string_pretty(&report).expect("serializes");
-    std::fs::write(&out_path, pretty + "\n").expect("writes the table5 artifact");
-    println!("wrote {out_path}");
+    write_report(&out_path, &report);
 }

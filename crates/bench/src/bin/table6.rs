@@ -28,12 +28,13 @@
 //! temp directory), `CAPI_TABLE6_OUT` (output path, default
 //! `BENCH_persist.json`). Zero/invalid values fall back to defaults.
 
-use capi::{dynamic_session, InstrumentationConfig};
+use capi::{dynamic_session, AdaptiveRunBuilder, InstrumentationConfig};
 use capi_adapt::{
     AdaptConfig, AdaptController, AdaptPolicy, HotSmallExclusion, ImbalanceExpansion,
     OverheadBudget,
 };
 use capi_appmodel::{LinkTarget, MpiCall, ProgramBuilder};
+use capi_bench::report::{budget_pct_from_env_or, out_path_from_env, write_report};
 use capi_bench::{epochs_from_env, ranks_from_env};
 use capi_dyncapi::{efficiency_summary, AdaptiveRun, Session, ToolChoice, WarmStart};
 use capi_objmodel::{compile, Binary, CompileOptions};
@@ -165,7 +166,10 @@ fn run_mode(
     let mut s = session(bin, ranks);
     let mut c = controller(budget);
     let warm = warm_from.map(WarmStart::Profile);
-    let run = s.run_adaptive_warm(&mut c, epochs, warm).expect("runs");
+    let run = AdaptiveRunBuilder::new()
+        .epochs(epochs)
+        .run_with_controller(&mut s, &mut c, warm)
+        .expect("runs");
     let mut profile = c.export_profile(s.object_records());
     profile.efficiency = efficiency_summary(&run.efficiency);
     let active = c
@@ -188,13 +192,8 @@ fn main() {
     // table6's own default is 40.0 (not the bench library's 5.0): the
     // budget must be generous enough that growth is capped, not
     // starved. Zero/invalid values fall back to 40.0 too.
-    let budget = std::env::var("CAPI_BUDGET_PCT")
-        .ok()
-        .and_then(|v| v.parse::<f64>().ok())
-        .filter(|&b| b > 0.0 && b.is_finite())
-        .unwrap_or(40.0);
-    let out_path =
-        std::env::var("CAPI_TABLE6_OUT").unwrap_or_else(|_| "BENCH_persist.json".to_string());
+    let budget = budget_pct_from_env_or(40.0);
+    let out_path = out_path_from_env("CAPI_TABLE6_OUT", "BENCH_persist.json");
     let profile_path = std::env::var("CAPI_PROFILE_PATH")
         .map(PathBuf::from)
         .unwrap_or_else(|_| std::env::temp_dir().join("table6_profile.json"));
@@ -301,7 +300,6 @@ fn main() {
         "profiles_byte_identical": true,
         "rows": rows,
     });
-    let pretty = serde_json::to_string_pretty(&report).expect("serializes");
-    std::fs::write(&out_path, pretty + "\n").expect("writes the table6 artifact");
-    println!("wrote {out_path} (profile at {})", profile_path.display());
+    write_report(&out_path, &report);
+    println!("profile at {}", profile_path.display());
 }

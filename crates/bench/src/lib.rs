@@ -12,6 +12,8 @@
 //! EXPERIMENTS.md). Tables print virtual milliseconds so the columns are
 //! directly comparable with the paper's seconds.
 
+pub mod report;
+
 use capi::workflow::IcOutcome;
 use capi::{InstrumentationConfig, Workflow};
 use capi_dyncapi::{startup, DynCapiConfig, Session, ToolChoice};
@@ -133,13 +135,37 @@ pub fn dispatch_funcs_from_env() -> usize {
     parse_positive_usize(std::env::var("CAPI_DISPATCH_FUNCS").ok(), 512)
 }
 
+/// Maximum sampling rate the adaptation controller may demote a
+/// function to, from `CAPI_SAMPLE_RATE_MAX` (default 16): the
+/// overhead-budget policy caps its `Sampled(1-in-N)` demotions at this
+/// N before falling back to dropping the function outright.
+///
+/// Unparseable or zero values fall back to the default; a zero cap
+/// would disable demotion entirely while *looking* enabled
+/// (`Sampled(0)` is not a rate).
+pub fn sample_rate_max_from_env() -> u32 {
+    parse_positive_usize(std::env::var("CAPI_SAMPLE_RATE_MAX").ok(), 16) as u32
+}
+
+/// Redundancy-suppression band in parts-per-million, from
+/// `CAPI_REDUNDANCY_PPM` (default 0): sampled-path events whose
+/// duration lands within this relative band of the running
+/// per-function estimate are counted but not emitted.
+///
+/// Unparseable or zero values fall back to the default — which is 0,
+/// i.e. suppression disabled, so unlike the other knobs "rejecting"
+/// zero and accepting it coincide.
+pub fn redundancy_ppm_from_env() -> u32 {
+    parse_positive_usize(std::env::var("CAPI_REDUNDANCY_PPM").ok(), 0) as u32
+}
+
 fn parse_positive_usize(var: Option<String>, default: usize) -> usize {
     var.and_then(|v| v.parse().ok())
         .filter(|&n| n > 0)
         .unwrap_or(default)
 }
 
-fn parse_positive_f64(var: Option<String>, default: f64) -> f64 {
+pub(crate) fn parse_positive_f64(var: Option<String>, default: f64) -> f64 {
     var.and_then(|v| v.parse::<f64>().ok())
         .filter(|&n| n > 0.0 && n.is_finite())
         .unwrap_or(default)
@@ -391,6 +417,32 @@ mod tests {
         assert_eq!(parse_positive_f64(Some("-3".into()), 5.0), 5.0);
         assert_eq!(parse_positive_f64(Some("inf".into()), 5.0), 5.0);
         assert_eq!(parse_positive_f64(Some("2.5".into()), 5.0), 2.5);
+    }
+
+    #[test]
+    fn sampling_knobs_follow_the_reject_zero_convention() {
+        // CAPI_SAMPLE_RATE_MAX: default 16, zero and garbage rejected.
+        std::env::remove_var("CAPI_SAMPLE_RATE_MAX");
+        assert_eq!(sample_rate_max_from_env(), 16);
+        std::env::set_var("CAPI_SAMPLE_RATE_MAX", "0");
+        assert_eq!(sample_rate_max_from_env(), 16);
+        std::env::set_var("CAPI_SAMPLE_RATE_MAX", "nope");
+        assert_eq!(sample_rate_max_from_env(), 16);
+        std::env::set_var("CAPI_SAMPLE_RATE_MAX", "8");
+        assert_eq!(sample_rate_max_from_env(), 8);
+        std::env::remove_var("CAPI_SAMPLE_RATE_MAX");
+
+        // CAPI_REDUNDANCY_PPM: default 0 (band off); zero and garbage
+        // both land on the same "off" default.
+        std::env::remove_var("CAPI_REDUNDANCY_PPM");
+        assert_eq!(redundancy_ppm_from_env(), 0);
+        std::env::set_var("CAPI_REDUNDANCY_PPM", "0");
+        assert_eq!(redundancy_ppm_from_env(), 0);
+        std::env::set_var("CAPI_REDUNDANCY_PPM", "garbage");
+        assert_eq!(redundancy_ppm_from_env(), 0);
+        std::env::set_var("CAPI_REDUNDANCY_PPM", "50000");
+        assert_eq!(redundancy_ppm_from_env(), 50_000);
+        std::env::remove_var("CAPI_REDUNDANCY_PPM");
     }
 
     #[test]

@@ -1,0 +1,68 @@
+//! Shared scaffolding for the `table*` binaries: output-path
+//! resolution, pretty-JSON artifact emission, and the per-table budget
+//! default.
+//!
+//! `table4`–`table7` each write a `BENCH_*.json` artifact whose path is
+//! overridable through a table-specific environment variable; the
+//! serialize-write-announce tail was identical in every binary, so it
+//! lives here instead of being copied a fourth time.
+
+use serde_json::Value;
+
+/// Resolves an artifact output path: the value of `var` if set,
+/// otherwise `default`.
+pub fn out_path_from_env(var: &str, default: &str) -> String {
+    std::env::var(var).unwrap_or_else(|_| default.to_string())
+}
+
+/// Serializes `report` as pretty JSON (with a trailing newline) to
+/// `out_path` and announces the write on stdout.
+///
+/// Panics if the file cannot be written — a bench run whose artifact
+/// silently vanished would be worse than a crash.
+pub fn write_report(out_path: &str, report: &Value) {
+    let pretty = serde_json::to_string_pretty(report).expect("report serializes");
+    std::fs::write(out_path, pretty + "\n").unwrap_or_else(|e| panic!("writes {out_path}: {e}"));
+    println!("wrote {out_path}");
+}
+
+/// Overhead budget in percent from `CAPI_BUDGET_PCT`, with a
+/// caller-chosen default (the tables disagree on what "generous"
+/// means: table3 wants 5.0, table6 wants 40.0).
+///
+/// Unparseable, zero or negative values fall back to `default`, same
+/// as [`crate::budget_pct_from_env`].
+pub fn budget_pct_from_env_or(default: f64) -> f64 {
+    crate::parse_positive_f64(std::env::var("CAPI_BUDGET_PCT").ok(), default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_path_prefers_the_env_var() {
+        // Process-global env vars: use a name no other test touches.
+        std::env::set_var("CAPI_REPORT_TEST_OUT", "custom.json");
+        assert_eq!(
+            out_path_from_env("CAPI_REPORT_TEST_OUT", "default.json"),
+            "custom.json"
+        );
+        std::env::remove_var("CAPI_REPORT_TEST_OUT");
+        assert_eq!(
+            out_path_from_env("CAPI_REPORT_TEST_OUT", "default.json"),
+            "default.json"
+        );
+    }
+
+    #[test]
+    fn write_report_appends_a_trailing_newline() {
+        let path = std::env::temp_dir().join("capi_report_test.json");
+        let path_str = path.to_str().unwrap().to_string();
+        write_report(&path_str, &serde_json::json!({ "ok": true }));
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.ends_with('\n'));
+        assert!(body.contains("\"ok\""));
+        let _ = std::fs::remove_file(&path);
+    }
+}

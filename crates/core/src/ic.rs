@@ -9,14 +9,33 @@
 
 use capi_metacg::{CallGraph, NodeSet};
 use capi_scorep::FilterFile;
-use serde_json::{json, Value};
-use std::collections::BTreeSet;
+use serde_json::{json, Map, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How one function is instrumented.
+///
+/// `Sampled(n)` keeps the sled patched but tells the dispatch fast path
+/// to forward only every n-th invocation to the handler (per rank,
+/// deterministic). `Sampled(1)` is byte-identical to `Full` by
+/// contract.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InstrumentationMode {
+    /// Not in the IC: the sled stays dormant.
+    Off,
+    /// Patched, 1-in-N sampled event delivery.
+    Sampled(u32),
+    /// Patched, every invocation delivered.
+    Full,
+}
 
 /// An instrumentation configuration: the set of function names to
-/// instrument.
+/// instrument, each at a per-function [`InstrumentationMode`].
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct InstrumentationConfig {
     names: BTreeSet<String>,
+    /// Sampling rates for members running in `Sampled` mode. Only rates
+    /// above 1 are stored; absence means full instrumentation.
+    rates: BTreeMap<String, u32>,
     /// Optional packed `(object, function)` IDs, the paper's suggested
     /// future extension for hidden-symbol-proof ICs.
     ids: Vec<u32>,
@@ -27,6 +46,7 @@ impl InstrumentationConfig {
     pub fn from_selection(graph: &CallGraph, set: &NodeSet) -> Self {
         Self {
             names: set.iter().map(|id| graph.node(id).name.clone()).collect(),
+            rates: BTreeMap::new(),
             ids: Vec::new(),
         }
     }
@@ -35,6 +55,7 @@ impl InstrumentationConfig {
     pub fn from_names<I: IntoIterator<Item = S>, S: Into<String>>(names: I) -> Self {
         Self {
             names: names.into_iter().map(Into::into).collect(),
+            rates: BTreeMap::new(),
             ids: Vec::new(),
         }
     }
@@ -59,14 +80,76 @@ impl InstrumentationConfig {
         self.names.iter().map(String::as_str)
     }
 
-    /// Inserts a function.
+    /// Inserts a function (fully instrumented).
     pub fn insert(&mut self, name: impl Into<String>) -> bool {
         self.names.insert(name.into())
     }
 
     /// Removes a function (the Fig. 1 "Adjust" step).
     pub fn remove(&mut self, name: &str) -> bool {
+        self.rates.remove(name);
         self.names.remove(name)
+    }
+
+    /// The instrumentation mode of a function: [`InstrumentationMode::Off`]
+    /// for non-members, `Sampled(n)` for members with a rate above 1,
+    /// `Full` otherwise.
+    pub fn mode_of(&self, name: &str) -> InstrumentationMode {
+        if !self.names.contains(name) {
+            InstrumentationMode::Off
+        } else {
+            match self.rates.get(name) {
+                Some(&n) => InstrumentationMode::Sampled(n),
+                None => InstrumentationMode::Full,
+            }
+        }
+    }
+
+    /// Sets a function's instrumentation mode. `Off` removes it from the
+    /// IC, `Full` and `Sampled(1)` (de)normalize to a plain member, and
+    /// `Sampled(n > 1)` inserts it with the sampling rate attached.
+    pub fn set_mode(&mut self, name: impl Into<String>, mode: InstrumentationMode) {
+        let name = name.into();
+        match mode {
+            InstrumentationMode::Off => {
+                self.remove(&name);
+            }
+            InstrumentationMode::Full => {
+                self.rates.remove(&name);
+                self.names.insert(name);
+            }
+            InstrumentationMode::Sampled(n) => {
+                if n > 1 {
+                    self.rates.insert(name.clone(), n);
+                } else {
+                    self.rates.remove(&name);
+                }
+                self.names.insert(name);
+            }
+        }
+    }
+
+    /// A member's sampling rate (1-in-N); 1 for full members and
+    /// non-members alike.
+    pub fn rate_of(&self, name: &str) -> u32 {
+        self.rates.get(name).copied().unwrap_or(1)
+    }
+
+    /// Iterates over the sampled members (sorted) with their rates.
+    pub fn sampled(&self) -> impl Iterator<Item = (&str, u32)> {
+        self.rates.iter().map(|(n, &r)| (n.as_str(), r))
+    }
+
+    /// Attaches sampling rates to members by name; non-members and rates
+    /// below 2 are ignored. This is how a `sample(N, …)` selection tag
+    /// survives inlining compensation: the compensated IC re-applies the
+    /// rates of whatever names remain.
+    pub fn apply_rates<'a, I: IntoIterator<Item = (&'a str, u32)>>(&mut self, rates: I) {
+        for (name, rate) in rates {
+            if rate > 1 && self.names.contains(name) {
+                self.rates.insert(name.to_string(), rate);
+            }
+        }
     }
 
     /// Attaches resolved packed IDs (future-development extension).
@@ -108,18 +191,32 @@ impl InstrumentationConfig {
         )
     }
 
-    /// JSON form (for tooling).
+    /// JSON form (for tooling). The `rates` object only appears when at
+    /// least one member is sampled, so rate-free ICs render exactly as
+    /// they did before the mode dimension existed.
     pub fn to_json(&self) -> Value {
-        json!({
+        let mut doc = json!({
             "version": 1,
             "functions": self.names.iter().collect::<Vec<_>>(),
             "packedIds": self.ids,
-        })
+        });
+        if !self.rates.is_empty() {
+            let mut rates = Map::new();
+            for (n, &r) in &self.rates {
+                rates.insert(n.clone(), json!(r));
+            }
+            if let Value::Object(map) = &mut doc {
+                map.insert("rates".to_string(), Value::Object(rates));
+            }
+        }
+        doc
     }
 
-    /// Parses the JSON form.
+    /// Parses the JSON form. Documents without a `rates` key (everything
+    /// written before the mode dimension) load with every member fully
+    /// instrumented.
     pub fn from_json(doc: &Value) -> Option<Self> {
-        let names = doc
+        let names: BTreeSet<String> = doc
             .get("functions")?
             .as_array()?
             .iter()
@@ -136,7 +233,21 @@ impl InstrumentationConfig {
                     .collect()
             })
             .unwrap_or_default();
-        Some(Self { names, ids })
+        let rates = doc
+            .get("rates")
+            .and_then(Value::as_object)
+            .map(|m| {
+                m.iter()
+                    .filter_map(|(n, v)| {
+                        v.as_u64()
+                            .filter(|&r| r > 1 && r <= u64::from(u32::MAX))
+                            .map(|r| (n.clone(), r as u32))
+                    })
+                    .filter(|(n, _)| names.contains(n))
+                    .collect()
+            })
+            .unwrap_or_default();
+        Some(Self { names, rates, ids })
     }
 }
 
@@ -192,5 +303,69 @@ mod tests {
     fn names_are_sorted_and_deduplicated() {
         let c = InstrumentationConfig::from_names(["b", "a", "b"]);
         assert_eq!(c.names().collect::<Vec<_>>(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn mode_transitions_normalize() {
+        let mut c = ic();
+        assert_eq!(c.mode_of("solve"), InstrumentationMode::Full);
+        assert_eq!(c.mode_of("ghost"), InstrumentationMode::Off);
+        assert_eq!(c.rate_of("solve"), 1);
+
+        c.set_mode("solve", InstrumentationMode::Sampled(8));
+        assert_eq!(c.mode_of("solve"), InstrumentationMode::Sampled(8));
+        assert_eq!(c.rate_of("solve"), 8);
+
+        // Sampled(1) normalizes to Full.
+        c.set_mode("solve", InstrumentationMode::Sampled(1));
+        assert_eq!(c.mode_of("solve"), InstrumentationMode::Full);
+
+        // Off drops the rate along with the membership.
+        c.set_mode("Amul", InstrumentationMode::Sampled(4));
+        c.set_mode("Amul", InstrumentationMode::Off);
+        assert_eq!(c.mode_of("Amul"), InstrumentationMode::Off);
+        c.insert("Amul");
+        assert_eq!(c.mode_of("Amul"), InstrumentationMode::Full);
+
+        // Sampled on a non-member inserts it.
+        c.set_mode("fresh", InstrumentationMode::Sampled(3));
+        assert!(c.contains("fresh"));
+        assert_eq!(c.sampled().collect::<Vec<_>>(), vec![("fresh", 3)]);
+    }
+
+    #[test]
+    fn apply_rates_ignores_non_members_and_trivial_rates() {
+        let mut c = ic();
+        c.apply_rates([("solve", 4), ("ghost", 8), ("Amul", 1)]);
+        assert_eq!(c.rate_of("solve"), 4);
+        assert_eq!(c.rate_of("Amul"), 1);
+        assert!(!c.contains("ghost"));
+    }
+
+    #[test]
+    fn json_round_trip_preserves_rates() {
+        let mut c = ic();
+        c.set_mode("solve", InstrumentationMode::Sampled(16));
+        c.set_packed_ids(vec![7]);
+        let doc = c.to_json();
+        assert_eq!(
+            doc.get("rates")
+                .and_then(|r| r.get("solve"))
+                .and_then(Value::as_u64),
+            Some(16)
+        );
+        let back = InstrumentationConfig::from_json(&doc).unwrap();
+        assert_eq!(back, c);
+        assert_eq!(back.mode_of("solve"), InstrumentationMode::Sampled(16));
+    }
+
+    #[test]
+    fn rate_free_json_documents_still_parse() {
+        // Documents written before the mode dimension carry no `rates`.
+        let doc = ic().to_json();
+        assert!(doc.get("rates").is_none());
+        let back = InstrumentationConfig::from_json(&doc).unwrap();
+        assert_eq!(back, ic());
+        assert!(back.sampled().next().is_none());
     }
 }

@@ -102,6 +102,7 @@ pub fn dynamic_session(
         tool,
         ic: Some(ic.to_scorep_filter()),
         ic_packed_ids: ic.packed_ids().to_vec(),
+        ic_rates: ic.sampled().map(|(n, r)| (n.to_string(), r)).collect(),
         pass: PassOptions::instrument_all(),
         ranks,
         ..Default::default()

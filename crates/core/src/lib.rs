@@ -42,8 +42,9 @@ pub mod select;
 pub mod workflow;
 
 pub use capi_adapt::ExpansionOptions;
+pub use capi_dyncapi::{AdaptiveOutcome, AdaptiveRunBuilder};
 pub use capi_spec::eval::{coarse, statement_aggregation};
-pub use ic::InstrumentationConfig;
+pub use ic::{InstrumentationConfig, InstrumentationMode};
 pub use inlining::{compensate_inlining, CompensationReport};
 pub use instrument::{dynamic_session, static_session, StaticBuild};
 pub use select::{select, SelectionOutcome};

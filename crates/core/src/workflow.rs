@@ -12,17 +12,16 @@ use crate::ic::InstrumentationConfig;
 use crate::inlining::{compensate_inlining, CompensationReport};
 use crate::instrument::dynamic_session;
 use crate::select::{select, SelectionOutcome};
-use capi_adapt::{AdaptConfig, AdaptController, ExpansionOptions};
+use capi_adapt::ExpansionOptions;
 use capi_appmodel::SourceProgram;
-use capi_dyncapi::{
-    efficiency_summary, AdaptiveRun, DynCapiError, SessionRun, ToolChoice, WarmStart,
-};
+use capi_dyncapi::{AdaptiveRun, AdaptiveRunBuilder, DynCapiError, SessionRun, ToolChoice};
 use capi_metacg::{whole_program_callgraph, CallGraph};
 use capi_objmodel::{compile, estimate_compile_time, Binary, CompileError, CompileOptions};
 use capi_persist::InstrumentationProfile;
 use capi_spec::{ModuleRegistry, SpecError};
-use std::path::PathBuf;
 use std::time::Duration;
+
+pub use capi_dyncapi::{profile_source_from_env, ProfileSource};
 
 /// Result of turning a selection into an IC (with post-processing).
 #[derive(Clone, Debug)]
@@ -77,6 +76,21 @@ impl Default for InFlightOptions {
     }
 }
 
+impl InFlightOptions {
+    /// The equivalent [`AdaptiveRunBuilder`] — how the deprecated
+    /// `measure_in_flight*` wrappers delegate to [`Workflow::adaptive_run`].
+    fn builder(&self) -> AdaptiveRunBuilder {
+        let mut b = AdaptiveRunBuilder::new()
+            .epochs(self.epochs)
+            .budget_pct(self.budget_pct)
+            .seed(self.seed);
+        if let Some(exp) = self.expansion {
+            b = b.expansion(exp);
+        }
+        b
+    }
+}
+
 /// Result of one in-flight refinement run: the Fig. 1 loop converging
 /// inside a single session, with zero restarts and zero rebuilds.
 #[derive(Clone, Debug)]
@@ -106,33 +120,6 @@ pub struct InFlightOutcome {
     pub profile: InstrumentationProfile,
     /// Whether this run was warm-started from a prior profile.
     pub warm_started: bool,
-}
-
-/// Where [`Workflow::measure_in_flight_with_profile`] gets (and puts)
-/// the cross-run instrumentation profile.
-#[derive(Clone, Debug, Default)]
-pub enum ProfileSource {
-    /// No persistence: cold start, nothing written back.
-    #[default]
-    None,
-    /// Warm-start from an in-memory profile; nothing is written back
-    /// (the caller owns persistence).
-    Inline(InstrumentationProfile),
-    /// Load the profile from this path — a missing, truncated, or
-    /// schema-mismatched file degrades to a cold start with the reason
-    /// in the adaptation log — and save the updated profile back to the
-    /// same path after the run.
-    Path(PathBuf),
-}
-
-/// The [`ProfileSource`] selected by the `CAPI_PROFILE_PATH`
-/// environment knob: [`ProfileSource::Path`] when set (and non-empty),
-/// [`ProfileSource::None`] otherwise.
-pub fn profile_source_from_env() -> ProfileSource {
-    match std::env::var("CAPI_PROFILE_PATH") {
-        Ok(path) if !path.trim().is_empty() => ProfileSource::Path(PathBuf::from(path)),
-        _ => ProfileSource::None,
-    }
 }
 
 /// The CaPI workflow over one application.
@@ -211,11 +198,17 @@ impl Workflow {
     }
 
     /// Turns a selection into an IC, applying inlining compensation.
+    /// `sample(N, …)` rate tags survive compensation: rates are
+    /// re-applied to whichever tagged names remain in the compensated
+    /// set (names replaced by their non-inlined callers lose the tag —
+    /// the caller was never selected for sampling).
     pub fn make_ic(&self, outcome: &SelectionOutcome) -> IcOutcome {
         let (set, compensation) =
             compensate_inlining(&self.graph, &self.binary, &outcome.selection.set);
+        let mut ic = InstrumentationConfig::from_selection(&self.graph, &set);
+        ic.apply_rates(outcome.selection.sampled_names(&self.graph));
         IcOutcome {
-            ic: InstrumentationConfig::from_selection(&self.graph, &set),
+            ic,
             duration: outcome.duration,
             compensation,
         }
@@ -262,11 +255,13 @@ impl Workflow {
     ///
     /// This method is pure (no persistence): every call is a cold
     /// start and nothing touches disk, preserving the byte-identical
-    /// determinism contract. Cross-run persistence is an explicit
-    /// opt-in through [`Self::measure_in_flight_with_profile`] — pass
-    /// [`profile_source_from_env`]'s result to honor the
-    /// `CAPI_PROFILE_PATH` knob the way the bench binaries and
-    /// examples do.
+    /// determinism contract. Cross-run persistence, demotion to sampled
+    /// instrumentation, and the redundancy-suppression band are all
+    /// knobs on [`AdaptiveRunBuilder`] — use [`Self::adaptive_run`].
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `Workflow::adaptive_run` with an `AdaptiveRunBuilder`"
+    )]
     pub fn measure_in_flight(
         &self,
         ic: &InstrumentationConfig,
@@ -274,17 +269,15 @@ impl Workflow {
         ranks: u32,
         opts: InFlightOptions,
     ) -> Result<InFlightOutcome, WorkflowError> {
-        self.measure_in_flight_with_profile(ic, tool, ranks, opts, &ProfileSource::None)
+        self.adaptive_run(ic, tool, ranks, &opts.builder())
     }
 
-    /// [`Self::measure_in_flight`] with explicit cross-run persistence:
-    /// the session warm-starts from the given [`ProfileSource`] (prior
-    /// drops pre-trim epoch 0, the prior converged IC pre-grows, seeded
-    /// costs replace the expansion-cost assumption) and the refined
-    /// profile is exported into [`InFlightOutcome::profile`] — and, for
-    /// [`ProfileSource::Path`], written back to disk. Load failures
-    /// never abort the run: the session degrades to a cold start and
-    /// the adaptation log records why.
+    /// [`Self::measure_in_flight`] with explicit cross-run persistence
+    /// through a [`ProfileSource`].
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `Workflow::adaptive_run` with an `AdaptiveRunBuilder` and its `profile` knob"
+    )]
     pub fn measure_in_flight_with_profile(
         &self,
         ic: &InstrumentationConfig,
@@ -293,55 +286,44 @@ impl Workflow {
         opts: InFlightOptions,
         source: &ProfileSource,
     ) -> Result<InFlightOutcome, WorkflowError> {
+        self.adaptive_run(ic, tool, ranks, &opts.builder().profile(source.clone()))
+    }
+
+    /// Instrument + Measure + Adjust in **one** run, configured by an
+    /// [`AdaptiveRunBuilder`]: the session starts from `ic` (including
+    /// any per-function sampling rates the IC carries), the epoch-based
+    /// controller refines the active set live — dropping or *demoting to
+    /// sampled* over-budget functions, probing dropped ones, growing
+    /// below inefficient regions — with zero restarts and zero rebuilds.
+    /// The builder's profile source drives cross-run persistence; load
+    /// failures degrade to a logged cold start. Identical seeds and
+    /// budgets produce byte-identical adaptation logs.
+    ///
+    /// The returned [`InFlightOutcome::final_ic`] carries the converged
+    /// set *with* each function's final sampling rate, so it can be fed
+    /// straight back into the next session.
+    pub fn adaptive_run(
+        &self,
+        ic: &InstrumentationConfig,
+        tool: ToolChoice,
+        ranks: u32,
+        runner: &AdaptiveRunBuilder,
+    ) -> Result<InFlightOutcome, WorkflowError> {
         let mut session = dynamic_session(&self.binary, ic, tool, ranks)?;
-        let cfg = AdaptConfig {
-            budget_pct: opts.budget_pct,
-            seed: opts.seed,
-            ..Default::default()
-        };
-        let mut controller = match opts.expansion {
-            Some(exp) => AdaptController::with_expansion(cfg, exp),
-            None => AdaptController::new(cfg),
-        };
-        // Only the Path source needs an owned load; Inline is borrowed
-        // directly from the caller.
-        let loaded = match source {
-            ProfileSource::Path(path) => Some(InstrumentationProfile::load(path)),
-            _ => None,
-        };
-        let warm = match (source, loaded.as_ref()) {
-            (ProfileSource::Inline(p), _) => Some(WarmStart::Profile(p)),
-            (_, Some(Ok(p))) => Some(WarmStart::Profile(p)),
-            (_, Some(Err(e))) => Some(WarmStart::Unavailable(e.to_string())),
-            _ => None,
-        };
-        let warm_started = matches!(warm, Some(WarmStart::Profile(_)));
-        let adaptive = session
-            .run_adaptive_warm(&mut controller, opts.epochs, warm)
-            .map_err(WorkflowError::DynCapi)?;
-        let mut profile = controller.export_profile(session.object_records());
-        profile.efficiency = efficiency_summary(&adaptive.efficiency);
-        if let ProfileSource::Path(path) = source {
-            if let Err(e) = profile.save(path) {
-                controller.log_note(&format!("profile save failed: {e}"));
-            }
-        }
-        let final_ic = InstrumentationConfig::from_names(
-            controller
-                .active_ids()
-                .into_iter()
-                .filter_map(|id| session.symbols.name_of(id).map(str::to_string)),
-        );
+        let out = runner.run(&mut session).map_err(WorkflowError::DynCapi)?;
+        let mut final_ic =
+            InstrumentationConfig::from_names(out.final_functions.iter().map(|(n, _)| n.clone()));
+        final_ic.apply_rates(out.final_functions.iter().map(|(n, r)| (n.as_str(), *r)));
         Ok(InFlightOutcome {
             final_ic,
-            converged_at: controller.converged_at(),
-            first_converged_at: controller.first_converged_at(),
-            log: controller.render_log(),
+            converged_at: out.converged_at,
+            first_converged_at: out.first_converged_at,
+            log: out.log,
             rebuilds: 0,
-            restarts: adaptive.restarts,
-            profile,
-            warm_started,
-            adaptive,
+            restarts: out.adaptive.restarts,
+            profile: out.profile,
+            warm_started: out.warm_started,
+            adaptive: out.adaptive,
         })
     }
 }
@@ -438,25 +420,16 @@ mod tests {
             .select_ic(r#"flops(">=", 10, loopDepth(">=", 1, %%))"#)
             .unwrap()
             .ic;
-        let opts = InFlightOptions {
-            epochs: 4,
-            budget_pct: 4.0,
-            seed: 11,
-            ..Default::default()
-        };
-        let a = wf
-            .measure_in_flight(&ic, ToolChoice::None, 2, opts)
-            .unwrap();
-        let b = wf
-            .measure_in_flight(&ic, ToolChoice::None, 2, opts)
-            .unwrap();
+        let runner = AdaptiveRunBuilder::new().epochs(4).budget_pct(4.0).seed(11);
+        let a = wf.adaptive_run(&ic, ToolChoice::None, 2, &runner).unwrap();
+        let b = wf.adaptive_run(&ic, ToolChoice::None, 2, &runner).unwrap();
         assert_eq!(a.restarts, 0);
         assert_eq!(a.rebuilds, 0);
         assert_eq!(a.log, b.log, "same seed/budget → byte-identical logs");
         assert_eq!(a.adaptive.per_rank_ns, b.adaptive.per_rank_ns);
         assert!(a.final_ic.len() <= ic.len());
         let last = a.adaptive.records.last().unwrap();
-        assert!(last.overhead_pct <= opts.budget_pct);
+        assert!(last.overhead_pct <= 4.0);
     }
 
     #[test]
@@ -506,18 +479,13 @@ mod tests {
         let wf = Workflow::analyze(b.build().unwrap(), CompileOptions::o2()).unwrap();
         // Initial IC: the phase only — the kernel below it is excluded.
         let ic = InstrumentationConfig::from_names(["phase"]);
-        let opts = InFlightOptions {
-            epochs: 4,
-            budget_pct: 40.0,
-            seed: 21,
-            expansion: Some(ExpansionOptions::default()),
-        };
-        let a = wf
-            .measure_in_flight(&ic, ToolChoice::None, 2, opts)
-            .unwrap();
-        let b = wf
-            .measure_in_flight(&ic, ToolChoice::None, 2, opts)
-            .unwrap();
+        let runner = AdaptiveRunBuilder::new()
+            .epochs(4)
+            .budget_pct(40.0)
+            .seed(21)
+            .expansion(ExpansionOptions::default());
+        let a = wf.adaptive_run(&ic, ToolChoice::None, 2, &runner).unwrap();
+        let b = wf.adaptive_run(&ic, ToolChoice::None, 2, &runner).unwrap();
         assert_eq!(a.log, b.log, "byte-identical logs with expansion");
         assert_eq!(a.adaptive.per_rank_ns, b.adaptive.per_rank_ns);
         // The skewed kernel was grown into the final IC.
@@ -538,25 +506,19 @@ mod tests {
             .select_ic(r#"flops(">=", 10, loopDepth(">=", 1, %%))"#)
             .unwrap()
             .ic;
-        let opts = InFlightOptions {
-            epochs: 4,
-            budget_pct: 4.0,
-            seed: 11,
-            ..Default::default()
-        };
-        let cold = wf
-            .measure_in_flight_with_profile(&ic, ToolChoice::None, 2, opts, &ProfileSource::None)
-            .unwrap();
+        let runner = AdaptiveRunBuilder::new().epochs(4).budget_pct(4.0).seed(11);
+        let cold = wf.adaptive_run(&ic, ToolChoice::None, 2, &runner).unwrap();
         assert!(!cold.warm_started);
         assert!(!cold.profile.functions.is_empty());
         // Inline warm start from the cold run's exported profile.
         let warm = wf
-            .measure_in_flight_with_profile(
+            .adaptive_run(
                 &ic,
                 ToolChoice::None,
                 2,
-                opts,
-                &ProfileSource::Inline(cold.profile.clone()),
+                &runner
+                    .clone()
+                    .profile(ProfileSource::Inline(cold.profile.clone())),
             )
             .unwrap();
         assert!(warm.warm_started);
@@ -569,21 +531,15 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("profile.json");
         std::fs::remove_file(&path).ok();
-        let source = ProfileSource::Path(path.clone());
-        let first = wf
-            .measure_in_flight_with_profile(&ic, ToolChoice::None, 2, opts, &source)
-            .unwrap();
+        let pathed = runner.clone().profile(ProfileSource::Path(path.clone()));
+        let first = wf.adaptive_run(&ic, ToolChoice::None, 2, &pathed).unwrap();
         assert!(!first.warm_started, "no file yet: cold");
         assert!(first.log.contains("warm start unavailable:"));
         assert!(path.exists(), "profile written back");
-        let second = wf
-            .measure_in_flight_with_profile(&ic, ToolChoice::None, 2, opts, &source)
-            .unwrap();
+        let second = wf.adaptive_run(&ic, ToolChoice::None, 2, &pathed).unwrap();
         assert!(second.warm_started);
         std::fs::write(&path, "{ truncated").unwrap();
-        let third = wf
-            .measure_in_flight_with_profile(&ic, ToolChoice::None, 2, opts, &source)
-            .unwrap();
+        let third = wf.adaptive_run(&ic, ToolChoice::None, 2, &pathed).unwrap();
         assert!(!third.warm_started);
         assert!(
             third
@@ -593,6 +549,72 @@ mod tests {
             third.log
         );
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sample_selector_rates_flow_into_the_ic_and_the_session() {
+        let wf = Workflow::analyze(program(), CompileOptions::o2()).unwrap();
+        // kernel sampled 1-in-4; step fully instrumented.
+        let ic = wf
+            .select_ic(r#"join(sample(4, byName("^kernel$", %%)), byName("^step$", %%))"#)
+            .unwrap()
+            .ic;
+        assert_eq!(ic.rate_of("kernel"), 4);
+        assert_eq!(ic.rate_of("step"), 1);
+        use crate::ic::InstrumentationMode;
+        assert_eq!(ic.mode_of("kernel"), InstrumentationMode::Sampled(4));
+
+        // The sampled session delivers fewer events than the full one.
+        let sampled = wf.measure(&ic, ToolChoice::None, 2).unwrap();
+        let mut full = ic.clone();
+        full.set_mode("kernel", InstrumentationMode::Full);
+        let full = wf.measure(&full, ToolChoice::None, 2).unwrap();
+        assert!(sampled.run.run.events < full.run.run.events);
+        assert!(sampled.run.run.sampled_skips > 0);
+        assert_eq!(full.run.run.sampled_skips, 0);
+    }
+
+    #[test]
+    fn sample_tag_does_not_survive_inlining_replacement() {
+        let wf = Workflow::analyze(program(), CompileOptions::o2()).unwrap();
+        // tiny is inlined away; compensation swaps in its caller `step`,
+        // which must NOT inherit tiny's sampling tag.
+        let ic = wf
+            .select_ic(r#"sample(8, byName("^tiny$", %%))"#)
+            .unwrap()
+            .ic;
+        assert!(ic.contains("step"));
+        assert!(!ic.contains("tiny"));
+        assert_eq!(ic.rate_of("step"), 1);
+        assert!(ic.sampled().next().is_none());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_the_builder_byte_for_byte() {
+        let wf = Workflow::analyze(program(), CompileOptions::o2()).unwrap();
+        let ic = wf
+            .select_ic(r#"flops(">=", 10, loopDepth(">=", 1, %%))"#)
+            .unwrap()
+            .ic;
+        let opts = InFlightOptions {
+            epochs: 4,
+            budget_pct: 4.0,
+            seed: 11,
+            ..Default::default()
+        };
+        let old = wf
+            .measure_in_flight(&ic, ToolChoice::None, 2, opts)
+            .unwrap();
+        let runner = AdaptiveRunBuilder::new().epochs(4).budget_pct(4.0).seed(11);
+        let new = wf.adaptive_run(&ic, ToolChoice::None, 2, &runner).unwrap();
+        assert_eq!(old.log, new.log);
+        assert_eq!(old.adaptive.per_rank_ns, new.adaptive.per_rank_ns);
+        assert_eq!(old.final_ic, new.final_ic);
+        let old_p = wf
+            .measure_in_flight_with_profile(&ic, ToolChoice::None, 2, opts, &ProfileSource::None)
+            .unwrap();
+        assert_eq!(old_p.log, new.log);
     }
 
     #[test]

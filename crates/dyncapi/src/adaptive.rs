@@ -103,6 +103,12 @@ pub struct AdaptiveRun {
     pub nop_sleds: u64,
     /// Recursion-guard cutoffs over the whole run.
     pub depth_cutoffs: u64,
+    /// Invocations skipped by 1-in-N sampling over the whole run (the
+    /// fidelity audit trail for demoted functions).
+    pub sampled_skips: u64,
+    /// Events withheld by the redundancy-suppression band over the
+    /// whole run.
+    pub suppressed_events: u64,
     /// `T_init`: startup patching cost (from the session report).
     pub init_ns: u64,
     /// `T_adapt`: total in-flight repatching cost.
@@ -126,12 +132,18 @@ impl Session {
     /// The controller is seeded with the session's initially patched
     /// functions and pinned on the schedule's spine (functions whose
     /// entry/exit straddle epoch boundaries).
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `AdaptiveRunBuilder::run_with_controller` (or `AdaptiveRunBuilder::run`)"
+    )]
     pub fn run_adaptive(
         &mut self,
         controller: &mut AdaptController,
         epochs: usize,
     ) -> Result<AdaptiveRun, DynCapiError> {
-        self.run_adaptive_warm(controller, epochs, None)
+        crate::AdaptiveRunBuilder::new()
+            .epochs(epochs)
+            .run_with_controller(self, controller, None)
     }
 
     /// [`Self::run_adaptive`] with an optional warm start: the
@@ -149,11 +161,29 @@ impl Session {
     /// onto whatever now owns the stale packed IDs. A requested-but-
     /// unloadable profile ([`WarmStart::Unavailable`]) degrades to a
     /// cold start with the reason in the adaptation log.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `AdaptiveRunBuilder::run_with_controller` (or `AdaptiveRunBuilder::run` with a profile source)"
+    )]
     pub fn run_adaptive_warm(
         &mut self,
         controller: &mut AdaptController,
         epochs: usize,
         warm: Option<WarmStart<'_>>,
+    ) -> Result<AdaptiveRun, DynCapiError> {
+        crate::AdaptiveRunBuilder::new()
+            .epochs(epochs)
+            .run_with_controller(self, controller, warm)
+    }
+
+    /// The shared epoch loop behind every adaptive entry point.
+    /// `redundancy_ppm` is forwarded to the engine each epoch.
+    pub(crate) fn run_adaptive_inner(
+        &mut self,
+        controller: &mut AdaptController,
+        epochs: usize,
+        warm: Option<WarmStart<'_>>,
+        redundancy_ppm: u32,
     ) -> Result<AdaptiveRun, DynCapiError> {
         let epochs = epochs.max(1);
         let world = World::new(self.config.ranks, self.config.mpi_cost);
@@ -168,13 +198,15 @@ impl Session {
         let mut warm_summary: Option<WarmStartSummary> = None;
         let mut initialized = false;
         let (mut events, mut nops, mut cutoffs, mut adapt_ns) = (0u64, 0u64, 0u64, 0u64);
+        let (mut skips, mut suppressed) = (0u64, 0u64);
         let mut epoch = 0usize;
         while epoch < epochs {
             // Re-prepare against the current patch state: the snapshot
             // and quiet-subtree analysis pick up the last delta (and,
             // at epoch 0, the warm-start batch).
             let engine = Engine::prepare(&self.process, &self.runtime, self.config.overhead)
-                .map_err(DynCapiError::Exec)?;
+                .map_err(DynCapiError::Exec)?
+                .with_redundancy_ppm(redundancy_ppm);
             if !initialized {
                 initialized = true;
                 // Setup: seed the controller from the startup patch
@@ -242,6 +274,8 @@ impl Session {
             events += out.events;
             nops += out.nop_sleds;
             cutoffs += out.depth_cutoffs;
+            skips += out.sampled_skips;
+            suppressed += out.suppressed_events;
             // Build the region samples once (one name resolution per
             // region), then derive the efficiency record from the same
             // sample — the report and the policies see identical data
@@ -276,6 +310,7 @@ impl Session {
                         visits: s.visits,
                         inst_ns: s.inst_ns,
                         body_cost_ns: s.body_cost_ns,
+                        rate: s.rate,
                     })
                     .collect(),
                 talp,
@@ -307,6 +342,8 @@ impl Session {
             events,
             nop_sleds: nops,
             depth_cutoffs: cutoffs,
+            sampled_skips: skips,
+            suppressed_events: suppressed,
             init_ns: self.report.init_ns,
             adapt_ns,
             total_ns: self.report.init_ns + adapt_ns + run_ns,
@@ -541,7 +578,10 @@ mod tests {
             seed: 1,
             ..Default::default()
         });
-        let run = s.run_adaptive(&mut c, 6).unwrap();
+        let run = crate::AdaptiveRunBuilder::new()
+            .epochs(6)
+            .run_with_controller(&mut s, &mut c, None)
+            .unwrap();
         assert_eq!(run.restarts, 0);
         assert_eq!(run.records.len(), 6);
         // tiny_hot blows the budget early and gets dropped.
@@ -566,7 +606,10 @@ mod tests {
                 seed,
                 ..Default::default()
             });
-            let run = s.run_adaptive(&mut c, 5).unwrap();
+            let run = crate::AdaptiveRunBuilder::new()
+                .epochs(5)
+                .run_with_controller(&mut s, &mut c, None)
+                .unwrap();
             (run.per_rank_ns.clone(), run.events, c.render_log())
         };
         let (clocks_a, events_a, log_a) = one(9);
@@ -672,7 +715,10 @@ mod tests {
                 },
                 ExpansionOptions::default(),
             );
-            let run = s.run_adaptive(&mut c, 6).unwrap();
+            let run = crate::AdaptiveRunBuilder::new()
+                .epochs(6)
+                .run_with_controller(&mut s, &mut c, None)
+                .unwrap();
             let active: Vec<String> = c
                 .active_ids()
                 .iter()
@@ -845,7 +891,10 @@ mod tests {
         let cold_once = || {
             let mut s = warm_session(&bin);
             let mut c = warm_controller();
-            let run = s.run_adaptive(&mut c, 6).unwrap();
+            let run = crate::AdaptiveRunBuilder::new()
+                .epochs(6)
+                .run_with_controller(&mut s, &mut c, None)
+                .unwrap();
             let mut profile = c.export_profile(s.object_records());
             profile.efficiency = super::efficiency_summary(&run.efficiency);
             (run, c.converged_at(), profile, c.render_log())
@@ -874,8 +923,9 @@ mod tests {
         // Warm run: same binary, fresh session, seeded controller.
         let mut s = warm_session(&bin);
         let mut c = warm_controller();
-        let warm = s
-            .run_adaptive_warm(&mut c, 6, Some(WarmStart::Profile(&profile)))
+        let warm = crate::AdaptiveRunBuilder::new()
+            .epochs(6)
+            .run_with_controller(&mut s, &mut c, Some(WarmStart::Profile(&profile)))
             .unwrap();
         let summary = warm.warm.expect("warm start ran");
         assert_eq!(summary.objects_unchanged, 1);
@@ -912,19 +962,20 @@ mod tests {
         let bin = deep_imbalanced_binary(false);
         let mut s = warm_session(&bin);
         let mut c = warm_controller();
-        let run = s
-            .run_adaptive_warm(
+        let run = crate::AdaptiveRunBuilder::new()
+            .epochs(4)
+            .run_with_controller(
+                &mut s,
                 &mut c,
-                4,
                 Some(WarmStart::Unavailable(
-                    "schema version 9, expected 1".into(),
+                    "schema version 9, expected 2".into(),
                 )),
             )
             .unwrap();
         assert!(run.warm.is_none());
         let log = c.render_log();
         assert!(
-            log.contains("warm start unavailable: schema version 9, expected 1 — cold start"),
+            log.contains("warm start unavailable: schema version 9, expected 2 — cold start"),
             "fallback reason is in the adaptation log:\n{log}"
         );
         // And the cold run proceeded normally.
@@ -938,7 +989,10 @@ mod tests {
         let v1 = deep_imbalanced_binary(false);
         let mut s1 = warm_session(&v1);
         let mut c1 = warm_controller();
-        s1.run_adaptive(&mut c1, 6).unwrap();
+        crate::AdaptiveRunBuilder::new()
+            .epochs(6)
+            .run_with_controller(&mut s1, &mut c1, None)
+            .unwrap();
         let profile = c1.export_profile(s1.object_records());
 
         let v2 = deep_imbalanced_binary(true);
@@ -950,8 +1004,9 @@ mod tests {
             s2.object_records()[0].fingerprint
         );
         let mut c2 = warm_controller();
-        let warm = s2
-            .run_adaptive_warm(&mut c2, 6, Some(WarmStart::Profile(&profile)))
+        let warm = crate::AdaptiveRunBuilder::new()
+            .epochs(6)
+            .run_with_controller(&mut s2, &mut c2, Some(WarmStart::Profile(&profile)))
             .unwrap();
         let summary = warm.warm.expect("warm start ran");
         assert_eq!(summary.objects_rebuilt, 1);
@@ -983,7 +1038,10 @@ mod tests {
             },
             Vec::new(),
         );
-        let run = s.run_adaptive(&mut c, 4).unwrap();
+        let run = crate::AdaptiveRunBuilder::new()
+            .epochs(4)
+            .run_with_controller(&mut s, &mut c, None)
+            .unwrap();
         assert_eq!(run.per_rank_ns, plain.run.per_rank_ns);
         assert_eq!(run.events, plain.run.events);
         assert_eq!(run.adapt_ns, 0);

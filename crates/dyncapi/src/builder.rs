@@ -1,0 +1,247 @@
+//! The unified adaptive-run API.
+//!
+//! [`AdaptiveRunBuilder`] collapses the former four-way entry-point
+//! split (`Session::run_adaptive`, `Session::run_adaptive_warm`,
+//! `Workflow::measure_in_flight`, `Workflow::measure_in_flight_with_profile`)
+//! into one builder: budget, epochs, expansion, profile source, and the
+//! sampling knobs (max demotion rate, redundancy-suppression band) all
+//! live in one place, and every legacy entry point is a thin deprecated
+//! wrapper over it.
+//!
+//! ```
+//! use capi_dyncapi::{AdaptiveRunBuilder, ProfileSource};
+//!
+//! let runner = AdaptiveRunBuilder::new()
+//!     .epochs(6)
+//!     .budget_pct(5.0)
+//!     .seed(0x5EED)
+//!     .max_sample_rate(16)
+//!     .redundancy_ppm(2_000)
+//!     .profile(ProfileSource::None);
+//! # let _ = runner;
+//! // runner.run(&mut session)?;
+//! ```
+
+use crate::adaptive::{efficiency_summary, AdaptiveRun, WarmStart};
+use crate::startup::{DynCapiError, Session};
+use capi_adapt::{AdaptConfig, AdaptController, ExpansionOptions};
+use capi_persist::InstrumentationProfile;
+use std::path::PathBuf;
+
+/// Where an adaptive run gets (and puts) the cross-run instrumentation
+/// profile.
+#[derive(Clone, Debug, Default)]
+pub enum ProfileSource {
+    /// No persistence: cold start, nothing written back.
+    #[default]
+    None,
+    /// Warm-start from an in-memory profile; nothing is written back
+    /// (the caller owns persistence).
+    Inline(InstrumentationProfile),
+    /// Load the profile from this path — a missing, truncated, or
+    /// schema-mismatched file degrades to a cold start with the reason
+    /// in the adaptation log — and save the updated profile back to the
+    /// same path after the run.
+    Path(PathBuf),
+}
+
+/// The [`ProfileSource`] selected by the `CAPI_PROFILE_PATH`
+/// environment knob: [`ProfileSource::Path`] when set (and non-empty),
+/// [`ProfileSource::None`] otherwise.
+pub fn profile_source_from_env() -> ProfileSource {
+    match std::env::var("CAPI_PROFILE_PATH") {
+        Ok(path) if !path.trim().is_empty() => ProfileSource::Path(PathBuf::from(path)),
+        _ => ProfileSource::None,
+    }
+}
+
+/// Outcome of [`AdaptiveRunBuilder::run`].
+#[derive(Clone, Debug)]
+pub struct AdaptiveOutcome {
+    /// The adaptive run (per-epoch trajectory, `T_init`/`T_adapt`,
+    /// sampling and suppression counters).
+    pub adaptive: AdaptiveRun,
+    /// The controller's adaptation log — byte-identical across runs
+    /// with the same seed and budget.
+    pub log: String,
+    /// First epoch at which the controller converged and stayed
+    /// converged (a later re-drop resets this).
+    pub converged_at: Option<usize>,
+    /// First epoch the controller *ever* converged at, regardless of
+    /// later probe churn.
+    pub first_converged_at: Option<usize>,
+    /// The exported instrumentation profile (converged IC in packed-ID
+    /// form, drop records, cost samples, per-function rates, efficiency
+    /// summary). Save it — or pass it back inline — to warm-start the
+    /// next run.
+    pub profile: InstrumentationProfile,
+    /// Whether this run was warm-started from a prior profile.
+    pub warm_started: bool,
+    /// The converged active set by resolved name, each with its final
+    /// 1-in-N sampling rate (1 = full instrumentation).
+    pub final_functions: Vec<(String, u32)>,
+}
+
+/// Builder-style configuration of one adaptive (zero-restart) run.
+///
+/// Defaults match the former `InFlightOptions`: 8 epochs, a 5% overhead
+/// budget, seed `0x5EED`, no expansion, no demotion-to-sampled
+/// (`max_sample_rate` 0), and the session's own redundancy band.
+#[derive(Clone, Debug)]
+pub struct AdaptiveRunBuilder {
+    epochs: usize,
+    budget_pct: f64,
+    seed: u64,
+    expansion: Option<ExpansionOptions>,
+    max_sample_rate: u32,
+    redundancy_ppm: Option<u32>,
+    profile: ProfileSource,
+}
+
+impl Default for AdaptiveRunBuilder {
+    fn default() -> Self {
+        Self {
+            epochs: 8,
+            budget_pct: 5.0,
+            seed: 0x5EED,
+            expansion: None,
+            max_sample_rate: 0,
+            redundancy_ppm: None,
+            profile: ProfileSource::None,
+        }
+    }
+}
+
+impl AdaptiveRunBuilder {
+    /// A builder with the defaults described on the type.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of epochs the single run is divided into (min 1).
+    pub fn epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Target instrumentation overhead, percent of application time.
+    pub fn budget_pct(mut self, pct: f64) -> Self {
+        self.budget_pct = pct;
+        self
+    }
+
+    /// Seed for the controller's re-inclusion probing.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables TALP-driven expansion: the controller also *grows*
+    /// instrumentation below load-imbalanced or communication-heavy
+    /// regions, capped by the unused overhead budget.
+    pub fn expansion(mut self, exp: ExpansionOptions) -> Self {
+        self.expansion = Some(exp);
+        self
+    }
+
+    /// Maximum 1-in-N sampling rate the budget policy may demote an
+    /// over-budget hot function to. 0 (the default) disables demotion:
+    /// over-budget functions are dropped outright, as before the rate
+    /// dimension existed.
+    pub fn max_sample_rate(mut self, rate: u32) -> Self {
+        self.max_sample_rate = rate;
+        self
+    }
+
+    /// Redundancy-suppression band in parts-per-million: events whose
+    /// duration lands within this band of the running per-function
+    /// estimate are withheld (and counted). Overrides the session's
+    /// configured band; 0 disables suppression.
+    pub fn redundancy_ppm(mut self, ppm: u32) -> Self {
+        self.redundancy_ppm = Some(ppm);
+        self
+    }
+
+    /// Cross-run profile persistence source.
+    pub fn profile(mut self, source: ProfileSource) -> Self {
+        self.profile = source;
+        self
+    }
+
+    /// Builds the controller this configuration describes: the standard
+    /// policy stack with optional expansion and demotion-to-sampled.
+    pub fn build_controller(&self) -> AdaptController {
+        let cfg = AdaptConfig {
+            budget_pct: self.budget_pct,
+            seed: self.seed,
+            ..Default::default()
+        };
+        let policies =
+            AdaptController::standard_policies(&cfg, self.expansion.as_ref(), self.max_sample_rate);
+        AdaptController::with_policies(cfg, policies)
+    }
+
+    /// Runs the configured adaptation on `session` with a
+    /// caller-provided controller and an explicit warm start — the
+    /// primitive the deprecated `Session::run_adaptive{,_warm}` wrappers
+    /// delegate to. The builder's profile source is **ignored** on this
+    /// path; only epochs and the redundancy band apply.
+    pub fn run_with_controller(
+        &self,
+        session: &mut Session,
+        controller: &mut AdaptController,
+        warm: Option<WarmStart<'_>>,
+    ) -> Result<AdaptiveRun, DynCapiError> {
+        let ppm = self.redundancy_ppm.unwrap_or(session.config.redundancy_ppm);
+        session.run_adaptive_inner(controller, self.epochs, warm, ppm)
+    }
+
+    /// Runs the full configured adaptation on `session`: builds the
+    /// controller, resolves the profile source (load failures degrade to
+    /// a logged cold start), runs the epoch loop, exports the refined
+    /// profile (written back for [`ProfileSource::Path`]), and reports
+    /// the converged functions with their sampling rates.
+    pub fn run(&self, session: &mut Session) -> Result<AdaptiveOutcome, DynCapiError> {
+        let mut controller = self.build_controller();
+        // Only the Path source needs an owned load; Inline is borrowed
+        // directly from the builder.
+        let loaded = match &self.profile {
+            ProfileSource::Path(path) => Some(InstrumentationProfile::load(path)),
+            _ => None,
+        };
+        let warm = match (&self.profile, loaded.as_ref()) {
+            (ProfileSource::Inline(p), _) => Some(WarmStart::Profile(p)),
+            (_, Some(Ok(p))) => Some(WarmStart::Profile(p)),
+            (_, Some(Err(e))) => Some(WarmStart::Unavailable(e.to_string())),
+            _ => None,
+        };
+        let warm_started = matches!(warm, Some(WarmStart::Profile(_)));
+        let adaptive = self.run_with_controller(session, &mut controller, warm)?;
+        let mut profile = controller.export_profile(session.object_records());
+        profile.efficiency = efficiency_summary(&adaptive.efficiency);
+        if let ProfileSource::Path(path) = &self.profile {
+            if let Err(e) = profile.save(path) {
+                controller.log_note(&format!("profile save failed: {e}"));
+            }
+        }
+        let final_functions = controller
+            .active_ids()
+            .into_iter()
+            .filter_map(|id| {
+                session
+                    .symbols
+                    .name_of(id)
+                    .map(|n| (n.to_string(), controller.sample_rate(id)))
+            })
+            .collect();
+        Ok(AdaptiveOutcome {
+            log: controller.render_log(),
+            converged_at: controller.converged_at(),
+            first_converged_at: controller.first_converged_at(),
+            profile,
+            warm_started,
+            final_functions,
+            adaptive,
+        })
+    }
+}

@@ -22,20 +22,26 @@
 //!   account every step's virtual cost into `T_init` (Table II).
 //! * [`adaptive`] — in-flight adaptation: the session runs in epochs, a
 //!   `capi-adapt` controller repatches sleds at every boundary (zero
-//!   restarts), and the repatch cost is accounted as `T_adapt`.
-//!   `Session::run_adaptive_warm` additionally seeds the controller
-//!   from a persisted `capi-persist` profile — objects matched by
-//!   name + fingerprint so recycled DSO slots and rebuilt binaries
-//!   never alias stale packed IDs — and a profile that fails to load
-//!   degrades to a cold start with the reason in the adaptation log.
+//!   restarts), and the repatch cost is accounted as `T_adapt`. A warm
+//!   start additionally seeds the controller from a persisted
+//!   `capi-persist` profile — objects matched by name + fingerprint so
+//!   recycled DSO slots and rebuilt binaries never alias stale packed
+//!   IDs — and a profile that fails to load degrades to a cold start
+//!   with the reason in the adaptation log.
+//! * [`builder`] — [`AdaptiveRunBuilder`], the single configurable
+//!   entry point for adaptive runs: budget, epochs, expansion, profile
+//!   source, and the sampling knobs (demotion rate cap,
+//!   redundancy-suppression band) in one builder.
 
 pub mod adapters;
 pub mod adaptive;
+pub mod builder;
 pub mod startup;
 pub mod symres;
 
 pub use adapters::{ScorepAdapter, TalpAdapter, TalpAdapterStats};
 pub use adaptive::{efficiency_summary, AdaptiveRun, EpochRecord, WarmStart, WarmStartSummary};
+pub use builder::{profile_source_from_env, AdaptiveOutcome, AdaptiveRunBuilder, ProfileSource};
 pub use startup::{
     startup, DynCapiConfig, DynCapiError, InitCostModel, Session, SessionRun, StartupReport,
     ToolChoice,

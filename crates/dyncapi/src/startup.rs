@@ -16,8 +16,8 @@ use capi_objmodel::{Binary, LoadError, Process};
 use capi_scorep::{FilterFile, ScorepConfig, ScorepRuntime};
 use capi_talp::{Talp, TalpConfig};
 use capi_xray::{
-    instrument_object, InstrumentedObject, PackedId, PassOptions, TrampolineSet, XRayError,
-    XRayRuntime,
+    instrument_object, InstrumentedObject, PackedId, PassOptions, PatchDelta, TrampolineSet,
+    XRayError, XRayRuntime,
 };
 use std::fmt;
 use std::sync::Arc;
@@ -81,6 +81,16 @@ pub struct DynCapiConfig {
     /// sidesteps hidden-symbol resolution entirely. IDs listed here are
     /// patched even when their names cannot be resolved.
     pub ic_packed_ids: Vec<u32>,
+    /// Per-function sampling rates carried in the IC: `(name, 1-in-N)`.
+    /// Names that resolve and patch are set to `Sampled(N)` right after
+    /// the initial patch pass; rates below 2 are ignored. Names that do
+    /// not resolve are skipped silently (same hidden-symbol rule as
+    /// plain IC entries).
+    pub ic_rates: Vec<(String, u32)>,
+    /// Redundancy-suppression band in parts-per-million, forwarded to
+    /// the executor. 0 disables suppression entirely (the byte-identical
+    /// default).
+    pub redundancy_ppm: u32,
     /// XRay pass options; DynCaPI normally prepares *all* functions
     /// without filtering (paper §IV).
     pub pass: PassOptions,
@@ -100,6 +110,8 @@ impl Default for DynCapiConfig {
             tool: ToolChoice::None,
             ic: None,
             ic_packed_ids: Vec::new(),
+            ic_rates: Vec::new(),
+            redundancy_ppm: 0,
             pass: PassOptions::instrument_all(),
             init_costs: InitCostModel::default(),
             overhead: OverheadModel::default(),
@@ -163,6 +175,8 @@ pub struct StartupReport {
     pub patched_functions: usize,
     /// Sled rewrites performed.
     pub sleds_patched: u64,
+    /// Functions whose sampling rate was set from the IC at startup.
+    pub rates_set: u64,
     /// `mprotect` calls issued while patching.
     pub mprotect_calls: u64,
     /// IC entries that matched no symbol in any object — the inlined
@@ -254,6 +268,7 @@ pub fn startup(binary: &Binary, config: DynCapiConfig) -> Result<Session, DynCap
             report.patched_functions = runtime.patched_functions();
         }
         Some(ic) => {
+            let mut set_rate: Vec<(PackedId, u32)> = Vec::new();
             for (oid, inst) in &instrumented {
                 let mut fids = Vec::new();
                 for entry in &inst.sleds.entries {
@@ -274,12 +289,32 @@ pub fn startup(binary: &Binary, config: DynCapiConfig) -> Result<Session, DynCap
                     };
                     if ic.is_included(name) {
                         fids.push(entry.fid);
+                        if let Some(&(_, rate)) = config
+                            .ic_rates
+                            .iter()
+                            .find(|(n, rate)| n == name && *rate > 1)
+                        {
+                            set_rate.push((id, rate));
+                        }
                     }
                 }
                 // One mprotect pair per object, then the selected sleds.
                 let n = runtime.patch_functions(&mut process.memory, *oid, &fids)?;
                 report.sleds_patched += n as u64;
                 report.patched_functions += fids.len();
+            }
+            // Apply IC-carried sampling rates in one batch; rate-only
+            // repatches touch no sled bytes, so no mprotect pair.
+            if !set_rate.is_empty() {
+                let rep = runtime.repatch(
+                    &mut process.memory,
+                    &PatchDelta {
+                        set_rate,
+                        ..Default::default()
+                    },
+                )?;
+                report.rates_set = rep.rates_set;
+                report.init_ns += rep.rates_set * config.init_costs.per_sled_patch_ns;
             }
             // IC entries that exist nowhere in the binary: inlined away.
             for want in ic.literal_includes() {
@@ -370,7 +405,8 @@ impl Session {
         if let Some(talp) = &self.talp {
             world.add_hook(talp.clone());
         }
-        let engine = Engine::prepare(&self.process, &self.runtime, self.config.overhead)?;
+        let engine = Engine::prepare(&self.process, &self.runtime, self.config.overhead)?
+            .with_redundancy_ppm(self.config.redundancy_ppm);
         let run = engine.run(&world)?;
         Ok(SessionRun {
             init_ns: self.report.init_ns,
@@ -524,6 +560,46 @@ mod tests {
         let stats = s.talp_adapter.as_ref().unwrap().stats();
         assert_eq!(stats.regions_failed_pre_init, 1);
         assert!(!report.iter().any(|r| r.name == "main"));
+    }
+
+    #[test]
+    fn ic_rates_set_sampling_at_startup() {
+        let bin = binary();
+        let cfg = DynCapiConfig {
+            tool: ToolChoice::Scorep(Default::default()),
+            ic: Some(FilterFile::include_only(["solve", "Amul"])),
+            ic_rates: vec![
+                ("Amul".to_string(), 4),
+                ("ghost".to_string(), 8), // not in the binary: ignored
+                ("solve".to_string(), 1), // trivial rate: ignored
+            ],
+            ranks: 2,
+            ..Default::default()
+        };
+        let s = startup(&bin, cfg).unwrap();
+        assert_eq!(s.report.rates_set, 1);
+        let amul = s
+            .symbols
+            .names
+            .iter()
+            .find(|(_, n)| n.as_str() == "Amul")
+            .map(|(&id, _)| id)
+            .unwrap();
+        assert_eq!(s.runtime.sample_rate(amul), 4);
+
+        // The rate shows up as reduced event volume against a full run.
+        let full_cfg = DynCapiConfig {
+            tool: ToolChoice::Scorep(Default::default()),
+            ic: Some(FilterFile::include_only(["solve", "Amul"])),
+            ranks: 2,
+            ..Default::default()
+        };
+        let full = startup(&bin, full_cfg).unwrap().run().unwrap();
+        let sampled = s.run().unwrap();
+        assert!(sampled.run.events < full.run.events);
+        assert!(sampled.run.sampled_skips > 0);
+        // Startup charges one sled-rewrite cost per rate set.
+        assert!(s.report.init_ns > 0);
     }
 
     #[test]

@@ -96,6 +96,12 @@ pub struct RunReport {
     /// call trees were truncated — adaptation policies must not mistake
     /// the missing subtrees for cheap functions.
     pub depth_cutoffs: u64,
+    /// Events the 1-in-N sampling counter withheld from the handler
+    /// (entry and exit each count one). The sleds still fired.
+    pub sampled_skips: u64,
+    /// Events withheld by the redundancy-suppression band (entry and
+    /// exit each count one).
+    pub suppressed_events: u64,
 }
 
 /// Dense function key: index into the engine's flat `funcs` array.
@@ -112,6 +118,8 @@ struct RFunc {
     sites: Vec<RSite>,
     /// (packed id available, patched) from the snapshot; None = no sled.
     sled: Option<(capi_xray::PackedId, bool)>,
+    /// Sampling rate (1-in-N) from the snapshot; 1 = full instrumentation.
+    rate: u32,
 }
 
 struct RSite {
@@ -153,6 +161,9 @@ pub struct Engine<'p> {
     quiet: Vec<bool>,
     /// Epoch schedule: the program linearized around its progress loop.
     schedule: EpochSchedule,
+    /// Redundancy-suppression band in parts per million; 0 disables the
+    /// band entirely (byte-identical to a build without it).
+    redundancy_ppm: u32,
 }
 
 impl<'p> Engine<'p> {
@@ -211,6 +222,7 @@ impl<'p> Engine<'p> {
                     mpi: f.mpi.map(convert_mpi),
                     sites,
                     sled: snapshot.lookup(*pi, fi as u32),
+                    rate: snapshot.sample_rate(*pi, fi as u32),
                 });
             }
         }
@@ -225,7 +237,31 @@ impl<'p> Engine<'p> {
             snapshot,
             quiet,
             schedule,
+            redundancy_ppm: 0,
         })
+    }
+
+    /// Enables redundancy suppression: once a function's invocation
+    /// duration settles within `ppm` parts per million of its running
+    /// per-function estimate, subsequent invocations' events are withheld
+    /// from the handler (and counted in `suppressed_events`, so fidelity
+    /// stays auditable). `ppm == 0` disables the band; execution is then
+    /// byte-identical to an engine without it.
+    pub fn with_redundancy_ppm(mut self, ppm: u32) -> Self {
+        self.redundancy_ppm = ppm;
+        self
+    }
+
+    /// Whether any rank needs the sampling/suppression bookkeeping this
+    /// run. False keeps the fast path literally identical to a build
+    /// without sampling.
+    fn sampling_state(&self) -> Option<SamplingState> {
+        let need = self.redundancy_ppm > 0
+            || self
+                .funcs
+                .iter()
+                .any(|rf| rf.rate > 1 && matches!(rf.sled, Some((_, true))));
+        need.then(|| SamplingState::new(self.funcs.len()))
     }
 
     /// Generation of the patch-state snapshot this engine was prepared
@@ -239,6 +275,8 @@ impl<'p> Engine<'p> {
         let events = AtomicU64::new(0);
         let nops = AtomicU64::new(0);
         let cutoffs = AtomicU64::new(0);
+        let skips = AtomicU64::new(0);
+        let suppressed = AtomicU64::new(0);
         let results: Vec<Result<u64, ExecError>> = world.run(|ctx| {
             let mut rank_state = RankRun {
                 engine: self,
@@ -251,11 +289,16 @@ impl<'p> Engine<'p> {
                 depth_cutoffs: 0,
                 costs: None,
                 regions: None,
+                samp: self.sampling_state(),
             };
             let r = rank_state.exec(self.main, 0, 0);
             events.fetch_add(rank_state.events, Ordering::Relaxed);
             nops.fetch_add(rank_state.nops, Ordering::Relaxed);
             cutoffs.fetch_add(rank_state.depth_cutoffs, Ordering::Relaxed);
+            if let Some(samp) = &rank_state.samp {
+                skips.fetch_add(samp.sampled_skips, Ordering::Relaxed);
+                suppressed.fetch_add(samp.suppressed, Ordering::Relaxed);
+            }
             r
         });
         let mut per_rank = Vec::with_capacity(results.len());
@@ -269,6 +312,8 @@ impl<'p> Engine<'p> {
             events: events.load(Ordering::Relaxed),
             nop_sleds: nops.load(Ordering::Relaxed),
             depth_cutoffs: cutoffs.load(Ordering::Relaxed),
+            sampled_skips: skips.load(Ordering::Relaxed),
+            suppressed_events: suppressed.load(Ordering::Relaxed),
         })
     }
 
@@ -327,6 +372,7 @@ impl<'p> Engine<'p> {
             u64,
             Vec<(u64, u64)>,
             Vec<RegionCell>,
+            (u64, u64),
         );
         let results: Vec<RankResult> = world.run(|ctx| {
             let mut rr = RankRun {
@@ -340,6 +386,7 @@ impl<'p> Engine<'p> {
                 depth_cutoffs: 0,
                 costs: Some(vec![(0, 0); self.funcs.len()]),
                 regions: Some(RegionTrack::new(self.funcs.len())),
+                samp: self.sampling_state(),
             };
             let mut clock = start_clocks[ctx.rank as usize];
             let mut res: Result<(), ExecError> = Ok(());
@@ -378,6 +425,11 @@ impl<'p> Engine<'p> {
                     }
                 }
             }
+            let sampling = rr
+                .samp
+                .take()
+                .map(|s| (s.sampled_skips, s.suppressed))
+                .unwrap_or((0, 0));
             (
                 res.map(|()| clock),
                 rr.events,
@@ -385,20 +437,24 @@ impl<'p> Engine<'p> {
                 rr.depth_cutoffs,
                 rr.costs.take().unwrap_or_default(),
                 rr.regions.take().map(|t| t.cells).unwrap_or_default(),
+                sampling,
             )
         });
         let ranks = results.len();
         let mut per_rank = Vec::with_capacity(ranks);
         let (mut events, mut nops, mut cutoffs, mut busy) = (0u64, 0u64, 0u64, 0u64);
+        let (mut skips, mut suppressed) = (0u64, 0u64);
         let mut merged: Vec<(u64, u64)> = vec![(0, 0); self.funcs.len()];
         let mut region_cells: Vec<Vec<RegionCell>> = Vec::with_capacity(ranks);
-        for (rank, (res, ev, np, dc, costs, cells)) in results.into_iter().enumerate() {
+        for (rank, (res, ev, np, dc, costs, cells, (sk, su))) in results.into_iter().enumerate() {
             let end = res?;
             busy += end - start_clocks[rank];
             per_rank.push(end);
             events += ev;
             nops += np;
             cutoffs += dc;
+            skips += sk;
+            suppressed += su;
             for (f, (vis, ins)) in costs.into_iter().enumerate() {
                 merged[f].0 += vis;
                 merged[f].1 += ins;
@@ -421,11 +477,16 @@ impl<'p> Engine<'p> {
                 continue;
             };
             inst_ns += inst;
+            let rate = self.funcs[f].rate.max(1);
             samples.push(FuncCostSample {
                 id,
-                visits,
+                // Under sampling only every N-th invocation is observed;
+                // extrapolate back to the true visit count. Rate 1 is
+                // exact (and byte-identical to the unsampled build).
+                visits: visits * rate as u64,
                 inst_ns: inst,
                 body_cost_ns: self.funcs[f].body_cost,
+                rate,
             });
         }
         let mut talp_samples = Vec::new();
@@ -468,6 +529,8 @@ impl<'p> Engine<'p> {
             inst_ns,
             samples,
             talp_samples,
+            sampled_skips: skips,
+            suppressed_events: suppressed,
         })
     }
 
@@ -512,13 +575,18 @@ pub struct EpochSpec {
 pub struct FuncCostSample {
     /// The function's packed XRay ID.
     pub id: PackedId,
-    /// Invocations observed this epoch (summed over ranks).
+    /// Invocations this epoch (summed over ranks). Under sampling this
+    /// is extrapolated: observed invocations times the sampling rate.
     pub visits: u64,
     /// Virtual instrumentation cost charged this epoch: trampolines plus
-    /// handler time, entry and exit (summed over ranks).
+    /// handler time, entry and exit (summed over ranks). This is the
+    /// *actual* cost paid — never extrapolated — so overhead budgets
+    /// stay honest under sampling.
     pub inst_ns: u64,
     /// Static per-visit body cost of the function (imbalance excluded).
     pub body_cost_ns: u64,
+    /// Sampling rate (1-in-N) the function ran at this epoch; 1 = full.
+    pub rate: u32,
 }
 
 /// Per-epoch TALP-style measurement of one *patched* function, treated
@@ -570,6 +638,14 @@ pub struct EpochOutcome {
     /// by packed ID — the efficiency signal the expansion policies
     /// consume.
     pub talp_samples: Vec<RegionCostSample>,
+    /// Events the 1-in-N sampling counter withheld from the handler this
+    /// epoch (entry and exit each count one; the sleds still fired and
+    /// their trampoline cost is in `inst_ns`).
+    pub sampled_skips: u64,
+    /// Events withheld by the redundancy-suppression band this epoch
+    /// (entry and exit each count one), so sampling fidelity stays
+    /// auditable.
+    pub suppressed_events: u64,
 }
 
 /// Computes which functions head quiet subtrees (no MPI, no patched sled
@@ -909,6 +985,59 @@ impl RegionTrack {
     }
 }
 
+/// What the entry sled decided for one in-flight invocation; the exit
+/// sled must mirror it, or entry/exit events become unbalanced.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum EntryDecision {
+    /// The handler saw the entry event; it must see the exit too.
+    Emitted,
+    /// The 1-in-N counter skipped this invocation.
+    SampledOut,
+    /// The redundancy band withheld this invocation's events.
+    Suppressed,
+}
+
+/// Per-rank sampling and redundancy-suppression bookkeeping. Allocated
+/// only when some function runs at rate > 1 or the ppm band is enabled,
+/// so the full-instrumentation fast path stays untouched.
+struct SamplingState {
+    /// Per-function 1-in-N sequence counter — deterministic per rank, so
+    /// repeated runs sample the exact same invocations.
+    seq: Vec<u64>,
+    /// Per-function stack of in-flight invocations: (entry decision,
+    /// clock at entry). LIFO, so recursive exits mirror their own entry.
+    in_flight: Vec<Vec<(EntryDecision, u64)>>,
+    /// Running per-function duration estimate (last observed invocation
+    /// duration); `u64::MAX` = nothing observed yet.
+    dur_est: Vec<u64>,
+    /// The next sampled-in invocation's events are redundant (its
+    /// predecessor's duration fell within the ppm band).
+    suppress_next: Vec<bool>,
+    /// Events withheld by the 1-in-N counter (entry and exit each).
+    sampled_skips: u64,
+    /// Events withheld by the redundancy band (entry and exit each).
+    suppressed: u64,
+}
+
+impl SamplingState {
+    fn new(funcs: usize) -> Self {
+        Self {
+            seq: vec![0; funcs],
+            in_flight: vec![Vec::new(); funcs],
+            dur_est: vec![u64::MAX; funcs],
+            suppress_next: vec![false; funcs],
+            sampled_skips: 0,
+            suppressed: 0,
+        }
+    }
+}
+
+/// Is `duration` within `ppm` parts per million of `estimate`?
+fn within_ppm(duration: u64, estimate: u64, ppm: u32) -> bool {
+    let diff = duration.abs_diff(estimate) as u128;
+    diff * 1_000_000 <= ppm as u128 * estimate as u128
+}
+
 /// Per-rank execution state.
 struct RankRun<'e, 'p> {
     engine: &'e Engine<'p>,
@@ -925,6 +1054,9 @@ struct RankRun<'e, 'p> {
     costs: Option<Vec<(u64, u64)>>,
     /// TALP-style region tracking, enabled alongside `costs`.
     regions: Option<RegionTrack>,
+    /// Sampling/suppression state; None when everything runs at rate 1
+    /// with the band disabled.
+    samp: Option<SamplingState>,
 }
 
 impl RankRun<'_, '_> {
@@ -1005,9 +1137,13 @@ impl RankRun<'_, '_> {
         let mut clock = clock;
         match rf.sled {
             Some((id, true)) => {
-                clock = self.sled_event(key, id, EventKind::Entry, clock)?;
-                if let Some(tr) = &mut self.regions {
-                    tr.start(key, clock);
+                if rf.rate > 1 || self.engine.redundancy_ppm > 0 {
+                    clock = self.sampled_entry(key, id, clock)?;
+                } else {
+                    clock = self.sled_event(key, id, EventKind::Entry, clock)?;
+                    if let Some(tr) = &mut self.regions {
+                        tr.start(key, clock);
+                    }
                 }
             }
             Some((_, false)) => {
@@ -1021,18 +1157,144 @@ impl RankRun<'_, '_> {
 
     /// Exit sled of one function invocation.
     fn exit_function(&mut self, key: Fi, clock: u64) -> Result<u64, ExecError> {
-        match self.engine.funcs[key as usize].sled {
+        let rf = &self.engine.funcs[key as usize];
+        match rf.sled {
             Some((id, true)) => {
-                if let Some(tr) = &mut self.regions {
-                    tr.stop(key, clock);
+                if rf.rate > 1 || self.engine.redundancy_ppm > 0 {
+                    self.sampled_exit(key, id, clock)
+                } else {
+                    if let Some(tr) = &mut self.regions {
+                        tr.stop(key, clock);
+                    }
+                    self.sled_event(key, id, EventKind::Exit, clock)
                 }
-                self.sled_event(key, id, EventKind::Exit, clock)
             }
             Some((_, false)) => {
                 self.nops += 1;
                 Ok(clock + self.engine.model.unpatched_sled_ns)
             }
             None => Ok(clock),
+        }
+    }
+
+    /// Entry sled on the sampled/suppressed path. The trampoline always
+    /// fires (its cost is charged unconditionally), but the handler only
+    /// sees every N-th invocation per rank — and not even those while
+    /// the redundancy band holds.
+    fn sampled_entry(
+        &mut self,
+        key: Fi,
+        id: capi_xray::PackedId,
+        clock: u64,
+    ) -> Result<u64, ExecError> {
+        let f = key as usize;
+        let rate = u64::from(self.engine.funcs[f].rate.max(1));
+        let entry_clock = clock;
+        let mut clock = clock + self.engine.model.patched_sled_ns;
+        let (seq, suppress_pending) = {
+            let samp = self.samp.as_mut().expect("sampling state");
+            let seq = samp.seq[f];
+            samp.seq[f] += 1;
+            (seq, samp.suppress_next[f])
+        };
+        // The band only withholds events sampling would have delivered;
+        // sampled-out invocations never consult it.
+        let suppress =
+            self.engine.redundancy_ppm > 0 && suppress_pending && seq.is_multiple_of(rate);
+        let decision = if suppress {
+            EntryDecision::Suppressed
+        } else {
+            // The runtime's sampled fast path makes the delivery call
+            // (and counts skips in its striped stats).
+            match self.engine.runtime.dispatch_sampled_from_snapshot(
+                id,
+                EventKind::Entry,
+                clock,
+                self.rank,
+                self.engine.snapshot.generation,
+                seq,
+            )? {
+                Some(handler_ns) => {
+                    self.events += 1;
+                    if let Some(costs) = &mut self.costs {
+                        let cell = &mut costs[f];
+                        cell.0 += 1;
+                        cell.1 += self.engine.model.patched_sled_ns + handler_ns;
+                    }
+                    clock += handler_ns;
+                    if let Some(tr) = &mut self.regions {
+                        tr.start(key, clock);
+                    }
+                    EntryDecision::Emitted
+                }
+                None => {
+                    if let Some(costs) = &mut self.costs {
+                        costs[f].1 += self.engine.model.patched_sled_ns;
+                    }
+                    EntryDecision::SampledOut
+                }
+            }
+        };
+        if suppress {
+            if let Some(costs) = &mut self.costs {
+                costs[f].1 += self.engine.model.patched_sled_ns;
+            }
+        }
+        let samp = self.samp.as_mut().expect("sampling state");
+        match decision {
+            EntryDecision::SampledOut => samp.sampled_skips += 1,
+            EntryDecision::Suppressed => samp.suppressed += 1,
+            EntryDecision::Emitted => {}
+        }
+        samp.in_flight[f].push((decision, entry_clock));
+        Ok(clock)
+    }
+
+    /// Exit sled on the sampled/suppressed path: mirrors the entry's
+    /// decision so entry/exit events stay balanced, and feeds the
+    /// invocation's duration into the redundancy band.
+    fn sampled_exit(
+        &mut self,
+        key: Fi,
+        id: capi_xray::PackedId,
+        clock: u64,
+    ) -> Result<u64, ExecError> {
+        let f = key as usize;
+        let ppm = self.engine.redundancy_ppm;
+        let popped = self.samp.as_mut().expect("sampling state").in_flight[f].pop();
+        // An exit without a matching entry this epoch (the pinned spine
+        // straddling an epoch boundary) is delivered like the full path;
+        // no duration is measurable for it.
+        let (decision, entry_clock) = popped.unwrap_or((EntryDecision::Emitted, u64::MAX));
+        if entry_clock != u64::MAX && decision != EntryDecision::SampledOut {
+            // Running estimate: the last observed duration. Suppressed
+            // invocations still update it (their sleds measured it), so
+            // a steady function keeps suppressing.
+            let duration = clock.saturating_sub(entry_clock);
+            let samp = self.samp.as_mut().expect("sampling state");
+            let est = samp.dur_est[f];
+            samp.suppress_next[f] = ppm > 0 && est != u64::MAX && within_ppm(duration, est, ppm);
+            samp.dur_est[f] = duration;
+        }
+        match decision {
+            EntryDecision::Emitted => {
+                if let Some(tr) = &mut self.regions {
+                    tr.stop(key, clock);
+                }
+                self.sled_event(key, id, EventKind::Exit, clock)
+            }
+            EntryDecision::SampledOut | EntryDecision::Suppressed => {
+                let clock = clock + self.engine.model.patched_sled_ns;
+                if let Some(costs) = &mut self.costs {
+                    costs[f].1 += self.engine.model.patched_sled_ns;
+                }
+                let samp = self.samp.as_mut().expect("sampling state");
+                match decision {
+                    EntryDecision::SampledOut => samp.sampled_skips += 1,
+                    _ => samp.suppressed += 1,
+                }
+                Ok(clock)
+            }
         }
     }
 
@@ -1122,7 +1384,7 @@ mod tests {
     use capi_appmodel::{LinkTarget, ProgramBuilder};
     use capi_mpisim::CostModel;
     use capi_objmodel::{compile, CompileOptions};
-    use capi_xray::{instrument_object, BasicLog, PassOptions, TrampolineSet};
+    use capi_xray::{instrument_object, BasicLog, PassOptions, PatchDelta, TrampolineSet};
 
     struct Setup {
         process: Process,
@@ -1377,6 +1639,152 @@ mod tests {
             )
             .unwrap();
         assert_eq!(out.talp_samples, out2.talp_samples);
+    }
+
+    fn packed(s: &Setup, name: &str) -> PackedId {
+        let fi = s
+            .process
+            .object(0)
+            .unwrap()
+            .image
+            .function_index(name)
+            .unwrap();
+        s.runtime.snapshot().lookup(0, fi).unwrap().0
+    }
+
+    #[test]
+    fn sampled_rate_reduces_events_and_extrapolates_visits() {
+        let mut s = setup(true, &["kernel"]);
+        let log = Arc::new(BasicLog::new());
+        s.runtime.set_handler(log.clone());
+        let id = packed(&s, "kernel");
+        s.runtime
+            .repatch(
+                &mut s.process.memory,
+                &PatchDelta {
+                    set_rate: vec![(id, 4)],
+                    ..PatchDelta::default()
+                },
+            )
+            .unwrap();
+        let engine = Engine::prepare(&s.process, &s.runtime, OverheadModel::default()).unwrap();
+        let world = World::new(2, CostModel::default());
+        let out = engine
+            .run_epoch(&world, EpochSpec { index: 0, total: 1 }, &[0, 0])
+            .unwrap();
+        // kernel runs 10 × 100 times per rank; at 1-in-4 only 250 of
+        // those reach the handler, entry + exit each.
+        assert_eq!(out.events, 2 * 250 * 2);
+        assert_eq!(
+            log.len() as u64,
+            out.events,
+            "handler saw exactly the sampled events"
+        );
+        assert_eq!(out.sampled_skips, 2 * 750 * 2);
+        assert_eq!(out.suppressed_events, 0);
+        // The runtime's striped stats count the entry-side skips.
+        assert_eq!(s.runtime.stats().sampled_skips, 2 * 750);
+        let sample = &out.samples[0];
+        assert_eq!(sample.rate, 4);
+        // Extrapolated back to the true invocation count.
+        assert_eq!(sample.visits, 2 * 10 * 100);
+        assert!(sample.inst_ns > 0);
+        // Deterministic per rank: a fresh world replays the same sample.
+        let out2 = engine
+            .run_epoch(
+                &World::new(2, CostModel::default()),
+                EpochSpec { index: 0, total: 1 },
+                &[0, 0],
+            )
+            .unwrap();
+        assert_eq!(out.per_rank_ns, out2.per_rank_ns);
+        assert_eq!(out.events, out2.events);
+        assert_eq!(out.sampled_skips, out2.sampled_skips);
+    }
+
+    #[test]
+    fn rate_one_is_byte_identical_to_full_instrumentation() {
+        let run_with = |explicit_rate_one: bool| {
+            let mut s = setup(true, &["kernel", "step"]);
+            let log = Arc::new(BasicLog::new());
+            s.runtime.set_handler(log.clone());
+            if explicit_rate_one {
+                let ids = vec![(packed(&s, "kernel"), 1), (packed(&s, "step"), 1)];
+                s.runtime
+                    .repatch(
+                        &mut s.process.memory,
+                        &PatchDelta {
+                            set_rate: ids,
+                            ..PatchDelta::default()
+                        },
+                    )
+                    .unwrap();
+            }
+            let engine = Engine::prepare(&s.process, &s.runtime, OverheadModel::default()).unwrap();
+            let r = engine.run(&World::new(4, CostModel::default())).unwrap();
+            // Ranks run on threads, so the shared log interleaves
+            // nondeterministically; a stable sort by rank recovers each
+            // rank's (deterministic) event sequence.
+            let mut events = log.events();
+            events.sort_by_key(|e| e.rank);
+            (r, events)
+        };
+        let (full, full_log) = run_with(false);
+        let (sampled_one, sampled_log) = run_with(true);
+        assert_eq!(
+            full.per_rank_ns, sampled_one.per_rank_ns,
+            "clocks identical"
+        );
+        assert_eq!(full.events, sampled_one.events);
+        assert_eq!(full_log, sampled_log, "logs byte-identical");
+        assert_eq!(sampled_one.sampled_skips, 0);
+        assert_eq!(sampled_one.suppressed_events, 0);
+    }
+
+    #[test]
+    fn redundancy_band_suppresses_steady_durations() {
+        let s = setup(true, &["kernel"]);
+        let log = Arc::new(BasicLog::new());
+        s.runtime.set_handler(log.clone());
+        let engine = Engine::prepare(&s.process, &s.runtime, OverheadModel::default())
+            .unwrap()
+            .with_redundancy_ppm(50_000);
+        let world = World::new(2, CostModel::default());
+        let out = engine
+            .run_epoch(&world, EpochSpec { index: 0, total: 1 }, &[0, 0])
+            .unwrap();
+        // kernel's duration is constant per rank: the first invocation
+        // seeds the estimate, the second lands inside the band and arms
+        // suppression, and every later one stays suppressed.
+        assert_eq!(
+            out.events,
+            2 * 2 * 2,
+            "2 ranks × 2 emitted invocations × entry+exit"
+        );
+        assert_eq!(out.suppressed_events, 2 * 998 * 2);
+        assert_eq!(out.sampled_skips, 0);
+        assert_eq!(log.len() as u64, out.events);
+        // The suppression count makes fidelity auditable: emitted visits
+        // plus suppressed invocations reconstruct the true count.
+        let sample = &out.samples[0];
+        assert_eq!(
+            sample.visits + out.suppressed_events / 2,
+            2 * 10 * 100,
+            "visits + suppressed invocations = true invocation count"
+        );
+        // ppm 0 must disable the band entirely.
+        let engine0 = Engine::prepare(&s.process, &s.runtime, OverheadModel::default())
+            .unwrap()
+            .with_redundancy_ppm(0);
+        let out0 = engine0
+            .run_epoch(
+                &World::new(2, CostModel::default()),
+                EpochSpec { index: 0, total: 1 },
+                &[0, 0],
+            )
+            .unwrap();
+        assert_eq!(out0.suppressed_events, 0);
+        assert_eq!(out0.samples[0].visits, 2 * 10 * 100);
     }
 
     #[test]

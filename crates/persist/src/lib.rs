@@ -28,7 +28,7 @@
 //! The consumers live one layer up: `capi-adapt` exports/seeds
 //! controller state, `capi-dyncapi` plans the object matching against
 //! the live process, and `capi::Workflow` wires the `CAPI_PROFILE_PATH`
-//! knob through `measure_in_flight`.
+//! knob through `AdaptiveRunBuilder` profile sources.
 
 pub mod error;
 pub mod matching;

@@ -17,8 +17,13 @@ use crate::error::PersistError;
 use serde_json::{json, Value};
 use std::path::Path;
 
-/// Schema version this build writes and accepts.
-pub const SCHEMA_VERSION: u32 = 1;
+/// Schema version this build writes.
+///
+/// Version 2 added the per-function sampling-rate dimension. Version 1
+/// profiles (which predate it) are still accepted: parsing migrates
+/// every function in at rate 1 — full instrumentation — which is
+/// exactly what a v1 session ran, so the migration is lossless.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// The `kind` tag every profile carries.
 const PROFILE_KIND: &str = "capi-instrumentation-profile";
@@ -59,6 +64,10 @@ pub struct FunctionRecord {
     pub name: String,
     /// Whether the function was in the converged active set.
     pub active: bool,
+    /// Sampling rate the function converged at (1-in-N); 1 means full
+    /// instrumentation. Serialized only when above 1, so rate-1 rows
+    /// stay byte-identical to their pre-sampling form (schema v2).
+    pub rate: u32,
     /// Last measured per-epoch instrumentation cost, virtual ns.
     pub inst_ns: Option<u64>,
     /// Last measured per-epoch visit count (summed over ranks).
@@ -155,6 +164,9 @@ impl InstrumentationProfile {
                 map.insert("raw_id".to_string(), json!(f.raw_id));
                 map.insert("name".to_string(), json!(f.name));
                 map.insert("active".to_string(), json!(f.active));
+                if f.rate > 1 {
+                    map.insert("rate".to_string(), json!(f.rate));
+                }
                 if let Some(c) = f.inst_ns {
                     map.insert("inst_ns".to_string(), json!(c));
                 }
@@ -208,7 +220,10 @@ impl InstrumentationProfile {
             .and_then(Value::as_u64)
             .ok_or_else(|| PersistError::Malformed("missing `schema_version`".into()))?
             as u32;
-        if found != SCHEMA_VERSION {
+        // v1 is a strict structural subset of v2 (no `rate` keys), so
+        // the same parser migrates it: every function comes in at the
+        // rate-1 default the v1 session actually ran at.
+        if found != SCHEMA_VERSION && found != 1 {
             return Err(PersistError::SchemaMismatch {
                 found,
                 expected: SCHEMA_VERSION,
@@ -250,6 +265,21 @@ impl InstrumentationProfile {
                     policy: req_str(d, "policy")?,
                 }),
             };
+            let rate = match opt_u64(f, "rate")? {
+                None => 1,
+                Some(0) => {
+                    return Err(PersistError::Malformed(
+                        "`rate` 0 is meaningless: rates are 1-in-N with N >= 1".into(),
+                    ))
+                }
+                Some(r) if r > u64::from(u32::MAX) => {
+                    return Err(PersistError::Malformed(format!(
+                        "`rate` {r} exceeds maximum {}",
+                        u32::MAX
+                    )))
+                }
+                Some(r) => r as u32,
+            };
             functions.push(FunctionRecord {
                 raw_id: req_bounded(f, "raw_id", u64::from(u32::MAX))? as u32,
                 name: req_str(f, "name")?,
@@ -257,6 +287,7 @@ impl InstrumentationProfile {
                     .get("active")
                     .and_then(Value::as_bool)
                     .ok_or_else(|| PersistError::Malformed("missing `active`".into()))?,
+                rate,
                 inst_ns: opt_u64(f, "inst_ns")?,
                 visits: opt_u64(f, "visits")?,
                 drop,
@@ -425,6 +456,7 @@ mod tests {
                     raw_id: 7,
                     name: "kernel".into(),
                     active: true,
+                    rate: 4,
                     inst_ns: Some(1_200),
                     visits: Some(24),
                     drop: None,
@@ -433,6 +465,7 @@ mod tests {
                     raw_id: 3,
                     name: "tiny_hot".into(),
                     active: false,
+                    rate: 1,
                     inst_ns: Some(90_000),
                     visits: Some(50_000),
                     drop: Some(DropState {
@@ -487,13 +520,60 @@ mod tests {
     fn schema_mismatch_is_typed() {
         let text = sample_profile()
             .to_json_string()
-            .replace("\"schema_version\": 1", "\"schema_version\": 99");
+            .replace("\"schema_version\": 2", "\"schema_version\": 99");
         assert_eq!(
             InstrumentationProfile::parse(&text),
             Err(PersistError::SchemaMismatch {
                 found: 99,
                 expected: SCHEMA_VERSION
             })
+        );
+    }
+
+    #[test]
+    fn v1_profiles_migrate_in_at_rate_one_losslessly() {
+        // A v1 profile is exactly a v2 profile with no `rate` keys and
+        // the old version header. Build one from a rate-free profile.
+        let mut p = sample_profile();
+        for f in &mut p.functions {
+            f.rate = 1;
+        }
+        let v1_text = p
+            .to_json_string()
+            .replace("\"schema_version\": 2", "\"schema_version\": 1");
+        let migrated = InstrumentationProfile::parse(&v1_text).unwrap();
+        assert!(migrated.functions.iter().all(|f| f.rate == 1));
+        // Lossless: besides the version header, the canonical re-render
+        // is byte-identical to the v1 source.
+        assert_eq!(
+            migrated.to_json_string(),
+            v1_text.replace("\"schema_version\": 1", "\"schema_version\": 2")
+        );
+        // Parsing canonicalizes row order; compare canonically.
+        assert_eq!(
+            migrated,
+            InstrumentationProfile::parse(&p.to_json_string()).unwrap()
+        );
+    }
+
+    #[test]
+    fn rate_survives_the_round_trip_and_zero_is_rejected() {
+        let p = sample_profile();
+        let text = p.to_json_string();
+        assert!(text.contains("\"rate\": 4"), "rate 4 serialized");
+        let back = InstrumentationProfile::parse(&text).unwrap();
+        let kernel = back.functions.iter().find(|f| f.raw_id == 7).unwrap();
+        assert_eq!(kernel.rate, 4);
+        // Rate 1 is the default and never emitted — tiny_hot's row
+        // carries no rate key.
+        let tiny = back.functions.iter().find(|f| f.raw_id == 3).unwrap();
+        assert_eq!(tiny.rate, 1);
+        // Rate 0 is meaningless and must be a typed error.
+        let bad = text.replace("\"rate\": 4", "\"rate\": 0");
+        let err = InstrumentationProfile::parse(&bad).unwrap_err();
+        assert!(
+            matches!(&err, PersistError::Malformed(m) if m.contains("rate")),
+            "got {err:?}"
         );
     }
 

@@ -69,6 +69,12 @@ pub struct Selection {
     pub set: NodeSet,
     /// Per-instance counts, in evaluation order.
     pub stages: Vec<StageStat>,
+    /// Per-node sampling rates requested by `sample(N, …)` selectors,
+    /// restricted to the final set and in node order. Only rates above 1
+    /// appear; everything else is implicitly fully instrumented. When
+    /// several `sample` instances tag the same node, the highest rate
+    /// wins (lowest overhead).
+    pub rates: Vec<(NodeId, u32)>,
 }
 
 impl Selection {
@@ -79,11 +85,21 @@ impl Selection {
             .map(|id| graph.node(id).name.as_str())
             .collect()
     }
+
+    /// Sampled function names with their 1-in-N rates, in node order.
+    pub fn sampled_names<'g>(&self, graph: &'g CallGraph) -> Vec<(&'g str, u32)> {
+        self.rates
+            .iter()
+            .map(|&(id, rate)| (graph.node(id).name.as_str(), rate))
+            .collect()
+    }
 }
 
 struct Ctx<'g> {
     graph: &'g CallGraph,
     instances: HashMap<String, NodeSet>,
+    /// Node index → requested sampling rate (highest `sample` wins).
+    rates: HashMap<usize, u32>,
 }
 
 fn cmp(op: &str, value: u64, n: i64) -> Result<bool, EvalError> {
@@ -110,7 +126,7 @@ fn filter_meta(g: &CallGraph, input: &NodeSet, pred: impl Fn(NodeId) -> bool) ->
 }
 
 impl<'g> Ctx<'g> {
-    fn eval_sel_arg(&self, a: &Arg) -> Result<NodeSet, EvalError> {
+    fn eval_sel_arg(&mut self, a: &Arg) -> Result<NodeSet, EvalError> {
         match a {
             Arg::Expr(e) => self.eval_expr(e),
             _ => unreachable!("sema enforces selector arguments"),
@@ -132,7 +148,7 @@ impl<'g> Ctx<'g> {
         }
     }
 
-    fn eval_expr(&self, e: &Expr) -> Result<NodeSet, EvalError> {
+    fn eval_expr(&mut self, e: &Expr) -> Result<NodeSet, EvalError> {
         let g = self.graph;
         match e {
             Expr::All(_) => Ok(g.full_set()),
@@ -315,6 +331,20 @@ impl<'g> Ctx<'g> {
                     }
                     Ok(out)
                 }
+                "sample" => {
+                    // Pass-through on the set; the side effect is the
+                    // rate tag. Rates below 2 mean full instrumentation
+                    // and are not recorded.
+                    let n = self.int_arg(&args[0]).max(1) as u32;
+                    let input = self.eval_sel_arg(&args[1])?;
+                    if n > 1 {
+                        for id in input.iter() {
+                            let slot = self.rates.entry(id.index()).or_insert(1);
+                            *slot = (*slot).max(n);
+                        }
+                    }
+                    Ok(input)
+                }
                 other => Err(EvalError::UnknownSelector(other.to_string())),
             },
         }
@@ -387,6 +417,7 @@ pub fn evaluate(spec: &Spec, graph: &CallGraph) -> Result<Selection, EvalError> 
     let mut ctx = Ctx {
         graph,
         instances: HashMap::new(),
+        rates: HashMap::new(),
     };
     let mut stages = Vec::with_capacity(spec.items.len());
     let mut last: Option<NodeSet> = None;
@@ -401,10 +432,19 @@ pub fn evaluate(spec: &Spec, graph: &CallGraph) -> Result<Selection, EvalError> 
         }
         last = Some(set);
     }
-    Ok(Selection {
-        set: last.expect("items non-empty"),
-        stages,
-    })
+    let set = last.expect("items non-empty");
+    // Rates only matter for nodes that survived into the final set:
+    // a sampled node later subtracted away is simply uninstrumented.
+    let rates = set
+        .iter()
+        .filter_map(|id| {
+            ctx.rates
+                .get(&id.index())
+                .filter(|&&r| r > 1)
+                .map(|&r| (id, r))
+        })
+        .collect();
+    Ok(Selection { set, stages, rates })
 }
 
 #[cfg(test)]
@@ -590,6 +630,52 @@ join(subtract(%kernels, %excluded), %mpi_comm)
             err,
             crate::SpecError::Eval(EvalError::BadRegex { .. })
         ));
+    }
+
+    #[test]
+    fn sample_tags_rates_without_changing_the_set() {
+        let g = graph();
+        let reg = ModuleRegistry::with_builtins();
+        let sel = crate::run_spec(r#"sample(4, byName("^kernel$", %%))"#, &g, &reg).unwrap();
+        assert_eq!(sel.names(&g), vec!["kernel"]);
+        assert_eq!(sel.sampled_names(&g), vec![("kernel", 4)]);
+        // Inside a join, the rate rides along on the tagged members.
+        let sel = crate::run_spec(
+            r#"join(sample(8, byName("^kernel$", %%)), byName("^amul$", %%))"#,
+            &g,
+            &reg,
+        )
+        .unwrap();
+        let mut names = sel.names(&g);
+        names.sort_unstable();
+        assert_eq!(names, vec!["amul", "kernel"]);
+        assert_eq!(sel.sampled_names(&g), vec![("kernel", 8)]);
+    }
+
+    #[test]
+    fn sample_rates_drop_with_the_node_and_keep_the_highest_tag() {
+        let g = graph();
+        let reg = ModuleRegistry::with_builtins();
+        // The sampled node is subtracted away: no rate survives.
+        let sel = crate::run_spec(
+            r#"subtract(sample(4, byName("^kernel$", %%)), byName("^kernel$", %%))"#,
+            &g,
+            &reg,
+        )
+        .unwrap();
+        assert!(sel.set.count() == 0 && sel.rates.is_empty());
+        // Two tags on the same node: the highest rate wins.
+        let sel = crate::run_spec(
+            r#"join(sample(2, byName("^kernel$", %%)), sample(16, byName("^kernel$", %%)))"#,
+            &g,
+            &reg,
+        )
+        .unwrap();
+        assert_eq!(sel.sampled_names(&g), vec![("kernel", 16)]);
+        // Rate 1 is full instrumentation: nothing recorded.
+        let sel = crate::run_spec(r#"sample(1, byName("^kernel$", %%))"#, &g, &reg).unwrap();
+        assert_eq!(sel.names(&g), vec!["kernel"]);
+        assert!(sel.rates.is_empty());
     }
 
     #[test]

@@ -56,6 +56,7 @@ pub fn signature(name: &str) -> Option<Signature> {
             sig(&[SEL], &[], None)
         }
         "statementAggregation" => sig(&[INT], &[SEL], None),
+        "sample" => sig(&[INT, SEL], &[], None),
         "coarse" => sig(&[SEL], &[SEL], None),
         "entry" => sig(&[], &[], None),
         _ => return None,
@@ -92,6 +93,7 @@ pub fn selector_names() -> &'static [&'static str] {
         "callers",
         "callees",
         "statementAggregation",
+        "sample",
         "coarse",
         "entry",
     ]
@@ -322,6 +324,16 @@ join(subtract(%kernels, %excluded), %mpi_comm)
         ));
         // join is variadic.
         assert!(check(&parse("join(%%, %%, %%, %%)").unwrap()).is_ok());
+        // sample takes a rate then a selector, both required.
+        assert!(check(&parse("sample(4, %%)").unwrap()).is_ok());
+        assert!(matches!(
+            check(&parse("sample(%%)").unwrap()),
+            Err(SemaError::Arity { .. })
+        ));
+        assert!(matches!(
+            check(&parse("sample(%%, 4)").unwrap()),
+            Err(SemaError::ArgType { .. })
+        ));
         // coarse takes an optional critical selector.
         assert!(check(&parse("coarse(%%)").unwrap()).is_ok());
         assert!(check(&parse("coarse(%%, entry())").unwrap()).is_ok());

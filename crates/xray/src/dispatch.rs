@@ -51,6 +51,9 @@ pub(crate) struct Stripe {
     pub dispatches: AtomicU64,
     /// Dispatches tolerated through the stale-snapshot path.
     pub stale_dispatches: AtomicU64,
+    /// Sampled-mode dispatches skipped by the 1-in-N counter (the sled
+    /// fired but the event was not delivered to the handler).
+    pub sampled_skips: AtomicU64,
 }
 
 /// Index of the extra stripe reserved for control-plane readers
@@ -82,6 +85,10 @@ pub struct ObjectDispatch {
     pub fault: Option<TrampolineFault>,
     /// Object function index → XRay function ID.
     pub fid_by_func: Box<[Option<u32>]>,
+    /// Per-function sampling rate (1-in-N) by XRay function ID. Rate 1
+    /// is full instrumentation; the sampled fast path delivers only
+    /// every N-th event per rank and counts the rest as skips.
+    pub rate: Box<[u32]>,
 }
 
 /// An immutable snapshot of everything the per-event path needs,

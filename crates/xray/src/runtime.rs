@@ -100,6 +100,8 @@ pub struct RuntimeStats {
     pub stale_dispatches: u64,
     /// Batch [`XRayRuntime::repatch`] operations performed.
     pub repatches: u64,
+    /// Sampled-mode dispatches skipped by the 1-in-N counter.
+    pub sampled_skips: u64,
 }
 
 /// A batch of in-flight patch-state changes — what the adaptation
@@ -110,6 +112,12 @@ pub struct PatchDelta {
     pub patch: Vec<PackedId>,
     /// Functions to unpatch (restore NOP sleds).
     pub unpatch: Vec<PackedId>,
+    /// Per-function sampling rates to install (1-in-N; clamped to ≥ 1).
+    /// Applied after the patch/unpatch state changes, so a delta that
+    /// both patches a function and sets its rate ends sampled. Rate
+    /// changes rewrite no sleds — they only republish the dispatch
+    /// table.
+    pub set_rate: Vec<(PackedId, u32)>,
 }
 
 impl PatchDelta {
@@ -120,12 +128,12 @@ impl PatchDelta {
 
     /// Whether the delta changes nothing.
     pub fn is_empty(&self) -> bool {
-        self.patch.is_empty() && self.unpatch.is_empty()
+        self.patch.is_empty() && self.unpatch.is_empty() && self.set_rate.is_empty()
     }
 
     /// Total number of requested changes.
     pub fn len(&self) -> usize {
-        self.patch.len() + self.unpatch.len()
+        self.patch.len() + self.unpatch.len() + self.set_rate.len()
     }
 }
 
@@ -138,6 +146,8 @@ pub struct RepatchReport {
     pub sleds_unpatched: u64,
     /// `mprotect` pairs issued (one per touched object).
     pub mprotect_pairs: u64,
+    /// Sampling-rate entries that changed a stored rate.
+    pub rates_set: u64,
     /// Patch generation after the batch was applied.
     pub generation: u64,
 }
@@ -150,6 +160,11 @@ struct Registered {
     relocated: bool,
     /// Patch state per XRay function ID.
     patched: Vec<bool>,
+    /// Sampling rate (1-in-N) per XRay function ID; 1 = full
+    /// instrumentation. Reset to 1 whenever a function transitions from
+    /// unpatched to patched, so a restored function is re-measured at
+    /// full fidelity until a policy demotes it again.
+    rate: Vec<u32>,
     /// Generation at which each function was last *unpatched*; lets
     /// dispatch distinguish "never patched" (hard fault) from "unpatched
     /// after the caller's snapshot" (tolerated, in-flight adaptation).
@@ -177,6 +192,7 @@ impl Registered {
         addr_index.sort_unstable();
         Self {
             patched: vec![false; n],
+            rate: vec![1; n],
             unpatch_gen: vec![0; n],
             addr_index,
             trampolines,
@@ -273,6 +289,7 @@ impl XRayRuntime {
                     unpatch_gen: r.unpatch_gen.clone().into_boxed_slice(),
                     fault: r.trampolines.check_dispatch(r.relocated).err(),
                     fid_by_func: r.inst.sleds.fid_by_func.clone().into_boxed_slice(),
+                    rate: r.rate.clone().into_boxed_slice(),
                 })
             })
             .collect();
@@ -431,6 +448,9 @@ impl XRayRuntime {
         }
         mem.mprotect(page_lo, page_hi - page_lo, PagePerms::RX)?;
         reg.patched[id.function() as usize] = state;
+        if state {
+            reg.rate[id.function() as usize] = 1;
+        }
         // Bump while still holding the write lock so snapshots always
         // pair a generation with the state it describes.
         let new_gen = self.generation.fetch_add(1, Ordering::AcqRel) + 1;
@@ -502,6 +522,7 @@ impl XRayRuntime {
                     written += 1;
                 }
                 reg.patched[fid as usize] = true;
+                reg.rate[fid as usize] = 1;
             }
             mem.mprotect(page_lo, page_hi - page_lo, PagePerms::RX)?;
             Ok(())
@@ -553,6 +574,9 @@ impl XRayRuntime {
                     written += 1;
                 }
                 reg.patched[fid] = state;
+                if state {
+                    reg.rate[fid] = 1;
+                }
                 changed.push(fid);
             }
             mem.mprotect(page_lo, page_hi - page_lo, PagePerms::RX)?;
@@ -608,20 +632,34 @@ impl XRayRuntime {
                 .or_default()
                 .insert(id.function(), false);
         }
+        // Requested sampling rates, grouped the same way; the last entry
+        // for a function wins and rates are clamped to ≥ 1.
+        let mut rates_by_obj: std::collections::BTreeMap<u8, std::collections::BTreeMap<u32, u32>> =
+            std::collections::BTreeMap::new();
+        for &(id, rate) in &delta.set_rate {
+            rates_by_obj
+                .entry(id.object())
+                .or_default()
+                .insert(id.function(), rate.max(1));
+        }
         // Validate every ID before mutating anything.
-        for (&oid, changes) in &by_obj {
+        let patch_keys = by_obj
+            .iter()
+            .flat_map(|(&o, c)| c.keys().map(move |&f| (o, f)));
+        let rate_keys = rates_by_obj
+            .iter()
+            .flat_map(|(&o, c)| c.keys().map(move |&f| (o, f)));
+        for (oid, fid) in patch_keys.chain(rate_keys) {
             let reg = inner
                 .objects
                 .get(oid as usize)
                 .and_then(Option::as_ref)
                 .ok_or(XRayError::UnknownObject(oid))?;
-            for &fid in changes.keys() {
-                reg.inst.sleds.by_fid(fid).ok_or_else(|| {
-                    XRayError::UnknownFunction(
-                        PackedId::pack(oid, fid).unwrap_or(PackedId::from_raw(0)),
-                    )
-                })?;
-            }
+            reg.inst.sleds.by_fid(fid).ok_or_else(|| {
+                XRayError::UnknownFunction(
+                    PackedId::pack(oid, fid).unwrap_or(PackedId::from_raw(0)),
+                )
+            })?;
         }
         let new_gen = self.generation.fetch_add(1, Ordering::AcqRel) + 1;
         let mut report = RepatchReport {
@@ -658,6 +696,7 @@ impl XRayRuntime {
                     }
                     reg.patched[fid as usize] = state;
                     if state {
+                        reg.rate[fid as usize] = 1;
                         report.sleds_patched += sleds;
                     } else {
                         reg.unpatch_gen[fid as usize] = new_gen;
@@ -666,6 +705,20 @@ impl XRayRuntime {
                 }
                 mem.mprotect(page_lo, page_hi - page_lo, PagePerms::RX)?;
                 report.mprotect_pairs += 1;
+            }
+            // Sampling rates go last, so `patch + set_rate` for the same
+            // function ends sampled (the patch transition resets the
+            // rate to 1 above). Rate changes touch no sled bytes and
+            // cost no `mprotect` pair — they live only in the published
+            // table.
+            for (&oid, rates) in &rates_by_obj {
+                let reg = inner.objects[oid as usize].as_mut().expect("validated");
+                for (&fid, &rate) in rates {
+                    if reg.rate[fid as usize] != rate {
+                        reg.rate[fid as usize] = rate;
+                        report.rates_set += 1;
+                    }
+                }
             }
             Ok(())
         })();
@@ -767,6 +820,85 @@ impl XRayRuntime {
         Ok(handler.on_event(event))
     }
 
+    /// The sampled variant of [`Self::dispatch_from_snapshot`]: delivers
+    /// the event only when the caller's per-rank, per-function sequence
+    /// number `sample_seq` lands on the function's published 1-in-N
+    /// rate (`sample_seq % rate == 0`). A skipped event costs one
+    /// striped counter bump and returns `Ok(None)`; a delivered event
+    /// returns `Ok(Some(handler_ns))`.
+    ///
+    /// At rate 1 every sequence number is delivered, so the path is
+    /// behaviorally identical to [`Self::dispatch_from_snapshot`].
+    /// Determinism: the caller owns `sample_seq` (one counter per rank
+    /// and function), so repeated runs skip exactly the same events.
+    pub fn dispatch_sampled_from_snapshot(
+        &self,
+        id: PackedId,
+        kind: EventKind,
+        tsc: u64,
+        rank: u32,
+        snapshot_generation: u64,
+        sample_seq: u64,
+    ) -> Result<Option<u64>, XRayError> {
+        let stripe = self.stripe(rank);
+        let guard = DispatchGuard::enter(&self.table, stripe);
+        let table = guard.table();
+        let obj = table
+            .objects
+            .get(id.object() as usize)
+            .and_then(Option::as_ref)
+            .ok_or(XRayError::UnknownObject(id.object()))?;
+        let fidx = id.function() as usize;
+        let patched = obj.patched.get(fidx).copied().unwrap_or(false);
+        let stale = if patched {
+            false
+        } else {
+            let unpatched_at = obj.unpatch_gen.get(fidx).copied().unwrap_or(0);
+            if unpatched_at > snapshot_generation {
+                true
+            } else {
+                return Err(XRayError::NotPatched(id));
+            }
+        };
+        if let Some(fault) = obj.fault {
+            return Err(XRayError::Fault(fault));
+        }
+        let rate = obj.rate.get(fidx).copied().unwrap_or(1).max(1);
+        if !sample_seq.is_multiple_of(rate as u64) {
+            stripe.sampled_skips.fetch_add(1, Ordering::Relaxed);
+            return Ok(None);
+        }
+        stripe.dispatches.fetch_add(1, Ordering::Relaxed);
+        if stale {
+            stripe.stale_dispatches.fetch_add(1, Ordering::Relaxed);
+        }
+        let Some(handler) = table.handler.as_ref() else {
+            return Ok(Some(0));
+        };
+        let event = Event {
+            id,
+            kind,
+            tsc,
+            rank,
+        };
+        Ok(Some(handler.on_event(event)))
+    }
+
+    /// The published sampling rate of a function (1 = full
+    /// instrumentation). Guard-based and handler-safe, like
+    /// [`Self::is_patched`].
+    pub fn sample_rate(&self, id: PackedId) -> u32 {
+        let guard = DispatchGuard::enter(&self.table, &self.stripes[CONTROL_STRIPE]);
+        guard
+            .table()
+            .objects
+            .get(id.object() as usize)
+            .and_then(Option::as_ref)
+            .and_then(|o| o.rate.get(id.function() as usize))
+            .copied()
+            .unwrap_or(1)
+    }
+
     /// `__xray_function_address`: absolute address of a function by its
     /// packed ID — the API DynCaPI cross-checks symbol mappings with.
     pub fn function_address(&self, id: PackedId) -> Option<u64> {
@@ -811,6 +943,7 @@ impl XRayRuntime {
         for stripe in self.stripes.iter() {
             s.dispatches += stripe.dispatches.load(Ordering::Relaxed);
             s.stale_dispatches += stripe.stale_dispatches.load(Ordering::Relaxed);
+            s.sampled_skips += stripe.sampled_skips.load(Ordering::Relaxed);
         }
         s
     }
@@ -876,6 +1009,7 @@ impl XRayRuntime {
                 object_id: obj.object_id,
                 fid_by_func: obj.fid_by_func.to_vec(),
                 patched: obj.patched.to_vec(),
+                rate: obj.rate.to_vec(),
             });
         }
         PatchSnapshot {
@@ -911,6 +1045,8 @@ pub struct ObjectSnapshot {
     pub fid_by_func: Vec<Option<u32>>,
     /// Patch state by function ID.
     pub patched: Vec<bool>,
+    /// Sampling rate (1-in-N) by function ID; 1 = full instrumentation.
+    pub rate: Vec<u32>,
 }
 
 impl PatchSnapshot {
@@ -922,6 +1058,19 @@ impl PatchSnapshot {
         let fid = (*obj.fid_by_func.get(func_index as usize)?)?;
         let packed = PackedId::pack(obj.object_id, fid).ok()?;
         Some((packed, obj.patched[fid as usize]))
+    }
+
+    /// The sampling rate recorded for a function (by loader object
+    /// index and object-local function index); 1 when unknown.
+    #[inline]
+    pub fn sample_rate(&self, process_index: usize, func_index: u32) -> u32 {
+        let Some(Some(obj)) = self.by_process_index.get(process_index) else {
+            return 1;
+        };
+        let Some(Some(fid)) = obj.fid_by_func.get(func_index as usize) else {
+            return 1;
+        };
+        obj.rate.get(*fid as usize).copied().unwrap_or(1).max(1)
     }
 }
 
@@ -1242,6 +1391,7 @@ mod tests {
                 &PatchDelta {
                     patch: vec![m0, d0],
                     unpatch: vec![m1],
+                    ..PatchDelta::default()
                 },
             )
             .unwrap();
@@ -1269,6 +1419,7 @@ mod tests {
                 &PatchDelta {
                     patch: vec![id],
                     unpatch: vec![id],
+                    ..PatchDelta::default()
                 },
             )
             .unwrap();
@@ -1282,6 +1433,7 @@ mod tests {
                 &PatchDelta {
                     patch: vec![id, id], // duplicates applied once
                     unpatch: vec![id],
+                    ..PatchDelta::default()
                 },
             )
             .unwrap();
@@ -1317,6 +1469,7 @@ mod tests {
                 &PatchDelta {
                     patch: vec![good, bogus],
                     unpatch: vec![],
+                    ..PatchDelta::default()
                 },
             )
             .unwrap_err();
@@ -1338,6 +1491,7 @@ mod tests {
                 &PatchDelta {
                     patch: vec![],
                     unpatch: vec![id],
+                    ..PatchDelta::default()
                 },
             )
             .unwrap();
@@ -1358,6 +1512,132 @@ mod tests {
             f.runtime.dispatch(id, EventKind::Entry, 0, 0),
             Err(XRayError::NotPatched(_))
         ));
+    }
+
+    #[test]
+    fn set_rate_samples_deterministically_and_counts_skips() {
+        let (mut f, main_id, _) = registered();
+        let id = PackedId::pack(main_id, 0).unwrap();
+        f.runtime.patch_function(&mut f.process.memory, id).unwrap();
+        f.runtime.set_handler(Arc::new(crate::handler::NullHandler));
+        let before = f.process.memory.stats.mprotect_calls;
+        let rep = f
+            .runtime
+            .repatch(
+                &mut f.process.memory,
+                &PatchDelta {
+                    set_rate: vec![(id, 4)],
+                    ..PatchDelta::default()
+                },
+            )
+            .unwrap();
+        // Rate-only deltas rewrite no sleds and flip no pages.
+        assert_eq!(rep.rates_set, 1);
+        assert_eq!(rep.mprotect_pairs, 0);
+        assert_eq!(f.process.memory.stats.mprotect_calls, before);
+        assert_eq!(f.runtime.sample_rate(id), 4);
+        let generation = f.runtime.generation();
+        let mut delivered = 0;
+        for seq in 0..8u64 {
+            let r = f
+                .runtime
+                .dispatch_sampled_from_snapshot(id, EventKind::Entry, seq, 0, generation, seq)
+                .unwrap();
+            if r.is_some() {
+                delivered += 1;
+            }
+        }
+        assert_eq!(delivered, 2); // seq 0 and 4
+        assert_eq!(f.runtime.stats().sampled_skips, 6);
+        assert_eq!(f.runtime.stats().dispatches, 2);
+    }
+
+    #[test]
+    fn rate_one_sampled_dispatch_matches_full_dispatch() {
+        let (mut f, main_id, _) = registered();
+        let id = PackedId::pack(main_id, 0).unwrap();
+        f.runtime.patch_function(&mut f.process.memory, id).unwrap();
+        let log = Arc::new(BasicLog::new());
+        f.runtime.set_handler(log.clone());
+        let generation = f.runtime.generation();
+        for seq in 0..5u64 {
+            let r = f
+                .runtime
+                .dispatch_sampled_from_snapshot(id, EventKind::Entry, seq, 0, generation, seq)
+                .unwrap();
+            assert!(r.is_some(), "rate 1 delivers every event");
+        }
+        assert_eq!(log.events().len(), 5);
+        assert_eq!(f.runtime.stats().sampled_skips, 0);
+    }
+
+    #[test]
+    fn repatching_a_function_resets_its_rate_to_one() {
+        let (mut f, main_id, _) = registered();
+        let id = PackedId::pack(main_id, 0).unwrap();
+        f.runtime.patch_function(&mut f.process.memory, id).unwrap();
+        f.runtime
+            .repatch(
+                &mut f.process.memory,
+                &PatchDelta {
+                    set_rate: vec![(id, 8)],
+                    ..PatchDelta::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(f.runtime.sample_rate(id), 8);
+        // Unpatch, then re-patch: the function comes back at full rate.
+        f.runtime
+            .unpatch_function(&mut f.process.memory, id)
+            .unwrap();
+        f.runtime.patch_function(&mut f.process.memory, id).unwrap();
+        assert_eq!(f.runtime.sample_rate(id), 1);
+        // A delta that both patches and sets a rate ends sampled.
+        f.runtime
+            .unpatch_function(&mut f.process.memory, id)
+            .unwrap();
+        f.runtime
+            .repatch(
+                &mut f.process.memory,
+                &PatchDelta {
+                    patch: vec![id],
+                    set_rate: vec![(id, 3)],
+                    ..PatchDelta::default()
+                },
+            )
+            .unwrap();
+        assert!(f.runtime.is_patched(id));
+        assert_eq!(f.runtime.sample_rate(id), 3);
+        // Rates are clamped to ≥ 1 and visible in snapshots.
+        f.runtime
+            .repatch(
+                &mut f.process.memory,
+                &PatchDelta {
+                    set_rate: vec![(id, 0)],
+                    ..PatchDelta::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(f.runtime.sample_rate(id), 1);
+        let entry = f.main_inst.sleds.by_fid(0).unwrap();
+        assert_eq!(f.runtime.snapshot().sample_rate(0, entry.func_index), 1);
+    }
+
+    #[test]
+    fn set_rate_validates_ids_like_patching() {
+        let (mut f, main_id, _) = registered();
+        let bogus = PackedId::pack(main_id, 9_999).unwrap();
+        let err = f
+            .runtime
+            .repatch(
+                &mut f.process.memory,
+                &PatchDelta {
+                    set_rate: vec![(bogus, 2)],
+                    ..PatchDelta::default()
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, XRayError::UnknownFunction(_)));
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! cargo run --release --example adaptive_refinement
 //! ```
 
-use capi::{InFlightOptions, InstrumentationConfig, Workflow};
+use capi::{AdaptiveRunBuilder, InstrumentationConfig, Workflow};
 use capi_dyncapi::ToolChoice;
 use capi_objmodel::CompileOptions;
 use capi_scorep::score::{score_profile, ScoreParams};
@@ -87,16 +87,14 @@ fn main() {
     // ---- Mode B: in-flight (single session, epoch controller). ----------
     println!("\n== in-flight (one session, controller repatches mid-run) ==");
     let outcome = workflow
-        .measure_in_flight(
+        .adaptive_run(
             &starting_ic,
             ToolChoice::Talp(Default::default()),
             4,
-            InFlightOptions {
-                epochs: 6,
-                budget_pct: 5.0,
-                seed: 0x5EED,
-                ..Default::default()
-            },
+            &AdaptiveRunBuilder::new()
+                .epochs(6)
+                .budget_pct(5.0)
+                .seed(0x5EED),
         )
         .expect("in-flight run");
     for r in &outcome.adaptive.records {

@@ -45,10 +45,12 @@ fn run_once(ranks: u32) -> (u64, u64, Vec<Event>) {
             let unpatch = PatchDelta {
                 patch: Vec::new(),
                 unpatch: toggled.clone(),
+                ..PatchDelta::default()
             };
             let patch = PatchDelta {
                 patch: toggled.clone(),
                 unpatch: Vec::new(),
+                ..PatchDelta::default()
             };
             while !stop.load(Ordering::Relaxed) {
                 runtime.repatch(mem, &unpatch).expect("repatch");

@@ -19,7 +19,7 @@
 //! Environment: `CAPI_EPOCHS` (default 6), `CAPI_BUDGET_PCT`
 //! (default 15.0) — zero/invalid values fall back to the defaults.
 
-use capi::{ExpansionOptions, InFlightOptions, InstrumentationConfig, Workflow};
+use capi::{AdaptiveRunBuilder, ExpansionOptions, InstrumentationConfig, Workflow};
 use capi_appmodel::{LinkTarget, MpiCall, ProgramBuilder, SourceProgram};
 use capi_dyncapi::ToolChoice;
 use capi_objmodel::CompileOptions;
@@ -107,30 +107,27 @@ fn program() -> SourceProgram {
 }
 
 fn main() {
-    let opts = InFlightOptions {
-        epochs: env_epochs(),
-        budget_pct: env_budget_pct(),
-        seed: 0x7A1B,
-        expansion: Some(ExpansionOptions::default()),
-    };
-    let trim_opts = InFlightOptions {
-        expansion: None,
-        ..opts
-    };
+    let epochs = env_epochs();
+    let budget_pct = env_budget_pct();
+    let trim_runner = AdaptiveRunBuilder::new()
+        .epochs(epochs)
+        .budget_pct(budget_pct)
+        .seed(0x7A1B);
+    let grow_runner = trim_runner.clone().expansion(ExpansionOptions::default());
     let workflow = Workflow::analyze(program(), CompileOptions::o2()).expect("analyze");
     let ic = InstrumentationConfig::from_names(["step", "balanced_phase", "skewed_phase"]);
     println!(
         "initial IC: {} functions (phases only) | {} epochs | budget {:.2}%\n",
         ic.len(),
-        opts.epochs,
-        opts.budget_pct
+        epochs,
+        budget_pct
     );
 
     let trim = workflow
-        .measure_in_flight(&ic, ToolChoice::None, 4, trim_opts)
+        .adaptive_run(&ic, ToolChoice::None, 4, &trim_runner)
         .expect("trim-only run");
     let grow = workflow
-        .measure_in_flight(&ic, ToolChoice::None, 4, opts)
+        .adaptive_run(&ic, ToolChoice::None, 4, &grow_runner)
         .expect("expansion run");
 
     println!("adaptation log (expansion mode):");
@@ -149,17 +146,17 @@ fn main() {
     );
     let last = grow.adaptive.records.last().expect("epochs ran");
     assert!(
-        last.overhead_pct <= opts.budget_pct,
+        last.overhead_pct <= budget_pct,
         "growth stayed within budget: {:.3}% > {:.2}%",
         last.overhead_pct,
-        opts.budget_pct
+        budget_pct
     );
     assert_eq!(grow.restarts, 0);
     assert_eq!(grow.rebuilds, 0);
 
     // Determinism contract, expansion included.
     let again = workflow
-        .measure_in_flight(&ic, ToolChoice::None, 4, opts)
+        .adaptive_run(&ic, ToolChoice::None, 4, &grow_runner)
         .expect("second expansion run");
     assert_eq!(grow.log, again.log, "adaptation logs are byte-identical");
     assert_eq!(grow.adaptive.per_rank_ns, again.adaptive.per_rank_ns);
@@ -174,7 +171,7 @@ fn main() {
     );
     println!(
         "final overhead {:.3}% vs budget {:.2}% | restarts 0 | rebuilds 0",
-        last.overhead_pct, opts.budget_pct
+        last.overhead_pct, budget_pct
     );
     println!("second run with the same seed/budget: logs byte-identical ✓");
 }

@@ -18,7 +18,7 @@
 //! Environment: `CAPI_EPOCHS` (default 6), `CAPI_BUDGET_PCT`
 //! (default 5.0) — zero/invalid values fall back to the defaults.
 
-use capi::{InFlightOptions, InFlightOutcome, Workflow};
+use capi::{AdaptiveRunBuilder, InFlightOutcome, Workflow};
 use capi_dyncapi::ToolChoice;
 use capi_objmodel::CompileOptions;
 use capi_workloads::{openfoam, OpenFoamParams, PAPER_SPECS};
@@ -39,23 +39,23 @@ fn env_budget_pct() -> f64 {
         .unwrap_or(5.0)
 }
 
-fn run_once(workflow: &Workflow, opts: InFlightOptions) -> InFlightOutcome {
+fn run_once(workflow: &Workflow, runner: &AdaptiveRunBuilder) -> InFlightOutcome {
     let ic = workflow
         .select_ic(PAPER_SPECS[0].source)
         .expect("mpi IC")
         .ic;
     workflow
-        .measure_in_flight(&ic, ToolChoice::Talp(Default::default()), 4, opts)
+        .adaptive_run(&ic, ToolChoice::Talp(Default::default()), 4, runner)
         .expect("in-flight run")
 }
 
 fn main() {
-    let opts = InFlightOptions {
-        epochs: env_epochs(),
-        budget_pct: env_budget_pct(),
-        seed: 0x5EED,
-        ..Default::default()
-    };
+    let epochs = env_epochs();
+    let budget_pct = env_budget_pct();
+    let runner = AdaptiveRunBuilder::new()
+        .epochs(epochs)
+        .budget_pct(budget_pct)
+        .seed(0x5EED);
     let program = openfoam(&OpenFoamParams {
         scale: 12_000,
         time_steps: 24,
@@ -64,10 +64,10 @@ fn main() {
     let workflow = Workflow::analyze(program, CompileOptions::o2()).expect("analyze");
     println!(
         "one session, {} epochs, overhead budget {:.2}%\n",
-        opts.epochs, opts.budget_pct
+        epochs, budget_pct
     );
 
-    let first = run_once(&workflow, opts);
+    let first = run_once(&workflow, &runner);
     println!("epoch  overhead%  active  events      Δpatch  Δunpatch");
     for r in &first.adaptive.records {
         println!(
@@ -83,7 +83,7 @@ fn main() {
         .records
         .last()
         .expect("at least one epoch ran");
-    if last.overhead_pct > opts.budget_pct {
+    if last.overhead_pct > budget_pct {
         // The pinned spine puts a floor on achievable overhead; a very
         // tight user-supplied budget can sit below it. Report instead
         // of crashing — but the stock configuration must converge.
@@ -91,12 +91,12 @@ fn main() {
             println!(
                 "\nbudget {:.3}% is below the achievable floor ({:.3}% reached after trimming \
                  everything unpinned) — try a larger CAPI_BUDGET_PCT",
-                opts.budget_pct, last.overhead_pct
+                budget_pct, last.overhead_pct
             );
         } else {
             panic!(
                 "must converge within the default budget: {:.3}% > {:.2}%",
-                last.overhead_pct, opts.budget_pct
+                last.overhead_pct, budget_pct
             );
         }
     }
@@ -105,7 +105,7 @@ fn main() {
 
     // Determinism contract: same seed + budget → byte-identical logs
     // and identical virtual clocks.
-    let second = run_once(&workflow, opts);
+    let second = run_once(&workflow, &runner);
     assert_eq!(first.log, second.log, "adaptation logs are byte-identical");
     assert_eq!(first.adaptive.per_rank_ns, second.adaptive.per_rank_ns);
     assert_eq!(first.adaptive.events, second.adaptive.events);
@@ -118,7 +118,7 @@ fn main() {
         },
         first.final_ic.len(),
         last.overhead_pct,
-        opts.budget_pct
+        budget_pct
     );
     println!(
         "T_init {:.2} ms | T_adapt {:.2} ms | run {:.2} ms | restarts: {} | rebuilds: {}",

@@ -31,7 +31,7 @@
 //! against a user-provided path).
 
 use capi::{
-    profile_source_from_env, InFlightOptions, InstrumentationConfig, ProfileSource, Workflow,
+    profile_source_from_env, AdaptiveRunBuilder, InstrumentationConfig, ProfileSource, Workflow,
 };
 use capi_appmodel::{LinkTarget, MpiCall, ProgramBuilder, SourceProgram};
 use capi_dyncapi::ToolChoice;
@@ -122,12 +122,11 @@ fn main() {
     let epochs = env_epochs();
     let wf = Workflow::analyze(program(), CompileOptions::o2()).expect("compiles");
     let ic = InstrumentationConfig::from_names(["tiny_hot", "step", "skewed_phase"]);
-    let opts = InFlightOptions {
-        epochs,
-        budget_pct: 40.0,
-        seed: 0x5EED,
-        expansion: Some(Default::default()),
-    };
+    let runner = AdaptiveRunBuilder::new()
+        .epochs(epochs)
+        .budget_pct(40.0)
+        .seed(0x5EED)
+        .expansion(Default::default());
     // Honor CAPI_PROFILE_PATH the way the workflow layer exposes it;
     // fall back to a private temp file. The destructive corrupt-profile
     // stage only runs against the temp default — never against a path
@@ -151,14 +150,14 @@ fn main() {
     if !user_supplied {
         std::fs::remove_file(&path).ok();
     }
-    let source = ProfileSource::Path(path.clone());
+    let runner = runner.profile(ProfileSource::Path(path.clone()));
 
     println!(
         "== session 1: cold start, profile written to {}\n",
         path.display()
     );
     let cold = wf
-        .measure_in_flight_with_profile(&ic, ToolChoice::None, 4, opts, &source)
+        .adaptive_run(&ic, ToolChoice::None, 4, &runner)
         .expect("cold run");
     assert!(!cold.warm_started);
     print!("{}", cold.log);
@@ -180,7 +179,7 @@ fn main() {
 
     println!("== session 2: warm start from the saved profile\n");
     let warm = wf
-        .measure_in_flight_with_profile(&ic, ToolChoice::None, 4, opts, &source)
+        .adaptive_run(&ic, ToolChoice::None, 4, &runner)
         .expect("warm run");
     assert!(warm.warm_started);
     print!("{}", warm.log);
@@ -218,7 +217,7 @@ fn main() {
     }
     std::fs::write(&path, &on_disk[..on_disk.len() / 2]).expect("truncate");
     let fallback = wf
-        .measure_in_flight_with_profile(&ic, ToolChoice::None, 4, opts, &source)
+        .adaptive_run(&ic, ToolChoice::None, 4, &runner)
         .expect("fallback run");
     assert!(!fallback.warm_started);
     let reason = fallback

@@ -144,6 +144,7 @@ fn dso_hot_swap_invalidates_controller_drop_records() {
             visits: 1_000,
             inst_ns: 900_000,
             body_cost_ns: 1,
+            rate: 1,
         }],
         talp: Vec::new(),
         children: CallChildren::default(),
@@ -331,6 +332,7 @@ fn warm_start_profile_does_not_alias_a_recycled_dso_slot() {
             visits: 1_000,
             inst_ns: 900_000,
             body_cost_ns: 1,
+            rate: 1,
         }],
         talp: Vec::new(),
         children: CallChildren::default(),

@@ -1,7 +1,7 @@
 //! In-flight adaptation: concurrent repatch stress, stale-snapshot
 //! tolerance, and the end-to-end determinism contract.
 
-use capi::{dynamic_session, InFlightOptions, Workflow};
+use capi::{dynamic_session, AdaptiveRunBuilder, Workflow};
 use capi_adapt::{AdaptConfig, AdaptController};
 use capi_dyncapi::ToolChoice;
 use capi_exec::{Engine, EpochSpec, OverheadModel};
@@ -40,10 +40,12 @@ fn concurrent_repatching_keeps_dispatch_deterministic() {
             let unpatch = PatchDelta {
                 patch: Vec::new(),
                 unpatch: toggled.clone(),
+                ..PatchDelta::default()
             };
             let patch = PatchDelta {
                 patch: toggled.clone(),
                 unpatch: Vec::new(),
+                ..PatchDelta::default()
             };
             let mut batches = 0u64;
             while !stop.load(Ordering::Relaxed) {
@@ -120,16 +122,14 @@ fn in_flight_adaptation_deterministic_and_within_budget() {
         });
         let wf = Workflow::analyze(program, CompileOptions::o2()).unwrap();
         let ic = wf.select_ic(PAPER_SPECS[0].source).unwrap().ic;
-        wf.measure_in_flight(
+        wf.adaptive_run(
             &ic,
             ToolChoice::Talp(Default::default()),
             2,
-            InFlightOptions {
-                epochs: 6,
-                budget_pct: 5.0,
-                seed: 0xCAF1,
-                ..Default::default()
-            },
+            &AdaptiveRunBuilder::new()
+                .epochs(6)
+                .budget_pct(5.0)
+                .seed(0xCAF1),
         )
         .unwrap()
     };
@@ -166,7 +166,10 @@ fn adapt_accounting_tracks_runtime_state() {
         seed: 1,
         ..Default::default()
     });
-    let run = session.run_adaptive(&mut controller, 4).unwrap();
+    let run = AdaptiveRunBuilder::new()
+        .epochs(4)
+        .run_with_controller(&mut session, &mut controller, None)
+        .unwrap();
     assert!(run.adapt_ns > 0);
     assert!(controller.dropped_len() > 0);
     let last = run.records.last().unwrap();

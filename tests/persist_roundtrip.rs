@@ -27,6 +27,7 @@ fn epoch_view(epoch: usize, funcs: &[(u64, u64, u64)]) -> EpochView {
             visits,
             inst_ns,
             body_cost_ns: body,
+            rate: 1,
         })
         .collect();
     let inst: u64 = samples.iter().map(|s| s.inst_ns).sum();
@@ -130,6 +131,32 @@ proptest! {
             back.functions.iter().filter(|f| f.inst_ns.is_some()).count());
     }
 
+    /// Any v1 profile — a v2 profile with no `rate` keys and the old
+    /// version header — loads through the migration losslessly: every
+    /// function comes in at rate 1 and the canonical re-render differs
+    /// from the v1 source only in the version header.
+    #[test]
+    fn v1_profiles_round_trip_through_the_v2_migration(
+        funcs in proptest::collection::vec(
+            (1u64..100_001, 1u64..400_001, 1u64..50_001),
+            2..10,
+        ),
+        epochs in 1usize..5,
+        budget in 1u32..=60,
+    ) {
+        let c = converged_controller(&funcs, epochs, f64::from(budget));
+        let profile = c.export_profile(Vec::new());
+        let v2_text = profile.to_json_string();
+        // The default policy stack never demotes, so the export has no
+        // rate keys — exactly the v1 body.
+        prop_assert!(!v2_text.contains("\"rate\""));
+        let v1_text = v2_text.replace("\"schema_version\": 2", "\"schema_version\": 1");
+        let migrated = InstrumentationProfile::parse(&v1_text).unwrap();
+        prop_assert!(migrated.functions.iter().all(|f| f.rate == 1));
+        prop_assert_eq!(&migrated.functions, &profile.functions);
+        prop_assert_eq!(&migrated.to_json_string(), &v2_text, "lossless migration");
+    }
+
     /// Any truncation of a valid profile parses to a typed error — the
     /// loader never panics and never yields a half-profile. The cut is
     /// taken strictly inside the trimmed document so it always removes
@@ -160,11 +187,11 @@ fn schema_mismatch_is_rejected_with_a_typed_error() {
     let text = c
         .export_profile(Vec::new())
         .to_json_string()
-        .replace("\"schema_version\": 1", "\"schema_version\": 2");
+        .replace("\"schema_version\": 2", "\"schema_version\": 9");
     assert_eq!(
         InstrumentationProfile::parse(&text),
         Err(PersistError::SchemaMismatch {
-            found: 2,
+            found: 9,
             expected: SCHEMA_VERSION
         })
     );

@@ -43,10 +43,12 @@ fn disturbed_run() -> (u64, Vec<Event>) {
             let unpatch = PatchDelta {
                 patch: Vec::new(),
                 unpatch: toggled.clone(),
+                ..PatchDelta::default()
             };
             let patch = PatchDelta {
                 patch: toggled.clone(),
                 unpatch: Vec::new(),
+                ..PatchDelta::default()
             };
             let mut batches = 0u64;
             while !stop.load(Ordering::Relaxed) {
@@ -113,6 +115,7 @@ fn concurrent_repatch_sharded_fdr_deterministic() {
                             &PatchDelta {
                                 patch: Vec::new(),
                                 unpatch: toggled.clone(),
+                                ..PatchDelta::default()
                             },
                         )
                         .unwrap();
@@ -122,6 +125,7 @@ fn concurrent_repatch_sharded_fdr_deterministic() {
                             &PatchDelta {
                                 patch: toggled.clone(),
                                 unpatch: Vec::new(),
+                                ..PatchDelta::default()
                             },
                         )
                         .unwrap();

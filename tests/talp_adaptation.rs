@@ -4,7 +4,7 @@
 //! adaptation logs and efficiency trajectories) and must only grow the
 //! IC below genuinely imbalanced phases.
 
-use capi::{ExpansionOptions, InFlightOptions, InstrumentationConfig, Workflow};
+use capi::{AdaptiveRunBuilder, ExpansionOptions, InstrumentationConfig, Workflow};
 use capi_appmodel::{LinkTarget, MpiCall, ProgramBuilder, SourceProgram};
 use capi_dyncapi::ToolChoice;
 use capi_objmodel::CompileOptions;
@@ -94,14 +94,13 @@ proptest! {
         let ic = InstrumentationConfig::from_names(
             (0..imbalances.len()).map(|i| format!("phase{i}")),
         );
-        let opts = InFlightOptions {
-            epochs: 5,
-            budget_pct: 30.0,
-            seed,
-            expansion: Some(ExpansionOptions::default()),
-        };
-        let a = wf.measure_in_flight(&ic, ToolChoice::None, 2, opts).unwrap();
-        let b = wf.measure_in_flight(&ic, ToolChoice::None, 2, opts).unwrap();
+        let runner = AdaptiveRunBuilder::new()
+            .epochs(5)
+            .budget_pct(30.0)
+            .seed(seed)
+            .expansion(ExpansionOptions::default());
+        let a = wf.adaptive_run(&ic, ToolChoice::None, 2, &runner).unwrap();
+        let b = wf.adaptive_run(&ic, ToolChoice::None, 2, &runner).unwrap();
 
         // Determinism: same seed and profile → identical everything.
         prop_assert_eq!(&a.log, &b.log, "adaptation logs byte-identical");

@@ -1,0 +1,173 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements just enough of criterion's API surface for this
+//! workspace's benches to compile and run without network access: a
+//! [`Criterion`] driver, benchmark groups, [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], and the `criterion_group!` /
+//! `criterion_main!` macros. Each benchmark runs a small fixed number
+//! of timed iterations and prints a mean — no sampling statistics, no
+//! HTML reports, no saved baselines.
+
+use std::fmt;
+use std::time::Instant;
+
+/// Opaque value barrier: prevents the optimizer from deleting a
+/// benchmarked computation whose result is otherwise unused.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost. The shim times the routine
+/// per batch regardless; the variants exist for API compatibility.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs (setup dominates; one input per call).
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// A parameterized benchmark identifier: `function_id/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an identifier from a function name and a parameter value.
+    pub fn new<P: fmt::Display>(function_id: &str, parameter: P) -> Self {
+        Self {
+            id: format!("{function_id}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Per-benchmark measurement driver handed to the bench closure.
+pub struct Bencher {
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` over a fixed number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        let total = start.elapsed();
+        let mean = total / u32::try_from(self.iters.max(1)).unwrap_or(u32::MAX);
+        println!("    {} iters, mean {:?}", self.iters, mean);
+    }
+
+    /// Times `routine` over freshly set-up inputs, excluding the setup
+    /// closure from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = std::time::Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        let mean = total / u32::try_from(self.iters.max(1)).unwrap_or(u32::MAX);
+        println!("    {} iters, mean {:?}", self.iters, mean);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    iters: u64,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count. The shim maps it to the per-bench
+    /// iteration count (clamped to keep offline runs quick).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iters = (n as u64).clamp(1, 20);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        println!("  {}/{id}", self.name);
+        let mut b = Bencher { iters: self.iters };
+        f(&mut b);
+        self
+    }
+
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        println!("  {}/{id}", self.name);
+        let mut b = Bencher { iters: self.iters };
+        f(&mut b, input);
+        self
+    }
+
+    /// Ends the group (a no-op in the shim; criterion emits summaries).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver: registry entry point handed to each
+/// `criterion_group!` function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            name,
+            iters: 10,
+            _criterion: self,
+        }
+    }
+}
+
+/// Declares a benchmark group function list, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench `main` running every registered group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
