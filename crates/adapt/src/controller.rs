@@ -11,6 +11,7 @@ use crate::policy::{
     AdaptPolicy, CommRegionFocus, DropRecord, HotSmallExclusion, ImbalanceExpansion,
     OverheadBudget, PolicyCtx, ReinclusionProbe,
 };
+use capi_obs::Telemetry;
 use capi_persist::{DropState, FunctionRecord, InstrumentationProfile, ObjectRecord};
 use capi_xray::{PackedId, PatchDelta};
 use std::collections::{BTreeMap, BTreeSet};
@@ -147,6 +148,16 @@ pub struct AdaptController {
     converged_at: Option<usize>,
     first_converged_at: Option<usize>,
     stats: ControllerStats,
+    /// Self-telemetry ([`Self::set_telemetry`]): one `adapt.evaluate`
+    /// span per epoch plus an `adapt.decision` instant per drop,
+    /// demotion, probe and expansion.
+    telemetry: Option<Telemetry>,
+    /// Run-total sampled-skip count reported by the session layer
+    /// ([`Self::record_event_volume`]) — events withheld by 1-in-N
+    /// sampling of demoted functions.
+    sampled_skips: u64,
+    /// Run-total redundancy-suppressed event count (same source).
+    suppressed_events: u64,
 }
 
 impl AdaptController {
@@ -224,7 +235,27 @@ impl AdaptController {
             converged_at: None,
             first_converged_at: None,
             stats: ControllerStats::default(),
+            telemetry: None,
+            sampled_skips: 0,
+            suppressed_events: 0,
         }
+    }
+
+    /// Installs the run's telemetry instance: every subsequent
+    /// [`Self::on_epoch`] records an `adapt.evaluate` span and one
+    /// `adapt.decision` instant per drop/demote/probe/expand, each
+    /// carrying the action, function, policy and reason.
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.telemetry = Some(tel);
+    }
+
+    /// Accumulates the run's event-volume reduction counters (sampled
+    /// skips from demotions, redundancy-suppressed events) so the
+    /// [`Self::render_log`] summary accounts for every path by which
+    /// the event stream was thinned, not just drop decisions.
+    pub fn record_event_volume(&mut self, sampled_skips: u64, suppressed_events: u64) {
+        self.sampled_skips += sampled_skips;
+        self.suppressed_events += suppressed_events;
     }
 
     /// Seeds the active set (the functions patched at session start)
@@ -630,6 +661,10 @@ impl AdaptController {
     /// Consumes one epoch view and returns the IC delta to apply before
     /// the next epoch.
     pub fn on_epoch(&mut self, view: &EpochView) -> PatchDelta {
+        // Cloned upfront (an `Arc` bump) so telemetry calls don't
+        // borrow-conflict with the `&mut self` log/stats mutations.
+        let tel = self.telemetry.clone();
+        let span = tel.as_ref().map(|t| t.span("adapt.evaluate"));
         self.stats.epochs += 1;
         // Refresh names and last measured costs from the samples (probes
         // may surface functions begin() never saw; expansion estimates
@@ -761,6 +796,54 @@ impl AdaptController {
             ));
         }
 
+        if let Some(t) = &tel {
+            for &(id, pname, reason) in &drops {
+                t.instant(
+                    "adapt.decision",
+                    &[
+                        ("action", "drop".to_string()),
+                        ("function", self.display(id)),
+                        ("policy", pname.to_string()),
+                        ("reason", reason.to_string()),
+                    ],
+                );
+            }
+            for &(id, rate, pname, reason) in &demotes {
+                t.instant(
+                    "adapt.decision",
+                    &[
+                        ("action", "demote".to_string()),
+                        ("function", self.display(id)),
+                        ("policy", pname.to_string()),
+                        ("reason", reason.to_string()),
+                        ("rate", format!("1/{rate}")),
+                    ],
+                );
+            }
+            for &(id, pname) in &restores {
+                t.instant(
+                    "adapt.decision",
+                    &[
+                        ("action", "probe".to_string()),
+                        ("function", self.display(id)),
+                        ("policy", pname.to_string()),
+                    ],
+                );
+            }
+            for &(id, pname, reason, est) in &accepted {
+                t.instant(
+                    "adapt.decision",
+                    &[
+                        ("action", "expand".to_string()),
+                        ("function", self.display(id)),
+                        ("policy", pname.to_string()),
+                        ("reason", reason.to_string()),
+                        ("est_ns", est.to_string()),
+                    ],
+                );
+            }
+        }
+
         for &(id, pname, _) in &drops {
             self.active.remove(&id.raw());
             self.included_at.remove(&id.raw());
@@ -832,6 +915,15 @@ impl AdaptController {
             // pinned functions left): either way, not converged.
             self.converged_at = None;
         }
+        if let Some(span) = &span {
+            span.arg("epoch", view.epoch);
+            span.arg("overhead_pct", format!("{overhead:.3}"));
+            span.arg("active", self.active.len());
+            span.arg("events", view.events);
+            span.arg("drops", delta.unpatch.len());
+            span.arg("demotions", delta.set_rate.len());
+            span.arg("inclusions", delta.patch.len());
+        }
         delta
     }
 
@@ -897,9 +989,24 @@ impl AdaptController {
 
     /// The adaptation log as one newline-joined string — byte-identical
     /// across runs with the same seed, budget and measurements.
+    ///
+    /// Ends with a two-line summary accounting for every event-volume
+    /// reduction path: decision totals (drops, demotions, probes,
+    /// expansions) and the event-stream thinning counters reported via
+    /// [`Self::record_event_volume`]. All inputs are deterministic, so
+    /// the summary preserves the byte-identity guarantee.
     pub fn render_log(&self) -> String {
         let mut out = self.log.join("\n");
         out.push('\n');
+        let s = &self.stats;
+        out.push_str(&format!(
+            "summary: {} epochs, {} drops, {} demotions, {} probes, {} expansions ({} capped)\n",
+            s.epochs, s.drops, s.demotions, s.probes, s.expansions, s.expansions_capped
+        ));
+        out.push_str(&format!(
+            "event volume: {} sampled skips, {} suppressed events\n",
+            self.sampled_skips, self.suppressed_events
+        ));
         out
     }
 }

@@ -1,0 +1,92 @@
+//! Criterion bench: the self-telemetry registry's own hot operations.
+//!
+//! The registry watches the adaptation runtime, so its costs are the
+//! observability subsystem's overhead budget:
+//!
+//! * `counter-add-enabled` / `counter-add-disabled`: one striped
+//!   counter update vs the single-relaxed-load early return — the
+//!   disabled path must be near-free.
+//! * `histogram-observe`: bit-length bucketing plus three stripe
+//!   updates.
+//! * `span-create-drop`: one full span lifecycle (two logical-clock
+//!   ticks, one mutex-guarded record append and close).
+//! * `render-text`: the deterministic text export over a populated
+//!   registry (test-oracle path, not per-event).
+
+use capi_obs::{HistogramKind, Telemetry};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_obs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs");
+    group.sample_size(10);
+
+    {
+        let tel = Telemetry::new();
+        let counter = tel.counter("bench.counter");
+        group.bench_function("counter-add-enabled", |b| {
+            b.iter(|| {
+                for i in 0..10_000u64 {
+                    tel.add(black_box(counter), (i % 8) as u32, 1);
+                }
+            })
+        });
+    }
+
+    {
+        let tel = Telemetry::disabled();
+        let counter = tel.counter("bench.counter");
+        group.bench_function("counter-add-disabled", |b| {
+            b.iter(|| {
+                for i in 0..10_000u64 {
+                    tel.add(black_box(counter), (i % 8) as u32, 1);
+                }
+            })
+        });
+    }
+
+    {
+        let tel = Telemetry::new();
+        let hist = tel.histogram("bench.hist", HistogramKind::Logical);
+        group.bench_function("histogram-observe", |b| {
+            b.iter(|| {
+                for i in 0..10_000u64 {
+                    tel.observe(black_box(hist), (i % 8) as u32, i * 37);
+                }
+            })
+        });
+    }
+
+    {
+        let tel = Telemetry::new();
+        group.bench_function("span-create-drop", |b| {
+            b.iter(|| {
+                for _ in 0..1_000 {
+                    let span = tel.span("bench.span");
+                    black_box(&span);
+                }
+            })
+        });
+    }
+
+    {
+        let tel = Telemetry::new();
+        let counter = tel.counter("bench.counter");
+        let hist = tel.histogram("bench.hist", HistogramKind::Logical);
+        for i in 0..1_000u64 {
+            tel.add(counter, (i % 8) as u32, i);
+            tel.observe(hist, (i % 8) as u32, i * 13);
+        }
+        for _ in 0..100 {
+            let span = tel.span("bench.span");
+            drop(span);
+        }
+        group.bench_function("render-text", |b| {
+            b.iter(|| black_box(tel.render_text()).len())
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs);
+criterion_main!(benches);

@@ -1,0 +1,295 @@
+//! Generates **Table VIII — self-telemetry overhead** and the
+//! `BENCH_obs.json` artifact.
+//!
+//! The observability subsystem exists to watch the adaptation runtime,
+//! so it must prove it does not perturb the thing it watches. Three
+//! claims, each asserted (not just reported):
+//!
+//! * **Dispatch throughput**: the per-event fast path with telemetry
+//!   *enabled* stays within `CAPI_OBS_TOLERANCE_PCT` (default 2%) of a
+//!   runtime with no telemetry installed at all, and a *disabled*
+//!   instance costs the same — the fold-at-publish design keeps obs
+//!   calls off the per-event path entirely.
+//! * **Registry micro-cost**: a disabled registry update is a single
+//!   relaxed load; [`Telemetry::calibrate_update_ns`] reports both
+//!   enabled and disabled per-update costs so regressions are visible.
+//! * **Determinism**: two identical adaptive runs render byte-identical
+//!   telemetry text (logical clocks, wall time quarantined), and the
+//!   Chrome trace contains every lifecycle span the subsystem promises.
+//!
+//! Environment: `CAPI_OBS_EVENTS` (events per trial, default 100,000),
+//! `CAPI_OBS_TRIALS` (best-of-N, default 40), `CAPI_OBS_TOLERANCE_PCT`
+//! (default 2.0), `CAPI_RANKS` (default 8, adaptive run only),
+//! `CAPI_TABLE8_OUT` (output path, default `BENCH_obs.json`).
+
+use capi::{dynamic_session, InstrumentationConfig};
+use capi_appmodel::{LinkTarget, MpiCall, ProgramBuilder};
+use capi_bench::report::{out_path_from_env, write_report};
+use capi_bench::{
+    dispatch_fixture, dispatch_round_robin, obs_events_from_env, obs_tolerance_pct_from_env,
+    obs_trials_from_env, ranks_from_env, DispatchFixture,
+};
+use capi_dyncapi::{AdaptiveRunBuilder, ToolChoice};
+use capi_objmodel::{compile, Binary, CompileOptions};
+use capi_obs::Telemetry;
+use serde_json::{json, Value};
+use std::time::Instant;
+
+/// Lifecycle spans the Chrome trace must contain after an adaptive run
+/// that dropped at least one function.
+const EXPECTED_SPANS: [&str; 4] = [
+    "dyncapi.run",
+    "exec.epoch",
+    "adapt.evaluate",
+    "xray.repatch",
+];
+
+/// One dispatch-throughput configuration under test.
+struct Config {
+    label: &'static str,
+    fixture: DispatchFixture,
+    ids: Vec<capi_xray::PackedId>,
+    telemetry: Option<Telemetry>,
+    best_ns: u64,
+    dispatched: u64,
+}
+
+impl Config {
+    fn new(label: &'static str, telemetry: Option<Telemetry>) -> Self {
+        let mut fixture = dispatch_fixture(512);
+        if let Some(t) = &telemetry {
+            // Install before patching so the publish counters fold too.
+            fixture.runtime.set_telemetry(t.clone());
+        }
+        let ids = fixture.patch_fraction(1.0);
+        Self {
+            label,
+            fixture,
+            ids,
+            telemetry,
+            best_ns: u64::MAX,
+            dispatched: 0,
+        }
+    }
+
+    fn trial(&mut self, events: u64) {
+        let start = Instant::now();
+        self.dispatched += dispatch_round_robin(&self.fixture.runtime, &self.ids, 0, events);
+        self.best_ns = self.best_ns.min(start.elapsed().as_nanos() as u64);
+    }
+}
+
+/// Percent slowdown of `measured` against `baseline` (negative = noise
+/// made the measured config faster).
+fn overhead_pct(baseline_ns: u64, measured_ns: u64) -> f64 {
+    (measured_ns as f64 - baseline_ns as f64) / baseline_ns as f64 * 100.0
+}
+
+/// A small deep-call workload whose hot leaf blows the overhead budget,
+/// so the adaptive run exercises drop → repatch → publish (the spans
+/// the trace check below demands).
+fn app() -> Binary {
+    let mut b = ProgramBuilder::new("obs-bench");
+    b.unit("m.cc", LinkTarget::Executable);
+    b.function("main")
+        .main()
+        .statements(50)
+        .instructions(400)
+        .cost(1_000)
+        .calls("MPI_Init", 1)
+        .calls("step", 8)
+        .calls("MPI_Finalize", 1)
+        .finish();
+    b.function("step")
+        .statements(40)
+        .instructions(300)
+        .cost(500)
+        .calls("tiny_hot", 2_000)
+        .calls("work", 20)
+        .calls("MPI_Allreduce", 1)
+        .finish();
+    b.function("tiny_hot")
+        .statements(20)
+        .instructions(200)
+        .cost(3)
+        .finish();
+    b.function("work")
+        .statements(60)
+        .instructions(600)
+        .cost(2_000)
+        .imbalance(150)
+        .loop_depth(2)
+        .finish();
+    b.function("MPI_Init")
+        .statements(1)
+        .instructions(8)
+        .cost(0)
+        .mpi(MpiCall::Init)
+        .finish();
+    b.function("MPI_Allreduce")
+        .statements(1)
+        .instructions(8)
+        .cost(0)
+        .mpi(MpiCall::Allreduce { bytes: 64 })
+        .finish();
+    b.function("MPI_Finalize")
+        .statements(1)
+        .instructions(8)
+        .cost(0)
+        .mpi(MpiCall::Finalize)
+        .finish();
+    compile(&b.build().unwrap(), &CompileOptions::o2()).expect("table8 app compiles")
+}
+
+/// One fully-telemetered adaptive run; returns the deterministic text
+/// rendering and the Chrome trace JSON.
+fn adaptive_run(bin: &Binary, ranks: u32) -> (String, Value) {
+    let ic = InstrumentationConfig::from_names(["step", "tiny_hot", "work"]);
+    let mut session = dynamic_session(bin, &ic, ToolChoice::None, ranks).expect("session starts");
+    let tel = Telemetry::new();
+    AdaptiveRunBuilder::new()
+        .epochs(4)
+        .budget_pct(2.0)
+        .seed(0x5EED)
+        .telemetry(tel.clone())
+        .run(&mut session)
+        .expect("adaptive run succeeds");
+    (tel.render_text(), tel.chrome_trace_json())
+}
+
+/// Names of every span and instant in a Chrome trace.
+fn trace_names(trace: &Value) -> Vec<String> {
+    let mut names: Vec<String> = trace
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("trace has traceEvents")
+        .iter()
+        .filter_map(|e| e.get("name").and_then(Value::as_str))
+        .map(str::to_string)
+        .collect();
+    names.sort();
+    names.dedup();
+    names
+}
+
+fn main() {
+    let events = obs_events_from_env();
+    let trials = obs_trials_from_env();
+    let tolerance = obs_tolerance_pct_from_env();
+    let ranks = ranks_from_env();
+    let out_path = out_path_from_env("CAPI_TABLE8_OUT", "BENCH_obs.json");
+
+    println!("TABLE VIII — SELF-TELEMETRY OVERHEAD\n");
+    println!(
+        "{events} events/trial | best of {trials} interleaved trials | tolerance {tolerance}%"
+    );
+
+    // --- Dispatch throughput: absent vs disabled vs enabled ----------
+    let mut configs = [
+        Config::new("absent", None),
+        Config::new("disabled", Some(Telemetry::disabled())),
+        Config::new("enabled", Some(Telemetry::new())),
+    ];
+    // One warmup round, then interleaved timed trials so slow drift
+    // (thermal, scheduler) hits every configuration equally.
+    for cfg in &mut configs {
+        dispatch_round_robin(&cfg.fixture.runtime, &cfg.ids, 0, events.min(50_000));
+    }
+    for _ in 0..trials {
+        for cfg in &mut configs {
+            cfg.trial(events);
+        }
+    }
+
+    let baseline_ns = configs[0].best_ns;
+    println!("\nconfig     best_ns       Mevents/s  overhead");
+    let mut rows: Vec<Value> = Vec::new();
+    for cfg in &configs {
+        let mps = events as f64 / (cfg.best_ns as f64 / 1e9) / 1e6;
+        let over = overhead_pct(baseline_ns, cfg.best_ns);
+        println!(
+            "{:<9}  {:>12}  {mps:>9.1}  {over:>+7.2}%",
+            cfg.label, cfg.best_ns
+        );
+        rows.push(json!({
+            "config": cfg.label,
+            "best_ns": cfg.best_ns,
+            "throughput_mevents_per_s": mps,
+            "overhead_pct": over,
+        }));
+    }
+    let disabled_over = overhead_pct(baseline_ns, configs[1].best_ns);
+    let enabled_over = overhead_pct(baseline_ns, configs[2].best_ns);
+    assert!(
+        disabled_over <= tolerance,
+        "disabled telemetry costs {disabled_over:.2}% > {tolerance}% on the dispatch path"
+    );
+    assert!(
+        enabled_over <= tolerance,
+        "enabled telemetry costs {enabled_over:.2}% > {tolerance}% on the dispatch path"
+    );
+
+    // The enabled runtime folds its stripe totals into the registry at
+    // control points, never per event — prove the fold saw every
+    // dispatch without having charged the hot loop for it.
+    let enabled = &configs[2];
+    let tel = enabled.telemetry.as_ref().unwrap();
+    enabled.fixture.runtime.sync_telemetry();
+    let folded = tel.counter_value(tel.counter("xray.dispatches"));
+    let expected = enabled.dispatched + events.min(50_000);
+    assert_eq!(
+        folded, expected,
+        "folded dispatch counter must equal every event the loop dispatched"
+    );
+
+    // --- Registry micro-cost -----------------------------------------
+    let calib_iters = 1_000_000u64;
+    let enabled_update_ns = Telemetry::new().calibrate_update_ns(calib_iters);
+    let disabled_update_ns = Telemetry::disabled().calibrate_update_ns(calib_iters);
+    println!(
+        "\nregistry update: {enabled_update_ns:.2} ns enabled, \
+         {disabled_update_ns:.2} ns disabled (single relaxed load)"
+    );
+
+    // --- Deterministic adaptive double-run + trace shape -------------
+    let bin = app();
+    let (text_a, trace) = adaptive_run(&bin, ranks);
+    let (text_b, _) = adaptive_run(&bin, ranks);
+    assert_eq!(
+        text_a, text_b,
+        "identical adaptive runs must render byte-identical telemetry"
+    );
+    let names = trace_names(&trace);
+    for span in EXPECTED_SPANS {
+        assert!(
+            names.iter().any(|n| n == span),
+            "chrome trace is missing the `{span}` span (has: {names:?})"
+        );
+    }
+    println!(
+        "adaptive double-run: {} bytes of telemetry text, byte-identical; \
+         trace spans: {}",
+        text_a.len(),
+        names.join(", ")
+    );
+
+    let report = json!({
+        "table": "VIII",
+        "title": "self-telemetry overhead",
+        "events_per_trial": events,
+        "trials": trials,
+        "tolerance_pct": tolerance,
+        "dispatch": rows,
+        "registry": {
+            "calibration_iters": calib_iters,
+            "enabled_update_ns": enabled_update_ns,
+            "disabled_update_ns": disabled_update_ns,
+        },
+        "determinism": {
+            "text_bytes": text_a.len(),
+            "byte_identical": true,
+        },
+        "trace_span_names": names,
+    });
+    write_report(&out_path, &report);
+}

@@ -159,6 +159,37 @@ pub fn redundancy_ppm_from_env() -> u32 {
     parse_positive_usize(std::env::var("CAPI_REDUNDANCY_PPM").ok(), 0) as u32
 }
 
+/// Events per throughput trial for the `table8` self-telemetry overhead
+/// comparison, from `CAPI_OBS_EVENTS` (default 100,000).
+///
+/// Unparseable or zero values fall back to the default; a zero-event
+/// trial measures nothing.
+pub fn obs_events_from_env() -> u64 {
+    parse_positive_usize(std::env::var("CAPI_OBS_EVENTS").ok(), 100_000) as u64
+}
+
+/// Interleaved trial count for the `table8` throughput comparison, from
+/// `CAPI_OBS_TRIALS` (default 40). Each configuration keeps its best
+/// (fastest) trial; many short interleaved trials converge on a clean
+/// scheduling window far more reliably than a few long ones.
+///
+/// Unparseable or zero values fall back to the default; best-of-zero is
+/// undefined.
+pub fn obs_trials_from_env() -> usize {
+    parse_positive_usize(std::env::var("CAPI_OBS_TRIALS").ok(), 40)
+}
+
+/// Tolerated dispatch-throughput overhead (percent) for telemetry in
+/// `table8`, from `CAPI_OBS_TOLERANCE_PCT` (default 2.0) — the bound the
+/// binary *asserts*, so CI fails if telemetry ever grows a per-event
+/// cost.
+///
+/// Unparseable, zero or negative values fall back to the default; a
+/// zero tolerance would fail on pure scheduler noise.
+pub fn obs_tolerance_pct_from_env() -> f64 {
+    parse_positive_f64(std::env::var("CAPI_OBS_TOLERANCE_PCT").ok(), 2.0)
+}
+
 fn parse_positive_usize(var: Option<String>, default: usize) -> usize {
     var.and_then(|v| v.parse().ok())
         .filter(|&n| n > 0)

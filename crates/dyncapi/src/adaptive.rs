@@ -22,6 +22,7 @@ use capi_exec::{Engine, EpochSpec};
 use capi_mpisim::World;
 use capi_persist::{
     fingerprint_object, plan_object_matches, InstrumentationProfile, ObjectMatch, ObjectRecord,
+    PersistError,
 };
 use capi_talp::EfficiencyReport;
 use capi_xray::PackedId;
@@ -39,9 +40,11 @@ use std::sync::Arc;
 pub enum WarmStart<'a> {
     /// Seed the controller from this profile before epoch 0.
     Profile(&'a InstrumentationProfile),
-    /// A profile was requested but could not be loaded; the string is
-    /// the reason, logged verbatim into the adaptation log.
-    Unavailable(String),
+    /// A profile was requested but could not be loaded; the typed error
+    /// says *why* (missing file, truncation, schema mismatch, wrong
+    /// kind), is rendered into the adaptation log, and tags the
+    /// telemetry cold-start instant with its [`PersistError::kind`].
+    Unavailable(PersistError),
 }
 
 /// What the warm start actually did (also summarized in the log).
@@ -186,6 +189,12 @@ impl Session {
         redundancy_ppm: u32,
     ) -> Result<AdaptiveRun, DynCapiError> {
         let epochs = epochs.max(1);
+        // The runtime's instance is authoritative (set-once): a builder
+        // installing a second telemetry on a reused runtime reports into
+        // the one the runtime actually folds its counters into.
+        let tel = self.runtime.telemetry().cloned();
+        let run_span = tel.as_ref().map(|t| t.span("dyncapi.run"));
+        let run_wall = std::time::Instant::now();
         let world = World::new(self.config.ranks, self.config.mpi_cost);
         if let Some(talp) = &self.talp {
             world.add_hook(talp.clone());
@@ -204,9 +213,12 @@ impl Session {
             // Re-prepare against the current patch state: the snapshot
             // and quiet-subtree analysis pick up the last delta (and,
             // at epoch 0, the warm-start batch).
-            let engine = Engine::prepare(&self.process, &self.runtime, self.config.overhead)
+            let mut engine = Engine::prepare(&self.process, &self.runtime, self.config.overhead)
                 .map_err(DynCapiError::Exec)?
                 .with_redundancy_ppm(redundancy_ppm);
+            if let Some(t) = &tel {
+                engine = engine.with_telemetry(t.clone());
+            }
             if !initialized {
                 initialized = true;
                 // Setup: seed the controller from the startup patch
@@ -242,9 +254,17 @@ impl Session {
                 // cold runs reuse the engine for epoch 0 directly.
                 match warm.take() {
                     None => {}
-                    Some(WarmStart::Unavailable(reason)) => {
-                        controller
-                            .log_note(&format!("warm start unavailable: {reason} — cold start"));
+                    Some(WarmStart::Unavailable(err)) => {
+                        controller.log_note(&format!("warm start unavailable: {err} — cold start"));
+                        if let Some(t) = &tel {
+                            t.instant(
+                                "dyncapi.cold_start",
+                                &[
+                                    ("kind", err.kind().to_string()),
+                                    ("reason", err.to_string()),
+                                ],
+                            );
+                        }
                     }
                     Some(WarmStart::Profile(profile)) => {
                         drop(engine);
@@ -255,6 +275,22 @@ impl Session {
                         let warm_ns = repatch_cost_ns(&self.config.init_costs, &rep);
                         summary.summary.adapt_ns = warm_ns;
                         adapt_ns += warm_ns;
+                        if let Some(t) = &tel {
+                            let s = &summary.summary;
+                            t.instant(
+                                "dyncapi.warm_start",
+                                &[
+                                    ("objects_unchanged", s.objects_unchanged.to_string()),
+                                    ("objects_remapped", s.objects_remapped.to_string()),
+                                    ("objects_rebuilt", s.objects_rebuilt.to_string()),
+                                    ("objects_missing", s.objects_missing.to_string()),
+                                    ("functions_rebound", s.functions_rebound.to_string()),
+                                    ("pre_trimmed", s.seed.pre_trimmed.to_string()),
+                                    ("pre_grown", s.seed.pre_grown.to_string()),
+                                    ("adapt_ns", s.adapt_ns.to_string()),
+                                ],
+                            );
+                        }
                         warm_summary = Some(summary.summary);
                         continue;
                     }
@@ -335,6 +371,19 @@ impl Session {
             epoch += 1;
         }
         let run_ns = clocks.iter().copied().max().unwrap_or(0);
+        // Fold the run's event-volume reductions into the adaptation-log
+        // summary and sync the dispatch counters into the registry one
+        // final time (they were last synced at the final publish).
+        controller.record_event_volume(skips, suppressed);
+        self.runtime.sync_telemetry();
+        if let Some(span) = &run_span {
+            span.arg("epochs", records.len());
+            span.arg("events", events);
+            span.arg("run_ns", run_ns);
+            span.arg("t_init_ns", self.report.init_ns);
+            span.arg("t_adapt_ns", adapt_ns);
+            span.wall_ns(run_wall.elapsed().as_nanos() as u64);
+        }
         Ok(AdaptiveRun {
             records,
             per_rank_ns: clocks,
@@ -967,15 +1016,18 @@ mod tests {
             .run_with_controller(
                 &mut s,
                 &mut c,
-                Some(WarmStart::Unavailable(
-                    "schema version 9, expected 2".into(),
-                )),
+                Some(WarmStart::Unavailable(PersistError::SchemaMismatch {
+                    found: 9,
+                    expected: 2,
+                })),
             )
             .unwrap();
         assert!(run.warm.is_none());
         let log = c.render_log();
         assert!(
-            log.contains("warm start unavailable: schema version 9, expected 2 — cold start"),
+            log.contains(
+                "warm start unavailable: profile schema version 9, expected 2 — cold start"
+            ),
             "fallback reason is in the adaptation log:\n{log}"
         );
         // And the cold run proceeded normally.

@@ -25,6 +25,7 @@
 use crate::adaptive::{efficiency_summary, AdaptiveRun, WarmStart};
 use crate::startup::{DynCapiError, Session};
 use capi_adapt::{AdaptConfig, AdaptController, ExpansionOptions};
+use capi_obs::Telemetry;
 use capi_persist::InstrumentationProfile;
 use std::path::PathBuf;
 
@@ -96,6 +97,7 @@ pub struct AdaptiveRunBuilder {
     max_sample_rate: u32,
     redundancy_ppm: Option<u32>,
     profile: ProfileSource,
+    telemetry: Option<Telemetry>,
 }
 
 impl Default for AdaptiveRunBuilder {
@@ -108,6 +110,7 @@ impl Default for AdaptiveRunBuilder {
             max_sample_rate: 0,
             redundancy_ppm: None,
             profile: ProfileSource::None,
+            telemetry: None,
         }
     }
 }
@@ -168,6 +171,17 @@ impl AdaptiveRunBuilder {
         self
     }
 
+    /// Self-telemetry for the run: spans over the adaptation lifecycle
+    /// (run → epoch → policy evaluation → repatch/publish → profile
+    /// IO), dispatch counters folded into the registry, and — when
+    /// `CAPI_TRACE_OUT` is set — a Chrome trace written at run end.
+    /// Without an explicit instance, [`Self::run`] falls back to
+    /// [`Telemetry::from_env`] (`CAPI_TELEMETRY` / `CAPI_TRACE_OUT`).
+    pub fn telemetry(mut self, tel: Telemetry) -> Self {
+        self.telemetry = Some(tel);
+        self
+    }
+
     /// Builds the controller this configuration describes: the standard
     /// policy stack with optional expansion and demotion-to-sampled.
     pub fn build_controller(&self) -> AdaptController {
@@ -192,6 +206,10 @@ impl AdaptiveRunBuilder {
         controller: &mut AdaptController,
         warm: Option<WarmStart<'_>>,
     ) -> Result<AdaptiveRun, DynCapiError> {
+        if let Some(t) = &self.telemetry {
+            session.runtime.set_telemetry(t.clone());
+            controller.set_telemetry(t.clone());
+        }
         let ppm = self.redundancy_ppm.unwrap_or(session.config.redundancy_ppm);
         session.run_adaptive_inner(controller, self.epochs, warm, ppm)
     }
@@ -203,16 +221,30 @@ impl AdaptiveRunBuilder {
     /// the converged functions with their sampling rates.
     pub fn run(&self, session: &mut Session) -> Result<AdaptiveOutcome, DynCapiError> {
         let mut controller = self.build_controller();
+        // Resolve telemetry once: the explicit instance wins, else the
+        // environment knobs; install it before any profile IO so the
+        // load span lands inside the same registry as the run.
+        let tel = self.telemetry.clone().or_else(Telemetry::from_env);
+        if let Some(t) = &tel {
+            session.runtime.set_telemetry(t.clone());
+            controller.set_telemetry(t.clone());
+        }
+        // The runtime's instance is authoritative on reused runtimes
+        // (set-once); report profile IO into the same registry the run
+        // spans land in.
+        let tel = session.runtime.telemetry().cloned().or(tel);
         // Only the Path source needs an owned load; Inline is borrowed
         // directly from the builder.
         let loaded = match &self.profile {
-            ProfileSource::Path(path) => Some(InstrumentationProfile::load(path)),
+            ProfileSource::Path(path) => {
+                Some(InstrumentationProfile::load_with(path, tel.as_ref()))
+            }
             _ => None,
         };
         let warm = match (&self.profile, loaded.as_ref()) {
             (ProfileSource::Inline(p), _) => Some(WarmStart::Profile(p)),
             (_, Some(Ok(p))) => Some(WarmStart::Profile(p)),
-            (_, Some(Err(e))) => Some(WarmStart::Unavailable(e.to_string())),
+            (_, Some(Err(e))) => Some(WarmStart::Unavailable(e.clone())),
             _ => None,
         };
         let warm_started = matches!(warm, Some(WarmStart::Profile(_)));
@@ -220,8 +252,13 @@ impl AdaptiveRunBuilder {
         let mut profile = controller.export_profile(session.object_records());
         profile.efficiency = efficiency_summary(&adaptive.efficiency);
         if let ProfileSource::Path(path) = &self.profile {
-            if let Err(e) = profile.save(path) {
+            if let Err(e) = profile.save_with(path, tel.as_ref()) {
                 controller.log_note(&format!("profile save failed: {e}"));
+            }
+        }
+        if let (Some(t), Some(trace_path)) = (&tel, capi_obs::trace_out_from_env()) {
+            if let Err(e) = t.write_chrome_trace(&trace_path) {
+                controller.log_note(&format!("trace write failed ({trace_path}): {e}"));
             }
         }
         let final_functions = controller

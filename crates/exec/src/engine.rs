@@ -3,6 +3,7 @@
 use capi_appmodel::MpiCall;
 use capi_mpisim::{MpiError, MpiOp, World};
 use capi_objmodel::{DispatchKind, Process};
+use capi_obs::{GaugeId, Telemetry};
 use capi_xray::{EventKind, PackedId, PatchSnapshot, XRayError, XRayRuntime};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -164,6 +165,19 @@ pub struct Engine<'p> {
     /// Redundancy-suppression band in parts per million; 0 disables the
     /// band entirely (byte-identical to a build without it).
     redundancy_ppm: u32,
+    /// Self-telemetry wiring ([`Engine::with_telemetry`]); epoch spans
+    /// and per-epoch event-volume gauges. `None` costs nothing.
+    obs: Option<ExecObs>,
+}
+
+/// Telemetry handles the engine reports through: one span per epoch
+/// plus gauges tracking the per-epoch event volume and its reduction
+/// paths (sampling skips, redundancy suppression).
+struct ExecObs {
+    tel: Telemetry,
+    g_events: GaugeId,
+    g_skips: GaugeId,
+    g_suppressed: GaugeId,
 }
 
 impl<'p> Engine<'p> {
@@ -238,6 +252,7 @@ impl<'p> Engine<'p> {
             quiet,
             schedule,
             redundancy_ppm: 0,
+            obs: None,
         })
     }
 
@@ -249,6 +264,20 @@ impl<'p> Engine<'p> {
     /// byte-identical to an engine without it.
     pub fn with_redundancy_ppm(mut self, ppm: u32) -> Self {
         self.redundancy_ppm = ppm;
+        self
+    }
+
+    /// Wires the run's telemetry: each [`Self::run_epoch`] then records
+    /// an `exec.epoch` span and per-epoch event-volume gauges. Gauge
+    /// registration is idempotent by name, so re-preparing the engine
+    /// every epoch (the adaptation loop does) reuses the same slots.
+    pub fn with_telemetry(mut self, tel: Telemetry) -> Self {
+        self.obs = Some(ExecObs {
+            g_events: tel.gauge("exec.epoch_events"),
+            g_skips: tel.gauge("exec.epoch_sampled_skips"),
+            g_suppressed: tel.gauge("exec.epoch_suppressed_events"),
+            tel,
+        });
         self
     }
 
@@ -355,6 +384,8 @@ impl<'p> Engine<'p> {
             world.size() as usize,
             "one start clock per rank"
         );
+        let span = self.obs.as_ref().map(|o| o.tel.span("exec.epoch"));
+        let wall_start = std::time::Instant::now();
         let sched = &self.schedule;
         let (trips_lo, trips_hi) = match sched.loop_pos {
             Some(_) => (
@@ -519,6 +550,19 @@ impl<'p> Engine<'p> {
             });
         }
         talp_samples.sort_by_key(|s| s.id.raw());
+        if let Some(o) = &self.obs {
+            o.tel.set(o.g_events, events);
+            o.tel.set(o.g_skips, skips);
+            o.tel.set(o.g_suppressed, suppressed);
+            if let Some(span) = &span {
+                span.arg("index", spec.index);
+                span.arg("total", spec.total);
+                span.arg("events", events);
+                span.arg("epoch_ns", epoch_ns);
+                span.arg("inst_ns", inst_ns);
+                span.wall_ns(wall_start.elapsed().as_nanos() as u64);
+            }
+        }
         Ok(EpochOutcome {
             per_rank_ns: per_rank,
             epoch_ns,

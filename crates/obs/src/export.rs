@@ -1,0 +1,371 @@
+//! Exporters: the byte-deterministic text rendering for tests and the
+//! Chrome trace-event JSON file for humans.
+
+use crate::registry::{Telemetry, HIST_BUCKETS, STRIPES};
+use crate::HistogramKind;
+use serde_json::{json, Value};
+use std::fmt::Write as _;
+use std::sync::atomic::Ordering;
+
+/// A merged counter value at snapshot time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Registered name.
+    pub name: String,
+    /// Sum over all stripes.
+    pub value: u64,
+}
+
+/// A gauge's last-written value at snapshot time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GaugeSnapshot {
+    /// Registered name.
+    pub name: String,
+    /// Last value stored.
+    pub value: u64,
+}
+
+/// A merged histogram at snapshot time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Registered name.
+    pub name: String,
+    /// Determinism class fixed at registration.
+    pub kind: HistogramKind,
+    /// Total samples over all stripes.
+    pub count: u64,
+    /// Sum of all samples over all stripes.
+    pub sum: u64,
+    /// Per-bucket sample counts (bucket = value bit length).
+    pub buckets: Vec<u64>,
+}
+
+/// All metrics merged across stripes, each section sorted by name —
+/// the deterministic readback the exporters are built from.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counters, sorted by name.
+    pub counters: Vec<CounterSnapshot>,
+    /// Gauges, sorted by name.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl Telemetry {
+    /// Merges every registered metric across stripes into a snapshot
+    /// whose ordering (name-sorted) and values (commutative sums) are
+    /// independent of rank interleaving.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let dir = self.inner.directory.lock();
+        let mut counters: Vec<CounterSnapshot> = dir
+            .counters
+            .iter()
+            .enumerate()
+            .map(|(i, name)| CounterSnapshot {
+                name: name.clone(),
+                value: self
+                    .inner
+                    .stripes
+                    .iter()
+                    .map(|s| s.counters[i].load(Ordering::Relaxed))
+                    .sum(),
+            })
+            .collect();
+        let mut gauges: Vec<GaugeSnapshot> = dir
+            .gauges
+            .iter()
+            .enumerate()
+            .map(|(i, name)| GaugeSnapshot {
+                name: name.clone(),
+                value: self.inner.gauges[i].load(Ordering::Relaxed),
+            })
+            .collect();
+        let mut histograms: Vec<HistogramSnapshot> = dir
+            .histograms
+            .iter()
+            .enumerate()
+            .map(|(i, (name, kind))| {
+                let mut buckets = vec![0u64; HIST_BUCKETS];
+                let mut count = 0u64;
+                let mut sum = 0u64;
+                for s in self.inner.stripes.iter() {
+                    count += s.hist_count[i].load(Ordering::Relaxed);
+                    sum += s.hist_sum[i].load(Ordering::Relaxed);
+                    for (b, slot) in buckets.iter_mut().enumerate() {
+                        *slot += s.hist_buckets[i][b].load(Ordering::Relaxed);
+                    }
+                }
+                HistogramSnapshot {
+                    name: name.clone(),
+                    kind: *kind,
+                    count,
+                    sum,
+                    buckets,
+                }
+            })
+            .collect();
+        counters.sort_by(|a, b| a.name.cmp(&b.name));
+        gauges.sort_by(|a, b| a.name.cmp(&b.name));
+        histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
+    /// The byte-deterministic text rendering: span tree with logical
+    /// ticks and deterministic args, then name-sorted metric sections.
+    /// Wall-clock data (span `wall_ns`, [`HistogramKind::Wall`] sums
+    /// and buckets) is omitted, so two identical runs render
+    /// byte-identical text.
+    pub fn render_text(&self) -> String {
+        let snap = self.metrics();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# capi-obs telemetry ({} logical ticks, {} stripes)",
+            self.inner.clock.load(Ordering::Relaxed),
+            STRIPES
+        );
+        {
+            let log = self.inner.spans.lock();
+            if !log.records.is_empty() {
+                out.push_str("spans:\n");
+                for r in &log.records {
+                    let _ = write!(out, "  {}", "  ".repeat(r.depth));
+                    if r.instant {
+                        let _ = write!(out, "! {} [{}]", r.name, r.start);
+                    } else {
+                        let _ = write!(out, "{} [{}-{}]", r.name, r.start, r.end);
+                    }
+                    for (k, v) in &r.args {
+                        let _ = write!(out, " {k}={v}");
+                    }
+                    out.push('\n');
+                }
+            }
+        }
+        if !snap.counters.is_empty() {
+            out.push_str("counters:\n");
+            for c in &snap.counters {
+                let _ = writeln!(out, "  {} = {}", c.name, c.value);
+            }
+        }
+        if !snap.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for g in &snap.gauges {
+                let _ = writeln!(out, "  {} = {}", g.name, g.value);
+            }
+        }
+        if !snap.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            for h in &snap.histograms {
+                match h.kind {
+                    HistogramKind::Logical => {
+                        let _ = write!(out, "  {}: count={} sum={}", h.name, h.count, h.sum);
+                        let nonzero: Vec<String> = h
+                            .buckets
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, n)| **n > 0)
+                            .map(|(b, n)| format!("b{b}:{n}"))
+                            .collect();
+                        if !nonzero.is_empty() {
+                            let _ = write!(out, " buckets{{{}}}", nonzero.join(" "));
+                        }
+                        out.push('\n');
+                    }
+                    HistogramKind::Wall => {
+                        // Wall sums/buckets are nondeterministic: count only.
+                        let _ = writeln!(out, "  {}: count={} [wall]", h.name, h.count);
+                    }
+                }
+            }
+        }
+        let stats = self.self_stats();
+        let _ = writeln!(
+            out,
+            "self:\n  metric_updates = {}\n  span_events = {}",
+            stats.metric_updates, stats.span_events
+        );
+        out
+    }
+
+    /// The Chrome trace-event JSON document (`chrome://tracing` /
+    /// Perfetto format): complete (`"X"`) events for spans — `ts` in
+    /// logical ticks, with measured `wall_ns` attached as an arg where
+    /// recorded — instant (`"i"`) events for point decisions, and
+    /// counter (`"C"`) tracks for every gauge update plus final merged
+    /// counter values.
+    pub fn chrome_trace_json(&self) -> Value {
+        let mut events: Vec<Value> = vec![json!({
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "args": {"name": "capi adaptation runtime"},
+        })];
+        let gauge_names: Vec<String> = self.inner.directory.lock().gauges.clone();
+        let final_tick = self.inner.clock.load(Ordering::Relaxed);
+        {
+            let log = self.inner.spans.lock();
+            for r in &log.records {
+                let mut args = serde_json::Map::new();
+                for (k, v) in &r.args {
+                    args.insert((*k).to_string(), Value::String(v.clone()));
+                }
+                if r.instant {
+                    events.push(json!({
+                        "name": r.name, "ph": "i", "s": "t",
+                        "pid": 1, "tid": 1, "ts": r.start,
+                        "args": Value::Object(args),
+                    }));
+                } else {
+                    if let Some(ns) = r.wall_ns {
+                        args.insert("wall_ns".to_string(), json!(ns));
+                    }
+                    events.push(json!({
+                        "name": r.name, "ph": "X",
+                        "pid": 1, "tid": 1, "ts": r.start,
+                        "dur": (r.end.saturating_sub(r.start)).max(1),
+                        "args": Value::Object(args),
+                    }));
+                }
+            }
+            for &(g, tick, value) in &log.gauge_points {
+                let name = gauge_names.get(g).map(String::as_str).unwrap_or("gauge");
+                events.push(json!({
+                    "name": name, "ph": "C", "pid": 1, "tid": 1, "ts": tick,
+                    "args": {"value": value},
+                }));
+            }
+        }
+        for c in &self.metrics().counters {
+            events.push(json!({
+                "name": c.name, "ph": "C", "pid": 1, "tid": 1, "ts": final_tick,
+                "args": {"value": c.value},
+            }));
+        }
+        json!({
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {"clock": "logical-ticks", "source": "capi-obs"},
+        })
+    }
+
+    /// Serialises [`Self::chrome_trace_json`] to `path` (pretty-printed
+    /// with a trailing newline).
+    pub fn write_chrome_trace(&self, path: &str) -> std::io::Result<()> {
+        let mut text = serde_json::to_string_pretty(&self.chrome_trace_json())
+            .expect("chrome trace document is always serialisable");
+        text.push('\n');
+        std::fs::write(path, text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{HistogramKind, Telemetry};
+
+    fn sample_run(t: &Telemetry) {
+        let c = t.counter("xray.dispatches");
+        let g = t.gauge("exec.events");
+        let h = t.histogram("virtual_ns", HistogramKind::Logical);
+        let w = t.histogram("publish_wall", HistogramKind::Wall);
+        {
+            let run = t.span("dyncapi.run");
+            run.arg("epochs", 2);
+            {
+                let e = t.span("exec.epoch");
+                e.arg("index", 0);
+                e.wall_ns(123_456);
+                t.instant("adapt.decision", &[("action", "drop".to_string())]);
+            }
+            t.add(c, 0, 10);
+            t.add(c, 3, 5);
+            t.observe(h, 1, 700);
+            t.observe_control(w, 42);
+            t.set(g, 9000);
+        }
+    }
+
+    #[test]
+    fn text_rendering_is_byte_identical_across_runs() {
+        let a = Telemetry::new();
+        let b = Telemetry::new();
+        sample_run(&a);
+        sample_run(&b);
+        let ra = a.render_text();
+        assert_eq!(ra, b.render_text());
+        assert!(ra.contains("dyncapi.run [0-"));
+        assert!(ra.contains("! adapt.decision"));
+        assert!(ra.contains("xray.dispatches = 15"));
+        assert!(ra.contains("publish_wall: count=1 [wall]"));
+        // Wall values are quarantined out of the text rendering.
+        assert!(!ra.contains("123456") && !ra.contains("wall_ns"));
+    }
+
+    #[test]
+    fn chrome_trace_has_spans_instants_and_counters() {
+        let t = Telemetry::new();
+        sample_run(&t);
+        let doc = t.chrome_trace_json();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let name_of =
+            |e: &serde_json::Value| e.get("name").and_then(|n| n.as_str()).map(str::to_string);
+        let names: Vec<String> = events.iter().filter_map(name_of).collect();
+        for expect in [
+            "dyncapi.run",
+            "exec.epoch",
+            "adapt.decision",
+            "exec.events",
+            "xray.dispatches",
+        ] {
+            assert!(
+                names.iter().any(|n| n == expect),
+                "missing {expect} in {names:?}"
+            );
+        }
+        let epoch = events
+            .iter()
+            .find(|e| name_of(e).as_deref() == Some("exec.epoch"))
+            .unwrap();
+        assert_eq!(epoch.get("ph").unwrap().as_str(), Some("X"));
+        let wall = epoch.get("args").unwrap().get("wall_ns").unwrap();
+        assert_eq!(wall.as_u64(), Some(123_456));
+        let decision = events
+            .iter()
+            .find(|e| name_of(e).as_deref() == Some("adapt.decision"))
+            .unwrap();
+        assert_eq!(decision.get("ph").unwrap().as_str(), Some("i"));
+        let action = decision.get("args").unwrap().get("action").unwrap();
+        assert_eq!(action.as_str(), Some("drop"));
+    }
+
+    #[test]
+    fn write_chrome_trace_emits_parseable_json() {
+        let t = Telemetry::new();
+        sample_run(&t);
+        let path = std::env::temp_dir().join(format!("capi_obs_trace_{}.json", std::process::id()));
+        let path = path.to_str().unwrap().to_string();
+        t.write_chrome_trace(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert!(doc.get("traceEvents").unwrap().as_array().unwrap().len() > 3);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn metrics_snapshot_sections_are_name_sorted() {
+        let t = Telemetry::new();
+        t.counter("zeta");
+        t.counter("alpha");
+        t.gauge("mid");
+        t.gauge("aaa");
+        let snap = t.metrics();
+        assert_eq!(snap.counters[0].name, "alpha");
+        assert_eq!(snap.counters[1].name, "zeta");
+        assert_eq!(snap.gauges[0].name, "aaa");
+    }
+}

@@ -1,0 +1,68 @@
+//! Self-telemetry for the adaptation runtime itself.
+//!
+//! The paper's whole argument is that instrumentation overhead must be
+//! *measured*, not assumed — and that has to include the meta-level:
+//! the controller, the repatcher, the epoch engine and the profile IO
+//! are themselves runtime machinery whose costs (`T_init`, `T_adapt`,
+//! quiescence waits, publish latency) need first-class observability.
+//! This crate is that substrate:
+//!
+//! * a **lock-free metrics registry** — counters and histograms striped
+//!   per rank over cache-padded slots (merged by commutative sums, so
+//!   totals are independent of rank interleaving, exactly like the
+//!   event log's `(rank, seq)` merge), plus control-plane gauges;
+//! * **structured spans** for the adaptation lifecycle (run → epoch →
+//!   policy evaluation → repatch/RCU publish → profile load/save),
+//!   timestamped with a *logical* clock so the rendering is
+//!   deterministic;
+//! * two **exporters**: a byte-deterministic text rendering for tests
+//!   ([`Telemetry::render_text`]) and a Chrome trace-event JSON file
+//!   for humans ([`Telemetry::write_chrome_trace`], wired to the
+//!   `CAPI_TRACE_OUT` environment knob).
+//!
+//! # Overhead discipline
+//!
+//! The registry measures its own cost: every mutation bumps a
+//! per-stripe self-accounting counter (see [`Telemetry::self_stats`])
+//! and [`Telemetry::calibrate_update_ns`] times the per-operation wall
+//! cost on demand. When telemetry is disabled the hot-path entry of
+//! every metric operation is a **single relaxed load** and an early
+//! return — cheap enough to leave the call sites in release builds.
+//! Deliberately, the dispatch fast path itself never calls into this
+//! crate per event: `capi-xray` keeps counting on its own stripes and
+//! *folds* the totals into the registry at publish/quiescence points,
+//! so enabling telemetry does not tax per-event dispatch at all (the
+//! `table8` artifact proves the bound).
+//!
+//! # Determinism contract
+//!
+//! Spans and instants are control-thread operations ordered by the
+//! logical clock; metric updates never touch the clock. Wall-time
+//! measurements ([`SpanGuard::wall_ns`], [`HistogramKind::Wall`]
+//! histograms) are quarantined: they appear in the Chrome trace for
+//! humans but the text rendering shows only their deterministic parts
+//! (span structure, logical ticks, sample counts) — so two identical
+//! runs render byte-identical text even though their wall timings
+//! differ.
+
+#![warn(missing_docs)]
+
+mod export;
+mod registry;
+mod span;
+
+pub use export::{CounterSnapshot, GaugeSnapshot, HistogramSnapshot, MetricsSnapshot};
+pub use registry::{
+    CounterId, GaugeId, HistogramId, HistogramKind, SelfStats, Telemetry, HIST_BUCKETS,
+    MAX_COUNTERS, MAX_GAUGES, MAX_HISTOGRAMS, STRIPES,
+};
+pub use span::SpanGuard;
+
+/// The output path selected by the `CAPI_TRACE_OUT` environment knob:
+/// `Some(path)` when set and non-empty, `None` otherwise.
+pub fn trace_out_from_env() -> Option<String> {
+    match std::env::var("CAPI_TRACE_OUT") {
+        Ok(p) if !p.trim().is_empty() => Some(p),
+        _ => None,
+    }
+}

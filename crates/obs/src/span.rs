@@ -1,0 +1,192 @@
+//! Structured spans over the adaptation lifecycle, ordered by a
+//! logical clock.
+//!
+//! Spans are strictly control-plane: the adaptive run's control thread
+//! opens one per lifecycle phase (run, epoch, policy evaluation,
+//! repatch, profile IO) and the RAII guard closes it. Each begin/end
+//! advances the shared logical clock by one tick, which is what makes
+//! the text exporter byte-deterministic — wall time never orders
+//! anything.
+
+use crate::registry::Telemetry;
+use std::fmt::Display;
+use std::sync::atomic::Ordering;
+
+/// One recorded span (or instant) in creation order.
+pub(crate) struct SpanRecord {
+    pub(crate) name: &'static str,
+    /// Nesting depth at creation (number of open ancestors).
+    pub(crate) depth: usize,
+    /// Logical tick at which the span opened.
+    pub(crate) start: u64,
+    /// Logical tick at which the span closed (== `start` for instants
+    /// and for spans still open at export time).
+    pub(crate) end: u64,
+    /// Deterministic key/value annotations, rendered by both exporters.
+    pub(crate) args: Vec<(&'static str, String)>,
+    /// Quarantined wall-clock duration: Chrome trace only.
+    pub(crate) wall_ns: Option<u64>,
+    pub(crate) instant: bool,
+}
+
+/// The span log plus the gauge-over-time track, behind one mutex
+/// (control-plane only, never on the dispatch path).
+#[derive(Default)]
+pub(crate) struct SpanLog {
+    pub(crate) records: Vec<SpanRecord>,
+    /// Indices of currently-open spans, innermost last.
+    pub(crate) stack: Vec<usize>,
+    /// `(gauge index, logical tick, value)` — every `set()`, in order,
+    /// so the Chrome trace can plot gauges as counter tracks.
+    pub(crate) gauge_points: Vec<(usize, u64, u64)>,
+}
+
+/// RAII guard for an open span: closing happens on drop. Obtained from
+/// [`Telemetry::span`]; inert (a no-op carrying no allocation) when the
+/// telemetry instance was disabled at creation time.
+pub struct SpanGuard {
+    /// `None` when telemetry was disabled — every method is then a
+    /// no-op and drop does nothing.
+    state: Option<(Telemetry, usize)>,
+}
+
+impl SpanGuard {
+    /// Attaches a deterministic key/value annotation, rendered by both
+    /// the text and Chrome exporters. Values must therefore be
+    /// reproducible quantities (virtual times, counts, names, reasons)
+    /// — wall measurements go through [`Self::wall_ns`] instead.
+    pub fn arg(&self, key: &'static str, value: impl Display) {
+        if let Some((tel, idx)) = &self.state {
+            tel.inner.spans.lock().records[*idx]
+                .args
+                .push((key, value.to_string()));
+        }
+    }
+
+    /// Attaches the span's measured wall-clock duration. Quarantined:
+    /// exported only to the Chrome trace, never to the deterministic
+    /// text rendering.
+    pub fn wall_ns(&self, ns: u64) {
+        if let Some((tel, idx)) = &self.state {
+            tel.inner.spans.lock().records[*idx].wall_ns = Some(ns);
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((tel, idx)) = self.state.take() {
+            let end = tel.inner.clock.fetch_add(1, Ordering::Relaxed);
+            tel.inner.span_events.fetch_add(1, Ordering::Relaxed);
+            let mut log = tel.inner.spans.lock();
+            log.records[idx].end = end;
+            log.stack.retain(|&i| i != idx);
+        }
+    }
+}
+
+impl Telemetry {
+    /// Opens a span; it closes when the returned guard drops. When the
+    /// instance is disabled this is a single relaxed load returning an
+    /// inert guard.
+    pub fn span(&self, name: &'static str) -> SpanGuard {
+        if !self.inner.enabled.load(Ordering::Relaxed) {
+            return SpanGuard { state: None };
+        }
+        let start = self.inner.clock.fetch_add(1, Ordering::Relaxed);
+        self.inner.span_events.fetch_add(1, Ordering::Relaxed);
+        let mut log = self.inner.spans.lock();
+        let idx = log.records.len();
+        let depth = log.stack.len();
+        log.records.push(SpanRecord {
+            name,
+            depth,
+            start,
+            end: start,
+            args: Vec::new(),
+            wall_ns: None,
+            instant: false,
+        });
+        log.stack.push(idx);
+        SpanGuard {
+            state: Some((self.clone(), idx)),
+        }
+    }
+
+    /// Records a zero-duration event (one logical tick) with its
+    /// deterministic annotations — used for point decisions like "drop
+    /// function X" or "cold start because the profile was malformed".
+    pub fn instant(&self, name: &'static str, args: &[(&'static str, String)]) {
+        if !self.inner.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let tick = self.inner.clock.fetch_add(1, Ordering::Relaxed);
+        self.inner.span_events.fetch_add(1, Ordering::Relaxed);
+        let mut log = self.inner.spans.lock();
+        let depth = log.stack.len();
+        log.records.push(SpanRecord {
+            name,
+            depth,
+            start: tick,
+            end: tick,
+            args: args.to_vec(),
+            wall_ns: None,
+            instant: true,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Telemetry;
+
+    #[test]
+    fn spans_nest_and_tick_the_logical_clock() {
+        let t = Telemetry::new();
+        {
+            let run = t.span("run");
+            run.arg("epochs", 2);
+            {
+                let epoch = t.span("epoch");
+                epoch.arg("index", 0);
+                t.instant("decision", &[("action", "drop".to_string())]);
+            }
+        }
+        let log = t.inner.spans.lock();
+        assert_eq!(log.records.len(), 3);
+        assert!(log.stack.is_empty());
+        let (run, epoch, inst) = (&log.records[0], &log.records[1], &log.records[2]);
+        assert_eq!((run.name, run.depth), ("run", 0));
+        assert_eq!((epoch.name, epoch.depth), ("epoch", 1));
+        assert!(inst.instant && inst.start == inst.end && inst.depth == 2);
+        // begin(run)=0, begin(epoch)=1, instant=2, end(epoch)=3, end(run)=4
+        assert_eq!((run.start, run.end), (0, 4));
+        assert_eq!((epoch.start, epoch.end), (1, 3));
+        assert_eq!(inst.start, 2);
+        assert_eq!(t.self_stats().span_events, 5);
+    }
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let t = Telemetry::disabled();
+        {
+            let s = t.span("run");
+            s.arg("k", 1);
+            s.wall_ns(99);
+            t.instant("i", &[]);
+        }
+        assert!(t.inner.spans.lock().records.is_empty());
+        assert_eq!(t.self_stats().span_events, 0);
+    }
+
+    #[test]
+    fn wall_ns_is_recorded_but_flagged_separately() {
+        let t = Telemetry::new();
+        {
+            let s = t.span("repatch");
+            s.wall_ns(1234);
+        }
+        let log = t.inner.spans.lock();
+        assert_eq!(log.records[0].wall_ns, Some(1234));
+    }
+}

@@ -33,6 +33,21 @@ pub enum PersistError {
     WrongKind(String),
 }
 
+impl PersistError {
+    /// Short stable tag naming the failure class — what telemetry
+    /// attaches to cold-start instants and load/save span outcomes, so
+    /// traces can be filtered by *why* persistence failed without
+    /// parsing display strings.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PersistError::Io { .. } => "io",
+            PersistError::Malformed(_) => "malformed",
+            PersistError::SchemaMismatch { .. } => "schema_mismatch",
+            PersistError::WrongKind(_) => "wrong_kind",
+        }
+    }
+}
+
 impl fmt::Display for PersistError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -353,6 +353,61 @@ impl InstrumentationProfile {
         })?;
         Self::parse(&text)
     }
+
+    /// Like [`Self::load`], wrapped in a `persist.load` telemetry span
+    /// recording the path, the typed outcome ([`PersistError::kind`] on
+    /// failure), the schema versions involved and the profile shape.
+    pub fn load_with(path: &Path, tel: Option<&capi_obs::Telemetry>) -> Result<Self, PersistError> {
+        let Some(tel) = tel else {
+            return Self::load(path);
+        };
+        let span = tel.span("persist.load");
+        let wall = std::time::Instant::now();
+        let res = Self::load(path);
+        span.arg("path", path.display());
+        match &res {
+            Ok(p) => {
+                span.arg("outcome", "ok");
+                span.arg("schema_version", SCHEMA_VERSION);
+                span.arg("objects", p.objects.len());
+                span.arg("functions", p.functions.len());
+            }
+            Err(e) => {
+                span.arg("outcome", e.kind());
+                if let PersistError::SchemaMismatch { found, expected } = e {
+                    span.arg("found_version", *found);
+                    span.arg("expected_version", *expected);
+                }
+            }
+        }
+        span.wall_ns(wall.elapsed().as_nanos() as u64);
+        res
+    }
+
+    /// Like [`Self::save`], wrapped in a `persist.save` telemetry span
+    /// recording the path, outcome and profile shape.
+    pub fn save_with(
+        &self,
+        path: &Path,
+        tel: Option<&capi_obs::Telemetry>,
+    ) -> Result<(), PersistError> {
+        let Some(tel) = tel else {
+            return self.save(path);
+        };
+        let span = tel.span("persist.save");
+        let wall = std::time::Instant::now();
+        let res = self.save(path);
+        span.arg("path", path.display());
+        span.arg("schema_version", SCHEMA_VERSION);
+        span.arg("objects", self.objects.len());
+        span.arg("functions", self.functions.len());
+        match &res {
+            Ok(()) => span.arg("outcome", "ok"),
+            Err(e) => span.arg("outcome", e.kind()),
+        }
+        span.wall_ns(wall.elapsed().as_nanos() as u64);
+        res
+    }
 }
 
 fn req_array<'a>(doc: &'a Value, key: &str) -> Result<&'a Vec<Value>, PersistError> {

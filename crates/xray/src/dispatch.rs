@@ -167,16 +167,19 @@ impl TableCell {
     }
 
     /// Publishes `new` and reclaims the superseded table once every
-    /// in-flight dispatch has drained.
+    /// in-flight dispatch has drained. Returns the measured wall-clock
+    /// duration of the quiescence wait in nanoseconds (telemetry only —
+    /// nothing deterministic may depend on it).
     ///
     /// Must only be called while the runtime's write lock is held:
     /// that serializes publishers, so exactly one thread ever waits on
     /// the stripes at a time.
-    pub(crate) fn publish(&self, new: Arc<DispatchTable>, stripes: &[Stripe]) {
+    pub(crate) fn publish(&self, new: Arc<DispatchTable>, stripes: &[Stripe]) -> u64 {
         debug_assert_not_dispatching("DispatchTable publish");
         let old = self
             .ptr
             .swap(Arc::into_raw(new).cast_mut(), Ordering::SeqCst);
+        let wait_start = std::time::Instant::now();
         // Quiescence: any reader that loaded `old` incremented its
         // stripe *before* loading the pointer (both SeqCst), so once a
         // stripe reads zero after our SeqCst swap, no reader on that
@@ -201,9 +204,11 @@ impl TableCell {
                 }
             }
         }
+        let quiescence_ns = wait_start.elapsed().as_nanos() as u64;
         // SAFETY: `old` came from `Arc::into_raw` (cell invariant) and
         // the quiescence wait above proves no reader still borrows it.
         drop(unsafe { Arc::from_raw(old.cast_const()) });
+        quiescence_ns
     }
 }
 

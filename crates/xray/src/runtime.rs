@@ -26,10 +26,11 @@ use crate::pass::InstrumentedObject;
 use crate::sled::SLED_BYTES;
 use crate::trampoline::{TrampolineFault, TrampolineSet};
 use capi_objmodel::{AddressSpace, LoadedObject, MemError, PagePerms, PAGE_SIZE};
+use capi_obs::{CounterId, HistogramId, HistogramKind, Telemetry};
 use parking_lot::RwLock;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 pub use crate::dispatch::{DispatchTable, ObjectDispatch};
 
@@ -211,6 +212,22 @@ struct Inner {
     stats: RuntimeStats,
 }
 
+/// Telemetry handles registered once per runtime: the shared
+/// [`Telemetry`] instance plus the ids of the metrics this crate owns.
+/// The dispatch fast path never touches these — its counters live on
+/// the runtime's own [`Stripe`]s and are *folded* into the registry by
+/// [`XRayRuntime::sync_telemetry`] at publish/control points, so
+/// enabling telemetry costs the hot path nothing.
+struct ObsHandles {
+    tel: Telemetry,
+    dispatches: CounterId,
+    stale: CounterId,
+    skips: CounterId,
+    publishes: CounterId,
+    quiescence_wall: HistogramId,
+    publish_wall: HistogramId,
+}
+
 /// The XRay runtime.
 pub struct XRayRuntime {
     inner: RwLock<Inner>,
@@ -221,6 +238,8 @@ pub struct XRayRuntime {
     /// Per-rank striped in-flight guards and event counters (dispatch is
     /// the hot path and runs concurrently on every rank thread).
     stripes: Box<[Stripe]>,
+    /// Set-once self-telemetry wiring ([`Self::set_telemetry`]).
+    obs: OnceLock<ObsHandles>,
 }
 
 impl Default for XRayRuntime {
@@ -241,6 +260,54 @@ impl XRayRuntime {
             generation: AtomicU64::new(0),
             table: TableCell::new(Arc::new(DispatchTable::empty())),
             stripes: new_stripes(),
+            obs: OnceLock::new(),
+        }
+    }
+
+    /// Installs the run's telemetry instance and registers this crate's
+    /// metrics. Set-once: a second call on the same runtime is ignored
+    /// (the first instance keeps collecting), so a runtime reused
+    /// across adaptive runs reports into its original registry.
+    pub fn set_telemetry(&self, tel: Telemetry) {
+        let _ = self.obs.set(ObsHandles {
+            dispatches: tel.counter("xray.dispatches"),
+            stale: tel.counter("xray.stale_dispatches"),
+            skips: tel.counter("xray.sampled_skips"),
+            publishes: tel.counter("xray.publishes"),
+            quiescence_wall: tel.histogram("xray.quiescence_wall_ns", HistogramKind::Wall),
+            publish_wall: tel.histogram("xray.publish_wall_ns", HistogramKind::Wall),
+            tel,
+        });
+    }
+
+    /// The telemetry instance installed by [`Self::set_telemetry`].
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.obs.get().map(|h| &h.tel)
+    }
+
+    /// Folds the dispatch stripes' running totals (dispatches, stale
+    /// dispatches, sampled skips) into the telemetry registry. Called
+    /// after every publish and at run end; cheap enough (64 relaxed
+    /// loads and stores per counter) to call at any control point.
+    pub fn sync_telemetry(&self) {
+        let Some(h) = self.obs.get() else { return };
+        // Rank stripes only: the control stripe (index STRIPES) would
+        // fold onto registry stripe 0 via `rank & 63` and overwrite
+        // rank 0's totals with its always-zero dispatch counters.
+        for (i, stripe) in self.stripes.iter().take(STRIPES).enumerate() {
+            let rank = i as u32;
+            h.tel.store(
+                h.dispatches,
+                rank,
+                stripe.dispatches.load(Ordering::Relaxed),
+            );
+            h.tel.store(
+                h.stale,
+                rank,
+                stripe.stale_dispatches.load(Ordering::Relaxed),
+            );
+            h.tel
+                .store(h.skips, rank, stripe.sampled_skips.load(Ordering::Relaxed));
         }
     }
 
@@ -298,7 +365,15 @@ impl XRayRuntime {
             objects,
             handler: inner.handler.clone(),
         };
-        self.table.publish(Arc::new(table), &self.stripes);
+        let publish_start = std::time::Instant::now();
+        let quiescence_ns = self.table.publish(Arc::new(table), &self.stripes);
+        if let Some(h) = self.obs.get() {
+            h.tel
+                .observe_control(h.publish_wall, publish_start.elapsed().as_nanos() as u64);
+            h.tel.observe_control(h.quiescence_wall, quiescence_ns);
+            h.tel.add_control(h.publishes, 1);
+            self.sync_telemetry();
+        }
     }
 
     fn bump(&self) {
@@ -614,6 +689,8 @@ impl XRayRuntime {
                 ..Default::default()
             });
         }
+        let span = self.obs.get().map(|h| h.tel.span("xray.repatch"));
+        let wall_start = std::time::Instant::now();
         let mut inner = self.write_inner("repatch");
         // Group by object, one requested end-state per function; the
         // unpatch insertion overwrites any patch entry (unpatch wins).
@@ -726,6 +803,14 @@ impl XRayRuntime {
         inner.stats.repatches += 1;
         self.publish_locked(&inner);
         drop(inner);
+        if let Some(span) = &span {
+            span.arg("generation", report.generation);
+            span.arg("sleds_patched", report.sleds_patched);
+            span.arg("sleds_unpatched", report.sleds_unpatched);
+            span.arg("mprotect_pairs", report.mprotect_pairs);
+            span.arg("rates_set", report.rates_set);
+            span.wall_ns(wall_start.elapsed().as_nanos() as u64);
+        }
         res.map(|()| report)
     }
 

@@ -15,6 +15,7 @@ pub use capi_exec as exec;
 pub use capi_metacg as metacg;
 pub use capi_mpisim as mpisim;
 pub use capi_objmodel as objmodel;
+pub use capi_obs as obs;
 pub use capi_persist as persist;
 pub use capi_scorep as scorep;
 pub use capi_spec as spec;

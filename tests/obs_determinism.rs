@@ -1,0 +1,163 @@
+//! Deterministic metric merging: the telemetry registry's striped
+//! counters and histograms must merge to the same totals — and render
+//! to byte-identical text — no matter how the per-rank updates
+//! interleave, and must equal a single-threaded reference fold of the
+//! same operations. This is the property that lets the text exporter
+//! serve as a byte-equality oracle in tests while real runs update the
+//! stripes from many rank threads at once.
+
+use capi_repro::obs::{HistogramKind, Telemetry};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// One metric mutation, as the strategies generate them.
+#[derive(Clone, Debug)]
+enum Op {
+    Add { rank: u32, counter: usize, n: u64 },
+    Observe { rank: u32, hist: usize, value: u64 },
+}
+
+const COUNTERS: [&str; 3] = ["alpha", "beta", "gamma"];
+const HISTS: [&str; 2] = ["lat", "size"];
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    (any::<u8>(), 0u32..128, any::<u64>(), any::<u64>()).prop_map(|(kind, rank, idx, raw)| {
+        if kind % 2 == 0 {
+            Op::Add {
+                rank,
+                counter: (idx as usize) % COUNTERS.len(),
+                n: raw % 1_000,
+            }
+        } else {
+            Op::Observe {
+                rank,
+                hist: (idx as usize) % HISTS.len(),
+                value: raw % (1u64 << 40),
+            }
+        }
+    })
+}
+
+/// Applies `ops` to a fresh registry in the given order and renders it.
+fn run_ops(ops: &[Op]) -> (Telemetry, String) {
+    let tel = Telemetry::new();
+    let counters: Vec<_> = COUNTERS.iter().map(|n| tel.counter(n)).collect();
+    let hists: Vec<_> = HISTS
+        .iter()
+        .map(|n| tel.histogram(n, HistogramKind::Logical))
+        .collect();
+    for op in ops {
+        match *op {
+            Op::Add { rank, counter, n } => tel.add(counters[counter], rank, n),
+            Op::Observe { rank, hist, value } => tel.observe(hists[hist], rank, value),
+        }
+    }
+    let text = tel.render_text();
+    (tel, text)
+}
+
+/// Per-name counter totals of the reference fold.
+type RefCounters = BTreeMap<&'static str, u64>;
+/// Per-name `(count, sum)` histogram totals of the reference fold.
+type RefHists = BTreeMap<&'static str, (u64, u64)>;
+
+/// Single-threaded reference fold: plain per-name sums, no striping.
+fn reference_fold(ops: &[Op]) -> (RefCounters, RefHists) {
+    let mut counters: RefCounters = BTreeMap::new();
+    let mut hists: RefHists = BTreeMap::new();
+    for op in ops {
+        match *op {
+            Op::Add { counter, n, .. } => *counters.entry(COUNTERS[counter]).or_default() += n,
+            Op::Observe { hist, value, .. } => {
+                let slot = hists.entry(HISTS[hist]).or_default();
+                slot.0 += 1;
+                slot.1 += value;
+            }
+        }
+    }
+    (counters, hists)
+}
+
+proptest! {
+    /// Any permutation of the same op multiset — every rank
+    /// interleaving a scheduler could produce — renders byte-identical
+    /// text and matches the single-threaded reference fold.
+    #[test]
+    fn merges_are_interleaving_independent(
+        ops in proptest::collection::vec(arb_op(), 1..200),
+        seed in any::<u64>(),
+    ) {
+        let (tel_a, text_a) = run_ops(&ops);
+
+        // Deterministic Fisher-Yates shuffle of the same ops.
+        let mut shuffled = ops.clone();
+        let mut rng = seed | 1;
+        for i in (1..shuffled.len()).rev() {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = ((rng >> 33) as usize) % (i + 1);
+            shuffled.swap(i, j);
+        }
+        let (_, text_b) = run_ops(&shuffled);
+        prop_assert_eq!(&text_a, &text_b, "renderings differ across interleavings");
+
+        // And both equal the unstriped reference fold.
+        let (ref_counters, ref_hists) = reference_fold(&ops);
+        let snap = tel_a.metrics();
+        for c in &snap.counters {
+            prop_assert_eq!(
+                c.value,
+                ref_counters.get(c.name.as_str()).copied().unwrap_or(0),
+                "counter {} diverges from the reference fold", &c.name
+            );
+        }
+        for h in &snap.histograms {
+            let &(count, sum) = ref_hists.get(h.name.as_str()).unwrap_or(&(0, 0));
+            prop_assert_eq!(h.count, count);
+            prop_assert_eq!(h.sum, sum);
+            prop_assert_eq!(h.buckets.iter().sum::<u64>(), count, "buckets cover every sample");
+        }
+    }
+
+    /// Splitting the ops across real threads by rank (the production
+    /// shape: each rank mutates only its own stripe) merges to the same
+    /// totals as applying them sequentially.
+    #[test]
+    fn threaded_rank_updates_match_sequential(
+        ops in proptest::collection::vec(arb_op(), 1..150),
+    ) {
+        let (_, sequential) = run_ops(&ops);
+
+        let tel = Telemetry::new();
+        let counters: Vec<_> = COUNTERS.iter().map(|n| tel.counter(n)).collect();
+        let hists: Vec<_> = HISTS
+            .iter()
+            .map(|n| tel.histogram(n, HistogramKind::Logical))
+            .collect();
+        // Partition by rank % 4 into four worker threads.
+        let mut parts: Vec<Vec<Op>> = vec![Vec::new(); 4];
+        for op in &ops {
+            let rank = match *op {
+                Op::Add { rank, .. } | Op::Observe { rank, .. } => rank,
+            };
+            parts[(rank % 4) as usize].push(op.clone());
+        }
+        std::thread::scope(|scope| {
+            for part in &parts {
+                let tel = &tel;
+                let counters = &counters;
+                let hists = &hists;
+                scope.spawn(move || {
+                    for op in part {
+                        match *op {
+                            Op::Add { rank, counter, n } => tel.add(counters[counter], rank, n),
+                            Op::Observe { rank, hist, value } => {
+                                tel.observe(hists[hist], rank, value)
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(tel.render_text(), sequential);
+    }
+}
