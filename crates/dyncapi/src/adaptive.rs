@@ -14,12 +14,14 @@
 //! whatever [`crate::ToolChoice`] the session was started with keeps
 //! receiving events across IC reloads.
 
+use crate::lifecycle::{LifecycleCounters, LifecycleScript, LifecycleStats};
 use crate::startup::{DynCapiError, Session};
 use capi_adapt::{
     AdaptController, CallChildren, EpochView, FuncSample, RegionSample, WarmStartStats,
 };
 use capi_exec::{Engine, EpochSpec};
 use capi_mpisim::World;
+use capi_obs::Telemetry;
 use capi_persist::{
     fingerprint_object, plan_object_matches, InstrumentationProfile, ObjectMatch, ObjectRecord,
     PersistError,
@@ -122,6 +124,11 @@ pub struct AdaptiveRun {
     pub restarts: u32,
     /// Warm-start accounting, when the run was seeded from a profile.
     pub warm: Option<WarmStartSummary>,
+    /// DSO-churn accounting, when the run executed a
+    /// [`LifecycleScript`]: opens/closes, retry and degradation
+    /// counters, and the virtual lifecycle cost (already inside
+    /// `adapt_ns`).
+    pub lifecycle: Option<LifecycleStats>,
     /// Per-epoch, per-region efficiency trajectory (POP metrics +
     /// communication fraction) — the TALP signal the expansion policies
     /// consumed, aggregated for reporting.
@@ -187,12 +194,31 @@ impl Session {
         epochs: usize,
         warm: Option<WarmStart<'_>>,
         redundancy_ppm: u32,
+        lifecycle: Option<&LifecycleScript>,
     ) -> Result<AdaptiveRun, DynCapiError> {
         let epochs = epochs.max(1);
         // The runtime's instance is authoritative (set-once): a builder
         // installing a second telemetry on a reused runtime reports into
         // the one the runtime actually folds its counters into.
         let tel = self.runtime.telemetry().cloned();
+        // DSO churn: a script switches the whole loop onto the lenient
+        // paths — `Engine::prepare_lenient` (unresolved call targets are
+        // dropped and counted, not fatal) and `repatch_surviving` (a
+        // delta referencing a vanished object skips it, never panics,
+        // never aliases a recycled slot).
+        let lenient = lifecycle.is_some();
+        let mut lc_stats = LifecycleStats::default();
+        let lc_counters = match (&tel, lifecycle) {
+            (Some(t), Some(_)) => Some(LifecycleCounters::new(t)),
+            _ => None,
+        };
+        if let Some(plan) = lifecycle.and_then(|s| s.take_fault_plan()) {
+            self.process.set_fault_plan(plan);
+        }
+        // Unload races armed at the epoch boundary, executed between the
+        // controller's decision and the repatch applying it.
+        let mut pending_races: Vec<String> = Vec::new();
+        let mut next_lifecycle_epoch = 0usize;
         let run_span = tel.as_ref().map(|t| t.span("dyncapi.run"));
         let run_wall = std::time::Instant::now();
         let world = World::new(self.config.ranks, self.config.mpi_cost);
@@ -210,12 +236,52 @@ impl Session {
         let (mut skips, mut suppressed) = (0u64, 0u64);
         let mut epoch = 0usize;
         while epoch < epochs {
+            // Lifecycle ops scheduled at this boundary run before the
+            // engine snapshots (once per epoch — the warm-start path
+            // re-enters the loop body for epoch 0 without re-churning).
+            if let Some(script) = lifecycle {
+                if epoch >= next_lifecycle_epoch {
+                    next_lifecycle_epoch = epoch + 1;
+                    let el = crate::lifecycle::apply_epoch_ops(
+                        self,
+                        script,
+                        epoch,
+                        &mut lc_stats,
+                        lc_counters.as_ref(),
+                    );
+                    adapt_ns += el.ns;
+                    for note in &el.notes {
+                        controller.log_note(note);
+                    }
+                    for oid in &el.invalidated {
+                        controller.invalidate_object(*oid);
+                    }
+                    // The controller adopts the fresh object's patched
+                    // functions so the budget governs them too.
+                    for oid in &el.opened {
+                        let adopted: Vec<_> = self
+                            .runtime
+                            .patched_ids()
+                            .into_iter()
+                            .filter(|id| id.object() == *oid)
+                            .map(|id| (id, self.display_name(id)))
+                            .collect();
+                        controller.begin(adopted);
+                    }
+                    pending_races.extend(el.races);
+                }
+            }
             // Re-prepare against the current patch state: the snapshot
             // and quiet-subtree analysis pick up the last delta (and,
             // at epoch 0, the warm-start batch).
-            let mut engine = Engine::prepare(&self.process, &self.runtime, self.config.overhead)
-                .map_err(DynCapiError::Exec)?
-                .with_redundancy_ppm(redundancy_ppm);
+            let mut engine = if lenient {
+                Engine::prepare_lenient(&self.process, &self.runtime, self.config.overhead)
+            } else {
+                Engine::prepare(&self.process, &self.runtime, self.config.overhead)
+            }
+            .map_err(DynCapiError::Exec)?
+            .with_redundancy_ppm(redundancy_ppm);
+            lc_stats.unresolved_calls = lc_stats.unresolved_calls.max(engine.unresolved_calls());
             if let Some(t) = &tel {
                 engine = engine.with_telemetry(t.clone());
             }
@@ -268,10 +334,17 @@ impl Session {
                     }
                     Some(WarmStart::Profile(profile)) => {
                         drop(engine);
-                        let mut summary = self.plan_warm_start(controller, profile);
+                        let mut summary = self.plan_warm_start(controller, profile, tel.as_ref());
                         let (delta, seed) = controller.seed_from_profile(profile, &summary.idmap);
                         summary.summary.seed = seed;
-                        let rep = self.runtime.repatch(&mut self.process.memory, &delta)?;
+                        let rep = self.apply_delta_resilient(
+                            &delta,
+                            lenient,
+                            "warm start",
+                            controller,
+                            &mut lc_stats,
+                            lc_counters.as_ref(),
+                        )?;
                         let warm_ns = repatch_cost_ns(&self.config.init_costs, &rep);
                         summary.summary.adapt_ns = warm_ns;
                         adapt_ns += warm_ns;
@@ -354,7 +427,38 @@ impl Session {
             };
             let overhead_pct = view.overhead_pct();
             let delta = controller.on_epoch(&view);
-            let rep = self.runtime.repatch(&mut self.process.memory, &delta)?;
+            // Armed unload races strike here: the delta above was
+            // computed against an object that is about to vanish.
+            for victim in std::mem::take(&mut pending_races) {
+                match self.unload_dso(&victim) {
+                    Ok(oid) => {
+                        lc_stats.closed += 1;
+                        lc_stats.unload_races += 1;
+                        if let Some(c) = &lc_counters {
+                            c.record_race();
+                        }
+                        controller.log_note(&format!(
+                            "lifecycle: unload race closed `{victim}` before the epoch {epoch} repatch"
+                        ));
+                        if let Some(oid) = oid {
+                            controller.invalidate_object(oid);
+                        }
+                    }
+                    Err(e) => controller.log_note(&format!(
+                        "lifecycle: unload race on `{victim}` refused [{}]: {e}",
+                        crate::lifecycle::error_kind(&e)
+                    )),
+                }
+            }
+            let label = format!("epoch {epoch}");
+            let rep = self.apply_delta_resilient(
+                &delta,
+                lenient,
+                &label,
+                controller,
+                &mut lc_stats,
+                lc_counters.as_ref(),
+            )?;
             let epoch_adapt_ns = repatch_cost_ns(&self.config.init_costs, &rep);
             adapt_ns += epoch_adapt_ns;
             records.push(EpochRecord {
@@ -398,8 +502,60 @@ impl Session {
             total_ns: self.report.init_ns + adapt_ns + run_ns,
             restarts: 0,
             warm: warm_summary,
+            lifecycle: lifecycle.map(|_| lc_stats),
             efficiency,
         })
+    }
+
+    /// Applies one repatch batch. On the strict path this is
+    /// `XRayRuntime::repatch` with errors propagated. On the lenient
+    /// (lifecycle) path it is `repatch_surviving` — vanished objects
+    /// are skipped and counted — and an injected environment fault
+    /// (`mprotect`) mid-batch degrades to *dropping the delta for this
+    /// epoch* instead of killing the run: the dispatch table was never
+    /// republished, the next epoch re-decides from live samples, and
+    /// the degradation is counted and logged.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_delta_resilient(
+        &mut self,
+        delta: &capi_xray::PatchDelta,
+        lenient: bool,
+        label: &str,
+        controller: &mut AdaptController,
+        lc_stats: &mut LifecycleStats,
+        lc_counters: Option<&LifecycleCounters>,
+    ) -> Result<capi_xray::RepatchReport, DynCapiError> {
+        if !lenient {
+            return Ok(self.runtime.repatch(&mut self.process.memory, delta)?);
+        }
+        match self
+            .runtime
+            .repatch_surviving(&mut self.process.memory, delta)
+        {
+            Ok(rep) => {
+                if rep.skipped_objects > 0 || rep.skipped_entries > 0 {
+                    lc_stats.degraded_repatches += 1;
+                    if let Some(c) = lc_counters {
+                        c.record_degraded(1);
+                    }
+                    controller.log_note(&format!(
+                        "lifecycle: degraded repatch at {label} — skipped {} objects, {} entries",
+                        rep.skipped_objects, rep.skipped_entries
+                    ));
+                }
+                Ok(rep)
+            }
+            Err(e) => {
+                lc_stats.degraded_repatches += 1;
+                if let Some(c) = lc_counters {
+                    c.record_degraded(1);
+                }
+                controller.log_note(&format!(
+                    "lifecycle: repatch failed at {label} ({e}) — delta dropped"
+                ));
+                Ok(capi_xray::RepatchReport::default())
+            }
+        }
     }
 
     /// Identity records of every registered XRay object: name plus a
@@ -438,6 +594,7 @@ impl Session {
         &self,
         controller: &mut AdaptController,
         profile: &InstrumentationProfile,
+        tel: Option<&Telemetry>,
     ) -> PlannedWarmStart {
         let current = self.object_records();
         let plan = plan_object_matches(&profile.objects, &current);
@@ -460,7 +617,35 @@ impl Session {
                     summary.objects_rebuilt += 1;
                     rebuilt.insert(from, to);
                 }
-                ObjectMatch::Missing { .. } => summary.objects_missing += 1,
+                // An object that vanished between profile save (or even
+                // between profile load and patching, under churn) gets a
+                // per-object typed reason — extending the
+                // `PersistError::kind()` pattern with the
+                // `ObjectMatch::kind()` lifecycle tag — never a silent
+                // drop.
+                ObjectMatch::Missing { from } => {
+                    summary.objects_missing += 1;
+                    let name = profile
+                        .objects
+                        .iter()
+                        .find(|r| r.object_id == from)
+                        .map(|r| r.name.as_str())
+                        .unwrap_or("<unknown>");
+                    controller.log_note(&format!(
+                        "warm start: profile object `{name}` (id {from}) has no live \
+                         counterpart [lifecycle:{}] — records discarded",
+                        m.kind()
+                    ));
+                    if let Some(t) = tel {
+                        t.instant(
+                            "dyncapi.warm_missing_object",
+                            &[
+                                ("object", name.to_string()),
+                                ("lifecycle", m.kind().to_string()),
+                            ],
+                        );
+                    }
+                }
             }
         }
         // Name → packed ID per live object for rebuilt re-resolution

@@ -23,6 +23,7 @@
 //! ```
 
 use crate::adaptive::{efficiency_summary, AdaptiveRun, WarmStart};
+use crate::lifecycle::LifecycleScript;
 use crate::startup::{DynCapiError, Session};
 use capi_adapt::{AdaptConfig, AdaptController, ExpansionOptions};
 use capi_obs::Telemetry;
@@ -98,6 +99,7 @@ pub struct AdaptiveRunBuilder {
     redundancy_ppm: Option<u32>,
     profile: ProfileSource,
     telemetry: Option<Telemetry>,
+    lifecycle: Option<LifecycleScript>,
 }
 
 impl Default for AdaptiveRunBuilder {
@@ -111,6 +113,7 @@ impl Default for AdaptiveRunBuilder {
             redundancy_ppm: None,
             profile: ProfileSource::None,
             telemetry: None,
+            lifecycle: None,
         }
     }
 }
@@ -182,6 +185,18 @@ impl AdaptiveRunBuilder {
         self
     }
 
+    /// Runs the adaptation under a deterministic DSO-churn script:
+    /// scripted opens/closes/reloads/interpositions at epoch
+    /// boundaries, seeded fault injection, bounded `dlopen` retry, and
+    /// graceful repatch degradation (vanished objects are skipped and
+    /// counted — `lifecycle.degraded_repatch` — never fatal). Even an
+    /// empty script switches the run onto the lenient prepare/repatch
+    /// paths.
+    pub fn lifecycle(mut self, script: LifecycleScript) -> Self {
+        self.lifecycle = Some(script);
+        self
+    }
+
     /// Builds the controller this configuration describes: the standard
     /// policy stack with optional expansion and demotion-to-sampled.
     pub fn build_controller(&self) -> AdaptController {
@@ -211,7 +226,7 @@ impl AdaptiveRunBuilder {
             controller.set_telemetry(t.clone());
         }
         let ppm = self.redundancy_ppm.unwrap_or(session.config.redundancy_ppm);
-        session.run_adaptive_inner(controller, self.epochs, warm, ppm)
+        session.run_adaptive_inner(controller, self.epochs, warm, ppm, self.lifecycle.as_ref())
     }
 
     /// Runs the full configured adaptation on `session`: builds the

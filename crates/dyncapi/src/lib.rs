@@ -32,16 +32,24 @@
 //!   entry point for adaptive runs: budget, epochs, expansion, profile
 //!   source, and the sampling knobs (demotion rate cap,
 //!   redundancy-suppression band) in one builder.
+//! * [`lifecycle`] — DSO-churn survival: a deterministic
+//!   [`LifecycleScript`] opens/closes/rebuilds/interposes shared
+//!   objects at epoch boundaries (with seeded fault injection), while
+//!   the loop degrades gracefully — surviving repatches, lenient call
+//!   resolution, bounded `dlopen` retry — and counts every degradation
+//!   in `capi-obs`.
 
 pub mod adapters;
 pub mod adaptive;
 pub mod builder;
+pub mod lifecycle;
 pub mod startup;
 pub mod symres;
 
 pub use adapters::{ScorepAdapter, TalpAdapter, TalpAdapterStats};
 pub use adaptive::{efficiency_summary, AdaptiveRun, EpochRecord, WarmStart, WarmStartSummary};
 pub use builder::{profile_source_from_env, AdaptiveOutcome, AdaptiveRunBuilder, ProfileSource};
+pub use lifecycle::{LifecycleOp, LifecycleScript, LifecycleStats, LoadDsoOutcome};
 pub use startup::{
     startup, DynCapiConfig, DynCapiError, InitCostModel, Session, SessionRun, StartupReport,
     ToolChoice,

@@ -142,7 +142,15 @@ impl fmt::Display for DynCapiError {
     }
 }
 
-impl std::error::Error for DynCapiError {}
+impl std::error::Error for DynCapiError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DynCapiError::Load(e) => Some(e),
+            DynCapiError::XRay(e) => Some(e),
+            DynCapiError::Exec(e) => Some(e),
+        }
+    }
+}
 
 impl From<LoadError> for DynCapiError {
     fn from(e: LoadError) -> Self {

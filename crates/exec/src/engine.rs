@@ -165,6 +165,9 @@ pub struct Engine<'p> {
     /// Redundancy-suppression band in parts per million; 0 disables the
     /// band entirely (byte-identical to a build without it).
     redundancy_ppm: u32,
+    /// Call-site target references that resolved to no loaded object and
+    /// were dropped ([`Engine::prepare_lenient`]); 0 on the strict path.
+    unresolved_calls: u64,
     /// Self-telemetry wiring ([`Engine::with_telemetry`]); epoch spans
     /// and per-epoch event-volume gauges. `None` costs nothing.
     obs: Option<ExecObs>,
@@ -187,6 +190,30 @@ impl<'p> Engine<'p> {
         runtime: &'p XRayRuntime,
         model: OverheadModel,
     ) -> Result<Self, ExecError> {
+        Self::prepare_inner(process, runtime, model, false)
+    }
+
+    /// Like [`Self::prepare`], but tolerant of DSO churn: a call-site
+    /// target whose name resolves to *no* loaded object (its DSO was
+    /// `dlclose`d mid-run) is dropped from the site and counted in
+    /// [`Self::unresolved_calls`] instead of failing preparation. The
+    /// program then simply skips those calls — the degradation an
+    /// application sees when a plugin is gone. A missing `main` is still
+    /// a hard error.
+    pub fn prepare_lenient(
+        process: &Process,
+        runtime: &'p XRayRuntime,
+        model: OverheadModel,
+    ) -> Result<Self, ExecError> {
+        Self::prepare_inner(process, runtime, model, true)
+    }
+
+    fn prepare_inner(
+        process: &Process,
+        runtime: &'p XRayRuntime,
+        model: OverheadModel,
+        lenient: bool,
+    ) -> Result<Self, ExecError> {
         let snapshot = runtime.snapshot();
         // Dense keys: functions of loader object `pi` occupy the flat
         // range `obj_base[pi]..obj_base[pi] + functions.len()`, in
@@ -208,6 +235,7 @@ impl<'p> Engine<'p> {
                     .or_insert(obj_base[*pi] + fi as u32);
             }
         }
+        let mut unresolved_calls = 0u64;
         let mut funcs: Vec<RFunc> = Vec::with_capacity(next as usize);
         for (pi, lo) in &loaded {
             for (fi, f) in lo.image.functions.iter().enumerate() {
@@ -215,13 +243,16 @@ impl<'p> Engine<'p> {
                 for s in &f.call_sites {
                     let mut targets = Vec::with_capacity(s.targets.len());
                     for t in &s.targets {
-                        let key = by_name.get(t.as_str()).copied().ok_or_else(|| {
-                            ExecError::UnresolvedCall {
-                                caller: f.name.clone(),
-                                callee: t.clone(),
+                        match by_name.get(t.as_str()).copied() {
+                            Some(key) => targets.push(key),
+                            None if lenient => unresolved_calls += 1,
+                            None => {
+                                return Err(ExecError::UnresolvedCall {
+                                    caller: f.name.clone(),
+                                    callee: t.clone(),
+                                })
                             }
-                        })?;
-                        targets.push(key);
+                        }
                     }
                     sites.push(RSite {
                         targets,
@@ -252,8 +283,15 @@ impl<'p> Engine<'p> {
             quiet,
             schedule,
             redundancy_ppm: 0,
+            unresolved_calls,
             obs: None,
         })
+    }
+
+    /// Call-site target references dropped by [`Self::prepare_lenient`]
+    /// because their symbol no longer resolved (0 for strict prepares).
+    pub fn unresolved_calls(&self) -> u64 {
+        self.unresolved_calls
     }
 
     /// Enables redundancy suppression: once a function's invocation
@@ -1880,6 +1918,45 @@ mod tests {
         let engine = Engine::prepare(&process, &runtime, OverheadModel::default()).unwrap();
         let r = engine.run(&World::new(2, CostModel::default())).unwrap();
         assert_eq!(r.depth_cutoffs, 2); // one cutoff per rank
+    }
+
+    #[test]
+    fn lenient_prepare_survives_an_unloaded_callee() {
+        let mut b = ProgramBuilder::new("plugin-host");
+        b.unit("h.cc", LinkTarget::Executable);
+        b.function("main")
+            .main()
+            .statements(20)
+            .instructions(200)
+            .cost(1_000)
+            .calls("work", 4)
+            .calls("plugin_entry", 2)
+            .finish();
+        b.function("work")
+            .statements(30)
+            .instructions(300)
+            .cost(500)
+            .finish();
+        b.unit("p.cc", LinkTarget::Dso("libplugin.so".into()));
+        b.function("plugin_entry")
+            .statements(30)
+            .instructions(300)
+            .cost(800)
+            .finish();
+        let p = b.build().unwrap();
+        let bin = compile(&p, &CompileOptions::o2()).unwrap();
+        let mut process = Process::launch_binary(&bin).unwrap();
+        process.dlclose("libplugin.so").unwrap();
+        let runtime = XRayRuntime::new();
+        // Strict prepare fails typed; the lenient one drops the calls.
+        assert!(matches!(
+            Engine::prepare(&process, &runtime, OverheadModel::default()),
+            Err(ExecError::UnresolvedCall { .. })
+        ));
+        let engine = Engine::prepare_lenient(&process, &runtime, OverheadModel::default()).unwrap();
+        assert_eq!(engine.unresolved_calls(), 1);
+        let r = engine.run(&World::new(2, CostModel::default())).unwrap();
+        assert!(r.total_ns > 0);
     }
 
     #[test]

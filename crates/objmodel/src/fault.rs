@@ -1,0 +1,208 @@
+//! Deterministic fault injection for the simulated runtime linker.
+//!
+//! Real DSO churn fails in ways a static loader never exercises: `dlopen`
+//! hits `ENOMEM`, relocation processing aborts half-way, `mprotect`
+//! refuses a page flip mid-repatch, an unload races a patch batch. A
+//! [`FaultPlan`] scripts those failures *deterministically* — either
+//! hand-written or expanded from a seed — so every failure a scenario
+//! observes is reproducible bit-for-bit from `(seed, script)` alone.
+//!
+//! The plan is split across the layers that own each fault site:
+//! `dlopen`-class faults fire inside [`crate::Process::dlopen`] (counted
+//! per `dlopen` call), `mprotect` faults fire inside
+//! [`crate::AddressSpace::mprotect`] (counted per syscall), and
+//! [`FaultKind::UnloadRace`] is handed to the session layer, which
+//! unloads the target between policy evaluation and repatch.
+
+use std::fmt;
+
+/// One scripted fault class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// `dlopen` fails before mapping anything (simulated `ENOMEM`).
+    DlopenOom,
+    /// `dlopen` fails during relocation processing, after the image was
+    /// read but before it was mapped.
+    Relocation,
+    /// `dlopen` maps the code segment, then fails; the mapping must be
+    /// rolled back (no leaked region, the slot stays vacant).
+    PartialLoad,
+    /// The next scheduled `mprotect` call on the address space fails
+    /// (simulated kernel refusal mid-patch).
+    MprotectFail,
+    /// An object is unloaded between an adaptation decision and the
+    /// repatch that applies it (driven by the session layer).
+    UnloadRace,
+}
+
+impl FaultKind {
+    /// Stable machine-readable tag (telemetry labels, log lines, test
+    /// oracles). Never reworded once shipped.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FaultKind::DlopenOom => "dlopen_oom",
+            FaultKind::Relocation => "relocation",
+            FaultKind::PartialLoad => "partial_load",
+            FaultKind::MprotectFail => "mprotect_fail",
+            FaultKind::UnloadRace => "unload_race",
+        }
+    }
+
+    /// All fault kinds, in a fixed order (seed expansion cycles this).
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::DlopenOom,
+        FaultKind::Relocation,
+        FaultKind::PartialLoad,
+        FaultKind::MprotectFail,
+        FaultKind::UnloadRace,
+    ];
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.kind())
+    }
+}
+
+/// One scripted fault: fire `kind` when its site's operation counter
+/// reaches `at` (0-based: `at == 0` faults the next operation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScriptedFault {
+    /// Operation index at the fault's site (`dlopen` calls for the
+    /// dlopen-class kinds, `mprotect` calls for [`FaultKind::MprotectFail`],
+    /// session lifecycle ops for [`FaultKind::UnloadRace`]).
+    pub at: u64,
+    /// What fails.
+    pub kind: FaultKind,
+}
+
+/// A fault that actually fired, kept for auditability: tests assert each
+/// scripted fault fires exactly once, at its scripted point.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FiredFault {
+    /// The operation index it fired at.
+    pub at: u64,
+    /// What failed.
+    pub kind: FaultKind,
+    /// The object (or site) the fault hit.
+    pub target: String,
+}
+
+/// A deterministic, script-driven fault schedule.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    faults: Vec<ScriptedFault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (nothing fails).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A hand-written script.
+    pub fn scripted(faults: Vec<ScriptedFault>) -> Self {
+        Self { faults }
+    }
+
+    /// Expands `seed` into `count` faults spread over operation indices
+    /// `0..ops` with a splitmix64-style generator: the same seed always
+    /// yields the same script, so a failing fuzz case replays exactly.
+    pub fn from_seed(seed: u64, ops: u64, count: usize) -> Self {
+        let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let faults = (0..count)
+            .map(|_| ScriptedFault {
+                at: if ops == 0 { 0 } else { next() % ops },
+                kind: FaultKind::ALL[(next() % FaultKind::ALL.len() as u64) as usize],
+            })
+            .collect();
+        Self { faults }
+    }
+
+    /// Adds one fault to the script.
+    pub fn push(&mut self, at: u64, kind: FaultKind) {
+        self.faults.push(ScriptedFault { at, kind });
+    }
+
+    /// The full script, in insertion order.
+    pub fn faults(&self) -> &[ScriptedFault] {
+        &self.faults
+    }
+
+    /// Removes and returns the scripted fault of one of `kinds` whose
+    /// index matches `at`, if any — the "does this operation fail?" check
+    /// each fault site performs. Each scripted fault is consumed (fires
+    /// at most once).
+    pub fn take_matching(&mut self, at: u64, kinds: &[FaultKind]) -> Option<ScriptedFault> {
+        let pos = self
+            .faults
+            .iter()
+            .position(|f| f.at == at && kinds.contains(&f.kind))?;
+        Some(self.faults.remove(pos))
+    }
+
+    /// Scripted faults of the given kinds, without consuming them (the
+    /// session layer uses this to schedule [`FaultKind::UnloadRace`]).
+    pub fn of_kinds(&self, kinds: &[FaultKind]) -> Vec<ScriptedFault> {
+        self.faults
+            .iter()
+            .filter(|f| kinds.contains(&f.kind))
+            .copied()
+            .collect()
+    }
+
+    /// True when no faults remain to fire.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_deterministic() {
+        let a = FaultPlan::from_seed(42, 100, 8);
+        let b = FaultPlan::from_seed(42, 100, 8);
+        assert_eq!(a.faults(), b.faults());
+        let c = FaultPlan::from_seed(43, 100, 8);
+        assert_ne!(a.faults(), c.faults());
+    }
+
+    #[test]
+    fn take_matching_consumes_exactly_once() {
+        let mut p = FaultPlan::scripted(vec![ScriptedFault {
+            at: 2,
+            kind: FaultKind::DlopenOom,
+        }]);
+        assert!(p.take_matching(1, &[FaultKind::DlopenOom]).is_none());
+        assert!(p.take_matching(2, &[FaultKind::MprotectFail]).is_none());
+        let f = p.take_matching(2, &[FaultKind::DlopenOom]).unwrap();
+        assert_eq!(f.kind, FaultKind::DlopenOom);
+        assert!(p.take_matching(2, &[FaultKind::DlopenOom]).is_none());
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn kind_tags_are_stable() {
+        let tags: Vec<&str> = FaultKind::ALL.iter().map(|k| k.kind()).collect();
+        assert_eq!(
+            tags,
+            [
+                "dlopen_oom",
+                "relocation",
+                "partial_load",
+                "mprotect_fail",
+                "unload_race"
+            ]
+        );
+    }
+}

@@ -22,13 +22,15 @@
 //!   `/proc/<pid>/maps`-style queries used for symbol injection.
 
 pub mod compiler;
+pub mod fault;
 pub mod loader;
 pub mod memory;
 pub mod object;
 pub mod symbols;
 
 pub use compiler::{compile, estimate_compile_time, CompileError, CompileOptions, OptLevel};
-pub use loader::{FuncAddr, LoadError, LoadedObject, MapEntry, Process};
+pub use fault::{FaultKind, FaultPlan, FiredFault, ScriptedFault};
+pub use loader::{CloseOutcome, FuncAddr, LoadError, LoadedObject, MapEntry, Process};
 pub use memory::{AddressSpace, MemError, PagePerms, PAGE_SIZE};
 pub use object::{Binary, CompiledCallSite, CompiledFunction, DispatchKind, Object, ObjectKind};
 pub use symbols::{SymKind, Symbol, SymbolTable};

@@ -79,6 +79,12 @@ pub enum MemError {
         /// Requested base.
         addr: u64,
     },
+    /// A scripted fault plan failed this `mprotect` call (simulated
+    /// kernel refusal, e.g. `ENOMEM` splitting a VMA).
+    InjectedFault {
+        /// The `mprotect` call index the fault fired at.
+        index: u64,
+    },
 }
 
 impl fmt::Display for MemError {
@@ -90,6 +96,9 @@ impl fmt::Display for MemError {
                 write!(f, "write to protected page at {addr:#x}")
             }
             MemError::Overlap { addr } => write!(f, "mapping overlap at {addr:#x}"),
+            MemError::InjectedFault { index } => {
+                write!(f, "injected mprotect fault at call #{index}")
+            }
         }
     }
 }
@@ -138,6 +147,11 @@ pub struct AddressSpace {
     regions: Vec<Region>,
     /// Accounting for the overhead model.
     pub stats: MemStats,
+    /// Scheduled `mprotect` fault injections: call indices (compared
+    /// against `stats.mprotect_calls` at entry) that fail typed.
+    mprotect_fail_at: Vec<u64>,
+    /// Call indices at which injected faults actually fired, for audit.
+    mprotect_faults_fired: Vec<u64>,
 }
 
 impl AddressSpace {
@@ -188,6 +202,14 @@ impl AddressSpace {
     /// Changes protection on `[addr, addr+len)`, page-granular, like the
     /// `mprotect(2)` call the XRay patcher issues.
     pub fn mprotect(&mut self, addr: u64, len: u64, perms: PagePerms) -> Result<(), MemError> {
+        let index = self.stats.mprotect_calls;
+        if let Some(pos) = self.mprotect_fail_at.iter().position(|&i| i == index) {
+            // The failed syscall still counts as a syscall.
+            self.mprotect_fail_at.remove(pos);
+            self.mprotect_faults_fired.push(index);
+            self.stats.mprotect_calls += 1;
+            return Err(MemError::InjectedFault { index });
+        }
         if !addr.is_multiple_of(PAGE_SIZE) {
             return Err(MemError::Misaligned { addr });
         }
@@ -230,6 +252,17 @@ impl AddressSpace {
         }
         self.stats.bytes_written += len;
         Ok(())
+    }
+
+    /// Schedules an injected failure of the `mprotect` call whose index
+    /// (counting from process start) is `index`. Fires at most once.
+    pub fn schedule_mprotect_fault(&mut self, index: u64) {
+        self.mprotect_fail_at.push(index);
+    }
+
+    /// Call indices at which injected `mprotect` faults fired.
+    pub fn mprotect_faults_fired(&self) -> &[u64] {
+        &self.mprotect_faults_fired
     }
 
     /// Region containing `addr`.
@@ -319,6 +352,22 @@ mod tests {
         a.unmap(0x1000).unwrap();
         assert!(a.region_of(0x1000).is_none());
         assert_eq!(a.unmap(0x1000), Err(MemError::Unmapped { addr: 0x1000 }));
+    }
+
+    #[test]
+    fn scheduled_mprotect_fault_fires_exactly_once() {
+        let mut a = AddressSpace::new();
+        a.map(0x1000, 2 * PAGE_SIZE, PagePerms::RX, "code").unwrap();
+        a.mprotect(0x1000, PAGE_SIZE, PagePerms::RWX).unwrap();
+        a.schedule_mprotect_fault(1);
+        assert_eq!(
+            a.mprotect(0x1000, PAGE_SIZE, PagePerms::RX),
+            Err(MemError::InjectedFault { index: 1 })
+        );
+        // The failed call still counted; the retry (call #2) succeeds.
+        assert_eq!(a.stats.mprotect_calls, 2);
+        a.mprotect(0x1000, PAGE_SIZE, PagePerms::RX).unwrap();
+        assert_eq!(a.mprotect_faults_fired(), &[1]);
     }
 
     #[test]

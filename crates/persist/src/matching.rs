@@ -53,6 +53,20 @@ pub enum ObjectMatch {
     },
 }
 
+impl ObjectMatch {
+    /// Stable machine-readable tag, in the `PersistError::kind()` mold —
+    /// the lifecycle reason string logged when warm-start records are
+    /// remapped, re-resolved, or discarded.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ObjectMatch::Unchanged { .. } => "unchanged",
+            ObjectMatch::Moved { .. } => "moved",
+            ObjectMatch::Rebuilt { .. } => "rebuilt",
+            ObjectMatch::Missing { .. } => "missing",
+        }
+    }
+}
+
 /// Plans the match for every profile object against the live process,
 /// in ascending profile-object-ID order. Each live object is consumed
 /// by at most one profile object (first match wins), so two identical

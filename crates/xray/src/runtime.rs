@@ -151,6 +151,13 @@ pub struct RepatchReport {
     pub rates_set: u64,
     /// Patch generation after the batch was applied.
     pub generation: u64,
+    /// Objects the whole delta referenced but that were no longer
+    /// registered — skipped by [`XRayRuntime::repatch_surviving`]
+    /// instead of failing the batch (0 on the strict path).
+    pub skipped_objects: u64,
+    /// Individual delta entries dropped because their object or
+    /// function was gone (0 on the strict path).
+    pub skipped_entries: u64,
 }
 
 struct Registered {
@@ -683,6 +690,34 @@ impl XRayRuntime {
         mem: &mut AddressSpace,
         delta: &PatchDelta,
     ) -> Result<RepatchReport, XRayError> {
+        self.repatch_inner(mem, delta, false)
+    }
+
+    /// Like [`Self::repatch`], but survives DSO churn: delta entries
+    /// whose object was deregistered (or whose function has no sled in
+    /// the currently-registered image, after a rebuild) are *skipped and
+    /// counted* (`skipped_objects` / `skipped_entries` in the report)
+    /// instead of failing the whole batch. This is the degradation mode
+    /// an adaptation loop uses when an unload may race its decisions:
+    /// never a panic, never a write through a recycled slot — a skipped
+    /// entry simply leaves that object's sleds as they are.
+    ///
+    /// Memory faults (e.g. an injected `mprotect` failure) still
+    /// propagate: they are environment failures, not staleness.
+    pub fn repatch_surviving(
+        &self,
+        mem: &mut AddressSpace,
+        delta: &PatchDelta,
+    ) -> Result<RepatchReport, XRayError> {
+        self.repatch_inner(mem, delta, true)
+    }
+
+    fn repatch_inner(
+        &self,
+        mem: &mut AddressSpace,
+        delta: &PatchDelta,
+        lenient: bool,
+    ) -> Result<RepatchReport, XRayError> {
         if delta.is_empty() {
             return Ok(RepatchReport {
                 generation: self.generation(),
@@ -719,28 +754,75 @@ impl XRayRuntime {
                 .or_default()
                 .insert(id.function(), rate.max(1));
         }
-        // Validate every ID before mutating anything.
-        let patch_keys = by_obj
-            .iter()
-            .flat_map(|(&o, c)| c.keys().map(move |&f| (o, f)));
-        let rate_keys = rates_by_obj
-            .iter()
-            .flat_map(|(&o, c)| c.keys().map(move |&f| (o, f)));
-        for (oid, fid) in patch_keys.chain(rate_keys) {
-            let reg = inner
-                .objects
-                .get(oid as usize)
-                .and_then(Option::as_ref)
-                .ok_or(XRayError::UnknownObject(oid))?;
-            reg.inst.sleds.by_fid(fid).ok_or_else(|| {
-                XRayError::UnknownFunction(
-                    PackedId::pack(oid, fid).unwrap_or(PackedId::from_raw(0)),
-                )
-            })?;
+        let mut skipped_objects: std::collections::BTreeSet<u8> = std::collections::BTreeSet::new();
+        let mut skipped_entries = 0u64;
+        if lenient {
+            // Drop entries that no longer resolve — the object was
+            // deregistered, or its (rebuilt) image lost the function.
+            fn drop_unknown<V>(
+                map: &mut std::collections::BTreeMap<u8, std::collections::BTreeMap<u32, V>>,
+                skipped_objects: &mut std::collections::BTreeSet<u8>,
+                skipped_entries: &mut u64,
+                inner: &Inner,
+            ) {
+                map.retain(|&oid, changes| {
+                    match inner.objects.get(oid as usize).and_then(Option::as_ref) {
+                        None => {
+                            skipped_objects.insert(oid);
+                            *skipped_entries += changes.len() as u64;
+                            false
+                        }
+                        Some(reg) => {
+                            changes.retain(|&fid, _| {
+                                let known = reg.inst.sleds.by_fid(fid).is_some();
+                                if !known {
+                                    *skipped_entries += 1;
+                                }
+                                known
+                            });
+                            !changes.is_empty()
+                        }
+                    }
+                });
+            }
+            drop_unknown(
+                &mut by_obj,
+                &mut skipped_objects,
+                &mut skipped_entries,
+                &inner,
+            );
+            drop_unknown(
+                &mut rates_by_obj,
+                &mut skipped_objects,
+                &mut skipped_entries,
+                &inner,
+            );
+        } else {
+            // Validate every ID before mutating anything.
+            let patch_keys = by_obj
+                .iter()
+                .flat_map(|(&o, c)| c.keys().map(move |&f| (o, f)));
+            let rate_keys = rates_by_obj
+                .iter()
+                .flat_map(|(&o, c)| c.keys().map(move |&f| (o, f)));
+            for (oid, fid) in patch_keys.chain(rate_keys) {
+                let reg = inner
+                    .objects
+                    .get(oid as usize)
+                    .and_then(Option::as_ref)
+                    .ok_or(XRayError::UnknownObject(oid))?;
+                reg.inst.sleds.by_fid(fid).ok_or_else(|| {
+                    XRayError::UnknownFunction(
+                        PackedId::pack(oid, fid).unwrap_or(PackedId::from_raw(0)),
+                    )
+                })?;
+            }
         }
         let new_gen = self.generation.fetch_add(1, Ordering::AcqRel) + 1;
         let mut report = RepatchReport {
             generation: new_gen,
+            skipped_objects: skipped_objects.len() as u64,
+            skipped_entries,
             ..Default::default()
         };
         // Memory errors mid-batch can leave earlier objects applied;
@@ -809,6 +891,10 @@ impl XRayRuntime {
             span.arg("sleds_unpatched", report.sleds_unpatched);
             span.arg("mprotect_pairs", report.mprotect_pairs);
             span.arg("rates_set", report.rates_set);
+            if lenient {
+                span.arg("skipped_objects", report.skipped_objects);
+                span.arg("skipped_entries", report.skipped_entries);
+            }
             span.wall_ns(wall_start.elapsed().as_nanos() as u64);
         }
         res.map(|()| report)
@@ -1561,6 +1647,43 @@ mod tests {
         assert!(matches!(err, XRayError::UnknownFunction(_)));
         // Nothing was applied.
         assert!(!f.runtime.is_patched(good));
+    }
+
+    #[test]
+    fn repatch_surviving_skips_deregistered_object_and_applies_rest() {
+        let (mut f, main_id, dso_id) = registered();
+        let m0 = PackedId::pack(main_id, 0).unwrap();
+        let d0 = PackedId::pack(dso_id, 0).unwrap();
+        let bogus_fn = PackedId::pack(main_id, 9_999).unwrap();
+        // The object vanishes between the decision and the repatch.
+        f.runtime.deregister(dso_id).unwrap();
+        let rep = f
+            .runtime
+            .repatch_surviving(
+                &mut f.process.memory,
+                &PatchDelta {
+                    patch: vec![m0, d0],
+                    unpatch: vec![bogus_fn],
+                    set_rate: vec![(d0, 4)],
+                },
+            )
+            .unwrap();
+        // The surviving entry applied; the stale ones were counted, not
+        // fatal — and never written through the vacated slot.
+        assert!(f.runtime.is_patched(m0));
+        assert_eq!(rep.skipped_objects, 1);
+        assert_eq!(rep.skipped_entries, 3); // d0 patch + bogus fn + d0 rate
+                                            // The strict path still fails the same delta typed.
+        assert!(matches!(
+            f.runtime.repatch(
+                &mut f.process.memory,
+                &PatchDelta {
+                    patch: vec![d0],
+                    ..PatchDelta::default()
+                }
+            ),
+            Err(XRayError::UnknownObject(_))
+        ));
     }
 
     #[test]

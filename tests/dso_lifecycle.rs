@@ -499,3 +499,386 @@ fn memory_map_tracks_load_and_unload() {
     assert_eq!(process.memory_map().len(), 1);
     assert!(process.resolve("plugin_entry").is_none());
 }
+
+// ---------------------------------------------------------------------------
+// DSO-churn survival: scripted lifecycle ops (open/close/rebuild/interpose/
+// fault) executed while adaptation is mid-flight, with warm-start profiles.
+// The invariants: the run always completes (graceful degradation, typed
+// errors only), no stale slot is ever aliased, and same-seed replays produce
+// byte-identical adaptation logs and event counts.
+// ---------------------------------------------------------------------------
+
+use capi_appmodel::MpiCall;
+use capi_dyncapi::{
+    startup, AdaptiveRunBuilder, DynCapiConfig, LifecycleOp, LifecycleScript, ProfileSource,
+    Session, ToolChoice,
+};
+use capi_objmodel::{FaultKind, FaultPlan};
+use proptest::prelude::*;
+
+/// Host: exe (main → step → work) + libplugin.so + libaux.so, both called
+/// from `step` so closing either mid-run leaves dangling call targets —
+/// exactly what the lenient engine prepare must survive.
+fn churn_host_binary() -> capi_objmodel::Binary {
+    let mut b = ProgramBuilder::new("churnhost");
+    b.unit("m.cc", LinkTarget::Executable);
+    b.function("main")
+        .main()
+        .statements(50)
+        .instructions(400)
+        .cost(1_000)
+        .calls("MPI_Init", 1)
+        .calls("step", 8)
+        .calls("MPI_Finalize", 1)
+        .finish();
+    b.function("step")
+        .statements(40)
+        .instructions(300)
+        .cost(500)
+        .calls("plugin_entry", 2)
+        .calls("aux_fn", 2)
+        .calls("work", 4)
+        .calls("MPI_Allreduce", 1)
+        .finish();
+    b.function("work")
+        .statements(30)
+        .instructions(280)
+        .cost(6_000)
+        .loop_depth(1)
+        .finish();
+    b.function("MPI_Init")
+        .statements(1)
+        .instructions(8)
+        .cost(0)
+        .mpi(MpiCall::Init)
+        .finish();
+    b.function("MPI_Allreduce")
+        .statements(1)
+        .instructions(8)
+        .cost(0)
+        .mpi(MpiCall::Allreduce { bytes: 16 })
+        .finish();
+    b.function("MPI_Finalize")
+        .statements(1)
+        .instructions(8)
+        .cost(0)
+        .mpi(MpiCall::Finalize)
+        .finish();
+    b.unit("p.cc", LinkTarget::Dso("libplugin.so".into()));
+    b.function("plugin_entry")
+        .statements(60)
+        .instructions(500)
+        .cost(2_000)
+        .loop_depth(1)
+        .finish();
+    b.unit("a.cc", LinkTarget::Dso("libaux.so".into()));
+    b.function("aux_fn")
+        .statements(45)
+        .instructions(350)
+        .cost(1_200)
+        .finish();
+    compile(&b.build().unwrap(), &CompileOptions::o2()).unwrap()
+}
+
+fn churn_session() -> Session {
+    startup(
+        &churn_host_binary(),
+        DynCapiConfig {
+            tool: ToolChoice::Talp(Default::default()),
+            ranks: 2,
+            ..Default::default()
+        },
+    )
+    .unwrap()
+}
+
+/// A loadable plugin image; `generation` changes the content so two
+/// generations of `libextra.so` fingerprint differently (rebuilds).
+fn extra_image(generation: u32) -> Arc<Object> {
+    let mut b = ProgramBuilder::new("extra");
+    b.unit("m.cc", LinkTarget::Executable);
+    b.function("main")
+        .main()
+        .statements(10)
+        .instructions(100)
+        .calls("extra_fn", 1)
+        .finish();
+    b.unit("x.cc", LinkTarget::Dso("libextra.so".into()));
+    b.function("extra_fn")
+        .statements(20 + generation)
+        .instructions(200 + generation)
+        .cost(800)
+        .finish();
+    let bin = compile(&b.build().unwrap(), &CompileOptions::o2()).unwrap();
+    Arc::new(bin.dsos[0].clone())
+}
+
+/// An interposer exporting `aux_fn`: loaded at the LD_PRELOAD position it
+/// shadows libaux.so's definition.
+fn shadow_image() -> Arc<Object> {
+    let mut b = ProgramBuilder::new("shadow");
+    b.unit("m.cc", LinkTarget::Executable);
+    b.function("main")
+        .main()
+        .statements(10)
+        .instructions(100)
+        .calls("aux_fn", 1)
+        .finish();
+    b.unit("s.cc", LinkTarget::Dso("libshadow.so".into()));
+    b.function("aux_fn")
+        .statements(33)
+        .instructions(260)
+        .cost(900)
+        .finish();
+    let bin = compile(&b.build().unwrap(), &CompileOptions::o2()).unwrap();
+    Arc::new(bin.dsos[0].clone())
+}
+
+/// Seed-expanded churn script: arbitrary open/close/rebuild/interpose/
+/// race ops over the run's epochs plus a seeded fault plan.
+fn script_from_seed(seed: u64, epochs: usize) -> LifecycleScript {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let mut script = LifecycleScript::new()
+        .image(extra_image(next() as u32 % 3))
+        .image(shadow_image());
+    for e in 0..epochs {
+        match next() % 7 {
+            0 => script = script.at(e, LifecycleOp::Open("libextra.so".into())),
+            1 => script = script.at(e, LifecycleOp::Close("libextra.so".into())),
+            2 => script = script.at(e, LifecycleOp::Reload("libextra.so".into())),
+            3 => script = script.at(e, LifecycleOp::UnloadRace("libaux.so".into())),
+            4 => script = script.at(e, LifecycleOp::Interpose("libshadow.so".into())),
+            5 => script = script.at(e, LifecycleOp::Close("libplugin.so".into())),
+            _ => {}
+        }
+    }
+    script.fault_plan(FaultPlan::from_seed(seed, 12, 3))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Fuzzed churn storms: any seed-expanded script must (a) never kill
+    /// the run, (b) leave no patched ID dangling (every live sled still
+    /// resolves to an address — no aliased slots), and (c) replay
+    /// byte-identically from the same seed: same adaptation log, same
+    /// event count, same lifecycle counters.
+    #[test]
+    fn fuzzed_churn_replays_byte_identically_and_never_aliases(seed in any::<u64>()) {
+        let epochs = 5usize;
+        let run = || {
+            let mut s = churn_session();
+            let out = AdaptiveRunBuilder::new()
+                .epochs(epochs)
+                .budget_pct(20.0)
+                .seed(11)
+                .lifecycle(script_from_seed(seed, epochs))
+                .run(&mut s)
+                .expect("a churn storm must degrade, never fail the run");
+            (out, s)
+        };
+        let (a, sa) = run();
+        let (b, _) = run();
+        prop_assert_eq!(&a.log, &b.log, "same-seed replay must be byte-identical");
+        prop_assert_eq!(a.adaptive.events, b.adaptive.events);
+        prop_assert_eq!(a.adaptive.lifecycle, b.adaptive.lifecycle);
+        prop_assert!(a.adaptive.events > 0, "the host keeps producing events");
+        // No aliased slots: every patched ID maps to a live function.
+        for id in sa.runtime.patched_ids() {
+            prop_assert!(
+                sa.runtime.function_address(id).is_some(),
+                "patched id {:?} dangles after churn", id
+            );
+        }
+        prop_assert_eq!(a.adaptive.restarts, 0);
+    }
+}
+
+/// A dropped delta's worth of churn in one directed scenario: the unload
+/// race closes libplugin.so *between* the controller's epoch-0 decision
+/// (which, with a starvation budget, unpatches the plugin's functions)
+/// and the repatch — the surviving repatch skips the vanished object,
+/// counts the degradation, and the run completes.
+#[test]
+fn unload_race_degrades_repatch_and_run_completes() {
+    let mut s = churn_session();
+    let script = LifecycleScript::new().at(0, LifecycleOp::UnloadRace("libplugin.so".into()));
+    let out = AdaptiveRunBuilder::new()
+        .epochs(4)
+        .budget_pct(0.5)
+        .lifecycle(script)
+        .run(&mut s)
+        .unwrap();
+    let stats = out.adaptive.lifecycle.unwrap();
+    assert_eq!(stats.unload_races, 1);
+    assert!(
+        stats.degraded_repatches >= 1,
+        "the racing delta must degrade"
+    );
+    assert!(out.log.contains("unload race closed `libplugin.so`"));
+    assert!(out.log.contains("degraded repatch"));
+    assert!(s.process.loaded_index("libplugin.so").is_none());
+    assert!(out.adaptive.events > 0);
+}
+
+/// A transient dlopen fault is retried with bounded backoff and the
+/// retry succeeds; the failure and the retry are both counted.
+#[test]
+fn dlopen_fault_is_retried_and_the_open_succeeds() {
+    let mut s = churn_session();
+    let mut plan = FaultPlan::new();
+    plan.push(s.process.dlopen_calls(), FaultKind::DlopenOom);
+    let script = LifecycleScript::new()
+        .image(extra_image(0))
+        .fault_plan(plan)
+        .at(1, LifecycleOp::Open("libextra.so".into()));
+    let out = AdaptiveRunBuilder::new()
+        .epochs(3)
+        .budget_pct(20.0)
+        .lifecycle(script)
+        .run(&mut s)
+        .unwrap();
+    let stats = out.adaptive.lifecycle.unwrap();
+    assert_eq!(stats.dlopen_failed, 1);
+    assert_eq!(stats.retries, 1);
+    assert_eq!(stats.opened, 1);
+    assert!(
+        stats.lifecycle_ns > 0,
+        "backoff + registration cost accounted"
+    );
+    assert!(out.log.contains("open `libextra.so`"));
+    assert!(out.log.contains("after 1 retries"));
+    assert_eq!(s.process.fired_faults().len(), 1);
+    assert_eq!(s.process.fired_faults()[0].kind, FaultKind::DlopenOom);
+    assert!(s.process.loaded_index("libextra.so").is_some());
+}
+
+/// Rebuilt-then-reloaded: the reload closes generation-0 and opens a
+/// different build under the same name; the recycled object ID carries
+/// none of the old functions and the run keeps going.
+#[test]
+fn reload_swaps_in_the_rebuilt_image() {
+    let mut s = churn_session();
+    let script = LifecycleScript::new()
+        .image(extra_image(0))
+        .at(0, LifecycleOp::Open("libextra.so".into()))
+        .at(2, LifecycleOp::Reload("libextra.so".into()));
+    let out = AdaptiveRunBuilder::new()
+        .epochs(4)
+        .budget_pct(20.0)
+        .lifecycle(script)
+        .run(&mut s)
+        .unwrap();
+    let stats = out.adaptive.lifecycle.unwrap();
+    assert_eq!(stats.opened, 2, "initial open + reload re-open");
+    assert_eq!(stats.closed, 1, "reload closes the old generation");
+    assert!(out.log.contains("close `libextra.so`"));
+    assert!(s.process.loaded_index("libextra.so").is_some());
+}
+
+/// Interposition mid-run: the shadow object enters resolution right
+/// after the executable and wins the `aux_fn` lookup from then on.
+#[test]
+fn interposed_dso_shadows_and_the_session_survives() {
+    let mut s = churn_session();
+    let script = LifecycleScript::new()
+        .image(shadow_image())
+        .at(1, LifecycleOp::Interpose("libshadow.so".into()));
+    let out = AdaptiveRunBuilder::new()
+        .epochs(3)
+        .budget_pct(20.0)
+        .lifecycle(script)
+        .run(&mut s)
+        .unwrap();
+    assert!(out.log.contains("interpose `libshadow.so`"));
+    let shadow_idx = s.process.loaded_index("libshadow.so").unwrap();
+    let resolved = s.process.resolve("aux_fn").unwrap();
+    let shadow_base = s.process.object(shadow_idx).unwrap().base;
+    assert!(
+        resolved.addr >= shadow_base,
+        "interposed definition must win the lookup"
+    );
+}
+
+/// Warm start under churn: the profile references a DSO the new session
+/// never loaded — the records are discarded with a per-object typed
+/// lifecycle reason in the adaptation log, never silently dropped.
+#[test]
+fn warm_start_under_churn_logs_a_typed_missing_reason() {
+    // Session A opens libextra and exports a profile that records it.
+    let mut a = churn_session();
+    let script = LifecycleScript::new()
+        .image(extra_image(0))
+        .at(0, LifecycleOp::Open("libextra.so".into()));
+    let out_a = AdaptiveRunBuilder::new()
+        .epochs(3)
+        .budget_pct(20.0)
+        .lifecycle(script)
+        .run(&mut a)
+        .unwrap();
+    assert!(
+        out_a
+            .profile
+            .objects
+            .iter()
+            .any(|o| o.name == "libextra.so"),
+        "the opened DSO must be in the exported profile"
+    );
+    // Session B never loads libextra: the warm start classifies it
+    // missing and says so, typed, per object.
+    let mut b = churn_session();
+    let out_b = AdaptiveRunBuilder::new()
+        .epochs(3)
+        .budget_pct(20.0)
+        .profile(ProfileSource::Inline(out_a.profile.clone()))
+        .run(&mut b)
+        .unwrap();
+    assert!(out_b.warm_started);
+    assert!(
+        out_b.log.contains("`libextra.so`") && out_b.log.contains("[lifecycle:missing]"),
+        "per-object typed reason missing from log:\n{}",
+        out_b.log
+    );
+}
+
+/// Warm-started adaptation with churn *in the same run*: the profile
+/// seeds the controller, then the script closes a profiled object —
+/// the controller invalidates it and the replay stays deterministic.
+#[test]
+fn warm_start_plus_churn_is_deterministic() {
+    let profile = {
+        let mut s = churn_session();
+        AdaptiveRunBuilder::new()
+            .epochs(4)
+            .budget_pct(10.0)
+            .run(&mut s)
+            .unwrap()
+            .profile
+    };
+    let run = || {
+        let mut s = churn_session();
+        let script = LifecycleScript::new()
+            .at(1, LifecycleOp::Close("libaux.so".into()))
+            .at(2, LifecycleOp::UnloadRace("libplugin.so".into()));
+        AdaptiveRunBuilder::new()
+            .epochs(4)
+            .budget_pct(10.0)
+            .lifecycle(script)
+            .profile(ProfileSource::Inline(profile.clone()))
+            .run(&mut s)
+            .unwrap()
+    };
+    let x = run();
+    let y = run();
+    assert_eq!(x.log, y.log, "warm + churn must replay byte-identically");
+    assert_eq!(x.adaptive.events, y.adaptive.events);
+    assert!(x.warm_started);
+    assert!(x.log.contains("close `libaux.so`"));
+}

@@ -174,3 +174,283 @@ fn empty_selection_is_valid_and_measures_nothing() {
         .unwrap();
     assert_eq!(m.run.run.events, 0);
 }
+
+// ---------------------------------------------------------------------------
+// FaultPlan coverage: every fault kind fires exactly once at its scripted
+// point, is observable (fault log, telemetry, or adaptation log), and the
+// run either completes degraded or fails with a typed error — never a panic.
+// ---------------------------------------------------------------------------
+
+use capi_dyncapi::{AdaptiveRunBuilder, LifecycleScript};
+use capi_objmodel::{FaultKind, FaultPlan, LoadError};
+use capi_obs::Telemetry;
+use std::sync::Arc;
+
+/// A host with one DSO the faults can target.
+fn faultable_binary() -> capi_objmodel::Binary {
+    let mut b = ProgramBuilder::new("faulthost");
+    b.unit("m.cc", LinkTarget::Executable);
+    b.function("main")
+        .main()
+        .statements(40)
+        .instructions(300)
+        .cost(1_000)
+        .calls("MPI_Init", 1)
+        .calls("step", 6)
+        .calls("MPI_Finalize", 1)
+        .finish();
+    b.function("step")
+        .statements(30)
+        .instructions(250)
+        .cost(500)
+        .calls("plugin_entry", 2)
+        .calls("MPI_Allreduce", 1)
+        .finish();
+    b.function("MPI_Init")
+        .statements(1)
+        .instructions(8)
+        .cost(0)
+        .mpi(MpiCall::Init)
+        .finish();
+    b.function("MPI_Allreduce")
+        .statements(1)
+        .instructions(8)
+        .cost(0)
+        .mpi(MpiCall::Allreduce { bytes: 8 })
+        .finish();
+    b.function("MPI_Finalize")
+        .statements(1)
+        .instructions(8)
+        .cost(0)
+        .mpi(MpiCall::Finalize)
+        .finish();
+    b.unit("p.cc", LinkTarget::Dso("libplugin.so".into()));
+    b.function("plugin_entry")
+        .statements(50)
+        .instructions(400)
+        .cost(2_000)
+        .finish();
+    compile(&b.build().unwrap(), &CompileOptions::o2()).unwrap()
+}
+
+fn spare_dso() -> Arc<capi_objmodel::Object> {
+    let mut b = ProgramBuilder::new("spare");
+    b.unit("m.cc", LinkTarget::Executable);
+    b.function("main")
+        .main()
+        .statements(10)
+        .instructions(100)
+        .calls("spare_fn", 1)
+        .finish();
+    b.unit("s.cc", LinkTarget::Dso("libspare.so".into()));
+    b.function("spare_fn")
+        .statements(25)
+        .instructions(220)
+        .cost(700)
+        .finish();
+    Arc::new(
+        compile(&b.build().unwrap(), &CompileOptions::o2())
+            .unwrap()
+            .dsos[0]
+            .clone(),
+    )
+}
+
+/// A loader-level fault fires exactly once at its dlopen index, is
+/// recorded in the fault log with its stable tag, and the *same* call
+/// retried succeeds (the plan entry is consumed).
+fn assert_dlopen_fault_once(kind: FaultKind) {
+    let bin = faultable_binary();
+    let mut p = Process::launch_binary(&bin).unwrap();
+    let maps_before = p.memory_map().len();
+    let mut plan = FaultPlan::new();
+    plan.push(p.dlopen_calls(), kind);
+    p.set_fault_plan(plan);
+    let err = p.dlopen(spare_dso()).expect_err("scripted fault must fire");
+    match &err {
+        LoadError::Fault { kind: k, name } => {
+            assert_eq!(*k, kind);
+            assert_eq!(name, "libspare.so");
+        }
+        other => panic!("expected a typed fault, got {other}"),
+    }
+    assert_eq!(err.kind(), kind.kind(), "stable machine tag");
+    assert_eq!(p.fired_faults().len(), 1, "fires exactly once");
+    assert_eq!(p.fired_faults()[0].kind, kind);
+    // Nothing leaked: no extra mapping survived the failed load.
+    assert_eq!(p.memory_map().len(), maps_before);
+    // The entry is consumed: the retry succeeds and no second fault fires.
+    let idx = p.dlopen(spare_dso()).expect("retry must succeed");
+    assert!(p.object(idx).is_some());
+    assert_eq!(p.fired_faults().len(), 1);
+}
+
+#[test]
+fn fault_dlopen_oom_fires_once_and_is_typed() {
+    assert_dlopen_fault_once(FaultKind::DlopenOom);
+}
+
+#[test]
+fn fault_relocation_fires_once_and_is_typed() {
+    assert_dlopen_fault_once(FaultKind::Relocation);
+}
+
+#[test]
+fn fault_partial_load_rolls_back_fully() {
+    assert_dlopen_fault_once(FaultKind::PartialLoad);
+}
+
+/// An injected mprotect fault mid-repatch degrades the epoch (delta
+/// dropped, counted, logged) instead of killing the adaptive run, and
+/// fires exactly once.
+#[test]
+fn fault_mprotect_degrades_the_repatch_and_run_completes() {
+    let bin = faultable_binary();
+    let mut session = capi_dyncapi::startup(
+        &bin,
+        capi_dyncapi::DynCapiConfig {
+            tool: capi_dyncapi::ToolChoice::Talp(Default::default()),
+            ranks: 2,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    // Schedule the fault on the *next* mprotect call: the first repatch
+    // batch of the run trips it.
+    let mut plan = FaultPlan::new();
+    plan.push(
+        session.process.memory.stats.mprotect_calls,
+        FaultKind::MprotectFail,
+    );
+    let tel = Telemetry::new();
+    let out = AdaptiveRunBuilder::new()
+        .epochs(4)
+        .budget_pct(0.5)
+        .telemetry(tel.clone())
+        .lifecycle(LifecycleScript::new().fault_plan(plan))
+        .run(&mut session)
+        .unwrap();
+    let stats = out.adaptive.lifecycle.unwrap();
+    assert!(stats.degraded_repatches >= 1, "the batch must degrade");
+    assert_eq!(
+        session.process.memory.mprotect_faults_fired().len(),
+        1,
+        "fires exactly once"
+    );
+    assert!(out.log.contains("delta dropped"), "degradation in the log");
+    // Observable in telemetry: the degradation counter advanced.
+    let c = tel.counter("lifecycle.degraded_repatch");
+    assert!(tel.counter_value(c) >= 1);
+    assert!(out.adaptive.events > 0, "the run completed");
+}
+
+/// A plan-driven unload race (no script op, just the seeded plan)
+/// closes the most recently loaded DSO between decision and repatch;
+/// the degradation is observable in telemetry and the log.
+#[test]
+fn fault_unload_race_fires_once_and_degrades() {
+    let bin = faultable_binary();
+    let mut session = capi_dyncapi::startup(
+        &bin,
+        capi_dyncapi::DynCapiConfig {
+            tool: capi_dyncapi::ToolChoice::Talp(Default::default()),
+            ranks: 2,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    // UnloadRace rides the epoch clock: fire at epoch 0.
+    let mut plan = FaultPlan::new();
+    plan.push(0, FaultKind::UnloadRace);
+    let tel = Telemetry::new();
+    let out = AdaptiveRunBuilder::new()
+        .epochs(3)
+        .budget_pct(0.5)
+        .telemetry(tel.clone())
+        .lifecycle(LifecycleScript::new().fault_plan(plan))
+        .run(&mut session)
+        .unwrap();
+    let stats = out.adaptive.lifecycle.unwrap();
+    assert_eq!(stats.unload_races, 1, "fires exactly once");
+    assert!(out
+        .log
+        .contains("fault unload_race arms against `libplugin.so`"));
+    assert!(out.log.contains("unload race closed `libplugin.so`"));
+    let c = tel.counter("lifecycle.unload_race");
+    assert_eq!(tel.counter_value(c), 1);
+    assert!(session.process.loaded_index("libplugin.so").is_none());
+    assert!(out.adaptive.events > 0, "the run completed");
+}
+
+/// Seed-expanded plans are deterministic and their tags are stable —
+/// the contract that makes every injected failure reproducible from a
+/// seed printed in a bug report.
+#[test]
+fn fault_plans_expand_deterministically_from_a_seed() {
+    let a = FaultPlan::from_seed(0xFEED, 64, 8);
+    let b = FaultPlan::from_seed(0xFEED, 64, 8);
+    assert_eq!(a.faults().len(), b.faults().len());
+    for (x, y) in a.faults().iter().zip(b.faults()) {
+        assert_eq!(x.at, y.at);
+        assert_eq!(x.kind, y.kind);
+    }
+    for k in FaultKind::ALL {
+        assert!(!k.kind().is_empty());
+        assert_eq!(format!("{k}"), format!("{k}"));
+    }
+}
+
+/// Error-surface audit: every public error enum on the lifecycle paths
+/// implements `Display` + `std::error::Error` with *stable* messages
+/// (the adaptation log quotes them, and byte-identical replay depends
+/// on them), and wrapping errors expose a walkable `source()` chain.
+#[test]
+fn lifecycle_errors_display_stably_and_chain_sources() {
+    use capi_objmodel::{FaultKind, LoadError};
+    use std::error::Error as _;
+
+    let mem = MemError::Unmapped { addr: 0x40 };
+    let load: LoadError = mem.clone().into();
+    assert_eq!(load.to_string(), format!("mapping failure: {mem}"));
+    assert_eq!(load.kind(), "mem");
+    let src = load.source().expect("LoadError::Mem chains its MemError");
+    assert_eq!(src.to_string(), mem.to_string());
+
+    let fault = LoadError::Fault {
+        kind: FaultKind::DlopenOom,
+        name: "libspare.so".into(),
+    };
+    assert_eq!(
+        fault.to_string(),
+        "injected fault `dlopen_oom` on object `libspare.so`"
+    );
+    assert!(fault.source().is_none(), "a leaf fault has no source");
+
+    let deps = LoadError::HasDependents {
+        name: "libaux.so".into(),
+        dependents: vec!["libplugin.so".into()],
+    };
+    assert_eq!(
+        deps.to_string(),
+        "object `libaux.so` still has dependents: libplugin.so"
+    );
+
+    let wrapped = capi_dyncapi::DynCapiError::Load(fault);
+    assert_eq!(
+        wrapped.to_string(),
+        "load: injected fault `dlopen_oom` on object `libspare.so`"
+    );
+    let chain: Vec<String> = {
+        let mut out = Vec::new();
+        let mut cur: Option<&dyn std::error::Error> = Some(&wrapped);
+        while let Some(e) = cur {
+            out.push(e.to_string());
+            cur = e.source();
+        }
+        out
+    };
+    assert_eq!(chain.len(), 2, "DynCapiError -> LoadError: {chain:?}");
+
+    let xray = capi_dyncapi::DynCapiError::XRay(capi_xray::XRayError::UnknownObject(7));
+    assert!(xray.source().is_some(), "XRay errors chain too");
+}
