@@ -159,6 +159,35 @@ pub fn redundancy_ppm_from_env() -> u32 {
     parse_positive_usize(std::env::var("CAPI_REDUNDANCY_PPM").ok(), 0) as u32
 }
 
+/// Rank counts for the dispatch throughput sweep, from
+/// `CAPI_DISPATCH_RANKS` (comma-separated, default `1,2,4,8,32,128`).
+/// The high-rank rows exercise the dynamic reader-slot registry past
+/// the registry's 64-stripe telemetry fold.
+///
+/// Unparseable lists, empty lists and zero entries fall back to the
+/// default; a zero-rank row would dispatch nothing.
+pub fn dispatch_ranks_from_env() -> Vec<u32> {
+    const DEFAULT: &[u32] = &[1, 2, 4, 8, 32, 128];
+    std::env::var("CAPI_DISPATCH_RANKS")
+        .ok()
+        .and_then(|v| {
+            v.split(',')
+                .map(|s| s.trim().parse::<u32>().ok().filter(|&n| n > 0))
+                .collect::<Option<Vec<u32>>>()
+        })
+        .filter(|ranks| !ranks.is_empty())
+        .unwrap_or_else(|| DEFAULT.to_vec())
+}
+
+/// Repetitions per loaded-object count for the `table4` repatch-latency
+/// section, from `CAPI_REPATCH_REPS` (default 200).
+///
+/// Unparseable or zero values fall back to the default; a zero-rep
+/// section measures nothing.
+pub fn repatch_reps_from_env() -> usize {
+    parse_positive_usize(std::env::var("CAPI_REPATCH_REPS").ok(), 200)
+}
+
 /// Events per throughput trial for the `table8` self-telemetry overhead
 /// comparison, from `CAPI_OBS_EVENTS` (default 100,000).
 ///
@@ -370,6 +399,85 @@ pub fn dispatch_fixture(funcs: usize) -> DispatchFixture {
         process,
         runtime,
         ids,
+    }
+}
+
+/// A host process with `dso_count` registered (and fully patched)
+/// shared objects — the fixture for the repatch-latency-vs-loaded-
+/// objects section of `table4`. With per-object copy-on-write dispatch
+/// tables, repatching one object rebuilds one `ObjectDispatch` entry no
+/// matter how many others are loaded, so the measured latency should
+/// stay flat as `dso_count` grows.
+pub struct RepatchFixture {
+    /// The launched process (owns the patchable memory).
+    pub process: capi_objmodel::Process,
+    /// The XRay runtime with every object registered and patched.
+    pub runtime: capi_xray::XRayRuntime,
+    /// One representative patched ID per DSO (object IDs 1..=dso_count).
+    pub dso_ids: Vec<capi_xray::PackedId>,
+}
+
+/// Builds a [`RepatchFixture`] with `dso_count` DSOs of `funcs_per_dso`
+/// instrumentable functions each.
+pub fn repatch_fixture(dso_count: usize, funcs_per_dso: usize) -> RepatchFixture {
+    use capi_appmodel::{LinkTarget, ProgramBuilder};
+    let mut b = ProgramBuilder::new("repatch-bench");
+    b.unit("host.cc", LinkTarget::Executable);
+    {
+        let mut m = b.function("main").main().statements(20).instructions(200);
+        for d in 0..dso_count {
+            m = m.calls(&format!("p{d}_f0"), 1);
+        }
+        m.finish();
+    }
+    for d in 0..dso_count {
+        b.unit(format!("p{d}.cc"), LinkTarget::Dso(format!("libp{d}.so")));
+        for f in 0..funcs_per_dso {
+            b.function(&format!("p{d}_f{f}"))
+                .statements(25)
+                .instructions(250)
+                .finish();
+        }
+    }
+    let program = b.build().expect("bench program is well-formed");
+    let bin =
+        capi_objmodel::compile(&program, &capi_objmodel::CompileOptions::o2()).expect("compiles");
+    let mut process = capi_objmodel::Process::launch_binary(&bin).expect("launches");
+    let runtime = capi_xray::XRayRuntime::new();
+    let main_inst = capi_xray::instrument_object(
+        process.object(0).unwrap().image.clone(),
+        &PassOptions::instrument_all(),
+    );
+    runtime
+        .register_main(
+            main_inst,
+            process.object(0).unwrap(),
+            capi_xray::TrampolineSet::absolute(),
+        )
+        .expect("registers main");
+    let mut dso_ids = Vec::new();
+    for i in 1..=dso_count {
+        let inst = capi_xray::instrument_object(
+            process.object(i).unwrap().image.clone(),
+            &PassOptions::instrument_all(),
+        );
+        let oid = runtime
+            .register_dso(
+                inst,
+                process.object(i).unwrap(),
+                i,
+                capi_xray::TrampolineSet::pic(),
+            )
+            .expect("registers dso");
+        runtime
+            .patch_all(&mut process.memory, oid)
+            .expect("patches dso");
+        dso_ids.push(capi_xray::PackedId::pack(oid, 0).expect("packs"));
+    }
+    RepatchFixture {
+        process,
+        runtime,
+        dso_ids,
     }
 }
 

@@ -345,6 +345,9 @@ impl<'p> Engine<'p> {
         let skips = AtomicU64::new(0);
         let suppressed = AtomicU64::new(0);
         let results: Vec<Result<u64, ExecError>> = world.run(|ctx| {
+            // Pre-claim this rank thread's dispatch reader slot so the
+            // first event doesn't pay the one-time claim lock.
+            self.runtime.register_reader(ctx.rank);
             let mut rank_state = RankRun {
                 engine: self,
                 world: &ctx.world,
@@ -444,6 +447,7 @@ impl<'p> Engine<'p> {
             (u64, u64),
         );
         let results: Vec<RankResult> = world.run(|ctx| {
+            self.runtime.register_reader(ctx.rank);
             let mut rr = RankRun {
                 engine: self,
                 world: &ctx.world,

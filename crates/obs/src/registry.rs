@@ -279,6 +279,32 @@ impl Telemetry {
         s.self_updates.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Stores a full set of absolute per-rank totals into a counter,
+    /// grouping ranks onto the fixed stripe set (`rank & (STRIPES-1)`)
+    /// and storing each stripe's *sum*. With more distinct ranks than
+    /// stripes, plain [`Self::store`] calls would overwrite each other
+    /// (last writer wins within a stripe); this fold keeps the stored
+    /// values exact — `counter_value` still returns the true total.
+    /// Every stripe is rewritten (including to zero), so repeated folds
+    /// are idempotent like `store`.
+    pub fn store_folded<I>(&self, c: CounterId, totals: I)
+    where
+        I: IntoIterator<Item = (u32, u64)>,
+    {
+        if !self.inner.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut per_stripe = [0u64; STRIPES];
+        for (rank, total) in totals {
+            per_stripe[rank as usize & (STRIPES - 1)] += total;
+        }
+        for (i, &total) in per_stripe.iter().enumerate() {
+            let s = &self.inner.stripes[i];
+            s.counters[c.0].store(total, Ordering::Relaxed);
+            s.self_updates.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Records one sample into a histogram on `rank`'s stripe.
     #[inline]
     pub fn observe(&self, h: HistogramId, rank: u32, value: u64) {
@@ -412,6 +438,31 @@ pub(crate) fn bucket_of(value: u64) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn store_folded_is_exact_past_the_stripe_count() {
+        let t = Telemetry::new();
+        let c = t.counter("folded");
+        // 130 ranks with total i each: ranks 0, 64 and 128 share stripe
+        // 0, yet the folded store keeps the aggregate exact — and a
+        // second fold with the same totals is idempotent.
+        let totals: Vec<(u32, u64)> = (0..130).map(|r| (r, u64::from(r))).collect();
+        let expected: u64 = totals.iter().map(|&(_, v)| v).sum();
+        t.store_folded(c, totals.iter().copied());
+        assert_eq!(t.counter_value(c), expected);
+        t.store_folded(c, totals.iter().copied());
+        assert_eq!(t.counter_value(c), expected);
+        // A plain per-rank `store` of the same totals would alias:
+        // stripe 0 would hold only rank 128's value.
+        for &(r, v) in &totals {
+            t.store(c, r, v);
+        }
+        assert_ne!(t.counter_value(c), expected);
+        // Folding again repairs it (idempotent overwrite of every
+        // stripe, including back down to the exact sums).
+        t.store_folded(c, totals.iter().copied());
+        assert_eq!(t.counter_value(c), expected);
+    }
 
     #[test]
     fn registration_is_idempotent_by_name() {

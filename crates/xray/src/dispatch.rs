@@ -8,7 +8,8 @@
 //! generations, the precomputed trampoline fault-check result, and the
 //! handler pointer — behind a single atomic pointer. Dispatch then is:
 //!
-//! 1. bump a per-rank in-flight guard (striped, cache-padded),
+//! 1. bump the thread's in-flight guard (a lazily claimed, cache-padded
+//!    `ReaderSlot`),
 //! 2. one atomic load of the current table,
 //! 3. two array indexes (`patched[fid]`, and `unpatch_gen[fid]` only on
 //!    the stale-tolerance path),
@@ -17,57 +18,29 @@
 //! Publication (RCU-style) happens only on the cold path —
 //! register/deregister, `set_handler`, and the patching family — while
 //! the runtime's existing write lock is held, which serializes
-//! publishers. A publisher swaps the pointer and then waits for every
-//! stripe's in-flight count to drain to zero before dropping the
-//! superseded table, so readers never observe a freed table. Readers are
-//! wait-free (two uncontended atomic RMWs on their own stripe plus one
-//! atomic load); publishers block briefly, which is the right trade for
-//! a path that runs once per epoch rather than once per event.
+//! publishers. The table is **copy-on-write per object**: a publisher
+//! rebuilds only the [`ObjectDispatch`] entries its mutation touched and
+//! shares every other entry with the superseded table as an `Arc`, so
+//! repatch/`set_rate`/DSO churn cost O(touched objects), independent of
+//! how many objects are loaded. A publisher swaps the pointer and then
+//! waits for every registered reader slot's in-flight count to drain to
+//! zero before dropping the superseded table, so readers never observe
+//! a freed table. Readers are wait-free (two uncontended atomic RMWs on
+//! their own slot plus one atomic load); publishers block briefly,
+//! which is the right trade for a path that runs once per epoch rather
+//! than once per event.
 //!
-//! The same stripes carry the `dispatches`/`stale_dispatches` counters,
+//! The same slots carry the `dispatches`/`stale_dispatches` counters,
 //! killing the cache-line ping-pong the old global `AtomicU64` pair
-//! paid on every event.
+//! paid on every event. Slots are claimed per thread/rank on demand and
+//! recycled on thread exit — see the `slots` module for the registry
+//! and the quiescence argument under dynamic claims.
 
 use crate::handler::Handler;
+use crate::slots::{ReaderSlot, SlotRegistry};
 use crate::trampoline::TrampolineFault;
-use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicPtr, Ordering};
 use std::sync::Arc;
-
-/// Number of counter/guard stripes. Ranks map onto stripes by
-/// `rank & (STRIPES - 1)`; with up to 64 ranks every rank owns its own
-/// cache line.
-pub(crate) const STRIPES: usize = 64;
-
-/// One cache-padded stripe: the in-flight dispatch guard plus the
-/// event counters for the ranks mapped to it.
-#[repr(align(64))]
-#[derive(Default)]
-pub(crate) struct Stripe {
-    /// Dispatches currently inside the fast path on this stripe. A
-    /// publisher may not free a superseded table until every stripe
-    /// reads zero at least once after the pointer swap.
-    pub in_flight: AtomicU64,
-    /// Events dispatched to the handler.
-    pub dispatches: AtomicU64,
-    /// Dispatches tolerated through the stale-snapshot path.
-    pub stale_dispatches: AtomicU64,
-    /// Sampled-mode dispatches skipped by the 1-in-N counter (the sled
-    /// fired but the event was not delivered to the handler).
-    pub sampled_skips: AtomicU64,
-}
-
-/// Index of the extra stripe reserved for control-plane readers
-/// (`is_patched`, `snapshot`): giving them their own slot keeps a
-/// polling control thread from overlapping rank 0's dispatch windows
-/// and starving a publisher's quiescence wait.
-pub(crate) const CONTROL_STRIPE: usize = STRIPES;
-
-/// Builds the stripe array — one per rank slot plus the control-plane
-/// stripe (boxed: 65 cache lines do not belong on the stack of every
-/// embedder).
-pub(crate) fn new_stripes() -> Box<[Stripe]> {
-    (0..=STRIPES).map(|_| Stripe::default()).collect()
-}
 
 /// Immutable per-object slice of a [`DispatchTable`].
 pub struct ObjectDispatch {
@@ -93,11 +66,16 @@ pub struct ObjectDispatch {
 
 /// An immutable snapshot of everything the per-event path needs,
 /// published atomically by the cold-path mutators.
+///
+/// Object entries are individually `Arc`ed so a publisher can share the
+/// untouched ones with the superseded table (copy-on-write): two
+/// consecutive tables typically differ in one entry and alias the rest.
 pub struct DispatchTable {
     /// Patch generation this table describes.
     pub generation: u64,
-    /// Indexed by XRay object ID.
-    pub objects: Vec<Option<ObjectDispatch>>,
+    /// Indexed by XRay object ID. Entries untouched by the publishing
+    /// mutation are shared (`Arc::ptr_eq`) with the previous table.
+    pub objects: Vec<Option<Arc<ObjectDispatch>>>,
     /// The registered event handler, if any. Kept inside the table so
     /// dispatch never clones an `Arc` — the table's own lifetime pins
     /// the handler.
@@ -112,6 +90,14 @@ impl DispatchTable {
             objects: Vec::new(),
             handler: None,
         }
+    }
+
+    /// The entry for `object_id`, if registered.
+    #[inline]
+    pub fn object(&self, object_id: u8) -> Option<&ObjectDispatch> {
+        self.objects
+            .get(object_id as usize)
+            .and_then(|o| o.as_deref())
     }
 }
 
@@ -128,9 +114,9 @@ pub(crate) struct TableCell {
 // Debug-build reentrancy sentinel: depth of `DispatchGuard`s alive on
 // the current thread. Publishing from inside a guard (e.g. a handler's
 // `on_event` calling `set_handler` or a patching API) would make the
-// publisher wait on its own stripe forever; even a *read*-lock runtime
+// publisher wait on its own slot forever; even a *read*-lock runtime
 // API called from a handler can deadlock against a publisher that
-// holds the write lock while waiting for the handler's stripe to
+// holds the write lock while waiting for the handler's slot to
 // drain. In debug builds we turn both silent livelocks into a panic.
 #[cfg(debug_assertions)]
 thread_local! {
@@ -173,27 +159,29 @@ impl TableCell {
     ///
     /// Must only be called while the runtime's write lock is held:
     /// that serializes publishers, so exactly one thread ever waits on
-    /// the stripes at a time.
-    pub(crate) fn publish(&self, new: Arc<DispatchTable>, stripes: &[Stripe]) -> u64 {
+    /// the reader slots at a time.
+    pub(crate) fn publish(&self, new: Arc<DispatchTable>, slots: &SlotRegistry) -> u64 {
         debug_assert_not_dispatching("DispatchTable publish");
         let old = self
             .ptr
             .swap(Arc::into_raw(new).cast_mut(), Ordering::SeqCst);
         let wait_start = std::time::Instant::now();
         // Quiescence: any reader that loaded `old` incremented its
-        // stripe *before* loading the pointer (both SeqCst), so once a
-        // stripe reads zero after our SeqCst swap, no reader on that
-        // stripe still holds `old`. Readers arriving after the swap see
+        // slot *before* loading the pointer (both SeqCst), so once a
+        // slot reads zero after our SeqCst swap, no reader on that
+        // slot still holds `old`. Readers arriving after the swap see
         // the new table and are unaffected.
         //
-        // Progress bound: with one rank per stripe (ranks ≤ STRIPES,
-        // the supported fast-path configuration) a stripe drains within
-        // one dispatch duration — a rank's count returns to zero between
-        // every pair of events. Ranks beyond STRIPES fold onto shared
-        // stripes; correctness is unaffected, but a publisher may then
-        // have to out-wait continuously overlapping dispatches from the
-        // stripe's co-owners (see ROADMAP: per-thread reader slots).
-        for s in stripes {
+        // The wait set is snapshotted *after* the swap: slot claims are
+        // serialized through the registry's list mutex, so a slot
+        // claimed after this snapshot belongs to a reader that can only
+        // observe the new table — skipping it is sound.
+        //
+        // Progress bound: each thread/rank owns its own slot (until the
+        // `CAPI_READER_SLOTS_MAX` overflow fallback kicks in), so a
+        // slot's count returns to zero between every pair of events and
+        // the wait is bounded by one dispatch duration per slot.
+        for s in slots.quiescence_set() {
             let mut spins = 0u32;
             while s.in_flight.load(Ordering::SeqCst) != 0 {
                 spins = spins.wrapping_add(1);
@@ -226,24 +214,24 @@ impl Drop for TableCell {
 /// While the guard lives, the publisher's quiescence wait cannot
 /// complete, so the `&DispatchTable` it hands out stays valid.
 pub(crate) struct DispatchGuard<'a> {
-    stripe: &'a Stripe,
+    slot: &'a ReaderSlot,
     table: &'a DispatchTable,
 }
 
 impl<'a> DispatchGuard<'a> {
-    /// Enters the fast path: bumps the stripe's in-flight count, then
+    /// Enters the fast path: bumps the slot's in-flight count, then
     /// loads the current table.
     #[inline]
-    pub(crate) fn enter(cell: &'a TableCell, stripe: &'a Stripe) -> Self {
+    pub(crate) fn enter(cell: &'a TableCell, slot: &'a ReaderSlot) -> Self {
         #[cfg(debug_assertions)]
         GUARD_DEPTH.with(|d| d.set(d.get() + 1));
-        stripe.in_flight.fetch_add(1, Ordering::SeqCst);
+        slot.in_flight.fetch_add(1, Ordering::SeqCst);
         let p = cell.ptr.load(Ordering::SeqCst);
         // SAFETY: the increment above is ordered before this load
         // (SeqCst), so a publisher swapping afterwards waits for this
         // guard before freeing the table behind `p`.
         let table = unsafe { &*p };
-        Self { stripe, table }
+        Self { slot, table }
     }
 
     /// The pinned table; the borrow cannot outlive the guard.
@@ -256,7 +244,7 @@ impl<'a> DispatchGuard<'a> {
 impl Drop for DispatchGuard<'_> {
     #[inline]
     fn drop(&mut self) {
-        self.stripe.in_flight.fetch_sub(1, Ordering::Release);
+        self.slot.in_flight.fetch_sub(1, Ordering::Release);
         #[cfg(debug_assertions)]
         GUARD_DEPTH.with(|d| d.set(d.get() - 1));
     }
@@ -266,7 +254,7 @@ impl Drop for DispatchGuard<'_> {
 mod tests {
     use super::*;
     use crate::handler::NullHandler;
-    use std::sync::atomic::AtomicBool;
+    use std::sync::atomic::{AtomicBool, AtomicU64};
 
     fn table_with_gen(generation: u64) -> Arc<DispatchTable> {
         Arc::new(DispatchTable {
@@ -278,14 +266,14 @@ mod tests {
 
     #[test]
     fn publish_swaps_and_reclaims() {
-        let stripes = new_stripes();
+        let slots = SlotRegistry::with_max(8);
         let cell = TableCell::new(table_with_gen(0));
         {
-            let g = DispatchGuard::enter(&cell, &stripes[0]);
+            let g = DispatchGuard::enter(&cell, slots.slot_for(0));
             assert_eq!(g.table().generation, 0);
         }
-        cell.publish(table_with_gen(1), &stripes[..]);
-        let g = DispatchGuard::enter(&cell, &stripes[3]);
+        cell.publish(table_with_gen(1), &slots);
+        let g = DispatchGuard::enter(&cell, slots.slot_for(3));
         assert_eq!(g.table().generation, 1);
     }
 
@@ -293,11 +281,13 @@ mod tests {
     /// over: every read sees a coherent table (monotone generations,
     /// handler present), and nothing crashes or leaks under the
     /// quiescence protocol. The publisher keeps publishing until every
-    /// reader has observably overlapped with the swapping.
+    /// reader has observably overlapped with the swapping. Readers use
+    /// dynamically claimed slots — more readers than `max` exercises
+    /// the shared-overflow fallback too.
     #[test]
     fn concurrent_publish_and_read_stress() {
         const READERS: usize = 4;
-        let stripes = new_stripes();
+        let slots = SlotRegistry::with_max(3);
         let cell = TableCell::new(table_with_gen(0));
         let stop = AtomicBool::new(false);
         let reads: Vec<AtomicU64> = (0..READERS).map(|_| AtomicU64::new(0)).collect();
@@ -306,14 +296,14 @@ mod tests {
             let mut handles = Vec::new();
             for t in 0..READERS {
                 let cell = &cell;
-                let stripes = &stripes;
+                let slots = &slots;
                 let stop = &stop;
                 let reads = &reads;
                 handles.push(scope.spawn(move || {
-                    let stripe = &stripes[t % STRIPES];
+                    let slot = slots.slot_for(t as u32);
                     let mut last = 0u64;
                     while !stop.load(Ordering::Relaxed) {
-                        let g = DispatchGuard::enter(cell, stripe);
+                        let g = DispatchGuard::enter(cell, slot);
                         let tab = g.table();
                         assert!(tab.generation >= last, "generations monotone per reader");
                         assert!(tab.handler.is_some());
@@ -326,14 +316,14 @@ mod tests {
             // performed reads while publishes were happening.
             while published < 1_000 || reads.iter().any(|r| r.load(Ordering::Relaxed) < 100) {
                 published += 1;
-                cell.publish(table_with_gen(published), &stripes[..]);
+                cell.publish(table_with_gen(published), &slots);
             }
             stop.store(true, Ordering::Relaxed);
             for h in handles {
                 h.join().unwrap();
             }
         });
-        let g = DispatchGuard::enter(&cell, &stripes[0]);
+        let g = DispatchGuard::enter(&cell, slots.control());
         assert_eq!(g.table().generation, published);
     }
 }

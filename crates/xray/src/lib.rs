@@ -18,9 +18,10 @@
 //!   page flips, the global patched-function handler, and the
 //!   `function_address`/ID lookup API the paper's DynCaPI cross-checks.
 //! * [`dispatch`] — the wait-free per-event fast path: an immutable
-//!   dispatch table published RCU-style behind one atomic pointer, with
-//!   per-rank striped in-flight guards and counters (the full
-//!   publish/quiescence protocol is documented on the module).
+//!   dispatch table published copy-on-write per object, RCU-style,
+//!   behind one atomic pointer, with dynamically claimed cache-padded
+//!   per-thread reader slots for the in-flight guards and counters (the
+//!   full publish/quiescence protocol is documented on the module).
 //! * [`log`] — XRay's built-in modes: a basic in-memory trace and a
 //!   flight-data-recorder-style ring buffer, plus their per-rank
 //!   sharded variants with deterministic `(rank, seq)` merges.
@@ -32,6 +33,7 @@ pub mod packed_id;
 pub mod pass;
 pub mod runtime;
 pub mod sled;
+pub(crate) mod slots;
 pub mod trampoline;
 
 pub use dispatch::{DispatchTable, ObjectDispatch};

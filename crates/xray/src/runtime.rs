@@ -16,14 +16,12 @@
 //! happens during startup but is allowed at any time (that is the point
 //! of *runtime-adaptable* instrumentation).
 
-use crate::dispatch::{
-    debug_assert_not_dispatching, new_stripes, DispatchGuard, Stripe, TableCell, CONTROL_STRIPE,
-    STRIPES,
-};
+use crate::dispatch::{debug_assert_not_dispatching, DispatchGuard, TableCell};
 use crate::handler::{Event, EventKind, Handler};
 use crate::packed_id::{IdError, PackedId, MAX_FUNCTION_ID};
 use crate::pass::InstrumentedObject;
 use crate::sled::SLED_BYTES;
+use crate::slots::SlotRegistry;
 use crate::trampoline::{TrampolineFault, TrampolineSet};
 use capi_objmodel::{AddressSpace, LoadedObject, MemError, PagePerms, PAGE_SIZE};
 use capi_obs::{CounterId, HistogramId, HistogramKind, Telemetry};
@@ -217,12 +215,16 @@ struct Inner {
     objects: Vec<Option<Registered>>,
     handler: Option<Arc<dyn Handler>>,
     stats: RuntimeStats,
+    /// The most recently published table — the copy-on-write source:
+    /// the next publish clones this `Vec` of `Arc`s and rebuilds only
+    /// the touched entries, sharing the rest.
+    current: Arc<DispatchTable>,
 }
 
 /// Telemetry handles registered once per runtime: the shared
 /// [`Telemetry`] instance plus the ids of the metrics this crate owns.
 /// The dispatch fast path never touches these — its counters live on
-/// the runtime's own [`Stripe`]s and are *folded* into the registry by
+/// the runtime's own reader slots and are *folded* into the registry by
 /// [`XRayRuntime::sync_telemetry`] at publish/control points, so
 /// enabling telemetry costs the hot path nothing.
 struct ObsHandles {
@@ -242,9 +244,10 @@ pub struct XRayRuntime {
     /// The published dispatch fast-path snapshot; swapped atomically by
     /// the mutators above while they hold the `inner` write lock.
     table: TableCell,
-    /// Per-rank striped in-flight guards and event counters (dispatch is
-    /// the hot path and runs concurrently on every rank thread).
-    stripes: Box<[Stripe]>,
+    /// Dynamic per-thread/per-rank in-flight guards and event counters
+    /// (dispatch is the hot path and runs concurrently on every rank
+    /// thread). Slots are claimed lazily and recycled on thread exit.
+    slots: SlotRegistry,
     /// Set-once self-telemetry wiring ([`Self::set_telemetry`]).
     obs: OnceLock<ObsHandles>,
 }
@@ -258,15 +261,17 @@ impl Default for XRayRuntime {
 impl XRayRuntime {
     /// Creates an empty runtime.
     pub fn new() -> Self {
+        let empty = Arc::new(DispatchTable::empty());
         Self {
             inner: RwLock::new(Inner {
                 objects: Vec::new(),
                 handler: None,
                 stats: RuntimeStats::default(),
+                current: Arc::clone(&empty),
             }),
             generation: AtomicU64::new(0),
-            table: TableCell::new(Arc::new(DispatchTable::empty())),
-            stripes: new_stripes(),
+            table: TableCell::new(empty),
+            slots: SlotRegistry::new(),
             obs: OnceLock::new(),
         }
     }
@@ -292,36 +297,54 @@ impl XRayRuntime {
         self.obs.get().map(|h| &h.tel)
     }
 
-    /// Folds the dispatch stripes' running totals (dispatches, stale
+    /// Folds the reader slots' running totals (dispatches, stale
     /// dispatches, sampled skips) into the telemetry registry. Called
-    /// after every publish and at run end; cheap enough (64 relaxed
-    /// loads and stores per counter) to call at any control point.
+    /// after every publish and at run end; cheap enough (a relaxed load
+    /// per allocated slot and a store per registry stripe) to call at
+    /// any control point.
+    ///
+    /// Per-rank totals are summed across live slots *and* the
+    /// retired-totals accumulator (departed threads), then folded onto
+    /// the registry's fixed stripe set grouped by rank — so with more
+    /// distinct ranks than registry stripes the stored values are exact
+    /// stripe sums rather than last-writer-wins.
     pub fn sync_telemetry(&self) {
         let Some(h) = self.obs.get() else { return };
-        // Rank stripes only: the control stripe (index STRIPES) would
-        // fold onto registry stripe 0 via `rank & 63` and overwrite
-        // rank 0's totals with its always-zero dispatch counters.
-        for (i, stripe) in self.stripes.iter().take(STRIPES).enumerate() {
-            let rank = i as u32;
-            h.tel.store(
-                h.dispatches,
-                rank,
-                stripe.dispatches.load(Ordering::Relaxed),
-            );
-            h.tel.store(
-                h.stale,
-                rank,
-                stripe.stale_dispatches.load(Ordering::Relaxed),
-            );
-            h.tel
-                .store(h.skips, rank, stripe.sampled_skips.load(Ordering::Relaxed));
+        let mut totals: std::collections::BTreeMap<u32, [u64; 3]> =
+            std::collections::BTreeMap::new();
+        for slot in self.slots.counter_slots() {
+            let t = totals.entry(slot.rank.load(Ordering::Relaxed)).or_default();
+            t[0] += slot.dispatches.load(Ordering::Relaxed);
+            t[1] += slot.stale_dispatches.load(Ordering::Relaxed);
+            t[2] += slot.sampled_skips.load(Ordering::Relaxed);
         }
+        for (rank, retired) in self.slots.retired_totals() {
+            let t = totals.entry(rank).or_default();
+            t[0] += retired.dispatches;
+            t[1] += retired.stale_dispatches;
+            t[2] += retired.sampled_skips;
+        }
+        h.tel
+            .store_folded(h.dispatches, totals.iter().map(|(&r, t)| (r, t[0])));
+        h.tel
+            .store_folded(h.stale, totals.iter().map(|(&r, t)| (r, t[1])));
+        h.tel
+            .store_folded(h.skips, totals.iter().map(|(&r, t)| (r, t[2])));
     }
 
-    /// Stripe owning `rank`'s counters and in-flight guard.
-    #[inline]
-    fn stripe(&self, rank: u32) -> &Stripe {
-        &self.stripes[rank as usize & (STRIPES - 1)]
+    /// Pre-claims the calling thread's reader slot for `rank`, so the
+    /// thread's first dispatch skips the one-time claim lock. Rank
+    /// threads (e.g. the executor's) call this once at startup; calling
+    /// it is never required for correctness — slots are claimed lazily
+    /// on first dispatch.
+    pub fn register_reader(&self, rank: u32) {
+        self.slots.register(rank);
+    }
+
+    /// Number of reader slots currently allocated (claimed plus
+    /// free-listed recycled ones; the control slot is not counted).
+    pub fn reader_slots_allocated(&self) -> usize {
+        self.slots.allocated()
     }
 
     /// Acquires the inner read lock. Must never be reached from a
@@ -342,22 +365,27 @@ impl XRayRuntime {
         self.inner.write()
     }
 
-    /// Rebuilds and atomically publishes the dispatch table from the
-    /// current registration/patch/handler state.
+    /// Publishes a new dispatch table copy-on-write: only the entries
+    /// for the objects in `touched` are rebuilt from the inner state;
+    /// every other entry is shared with the previously published table
+    /// as an `Arc` (an empty `touched` republishes with all entries
+    /// shared — the handler-change path). This makes publish cost
+    /// O(touched objects), independent of how many objects are loaded.
     ///
     /// Publication rules: must be called with the `inner` write lock
     /// held (serializing publishers), after the generation bump for the
     /// change being published, and before the lock is released — so
     /// every table pairs a generation with exactly the state it
     /// describes, and dispatchers always observe them together.
-    fn publish_locked(&self, inner: &Inner) {
-        let objects = inner
-            .objects
-            .iter()
-            .enumerate()
-            .map(|(oid, reg)| {
-                reg.as_ref().map(|r| ObjectDispatch {
-                    object_id: oid as u8,
+    fn publish_locked(&self, inner: &mut Inner, touched: &[u8]) {
+        let mut objects = inner.current.objects.clone();
+        // Registration can grow the object-ID space; the vec never
+        // shrinks (deregistration vacates a slot in place).
+        objects.resize_with(inner.objects.len(), || None);
+        for &oid in touched {
+            objects[oid as usize] = inner.objects[oid as usize].as_ref().map(|r| {
+                Arc::new(ObjectDispatch {
+                    object_id: oid,
                     process_index: r.process_index,
                     patched: r.patched.clone().into_boxed_slice(),
                     unpatch_gen: r.unpatch_gen.clone().into_boxed_slice(),
@@ -365,15 +393,16 @@ impl XRayRuntime {
                     fid_by_func: r.inst.sleds.fid_by_func.clone().into_boxed_slice(),
                     rate: r.rate.clone().into_boxed_slice(),
                 })
-            })
-            .collect();
-        let table = DispatchTable {
+            });
+        }
+        let table = Arc::new(DispatchTable {
             generation: self.generation(),
             objects,
             handler: inner.handler.clone(),
-        };
+        });
+        inner.current = Arc::clone(&table);
         let publish_start = std::time::Instant::now();
-        let quiescence_ns = self.table.publish(Arc::new(table), &self.stripes);
+        let quiescence_ns = self.table.publish(table, &self.slots);
         if let Some(h) = self.obs.get() {
             h.tel
                 .observe_control(h.publish_wall, publish_start.elapsed().as_nanos() as u64);
@@ -412,7 +441,7 @@ impl XRayRuntime {
             .push(Some(Registered::new(inst, loaded, 0, trampolines)));
         inner.stats.objects_registered += 1;
         self.bump();
-        self.publish_locked(&inner);
+        self.publish_locked(&mut inner, &[0]);
         drop(inner);
         Ok(0)
     }
@@ -448,7 +477,7 @@ impl XRayRuntime {
         inner.objects[object_id] = Some(Registered::new(inst, loaded, process_index, trampolines));
         inner.stats.objects_registered += 1;
         self.bump();
-        self.publish_locked(&inner);
+        self.publish_locked(&mut inner, &[object_id as u8]);
         drop(inner);
         Ok(object_id as u8)
     }
@@ -465,7 +494,7 @@ impl XRayRuntime {
         }
         inner.stats.objects_registered -= 1;
         self.bump();
-        self.publish_locked(&inner);
+        self.publish_locked(&mut inner, &[object_id]);
         drop(inner);
         Ok(())
     }
@@ -475,7 +504,8 @@ impl XRayRuntime {
         let mut inner = self.write_inner("set_handler");
         inner.handler = Some(handler);
         self.bump();
-        self.publish_locked(&inner);
+        // Handler-only change: every object entry is shared.
+        self.publish_locked(&mut inner, &[]);
     }
 
     /// Removes the handler.
@@ -483,7 +513,7 @@ impl XRayRuntime {
         let mut inner = self.write_inner("clear_handler");
         inner.handler = None;
         self.bump();
-        self.publish_locked(&inner);
+        self.publish_locked(&mut inner, &[]);
     }
 
     /// Patches all sleds of one function. Returns the number of sleds
@@ -541,7 +571,7 @@ impl XRayRuntime {
         }
         let n = offsets.len() as u32;
         inner.stats.sled_writes += n as u64;
-        self.publish_locked(&inner);
+        self.publish_locked(&mut inner, &[id.object()]);
         drop(inner);
         Ok(n)
     }
@@ -611,7 +641,7 @@ impl XRayRuntime {
         })();
         self.generation.fetch_add(1, Ordering::AcqRel);
         inner.stats.sled_writes += written as u64;
-        self.publish_locked(&inner);
+        self.publish_locked(&mut inner, &[object_id]);
         drop(inner);
         res.map(|()| written)
     }
@@ -671,7 +701,7 @@ impl XRayRuntime {
             }
         }
         inner.stats.sled_writes += written as u64;
-        self.publish_locked(&inner);
+        self.publish_locked(&mut inner, &[object_id]);
         drop(inner);
         res.map(|()| written)
     }
@@ -883,7 +913,16 @@ impl XRayRuntime {
         })();
         inner.stats.sled_writes += report.sleds_patched + report.sleds_unpatched;
         inner.stats.repatches += 1;
-        self.publish_locked(&inner);
+        // COW publish: only the objects this delta actually referenced
+        // are rebuilt — DSO churn and repatch stay O(touched objects).
+        let touched: Vec<u8> = by_obj
+            .keys()
+            .chain(rates_by_obj.keys())
+            .copied()
+            .collect::<std::collections::BTreeSet<u8>>()
+            .into_iter()
+            .collect();
+        self.publish_locked(&mut inner, &touched);
         drop(inner);
         if let Some(span) = &span {
             span.arg("generation", report.generation);
@@ -902,7 +941,7 @@ impl XRayRuntime {
 
     /// Whether the function's sleds are currently patched.
     pub fn is_patched(&self, id: PackedId) -> bool {
-        let guard = DispatchGuard::enter(&self.table, &self.stripes[CONTROL_STRIPE]);
+        let guard = DispatchGuard::enter(&self.table, self.slots.control());
         guard
             .table()
             .objects
@@ -952,8 +991,8 @@ impl XRayRuntime {
         rank: u32,
         snapshot_generation: u64,
     ) -> Result<u64, XRayError> {
-        let stripe = self.stripe(rank);
-        let guard = DispatchGuard::enter(&self.table, stripe);
+        let slot = self.slots.slot_for(rank);
+        let guard = DispatchGuard::enter(&self.table, slot);
         let table = guard.table();
         let obj = table
             .objects
@@ -975,9 +1014,9 @@ impl XRayRuntime {
         if let Some(fault) = obj.fault {
             return Err(XRayError::Fault(fault));
         }
-        stripe.dispatches.fetch_add(1, Ordering::Relaxed);
+        slot.dispatches.fetch_add(1, Ordering::Relaxed);
         if stale {
-            stripe.stale_dispatches.fetch_add(1, Ordering::Relaxed);
+            slot.stale_dispatches.fetch_add(1, Ordering::Relaxed);
         }
         let Some(handler) = table.handler.as_ref() else {
             return Ok(0); // patched but no handler installed: sled jumps, returns
@@ -1011,8 +1050,8 @@ impl XRayRuntime {
         snapshot_generation: u64,
         sample_seq: u64,
     ) -> Result<Option<u64>, XRayError> {
-        let stripe = self.stripe(rank);
-        let guard = DispatchGuard::enter(&self.table, stripe);
+        let slot = self.slots.slot_for(rank);
+        let guard = DispatchGuard::enter(&self.table, slot);
         let table = guard.table();
         let obj = table
             .objects
@@ -1036,12 +1075,12 @@ impl XRayRuntime {
         }
         let rate = obj.rate.get(fidx).copied().unwrap_or(1).max(1);
         if !sample_seq.is_multiple_of(rate as u64) {
-            stripe.sampled_skips.fetch_add(1, Ordering::Relaxed);
+            slot.sampled_skips.fetch_add(1, Ordering::Relaxed);
             return Ok(None);
         }
-        stripe.dispatches.fetch_add(1, Ordering::Relaxed);
+        slot.dispatches.fetch_add(1, Ordering::Relaxed);
         if stale {
-            stripe.stale_dispatches.fetch_add(1, Ordering::Relaxed);
+            slot.stale_dispatches.fetch_add(1, Ordering::Relaxed);
         }
         let Some(handler) = table.handler.as_ref() else {
             return Ok(Some(0));
@@ -1059,7 +1098,7 @@ impl XRayRuntime {
     /// instrumentation). Guard-based and handler-safe, like
     /// [`Self::is_patched`].
     pub fn sample_rate(&self, id: PackedId) -> u32 {
-        let guard = DispatchGuard::enter(&self.table, &self.stripes[CONTROL_STRIPE]);
+        let guard = DispatchGuard::enter(&self.table, self.slots.control());
         guard
             .table()
             .objects
@@ -1108,13 +1147,20 @@ impl XRayRuntime {
             .map(|(i, _)| i as u8)
     }
 
-    /// Current statistics.
+    /// Current statistics. Event counters are the sum of every live
+    /// reader slot plus the retired totals folded out of recycled slots
+    /// — exact across thread exits and slot reuse.
     pub fn stats(&self) -> RuntimeStats {
         let mut s = self.read_inner("stats").stats;
-        for stripe in self.stripes.iter() {
-            s.dispatches += stripe.dispatches.load(Ordering::Relaxed);
-            s.stale_dispatches += stripe.stale_dispatches.load(Ordering::Relaxed);
-            s.sampled_skips += stripe.sampled_skips.load(Ordering::Relaxed);
+        for slot in self.slots.counter_slots() {
+            s.dispatches += slot.dispatches.load(Ordering::Relaxed);
+            s.stale_dispatches += slot.stale_dispatches.load(Ordering::Relaxed);
+            s.sampled_skips += slot.sampled_skips.load(Ordering::Relaxed);
+        }
+        for retired in self.slots.retired_totals().values() {
+            s.dispatches += retired.dispatches;
+            s.stale_dispatches += retired.stale_dispatches;
+            s.sampled_skips += retired.sampled_skips;
         }
         s
     }
@@ -1165,7 +1211,7 @@ impl XRayRuntime {
     /// table, so it never contends with the write lock and its
     /// generation always matches the patch state it carries.
     pub fn snapshot(&self) -> PatchSnapshot {
-        let guard = DispatchGuard::enter(&self.table, &self.stripes[CONTROL_STRIPE]);
+        let guard = DispatchGuard::enter(&self.table, self.slots.control());
         let table = guard.table();
         let max_pi = table
             .objects
@@ -1185,6 +1231,47 @@ impl XRayRuntime {
         }
         PatchSnapshot {
             generation: table.generation,
+            by_process_index,
+        }
+    }
+
+    /// The currently published [`DispatchTable`], pinned by its own
+    /// `Arc`. Tests use this to assert the copy-on-write sharing
+    /// contract (`Arc::ptr_eq` on entries a mutation did not touch);
+    /// embedders can use it to inspect the exact table readers see.
+    pub fn published_table(&self) -> Arc<DispatchTable> {
+        Arc::clone(&self.read_inner("published_table").current)
+    }
+
+    /// Reference implementation of [`Self::snapshot`] that rebuilds the
+    /// snapshot from the full registration/patch state instead of the
+    /// incrementally published table — the oracle the copy-on-write
+    /// path is checked against (`tests/dispatch_scaling.rs`). Slower
+    /// (takes the read lock, clones everything); not for hot paths.
+    pub fn snapshot_full_rebuild(&self) -> PatchSnapshot {
+        let inner = self.read_inner("snapshot_full_rebuild");
+        let max_pi = inner
+            .objects
+            .iter()
+            .flatten()
+            .map(|r| r.process_index + 1)
+            .max()
+            .unwrap_or(0);
+        let mut by_process_index: Vec<Option<ObjectSnapshot>> = vec![None; max_pi];
+        for (oid, reg) in inner.objects.iter().enumerate() {
+            let Some(r) = reg else { continue };
+            by_process_index[r.process_index] = Some(ObjectSnapshot {
+                object_id: oid as u8,
+                fid_by_func: r.inst.sleds.fid_by_func.clone(),
+                patched: r.patched.clone(),
+                rate: r.rate.clone(),
+            });
+        }
+        // Generation only moves under the write lock, which our read
+        // lock excludes — so this pairing is as consistent as the
+        // guard-based snapshot's.
+        PatchSnapshot {
+            generation: self.generation(),
             by_process_index,
         }
     }

@@ -1,0 +1,525 @@
+//! Scale-free dispatch: copy-on-write table publication, dynamic
+//! reader-slot registration past 64 ranks, and concurrent DSO churn
+//! against the RCU dispatch path.
+//!
+//! These tests pin the scale-free contracts from the ROADMAP's "flat
+//! dispatch scaling" item:
+//!
+//! * COW publish shares untouched `ObjectDispatch` arcs (`Arc::ptr_eq`)
+//!   and the incremental snapshot is byte-identical to a full-rebuild
+//!   reference oracle after any repatch sequence.
+//! * With more ranks than the old 64-stripe cap, a publisher's
+//!   quiescence wait still completes under continuously overlapping
+//!   dispatch windows, and `stale_dispatches` accounting stays exact.
+//! * Slot recycling folds a departed thread's counters into retired
+//!   totals instead of leaking them into the next claimant's stripe.
+//! * N threads dispatching while a churn thread runs a seeded
+//!   dlopen/dlclose/repatch script: no lost events, no dangling patched
+//!   IDs, byte-identical same-seed replay.
+
+use capi_appmodel::{LinkTarget, ProgramBuilder};
+use capi_objmodel::{compile, CompileOptions, Process};
+use capi_xray::{
+    instrument_object, BasicLog, Event, EventKind, PackedId, PassOptions, PatchDelta, ShardedLog,
+    TrampolineSet, XRayRuntime,
+};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+
+/// Deterministic splitmix64 stream — the same idiom the DSO-lifecycle
+/// churn suite seeds its scripts with.
+fn splitmix(seed: u64) -> impl FnMut() -> u64 {
+    let mut state = seed;
+    move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Host binary: a main executable with two hot functions plus
+/// `dso_count` shared objects with two functions each.
+fn many_dso_binary(dso_count: usize) -> capi_objmodel::Binary {
+    let mut b = ProgramBuilder::new("scalehost");
+    b.unit("m.cc", LinkTarget::Executable);
+    let mut main_fn = b.function("main");
+    main_fn = main_fn.main().statements(50).instructions(400);
+    main_fn = main_fn.calls("hot_a", 2).calls("hot_b", 2);
+    for d in 0..dso_count {
+        main_fn = main_fn
+            .calls(&format!("d{d}_fa"), 1)
+            .calls(&format!("d{d}_fb"), 1);
+    }
+    main_fn.finish();
+    b.function("hot_a")
+        .statements(40)
+        .instructions(300)
+        .loop_depth(1)
+        .finish();
+    b.function("hot_b")
+        .statements(45)
+        .instructions(350)
+        .finish();
+    for d in 0..dso_count {
+        b.unit(format!("d{d}.cc"), LinkTarget::Dso(format!("libd{d}.so")));
+        b.function(&format!("d{d}_fa"))
+            .statements(30)
+            .instructions(280)
+            .finish();
+        b.function(&format!("d{d}_fb"))
+            .statements(35)
+            .instructions(320)
+            .finish();
+    }
+    compile(&b.build().unwrap(), &CompileOptions::o2()).unwrap()
+}
+
+/// Launches the binary and registers every object; returns the process,
+/// runtime, and the instrumented function count per XRay object ID.
+fn registered_fixture(dso_count: usize) -> (Process, XRayRuntime, Vec<u32>) {
+    let bin = many_dso_binary(dso_count);
+    let process = Process::launch_binary(&bin).unwrap();
+    let runtime = XRayRuntime::new();
+    let mut funcs = Vec::new();
+    let main_inst = instrument_object(
+        process.object(0).unwrap().image.clone(),
+        &PassOptions::instrument_all(),
+    );
+    funcs.push(main_inst.sleds.num_functions() as u32);
+    runtime
+        .register_main(
+            main_inst,
+            process.object(0).unwrap(),
+            TrampolineSet::absolute(),
+        )
+        .unwrap();
+    for i in 1..=dso_count {
+        let inst = instrument_object(
+            process.object(i).unwrap().image.clone(),
+            &PassOptions::instrument_all(),
+        );
+        funcs.push(inst.sleds.num_functions() as u32);
+        runtime
+            .register_dso(inst, process.object(i).unwrap(), i, TrampolineSet::pic())
+            .unwrap();
+    }
+    (process, runtime, funcs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// COW contract: after any random repatch sequence, (a) every
+    /// object the delta did not touch keeps its exact `ObjectDispatch`
+    /// allocation (`Arc::ptr_eq` with the previous published table),
+    /// and (b) the incremental `snapshot()` is byte-identical to the
+    /// full-rebuild reference oracle.
+    #[test]
+    fn cow_publish_shares_untouched_arcs_and_matches_full_rebuild(seed in any::<u64>()) {
+        let (mut process, runtime, funcs) = registered_fixture(4);
+        let mut next = splitmix(seed);
+        let mut prev = runtime.published_table();
+        for _ in 0..12 {
+            let oid = (next() % funcs.len() as u64) as u8;
+            let fid = (next() % u64::from(funcs[oid as usize])) as u32;
+            let id = PackedId::pack(oid, fid).unwrap();
+            let delta = match next() % 3 {
+                0 => PatchDelta { patch: vec![id], ..PatchDelta::default() },
+                1 => PatchDelta { unpatch: vec![id], ..PatchDelta::default() },
+                _ => PatchDelta {
+                    set_rate: vec![(id, (next() % 8) as u32)],
+                    ..PatchDelta::default()
+                },
+            };
+            runtime.repatch(&mut process.memory, &delta).unwrap();
+            let cur = runtime.published_table();
+            prop_assert_eq!(prev.objects.len(), cur.objects.len());
+            for other in 0..cur.objects.len() {
+                if other == oid as usize {
+                    continue;
+                }
+                match (&prev.objects[other], &cur.objects[other]) {
+                    (Some(a), Some(b)) => prop_assert!(
+                        Arc::ptr_eq(a, b),
+                        "untouched object {} was rebuilt by a delta touching only {}",
+                        other, oid
+                    ),
+                    (None, None) => {}
+                    _ => prop_assert!(false, "untouched object {} changed presence", other),
+                }
+            }
+            prop_assert_eq!(
+                format!("{:?}", runtime.snapshot()),
+                format!("{:?}", runtime.snapshot_full_rebuild()),
+                "incremental snapshot diverged from the full-rebuild oracle"
+            );
+            prev = cur;
+        }
+        // A handler-only publish shares *every* object entry.
+        runtime.set_handler(Arc::new(BasicLog::new()));
+        let cur = runtime.published_table();
+        for (a, b) in prev.objects.iter().zip(cur.objects.iter()) {
+            match (a, b) {
+                (Some(a), Some(b)) => prop_assert!(Arc::ptr_eq(a, b)),
+                (None, None) => {}
+                _ => prop_assert!(false),
+            }
+        }
+    }
+}
+
+/// More ranks than the old 64-stripe cap, all continuously inside
+/// overlapping dispatch windows, while the main thread publishes table
+/// after table. Under rank-folding this could stall the publisher's
+/// quiescence wait indefinitely (two folded ranks keeping a shared
+/// stripe's in-flight count nonzero); with per-thread slots every wait
+/// completes — pinned by this test terminating — and no event is lost
+/// across the publishes and the threads' slot recycling.
+#[test]
+fn publisher_completes_past_64_ranks_with_overlapping_windows() {
+    const RANKS: u32 = 68;
+    let (mut process, runtime, _) = registered_fixture(1);
+    let id = PackedId::pack(0, 0).unwrap();
+    runtime.patch_function(&mut process.memory, id).unwrap();
+    let stop = AtomicBool::new(false);
+    let start = Barrier::new(RANKS as usize + 1);
+    // A recording handler would accumulate events without bound under
+    // the spin-until-stop storm; the publisher/quiescence contract under
+    // test does not care what the handler does, only that it flips.
+    let handler = Arc::new(capi_xray::handler::NullHandler);
+    let dispatched: u64 = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for rank in 0..RANKS {
+            let runtime = &runtime;
+            let stop = &stop;
+            let start = &start;
+            handles.push(scope.spawn(move || {
+                start.wait();
+                // Dispatch at least once before honoring `stop`, so
+                // every rank claims its own slot even if the scheduler
+                // runs the publisher first.
+                let mut n = 0u64;
+                loop {
+                    runtime.dispatch(id, EventKind::Entry, n, rank).unwrap();
+                    n += 1;
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    // Yield between windows: on an oversubscribed core a
+                    // reader descheduled *inside* its window pins
+                    // in_flight at 1 for a whole timeslice, serializing
+                    // the publisher's wait behind the scheduler instead
+                    // of the protocol under test.
+                    std::thread::yield_now();
+                }
+                n
+            }));
+        }
+        start.wait();
+        // Wait until every rank has dispatched (and therefore claimed
+        // its own slot) so the publishes below genuinely race live
+        // dispatch windows on all 68 slots.
+        while runtime.reader_slots_allocated() < RANKS as usize {
+            std::thread::yield_now();
+        }
+        // Handler flips racing the dispatch storm: each is a
+        // handler-only COW publish with a full quiescence wait over all
+        // 68 claimed slots.
+        for _ in 0..4 {
+            runtime.set_handler(Arc::clone(&handler) as Arc<dyn capi_xray::Handler>);
+            std::thread::yield_now();
+            runtime.clear_handler();
+        }
+        stop.store(true, Ordering::Relaxed);
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    // Exactness across live slots + retired fold: every dispatch the
+    // threads performed is accounted, none double-counted.
+    assert_eq!(runtime.stats().dispatches, dispatched);
+    assert!(
+        runtime.reader_slots_allocated() >= 64,
+        "ranks past 64 must claim their own slots, not fold"
+    );
+}
+
+/// Stale-dispatch accounting stays exact past 64 ranks: 80 ranks each
+/// dispatch K events while patched (phase A), the publisher unpatches
+/// the function mid-run, then each rank dispatches K more events from
+/// its pre-unpatch snapshot (phase B, all tolerated as stale). With the
+/// old rank-folding, per-rank counters aliased; with per-thread slots
+/// the totals are exact to the event.
+#[test]
+fn stale_accounting_exact_past_64_ranks() {
+    const RANKS: u32 = 80;
+    const K: u64 = 50;
+    let (mut process, runtime, _) = registered_fixture(1);
+    let id = PackedId::pack(0, 0).unwrap();
+    runtime.patch_function(&mut process.memory, id).unwrap();
+    let g0 = runtime.snapshot().generation;
+    let phase = Barrier::new(RANKS as usize + 1);
+    std::thread::scope(|scope| {
+        for rank in 0..RANKS {
+            let runtime = &runtime;
+            let phase = &phase;
+            scope.spawn(move || {
+                phase.wait(); // start A
+                for i in 0..K {
+                    runtime
+                        .dispatch_from_snapshot(id, EventKind::Entry, i, rank, g0)
+                        .unwrap();
+                }
+                phase.wait(); // end A
+                phase.wait(); // start B (after the unpatch published)
+                for i in 0..K {
+                    runtime
+                        .dispatch_from_snapshot(id, EventKind::Entry, K + i, rank, g0)
+                        .expect("unpatched-after-snapshot must be tolerated, not fault");
+                }
+            });
+        }
+        phase.wait(); // start A
+        phase.wait(); // end A
+        runtime.unpatch_function(&mut process.memory, id).unwrap();
+        phase.wait(); // start B
+    });
+    let stats = runtime.stats();
+    assert_eq!(stats.dispatches, u64::from(RANKS) * K * 2);
+    assert_eq!(stats.stale_dispatches, u64::from(RANKS) * K);
+    assert_eq!(
+        runtime.reader_slots_allocated(),
+        RANKS as usize,
+        "each rank thread owns exactly one slot"
+    );
+}
+
+/// The slot-recycling fix: a departed thread's counters are folded into
+/// retired totals on release, so a later claimant of the same slot
+/// starts at zero and the aggregate stays exact — if recycling leaked
+/// the old counters into the new claimant's stripe, the total here
+/// would be inflated; if it dropped them, deflated.
+#[test]
+fn slot_recycling_folds_counters_exactly_once() {
+    let (mut process, runtime, _) = registered_fixture(1);
+    let id = PackedId::pack(0, 0).unwrap();
+    runtime.patch_function(&mut process.memory, id).unwrap();
+    std::thread::scope(|scope| {
+        scope
+            .spawn(|| {
+                for i in 0..3 {
+                    runtime.dispatch(id, EventKind::Entry, i, 5).unwrap();
+                }
+            })
+            .join()
+            .unwrap();
+    });
+    assert_eq!(runtime.stats().dispatches, 3);
+    assert_eq!(runtime.reader_slots_allocated(), 1);
+    std::thread::scope(|scope| {
+        scope
+            .spawn(|| {
+                for i in 0..2 {
+                    runtime.dispatch(id, EventKind::Entry, i, 5).unwrap();
+                }
+            })
+            .join()
+            .unwrap();
+    });
+    assert_eq!(
+        runtime.stats().dispatches,
+        5,
+        "fold-on-release must neither leak the departed thread's \
+         counters into the new claimant nor drop them"
+    );
+    assert_eq!(
+        runtime.reader_slots_allocated(),
+        1,
+        "the second thread recycled the first thread's slot"
+    );
+}
+
+/// One full concurrent-churn run: `ranks` dispatch threads hammer the
+/// always-patched main-object functions into a sharded log while the
+/// churn thread executes a seeded open/close/repatch script against the
+/// RCU path. Returns the merged event trace, the churn outcome log, and
+/// the total events the dispatch threads delivered.
+fn churn_run(seed: u64, ranks: u32, events_per_rank: u64) -> (Vec<Event>, Vec<String>, u64) {
+    let (mut process, runtime, funcs) = registered_fixture(2);
+    let plugin_image: Arc<capi_objmodel::Object> = process.object(1).unwrap().image.clone();
+    let aux_oid: u8 = 2;
+    // Main object: patch everything up front; the churn script never
+    // touches object 0, so every dispatch below must succeed.
+    runtime.patch_all(&mut process.memory, 0).unwrap();
+    let main_ids: Vec<PackedId> = (0..funcs[0])
+        .map(|fid| PackedId::pack(0, fid).unwrap())
+        .collect();
+    let log = Arc::new(ShardedLog::new(ranks));
+    runtime.set_handler(Arc::clone(&log) as Arc<dyn capi_xray::Handler>);
+    let start = Barrier::new(ranks as usize + 1);
+    let (outcomes, delivered) = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for rank in 0..ranks {
+            let runtime = &runtime;
+            let main_ids = &main_ids;
+            let start = &start;
+            handles.push(scope.spawn(move || {
+                start.wait();
+                let mut n = 0u64;
+                for i in 0..events_per_rank {
+                    let id = main_ids[(i % main_ids.len() as u64) as usize];
+                    runtime
+                        .dispatch(id, EventKind::Entry, i, rank)
+                        .expect("main object is never churned");
+                    n += 1;
+                }
+                n
+            }));
+        }
+        // Churn thread: the main test thread owns the process (and its
+        // address space) and replays the seeded script concurrently
+        // with the dispatch storm.
+        start.wait();
+        let mut outcomes = Vec::new();
+        let mut next = splitmix(seed);
+        let mut plugin: Option<u8> = Some(1); // registered by the fixture
+        for step in 0..30 {
+            match next() % 3 {
+                0 => {
+                    if let Some(oid) = plugin.take() {
+                        runtime.deregister(oid).unwrap();
+                        process.dlclose("libd0.so").unwrap();
+                        outcomes.push(format!("{step}: close libd0.so oid={oid}"));
+                    } else {
+                        let idx = process.dlopen(Arc::clone(&plugin_image)).unwrap();
+                        let inst = instrument_object(
+                            process.object(idx).unwrap().image.clone(),
+                            &PassOptions::instrument_all(),
+                        );
+                        let oid = runtime
+                            .register_dso(
+                                inst,
+                                process.object(idx).unwrap(),
+                                idx,
+                                TrampolineSet::pic(),
+                            )
+                            .unwrap();
+                        runtime.patch_all(&mut process.memory, oid).unwrap();
+                        plugin = Some(oid);
+                        outcomes.push(format!("{step}: open libd0.so oid={oid} idx={idx}"));
+                    }
+                }
+                1 => {
+                    // Repatch the aux DSO (never unloaded) plus —
+                    // sometimes — the possibly-gone plugin: the lenient
+                    // path must skip, never fault.
+                    let aux_fid = (next() % u64::from(funcs[aux_oid as usize])) as u32;
+                    let aux_id = PackedId::pack(aux_oid, aux_fid).unwrap();
+                    let mut delta = PatchDelta::default();
+                    if next().is_multiple_of(2) {
+                        delta.patch.push(aux_id);
+                    } else {
+                        delta.unpatch.push(aux_id);
+                    }
+                    delta.patch.push(PackedId::pack(1, 0).unwrap());
+                    let rep = runtime
+                        .repatch_surviving(&mut process.memory, &delta)
+                        .unwrap();
+                    outcomes.push(format!(
+                        "{step}: repatch patched={} unpatched={} skipped={}",
+                        rep.sleds_patched, rep.sleds_unpatched, rep.skipped_entries
+                    ));
+                }
+                _ => {
+                    let rate = (next() % 6) as u32;
+                    let aux_id = PackedId::pack(aux_oid, 0).unwrap();
+                    let rep = runtime
+                        .repatch_surviving(
+                            &mut process.memory,
+                            &PatchDelta {
+                                set_rate: vec![(aux_id, rate)],
+                                ..PatchDelta::default()
+                            },
+                        )
+                        .unwrap();
+                    outcomes.push(format!("{step}: rate={rate} set={}", rep.rates_set));
+                }
+            }
+        }
+        let delivered: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        (outcomes, delivered)
+    });
+    // No dangling patched IDs after the storm: every patched sled still
+    // resolves to a live address.
+    for id in runtime.patched_ids() {
+        assert!(
+            runtime.function_address(id).is_some(),
+            "patched id {id:?} dangles after churn"
+        );
+    }
+    (log.events(), outcomes, delivered)
+}
+
+/// N threads dispatching while another thread runs the seeded churn
+/// script: no lost events (the sharded log holds exactly the delivered
+/// count), and a same-seed replay is byte-identical — merged trace and
+/// churn outcomes both.
+#[test]
+fn concurrent_dso_churn_loses_nothing_and_replays_identically() {
+    let (events_a, churn_a, delivered_a) = churn_run(0xC0FFEE, 4, 1500);
+    assert_eq!(delivered_a, 4 * 1500);
+    assert_eq!(
+        events_a.len() as u64,
+        delivered_a,
+        "every delivered dispatch must be in the merged log"
+    );
+    let (events_b, churn_b, delivered_b) = churn_run(0xC0FFEE, 4, 1500);
+    assert_eq!(delivered_a, delivered_b);
+    assert_eq!(events_a, events_b, "same-seed replay: merged trace differs");
+    assert_eq!(churn_a, churn_b, "same-seed replay: churn outcomes differ");
+    // A different seed takes a different churn path (sanity that the
+    // seed actually steers the script).
+    let (_, churn_c, _) = churn_run(0xBEEF, 4, 100);
+    assert_ne!(churn_a, churn_c);
+}
+
+/// Deterministic high-rank stress (the CI step): 128 ranks, fixed
+/// per-rank event streams, merged deterministically — byte-identical
+/// across runs, exact event accounting, one reader slot per rank.
+#[test]
+fn high_rank_stress_deterministic_128_ranks() {
+    let run = || {
+        let (mut process, runtime, _) = registered_fixture(1);
+        let id = PackedId::pack(0, 0).unwrap();
+        runtime.patch_function(&mut process.memory, id).unwrap();
+        let log = Arc::new(ShardedLog::new(128));
+        runtime.set_handler(Arc::clone(&log) as Arc<dyn capi_xray::Handler>);
+        std::thread::scope(|scope| {
+            for rank in 0..128u32 {
+                let runtime = &runtime;
+                scope.spawn(move || {
+                    for i in 0..200u64 {
+                        runtime.dispatch(id, EventKind::Entry, i, rank).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(runtime.stats().dispatches, 128 * 200);
+        // Slot storage never exceeds the peak *concurrent* rank count:
+        // on a saturated machine threads run back-to-back and recycle a
+        // handful of slots, yet the retired fold keeps the dispatch
+        // total above exact. (The stale-accounting test pins the
+        // all-live case where every rank owns its own slot.)
+        let allocated = runtime.reader_slots_allocated();
+        assert!(
+            (1..=128).contains(&allocated),
+            "slot storage out of range: {allocated}"
+        );
+        log.events()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.len(), 128 * 200);
+    assert_eq!(a, b, "high-rank merged trace must be deterministic");
+}
