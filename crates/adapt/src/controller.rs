@@ -158,6 +158,10 @@ pub struct AdaptController {
     sampled_skips: u64,
     /// Run-total redundancy-suppressed event count (same source).
     suppressed_events: u64,
+    /// Post-mortem dumps written this run ([`Self::record_health`]).
+    health_dumps: usize,
+    /// Health-detector firings by kind: overhead, stall, volume.
+    health_firings: [usize; 3],
 }
 
 impl AdaptController {
@@ -238,6 +242,8 @@ impl AdaptController {
             telemetry: None,
             sampled_skips: 0,
             suppressed_events: 0,
+            health_dumps: 0,
+            health_firings: [0; 3],
         }
     }
 
@@ -256,6 +262,18 @@ impl AdaptController {
     pub fn record_event_volume(&mut self, sampled_skips: u64, suppressed_events: u64) {
         self.sampled_skips += sampled_skips;
         self.suppressed_events += suppressed_events;
+    }
+
+    /// Accumulates the run's health-monitoring outcome — post-mortem
+    /// dumps written and detector firings per kind (overhead watchdog,
+    /// convergence stall, event-volume regression) — for the
+    /// [`Self::render_log`] health summary line. The inputs come from
+    /// deterministic detectors, so byte-identity is preserved.
+    pub fn record_health(&mut self, dumps_written: usize, firings: [usize; 3]) {
+        self.health_dumps += dumps_written;
+        for (slot, f) in self.health_firings.iter_mut().zip(firings) {
+            *slot += f;
+        }
     }
 
     /// Seeds the active set (the functions patched at session start)
@@ -990,11 +1008,12 @@ impl AdaptController {
     /// The adaptation log as one newline-joined string — byte-identical
     /// across runs with the same seed, budget and measurements.
     ///
-    /// Ends with a two-line summary accounting for every event-volume
-    /// reduction path: decision totals (drops, demotions, probes,
-    /// expansions) and the event-stream thinning counters reported via
-    /// [`Self::record_event_volume`]. All inputs are deterministic, so
-    /// the summary preserves the byte-identity guarantee.
+    /// Ends with a three-line summary: decision totals (drops,
+    /// demotions, probes, expansions), the event-stream thinning
+    /// counters reported via [`Self::record_event_volume`], and the
+    /// health-monitoring outcome reported via [`Self::record_health`].
+    /// All inputs are deterministic, so the summary preserves the
+    /// byte-identity guarantee.
     pub fn render_log(&self) -> String {
         let mut out = self.log.join("\n");
         out.push('\n');
@@ -1006,6 +1025,13 @@ impl AdaptController {
         out.push_str(&format!(
             "event volume: {} sampled skips, {} suppressed events\n",
             self.sampled_skips, self.suppressed_events
+        ));
+        out.push_str(&format!(
+            "health: {} dumps, firings: {} overhead, {} stall, {} volume\n",
+            self.health_dumps,
+            self.health_firings[0],
+            self.health_firings[1],
+            self.health_firings[2]
         ));
         out
     }

@@ -219,6 +219,17 @@ pub fn obs_tolerance_pct_from_env() -> f64 {
     parse_positive_f64(std::env::var("CAPI_OBS_TOLERANCE_PCT").ok(), 2.0)
 }
 
+/// Tolerated wall-clock overhead (percent) of an *armed* flight
+/// recorder over a disarmed one in `table10`, from
+/// `CAPI_HEALTH_TOLERANCE_PCT` (default 3.0) — the bound the binary
+/// asserts, per the near-zero-cost recorder claim.
+///
+/// Unparseable, zero or negative values fall back to the default; a
+/// zero tolerance would fail on pure scheduler noise.
+pub fn health_tolerance_pct_from_env() -> f64 {
+    parse_positive_f64(std::env::var("CAPI_HEALTH_TOLERANCE_PCT").ok(), 3.0)
+}
+
 fn parse_positive_usize(var: Option<String>, default: usize) -> usize {
     var.and_then(|v| v.parse().ok())
         .filter(|&n| n > 0)

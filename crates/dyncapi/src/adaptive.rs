@@ -15,13 +15,17 @@
 //! receiving events across IC reloads.
 
 use crate::lifecycle::{LifecycleCounters, LifecycleScript, LifecycleStats};
+use crate::postmortem::{DumpTrigger, PostMortem};
 use crate::startup::{DynCapiError, Session};
 use capi_adapt::{
     AdaptController, CallChildren, EpochView, FuncSample, RegionSample, WarmStartStats,
 };
 use capi_exec::{Engine, EpochSpec};
 use capi_mpisim::World;
-use capi_obs::Telemetry;
+use capi_obs::{
+    pct_to_ppm, EpochHealth, HealthConfig, HealthMonitor, HealthReport, RecordKind, Telemetry,
+    CONTROL_RANK,
+};
 use capi_persist::{
     fingerprint_object, plan_object_matches, InstrumentationProfile, ObjectMatch, ObjectRecord,
     PersistError,
@@ -133,6 +137,15 @@ pub struct AdaptiveRun {
     /// communication fraction) — the TALP signal the expansion policies
     /// consumed, aggregated for reporting.
     pub efficiency: EfficiencyReport,
+    /// Per-epoch health monitoring outcome: detector firings (overhead
+    /// watchdog, convergence stall, event-volume regression) and the
+    /// anomalies themselves. Always populated — the detectors are pure
+    /// and run with or without telemetry.
+    pub health: HealthReport,
+    /// The post-mortem dump built at the run's *first* trigger (typed
+    /// degradation or detector firing), if any fired. Also written to
+    /// `CAPI_DUMP_OUT` as JSON when that knob is set.
+    pub post_mortem: Option<PostMortem>,
 }
 
 impl Session {
@@ -187,7 +200,12 @@ impl Session {
     }
 
     /// The shared epoch loop behind every adaptive entry point.
-    /// `redundancy_ppm` is forwarded to the engine each epoch.
+    /// `redundancy_ppm` is forwarded to the engine each epoch;
+    /// `health_cfg` parameterizes the per-epoch anomaly detectors and
+    /// `baseline_events` seeds the event-volume regression detector
+    /// (when `None`, a warm-start profile's prediction is used, else
+    /// the detector stays inert).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn run_adaptive_inner(
         &mut self,
         controller: &mut AdaptController,
@@ -195,8 +213,19 @@ impl Session {
         warm: Option<WarmStart<'_>>,
         redundancy_ppm: u32,
         lifecycle: Option<&LifecycleScript>,
+        health_cfg: HealthConfig,
+        baseline_events: Option<u64>,
     ) -> Result<AdaptiveRun, DynCapiError> {
         let epochs = epochs.max(1);
+        let mut monitor = HealthMonitor::new(health_cfg);
+        let mut baseline_events = baseline_events;
+        let mut post_mortem: Option<PostMortem> = None;
+        let mut dumps_written = 0usize;
+        // Typed-degradation high-water mark: any increase across an
+        // epoch boundary (failed dlopens, abandoned opens, degraded
+        // repatches, unload races — fired faults always surface as one
+        // of these) is a dump trigger.
+        let mut prev_degradations = 0u64;
         // The runtime's instance is authoritative (set-once): a builder
         // installing a second telemetry on a reused runtime reports into
         // the one the runtime actually folds its counters into.
@@ -333,6 +362,11 @@ impl Session {
                         }
                     }
                     Some(WarmStart::Profile(profile)) => {
+                        // The profile predicts the warm run's per-epoch
+                        // event volume — the regression detector's
+                        // baseline unless the caller provided one.
+                        baseline_events =
+                            baseline_events.or_else(|| profile.baseline_epoch_events());
                         drop(engine);
                         let mut summary = self.plan_warm_start(controller, profile, tel.as_ref());
                         let (delta, seed) = controller.seed_from_profile(profile, &summary.idmap);
@@ -472,6 +506,91 @@ impl Session {
                 sleds_unpatched: rep.sleds_unpatched,
                 adapt_ns: epoch_adapt_ns,
             });
+            // Per-epoch health evaluation: the detectors are pure and
+            // cheap, so they run with or without telemetry.
+            let fired = monitor.observe(&EpochHealth {
+                epoch,
+                overhead_ppm: pct_to_ppm(overhead_pct),
+                budget_ppm: pct_to_ppm(controller.budget_pct()),
+                progressed: !delta.is_empty(),
+                converged: controller.converged_at().is_some(),
+                events: out.events,
+                baseline_events,
+            });
+            for a in &fired {
+                controller.log_note(&format!(
+                    "health: {} detector fired at epoch {}: {}",
+                    a.kind.as_str(),
+                    a.epoch,
+                    a.detail
+                ));
+                if let Some(t) = &tel {
+                    let c = t.counter(match a.kind {
+                        capi_obs::DetectorKind::Overhead => "health.overhead_firings",
+                        capi_obs::DetectorKind::Stall => "health.stall_firings",
+                        capi_obs::DetectorKind::Volume => "health.volume_firings",
+                    });
+                    t.add_control(c, 1);
+                    t.record(
+                        CONTROL_RANK,
+                        RecordKind::Health,
+                        "health.anomaly",
+                        format!("{} {}", a.kind.as_str(), a.detail),
+                    );
+                }
+            }
+            // First trigger — typed degradation or detector firing —
+            // dumps the black box; the run continues either way.
+            if post_mortem.is_none() {
+                let degradations = lc_stats.dlopen_failed
+                    + lc_stats.opens_abandoned
+                    + lc_stats.degraded_repatches
+                    + lc_stats.unload_races;
+                let trigger = if degradations > prev_degradations {
+                    Some(DumpTrigger::Degradation {
+                        detail: format!(
+                            "{} typed degradations by epoch {epoch} ({} new)",
+                            degradations,
+                            degradations - prev_degradations
+                        ),
+                    })
+                } else {
+                    fired.first().map(|a| match a.kind {
+                        capi_obs::DetectorKind::Overhead => DumpTrigger::BudgetOverrun { epoch },
+                        capi_obs::DetectorKind::Stall => DumpTrigger::ConvergenceStall { epoch },
+                        capi_obs::DetectorKind::Volume => DumpTrigger::VolumeRegression { epoch },
+                    })
+                };
+                prev_degradations = degradations;
+                if let Some(trigger) = trigger {
+                    controller.log_note(&format!(
+                        "health: post-mortem dump ({}) at epoch {epoch}",
+                        trigger.label()
+                    ));
+                    let (generation, dispatch) = self.runtime.dispatch_summary();
+                    let dump = PostMortem::build(
+                        trigger,
+                        epoch,
+                        tel.as_ref(),
+                        generation,
+                        &dispatch,
+                        controller.log_lines(),
+                        monitor.report(),
+                    );
+                    if let Some(path) = capi_obs::dump_out_from_env() {
+                        if let Err(e) = dump.write_json(&path) {
+                            controller.log_note(&format!("dump write failed ({path}): {e}"));
+                        }
+                    }
+                    dumps_written += 1;
+                    post_mortem = Some(dump);
+                }
+            } else {
+                prev_degradations = lc_stats.dlopen_failed
+                    + lc_stats.opens_abandoned
+                    + lc_stats.degraded_repatches
+                    + lc_stats.unload_races;
+            }
             epoch += 1;
         }
         let run_ns = clocks.iter().copied().max().unwrap_or(0);
@@ -479,6 +598,15 @@ impl Session {
         // summary and sync the dispatch counters into the registry one
         // final time (they were last synced at the final publish).
         controller.record_event_volume(skips, suppressed);
+        let health = monitor.into_report();
+        controller.record_health(
+            dumps_written,
+            [
+                health.overhead_firings,
+                health.stall_firings,
+                health.volume_firings,
+            ],
+        );
         self.runtime.sync_telemetry();
         if let Some(span) = &run_span {
             span.arg("epochs", records.len());
@@ -504,6 +632,8 @@ impl Session {
             warm: warm_summary,
             lifecycle: lifecycle.map(|_| lc_stats),
             efficiency,
+            health,
+            post_mortem,
         })
     }
 

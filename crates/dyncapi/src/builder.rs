@@ -26,7 +26,7 @@ use crate::adaptive::{efficiency_summary, AdaptiveRun, WarmStart};
 use crate::lifecycle::LifecycleScript;
 use crate::startup::{DynCapiError, Session};
 use capi_adapt::{AdaptConfig, AdaptController, ExpansionOptions};
-use capi_obs::Telemetry;
+use capi_obs::{HealthConfig, Telemetry};
 use capi_persist::InstrumentationProfile;
 use std::path::PathBuf;
 
@@ -100,6 +100,8 @@ pub struct AdaptiveRunBuilder {
     profile: ProfileSource,
     telemetry: Option<Telemetry>,
     lifecycle: Option<LifecycleScript>,
+    health: Option<HealthConfig>,
+    baseline_events: Option<u64>,
 }
 
 impl Default for AdaptiveRunBuilder {
@@ -114,6 +116,8 @@ impl Default for AdaptiveRunBuilder {
             profile: ProfileSource::None,
             telemetry: None,
             lifecycle: None,
+            health: None,
+            baseline_events: None,
         }
     }
 }
@@ -197,6 +201,23 @@ impl AdaptiveRunBuilder {
         self
     }
 
+    /// Thresholds for the per-epoch anomaly detectors (overhead
+    /// watchdog, convergence stall, event-volume regression). Without
+    /// an explicit config, the `CAPI_HEALTH_*` environment knobs (or
+    /// their defaults) apply.
+    pub fn health(mut self, config: HealthConfig) -> Self {
+        self.health = Some(config);
+        self
+    }
+
+    /// Explicit per-epoch event-volume baseline for the regression
+    /// detector. Without one, a warm-start profile's predicted volume
+    /// is used; with neither, the detector stays inert.
+    pub fn baseline_events(mut self, events: u64) -> Self {
+        self.baseline_events = Some(events);
+        self
+    }
+
     /// Builds the controller this configuration describes: the standard
     /// policy stack with optional expansion and demotion-to-sampled.
     pub fn build_controller(&self) -> AdaptController {
@@ -226,7 +247,23 @@ impl AdaptiveRunBuilder {
             controller.set_telemetry(t.clone());
         }
         let ppm = self.redundancy_ppm.unwrap_or(session.config.redundancy_ppm);
-        session.run_adaptive_inner(controller, self.epochs, warm, ppm, self.lifecycle.as_ref())
+        let health_cfg = self.health.unwrap_or_else(HealthConfig::from_env);
+        let result = session.run_adaptive_inner(
+            controller,
+            self.epochs,
+            warm,
+            ppm,
+            self.lifecycle.as_ref(),
+            health_cfg,
+            self.baseline_events,
+        );
+        // A failed run still leaves its artifacts: flush the Chrome
+        // trace, the OpenMetrics exposition, and a run-error post-mortem
+        // from the degraded exit path instead of dropping them.
+        if let Err(err) = &result {
+            let _ = crate::postmortem::flush_degraded_artifacts(session, controller, err);
+        }
+        result
     }
 
     /// Runs the full configured adaptation on `session`: builds the
@@ -274,6 +311,11 @@ impl AdaptiveRunBuilder {
         if let (Some(t), Some(trace_path)) = (&tel, capi_obs::trace_out_from_env()) {
             if let Err(e) = t.write_chrome_trace(&trace_path) {
                 controller.log_note(&format!("trace write failed ({trace_path}): {e}"));
+            }
+        }
+        if let (Some(t), Some(metrics_path)) = (&tel, capi_obs::metrics_out_from_env()) {
+            if let Err(e) = t.write_openmetrics(&metrics_path) {
+                controller.log_note(&format!("metrics write failed ({metrics_path}): {e}"));
             }
         }
         let final_functions = controller

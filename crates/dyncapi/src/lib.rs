@@ -38,11 +38,18 @@
 //!   the loop degrades gracefully — surviving repatches, lenient call
 //!   resolution, bounded `dlopen` retry — and counts every degradation
 //!   in `capi-obs`.
+//! * [`postmortem`] — trigger-based post-mortem dumps: on a typed
+//!   degradation, a fired fault, a budget overrun, or a convergence
+//!   stall, the run captures the flight-recorder tail, a full metrics
+//!   snapshot, the dispatch-table summary, and the controller's recent
+//!   decisions in a byte-deterministic text + JSON [`PostMortem`] —
+//!   without aborting the run.
 
 pub mod adapters;
 pub mod adaptive;
 pub mod builder;
 pub mod lifecycle;
+pub mod postmortem;
 pub mod startup;
 pub mod symres;
 
@@ -50,6 +57,7 @@ pub use adapters::{ScorepAdapter, TalpAdapter, TalpAdapterStats};
 pub use adaptive::{efficiency_summary, AdaptiveRun, EpochRecord, WarmStart, WarmStartSummary};
 pub use builder::{profile_source_from_env, AdaptiveOutcome, AdaptiveRunBuilder, ProfileSource};
 pub use lifecycle::{LifecycleOp, LifecycleScript, LifecycleStats, LoadDsoOutcome};
+pub use postmortem::{DumpTrigger, PostMortem};
 pub use startup::{
     startup, DynCapiConfig, DynCapiError, InitCostModel, Session, SessionRun, StartupReport,
     ToolChoice,

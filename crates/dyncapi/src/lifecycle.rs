@@ -23,7 +23,7 @@
 use crate::startup::{DynCapiError, Session};
 use crate::symres::resolve_ids;
 use capi_objmodel::{FaultKind, FaultPlan, LoadError, Object};
-use capi_obs::{CounterId, Telemetry};
+use capi_obs::{CounterId, RecordKind, Telemetry, CONTROL_RANK};
 use capi_xray::{instrument_object, InstrumentedObject, TrampolineSet};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -191,12 +191,55 @@ impl LifecycleCounters {
         }
     }
 
+    /// Captures one lifecycle event into the flight recorder (control
+    /// ring), if the recorder is armed. `n == 0` events are skipped so
+    /// the ring only retains degradations that actually happened.
+    fn capture(&self, name: &'static str, n: u64, detail: String) {
+        if n > 0 && self.tel.recorder_armed() {
+            self.tel
+                .record(CONTROL_RANK, RecordKind::Lifecycle, name, detail);
+        }
+    }
+
     pub(crate) fn record_degraded(&self, n: u64) {
         self.bump(self.degraded_repatch, n);
+        self.capture("lifecycle.degraded_repatch", n, format!("count={n}"));
     }
 
     pub(crate) fn record_race(&self) {
         self.bump(self.unload_race, 1);
+        self.bump(self.closed, 1);
+        self.capture("lifecycle.unload_race", 1, String::new());
+    }
+
+    pub(crate) fn record_load(&self, name: &str, load: &LoadDsoOutcome) {
+        let failed = u64::from(load.failed_attempts);
+        self.bump(self.dlopen_failed, failed);
+        self.bump(self.retries, u64::from(load.attempts.saturating_sub(1)));
+        match &load.result {
+            Ok(oid) => {
+                self.bump(self.opened, 1);
+                self.capture(
+                    "lifecycle.dlopen_retry",
+                    failed,
+                    format!("dso={name} object={oid} failed_attempts={failed}"),
+                );
+            }
+            Err(e) => {
+                self.capture(
+                    "lifecycle.dlopen_failed",
+                    1,
+                    format!(
+                        "dso={name} attempts={} kind={}",
+                        load.attempts,
+                        error_kind(e)
+                    ),
+                );
+            }
+        }
+    }
+
+    pub(crate) fn record_close(&self) {
         self.bump(self.closed, 1);
     }
 }
@@ -503,16 +546,12 @@ fn open_one(
     stats.retries += load.attempts.saturating_sub(1) as u64;
     out.ns += load.backoff_ns + load.register_ns;
     if let Some(c) = counters {
-        c.bump(c.dlopen_failed, load.failed_attempts as u64);
-        c.bump(c.retries, load.attempts.saturating_sub(1) as u64);
+        c.record_load(name, &load);
     }
     match load.result {
         Ok(oid) => {
             stats.opened += 1;
             out.opened.push(oid);
-            if let Some(c) = counters {
-                c.bump(c.opened, 1);
-            }
             let verb = if interpose { "interpose" } else { "open" };
             let retry = if load.attempts > 1 {
                 format!(" after {} retries", load.attempts - 1)
@@ -547,7 +586,7 @@ fn close_one(
         Ok(oid) => {
             stats.closed += 1;
             if let Some(c) = counters {
-                c.bump(c.closed, 1);
+                c.record_close();
             }
             if let Some(oid) = oid {
                 out.invalidated.push(oid);

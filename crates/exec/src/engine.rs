@@ -3,7 +3,7 @@
 use capi_appmodel::MpiCall;
 use capi_mpisim::{MpiError, MpiOp, World};
 use capi_objmodel::{DispatchKind, Process};
-use capi_obs::{GaugeId, Telemetry};
+use capi_obs::{GaugeId, RecordKind, Telemetry};
 use capi_xray::{EventKind, PackedId, PatchSnapshot, XRayError, XRayRuntime};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -503,6 +503,22 @@ impl<'p> Engine<'p> {
                 .take()
                 .map(|s| (s.sampled_skips, s.suppressed))
                 .unwrap_or((0, 0));
+            // Flight-recorder mark on the rank's own ring: everything in
+            // the detail is virtual-clock-deterministic. The armed check
+            // keeps the disabled path allocation-free.
+            if let Some(o) = &self.obs {
+                if o.tel.recorder_armed() {
+                    o.tel.record(
+                        ctx.rank,
+                        RecordKind::Mark,
+                        "exec.rank_epoch",
+                        format!(
+                            "epoch={} events={} nops={} skips={}",
+                            spec.index, rr.events, rr.nops, sampling.0
+                        ),
+                    );
+                }
+            }
             (
                 res.map(|()| clock),
                 rr.events,

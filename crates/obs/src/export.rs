@@ -52,6 +52,123 @@ pub struct MetricsSnapshot {
     pub histograms: Vec<HistogramSnapshot>,
 }
 
+impl MetricsSnapshot {
+    /// Appends the name-sorted metric sections (`counters:` /
+    /// `gauges:` / `histograms:`) to `out` — the shared body of
+    /// [`Telemetry::render_text`] and the post-mortem dump, so both
+    /// render metrics byte-identically.
+    pub fn render_sections(&self, out: &mut String) {
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for c in &self.counters {
+                let _ = writeln!(out, "  {} = {}", c.name, c.value);
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for g in &self.gauges {
+                let _ = writeln!(out, "  {} = {}", g.name, g.value);
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            for h in &self.histograms {
+                match h.kind {
+                    HistogramKind::Logical => {
+                        let _ = write!(out, "  {}: count={} sum={}", h.name, h.count, h.sum);
+                        let nonzero: Vec<String> = h
+                            .buckets
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, n)| **n > 0)
+                            .map(|(b, n)| format!("b{b}:{n}"))
+                            .collect();
+                        if !nonzero.is_empty() {
+                            let _ = write!(out, " buckets{{{}}}", nonzero.join(" "));
+                        }
+                        out.push('\n');
+                    }
+                    HistogramKind::Wall => {
+                        // Wall sums/buckets are nondeterministic: count only.
+                        let _ = writeln!(out, "  {}: count={} [wall]", h.name, h.count);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The OpenMetrics/Prometheus text exposition of this snapshot:
+    /// name-sorted, `capi_`-prefixed, byte-deterministic. Logical
+    /// histograms export cumulative `_bucket{le="…"}` series (bucket
+    /// `b` holds values of bit length `b`, so its upper bound is
+    /// `2^b - 1`) plus `_sum`/`_count`; wall histograms export only
+    /// their deterministic sample count, as a `_samples` counter. Ends
+    /// with the spec's `# EOF` terminator.
+    pub fn render_openmetrics(&self) -> String {
+        fn metric_name(raw: &str) -> String {
+            let mut name = String::with_capacity(raw.len() + 5);
+            name.push_str("capi_");
+            for ch in raw.chars() {
+                if ch.is_ascii_alphanumeric() || ch == '_' {
+                    name.push(ch);
+                } else {
+                    name.push('_');
+                }
+            }
+            name
+        }
+        let mut out = String::new();
+        // Wall histograms join the counter section (their sums and
+        // buckets are nondeterministic, only the sample count is
+        // exposed), so each section stays fully name-sorted.
+        let mut counters: Vec<(String, u64)> = self
+            .counters
+            .iter()
+            .map(|c| (metric_name(&c.name), c.value))
+            .collect();
+        counters.extend(
+            self.histograms
+                .iter()
+                .filter(|h| h.kind == HistogramKind::Wall)
+                .map(|h| (metric_name(&format!("{}_samples", h.name)), h.count)),
+        );
+        counters.sort();
+        for (name, value) in &counters {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name}_total {value}");
+        }
+        for g in &self.gauges {
+            let name = metric_name(&g.name);
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {}", g.value);
+        }
+        for h in self
+            .histograms
+            .iter()
+            .filter(|h| h.kind == HistogramKind::Logical)
+        {
+            let name = metric_name(&h.name);
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cumulative = 0u64;
+            for (b, &n) in h.buckets.iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                cumulative += n;
+                // Bucket b's upper bound: largest value of bit
+                // length b (0 for the zero bucket).
+                let le = (1u64 << b) - 1;
+                let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "{name}_sum {}", h.sum);
+            let _ = writeln!(out, "{name}_count {}", h.count);
+        }
+        out.push_str("# EOF\n");
+        out
+    }
+}
+
 impl Telemetry {
     /// Merges every registered metric across stripes into a snapshot
     /// whose ordering (name-sorted) and values (commutative sums) are
@@ -147,43 +264,7 @@ impl Telemetry {
                 }
             }
         }
-        if !snap.counters.is_empty() {
-            out.push_str("counters:\n");
-            for c in &snap.counters {
-                let _ = writeln!(out, "  {} = {}", c.name, c.value);
-            }
-        }
-        if !snap.gauges.is_empty() {
-            out.push_str("gauges:\n");
-            for g in &snap.gauges {
-                let _ = writeln!(out, "  {} = {}", g.name, g.value);
-            }
-        }
-        if !snap.histograms.is_empty() {
-            out.push_str("histograms:\n");
-            for h in &snap.histograms {
-                match h.kind {
-                    HistogramKind::Logical => {
-                        let _ = write!(out, "  {}: count={} sum={}", h.name, h.count, h.sum);
-                        let nonzero: Vec<String> = h
-                            .buckets
-                            .iter()
-                            .enumerate()
-                            .filter(|(_, n)| **n > 0)
-                            .map(|(b, n)| format!("b{b}:{n}"))
-                            .collect();
-                        if !nonzero.is_empty() {
-                            let _ = write!(out, " buckets{{{}}}", nonzero.join(" "));
-                        }
-                        out.push('\n');
-                    }
-                    HistogramKind::Wall => {
-                        // Wall sums/buckets are nondeterministic: count only.
-                        let _ = writeln!(out, "  {}: count={} [wall]", h.name, h.count);
-                    }
-                }
-            }
-        }
+        snap.render_sections(&mut out);
         let stats = self.self_stats();
         let _ = writeln!(
             out,
@@ -261,6 +342,18 @@ impl Telemetry {
             .expect("chrome trace document is always serialisable");
         text.push('\n');
         std::fs::write(path, text)
+    }
+
+    /// The OpenMetrics text exposition of the current metrics — see
+    /// [`MetricsSnapshot::render_openmetrics`].
+    pub fn render_openmetrics(&self) -> String {
+        self.metrics().render_openmetrics()
+    }
+
+    /// Writes [`Self::render_openmetrics`] to `path` (wired to the
+    /// `CAPI_METRICS_OUT` environment knob by `capi-dyncapi`).
+    pub fn write_openmetrics(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.render_openmetrics())
     }
 }
 
@@ -354,6 +447,34 @@ mod tests {
         let doc: serde_json::Value = serde_json::from_str(&text).unwrap();
         assert!(doc.get("traceEvents").unwrap().as_array().unwrap().len() > 3);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn openmetrics_exposition_is_stable_ordered_and_terminated() {
+        let a = Telemetry::new();
+        let b = Telemetry::new();
+        sample_run(&a);
+        sample_run(&b);
+        let ra = a.render_openmetrics();
+        assert_eq!(ra, b.render_openmetrics(), "byte-deterministic");
+        assert!(ra.ends_with("# EOF\n"));
+        assert!(ra.contains("# TYPE capi_xray_dispatches counter\ncapi_xray_dispatches_total 15\n"));
+        assert!(ra.contains("# TYPE capi_exec_events gauge\ncapi_exec_events 9000\n"));
+        // Logical histogram: one sample of 700 (bit length 10 → bucket
+        // 10, upper bound 2^10-1 = 1023), cumulative + +Inf + sum/count.
+        assert!(ra.contains("# TYPE capi_virtual_ns histogram\n"));
+        assert!(ra.contains("capi_virtual_ns_bucket{le=\"1023\"} 1\n"));
+        assert!(ra.contains("capi_virtual_ns_bucket{le=\"+Inf\"} 1\n"));
+        assert!(ra.contains("capi_virtual_ns_sum 700\n"));
+        assert!(ra.contains("capi_virtual_ns_count 1\n"));
+        // Wall histogram: deterministic sample count only, as a counter.
+        assert!(ra.contains("# TYPE capi_publish_wall_samples counter\n"));
+        assert!(ra.contains("capi_publish_wall_samples_total 1\n"));
+        assert!(!ra.contains("publish_wall_sum"), "wall sums quarantined");
+        // Counters sort before gauges, and within sections by name.
+        let dispatches = ra.find("capi_xray_dispatches_total").unwrap();
+        let events = ra.find("capi_exec_events ").unwrap();
+        assert!(dispatches < events);
     }
 
     #[test]

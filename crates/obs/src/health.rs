@@ -1,0 +1,454 @@
+//! Per-epoch health monitoring: anomaly detectors over the adaptive
+//! run's own telemetry.
+//!
+//! The adaptation loop feeds one [`EpochHealth`] observation per epoch
+//! into a [`HealthMonitor`]; the monitor runs three detectors and
+//! returns the [`Anomaly`]s that fired:
+//!
+//! * **Overhead watchdog** — measured instrumentation overhead (ppm of
+//!   application time) above the configured budget for
+//!   `overhead_trip_epochs` consecutive epochs. Hysteresis: after
+//!   firing, the detector disarms until the overhead has been back
+//!   within budget for `overhead_clear_epochs` consecutive epochs, so
+//!   one sustained excursion fires exactly once.
+//! * **Convergence-stall detector** — the controller neither reached
+//!   its fixed point nor made any progress (published an empty delta)
+//!   for `stall_epochs` consecutive epochs. Progress or convergence
+//!   re-arms.
+//! * **Event-volume regression detector** — on warm runs seeded from a
+//!   `capi-persist` profile, an epoch whose event volume diverges from
+//!   the profile-derived baseline by more than `volume_band_ppm` fires;
+//!   returning into the band re-arms.
+//!
+//! Everything here is pure integer state driven by deterministic
+//! inputs (logical overheads, event counts, controller decisions), so
+//! detector firings — and the [`HealthReport`] rendering — are
+//! byte-deterministic run to run.
+
+use std::fmt::Write as _;
+
+/// Detector thresholds. [`HealthConfig::from_env`] reads the
+/// `CAPI_HEALTH_*` knobs; defaults favor firing early enough to matter
+/// while tolerating one-epoch blips.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HealthConfig {
+    /// Consecutive over-budget epochs before the overhead watchdog
+    /// fires (`CAPI_HEALTH_OVERHEAD_EPOCHS`, default 2).
+    pub overhead_trip_epochs: usize,
+    /// Consecutive within-budget epochs that re-arm it after a firing
+    /// (`CAPI_HEALTH_CLEAR_EPOCHS`, default 2).
+    pub overhead_clear_epochs: usize,
+    /// Consecutive no-progress, non-converged epochs before the stall
+    /// detector fires (`CAPI_HEALTH_STALL_EPOCHS`, default 3).
+    pub stall_epochs: usize,
+    /// Allowed deviation of per-epoch event volume from the warm-start
+    /// baseline, in parts per million (`CAPI_HEALTH_VOLUME_PPM`,
+    /// default 250000 = ±25%).
+    pub volume_band_ppm: u64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        Self {
+            overhead_trip_epochs: 2,
+            overhead_clear_epochs: 2,
+            stall_epochs: 3,
+            volume_band_ppm: 250_000,
+        }
+    }
+}
+
+impl HealthConfig {
+    /// The defaults overridden by any `CAPI_HEALTH_*` environment knobs
+    /// that parse; unparsable or absent knobs keep the default.
+    pub fn from_env() -> Self {
+        fn env_num<T: std::str::FromStr>(key: &str, default: T) -> T {
+            std::env::var(key)
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap_or(default)
+        }
+        let d = Self::default();
+        Self {
+            overhead_trip_epochs: env_num("CAPI_HEALTH_OVERHEAD_EPOCHS", d.overhead_trip_epochs),
+            overhead_clear_epochs: env_num("CAPI_HEALTH_CLEAR_EPOCHS", d.overhead_clear_epochs),
+            stall_epochs: env_num("CAPI_HEALTH_STALL_EPOCHS", d.stall_epochs),
+            volume_band_ppm: env_num("CAPI_HEALTH_VOLUME_PPM", d.volume_band_ppm),
+        }
+    }
+}
+
+/// Converts a percentage (e.g. a budget of `5.0`%) to parts per
+/// million, the integer unit every detector compares in.
+pub fn pct_to_ppm(pct: f64) -> u64 {
+    (pct * 10_000.0).round().max(0.0) as u64
+}
+
+/// One epoch's health observation, assembled by the adaptation loop
+/// from quantities it already has.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EpochHealth {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Measured instrumentation overhead in ppm of application time.
+    pub overhead_ppm: u64,
+    /// The controller's overhead budget in ppm.
+    pub budget_ppm: u64,
+    /// Whether the controller published a non-empty patch delta this
+    /// epoch (fixed-point progress).
+    pub progressed: bool,
+    /// Whether the controller considers itself converged.
+    pub converged: bool,
+    /// Instrumentation events observed this epoch.
+    pub events: u64,
+    /// Expected per-epoch event volume from a warm-start profile, when
+    /// one seeded this run. `None` disables the volume detector.
+    pub baseline_events: Option<u64>,
+}
+
+/// Which detector fired.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DetectorKind {
+    /// The overhead watchdog.
+    Overhead,
+    /// The convergence-stall detector.
+    Stall,
+    /// The event-volume regression detector.
+    Volume,
+}
+
+impl DetectorKind {
+    /// Stable lowercase tag used in renderings and counter names.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DetectorKind::Overhead => "overhead",
+            DetectorKind::Stall => "stall",
+            DetectorKind::Volume => "volume",
+        }
+    }
+}
+
+/// One detector firing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Anomaly {
+    /// Epoch at which the detector fired.
+    pub epoch: usize,
+    /// The detector.
+    pub kind: DetectorKind,
+    /// Deterministic description of what tripped it.
+    pub detail: String,
+}
+
+/// Accumulated health over a run: firing counts per detector plus the
+/// anomalies themselves, in firing order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Epochs observed.
+    pub epochs_observed: usize,
+    /// Overhead-watchdog firings.
+    pub overhead_firings: usize,
+    /// Stall-detector firings.
+    pub stall_firings: usize,
+    /// Volume-detector firings.
+    pub volume_firings: usize,
+    /// Every firing, in epoch order.
+    pub anomalies: Vec<Anomaly>,
+}
+
+impl HealthReport {
+    /// Total firings across all detectors.
+    pub fn firings_total(&self) -> usize {
+        self.overhead_firings + self.stall_firings + self.volume_firings
+    }
+
+    /// Firings of one detector.
+    pub fn firings(&self, kind: DetectorKind) -> usize {
+        match kind {
+            DetectorKind::Overhead => self.overhead_firings,
+            DetectorKind::Stall => self.stall_firings,
+            DetectorKind::Volume => self.volume_firings,
+        }
+    }
+
+    /// The byte-deterministic text rendering: one header line, then one
+    /// line per anomaly in epoch order.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# health ({} epochs observed, {} firings: overhead {}, stall {}, volume {})",
+            self.epochs_observed,
+            self.firings_total(),
+            self.overhead_firings,
+            self.stall_firings,
+            self.volume_firings
+        );
+        for a in &self.anomalies {
+            let _ = writeln!(out, "  e{} {}: {}", a.epoch, a.kind.as_str(), a.detail);
+        }
+        out
+    }
+}
+
+/// The stateful per-run monitor: feed one [`EpochHealth`] per epoch,
+/// collect firings, read the accumulated [`HealthReport`] at the end.
+#[derive(Clone, Debug)]
+pub struct HealthMonitor {
+    config: HealthConfig,
+    report: HealthReport,
+    over_streak: usize,
+    under_streak: usize,
+    overhead_armed: bool,
+    stall_streak: usize,
+    stall_armed: bool,
+    volume_armed: bool,
+}
+
+impl Default for HealthMonitor {
+    fn default() -> Self {
+        Self::new(HealthConfig::default())
+    }
+}
+
+impl HealthMonitor {
+    /// A monitor with the given thresholds, all detectors armed.
+    pub fn new(config: HealthConfig) -> Self {
+        Self {
+            config,
+            report: HealthReport::default(),
+            over_streak: 0,
+            under_streak: 0,
+            overhead_armed: true,
+            stall_streak: 0,
+            stall_armed: true,
+            volume_armed: true,
+        }
+    }
+
+    /// The thresholds this monitor runs with.
+    pub fn config(&self) -> &HealthConfig {
+        &self.config
+    }
+
+    /// Observes one epoch; returns the detectors that fired on it (at
+    /// most one firing per detector kind per epoch).
+    pub fn observe(&mut self, h: &EpochHealth) -> Vec<Anomaly> {
+        self.report.epochs_observed += 1;
+        let mut fired = Vec::new();
+
+        // Overhead watchdog with hysteresis.
+        if h.overhead_ppm > h.budget_ppm {
+            self.over_streak += 1;
+            self.under_streak = 0;
+        } else {
+            self.under_streak += 1;
+            self.over_streak = 0;
+            if !self.overhead_armed && self.under_streak >= self.config.overhead_clear_epochs {
+                self.overhead_armed = true;
+            }
+        }
+        if self.overhead_armed && self.over_streak >= self.config.overhead_trip_epochs {
+            self.overhead_armed = false;
+            self.report.overhead_firings += 1;
+            fired.push(Anomaly {
+                epoch: h.epoch,
+                kind: DetectorKind::Overhead,
+                detail: format!(
+                    "overhead {} ppm over budget {} ppm for {} epochs",
+                    h.overhead_ppm, h.budget_ppm, self.over_streak
+                ),
+            });
+        }
+
+        // Convergence stall: no fixed point and no progress.
+        if !h.converged && !h.progressed {
+            self.stall_streak += 1;
+        } else {
+            self.stall_streak = 0;
+            self.stall_armed = true;
+        }
+        if self.stall_armed && self.stall_streak >= self.config.stall_epochs {
+            self.stall_armed = false;
+            self.report.stall_firings += 1;
+            fired.push(Anomaly {
+                epoch: h.epoch,
+                kind: DetectorKind::Stall,
+                detail: format!(
+                    "no adaptation progress for {} epochs without convergence",
+                    self.stall_streak
+                ),
+            });
+        }
+
+        // Event-volume regression vs the warm-start baseline.
+        if let Some(baseline) = h.baseline_events.filter(|&b| b > 0) {
+            let deviation_ppm = h.events.abs_diff(baseline).saturating_mul(1_000_000) / baseline;
+            if deviation_ppm > self.config.volume_band_ppm {
+                if self.volume_armed {
+                    self.volume_armed = false;
+                    self.report.volume_firings += 1;
+                    fired.push(Anomaly {
+                        epoch: h.epoch,
+                        kind: DetectorKind::Volume,
+                        detail: format!(
+                            "event volume {} diverges from baseline {} by {} ppm (band {} ppm)",
+                            h.events, baseline, deviation_ppm, self.config.volume_band_ppm
+                        ),
+                    });
+                }
+            } else {
+                self.volume_armed = true;
+            }
+        }
+
+        self.report.anomalies.extend(fired.iter().cloned());
+        fired
+    }
+
+    /// The accumulated report so far.
+    pub fn report(&self) -> &HealthReport {
+        &self.report
+    }
+
+    /// Consumes the monitor, yielding its report.
+    pub fn into_report(self) -> HealthReport {
+        self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn healthy(epoch: usize) -> EpochHealth {
+        EpochHealth {
+            epoch,
+            overhead_ppm: 10_000,
+            budget_ppm: 50_000,
+            progressed: true,
+            converged: false,
+            events: 1000,
+            baseline_events: None,
+        }
+    }
+
+    #[test]
+    fn overhead_watchdog_fires_once_per_excursion_with_hysteresis() {
+        let mut m = HealthMonitor::default();
+        let over = |e| EpochHealth {
+            overhead_ppm: 80_000,
+            ..healthy(e)
+        };
+        assert!(m.observe(&over(0)).is_empty(), "one epoch is a blip");
+        let fired = m.observe(&over(1));
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].kind, DetectorKind::Overhead);
+        // Still over: disarmed, no re-fire.
+        assert!(m.observe(&over(2)).is_empty());
+        // One clean epoch doesn't re-arm yet...
+        assert!(m.observe(&healthy(3)).is_empty());
+        assert!(m.observe(&over(4)).is_empty(), "streak reset by epoch 3");
+        // ...but two consecutive clean epochs do, and a fresh excursion
+        // fires again.
+        assert!(m.observe(&healthy(5)).is_empty());
+        assert!(m.observe(&healthy(6)).is_empty());
+        assert!(m.observe(&over(7)).is_empty());
+        assert_eq!(m.observe(&over(8)).len(), 1);
+        assert_eq!(m.report().overhead_firings, 2);
+    }
+
+    #[test]
+    fn stall_detector_requires_consecutive_nonprogress_without_convergence() {
+        let mut m = HealthMonitor::default();
+        let stalled = |e| EpochHealth {
+            progressed: false,
+            ..healthy(e)
+        };
+        assert!(m.observe(&stalled(0)).is_empty());
+        assert!(m.observe(&stalled(1)).is_empty());
+        let fired = m.observe(&stalled(2));
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].kind, DetectorKind::Stall);
+        // Disarmed: a longer stall does not re-fire...
+        assert!(m.observe(&stalled(3)).is_empty());
+        // ...until progress re-arms it.
+        assert!(m.observe(&healthy(4)).is_empty());
+        assert!(m.observe(&stalled(5)).is_empty());
+        assert!(m.observe(&stalled(6)).is_empty());
+        assert_eq!(m.observe(&stalled(7)).len(), 1);
+        // A converged controller sitting at its fixed point is not a
+        // stall.
+        let mut c = HealthMonitor::default();
+        for e in 0..6 {
+            let at_fixed_point = EpochHealth {
+                progressed: false,
+                converged: true,
+                ..healthy(e)
+            };
+            assert!(c.observe(&at_fixed_point).is_empty());
+        }
+        assert_eq!(c.report().stall_firings, 0);
+    }
+
+    #[test]
+    fn volume_detector_flags_divergence_from_baseline_only() {
+        let mut m = HealthMonitor::default();
+        let with_volume = |e, events, baseline| EpochHealth {
+            events,
+            baseline_events: baseline,
+            ..healthy(e)
+        };
+        // No baseline → detector inert regardless of volume.
+        assert!(m.observe(&with_volume(0, 99_999, None)).is_empty());
+        // Within ±25% of baseline 1000.
+        assert!(m.observe(&with_volume(1, 1200, Some(1000))).is_empty());
+        // 2x baseline: fires.
+        let fired = m.observe(&with_volume(2, 2000, Some(1000)));
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].kind, DetectorKind::Volume);
+        assert!(fired[0].detail.contains("1000000 ppm"));
+        // Still out of band: disarmed.
+        assert!(m.observe(&with_volume(3, 2000, Some(1000))).is_empty());
+        // Back in band re-arms; diverging low fires again.
+        assert!(m.observe(&with_volume(4, 1000, Some(1000))).is_empty());
+        assert_eq!(m.observe(&with_volume(5, 100, Some(1000))).len(), 1);
+        assert_eq!(m.report().volume_firings, 2);
+    }
+
+    #[test]
+    fn report_renders_deterministically() {
+        let mut m = HealthMonitor::new(HealthConfig {
+            overhead_trip_epochs: 1,
+            overhead_clear_epochs: 1,
+            stall_epochs: 1,
+            volume_band_ppm: 100_000,
+        });
+        m.observe(&EpochHealth {
+            epoch: 0,
+            overhead_ppm: 90_000,
+            budget_ppm: 50_000,
+            progressed: false,
+            converged: false,
+            events: 5000,
+            baseline_events: Some(1000),
+        });
+        let report = m.into_report();
+        assert_eq!(report.firings_total(), 3);
+        let text = report.render();
+        assert_eq!(
+            text,
+            "# health (1 epochs observed, 3 firings: overhead 1, stall 1, volume 1)\n  \
+             e0 overhead: overhead 90000 ppm over budget 50000 ppm for 1 epochs\n  \
+             e0 stall: no adaptation progress for 1 epochs without convergence\n  \
+             e0 volume: event volume 5000 diverges from baseline 1000 by 4000000 ppm (band 100000 ppm)\n"
+        );
+    }
+
+    #[test]
+    fn pct_converts_to_ppm() {
+        assert_eq!(pct_to_ppm(5.0), 50_000);
+        assert_eq!(pct_to_ppm(0.5), 5_000);
+        assert_eq!(pct_to_ppm(100.0), 1_000_000);
+        assert_eq!(pct_to_ppm(-1.0), 0);
+    }
+}

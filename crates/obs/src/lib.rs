@@ -48,21 +48,51 @@
 #![warn(missing_docs)]
 
 mod export;
+pub mod health;
+mod recorder;
 mod registry;
 mod span;
 
 pub use export::{CounterSnapshot, GaugeSnapshot, HistogramSnapshot, MetricsSnapshot};
+pub use health::{
+    pct_to_ppm, Anomaly, DetectorKind, EpochHealth, HealthConfig, HealthMonitor, HealthReport,
+};
+pub use recorder::{RecordKind, RecorderEntry, RecorderStats, CONTROL_RANK, DEFAULT_RECORDER_CAP};
 pub use registry::{
     CounterId, GaugeId, HistogramId, HistogramKind, SelfStats, Telemetry, HIST_BUCKETS,
     MAX_COUNTERS, MAX_GAUGES, MAX_HISTOGRAMS, STRIPES,
 };
 pub use span::SpanGuard;
 
-/// The output path selected by the `CAPI_TRACE_OUT` environment knob:
-/// `Some(path)` when set and non-empty, `None` otherwise.
-pub fn trace_out_from_env() -> Option<String> {
-    match std::env::var("CAPI_TRACE_OUT") {
+fn path_from_env(key: &str) -> Option<String> {
+    match std::env::var(key) {
         Ok(p) if !p.trim().is_empty() => Some(p),
         _ => None,
     }
+}
+
+/// The output path selected by the `CAPI_TRACE_OUT` environment knob:
+/// `Some(path)` when set and non-empty, `None` otherwise.
+pub fn trace_out_from_env() -> Option<String> {
+    path_from_env("CAPI_TRACE_OUT")
+}
+
+/// The OpenMetrics output path selected by `CAPI_METRICS_OUT`.
+pub fn metrics_out_from_env() -> Option<String> {
+    path_from_env("CAPI_METRICS_OUT")
+}
+
+/// The post-mortem dump output path selected by `CAPI_DUMP_OUT`.
+pub fn dump_out_from_env() -> Option<String> {
+    path_from_env("CAPI_DUMP_OUT")
+}
+
+/// The flight-recorder per-ring capacity selected by
+/// `CAPI_RECORDER_CAP`: `Some(cap)` when set and parseable (0 disarms
+/// the recorder), `None` when absent or unparsable (keep the default,
+/// [`DEFAULT_RECORDER_CAP`]).
+pub fn recorder_cap_from_env() -> Option<usize> {
+    std::env::var("CAPI_RECORDER_CAP")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
 }

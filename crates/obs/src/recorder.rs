@@ -1,0 +1,409 @@
+//! The flight recorder: bounded, cache-padded per-rank ring buffers
+//! continuously capturing a compact structured record of recent
+//! control-plane activity — spans, adaptation decisions, repatch
+//! publishes, lifecycle degradations, health firings — plus per-rank
+//! marks from the executor.
+//!
+//! The recorder is the bounded-retention counterpart of the span log:
+//! the span log grows for the life of a run (it is the full trace), the
+//! recorder keeps only the last `cap` entries per ring and evicts
+//! oldest-first, so a post-mortem dump always has the *recent* history
+//! at a fixed memory cost, no matter how long the run was.
+//!
+//! # Determinism contract
+//!
+//! Entries carry a per-ring sequence number and the logical-clock tick
+//! at capture. The merged readback ([`Telemetry::recorder_entries`])
+//! sorts by `(rank, seq)` — the same fold-at-read rule the event log
+//! and the metric stripes use — so the rendering is byte-deterministic
+//! whenever each ring's push order is deterministic. Control-plane
+//! records are serialized by the control thread; per-rank records land
+//! on the rank's own ring (`rank & (STRIPES - 1)`), so with up to
+//! [`STRIPES`] ranks each ring is single-writer. Ranks past the stripe
+//! count share rings (their intra-ring interleaving is arbitrary, but
+//! the `(rank, seq)` sort still orders every rank's own entries).
+//!
+//! # Cost discipline
+//!
+//! Same as the registry: when telemetry is disabled — or the capacity
+//! is 0 — [`Telemetry::record`] is a relaxed load (or two) and an early
+//! return. Enabled captures take the target ring's mutex (never shared
+//! with another rank's hot path) and push one entry.
+
+use crate::registry::{Telemetry, CONTROL_STRIPE, STRIPES};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default ring capacity (entries per rank ring), overridable with the
+/// `CAPI_RECORDER_CAP` environment knob (see
+/// [`crate::recorder_cap_from_env`]).
+pub const DEFAULT_RECORDER_CAP: usize = 256;
+
+/// The pseudo-rank control-plane records are captured under. Sorts
+/// after every real rank in the merged readback.
+pub const CONTROL_RANK: u32 = u32::MAX;
+
+/// What a recorder entry describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecordKind {
+    /// A span opened ([`Telemetry::span`]) — captured automatically.
+    Span,
+    /// An instant event ([`Telemetry::instant`]) — captured
+    /// automatically, args folded into the detail. Adaptation decisions
+    /// (`adapt.decision`) arrive through this kind.
+    Instant,
+    /// A dispatch-table publish (repatch/registration) in `capi-xray`.
+    Repatch,
+    /// A typed lifecycle degradation (failed dlopen, degraded repatch,
+    /// unload race) in `capi-dyncapi`.
+    Lifecycle,
+    /// A health-detector firing ([`crate::health`]).
+    Health,
+    /// A caller-defined deterministic mark (e.g. the executor's
+    /// per-rank epoch completion).
+    Mark,
+}
+
+impl RecordKind {
+    /// Stable lowercase tag used by both renderings.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RecordKind::Span => "span",
+            RecordKind::Instant => "instant",
+            RecordKind::Repatch => "repatch",
+            RecordKind::Lifecycle => "lifecycle",
+            RecordKind::Health => "health",
+            RecordKind::Mark => "mark",
+        }
+    }
+}
+
+/// One captured entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecorderEntry {
+    /// Capturing rank, or [`CONTROL_RANK`] for control-plane records.
+    pub rank: u32,
+    /// Per-ring sequence number (0-based, never reused; eviction does
+    /// not renumber survivors).
+    pub seq: u64,
+    /// Logical-clock tick at capture.
+    pub tick: u64,
+    /// Entry kind.
+    pub kind: RecordKind,
+    /// Event name (span/instant name, or the explicit record's name).
+    pub name: &'static str,
+    /// Deterministic detail text (may be empty).
+    pub detail: String,
+}
+
+#[derive(Default)]
+struct RingState {
+    entries: VecDeque<RecorderEntry>,
+    seq: u64,
+    evicted: u64,
+}
+
+/// One cache-line-aligned ring, mirroring [`crate::STRIPES`]'
+/// `MetricStripe` padding so concurrent ranks never share a line.
+#[repr(align(64))]
+struct RecorderRing {
+    state: Mutex<RingState>,
+}
+
+impl RecorderRing {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(RingState::default()),
+        }
+    }
+}
+
+/// The recorder: `STRIPES` rank rings plus the control ring.
+pub(crate) struct Recorder {
+    cap: AtomicUsize,
+    rings: Box<[RecorderRing]>,
+}
+
+impl Recorder {
+    pub(crate) fn new(cap: usize) -> Self {
+        Self {
+            cap: AtomicUsize::new(cap),
+            rings: (0..=STRIPES).map(|_| RecorderRing::new()).collect(),
+        }
+    }
+
+    /// Current capacity — 0 means captures are dropped.
+    #[inline]
+    pub(crate) fn armed_cap(&self) -> usize {
+        self.cap.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn ring_index(rank: u32) -> usize {
+        if rank == CONTROL_RANK {
+            CONTROL_STRIPE
+        } else {
+            rank as usize & (STRIPES - 1)
+        }
+    }
+}
+
+/// Retention accounting for the recorder.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecorderStats {
+    /// Current per-ring capacity.
+    pub cap: usize,
+    /// Entries captured over the recorder's lifetime.
+    pub captured: u64,
+    /// Entries evicted (oldest-first) to keep rings within capacity.
+    pub evicted: u64,
+    /// Entries currently retained across all rings.
+    pub retained: usize,
+}
+
+impl Telemetry {
+    /// Current per-ring capacity of the flight recorder.
+    pub fn recorder_cap(&self) -> usize {
+        self.inner.recorder.cap.load(Ordering::Relaxed)
+    }
+
+    /// Sets the per-ring capacity. 0 disarms the recorder (captures
+    /// become a relaxed load + early return); shrinking evicts
+    /// oldest-first on the next capture per ring. Already-captured
+    /// entries are kept until then.
+    pub fn set_recorder_cap(&self, cap: usize) {
+        self.inner.recorder.cap.store(cap, Ordering::Relaxed);
+    }
+
+    /// Whether a capture would record anything: telemetry enabled *and*
+    /// capacity non-zero. Callers that format a detail string should
+    /// check this first so the disabled path stays allocation-free.
+    #[inline]
+    pub fn recorder_armed(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+            && self.inner.recorder.cap.load(Ordering::Relaxed) > 0
+    }
+
+    /// Captures one entry onto `rank`'s ring ([`CONTROL_RANK`] for
+    /// control-plane events). Disarmed: a relaxed load (or two) and an
+    /// early return. The logical clock is *read*, never advanced —
+    /// capture does not perturb span ordering.
+    pub fn record(&self, rank: u32, kind: RecordKind, name: &'static str, detail: String) {
+        if !self.recorder_armed() {
+            return;
+        }
+        self.record_unchecked(rank, kind, name, detail);
+    }
+
+    /// Capture without re-checking the armed state — internal fast path
+    /// for call sites that already checked.
+    pub(crate) fn record_unchecked(
+        &self,
+        rank: u32,
+        kind: RecordKind,
+        name: &'static str,
+        detail: String,
+    ) {
+        let tick = self.inner.clock.load(Ordering::Relaxed);
+        self.record_at(rank, kind, name, detail, tick);
+    }
+
+    /// Capture stamped with an explicit logical tick — used by the span
+    /// hooks so an entry carries its event's own start tick.
+    pub(crate) fn record_at(
+        &self,
+        rank: u32,
+        kind: RecordKind,
+        name: &'static str,
+        detail: String,
+        tick: u64,
+    ) {
+        let rec = &self.inner.recorder;
+        let cap = rec.cap.load(Ordering::Relaxed);
+        if cap == 0 {
+            return;
+        }
+        let mut ring = rec.rings[Recorder::ring_index(rank)].state.lock();
+        let seq = ring.seq;
+        ring.seq += 1;
+        ring.entries.push_back(RecorderEntry {
+            rank,
+            seq,
+            tick,
+            kind,
+            name,
+            detail,
+        });
+        while ring.entries.len() > cap {
+            ring.entries.pop_front();
+            ring.evicted += 1;
+        }
+    }
+
+    /// The retained entries of every ring, merged deterministically by
+    /// `(rank, seq)` — the fold-at-read primitive the post-mortem dump
+    /// and the text rendering are built from.
+    pub fn recorder_entries(&self) -> Vec<RecorderEntry> {
+        let mut out = Vec::new();
+        for ring in self.inner.recorder.rings.iter() {
+            out.extend(ring.state.lock().entries.iter().cloned());
+        }
+        out.sort_by_key(|e| (e.rank, e.seq));
+        out
+    }
+
+    /// Retention accounting across all rings.
+    pub fn recorder_stats(&self) -> RecorderStats {
+        let mut stats = RecorderStats {
+            cap: self.recorder_cap(),
+            ..Default::default()
+        };
+        for ring in self.inner.recorder.rings.iter() {
+            let s = ring.state.lock();
+            stats.captured += s.seq;
+            stats.evicted += s.evicted;
+            stats.retained += s.entries.len();
+        }
+        stats
+    }
+
+    /// The byte-deterministic text rendering of the merged recorder
+    /// contents: one header line, then one line per retained entry in
+    /// `(rank, seq)` order. Control-plane entries render as `ctl`.
+    pub fn render_recorder(&self) -> String {
+        let stats = self.recorder_stats();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# flight recorder (cap {}/ring, captured {}, evicted {}, retained {})",
+            stats.cap, stats.captured, stats.evicted, stats.retained
+        );
+        for e in self.recorder_entries() {
+            if e.rank == CONTROL_RANK {
+                let _ = write!(out, "  ctl");
+            } else {
+                let _ = write!(out, "  r{}", e.rank);
+            }
+            let _ = write!(
+                out,
+                " #{} @{} {} {}",
+                e.seq,
+                e.tick,
+                e.kind.as_str(),
+                e.name
+            );
+            if !e.detail.is_empty() {
+                let _ = write!(out, ": {}", e.detail);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn captures_merge_by_rank_then_seq() {
+        let t = Telemetry::new();
+        t.record(1, RecordKind::Mark, "m", "b".into());
+        t.record(0, RecordKind::Mark, "m", "a".into());
+        t.record(
+            CONTROL_RANK,
+            RecordKind::Repatch,
+            "xray.publish",
+            "gen=1".into(),
+        );
+        t.record(0, RecordKind::Mark, "m", "c".into());
+        let entries = t.recorder_entries();
+        let view: Vec<(u32, u64, &str)> = entries
+            .iter()
+            .map(|e| (e.rank, e.seq, e.detail.as_str()))
+            .collect();
+        assert_eq!(
+            view,
+            vec![
+                (0, 0, "a"),
+                (0, 1, "c"),
+                (1, 0, "b"),
+                (CONTROL_RANK, 0, "gen=1"),
+            ]
+        );
+        let text = t.render_recorder();
+        assert!(text.contains("r0 #1 @0 mark m: c"));
+        assert!(text.contains("ctl #0 @0 repatch xray.publish: gen=1"));
+    }
+
+    #[test]
+    fn capacity_overflow_evicts_oldest_first() {
+        let t = Telemetry::new();
+        t.set_recorder_cap(3);
+        for i in 0..8u64 {
+            t.record(2, RecordKind::Mark, "m", i.to_string());
+        }
+        let entries = t.recorder_entries();
+        let seqs: Vec<u64> = entries.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![5, 6, 7], "oldest evicted, seqs never renumber");
+        let stats = t.recorder_stats();
+        assert_eq!((stats.captured, stats.evicted, stats.retained), (8, 5, 3));
+    }
+
+    #[test]
+    fn disarmed_recorder_captures_nothing() {
+        let t = Telemetry::new();
+        t.set_recorder_cap(0);
+        assert!(!t.recorder_armed());
+        t.record(0, RecordKind::Mark, "m", "x".into());
+        assert!(t.recorder_entries().is_empty());
+        let d = Telemetry::disabled();
+        assert!(!d.recorder_armed());
+        d.record(0, RecordKind::Mark, "m", "x".into());
+        assert!(d.recorder_entries().is_empty());
+        // Re-arming resumes capture on the same instance.
+        t.set_recorder_cap(4);
+        t.record(0, RecordKind::Mark, "m", "y".into());
+        assert_eq!(t.recorder_entries().len(), 1);
+    }
+
+    #[test]
+    fn spans_and_instants_are_captured_automatically() {
+        let t = Telemetry::new();
+        {
+            let _run = t.span("dyncapi.run");
+            t.instant(
+                "adapt.decision",
+                &[("action", "drop".into()), ("target", "tiny_hot".into())],
+            );
+        }
+        let entries = t.recorder_entries();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].kind, RecordKind::Span);
+        assert_eq!(entries[0].name, "dyncapi.run");
+        assert_eq!(entries[1].kind, RecordKind::Instant);
+        assert_eq!(entries[1].detail, "action=drop target=tiny_hot");
+        assert!(entries.iter().all(|e| e.rank == CONTROL_RANK));
+    }
+
+    #[test]
+    fn rendering_is_identical_across_per_ring_interleavings() {
+        // Two schedules interleaving rank 0 / rank 1 captures
+        // differently produce the same merged rendering, because each
+        // ring's own order is what the (rank, seq) sort preserves.
+        let run = |order: &[u32]| {
+            let t = Telemetry::new();
+            let mut per_rank = [0u64; 2];
+            for &r in order {
+                t.record(r, RecordKind::Mark, "m", per_rank[r as usize].to_string());
+                per_rank[r as usize] += 1;
+            }
+            t.render_recorder()
+        };
+        let a = run(&[0, 0, 1, 0, 1, 1]);
+        let b = run(&[1, 0, 1, 0, 0, 1]);
+        assert_eq!(a, b);
+    }
+}

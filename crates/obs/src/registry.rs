@@ -1,6 +1,7 @@
 //! The metrics registry: striped counters/histograms, control-plane
 //! gauges, the logical clock, and the enable switch.
 
+use crate::recorder::{Recorder, DEFAULT_RECORDER_CAP};
 use crate::span::SpanLog;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -104,6 +105,8 @@ pub(crate) struct Inner {
     pub(crate) stripes: Box<[MetricStripe]>,
     pub(crate) gauges: [AtomicU64; MAX_GAUGES],
     pub(crate) spans: Mutex<SpanLog>,
+    /// The bounded flight recorder (see [`crate::recorder`]).
+    pub(crate) recorder: Recorder,
 }
 
 /// Registry self-accounting counters (see the crate docs).
@@ -157,6 +160,7 @@ impl Telemetry {
                 stripes: (0..=STRIPES).map(|_| MetricStripe::new()).collect(),
                 gauges: std::array::from_fn(|_| AtomicU64::new(0)),
                 spans: Mutex::new(SpanLog::default()),
+                recorder: Recorder::new(DEFAULT_RECORDER_CAP),
             }),
         }
     }
@@ -176,14 +180,24 @@ impl Telemetry {
     }
 
     /// The instance requested by the environment: `Some` (enabled) when
-    /// `CAPI_TELEMETRY` is truthy (`1`/`true`/`on`/`yes`) **or**
-    /// `CAPI_TRACE_OUT` names a trace file (asking for a trace implies
-    /// wanting the data), `None` otherwise.
+    /// `CAPI_TELEMETRY` is truthy (`1`/`true`/`on`/`yes`) **or** any of
+    /// `CAPI_TRACE_OUT` / `CAPI_METRICS_OUT` / `CAPI_DUMP_OUT` names an
+    /// output file (asking for an artifact implies wanting the data),
+    /// `None` otherwise. A `CAPI_RECORDER_CAP` knob is applied to the
+    /// returned instance's flight recorder.
     pub fn from_env() -> Option<Self> {
         let truthy = |v: String| matches!(v.trim(), "1" | "true" | "on" | "yes");
         let wanted = std::env::var("CAPI_TELEMETRY").map(truthy).unwrap_or(false)
-            || crate::trace_out_from_env().is_some();
-        wanted.then(Self::new)
+            || crate::trace_out_from_env().is_some()
+            || crate::metrics_out_from_env().is_some()
+            || crate::dump_out_from_env().is_some();
+        wanted.then(|| {
+            let tel = Self::new();
+            if let Some(cap) = crate::recorder_cap_from_env() {
+                tel.set_recorder_cap(cap);
+            }
+            tel
+        })
     }
 
     /// Whether recording is currently on.

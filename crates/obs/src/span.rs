@@ -8,8 +8,10 @@
 //! the text exporter byte-deterministic — wall time never orders
 //! anything.
 
+use crate::recorder::{RecordKind, CONTROL_RANK};
 use crate::registry::Telemetry;
 use std::fmt::Display;
+use std::fmt::Write as _;
 use std::sync::atomic::Ordering;
 
 /// One recorded span (or instant) in creation order.
@@ -108,6 +110,9 @@ impl Telemetry {
             instant: false,
         });
         log.stack.push(idx);
+        drop(log);
+        // Flight-recorder shadow copy: spans are control-plane events.
+        self.record_at(CONTROL_RANK, RecordKind::Span, name, String::new(), start);
         SpanGuard {
             state: Some((self.clone(), idx)),
         }
@@ -133,6 +138,17 @@ impl Telemetry {
             wall_ns: None,
             instant: true,
         });
+        drop(log);
+        if self.inner.recorder.armed_cap() > 0 {
+            let mut detail = String::new();
+            for (k, v) in args {
+                if !detail.is_empty() {
+                    detail.push(' ');
+                }
+                let _ = write!(detail, "{k}={v}");
+            }
+            self.record_at(CONTROL_RANK, RecordKind::Instant, name, detail, tick);
+        }
     }
 }
 

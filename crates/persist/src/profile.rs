@@ -135,6 +135,24 @@ impl InstrumentationProfile {
         ids
     }
 
+    /// The per-epoch event volume this profile predicts for a warm run
+    /// converged to the same configuration: each active function
+    /// contributes two events (enter + exit) per visit, divided by its
+    /// sampling rate. `None` when no active function carries visit
+    /// data (nothing to baseline against). Seeds the event-volume
+    /// regression detector in `capi-obs::health`.
+    pub fn baseline_epoch_events(&self) -> Option<u64> {
+        let mut total = 0u64;
+        let mut seeded = false;
+        for f in self.functions.iter().filter(|f| f.active) {
+            if let Some(visits) = f.visits {
+                seeded = true;
+                total += 2 * visits / u64::from(f.rate.max(1));
+            }
+        }
+        seeded.then_some(total)
+    }
+
     /// Canonical, byte-deterministic JSON text (sorted rows, sorted
     /// keys, trailing newline). Identical profiles — regardless of the
     /// order their rows were pushed in — render identically.

@@ -24,7 +24,7 @@ use crate::sled::SLED_BYTES;
 use crate::slots::SlotRegistry;
 use crate::trampoline::{TrampolineFault, TrampolineSet};
 use capi_objmodel::{AddressSpace, LoadedObject, MemError, PagePerms, PAGE_SIZE};
-use capi_obs::{CounterId, HistogramId, HistogramKind, Telemetry};
+use capi_obs::{CounterId, HistogramId, HistogramKind, RecordKind, Telemetry, CONTROL_RANK};
 use parking_lot::RwLock;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -409,6 +409,26 @@ impl XRayRuntime {
             h.tel.observe_control(h.quiescence_wall, quiescence_ns);
             h.tel.add_control(h.publishes, 1);
             self.sync_telemetry();
+            if h.tel.recorder_armed() {
+                let patched: usize = inner
+                    .current
+                    .objects
+                    .iter()
+                    .flatten()
+                    .map(|o| o.patched.iter().filter(|&&p| p).count())
+                    .sum();
+                h.tel.record(
+                    CONTROL_RANK,
+                    RecordKind::Repatch,
+                    "xray.publish",
+                    format!(
+                        "gen={} touched={} patched={}",
+                        inner.current.generation,
+                        touched.len(),
+                        patched
+                    ),
+                );
+            }
         }
     }
 
@@ -1243,6 +1263,33 @@ impl XRayRuntime {
         Arc::clone(&self.read_inner("published_table").current)
     }
 
+    /// A compact per-object summary of the currently published dispatch
+    /// table — generation plus patched/sampled/faulted counts per live
+    /// object — the "what was the dispatch state" section of a
+    /// post-mortem dump. Fully deterministic (object-ID order, derived
+    /// from the published COW table).
+    pub fn dispatch_summary(&self) -> (u64, Vec<ObjectPatchSummary>) {
+        let table = self.published_table();
+        let mut objects = Vec::new();
+        for obj in table.objects.iter().flatten() {
+            let patched = obj.patched.iter().filter(|&&p| p).count();
+            let sampled = obj
+                .patched
+                .iter()
+                .zip(obj.rate.iter())
+                .filter(|&(&p, &r)| p && r > 1)
+                .count();
+            objects.push(ObjectPatchSummary {
+                object_id: obj.object_id,
+                functions: obj.patched.len(),
+                patched,
+                sampled,
+                faulted: obj.fault.is_some(),
+            });
+        }
+        (table.generation, objects)
+    }
+
     /// Reference implementation of [`Self::snapshot`] that rebuilds the
     /// snapshot from the full registration/patch state instead of the
     /// incrementally published table — the oracle the copy-on-write
@@ -1283,6 +1330,22 @@ fn check_fid_capacity(inst: &InstrumentedObject) -> Result<(), XRayError> {
         return Err(XRayError::Id(IdError::FunctionIdOverflow { fid: n as u32 }));
     }
     Ok(())
+}
+
+/// One object's row in [`XRayRuntime::dispatch_summary`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ObjectPatchSummary {
+    /// XRay object ID.
+    pub object_id: u8,
+    /// Size of the object's function-ID space.
+    pub functions: usize,
+    /// Functions currently patched.
+    pub patched: usize,
+    /// Patched functions running at a sampling rate > 1.
+    pub sampled: usize,
+    /// Whether the published entry carries a trampoline fault (the
+    /// object dispatches nothing until repatched).
+    pub faulted: bool,
 }
 
 /// Patch-state snapshot for the executor's hot path.

@@ -454,3 +454,91 @@ fn lifecycle_errors_display_stably_and_chain_sources() {
     let xray = capi_dyncapi::DynCapiError::XRay(capi_xray::XRayError::UnknownObject(7));
     assert!(xray.source().is_some(), "XRay errors chain too");
 }
+
+// ---------------------------------------------------------------------------
+// Post-mortem dumps: a fault-injected run leaves a black box. The dump is
+// triggered by the typed degradation, carries the flight-recorder tail and
+// the health report, and is byte-deterministic across same-seed runs.
+// ---------------------------------------------------------------------------
+
+/// Runs the scripted mprotect-fault scenario once and returns the
+/// adaptive outcome (the degradation trips the first-trigger dump).
+fn faulted_run() -> capi_dyncapi::AdaptiveOutcome {
+    let bin = faultable_binary();
+    let mut session = capi_dyncapi::startup(
+        &bin,
+        capi_dyncapi::DynCapiConfig {
+            tool: capi_dyncapi::ToolChoice::Talp(Default::default()),
+            ranks: 2,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mut plan = FaultPlan::new();
+    plan.push(
+        session.process.memory.stats.mprotect_calls,
+        FaultKind::MprotectFail,
+    );
+    AdaptiveRunBuilder::new()
+        .epochs(4)
+        .budget_pct(0.5)
+        .telemetry(Telemetry::new())
+        .lifecycle(LifecycleScript::new().fault_plan(plan))
+        .run(&mut session)
+        .unwrap()
+}
+
+/// The injected fault surfaces as a typed degradation, which triggers
+/// exactly one post-mortem dump carrying recorder, health, dispatch,
+/// and decision context — and the run still completes.
+#[test]
+fn fault_injected_run_produces_a_post_mortem_dump() {
+    let out = faulted_run();
+    let dump = out
+        .adaptive
+        .post_mortem
+        .as_ref()
+        .expect("the degradation must trigger a dump");
+    assert!(
+        matches!(dump.trigger, capi_dyncapi::DumpTrigger::Degradation { .. }),
+        "typed degradation wins the trigger race: {:?}",
+        dump.trigger
+    );
+    assert!(dump.text.starts_with("# post-mortem dump\n"));
+    assert!(dump.text.contains("trigger: degradation:"));
+    assert!(dump.text.contains("# flight recorder (cap "));
+    assert!(
+        dump.text.contains("lifecycle lifecycle.degraded_repatch"),
+        "the degradation itself is on the recorder:\n{}",
+        dump.text
+    );
+    assert!(dump.text.contains("# health ("));
+    assert!(dump.text.contains("decisions ("));
+    assert!(dump.text.contains("counters:"));
+    // The adaptation log records both the firing and the dump…
+    assert!(out.log.contains("health: post-mortem dump (degradation)"));
+    // …and the three-line health tail counts it.
+    assert!(out.log.contains("health: 1 dumps"));
+    assert!(
+        out.adaptive.events > 0,
+        "the run completed despite the dump"
+    );
+}
+
+/// Two same-seed faulted runs produce byte-identical dumps — text and
+/// JSON — the property that makes a dump attachable to a bug report.
+#[test]
+fn post_mortem_dump_is_byte_deterministic_across_same_seed_runs() {
+    let (a, b) = (faulted_run(), faulted_run());
+    let (da, db) = (
+        a.adaptive.post_mortem.expect("first run dumps"),
+        b.adaptive.post_mortem.expect("second run dumps"),
+    );
+    assert_eq!(da.epoch, db.epoch, "trigger epoch is deterministic");
+    assert_eq!(da.text, db.text, "dump text is byte-identical");
+    assert_eq!(
+        da.to_json_string(),
+        db.to_json_string(),
+        "dump JSON is byte-identical"
+    );
+}

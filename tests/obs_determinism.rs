@@ -6,7 +6,7 @@
 //! serve as a byte-equality oracle in tests while real runs update the
 //! stripes from many rank threads at once.
 
-use capi_repro::obs::{HistogramKind, Telemetry};
+use capi_repro::obs::{HistogramKind, RecordKind, Telemetry};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 
@@ -159,5 +159,154 @@ proptest! {
             }
         });
         prop_assert_eq!(tel.render_text(), sequential);
+    }
+}
+
+/// One flight-recorder capture, as the strategies generate them. Ranks
+/// stay below the stripe count so every rank owns its own ring — the
+/// production shape, and the precondition for interleaving independence
+/// under eviction.
+#[derive(Clone, Debug)]
+struct Capture {
+    rank: u32,
+    name: usize,
+    detail: u64,
+}
+
+const RECORD_NAMES: [&str; 3] = ["exec.rank_epoch", "xray.publish", "health.anomaly"];
+
+fn arb_capture() -> impl Strategy<Value = Capture> {
+    (0u32..64, 0usize..RECORD_NAMES.len(), any::<u64>()).prop_map(|(rank, name, detail)| Capture {
+        rank,
+        name,
+        detail,
+    })
+}
+
+fn apply_captures(tel: &Telemetry, captures: &[Capture]) {
+    for c in captures {
+        tel.record(
+            c.rank,
+            RecordKind::Mark,
+            RECORD_NAMES[c.name],
+            format!("v={}", c.detail),
+        );
+    }
+}
+
+/// Reorders `captures` into a different schedule that preserves each
+/// rank's own program order — the set of interleavings a real scheduler
+/// can produce, since a rank's captures are sequential on its thread.
+fn reschedule(captures: &[Capture], seed: u64) -> Vec<Capture> {
+    let mut queues: BTreeMap<u32, std::collections::VecDeque<Capture>> = BTreeMap::new();
+    for c in captures {
+        queues.entry(c.rank).or_default().push_back(c.clone());
+    }
+    let mut rng = seed | 1;
+    let mut out = Vec::with_capacity(captures.len());
+    while !queues.is_empty() {
+        rng = rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let keys: Vec<u32> = queues.keys().copied().collect();
+        let pick = keys[((rng >> 33) as usize) % keys.len()];
+        let q = queues.get_mut(&pick).unwrap();
+        out.push(q.pop_front().unwrap());
+        if q.is_empty() {
+            queues.remove(&pick);
+        }
+    }
+    out
+}
+
+proptest! {
+    /// The recorder's fold-at-read merge is interleaving-independent:
+    /// any schedule that preserves per-rank program order renders the
+    /// byte-identical flight-recorder text, even when small capacities
+    /// force evictions.
+    #[test]
+    fn recorder_merge_is_interleaving_independent(
+        captures in proptest::collection::vec(arb_capture(), 1..200),
+        cap in 1usize..16,
+        seed in any::<u64>(),
+    ) {
+        let tel_a = Telemetry::new();
+        tel_a.set_recorder_cap(cap);
+        apply_captures(&tel_a, &captures);
+
+        let tel_b = Telemetry::new();
+        tel_b.set_recorder_cap(cap);
+        apply_captures(&tel_b, &reschedule(&captures, seed));
+
+        prop_assert_eq!(
+            tel_a.render_recorder(),
+            tel_b.render_recorder(),
+            "recorder renderings differ across schedules"
+        );
+    }
+
+    /// Real threads, partitioned by rank % 4 (each ring single-writer),
+    /// retain the same merged entries as sequential capture.
+    #[test]
+    fn threaded_recorder_captures_match_sequential(
+        captures in proptest::collection::vec(arb_capture(), 1..150),
+        cap in 1usize..16,
+    ) {
+        let sequential = Telemetry::new();
+        sequential.set_recorder_cap(cap);
+        apply_captures(&sequential, &captures);
+
+        let tel = Telemetry::new();
+        tel.set_recorder_cap(cap);
+        let mut parts: Vec<Vec<Capture>> = vec![Vec::new(); 4];
+        for c in &captures {
+            parts[(c.rank % 4) as usize].push(c.clone());
+        }
+        std::thread::scope(|scope| {
+            for part in &parts {
+                let tel = &tel;
+                scope.spawn(move || apply_captures(tel, part));
+            }
+        });
+        prop_assert_eq!(tel.render_recorder(), sequential.render_recorder());
+    }
+
+    /// Capacity overflow evicts oldest-first, deterministically: each
+    /// ring retains exactly its last `cap` captures with contiguous
+    /// sequence numbers, and the eviction count folds exactly.
+    #[test]
+    fn recorder_overflow_evicts_oldest_first(
+        per_rank in proptest::collection::vec((0u32..64, 1usize..40), 1..8),
+        cap in 1usize..8,
+    ) {
+        let tel = Telemetry::new();
+        tel.set_recorder_cap(cap);
+        let mut pushed: BTreeMap<u32, u64> = BTreeMap::new();
+        for &(rank, count) in &per_rank {
+            for _ in 0..count {
+                tel.record(rank, RecordKind::Mark, "overflow", String::new());
+            }
+            *pushed.entry(rank).or_default() += count as u64;
+        }
+
+        let entries = tel.recorder_entries();
+        let mut retained: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
+        for e in &entries {
+            retained.entry(e.rank).or_default().push(e.seq);
+        }
+        let mut expect_evicted = 0u64;
+        for (rank, total) in &pushed {
+            let seqs = retained.get(rank).cloned().unwrap_or_default();
+            let keep = (*total).min(cap as u64);
+            expect_evicted += total - keep;
+            // The survivors are exactly the newest `cap` captures, in
+            // original order, never renumbered.
+            let want: Vec<u64> = (total - keep..*total).collect();
+            prop_assert_eq!(seqs, want, "rank {} retains the newest captures", rank);
+        }
+        let stats = tel.recorder_stats();
+        prop_assert_eq!(stats.evicted, expect_evicted);
+        prop_assert_eq!(stats.captured, pushed.values().sum::<u64>());
+        prop_assert_eq!(stats.retained, entries.len());
     }
 }
